@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation (DESIGN.md #3): warp-scheduler policy. LRR vs GTO changes
+ * cycle counts and occupancy but must not change functional results;
+ * this binary reports golden cycles per benchmark under both
+ * policies and checks output equality.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    std::printf("== Ablation: warp scheduler LRR vs GTO "
+                "(RTX 2060 golden runs) ==\n");
+    std::printf("%-7s %12s %12s %8s %8s\n", "bench", "LRR cycles",
+                "GTO cycles", "ratio", "output");
+
+    for (const auto &b : selectedBenchmarks(opts)) {
+        sim::GpuConfig lrr = sim::makeRtx2060();
+        lrr.schedPolicy = sim::SchedPolicy::LRR;
+        sim::GpuConfig gto = sim::makeRtx2060();
+        gto.schedPolicy = sim::SchedPolicy::GTO;
+
+        fi::CampaignRunner a(lrr, b.factory, 1);
+        fi::CampaignRunner bq(gto, b.factory, 1);
+        const fi::GoldenRun &ga = a.golden();
+        const fi::GoldenRun &gb = bq.golden();
+        bool same = ga.output == gb.output;
+        std::printf("%-7s %12llu %12llu %8.3f %8s\n", b.code.c_str(),
+                    static_cast<unsigned long long>(ga.totalCycles),
+                    static_cast<unsigned long long>(gb.totalCycles),
+                    static_cast<double>(gb.totalCycles) /
+                        static_cast<double>(ga.totalCycles),
+                    same ? "equal" : "DIFFERS");
+        if (!same)
+            return EXIT_FAILURE;
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Extension (paper §IV.C future work): the L1 constant cache as an
+ * injection target. Kernel parameters are staged into constant
+ * memory and fetched through the per-SM constant cache, so tag and
+ * data faults there can corrupt every thread's view of sizes and
+ * base pointers — a high-leverage structure despite its small size.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Extension: L1 constant cache injection (RTX 2060, "
+                "single-bit)", opts);
+
+    sim::GpuConfig card = sim::makeRtx2060();
+    std::printf("%-7s %10s %10s %10s %10s %12s\n", "bench",
+                "masked%", "sdc%", "crash%", "timeout%",
+                "FR(l1_const)");
+    for (const auto &b : selectedBenchmarks(opts)) {
+        fi::CampaignRunner runner(card, b.factory, opts.threads);
+        auto sets = runSingleStructure(
+            runner, opts, fi::FaultTarget::L1Constant, 1);
+        fi::CampaignResult all;
+        for (const auto &set : sets)
+            all.merge(set.byStructure.at(
+                fi::FaultTarget::L1Constant));
+        std::printf("%-7s %10s %10s %10s %10s %12.4f\n",
+                    b.code.c_str(),
+                    pct(all.ratio(fi::Outcome::Masked)).c_str(),
+                    pct(all.ratio(fi::Outcome::SDC)).c_str(),
+                    pct(all.ratio(fi::Outcome::Crash)).c_str(),
+                    pct(all.ratio(fi::Outcome::Timeout)).c_str(),
+                    all.failureRatio());
+    }
+    std::printf("\nNote: the constant cache holds only the staged "
+                "kernel parameters here, so most lines are invalid "
+                "and faults are often trivially masked; hits on the "
+                "parameter line corrupt base pointers (crashes) or "
+                "sizes (SDC/timeout).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Extension (paper Table IV iii/iv): simultaneous faults in several
+ * hardware structures in the same run. Compares the failure ratio of
+ * a register-file-only campaign against campaigns that additionally
+ * strike the shared memory and the L2 at the same cycle.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Extension: simultaneous multi-structure faults "
+                "(RTX 2060)", opts);
+
+    sim::GpuConfig card = sim::makeRtx2060();
+    std::printf("%-7s %14s %18s %22s\n", "bench", "regfile only",
+                "+shared memory", "+shared +L2");
+    for (const auto &b : selectedBenchmarks(opts)) {
+        fi::CampaignRunner runner(card, b.factory, opts.threads);
+        const auto &kernels = runner.golden().kernels;
+
+        auto frFor = [&](std::vector<fi::FaultTarget> also) {
+            double fr = 0.0;
+            uint64_t cycles = 0;
+            for (const auto &prof : kernels) {
+                fi::CampaignSpec spec;
+                spec.kernelName = prof.name;
+                spec.target = fi::FaultTarget::RegisterFile;
+                spec.alsoTargets = std::move(also);
+                spec.runs = opts.runs;
+                spec.seed = opts.seed;
+                fr += runner.run(spec).failureRatio() *
+                      static_cast<double>(prof.cycles);
+                cycles += prof.cycles;
+                also = spec.alsoTargets;
+            }
+            return fr / static_cast<double>(cycles);
+        };
+
+        double alone = frFor({});
+        double withShared = frFor({fi::FaultTarget::SharedMemory});
+        double withBoth = frFor({fi::FaultTarget::SharedMemory,
+                                 fi::FaultTarget::L2});
+        std::printf("%-7s %14.4f %18.4f %22.4f\n", b.code.c_str(),
+                    alone, withShared, withBoth);
+    }
+    std::printf("\nExpected: failure ratios grow monotonically as "
+                "more structures are struck per run.\n");
+    return 0;
+}

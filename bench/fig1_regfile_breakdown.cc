@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces paper Fig. 1: fault-effect breakdown (SDC / Crash /
+ * Timeout / Performance) of single-bit register-file faults for all
+ * three cards and all twelve benchmarks. Values are the derated
+ * (df_reg) per-class rates of the register file, weighted over each
+ * application's static kernels by cycles — the stacked bars of the
+ * paper's figure.
+ *
+ * Expected shape: SDC dominates everywhere; Crashes are near zero;
+ * HS, KM, LUD, PATHF, NW and SP show visible Timeouts; BP is close to
+ * zero overall while KM is the most vulnerable.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Fig. 1: register-file fault-effect breakdown "
+                "(single-bit)", opts);
+
+    sim::GpuConfig cards[3] = {sim::makeRtx2060(),
+                               sim::makeQuadroGv100(),
+                               sim::makeGtxTitan()};
+
+    for (const auto &card : cards) {
+        std::printf("\n-- %s --\n", card.name.c_str());
+        std::printf("%-7s %8s %8s %8s %8s %8s\n", "bench", "SDC%",
+                    "Crash%", "Timeout%", "Perf%", "AVF%");
+        for (const auto &b : selectedBenchmarks(opts)) {
+            fi::CampaignRunner runner(card, b.factory, opts.threads);
+            auto sets = runSingleStructure(
+                runner, opts, fi::FaultTarget::RegisterFile, 1);
+
+            // Cycle-weighted per-class register-file rates with
+            // df_reg applied (the Fig. 1 stacking).
+            double byClass[5] = {};
+            uint64_t total = 0;
+            for (const auto &set : sets)
+                total += set.profile.cycles;
+            for (const auto &set : sets) {
+                const auto &res = set.byStructure.at(
+                    fi::FaultTarget::RegisterFile);
+                double df = fi::dfReg(card, set.profile);
+                double w = static_cast<double>(set.profile.cycles) /
+                           static_cast<double>(total);
+                for (size_t o = 0; o < 5; ++o)
+                    byClass[o] +=
+                        res.ratio(static_cast<fi::Outcome>(o)) * df *
+                        w;
+            }
+            double avf =
+                byClass[static_cast<size_t>(fi::Outcome::SDC)] +
+                byClass[static_cast<size_t>(fi::Outcome::Crash)] +
+                byClass[static_cast<size_t>(fi::Outcome::Timeout)];
+            std::printf(
+                "%-7s %s %s %s %s %s\n", b.code.c_str(),
+                pct(byClass[static_cast<size_t>(fi::Outcome::SDC)])
+                    .c_str(),
+                pct(byClass[static_cast<size_t>(fi::Outcome::Crash)])
+                    .c_str(),
+                pct(byClass[static_cast<size_t>(
+                        fi::Outcome::Timeout)])
+                    .c_str(),
+                pct(byClass[static_cast<size_t>(
+                        fi::Outcome::Performance)])
+                    .c_str(),
+                pct(avf).c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3: total GPU chip AVF (wAVF, eq. 3) plus the
+ * warp occupancy (the red dots) for every benchmark on each of the
+ * three cards, single-bit faults over all injectable structures.
+ *
+ * Expected shape: per-benchmark vulnerability ordering is consistent
+ * across generations (e.g. SP > VA and BP everywhere); higher
+ * occupancy tends to mean higher vulnerability.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Fig. 3: chip wAVF and occupancy (single-bit)", opts);
+
+    sim::GpuConfig cards[3] = {sim::makeRtx2060(),
+                               sim::makeQuadroGv100(),
+                               sim::makeGtxTitan()};
+
+    for (const auto &card : cards) {
+        std::printf("\n-- %s --\n", card.name.c_str());
+        std::printf("%-7s %8s %11s\n", "bench", "wAVF%", "occupancy");
+        for (const auto &b : selectedBenchmarks(opts)) {
+            fi::CampaignRunner runner(card, b.factory, opts.threads);
+            auto sets = runCampaignMatrix(runner, opts, 1);
+            fi::AvfReport report = fi::computeReport(card, sets);
+            std::printf("%-7s %s %11.3f\n", b.code.c_str(),
+                        pct(report.wavf).c_str(),
+                        runner.golden().appOccupancy);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: single-bit faults that leave the output
+ * intact but change the application's cycle count — the Performance
+ * fault effect, reported as a percentage of all masked faults, per
+ * benchmark on the RTX 2060.
+ *
+ * Expected shape: up to high-single-digit percent for loop-heavy
+ * benchmarks, a few percent on average (the paper reports a 8.6%
+ * maximum and ~4% average on this card).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Fig. 4: Performance fault effect (RTX 2060, "
+                "single-bit)", opts);
+
+    sim::GpuConfig card = sim::makeRtx2060();
+    std::printf("%-7s %22s\n", "bench", "Performance/Masked %");
+
+    double sum = 0.0;
+    double maxShare = 0.0;
+    int n = 0;
+    for (const auto &b : selectedBenchmarks(opts)) {
+        fi::CampaignRunner runner(card, b.factory, opts.threads);
+        auto sets = runCampaignMatrix(runner, opts, 1);
+        // Aggregate Performance vs Masked over every campaign of the
+        // application (all kernels, all structures).
+        fi::CampaignResult all;
+        for (const auto &set : sets)
+            for (const auto &[target, res] : set.byStructure)
+                all.merge(res);
+        double share = all.performanceShareOfMasked();
+        std::printf("%-7s %22s\n", b.code.c_str(),
+                    pct(share).c_str());
+        sum += share;
+        maxShare = std::max(maxShare, share);
+        ++n;
+    }
+    std::printf("\nmax %s%%  average %s%%  (paper: max 8.6%%, "
+                "average ~4%%)\n",
+                pct(maxShare).c_str(),
+                pct(n ? sum / n : 0.0).c_str());
+    return 0;
+}

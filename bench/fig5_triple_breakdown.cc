@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: fault-effect breakdown for *triple-bit*
+ * register-file faults on the RTX 2060. Expected shape: the same
+ * per-benchmark trends as the single-bit breakdown (Fig. 1), with
+ * uniformly higher magnitudes.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Fig. 5: register-file fault-effect breakdown "
+                "(triple-bit, RTX 2060)", opts);
+
+    sim::GpuConfig card = sim::makeRtx2060();
+    std::printf("%-7s %8s %8s %8s %8s %8s\n", "bench", "SDC%",
+                "Crash%", "Timeout%", "Perf%", "AVF%");
+    for (const auto &b : selectedBenchmarks(opts)) {
+        fi::CampaignRunner runner(card, b.factory, opts.threads);
+        auto sets = runSingleStructure(
+            runner, opts, fi::FaultTarget::RegisterFile, 3);
+        double byClass[5] = {};
+        uint64_t total = 0;
+        for (const auto &set : sets)
+            total += set.profile.cycles;
+        for (const auto &set : sets) {
+            const auto &res =
+                set.byStructure.at(fi::FaultTarget::RegisterFile);
+            double df = fi::dfReg(card, set.profile);
+            double w = static_cast<double>(set.profile.cycles) /
+                       static_cast<double>(total);
+            for (size_t o = 0; o < 5; ++o)
+                byClass[o] +=
+                    res.ratio(static_cast<fi::Outcome>(o)) * df * w;
+        }
+        double avf = byClass[static_cast<size_t>(fi::Outcome::SDC)] +
+                     byClass[static_cast<size_t>(fi::Outcome::Crash)] +
+                     byClass[static_cast<size_t>(
+                         fi::Outcome::Timeout)];
+        std::printf(
+            "%-7s %s %s %s %s %s\n", b.code.c_str(),
+            pct(byClass[static_cast<size_t>(fi::Outcome::SDC)])
+                .c_str(),
+            pct(byClass[static_cast<size_t>(fi::Outcome::Crash)])
+                .c_str(),
+            pct(byClass[static_cast<size_t>(fi::Outcome::Timeout)])
+                .c_str(),
+            pct(byClass[static_cast<size_t>(
+                    fi::Outcome::Performance)])
+                .c_str(),
+            pct(avf).c_str());
+    }
+    return 0;
+}

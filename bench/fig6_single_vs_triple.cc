@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Fig. 6: chip wAVF for single-bit vs triple-bit
+ * injections on the RTX 2060, all twelve benchmarks. Expected shape:
+ * triple-bit wAVF is roughly 2x the single-bit wAVF for most
+ * benchmarks.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Fig. 6: single-bit vs triple-bit wAVF (RTX 2060)",
+                opts);
+
+    sim::GpuConfig card = sim::makeRtx2060();
+    std::printf("%-7s %12s %12s %8s\n", "bench", "1-bit wAVF%",
+                "3-bit wAVF%", "ratio");
+    double ratioSum = 0.0;
+    int ratioCount = 0;
+    for (const auto &b : selectedBenchmarks(opts)) {
+        fi::CampaignRunner runner(card, b.factory, opts.threads);
+        auto single = runCampaignMatrix(runner, opts, 1);
+        auto triple = runCampaignMatrix(runner, opts, 3);
+        double w1 = fi::computeReport(card, single).wavf;
+        double w3 = fi::computeReport(card, triple).wavf;
+        double ratio = w1 > 0 ? w3 / w1 : 0.0;
+        std::printf("%-7s %12s %12s %8.2f\n", b.code.c_str(),
+                    pct(w1).c_str(), pct(w3).c_str(), ratio);
+        if (w1 > 0) {
+            ratioSum += ratio;
+            ++ratioCount;
+        }
+    }
+    std::printf("\nmean triple/single ratio %.2f (paper: ~2x)\n",
+                ratioCount ? ratioSum / ratioCount : 0.0);
+    return 0;
+}

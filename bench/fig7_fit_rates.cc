@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: predicted Failures-in-Time rate of the
+ * whole chip (sum over structures of AVF x rawFIT x bits) for all
+ * three cards and all benchmarks. Expected shape: the GTX Titan
+ * (28 nm, raw FIT 1.2e-5/bit) dominates the newer 12 nm cards
+ * (1.8e-6/bit) on most benchmarks.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace gpufi;
+using namespace gpufi::bench;
+
+int
+main()
+{
+    Options opts = optionsFromEnv();
+    printBanner("Fig. 7: chip FIT rates (single-bit)", opts);
+
+    sim::GpuConfig cards[3] = {sim::makeRtx2060(),
+                               sim::makeQuadroGv100(),
+                               sim::makeGtxTitan()};
+
+    std::printf("%-7s %14s %14s %14s\n", "bench", "RTX 2060",
+                "Quadro GV100", "GTX Titan");
+    for (const auto &b : selectedBenchmarks(opts)) {
+        std::printf("%-7s", b.code.c_str());
+        for (const auto &card : cards) {
+            fi::CampaignRunner runner(card, b.factory, opts.threads);
+            auto sets = runCampaignMatrix(runner, opts, 1);
+            fi::AvfReport report = fi::computeReport(card, sets);
+            std::printf(" %14.1f", report.totalFit);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(FIT = failures per 10^9 device-hours; columns "
+                "use each card's technology raw FIT rate)\n");
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "bench/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace gpufi {
+namespace bench {
+
+Options
+optionsFromEnv()
+{
+    Options opts;
+    if (const char *v = std::getenv("GPUFI_RUNS"))
+        opts.runs = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    if (const char *v = std::getenv("GPUFI_THREADS"))
+        opts.threads =
+            static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    if (const char *v = std::getenv("GPUFI_SEED"))
+        opts.seed = std::strtoull(v, nullptr, 10);
+    if (const char *v = std::getenv("GPUFI_BENCH")) {
+        std::istringstream ss(v);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty())
+                opts.benchFilter.push_back(item);
+    }
+    if (opts.runs == 0)
+        fatal("GPUFI_RUNS must be positive");
+    return opts;
+}
+
+std::vector<suite::BenchmarkInfo>
+selectedBenchmarks(const Options &opts)
+{
+    std::vector<suite::BenchmarkInfo> out;
+    for (const auto &b : suite::benchmarks()) {
+        if (opts.benchFilter.empty()) {
+            out.push_back(b);
+            continue;
+        }
+        for (const auto &f : opts.benchFilter)
+            if (b.code == f || b.name == f) {
+                out.push_back(b);
+                break;
+            }
+    }
+    if (out.empty())
+        fatal("GPUFI_BENCH filter matched no benchmarks");
+    return out;
+}
+
+std::vector<fi::FaultTarget>
+injectableTargets(const sim::GpuConfig &card)
+{
+    std::vector<fi::FaultTarget> targets = {
+        fi::FaultTarget::RegisterFile,
+        fi::FaultTarget::LocalMemory,
+        fi::FaultTarget::SharedMemory,
+    };
+    if (card.l1dEnabled)
+        targets.push_back(fi::FaultTarget::L1Data);
+    targets.push_back(fi::FaultTarget::L1Texture);
+    targets.push_back(fi::FaultTarget::L2);
+    return targets;
+}
+
+namespace {
+
+fi::KernelCampaignSet
+runKernel(fi::CampaignRunner &runner, const Options &opts,
+          const fi::KernelProfile &prof,
+          const std::vector<fi::FaultTarget> &targets, uint32_t nBits)
+{
+    fi::KernelCampaignSet set;
+    set.profile = prof;
+    for (fi::FaultTarget target : targets) {
+        // Local-memory campaigns only make sense when the kernel has
+        // local memory; report an all-masked (zero-FR) campaign
+        // otherwise, as random faults in zero bytes cannot land.
+        if (target == fi::FaultTarget::LocalMemory &&
+            prof.localPerThread == 0)
+            continue;
+        fi::CampaignSpec spec;
+        spec.kernelName = prof.name;
+        spec.target = target;
+        spec.nBits = nBits;
+        spec.runs = opts.runs;
+        spec.seed = opts.seed + static_cast<uint64_t>(target) * 7919;
+        set.byStructure[target] = runner.run(spec);
+    }
+    return set;
+}
+
+} // namespace
+
+std::vector<fi::KernelCampaignSet>
+runCampaignMatrix(fi::CampaignRunner &runner, const Options &opts,
+                  uint32_t nBits)
+{
+    const fi::GoldenRun &golden = runner.golden();
+    auto targets = injectableTargets(runner.gpuConfig());
+    std::vector<fi::KernelCampaignSet> sets;
+    for (const auto &prof : golden.kernels)
+        sets.push_back(
+            runKernel(runner, opts, prof, targets, nBits));
+    return sets;
+}
+
+std::vector<fi::KernelCampaignSet>
+runSingleStructure(fi::CampaignRunner &runner, const Options &opts,
+                   fi::FaultTarget target, uint32_t nBits)
+{
+    const fi::GoldenRun &golden = runner.golden();
+    std::vector<fi::KernelCampaignSet> sets;
+    for (const auto &prof : golden.kernels)
+        sets.push_back(
+            runKernel(runner, opts, prof, {target}, nBits));
+    return sets;
+}
+
+std::string
+pct(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%6.2f", ratio * 100.0);
+    return buf;
+}
+
+void
+printBanner(const char *title, const Options &opts)
+{
+    double z = stat_fi::zValue(0.99);
+    double margin = stat_fi::errorMargin(1e9, opts.runs, z);
+    std::printf("== %s ==\n", title);
+    std::printf("runs/campaign=%u seed=%llu "
+                "(99%% confidence, error margin +/-%.1f%%; the paper "
+                "uses 3000 runs for +/-2%%)\n",
+                opts.runs,
+                static_cast<unsigned long long>(opts.seed),
+                margin * 100.0);
+}
+
+} // namespace bench
+} // namespace gpufi

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared driver for the table/figure reproduction binaries: runs the
+ * full campaign matrix (static kernels x injectable structures) for a
+ * (GPU card, benchmark) pair and returns the per-kernel campaign sets
+ * the AVF/FIT calculators consume.
+ *
+ * Scaling knobs (environment):
+ *   GPUFI_RUNS    injections per campaign (default 40; the paper uses
+ *                 3000 — raise for tighter error margins)
+ *   GPUFI_THREADS worker threads (default: hardware concurrency)
+ *   GPUFI_BENCH   comma-separated benchmark codes to include
+ *   GPUFI_SEED    campaign seed (default 1)
+ */
+
+#ifndef GPUFI_BENCH_HARNESS_HH
+#define GPUFI_BENCH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "fi/avf.hh"
+#include "fi/campaign.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+namespace gpufi {
+namespace bench {
+
+/** Harness options, resolved from the environment. */
+struct Options
+{
+    uint32_t runs = 40;
+    size_t threads = 0;
+    uint64_t seed = 1;
+    std::vector<std::string> benchFilter; ///< empty: all twelve
+};
+
+/** Read the GPUFI_* environment variables. */
+Options optionsFromEnv();
+
+/** The benchmarks selected by the filter, in paper order. */
+std::vector<suite::BenchmarkInfo>
+selectedBenchmarks(const Options &opts);
+
+/** Structures injectable on this card (L1D absent on Kepler). */
+std::vector<fi::FaultTarget>
+injectableTargets(const sim::GpuConfig &card);
+
+/**
+ * Run campaigns for every static kernel and every injectable
+ * structure of one benchmark on one card.
+ *
+ * @param nBits bits per injection (1 = single-bit, 3 = triple-bit)
+ */
+std::vector<fi::KernelCampaignSet>
+runCampaignMatrix(fi::CampaignRunner &runner, const Options &opts,
+                  uint32_t nBits);
+
+/**
+ * Campaigns for one structure only, across all static kernels (used
+ * by the register-file-focused figures).
+ */
+std::vector<fi::KernelCampaignSet>
+runSingleStructure(fi::CampaignRunner &runner, const Options &opts,
+                   fi::FaultTarget target, uint32_t nBits);
+
+/** Percentage with two decimals, e.g. "12.34". */
+std::string pct(double ratio);
+
+/** Print the standard harness banner (options + statistical margin). */
+void printBanner(const char *title, const Options &opts);
+
+} // namespace bench
+} // namespace gpufi
+
+#endif // GPUFI_BENCH_HARNESS_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework itself:
+ * assembler throughput, simulator cycle rate, cache-model access
+ * rate, and the cost of one fault-injected execution — the numbers
+ * that determine campaign wall-clock time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fi/campaign.hh"
+#include "fi/injector.hh"
+#include "isa/assembler.hh"
+#include "mem/backing.hh"
+#include "mem/cache.hh"
+#include "sim/gpu.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+
+namespace {
+
+const char kVecaddSrc[] = R"(
+.kernel vecadd
+.reg 10
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2
+    param r3, 0
+    setge r4, r0, r3
+    brnz  r4, done
+    shl   r5, r0, 2
+    param r6, 1
+    add   r6, r6, r5
+    ldg   r7, [r6]
+    param r8, 2
+    add   r8, r8, r5
+    ldg   r9, [r8]
+    fadd  r7, r7, r9
+    param r8, 3
+    add   r8, r8, r5
+    stg   r7, [r8]
+done:
+    exit
+)";
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    for (auto _ : state) {
+        isa::Program p = isa::assemble(kVecaddSrc);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_GoldenRun(benchmark::State &state, const char *code)
+{
+    auto factory = suite::factoryFor(code);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto wl = factory();
+        mem::DeviceMemory dmem(wl->memBytes());
+        wl->setup(dmem);
+        sim::Gpu gpu(sim::makeRtx2060(), dmem);
+        auto stats = wl->run(gpu);
+        cycles += gpu.cycle();
+        benchmark::DoNotOptimize(stats);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_GoldenRun, va, "VA");
+BENCHMARK_CAPTURE(BM_GoldenRun, hotspot, "HS");
+BENCHMARK_CAPTURE(BM_GoldenRun, kmeans, "KM");
+
+void
+BM_InjectedRun(benchmark::State &state)
+{
+    auto factory = suite::factoryFor("VA");
+    fi::CampaignRunner runner(sim::makeRtx2060(), factory, 1);
+    runner.golden();
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 1;
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        spec.seed = ++seed;
+        auto result = runner.run(spec);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_InjectedRun);
+
+void
+BM_CacheReadHit(benchmark::State &state)
+{
+    mem::DeviceMemory dmem(1u << 20);
+    mem::Addr a = dmem.allocate(4096);
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.lineSize = 128;
+    cfg.assoc = 4;
+    mem::Cache cache("bench", cfg, &dmem);
+    cache.readAccess(a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.readAccess(a));
+}
+BENCHMARK(BM_CacheReadHit);
+
+void
+BM_CacheMissFill(benchmark::State &state)
+{
+    mem::DeviceMemory dmem(8u << 20);
+    mem::Addr a = dmem.allocate(4u << 20);
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 2048;
+    cfg.lineSize = 128;
+    cfg.assoc = 2;
+    mem::Cache cache("bench", cfg, &dmem);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.readAccess(a + (i % 16384) * 128));
+        ++i;
+    }
+}
+BENCHMARK(BM_CacheMissFill);
+
+void
+BM_ApplyFaultRegfile(benchmark::State &state)
+{
+    // Cost of the injection itself on a live GPU.
+    mem::DeviceMemory dmem(1u << 20);
+    dmem.allocate(4096);
+    sim::GpuConfig cfg = sim::makeRtx2060();
+    cfg.numSms = 4;
+    sim::Gpu gpu(cfg, dmem);
+    isa::Program prog = isa::assemble(kVecaddSrc);
+    uint64_t seed = 0;
+    gpu.scheduleInjection(20, [&](sim::Gpu &g) {
+        // Measure many applyFault calls at one live instant.
+        for (auto _ : state) {
+            fi::FaultPlan plan;
+            plan.seed = ++seed;
+            applyFault(g, plan, nullptr);
+        }
+    });
+    mem::Addr buf = dmem.allocate(4096);
+    // Thousands of injections thoroughly corrupt the running kernel;
+    // a crash or timeout after the measured loop is expected.
+    gpu.setCycleLimit(1u << 20);
+    try {
+        gpu.launch(prog.kernels.front(), {8, 1}, {128, 1},
+                   {1024, static_cast<uint32_t>(buf),
+                    static_cast<uint32_t>(buf),
+                    static_cast<uint32_t>(buf)});
+    } catch (const mem::DeviceFault &) {
+    } catch (const sim::TimeoutError &) {
+    }
+}
+BENCHMARK(BM_ApplyFaultRegfile);
+
+} // namespace
+
+BENCHMARK_MAIN();

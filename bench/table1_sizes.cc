@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Table I: memory structure sizes across the three
+ * GPU generations, including the 57 modeled tag bits per cache line.
+ */
+
+#include <cstdio>
+
+#include "sim/gpu_config.hh"
+
+using namespace gpufi;
+
+namespace {
+
+void
+printSize(uint64_t bits)
+{
+    double kb = static_cast<double>(bits) / 8.0 / 1024.0;
+    if (bits == 0)
+        std::printf(" %12s |", "N/A");
+    else if (kb >= 1024.0)
+        std::printf(" %9.2f MB |", kb / 1024.0);
+    else
+        std::printf(" %9.2f KB |", kb);
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::GpuConfig cards[3] = {sim::makeRtx2060(),
+                               sim::makeQuadroGv100(),
+                               sim::makeGtxTitan()};
+
+    std::printf("== Table I: memory structure sizes across "
+                "generations ==\n");
+    std::printf("%-22s |", "");
+    for (const auto &c : cards)
+        std::printf(" %s (#SMs: %u) |", c.name.c_str(), c.numSms);
+    std::printf("\n");
+
+    struct Row
+    {
+        const char *label;
+        uint64_t (sim::GpuConfig::*fn)() const;
+    };
+    const Row rows[] = {
+        {"Register File", &sim::GpuConfig::regFileBits},
+        {"Shared Memory", &sim::GpuConfig::sharedBits},
+        {"L1 data cache", &sim::GpuConfig::l1dBits},
+        {"L1 texture cache", &sim::GpuConfig::l1tBits},
+        {"L1 instruction cache", &sim::GpuConfig::l1iBits},
+        {"L1 constant cache", &sim::GpuConfig::l1cBits},
+        {"L2 cache", &sim::GpuConfig::l2Bits},
+    };
+    for (const auto &row : rows) {
+        std::printf("%-22s |", row.label);
+        for (const auto &c : cards)
+            printSize((c.*row.fn)());
+        std::printf("\n");
+    }
+
+    std::printf("\nInjectable totals (paper: 18.5 MB RTX 2060, "
+                "47 MB Quadro GV100):\n");
+    for (const auto &c : cards) {
+        uint64_t bits = c.regFileBits() + c.sharedBits() +
+                        c.l1dBits() + c.l1tBits() + c.l2Bits();
+        std::printf("  %-14s %6.2f MB\n", c.name.c_str(),
+                    static_cast<double>(bits) / 8.0 / 1024.0 /
+                        1024.0);
+    }
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces paper Table V: microarchitectural parameters of the
+ * RTX 2060, Quadro GV100 and GTX Titan models, with the starred
+ * tag-inclusive cache sizes.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/gpu_config.hh"
+
+using namespace gpufi;
+
+namespace {
+
+std::string
+starKb(uint64_t bits, uint32_t sms)
+{
+    if (bits == 0)
+        return "N/A";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f KB*",
+                  static_cast<double>(bits / sms) / 8.0 / 1024.0);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::GpuConfig cards[3] = {sim::makeRtx2060(),
+                               sim::makeQuadroGv100(),
+                               sim::makeGtxTitan()};
+
+    std::printf("== Table V: microarchitectural parameters ==\n");
+    std::printf("%-34s", "");
+    for (const auto &c : cards)
+        std::printf(" %14s", c.name.c_str());
+    std::printf("\n");
+
+    auto row = [&](const char *label, auto fn) {
+        std::printf("%-34s", label);
+        for (const auto &c : cards)
+            std::printf(" %14s", fn(c).c_str());
+        std::printf("\n");
+    };
+    auto num = [](uint64_t v) { return std::to_string(v); };
+    auto kb = [](uint64_t bytes) {
+        if (bytes == 0)
+            return std::string("N/A");
+        return std::to_string(bytes / 1024) + " KB";
+    };
+
+    row("SMs", [&](const auto &c) { return num(c.numSms); });
+    row("Warp size", [&](const auto &c) { return num(c.warpSize); });
+    row("Maximum Threads per SM",
+        [&](const auto &c) { return num(c.maxThreadsPerSm); });
+    row("Maximum CTAs per SM",
+        [&](const auto &c) { return num(c.maxCtasPerSm); });
+    row("Registers per SM (4 bytes each)",
+        [&](const auto &c) { return num(c.regsPerSm); });
+    row("Shared Memory per SM",
+        [&](const auto &c) { return kb(c.smemPerSm); });
+    row("L1 data cache size per SM",
+        [&](const auto &c) { return kb(c.l1dSizePerSm); });
+    row("  with 57 tag bits per line",
+        [&](const auto &c) { return starKb(c.l1dBits(), c.numSms); });
+    row("L1 texture cache size per SM",
+        [&](const auto &c) { return kb(c.l1tSizePerSm); });
+    row("  with 57 tag bits per line",
+        [&](const auto &c) { return starKb(c.l1tBits(), c.numSms); });
+    row("L1 instruction cache per SM",
+        [&](const auto &c) { return kb(c.l1iSizePerSm); });
+    row("  with 57 tag bits per line",
+        [&](const auto &c) { return starKb(c.l1iBits(), c.numSms); });
+    row("L1 constant cache per SM",
+        [&](const auto &c) { return kb(c.l1cSizePerSm); });
+    row("  with 57 tag bits per line",
+        [&](const auto &c) { return starKb(c.l1cBits(), c.numSms); });
+    row("L2 cache size", [&](const auto &c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f MB",
+                      static_cast<double>(c.l2.totalSize) / 1024.0 /
+                          1024.0);
+        return std::string(buf);
+    });
+    row("  with 57 tag bits per line", [&](const auto &c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f MB*",
+                      static_cast<double>(c.l2Bits()) / 8.0 / 1024.0 /
+                          1024.0);
+        return std::string(buf);
+    });
+    row("Raw FIT per bit (technology)", [&](const auto &c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1e", c.rawFitPerBit);
+        return std::string(buf);
+    });
+    return 0;
+}

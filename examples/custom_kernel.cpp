@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Vulnerability-over-time study of a user-written kernel: sweep the
+ * injection cycle across the kernel's execution and measure how the
+ * failure probability evolves — the kind of targeted differential
+ * study gpuFI-4's parameterization enables beyond whole-kernel
+ * campaigns.
+ *
+ * The kernel below has two phases: a long accumulation loop (live
+ * state in registers the whole time, ending in the output store)
+ * followed by an equally long cooldown loop in which every data
+ * register is dead. Faults in the first phase can corrupt the
+ * output; faults in the second phase can at worst perturb timing.
+ *
+ * Build & run:  ./build/examples/custom_kernel
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hh"
+#include "fi/fault.hh"
+#include "fi/injector.hh"
+#include "isa/assembler.hh"
+#include "mem/backing.hh"
+#include "sim/gpu.hh"
+#include "sim/gpu_config.hh"
+
+using namespace gpufi;
+
+namespace {
+
+const char kKernel[] = R"(
+.kernel phases
+.reg 10
+# params: 0=n 1=&out  — each thread sums i*lane over n iterations
+    mov   r0, %tid_x
+    mov   r1, %ctaid_x
+    mov   r2, %ntid_x
+    mul   r1, r1, r2
+    add   r0, r0, r1        # gid
+    param r3, 0             # n
+    mov   r4, 0             # acc
+    mov   r5, 0             # i
+loop:
+    setge r6, r5, r3
+    brnz  r6, store
+    mul   r7, r5, r0
+    add   r4, r4, r7
+    add   r5, r5, 1
+    bra   loop
+store:
+    shl   r8, r0, 2
+    param r9, 1
+    add   r9, r9, r8
+    stg   r4, [r9]
+    # Cooldown: registers are dead from here on; only the loop
+    # counter can still affect behavior (timing, not values).
+    param r5, 0
+cool:
+    sub   r5, r5, 1
+    brnz  r5, cool
+    exit
+)";
+
+constexpr uint32_t kThreads = 256;
+constexpr uint32_t kIters = 64;
+
+struct RunResult
+{
+    bool crashed = false;
+    bool timedOut = false;
+    std::vector<uint8_t> output;
+    uint64_t cycles = 0;
+};
+
+RunResult
+simulate(const fi::FaultPlan *plan, uint64_t cycleLimit)
+{
+    RunResult res;
+    mem::DeviceMemory dmem(4u << 20);
+    mem::Addr out = dmem.allocate(kThreads * 4);
+    sim::GpuConfig cfg = sim::makeRtx2060();
+    cfg.numSms = 4;
+    sim::Gpu gpu(cfg, dmem);
+    gpu.setCycleLimit(cycleLimit);
+    if (plan) {
+        fi::FaultPlan p = *plan;
+        gpu.scheduleInjection(p.cycle, [p](sim::Gpu &g) {
+            applyFault(g, p, nullptr);
+        });
+    }
+    isa::Program prog = isa::assemble(kKernel);
+    try {
+        gpu.launch(prog.kernel("phases"), {1, 1}, {kThreads, 1},
+                   {kIters, static_cast<uint32_t>(out)});
+        res.output.assign(dmem.data(out, kThreads * 4),
+                          dmem.data(out, kThreads * 4) +
+                              kThreads * 4);
+    } catch (const mem::DeviceFault &) {
+        res.crashed = true;
+    } catch (const sim::TimeoutError &) {
+        res.timedOut = true;
+    }
+    res.cycles = gpu.cycle();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    RunResult golden = simulate(nullptr, ~0ull);
+    std::printf("golden: %llu cycles\n\n",
+                static_cast<unsigned long long>(golden.cycles));
+
+    std::printf("%-22s %8s %8s %8s %8s\n", "injection window",
+                "masked", "sdc", "crash", "timeout");
+
+    const int kBuckets = 8;
+    const int kRunsPerBucket = 60;
+    Rng rng(7);
+    for (int b = 0; b < kBuckets; ++b) {
+        uint64_t lo = golden.cycles * static_cast<uint64_t>(b) /
+                      kBuckets;
+        uint64_t hi = golden.cycles *
+                      static_cast<uint64_t>(b + 1) / kBuckets;
+        int masked = 0, sdc = 0, crash = 0, timeout = 0;
+        for (int r = 0; r < kRunsPerBucket; ++r) {
+            fi::FaultPlan plan;
+            plan.target = fi::FaultTarget::RegisterFile;
+            plan.cycle = rng.range(lo, hi > lo ? hi - 1 : lo);
+            plan.seed = rng();
+            RunResult res = simulate(&plan, 2 * golden.cycles);
+            if (res.crashed)
+                ++crash;
+            else if (res.timedOut)
+                ++timeout;
+            else if (res.output != golden.output)
+                ++sdc;
+            else
+                ++masked;
+        }
+        std::printf("cycles [%6llu,%6llu) %8d %8d %8d %8d\n",
+                    static_cast<unsigned long long>(lo),
+                    static_cast<unsigned long long>(hi), masked, sdc,
+                    crash, timeout);
+    }
+    std::printf("\nExpected: SDCs concentrate in the first half "
+                "(live accumulator); late-window faults are mostly "
+                "masked or timing-only.\n");
+    return 0;
+}

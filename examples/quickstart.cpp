@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Quickstart: assemble a kernel, run it on a simulated RTX 2060,
+ * inspect results, then re-run with a single transient fault injected
+ * into the register file and compare.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "fi/fault.hh"
+#include "fi/injector.hh"
+#include "isa/assembler.hh"
+#include "mem/backing.hh"
+#include "sim/gpu.hh"
+#include "sim/gpu_config.hh"
+
+using namespace gpufi;
+
+namespace {
+
+// SAXPY: y[i] = a*x[i] + y[i], one thread per element.
+const char kSaxpy[] = R"(
+.kernel saxpy
+.reg 10
+# params: 0=n 1=a(float bits) 2=&x 3=&y
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2
+    param r3, 0
+    setge r4, r0, r3
+    brnz  r4, done
+    shl   r5, r0, 2
+    param r6, 2
+    add   r6, r6, r5
+    ldg   r7, [r6]          # x[i]
+    param r8, 3
+    add   r8, r8, r5
+    ldg   r9, [r8]          # y[i]
+    param r4, 1             # a
+    fma   r9, r4, r7, r9
+    stg   r9, [r8]
+done:
+    exit
+)";
+
+constexpr uint32_t kN = 1024;
+
+/** One full run; returns the number of wrong output elements. */
+uint32_t
+runOnce(bool injectFault)
+{
+    mem::DeviceMemory dmem(8u << 20);
+
+    // Host setup (the cudaMalloc/cudaMemcpy part).
+    mem::Addr x = dmem.allocate(kN * 4);
+    mem::Addr y = dmem.allocate(kN * 4);
+    for (uint32_t i = 0; i < kN; ++i) {
+        float xf = static_cast<float>(i) * 0.25f;
+        float yf = 1.0f;
+        dmem.write(x + i * 4, &xf, 4);
+        dmem.write(y + i * 4, &yf, 4);
+    }
+
+    sim::Gpu gpu(sim::makeRtx2060(), dmem);
+
+    if (injectFault) {
+        // Flip one random bit of one random active thread's register
+        // at cycle 120 — exactly what a campaign does, once.
+        fi::FaultPlan plan;
+        plan.target = fi::FaultTarget::RegisterFile;
+        plan.cycle = 120;
+        plan.nBits = 1;
+        plan.seed = 2026;
+        gpu.scheduleInjection(plan.cycle, [plan](sim::Gpu &g) {
+            fi::InjectionRecord rec;
+            applyFault(g, plan, &rec);
+            std::printf("  injected: %s (%s)\n",
+                        rec.armed ? "armed" : "no live target",
+                        rec.detail.c_str());
+        });
+    }
+
+    const float a = 2.0f;
+    uint32_t aBits;
+    __builtin_memcpy(&aBits, &a, 4);
+    isa::Program prog = isa::assemble(kSaxpy);
+    sim::LaunchStats stats =
+        gpu.launch(prog.kernel("saxpy"), {kN / 256, 1}, {256, 1},
+                   {kN, aBits, static_cast<uint32_t>(x),
+                    static_cast<uint32_t>(y)});
+
+    std::printf("  kernel '%s': %llu cycles, %llu warp instructions,"
+                " occupancy %.2f\n",
+                stats.kernelName.c_str(),
+                static_cast<unsigned long long>(stats.cycles()),
+                static_cast<unsigned long long>(
+                    stats.warpInstructions),
+                stats.occupancy);
+
+    uint32_t wrong = 0;
+    for (uint32_t i = 0; i < kN; ++i) {
+        float expect = 2.0f * (static_cast<float>(i) * 0.25f) + 1.0f;
+        float got;
+        dmem.read(y + i * 4, &got, 4);
+        if (got != expect)
+            ++wrong;
+    }
+    return wrong;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("fault-free execution:\n");
+    uint32_t cleanWrong = runOnce(false);
+    std::printf("  wrong elements: %u\n\n", cleanWrong);
+
+    std::printf("same execution with one register-file bit flip:\n");
+    uint32_t faultyWrong = runOnce(true);
+    std::printf("  wrong elements: %u -> %s\n", faultyWrong,
+                faultyWrong == 0 ? "Masked"
+                                 : "Silent Data Corruption");
+    return cleanWrong == 0 ? 0 : 1;
+}

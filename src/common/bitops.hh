@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the fault injector and the cache
+ * model. All bit indices are little-endian within a byte buffer: bit i
+ * lives in byte i/8, position i%8.
+ */
+
+#ifndef GPUFI_COMMON_BITOPS_HH
+#define GPUFI_COMMON_BITOPS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpufi {
+
+/** Flip bit @p bit of @p value. @pre bit < 32. */
+constexpr uint32_t
+flipBit32(uint32_t value, unsigned bit)
+{
+    return value ^ (1u << bit);
+}
+
+/** Flip bit @p bit of @p value. @pre bit < 64. */
+constexpr uint64_t
+flipBit64(uint64_t value, unsigned bit)
+{
+    return value ^ (1ULL << bit);
+}
+
+/** Flip bit @p bit inside an arbitrary byte buffer. */
+inline void
+flipBitInBuffer(uint8_t *buf, uint64_t bit)
+{
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+/** Read bit @p bit of an arbitrary byte buffer. */
+inline bool
+testBitInBuffer(const uint8_t *buf, uint64_t bit)
+{
+    return (buf[bit / 8] >> (bit % 8)) & 1u;
+}
+
+/** true if @p v is a power of two (v != 0). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. @pre isPow2(v). */
+constexpr unsigned
+log2Exact(uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Reinterpret a float's bit pattern as uint32_t. */
+inline uint32_t
+floatToBits(float f)
+{
+    uint32_t u;
+    __builtin_memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+/** Reinterpret a uint32_t bit pattern as float. */
+inline float
+bitsToFloat(uint32_t u)
+{
+    float f;
+    __builtin_memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_BITOPS_HH

@@ -1,0 +1,191 @@
+#include "common/config.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+ConfigFile
+ConfigFile::fromString(const std::string &text)
+{
+    ConfigFile cfg;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        std::string key, value;
+        size_t eq = line.find('=');
+        if (eq != std::string::npos) {
+            // "key = value" assignment form.
+            key = trim(line.substr(0, eq));
+            value = trim(line.substr(eq + 1));
+        } else if (line[0] == '-') {
+            // gpgpusim.config "-key value" option form.
+            size_t sp = line.find_first_of(" \t");
+            if (sp == std::string::npos) {
+                key = trim(line.substr(1));
+                value = "1";
+            } else {
+                key = trim(line.substr(1, sp - 1));
+                value = trim(line.substr(sp + 1));
+            }
+        } else {
+            fatal("config line %d: expected '-key value' or 'key = value',"
+                  " got '%s'", lineno, line.c_str());
+        }
+        if (key.empty())
+            fatal("config line %d: empty key", lineno);
+        cfg.set(key, value);
+    }
+    return cfg;
+}
+
+ConfigFile
+ConfigFile::fromFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return fromString(ss.str());
+}
+
+void
+ConfigFile::set(const std::string &key, const std::string &value)
+{
+    if (values_.find(key) == values_.end())
+        order_.push_back(key);
+    values_[key] = value;
+}
+
+bool
+ConfigFile::has(const std::string &key) const
+{
+    return values_.find(key) != values_.end();
+}
+
+std::string
+ConfigFile::getString(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        fatal("missing required config key '%s'", key.c_str());
+    return it->second;
+}
+
+std::string
+ConfigFile::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+}
+
+int64_t
+ConfigFile::getInt(const std::string &key) const
+{
+    std::string v = getString(key);
+    char *end = nullptr;
+    long long r = std::strtoll(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not an integer",
+              key.c_str(), v.c_str());
+    return r;
+}
+
+int64_t
+ConfigFile::getInt(const std::string &key, int64_t dflt) const
+{
+    return has(key) ? getInt(key) : dflt;
+}
+
+double
+ConfigFile::getDouble(const std::string &key) const
+{
+    std::string v = getString(key);
+    char *end = nullptr;
+    double r = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not a number",
+              key.c_str(), v.c_str());
+    return r;
+}
+
+double
+ConfigFile::getDouble(const std::string &key, double dflt) const
+{
+    return has(key) ? getDouble(key) : dflt;
+}
+
+bool
+ConfigFile::getBool(const std::string &key, bool dflt) const
+{
+    if (!has(key))
+        return dflt;
+    std::string v = getString(key);
+    for (auto &c : v)
+        c = static_cast<char>(std::tolower(c));
+    if (v == "1" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "no")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(), v.c_str());
+}
+
+std::vector<int64_t>
+ConfigFile::getIntList(const std::string &key) const
+{
+    std::string v = getString(key);
+    std::vector<int64_t> out;
+    std::istringstream ss(v);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        item = trim(item);
+        if (item.empty())
+            continue;
+        char *end = nullptr;
+        long long r = std::strtoll(item.c_str(), &end, 0);
+        if (end == item.c_str() || *end != '\0')
+            fatal("config key '%s': '%s' is not an integer list element",
+                  key.c_str(), item.c_str());
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::string
+ConfigFile::toString() const
+{
+    std::ostringstream out;
+    for (const auto &k : order_)
+        out << k << " = " << values_.at(k) << "\n";
+    return out.str();
+}
+
+} // namespace gpufi

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Key/value configuration file support in the gpgpusim.config idiom.
+ *
+ * gpuFI-4 passes all injection-campaign parameters to the simulator via
+ * the configuration file; this parser accepts the same "-key value"
+ * line format plus "key = value" assignments and '#' comments.
+ */
+
+#ifndef GPUFI_COMMON_CONFIG_HH
+#define GPUFI_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpufi {
+
+/**
+ * An ordered key/value store parsed from a gpgpusim.config-style file
+ * or built programmatically. Lookups with a typed default mirror how
+ * the original simulator registers options.
+ */
+class ConfigFile
+{
+  public:
+    ConfigFile() = default;
+
+    /** Parse from file contents (not a path). fatal() on syntax error. */
+    static ConfigFile fromString(const std::string &text);
+
+    /** Parse a file on disk. fatal() if unreadable. */
+    static ConfigFile fromFile(const std::string &path);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** true if the key is present. */
+    bool has(const std::string &key) const;
+
+    /** String lookup. fatal() if absent. */
+    std::string getString(const std::string &key) const;
+    /** String lookup with default. */
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    /** Integer lookup (decimal or 0x hex). fatal() if absent/malformed. */
+    int64_t getInt(const std::string &key) const;
+    /** Integer lookup with default. */
+    int64_t getInt(const std::string &key, int64_t dflt) const;
+
+    /** Floating-point lookup. fatal() if absent/malformed. */
+    double getDouble(const std::string &key) const;
+    /** Floating-point lookup with default. */
+    double getDouble(const std::string &key, double dflt) const;
+
+    /** Boolean lookup: accepts 0/1/true/false/yes/no. */
+    bool getBool(const std::string &key, bool dflt) const;
+
+    /** Comma-separated list of integers, e.g. "3,17,99". */
+    std::vector<int64_t> getIntList(const std::string &key) const;
+
+    /** All keys, in insertion order. */
+    const std::vector<std::string> &keys() const { return order_; }
+
+    /** Serialize back to "key = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+};
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_CONFIG_HH

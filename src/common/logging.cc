@@ -1,0 +1,90 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace gpufi {
+
+namespace detail {
+
+bool verbose = true;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+} // namespace detail
+
+void
+setVerbose(bool on)
+{
+    detail::verbose = on;
+}
+
+bool
+isVerbose()
+{
+    return detail::verbose;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!detail::verbose)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", s.c_str());
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = detail::vformat(fmt, ap);
+    va_end(ap);
+    throw FatalError(s);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = detail::vformat(fmt, ap);
+    va_end(ap);
+    throw PanicError(s);
+}
+
+} // namespace gpufi

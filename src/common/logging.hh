@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * fatal() terminates because of a user error (bad configuration,
+ * malformed kernel assembly, impossible parameters); panic() terminates
+ * because of an internal framework bug that should never happen
+ * regardless of input. inform()/warn() print status without stopping.
+ */
+
+#ifndef GPUFI_COMMON_LOGGING_HH
+#define GPUFI_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpufi {
+
+/** Exception raised by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Exception raised by panic(): an internal framework bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Global verbosity switch for inform(); warn() always prints. */
+extern bool verbose;
+
+} // namespace detail
+
+/** Enable or disable inform() output (warnings still print). */
+void setVerbose(bool on);
+
+/** Whether inform() output is currently enabled. */
+bool isVerbose();
+
+/** Print an informational status message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable *user* error (bad config, bad input) by
+ * throwing FatalError. Callers at the CLI boundary catch it and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a framework bug) by throwing
+ * PanicError.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define gpufi_assert(cond, ...)                                         \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::gpufi::panic("assertion '%s' failed at %s:%d",            \
+                           #cond, __FILE__, __LINE__);                  \
+    } while (0)
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_LOGGING_HH

@@ -1,0 +1,114 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(uint64_t seed_value)
+{
+    uint64_t x = seed_value;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    gpufi_assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::range(uint64_t lo, uint64_t hi)
+{
+    gpufi_assert(lo <= hi);
+    if (lo == 0 && hi == ~0ULL)
+        return (*this)();
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::uniformf(float lo, float hi)
+{
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::vector<uint64_t>
+Rng::distinct(uint64_t bound, size_t k)
+{
+    gpufi_assert(k <= bound);
+    std::vector<uint64_t> out;
+    out.reserve(k);
+    // Floyd's algorithm: k iterations, no O(bound) storage.
+    for (uint64_t j = bound - k; j < bound; ++j) {
+        uint64_t t = below(j + 1);
+        if (std::find(out.begin(), out.end(), t) != out.end())
+            out.push_back(j);
+        else
+            out.push_back(t);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace gpufi

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for fault-mask
+ * generation and workload input synthesis.
+ *
+ * We use xoshiro256** rather than std::mt19937 so that the sequence is
+ * stable across standard-library implementations: a fault-injection
+ * campaign seeded with S must generate the identical fault list on
+ * every platform, or experiments are not reproducible.
+ */
+
+#ifndef GPUFI_COMMON_RNG_HH
+#define GPUFI_COMMON_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpufi {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also
+ * be passed to standard algorithms.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    uint64_t operator()();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi]; requires lo <= hi. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform float in [lo, hi). */
+    float uniformf(float lo, float hi);
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * k distinct values drawn uniformly from [0, bound), ascending.
+     * @pre k <= bound.
+     */
+    std::vector<uint64_t> distinct(uint64_t bound, size_t k);
+
+    /** Re-seed in place (same expansion as the constructor). */
+    void seed(uint64_t seed);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_RNG_HH

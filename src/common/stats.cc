@@ -1,0 +1,40 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace stat_fi {
+
+double
+sampleSize(double N, double z, double e, double p)
+{
+    gpufi_assert(N > 0 && z > 0 && e > 0 && p > 0 && p < 1);
+    // n = N / (1 + e^2 * (N - 1) / (z^2 * p * (1 - p)))
+    double denom = 1.0 + e * e * (N - 1.0) / (z * z * p * (1.0 - p));
+    return N / denom;
+}
+
+double
+errorMargin(double N, double n, double z, double p)
+{
+    gpufi_assert(N > 1 && n > 0 && z > 0 && p > 0 && p < 1);
+    // Invert sampleSize for e.
+    double inner = (N / n - 1.0) * z * z * p * (1.0 - p) / (N - 1.0);
+    return inner <= 0 ? 0.0 : std::sqrt(inner);
+}
+
+double
+zValue(double confidence)
+{
+    if (confidence == 0.90)
+        return 1.645;
+    if (confidence == 0.95)
+        return 1.960;
+    if (confidence == 0.99)
+        return 2.576;
+    fatal("unsupported confidence level %g (use 0.90, 0.95 or 0.99)",
+          confidence);
+}
+
+} // namespace stat_fi
+} // namespace gpufi

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Small statistics accumulators used by the simulator (cycle/occupancy
+ * bookkeeping) and the campaign aggregator.
+ */
+
+#ifndef GPUFI_COMMON_STATS_HH
+#define GPUFI_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace gpufi {
+
+/**
+ * Streaming mean / variance / min / max accumulator (Welford's
+ * algorithm, numerically stable).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double d = x - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (x - mean_);
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const RunningStat &o)
+    {
+        if (o.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = o;
+            return;
+        }
+        double total = static_cast<double>(n_ + o.n_);
+        double d = o.mean_ - mean_;
+        double new_mean =
+            mean_ + d * static_cast<double>(o.n_) / total;
+        m2_ += o.m2_ + d * d * static_cast<double>(n_) *
+                           static_cast<double>(o.n_) / total;
+        mean_ = new_mean;
+        n_ += o.n_;
+        if (o.min_ < min_) min_ = o.min_;
+        if (o.max_ > max_) max_ = o.max_;
+    }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Statistical fault-injection sample-size math following Leveugle et
+ * al., DATE 2009 — the formula the paper cites for its choice of 3,000
+ * injections per campaign (99% confidence, <2% error margin).
+ */
+namespace stat_fi {
+
+/**
+ * Required number of injections for population @p N, confidence z
+ * value @p z (2.576 for 99%), margin @p e, and assumed failure
+ * probability @p p (worst case 0.5).
+ */
+double sampleSize(double N, double z, double e, double p = 0.5);
+
+/**
+ * Error margin achieved by @p n injections drawn from population
+ * @p N at confidence z value @p z.
+ */
+double errorMargin(double N, double n, double z, double p = 0.5);
+
+/** z value for a two-sided confidence level in {0.90, 0.95, 0.99}. */
+double zValue(double confidence);
+
+} // namespace stat_fi
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_STATS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool used by the campaign controller to
+ * run independent fault-injection simulations in parallel. Each
+ * injected run is a fully isolated GPU simulation, so runs parallelize
+ * with no shared mutable state.
+ */
+
+#ifndef GPUFI_COMMON_THREAD_POOL_HH
+#define GPUFI_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpufi {
+
+/**
+ * Fixed-size worker pool. submit() enqueues a job; wait() blocks until
+ * the queue drains and all workers are idle. The pool joins its
+ * threads on destruction.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers number of worker threads; 0 selects
+     *        hardware_concurrency (at least 1).
+     */
+    explicit ThreadPool(size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job for execution. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    size_t size() const { return threads_.size(); }
+
+    /**
+     * Convenience: run fn(i) for i in [0, count) across the pool and
+     * wait for completion.
+     */
+    void parallelFor(size_t count, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cvJob_;
+    std::condition_variable cvDone_;
+    size_t active_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_THREAD_POOL_HH

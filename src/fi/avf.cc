@@ -1,0 +1,174 @@
+#include "fi/avf.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace fi {
+
+uint64_t
+StructureSizes::total() const
+{
+    uint64_t t = 0;
+    for (const auto &[target, b] : bits)
+        t += b;
+    return t;
+}
+
+uint64_t
+StructureSizes::of(FaultTarget t) const
+{
+    auto it = bits.find(t);
+    return it == bits.end() ? 0 : it->second;
+}
+
+StructureSizes
+structureSizes(const sim::GpuConfig &cfg, uint64_t localBitsDynamic,
+               bool includeConstCache)
+{
+    StructureSizes s;
+    s.bits[FaultTarget::RegisterFile] = cfg.regFileBits();
+    s.bits[FaultTarget::SharedMemory] = cfg.sharedBits();
+    if (cfg.l1dEnabled)
+        s.bits[FaultTarget::L1Data] = cfg.l1dBits();
+    s.bits[FaultTarget::L1Texture] = cfg.l1tBits();
+    s.bits[FaultTarget::L2] = cfg.l2Bits();
+    if (localBitsDynamic > 0)
+        s.bits[FaultTarget::LocalMemory] = localBitsDynamic;
+    if (includeConstCache)
+        s.bits[FaultTarget::L1Constant] = cfg.l1cBits();
+    return s;
+}
+
+double
+dfReg(const sim::GpuConfig &cfg, const KernelProfile &prof)
+{
+    double df = static_cast<double>(prof.regsPerThread) *
+                prof.threadsMean / static_cast<double>(cfg.regsPerSm);
+    return std::min(df, 1.0);
+}
+
+double
+dfSmem(const sim::GpuConfig &cfg, const KernelProfile &prof)
+{
+    if (prof.smemPerCta == 0)
+        return 0.0;
+    double df = static_cast<double>(prof.smemPerCta) * prof.ctasMean /
+                static_cast<double>(cfg.smemPerSm);
+    return std::min(df, 1.0);
+}
+
+double
+derateFor(FaultTarget t, const sim::GpuConfig &cfg,
+          const KernelProfile &prof)
+{
+    switch (t) {
+      case FaultTarget::RegisterFile:
+        return dfReg(cfg, prof);
+      case FaultTarget::SharedMemory:
+        return dfSmem(cfg, prof);
+      default:
+        return 1.0;
+    }
+}
+
+namespace {
+
+uint64_t
+localBits(const KernelProfile &prof)
+{
+    return static_cast<uint64_t>(prof.localPerThread) *
+           prof.maxTotalThreads * 8;
+}
+
+} // namespace
+
+double
+kernelAvf(const sim::GpuConfig &cfg, const KernelCampaignSet &set)
+{
+    OutcomeAvf byOutcome = kernelAvfByOutcome(cfg, set);
+    return byOutcome[static_cast<size_t>(Outcome::SDC)] +
+           byOutcome[static_cast<size_t>(Outcome::Crash)] +
+           byOutcome[static_cast<size_t>(Outcome::Timeout)];
+}
+
+OutcomeAvf
+kernelAvfByOutcome(const sim::GpuConfig &cfg,
+                   const KernelCampaignSet &set)
+{
+    // Count the constant cache in the denominator only when the
+    // campaign actually targeted it (the beyond-paper extension).
+    bool withL1c = set.byStructure.count(FaultTarget::L1Constant) > 0;
+    StructureSizes sizes =
+        structureSizes(cfg, localBits(set.profile), withL1c);
+    const double total = static_cast<double>(sizes.total());
+    gpufi_assert(total > 0);
+
+    OutcomeAvf out{};
+    for (const auto &[target, result] : set.byStructure) {
+        double weight =
+            static_cast<double>(sizes.of(target)) / total;
+        double derate = derateFor(target, cfg, set.profile);
+        for (size_t o = 0;
+             o < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++o) {
+            out[o] += result.ratio(static_cast<Outcome>(o)) * derate *
+                      weight;
+        }
+    }
+    return out;
+}
+
+AvfReport
+computeReport(const sim::GpuConfig &cfg,
+              const std::vector<KernelCampaignSet> &kernels)
+{
+    AvfReport report;
+    uint64_t totalCycles = 0;
+    for (const auto &set : kernels)
+        totalCycles += set.profile.cycles;
+    gpufi_assert(totalCycles > 0);
+
+    uint64_t maxLocalBits = 0;
+    bool withL1c = false;
+    std::map<FaultTarget, double> structAvfWeighted;
+
+    for (const auto &set : kernels) {
+        withL1c |= set.byStructure.count(FaultTarget::L1Constant) > 0;
+        double w = static_cast<double>(set.profile.cycles) /
+                   static_cast<double>(totalCycles);
+        // Chip wAVF and its per-class decomposition (eq. 3).
+        OutcomeAvf byOutcome = kernelAvfByOutcome(cfg, set);
+        for (size_t o = 0;
+             o < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++o)
+            report.wavfByOutcome[o] += byOutcome[o] * w;
+
+        // Per-structure AVF, cycle-weighted across kernels.
+        for (const auto &[target, result] : set.byStructure) {
+            double derate = derateFor(target, cfg, set.profile);
+            structAvfWeighted[target] +=
+                result.failureRatio() * derate * w;
+        }
+        maxLocalBits = std::max(maxLocalBits, localBits(set.profile));
+    }
+
+    report.wavf =
+        report.wavfByOutcome[static_cast<size_t>(Outcome::SDC)] +
+        report.wavfByOutcome[static_cast<size_t>(Outcome::Crash)] +
+        report.wavfByOutcome[static_cast<size_t>(Outcome::Timeout)];
+
+    report.structAvf = structAvfWeighted;
+
+    StructureSizes sizes =
+        structureSizes(cfg, maxLocalBits, withL1c);
+    for (const auto &[target, avf] : report.structAvf) {
+        double fit = avf * cfg.rawFitPerBit *
+                     static_cast<double>(sizes.of(target));
+        report.structFit[target] = fit;
+        report.totalFit += fit;
+    }
+    return report;
+}
+
+} // namespace fi
+} // namespace gpufi

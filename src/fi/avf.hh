@@ -1,0 +1,104 @@
+/**
+ * @file
+ * AVF and FIT mathematics (paper §V.A and §VI.F).
+ *
+ * FR_structure = failures / injections                       (eq. 1)
+ * AVF_kernel   = Σ_i FR_i · Size_i / Σ_i Size_i              (eq. 2)
+ *                with FR_regfile · df_reg and FR_smem · df_smem
+ * wAVF         = Σ_k AVF_k · Cycles_k / Σ_k Cycles_k         (eq. 3)
+ * FIT_struct   = AVF_struct · rawFIT_bit · #Bits_struct
+ *
+ * The derating factors account for GPGPU-Sim modeling a register
+ * file per thread and a shared memory per CTA rather than the
+ * physical per-SM structures:
+ *   df_reg  = REGS_PER_THREAD · THREADS_MEAN / REGFILE_SIZE_SM
+ *   df_smem = CTA_SMEM_SIZE · CTAS_MEAN / SMEM_SIZE_SM
+ */
+
+#ifndef GPUFI_FI_AVF_HH
+#define GPUFI_FI_AVF_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fi/campaign.hh"
+#include "fi/fault.hh"
+#include "sim/gpu_config.hh"
+
+namespace gpufi {
+namespace fi {
+
+/** Chip-wide bit counts of the injectable structures. */
+struct StructureSizes
+{
+    /** bits per target; LocalMemory sized dynamically per workload. */
+    std::map<FaultTarget, uint64_t> bits;
+
+    uint64_t total() const;
+    uint64_t of(FaultTarget t) const;
+};
+
+/**
+ * Structure sizes for a GPU config. Local memory is off-chip and
+ * dynamically sized: pass the per-thread local bytes times the
+ * thread count of the kernel (0 when the kernel uses none).
+ * @param includeConstCache also count the L1 constant cache — the
+ *        extension target beyond the paper's set (keep false when
+ *        reproducing the paper's numbers).
+ */
+StructureSizes structureSizes(const sim::GpuConfig &cfg,
+                              uint64_t localBitsDynamic,
+                              bool includeConstCache = false);
+
+/** Derating factor of the register file for one kernel profile. */
+double dfReg(const sim::GpuConfig &cfg, const KernelProfile &prof);
+
+/** Derating factor of the shared memory for one kernel profile. */
+double dfSmem(const sim::GpuConfig &cfg, const KernelProfile &prof);
+
+/** Derate for regfile/smem, 1.0 otherwise. */
+double derateFor(FaultTarget t, const sim::GpuConfig &cfg,
+                 const KernelProfile &prof);
+
+/** Campaign results of every structure for one static kernel. */
+struct KernelCampaignSet
+{
+    KernelProfile profile;
+    std::map<FaultTarget, CampaignResult> byStructure;
+};
+
+/** Per-outcome AVF decomposition (for Fig. 1/5-style breakdowns). */
+using OutcomeAvf =
+    std::array<double, static_cast<size_t>(Outcome::NUM_OUTCOMES)>;
+
+/**
+ * AVF of one kernel (eq. 2), with derating applied to the register
+ * file and shared memory.
+ */
+double kernelAvf(const sim::GpuConfig &cfg, const KernelCampaignSet &set);
+
+/** Eq. 2 split by fault-effect class (sums to kernelAvf over SDC,
+ *  Crash and Timeout; Masked/Performance are not failures). */
+OutcomeAvf kernelAvfByOutcome(const sim::GpuConfig &cfg,
+                              const KernelCampaignSet &set);
+
+/** Whole-application report: wAVF, per-structure AVF, FIT rates. */
+struct AvfReport
+{
+    double wavf = 0.0;                      ///< eq. 3
+    OutcomeAvf wavfByOutcome{};             ///< eq. 3 split by class
+    std::map<FaultTarget, double> structAvf; ///< cycle-weighted per target
+    std::map<FaultTarget, double> structFit; ///< FIT per structure
+    double totalFit = 0.0;                  ///< chip FIT (Fig. 7)
+};
+
+/** Compute the application-level report over all kernels. */
+AvfReport computeReport(const sim::GpuConfig &cfg,
+                        const std::vector<KernelCampaignSet> &kernels);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_AVF_HH

@@ -1,0 +1,311 @@
+#include "fi/campaign.hh"
+
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "fi/injector.hh"
+#include "mem/addr.hh"
+
+namespace gpufi {
+namespace fi {
+
+namespace {
+
+const char *const outcomeNames[] = {
+    "Masked", "Performance", "SDC", "Crash", "Timeout",
+};
+
+static_assert(sizeof(outcomeNames) / sizeof(outcomeNames[0]) ==
+                  static_cast<size_t>(Outcome::NUM_OUTCOMES),
+              "outcomeNames must cover every Outcome");
+
+} // namespace
+
+const char *
+outcomeName(Outcome o)
+{
+    auto idx = static_cast<size_t>(o);
+    gpufi_assert(idx < static_cast<size_t>(Outcome::NUM_OUTCOMES));
+    return outcomeNames[idx];
+}
+
+Outcome
+outcomeFromName(const std::string &name)
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++i)
+        if (name == outcomeNames[i])
+            return static_cast<Outcome>(i);
+    fatal("unknown outcome '%s'", name.c_str());
+}
+
+const KernelProfile &
+GoldenRun::profile(const std::string &name) const
+{
+    for (const auto &k : kernels)
+        if (k.name == name)
+            return k;
+    fatal("no profile for kernel '%s' in the golden run", name.c_str());
+}
+
+uint32_t
+CampaignResult::runs() const
+{
+    uint32_t n = 0;
+    for (uint32_t c : counts)
+        n += c;
+    return n;
+}
+
+uint32_t
+CampaignResult::count(Outcome o) const
+{
+    return counts[static_cast<size_t>(o)];
+}
+
+void
+CampaignResult::add(Outcome o)
+{
+    ++counts[static_cast<size_t>(o)];
+}
+
+double
+CampaignResult::ratio(Outcome o) const
+{
+    uint32_t n = runs();
+    return n == 0 ? 0.0
+                  : static_cast<double>(count(o)) / n;
+}
+
+double
+CampaignResult::failureRatio() const
+{
+    uint32_t n = runs();
+    if (n == 0)
+        return 0.0;
+    uint32_t failures =
+        count(Outcome::SDC) + count(Outcome::Crash) +
+        count(Outcome::Timeout);
+    return static_cast<double>(failures) / n;
+}
+
+uint32_t
+CampaignResult::maskedTotal() const
+{
+    return count(Outcome::Masked) + count(Outcome::Performance);
+}
+
+double
+CampaignResult::performanceShareOfMasked() const
+{
+    uint32_t m = maskedTotal();
+    return m == 0 ? 0.0
+                  : static_cast<double>(count(Outcome::Performance)) / m;
+}
+
+void
+CampaignResult::merge(const CampaignResult &o)
+{
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += o.counts[i];
+}
+
+GoldenRun
+summarizeGolden(std::vector<sim::LaunchStats> launches,
+                std::vector<uint8_t> output)
+{
+    GoldenRun g;
+    g.output = std::move(output);
+    g.launches = std::move(launches);
+    if (!g.launches.empty())
+        g.totalCycles = g.launches.back().endCycle;
+
+    // Aggregate dynamic invocations per static kernel; means are
+    // weighted by invocation cycles, as the paper describes for the
+    // application-level occupancy computation.
+    for (const auto &ls : g.launches) {
+        KernelProfile *prof = nullptr;
+        for (auto &k : g.kernels)
+            if (k.name == ls.kernelName)
+                prof = &k;
+        if (!prof) {
+            g.kernels.emplace_back();
+            prof = &g.kernels.back();
+            prof->name = ls.kernelName;
+            prof->regsPerThread = ls.regsPerThread;
+            prof->smemPerCta = ls.smemPerCta;
+            prof->localPerThread = ls.localPerThread;
+        }
+        uint64_t c = ls.cycles();
+        prof->windows.emplace_back(ls.startCycle, ls.endCycle);
+        prof->occupancy += ls.occupancy * static_cast<double>(c);
+        prof->threadsMean +=
+            ls.threadsMeanPerSm * static_cast<double>(c);
+        prof->ctasMean += ls.ctasMeanPerSm * static_cast<double>(c);
+        prof->cycles += c;
+        if (ls.totalThreads > prof->maxTotalThreads)
+            prof->maxTotalThreads = ls.totalThreads;
+    }
+    double occSum = 0.0;
+    uint64_t cycleSum = 0;
+    for (auto &k : g.kernels) {
+        if (k.cycles > 0) {
+            double c = static_cast<double>(k.cycles);
+            k.occupancy /= c;
+            k.threadsMean /= c;
+            k.ctasMean /= c;
+        }
+        occSum += k.occupancy * static_cast<double>(k.cycles);
+        cycleSum += k.cycles;
+    }
+    g.appOccupancy = cycleSum ? occSum / static_cast<double>(cycleSum)
+                              : 0.0;
+    return g;
+}
+
+CampaignRunner::CampaignRunner(sim::GpuConfig gpu, WorkloadFactory factory,
+                               size_t threads)
+    : gpu_(std::move(gpu)), factory_(std::move(factory)),
+      threads_(threads)
+{
+    gpu_.validate();
+}
+
+const GoldenRun &
+CampaignRunner::golden()
+{
+    if (haveGolden_)
+        return golden_;
+    auto wl = factory_();
+    mem::DeviceMemory dmem(wl->memBytes());
+    wl->setup(dmem);
+    sim::Gpu gpu(gpu_, dmem);
+    std::vector<sim::LaunchStats> launches = wl->run(gpu);
+    golden_ = summarizeGolden(std::move(launches),
+                              wl->readOutput(dmem));
+    haveGolden_ = true;
+    return golden_;
+}
+
+FaultPlan
+CampaignRunner::makePlan(const CampaignSpec &spec,
+                         const KernelProfile &prof, uint32_t runIdx)
+{
+    // One independent RNG per run keyed by (campaign seed, run index)
+    // so campaigns replay identically at any thread count.
+    Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + runIdx);
+    FaultPlan plan;
+    plan.target = spec.target;
+    plan.scope = spec.scope;
+    plan.mode = spec.mode;
+    plan.nBits = spec.nBits;
+    plan.seed = rng();
+
+    // Pick a uniformly random cycle within the union of the target
+    // kernel's invocation windows (the paper's cycle-file mechanism).
+    uint64_t offset = rng.below(prof.cycles);
+    for (const auto &[start, end] : prof.windows) {
+        uint64_t len = end - start;
+        if (offset < len) {
+            plan.cycle = start + offset;
+            return plan;
+        }
+        offset -= len;
+    }
+    panic("cycle offset beyond kernel windows");
+}
+
+Outcome
+CampaignRunner::executeOne(const FaultPlan &plan,
+                           const std::vector<FaultTarget> &also,
+                           InjectionRecord *rec, uint64_t *cyclesOut)
+{
+    auto wl = factory_();
+    mem::DeviceMemory dmem(wl->memBytes());
+    wl->setup(dmem);
+    sim::Gpu gpu(gpu_, dmem);
+    // The paper's Timeout bound: twice the fault-free execution time.
+    gpu.setCycleLimit(2 * golden_.totalCycles);
+    gpu.scheduleInjection(plan.cycle, [plan, rec](sim::Gpu &g) {
+        applyFault(g, plan, rec);
+    });
+    // Simultaneous faults in further structures (Table IV iii/iv):
+    // same cycle, independent entity/bit draws.
+    for (size_t i = 0; i < also.size(); ++i) {
+        FaultPlan extra = plan;
+        extra.target = also[i];
+        extra.seed = plan.seed ^ (0x517cc1b727220a95ULL * (i + 1));
+        gpu.scheduleInjection(extra.cycle, [extra](sim::Gpu &g) {
+            applyFault(g, extra, nullptr);
+        });
+    }
+
+    Outcome outcome;
+    try {
+        wl->run(gpu);
+        std::vector<uint8_t> out = wl->readOutput(dmem);
+        if (out != golden_.output)
+            outcome = Outcome::SDC;
+        else if (gpu.cycle() != golden_.totalCycles)
+            outcome = Outcome::Performance;
+        else
+            outcome = Outcome::Masked;
+    } catch (const mem::DeviceFault &) {
+        outcome = Outcome::Crash;
+    } catch (const sim::TimeoutError &) {
+        outcome = Outcome::Timeout;
+    }
+    if (cyclesOut)
+        *cyclesOut = gpu.cycle();
+    return outcome;
+}
+
+CampaignResult
+CampaignRunner::run(const CampaignSpec &spec,
+                    std::vector<RunRecord> *records)
+{
+    if (spec.runs == 0)
+        fatal("campaign with zero runs");
+    auto checkTarget = [&](FaultTarget t) {
+        if (t == FaultTarget::L1Data && !gpu_.l1dEnabled)
+            fatal("campaign targets the L1 data cache but '%s' has"
+                  " none", gpu_.name.c_str());
+    };
+    checkTarget(spec.target);
+    for (FaultTarget t : spec.alsoTargets)
+        checkTarget(t);
+
+    const GoldenRun &g = golden();
+    const KernelProfile &prof = g.profile(spec.kernelName);
+
+    CampaignResult result;
+    std::vector<RunRecord> local(spec.runs);
+    std::mutex mtx;
+
+    auto doRun = [&](size_t i) {
+        RunRecord &r = local[i];
+        r.runIdx = static_cast<uint32_t>(i);
+        r.plan = makePlan(spec, prof, r.runIdx);
+        r.outcome = executeOne(r.plan, spec.alsoTargets,
+                               &r.injection, &r.cycles);
+        std::lock_guard<std::mutex> lock(mtx);
+        result.add(r.outcome);
+    };
+
+    if (threads_ == 1) {
+        for (size_t i = 0; i < spec.runs; ++i)
+            doRun(i);
+    } else {
+        ThreadPool pool(threads_);
+        pool.parallelFor(spec.runs, doRun);
+    }
+
+    if (records && spec.keepRecords)
+        *records = std::move(local);
+    return result;
+}
+
+} // namespace fi
+} // namespace gpufi

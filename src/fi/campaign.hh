@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The injection-campaign controller (the paper's front-end loop,
+ * §V.B): run the fault-free golden execution once, then run N
+ * independent fault-injected executions of the application and
+ * classify each outcome as Masked, SDC, Crash, Timeout or
+ * Performance.
+ */
+
+#ifndef GPUFI_FI_CAMPAIGN_HH
+#define GPUFI_FI_CAMPAIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fi/fault.hh"
+#include "fi/workload.hh"
+#include "sim/gpu_config.hh"
+#include "sim/launch.hh"
+
+namespace gpufi {
+namespace fi {
+
+/** Fault-effect classes (paper §V.B). */
+enum class Outcome : uint8_t
+{
+    Masked,         ///< identical output, identical cycles
+    Performance,    ///< identical output, different cycle count
+    SDC,            ///< wrong output, no error indication
+    Crash,          ///< device exception, unrecoverable
+    Timeout,        ///< exceeded 2x the fault-free execution time
+    NUM_OUTCOMES
+};
+
+/** Stable name, e.g. "SDC". */
+const char *outcomeName(Outcome o);
+
+/** Inverse of outcomeName(); fatal() on unknown names. */
+Outcome outcomeFromName(const std::string &name);
+
+/**
+ * Execution profile of one *static* kernel, aggregated over all of
+ * its dynamic invocations (the paper injects per static kernel,
+ * considering every invocation together).
+ */
+struct KernelProfile
+{
+    std::string name;
+    uint64_t cycles = 0;    ///< total cycles over all invocations
+    /** [start, end) global-cycle windows, one per invocation. */
+    std::vector<std::pair<uint64_t, uint64_t>> windows;
+    double occupancy = 0.0;     ///< cycle-weighted mean warp occupancy
+    double threadsMean = 0.0;   ///< cycle-weighted mean threads per SM
+    double ctasMean = 0.0;      ///< cycle-weighted mean CTAs per SM
+    uint32_t regsPerThread = 0;
+    uint32_t smemPerCta = 0;
+    uint32_t localPerThread = 0;
+    uint64_t maxTotalThreads = 0; ///< largest grid among invocations
+};
+
+/** The fault-free reference execution. */
+struct GoldenRun
+{
+    uint64_t totalCycles = 0;
+    std::vector<sim::LaunchStats> launches;
+    std::vector<uint8_t> output;
+    std::vector<KernelProfile> kernels;     ///< one per static kernel
+    double appOccupancy = 0.0; ///< cycle-weighted over static kernels
+
+    /** Profile by kernel name; fatal() if absent. */
+    const KernelProfile &profile(const std::string &name) const;
+};
+
+/** One run's record, for the log and the parser. */
+struct RunRecord
+{
+    uint32_t runIdx = 0;
+    FaultPlan plan;
+    InjectionRecord injection;
+    Outcome outcome = Outcome::Masked;
+    uint64_t cycles = 0;    ///< total cycles of the faulty run
+};
+
+/** Aggregated campaign outcome counts. */
+struct CampaignResult
+{
+    std::array<uint32_t,
+               static_cast<size_t>(Outcome::NUM_OUTCOMES)> counts{};
+
+    uint32_t runs() const;
+    uint32_t count(Outcome o) const;
+    void add(Outcome o);
+    /** Fraction of runs with the given outcome. */
+    double ratio(Outcome o) const;
+    /** (SDC + Crash + Timeout) / runs — the paper's FR_structure. */
+    double failureRatio() const;
+    /** Masked + Performance (functionally correct runs). */
+    uint32_t maskedTotal() const;
+    /** Performance runs as a fraction of all masked runs (Fig. 4). */
+    double performanceShareOfMasked() const;
+
+    void merge(const CampaignResult &o);
+};
+
+/** Specification of one injection campaign. */
+struct CampaignSpec
+{
+    std::string kernelName;     ///< static kernel to target
+    FaultTarget target = FaultTarget::RegisterFile;
+    FaultScope scope = FaultScope::Thread;
+    MultiBitMode mode = MultiBitMode::SameEntry;
+    uint32_t nBits = 1;
+    uint32_t runs = 3000;       ///< paper default (99% conf, <2% margin)
+    uint64_t seed = 1;
+    bool keepRecords = false;   ///< retain per-run RunRecords
+
+    /**
+     * Additional structures struck *simultaneously* with `target`
+     * in every run, at the same cycle with independent entity/bit
+     * draws (paper Table IV: "different hardware structures
+     * simultaneously").
+     */
+    std::vector<FaultTarget> alsoTargets;
+};
+
+/**
+ * Runs injection campaigns for one (GPU config, workload) pair. The
+ * golden execution is performed once and shared by all campaigns.
+ */
+class CampaignRunner
+{
+  public:
+    /**
+     * @param threads worker threads for injected runs; 0 selects
+     *        hardware concurrency, 1 forces serial execution.
+     */
+    CampaignRunner(sim::GpuConfig gpu, WorkloadFactory factory,
+                   size_t threads = 0);
+
+    /** The golden run (executed on first use). */
+    const GoldenRun &golden();
+
+    /**
+     * Execute one campaign. fatal() if the spec names an unknown
+     * kernel or targets the L1D on an architecture without one.
+     * @param records when non-null and spec.keepRecords, receives one
+     *        RunRecord per injected run.
+     */
+    CampaignResult run(const CampaignSpec &spec,
+                       std::vector<RunRecord> *records = nullptr);
+
+    const sim::GpuConfig &gpuConfig() const { return gpu_; }
+
+  private:
+    Outcome executeOne(const FaultPlan &plan,
+                       const std::vector<FaultTarget> &also,
+                       InjectionRecord *rec, uint64_t *cyclesOut);
+    FaultPlan makePlan(const CampaignSpec &spec,
+                       const KernelProfile &prof, uint32_t runIdx);
+
+    sim::GpuConfig gpu_;
+    WorkloadFactory factory_;
+    size_t threads_;
+    bool haveGolden_ = false;
+    GoldenRun golden_;
+};
+
+/** Build a GoldenRun (profiles included) from finished launches. */
+GoldenRun summarizeGolden(std::vector<sim::LaunchStats> launches,
+                          std::vector<uint8_t> output);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_CAMPAIGN_HH

@@ -1,0 +1,46 @@
+#include "fi/fault.hh"
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace fi {
+
+namespace {
+
+const char *const names[] = {
+    "register_file", "local_memory", "shared_memory",
+    "l1_data", "l1_texture", "l2", "l1_constant",
+};
+
+static_assert(sizeof(names) / sizeof(names[0]) ==
+                  static_cast<size_t>(FaultTarget::NUM_TARGETS),
+              "names must cover every FaultTarget");
+
+} // namespace
+
+const char *
+targetName(FaultTarget t)
+{
+    auto idx = static_cast<size_t>(t);
+    gpufi_assert(idx < static_cast<size_t>(FaultTarget::NUM_TARGETS));
+    return names[idx];
+}
+
+FaultTarget
+targetFromName(const std::string &name)
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(FaultTarget::NUM_TARGETS); ++i)
+        if (name == names[i])
+            return static_cast<FaultTarget>(i);
+    fatal("unknown fault target '%s'", name.c_str());
+}
+
+const char *
+scopeName(FaultScope s)
+{
+    return s == FaultScope::Thread ? "thread" : "warp";
+}
+
+} // namespace fi
+} // namespace gpufi

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fault model: which hardware structure, when, how many bits, and at
+ * what granularity a transient fault strikes.
+ *
+ * A FaultPlan is compact and reproducible: entity selection (which
+ * active thread / warp / CTA / core / line) happens at injection time
+ * from the plan's seed, matching the paper's approach of choosing a
+ * random *active* element at the chosen cycle.
+ */
+
+#ifndef GPUFI_FI_FAULT_HH
+#define GPUFI_FI_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpufi {
+namespace fi {
+
+/**
+ * Injectable hardware structures (paper Table IV). L1Constant is an
+ * extension beyond the paper, which defers constant-cache injection
+ * to future work (§IV.C); kernel parameters are fetched through it.
+ */
+enum class FaultTarget : uint8_t
+{
+    RegisterFile,
+    LocalMemory,
+    SharedMemory,
+    L1Data,
+    L1Texture,
+    L2,
+    L1Constant,     ///< extension target (not in the paper's set)
+    NUM_TARGETS
+};
+
+/**
+ * How a multi-bit fault spreads (paper Table IV supports both
+ * "different bits of the same entry" and "different entries").
+ */
+enum class MultiBitMode : uint8_t
+{
+    SameEntry,      ///< all bits within one entry (register/line)
+    SpreadEntries   ///< one bit in each of nBits distinct entries
+};
+
+/** Granularity for register-file/local-memory faults (Table IV). */
+enum class FaultScope : uint8_t
+{
+    Thread, ///< one random active thread
+    Warp    ///< every thread of one random active warp, same bits
+};
+
+/** One planned transient fault. */
+struct FaultPlan
+{
+    FaultTarget target = FaultTarget::RegisterFile;
+    FaultScope scope = FaultScope::Thread;
+    MultiBitMode mode = MultiBitMode::SameEntry;
+    uint64_t cycle = 0;     ///< absolute application cycle to strike
+    uint32_t nBits = 1;     ///< bits flipped (placement per mode)
+    uint64_t seed = 0;      ///< drives entity/bit selection at strike
+};
+
+/** What an injection actually touched (for the run log). */
+struct InjectionRecord
+{
+    bool armed = false;     ///< false: no live target -> trivially masked
+    std::string detail;     ///< human-readable description
+};
+
+/** Stable lowercase name, e.g. "register_file". */
+const char *targetName(FaultTarget t);
+
+/** Inverse of targetName(); fatal() on unknown names. */
+FaultTarget targetFromName(const std::string &name);
+
+/** Scope name: "thread" or "warp". */
+const char *scopeName(FaultScope s);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_FAULT_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The injection engine: given a live GPU at the planned cycle, pick
+ * the victim entity and flip the planned number of bits.
+ *
+ * Implements §IV.B of the paper per structure:
+ *  - register file: random active thread (or warp), random allocated
+ *    register, random distinct bits within the register;
+ *  - local memory: like the register file, at thread granularity,
+ *    bits flipped in the thread's off-chip local segment;
+ *  - shared memory: random active CTA's shared-memory instance;
+ *  - L1 data / texture cache: random active SIMT core, random line,
+ *    random bit within tag+data; tag bits mutate the stored tag,
+ *    data bits install access hooks;
+ *  - L2: random line of the flat single-entity abstraction over the
+ *    banks, tag or data bit.
+ */
+
+#ifndef GPUFI_FI_INJECTOR_HH
+#define GPUFI_FI_INJECTOR_HH
+
+#include "fi/fault.hh"
+#include "sim/gpu.hh"
+
+namespace gpufi {
+namespace fi {
+
+/**
+ * Strike the GPU with the planned fault. Entity selection uses
+ * Rng(plan.seed) so a plan replays identically.
+ *
+ * @param record optional out-param describing what was hit
+ */
+void applyFault(sim::Gpu &gpu, const FaultPlan &plan,
+                InjectionRecord *record = nullptr);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_INJECTOR_HH

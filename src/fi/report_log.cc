@@ -1,0 +1,109 @@
+#include "fi/report_log.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace fi {
+
+std::string
+formatRunRecord(const RunRecord &r)
+{
+    std::ostringstream out;
+    out << "run=" << r.runIdx
+        << " target=" << targetName(r.plan.target)
+        << " scope=" << scopeName(r.plan.scope)
+        << " mode="
+        << (r.plan.mode == MultiBitMode::SameEntry ? "same"
+                                                   : "spread")
+        << " cycle=" << r.plan.cycle
+        << " bits=" << r.plan.nBits
+        << " seed=" << r.plan.seed
+        << " armed=" << (r.injection.armed ? 1 : 0)
+        << " cycles=" << r.cycles
+        << " outcome=" << outcomeName(r.outcome);
+    if (!r.injection.detail.empty()) {
+        std::string d = r.injection.detail;
+        for (auto &c : d)
+            if (c == ' ')
+                c = '_';
+        out << " detail=" << d;
+    }
+    return out.str();
+}
+
+std::string
+formatRunLog(const std::vector<RunRecord> &records)
+{
+    std::ostringstream out;
+    out << "# gpuFI-4 run log: one line per injected execution\n";
+    for (const auto &r : records)
+        out << formatRunRecord(r) << "\n";
+    return out.str();
+}
+
+RunRecord
+parseRunRecord(const std::string &line)
+{
+    RunRecord r;
+    std::istringstream in(line);
+    std::string field;
+    bool sawOutcome = false;
+    while (in >> field) {
+        size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            fatal("malformed run-log field '%s'", field.c_str());
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        if (key == "run")
+            r.runIdx = static_cast<uint32_t>(std::stoul(value));
+        else if (key == "target")
+            r.plan.target = targetFromName(value);
+        else if (key == "scope")
+            r.plan.scope = value == "warp" ? FaultScope::Warp
+                                           : FaultScope::Thread;
+        else if (key == "mode")
+            r.plan.mode = value == "spread"
+                              ? MultiBitMode::SpreadEntries
+                              : MultiBitMode::SameEntry;
+        else if (key == "cycle")
+            r.plan.cycle = std::stoull(value);
+        else if (key == "bits")
+            r.plan.nBits = static_cast<uint32_t>(std::stoul(value));
+        else if (key == "seed")
+            r.plan.seed = std::stoull(value);
+        else if (key == "armed")
+            r.injection.armed = value == "1";
+        else if (key == "cycles")
+            r.cycles = std::stoull(value);
+        else if (key == "outcome") {
+            r.outcome = outcomeFromName(value);
+            sawOutcome = true;
+        } else if (key == "detail") {
+            r.injection.detail = value;
+        } else {
+            fatal("unknown run-log key '%s'", key.c_str());
+        }
+    }
+    if (!sawOutcome)
+        fatal("run-log line missing outcome: '%s'", line.c_str());
+    return r;
+}
+
+CampaignResult
+parseRunLog(std::istream &in)
+{
+    CampaignResult result;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        result.add(parseRunRecord(line).outcome);
+    }
+    return result;
+}
+
+} // namespace fi
+} // namespace gpufi

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Run-log serialization and the results parser (the third gpuFI-4
+ * module in the paper, §III.A: "a parser of the logged information").
+ *
+ * Each injected run produces one line; the parser re-aggregates a
+ * CampaignResult from the log, so results can be post-processed
+ * offline exactly as the paper's bash front-end does.
+ */
+
+#ifndef GPUFI_FI_REPORT_LOG_HH
+#define GPUFI_FI_REPORT_LOG_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hh"
+
+namespace gpufi {
+namespace fi {
+
+/** One run as a single log line. */
+std::string formatRunRecord(const RunRecord &record);
+
+/** Serialize a whole campaign's records. */
+std::string formatRunLog(const std::vector<RunRecord> &records);
+
+/**
+ * Parse one log line back into a RunRecord (detail text is not
+ * recovered verbatim). fatal() on malformed input.
+ */
+RunRecord parseRunRecord(const std::string &line);
+
+/**
+ * Aggregate a run log into a CampaignResult, skipping blank lines
+ * and '#' comments.
+ */
+CampaignResult parseRunLog(std::istream &in);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_REPORT_LOG_HH

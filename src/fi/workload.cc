@@ -1,0 +1,18 @@
+#include "fi/workload.hh"
+
+namespace gpufi {
+namespace fi {
+
+std::vector<uint8_t>
+Workload::readOutput(const mem::DeviceMemory &mem) const
+{
+    std::vector<uint8_t> out;
+    for (const auto &[addr, size] : outputs_) {
+        const uint8_t *p = mem.data(addr, size);
+        out.insert(out.end(), p, p + size);
+    }
+    return out;
+}
+
+} // namespace fi
+} // namespace gpufi

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The workload abstraction the campaign controller drives.
+ *
+ * Mirrors the paper's CUDA-application preparation step (§III.B):
+ * each workload sets up its inputs deterministically, runs its kernel
+ * launches, and exposes the output region(s) that are compared
+ * against the fault-free ("golden") execution.
+ */
+
+#ifndef GPUFI_FI_WORKLOAD_HH
+#define GPUFI_FI_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/backing.hh"
+#include "sim/gpu.hh"
+#include "sim/launch.hh"
+
+namespace gpufi {
+namespace fi {
+
+/**
+ * One benchmark application. Campaign runs create a fresh instance
+ * per execution (instances are single-use: setup() then run() once),
+ * so parallel runs share nothing.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier, e.g. "vecadd". */
+    virtual std::string name() const = 0;
+
+    /** Device-memory capacity this workload needs. */
+    virtual uint64_t memBytes() const { return 8ull << 20; }
+
+    /**
+     * Allocate and initialize device inputs (deterministically), and
+     * declare the output region(s) via declareOutput().
+     */
+    virtual void setup(mem::DeviceMemory &mem) = 0;
+
+    /**
+     * Launch every kernel of the application in order, returning the
+     * per-launch statistics. Host-side logic between launches (e.g.
+     * convergence flags) reads device memory directly.
+     */
+    virtual std::vector<sim::LaunchStats> run(sim::Gpu &gpu) = 0;
+
+    /** Concatenated bytes of all declared output regions. */
+    std::vector<uint8_t> readOutput(const mem::DeviceMemory &mem) const;
+
+  protected:
+    /** Declare an output region (call from setup()). */
+    void
+    declareOutput(mem::Addr addr, uint64_t size)
+    {
+        outputs_.emplace_back(addr, size);
+    }
+
+  private:
+    std::vector<std::pair<mem::Addr, uint64_t>> outputs_;
+};
+
+/** Creates fresh single-use workload instances. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_WORKLOAD_HH

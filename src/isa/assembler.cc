@@ -1,0 +1,408 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa/cfg.hh"
+
+namespace gpufi {
+namespace isa {
+
+namespace {
+
+/** A branch operand waiting for label resolution. */
+struct Fixup
+{
+    size_t kernelIdx;
+    int pc;
+    std::string label;
+    uint32_t line;
+};
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** Split "a, b, c" into trimmed fields (no splitting inside []). */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+bool
+parseReg(const std::string &tok, uint32_t &reg)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return false;
+    for (size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    reg = static_cast<uint32_t>(std::strtoul(tok.c_str() + 1, nullptr, 10));
+    return true;
+}
+
+bool
+parseImmediate(const std::string &tok, uint32_t &bits)
+{
+    if (tok.empty())
+        return false;
+    // Float literal: trailing 'f', or a '.', or exponent in a
+    // non-hex literal.
+    bool isHex = tok.size() > 2 && tok[0] == '0' &&
+                 (tok[1] == 'x' || tok[1] == 'X');
+    bool looksFloat = false;
+    if (!isHex) {
+        if (tok.back() == 'f' || tok.back() == 'F')
+            looksFloat = true;
+        if (tok.find('.') != std::string::npos)
+            looksFloat = true;
+        if (tok.find('e') != std::string::npos ||
+            tok.find('E') != std::string::npos)
+            looksFloat = true;
+    }
+    if (looksFloat) {
+        std::string t = tok;
+        if (t.back() == 'f' || t.back() == 'F')
+            t.pop_back();
+        char *end = nullptr;
+        float f = std::strtof(t.c_str(), &end);
+        if (end == t.c_str() || *end != '\0')
+            return false;
+        bits = floatToBits(f);
+        return true;
+    }
+    char *end = nullptr;
+    long long v = std::strtoll(tok.c_str(), &end, 0);
+    if (end == tok.c_str() || *end != '\0')
+        return false;
+    if (v < -2147483648LL || v > 4294967295LL)
+        return false;
+    bits = static_cast<uint32_t>(v);
+    return true;
+}
+
+/** Parse one non-memory source operand. */
+bool
+parseOperand(const std::string &tok, Operand &op)
+{
+    uint32_t reg;
+    if (parseReg(tok, reg)) {
+        op = Operand::reg(reg);
+        return true;
+    }
+    if (!tok.empty() && tok[0] == '%') {
+        SpecialReg s = sregFromName(tok);
+        if (s == SpecialReg::NUM_SREGS)
+            return false;
+        op = Operand::sreg(s);
+        return true;
+    }
+    uint32_t bits;
+    if (parseImmediate(tok, bits)) {
+        op = Operand::imm(bits);
+        return true;
+    }
+    return false;
+}
+
+/** Parse "[rN]", "[rN+imm]" or "[rN-imm]". */
+bool
+parseMemOperand(const std::string &tok, int &base, int32_t &offset)
+{
+    if (tok.size() < 3 || tok.front() != '[' || tok.back() != ']')
+        return false;
+    std::string inner = trim(tok.substr(1, tok.size() - 2));
+    size_t split = inner.find_first_of("+-", 1);
+    std::string regTok =
+        split == std::string::npos ? inner : trim(inner.substr(0, split));
+    uint32_t reg;
+    if (!parseReg(regTok, reg))
+        return false;
+    base = static_cast<int>(reg);
+    offset = 0;
+    if (split != std::string::npos) {
+        std::string offTok = trim(inner.substr(split));
+        char *end = nullptr;
+        long long v = std::strtoll(offTok.c_str(), &end, 0);
+        if (end == offTok.c_str() || *end != '\0')
+            return false;
+        if (v < -2147483648LL || v > 2147483647LL)
+            return false;
+        offset = static_cast<int32_t>(v);
+    }
+    return true;
+}
+
+/** Assembler state for the kernel currently being built. */
+struct Builder
+{
+    std::vector<Fixup> fixups;
+    Program prog;
+    Kernel *cur = nullptr;
+
+    Kernel &
+    kernel(uint32_t line)
+    {
+        if (!cur)
+            fatal("line %u: instruction before any .kernel directive",
+                  line);
+        return *cur;
+    }
+};
+
+void
+parseInstruction(Builder &b, const std::string &mnemonic,
+                 const std::string &rest, uint32_t line)
+{
+    Opcode op = opcodeFromName(mnemonic);
+    if (op == Opcode::NUM_OPCODES)
+        fatal("line %u: unknown mnemonic '%s'", line, mnemonic.c_str());
+
+    Kernel &k = b.kernel(line);
+    Instruction inst;
+    inst.op = op;
+    inst.srcLine = line;
+    std::vector<std::string> ops = splitOperands(rest);
+
+    auto need = [&](size_t n) {
+        if (ops.size() != n)
+            fatal("line %u: '%s' expects %zu operand(s), got %zu",
+                  line, mnemonic.c_str(), n, ops.size());
+    };
+    auto srcAt = [&](size_t opIdx, int srcIdx) {
+        Operand o;
+        if (!parseOperand(ops[opIdx], o))
+            fatal("line %u: bad operand '%s'", line, ops[opIdx].c_str());
+        inst.src[srcIdx] = o;
+    };
+    auto dstAt = [&](size_t opIdx) {
+        uint32_t reg;
+        if (!parseReg(ops[opIdx], reg))
+            fatal("line %u: expected destination register, got '%s'",
+                  line, ops[opIdx].c_str());
+        inst.dst = static_cast<int>(reg);
+    };
+    auto memAt = [&](size_t opIdx) {
+        if (!parseMemOperand(ops[opIdx], inst.memBase, inst.memOffset))
+            fatal("line %u: expected memory operand '[rN(+off)]',"
+                  " got '%s'", line, ops[opIdx].c_str());
+    };
+    auto branchTo = [&](size_t opIdx) {
+        b.fixups.push_back({b.prog.kernels.size() - 1, k.size(),
+                            ops[opIdx], line});
+    };
+
+    if (isLoad(op)) {
+        need(2);
+        dstAt(0);
+        memAt(1);
+    } else if (isStore(op)) {
+        need(2);
+        srcAt(0, 0);
+        memAt(1);
+    } else if (op == Opcode::PARAM) {
+        need(2);
+        dstAt(0);
+        Operand o;
+        if (!parseOperand(ops[1], o) || o.kind != OperandKind::Imm)
+            fatal("line %u: param expects an immediate index", line);
+        inst.src[0] = o;
+    } else if (op == Opcode::BRA) {
+        need(1);
+        branchTo(0);
+    } else if (isCondBranch(op)) {
+        need(2);
+        srcAt(0, 0);
+        branchTo(1);
+    } else if (op == Opcode::BAR || op == Opcode::EXIT ||
+               op == Opcode::NOP) {
+        need(0);
+    } else {
+        // Generic ALU form: dst followed by numSources() sources.
+        size_t nsrc = static_cast<size_t>(numSources(op));
+        need(1 + nsrc);
+        dstAt(0);
+        for (size_t i = 0; i < nsrc; ++i)
+            srcAt(1 + i, static_cast<int>(i));
+    }
+    k.code.push_back(inst);
+}
+
+void
+validateKernel(const Kernel &k)
+{
+    if (k.numRegs == 0)
+        fatal("kernel '%s': missing or zero .reg declaration",
+              k.name.c_str());
+    if (k.numRegs > 255)
+        fatal("kernel '%s': .reg %u exceeds the 255-register limit",
+              k.name.c_str(), k.numRegs);
+    for (const auto &inst : k.code) {
+        auto check = [&](int reg) {
+            if (reg >= static_cast<int>(k.numRegs))
+                fatal("kernel '%s' line %u: register r%d out of range"
+                      " (.reg %u)", k.name.c_str(), inst.srcLine, reg,
+                      k.numRegs);
+        };
+        if (inst.dst >= 0)
+            check(inst.dst);
+        if (inst.memBase >= 0)
+            check(inst.memBase);
+        for (const auto &s : inst.src)
+            if (s.kind == OperandKind::Reg)
+                check(static_cast<int>(s.value));
+    }
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Builder b;
+    std::istringstream in(source);
+    std::string raw;
+    uint32_t line = 0;
+
+    while (std::getline(in, raw)) {
+        ++line;
+        size_t cpos = raw.find('#');
+        if (cpos != std::string::npos)
+            raw = raw.substr(0, cpos);
+        cpos = raw.find("//");
+        if (cpos != std::string::npos)
+            raw = raw.substr(0, cpos);
+        std::string text = trim(raw);
+        if (text.empty())
+            continue;
+
+        // Directives
+        if (text[0] == '.') {
+            std::istringstream ds(text);
+            std::string dir, arg;
+            ds >> dir >> arg;
+            if (dir == ".kernel") {
+                if (arg.empty())
+                    fatal("line %u: .kernel requires a name", line);
+                for (const auto &k : b.prog.kernels)
+                    if (k.name == arg)
+                        fatal("line %u: duplicate kernel '%s'",
+                              line, arg.c_str());
+                b.prog.kernels.emplace_back();
+                b.cur = &b.prog.kernels.back();
+                b.cur->name = arg;
+            } else if (dir == ".reg") {
+                b.kernel(line).numRegs =
+                    static_cast<uint32_t>(std::strtoul(arg.c_str(),
+                                                       nullptr, 0));
+            } else if (dir == ".smem") {
+                b.kernel(line).sharedBytes =
+                    static_cast<uint32_t>(std::strtoul(arg.c_str(),
+                                                       nullptr, 0));
+            } else if (dir == ".local") {
+                b.kernel(line).localBytes =
+                    static_cast<uint32_t>(std::strtoul(arg.c_str(),
+                                                       nullptr, 0));
+            } else {
+                fatal("line %u: unknown directive '%s'",
+                      line, dir.c_str());
+            }
+            continue;
+        }
+
+        // Labels: may share a line with an instruction ("lbl: add ...").
+        size_t colon = text.find(':');
+        if (colon != std::string::npos &&
+            text.find_first_of(" \t[") > colon) {
+            std::string label = trim(text.substr(0, colon));
+            if (label.empty())
+                fatal("line %u: empty label", line);
+            Kernel &k = b.kernel(line);
+            if (k.labels.count(label))
+                fatal("line %u: duplicate label '%s'",
+                      line, label.c_str());
+            k.labels[label] = k.size();
+            text = trim(text.substr(colon + 1));
+            if (text.empty())
+                continue;
+        }
+
+        // Instruction: mnemonic [operands...]
+        size_t sp = text.find_first_of(" \t");
+        std::string mnemonic =
+            sp == std::string::npos ? text : text.substr(0, sp);
+        std::string rest =
+            sp == std::string::npos ? "" : trim(text.substr(sp + 1));
+        parseInstruction(b, mnemonic, rest, line);
+    }
+
+    if (b.prog.kernels.empty())
+        fatal("source defines no kernels");
+
+    // Guarantee that falling off the end of a kernel is well-defined.
+    for (auto &k : b.prog.kernels) {
+        if (k.code.empty() || k.code.back().op != Opcode::EXIT) {
+            Instruction exitInst;
+            exitInst.op = Opcode::EXIT;
+            k.code.push_back(exitInst);
+        }
+    }
+
+    // Pass 2: resolve branch targets.
+    for (const auto &f : b.fixups) {
+        Kernel &k = b.prog.kernels[f.kernelIdx];
+        auto it = k.labels.find(f.label);
+        if (it == k.labels.end())
+            fatal("line %u: undefined label '%s' in kernel '%s'",
+                  f.line, f.label.c_str(), k.name.c_str());
+        k.code[static_cast<size_t>(f.pc)].branchTarget = it->second;
+    }
+
+    for (auto &k : b.prog.kernels) {
+        validateKernel(k);
+        annotateReconvergence(k);
+    }
+    return b.prog;
+}
+
+Kernel
+assembleKernel(const std::string &source)
+{
+    Program p = assemble(source);
+    if (p.kernels.size() != 1)
+        fatal("expected exactly one kernel, found %zu",
+              p.kernels.size());
+    return std::move(p.kernels.front());
+}
+
+} // namespace isa
+} // namespace gpufi

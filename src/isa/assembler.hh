@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-pass assembler for the kernel ISA.
+ *
+ * Pass 1 tokenizes lines, records labels and emits unresolved
+ * instructions; pass 2 resolves branch targets, validates register
+ * bounds against the .reg declaration, and runs the immediate
+ * post-dominator analysis that fills in SIMT reconvergence PCs
+ * (GPGPU-Sim's PDOM mechanism).
+ *
+ * Syntax overview:
+ * @code
+ * .kernel vecadd        # begins a kernel
+ * .reg 8                # registers per thread
+ * .smem 0               # shared bytes per CTA
+ * .local 0              # local bytes per thread
+ * loop:                 # label
+ *     add r1, r1, 4     # sources may be regs, immediates or %sregs
+ *     ldg r2, [r1+16]   # memory operand: [base (+|-) byteoffset]
+ *     brnz r2, loop
+ *     exit
+ * @endcode
+ */
+
+#ifndef GPUFI_ISA_ASSEMBLER_HH
+#define GPUFI_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace gpufi {
+namespace isa {
+
+/**
+ * Assemble a program from source text. fatal() with a line-numbered
+ * message on any syntax or semantic error.
+ */
+Program assemble(const std::string &source);
+
+/**
+ * Assemble a source that contains exactly one kernel and return it.
+ * fatal() if the source defines zero or multiple kernels.
+ */
+Kernel assembleKernel(const std::string &source);
+
+} // namespace isa
+} // namespace gpufi
+
+#endif // GPUFI_ISA_ASSEMBLER_HH

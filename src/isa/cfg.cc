@@ -1,0 +1,188 @@
+#include "isa/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace isa {
+
+int
+Cfg::blockOf(int pc) const
+{
+    for (size_t i = 0; i < blocks.size(); ++i)
+        if (pc >= blocks[i].first && pc <= blocks[i].last)
+            return static_cast<int>(i);
+    return -1;
+}
+
+Cfg
+buildCfg(const Kernel &kernel)
+{
+    const int n = kernel.size();
+    gpufi_assert(n > 0);
+
+    // Leaders: entry, every branch target, every instruction after a
+    // branch or exit.
+    std::set<int> leaders;
+    leaders.insert(0);
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = kernel.code[static_cast<size_t>(pc)];
+        if (isBranch(inst.op)) {
+            gpufi_assert(inst.branchTarget >= 0 &&
+                         inst.branchTarget < n);
+            leaders.insert(inst.branchTarget);
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        } else if (inst.op == Opcode::EXIT) {
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        }
+    }
+
+    Cfg cfg;
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        BasicBlock bb;
+        bb.first = *it;
+        auto next = std::next(it);
+        bb.last = (next == leaders.end() ? n : *next) - 1;
+        cfg.blocks.push_back(bb);
+    }
+
+    // Edges.
+    for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+        BasicBlock &bb = cfg.blocks[i];
+        const Instruction &term =
+            kernel.code[static_cast<size_t>(bb.last)];
+        auto addEdge = [&](int targetPc) {
+            int t = cfg.blockOf(targetPc);
+            gpufi_assert(t >= 0);
+            bb.succs.push_back(t);
+        };
+        if (term.op == Opcode::BRA) {
+            addEdge(term.branchTarget);
+        } else if (isCondBranch(term.op)) {
+            addEdge(term.branchTarget);
+            if (bb.last + 1 < n)
+                addEdge(bb.last + 1);
+        } else if (term.op == Opcode::EXIT) {
+            // no successors
+        } else if (bb.last + 1 < n) {
+            addEdge(bb.last + 1);
+        }
+        // Dedup (cond branch to the fallthrough pc).
+        std::sort(bb.succs.begin(), bb.succs.end());
+        bb.succs.erase(std::unique(bb.succs.begin(), bb.succs.end()),
+                       bb.succs.end());
+    }
+    for (size_t i = 0; i < cfg.blocks.size(); ++i)
+        for (int s : cfg.blocks[i].succs)
+            cfg.blocks[static_cast<size_t>(s)].preds.push_back(
+                static_cast<int>(i));
+    return cfg;
+}
+
+std::vector<int>
+immediatePostDominators(const Cfg &cfg)
+{
+    const int n = static_cast<int>(cfg.blocks.size());
+    const int vexit = n; // virtual exit node id
+
+    // Post-dominator sets via iterative dataflow on the reverse CFG.
+    // Kernels are small (hundreds of instructions) so bitset-free
+    // std::set math is plenty fast and simpler to audit.
+    std::vector<std::set<int>> pdom(static_cast<size_t>(n + 1));
+    std::set<int> all;
+    for (int i = 0; i <= n; ++i)
+        all.insert(i);
+    pdom[static_cast<size_t>(vexit)] = {vexit};
+    for (int i = 0; i < n; ++i)
+        pdom[static_cast<size_t>(i)] = all;
+
+    auto succsOf = [&](int b) {
+        std::vector<int> s = cfg.blocks[static_cast<size_t>(b)].succs;
+        if (s.empty())
+            s.push_back(vexit);
+        return s;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = n - 1; b >= 0; --b) {
+            std::set<int> meet;
+            bool first = true;
+            for (int s : succsOf(b)) {
+                const auto &ps = pdom[static_cast<size_t>(s)];
+                if (first) {
+                    meet = ps;
+                    first = false;
+                } else {
+                    std::set<int> tmp;
+                    std::set_intersection(
+                        meet.begin(), meet.end(), ps.begin(), ps.end(),
+                        std::inserter(tmp, tmp.begin()));
+                    meet = std::move(tmp);
+                }
+            }
+            meet.insert(b);
+            if (meet != pdom[static_cast<size_t>(b)]) {
+                pdom[static_cast<size_t>(b)] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+
+    // Immediate post-dominator: the strict post-dominator that is
+    // post-dominated by every other strict post-dominator.
+    std::vector<int> ipdom(static_cast<size_t>(n), -1);
+    for (int b = 0; b < n; ++b) {
+        std::set<int> strict = pdom[static_cast<size_t>(b)];
+        strict.erase(b);
+        int best = -1;
+        for (int cand : strict) {
+            bool dominatedByAll = true;
+            for (int other : strict) {
+                if (other == cand)
+                    continue;
+                // 'other' must post-dominate 'cand'.
+                const auto &pc = cand == vexit
+                                     ? pdom[static_cast<size_t>(vexit)]
+                                     : pdom[static_cast<size_t>(cand)];
+                if (!pc.count(other)) {
+                    dominatedByAll = false;
+                    break;
+                }
+            }
+            if (dominatedByAll) {
+                best = cand;
+                break;
+            }
+        }
+        gpufi_assert(best != -1);
+        ipdom[static_cast<size_t>(b)] = best == vexit ? -1 : best;
+    }
+    return ipdom;
+}
+
+void
+annotateReconvergence(Kernel &kernel)
+{
+    Cfg cfg = buildCfg(kernel);
+    std::vector<int> ipdom = immediatePostDominators(cfg);
+    for (int pc = 0; pc < kernel.size(); ++pc) {
+        Instruction &inst = kernel.code[static_cast<size_t>(pc)];
+        if (!isCondBranch(inst.op))
+            continue;
+        int b = cfg.blockOf(pc);
+        gpufi_assert(b >= 0 &&
+                     cfg.blocks[static_cast<size_t>(b)].last == pc);
+        int ip = ipdom[static_cast<size_t>(b)];
+        inst.reconvergePc =
+            ip < 0 ? -1 : cfg.blocks[static_cast<size_t>(ip)].first;
+    }
+}
+
+} // namespace isa
+} // namespace gpufi

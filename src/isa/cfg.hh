@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Control-flow graph construction and immediate post-dominator
+ * analysis.
+ *
+ * GPGPU-Sim reconverges divergent warps at the immediate
+ * post-dominator (PDOM) of the divergent branch. The assembler calls
+ * annotateReconvergence() to stamp each conditional branch with the
+ * PC of its reconvergence point; the SIMT stack in the simulator then
+ * pops entries when a warp reaches that PC.
+ */
+
+#ifndef GPUFI_ISA_CFG_HH
+#define GPUFI_ISA_CFG_HH
+
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace gpufi {
+namespace isa {
+
+/** A basic block: a maximal straight-line run of instructions. */
+struct BasicBlock
+{
+    int first = 0;              ///< pc of the first instruction
+    int last = 0;               ///< pc of the last instruction
+    std::vector<int> succs;     ///< successor block ids
+    std::vector<int> preds;     ///< predecessor block ids
+};
+
+/** The control-flow graph of one kernel. */
+struct Cfg
+{
+    std::vector<BasicBlock> blocks;
+
+    /** Block id containing pc, or -1. */
+    int blockOf(int pc) const;
+};
+
+/** Build the CFG of an assembled kernel (branch targets resolved). */
+Cfg buildCfg(const Kernel &kernel);
+
+/**
+ * Immediate post-dominator of every block, as a block id, or -1 when
+ * the only post-dominator is the virtual exit (i.e. the paths only
+ * meet at thread termination).
+ */
+std::vector<int> immediatePostDominators(const Cfg &cfg);
+
+/**
+ * Fill in Instruction::reconvergePc for every conditional branch of
+ * the kernel: the first pc of the branch block's immediate
+ * post-dominator, or -1 for reconvergence-at-exit.
+ */
+void annotateReconvergence(Kernel &kernel);
+
+} // namespace isa
+} // namespace gpufi
+
+#endif // GPUFI_ISA_CFG_HH

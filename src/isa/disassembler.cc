@@ -1,0 +1,137 @@
+#include "isa/disassembler.hh"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace isa {
+
+namespace {
+
+std::string
+operandText(const Operand &op)
+{
+    std::ostringstream out;
+    switch (op.kind) {
+      case OperandKind::Reg:
+        out << "r" << op.value;
+        break;
+      case OperandKind::Imm:
+        out << "0x" << std::hex << op.value;
+        break;
+      case OperandKind::SReg:
+        out << sregName(static_cast<SpecialReg>(op.value));
+        break;
+      case OperandKind::None:
+        out << "<none>";
+        break;
+    }
+    return out.str();
+}
+
+std::string
+memText(const Instruction &inst)
+{
+    std::ostringstream out;
+    out << "[r" << inst.memBase;
+    if (inst.memOffset > 0)
+        out << "+" << inst.memOffset;
+    else if (inst.memOffset < 0)
+        out << inst.memOffset;
+    out << "]";
+    return out.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream out;
+    out << opcodeName(inst.op);
+
+    if (isLoad(inst.op)) {
+        out << " r" << inst.dst << ", " << memText(inst);
+    } else if (isStore(inst.op)) {
+        out << " " << operandText(inst.src[0]) << ", " << memText(inst);
+    } else if (inst.op == Opcode::PARAM) {
+        out << " r" << inst.dst << ", " << inst.src[0].value;
+    } else if (inst.op == Opcode::BRA) {
+        out << " @" << inst.branchTarget;
+    } else if (isCondBranch(inst.op)) {
+        out << " " << operandText(inst.src[0]) << ", @"
+            << inst.branchTarget;
+        if (inst.reconvergePc >= 0)
+            out << "  (reconv @" << inst.reconvergePc << ")";
+    } else if (inst.op == Opcode::BAR || inst.op == Opcode::EXIT ||
+               inst.op == Opcode::NOP) {
+        // no operands
+    } else {
+        out << " r" << inst.dst;
+        for (int i = 0; i < numSources(inst.op); ++i)
+            out << ", " << operandText(inst.src[i]);
+    }
+    return out.str();
+}
+
+std::string
+disassembleSource(const Kernel &kernel)
+{
+    // Collect branch targets; give each a synthetic label.
+    std::set<int> targets;
+    for (const auto &inst : kernel.code)
+        if (isBranch(inst.op))
+            targets.insert(inst.branchTarget);
+
+    auto label = [](int pc) {
+        return "L" + std::to_string(pc);
+    };
+
+    std::ostringstream out;
+    out << ".kernel " << kernel.name << "\n"
+        << ".reg " << kernel.numRegs << "\n";
+    if (kernel.sharedBytes)
+        out << ".smem " << kernel.sharedBytes << "\n";
+    if (kernel.localBytes)
+        out << ".local " << kernel.localBytes << "\n";
+    for (int pc = 0; pc < kernel.size(); ++pc) {
+        if (targets.count(pc))
+            out << label(pc) << ":\n";
+        const Instruction &inst =
+            kernel.code[static_cast<size_t>(pc)];
+        if (inst.op == Opcode::BRA) {
+            out << "    bra " << label(inst.branchTarget) << "\n";
+        } else if (isCondBranch(inst.op)) {
+            out << "    " << opcodeName(inst.op) << " "
+                << operandText(inst.src[0]) << ", "
+                << label(inst.branchTarget) << "\n";
+        } else {
+            out << "    " << disassemble(inst) << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+disassemble(const Kernel &kernel)
+{
+    std::ostringstream out;
+    out << ".kernel " << kernel.name << "\n"
+        << ".reg " << kernel.numRegs << "\n"
+        << ".smem " << kernel.sharedBytes << "\n"
+        << ".local " << kernel.localBytes << "\n";
+    for (int pc = 0; pc < kernel.size(); ++pc) {
+        for (const auto &[label, lpc] : kernel.labels)
+            if (lpc == pc)
+                out << label << ":\n";
+        out << "  /*" << pc << "*/ "
+            << disassemble(kernel.code[static_cast<size_t>(pc)]) << "\n";
+    }
+    return out.str();
+}
+
+} // namespace isa
+} // namespace gpufi

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Textual rendering of assembled instructions and kernels, used by
+ * diagnostics and tests (assemble -> disassemble -> assemble must
+ * round-trip).
+ */
+
+#ifndef GPUFI_ISA_DISASSEMBLER_HH
+#define GPUFI_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace gpufi {
+namespace isa {
+
+/** Render one instruction (branch targets as "@<pc>"). */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole kernel with pc prefixes and directives. */
+std::string disassemble(const Kernel &kernel);
+
+/**
+ * Render a kernel as *re-assemblable* source: synthetic "L<pc>"
+ * labels for branch targets, no pc comments. assemble() of the
+ * result reproduces the kernel's code exactly (modulo label names),
+ * which the round-trip tests verify for every suite benchmark.
+ */
+std::string disassembleSource(const Kernel &kernel);
+
+} // namespace isa
+} // namespace gpufi
+
+#endif // GPUFI_ISA_DISASSEMBLER_HH

@@ -1,0 +1,36 @@
+#include "isa/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace isa {
+
+bool
+Kernel::usesOpClass(OpClass cls) const
+{
+    for (const auto &inst : code)
+        if (opClass(inst.op) == cls)
+            return true;
+    return false;
+}
+
+const Kernel &
+Program::kernel(const std::string &name) const
+{
+    int idx = kernelIndex(name);
+    if (idx < 0)
+        fatal("no kernel named '%s' in program", name.c_str());
+    return kernels[static_cast<size_t>(idx)];
+}
+
+int
+Program::kernelIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < kernels.size(); ++i)
+        if (kernels[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+} // namespace isa
+} // namespace gpufi

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Containers for assembled kernels and programs.
+ */
+
+#ifndef GPUFI_ISA_KERNEL_HH
+#define GPUFI_ISA_KERNEL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace gpufi {
+namespace isa {
+
+/**
+ * An assembled kernel: the static code plus its per-thread/per-CTA
+ * resource declarations. Instruction indices serve as PCs.
+ */
+struct Kernel
+{
+    std::string name;
+    uint32_t numRegs = 0;       ///< registers per thread (.reg)
+    uint32_t sharedBytes = 0;   ///< shared memory per CTA (.smem)
+    uint32_t localBytes = 0;    ///< local memory per thread (.local)
+    std::vector<Instruction> code;
+    std::map<std::string, int> labels; ///< label -> pc
+
+    /** Number of instructions (one past the last valid pc). */
+    int size() const { return static_cast<int>(code.size()); }
+
+    /** true if any instruction touches the given memory space class. */
+    bool usesOpClass(OpClass cls) const;
+};
+
+/** A program: one or more kernels, looked up by name at launch time. */
+struct Program
+{
+    std::vector<Kernel> kernels;
+
+    /** Kernel by name; fatal() if absent. */
+    const Kernel &kernel(const std::string &name) const;
+
+    /** Kernel index by name, or -1. */
+    int kernelIndex(const std::string &name) const;
+};
+
+} // namespace isa
+} // namespace gpufi
+
+#endif // GPUFI_ISA_KERNEL_HH

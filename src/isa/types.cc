@@ -1,0 +1,207 @@
+#include "isa/types.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace isa {
+
+namespace {
+
+struct OpInfo
+{
+    Opcode op;
+    const char *name;
+    int nsrc;       ///< register/imm source operands (not mem base)
+    OpClass cls;
+};
+
+// One row per opcode; the table drives the assembler, the
+// disassembler and the scoreboard's source-register queries.
+const OpInfo opTable[] = {
+    {Opcode::MOV,    "mov",    1, OpClass::IntAlu},
+    {Opcode::SEL,    "sel",    3, OpClass::IntAlu},
+
+    {Opcode::ADD,    "add",    2, OpClass::IntAlu},
+    {Opcode::SUB,    "sub",    2, OpClass::IntAlu},
+    {Opcode::MUL,    "mul",    2, OpClass::IntMul},
+    {Opcode::MULHI,  "mulhi",  2, OpClass::IntMul},
+    {Opcode::DIV,    "div",    2, OpClass::Sfu},
+    {Opcode::REM,    "rem",    2, OpClass::Sfu},
+    {Opcode::MIN,    "min",    2, OpClass::IntAlu},
+    {Opcode::MAX,    "max",    2, OpClass::IntAlu},
+    {Opcode::ABS,    "abs",    1, OpClass::IntAlu},
+    {Opcode::NEG,    "neg",    1, OpClass::IntAlu},
+    {Opcode::AND,    "and",    2, OpClass::IntAlu},
+    {Opcode::OR,     "or",     2, OpClass::IntAlu},
+    {Opcode::XOR,    "xor",    2, OpClass::IntAlu},
+    {Opcode::NOT,    "not",    1, OpClass::IntAlu},
+    {Opcode::SHL,    "shl",    2, OpClass::IntAlu},
+    {Opcode::SHR,    "shr",    2, OpClass::IntAlu},
+    {Opcode::SRA,    "sra",    2, OpClass::IntAlu},
+
+    {Opcode::SETEQ,  "seteq",  2, OpClass::IntAlu},
+    {Opcode::SETNE,  "setne",  2, OpClass::IntAlu},
+    {Opcode::SETLT,  "setlt",  2, OpClass::IntAlu},
+    {Opcode::SETLE,  "setle",  2, OpClass::IntAlu},
+    {Opcode::SETGT,  "setgt",  2, OpClass::IntAlu},
+    {Opcode::SETGE,  "setge",  2, OpClass::IntAlu},
+    {Opcode::SETLTU, "setltu", 2, OpClass::IntAlu},
+    {Opcode::SETGEU, "setgeu", 2, OpClass::IntAlu},
+
+    {Opcode::FADD,   "fadd",   2, OpClass::FpAlu},
+    {Opcode::FSUB,   "fsub",   2, OpClass::FpAlu},
+    {Opcode::FMUL,   "fmul",   2, OpClass::FpAlu},
+    {Opcode::FDIV,   "fdiv",   2, OpClass::Sfu},
+    {Opcode::FMIN,   "fmin",   2, OpClass::FpAlu},
+    {Opcode::FMAX,   "fmax",   2, OpClass::FpAlu},
+    {Opcode::FMA,    "fma",    3, OpClass::FpAlu},
+    {Opcode::FABS,   "fabs",   1, OpClass::FpAlu},
+    {Opcode::FNEG,   "fneg",   1, OpClass::FpAlu},
+    {Opcode::FSQRT,  "fsqrt",  1, OpClass::Sfu},
+    {Opcode::FEXP,   "fexp",   1, OpClass::Sfu},
+    {Opcode::FLOG,   "flog",   1, OpClass::Sfu},
+    {Opcode::FRCP,   "frcp",   1, OpClass::Sfu},
+    {Opcode::FSETEQ, "fseteq", 2, OpClass::FpAlu},
+    {Opcode::FSETNE, "fsetne", 2, OpClass::FpAlu},
+    {Opcode::FSETLT, "fsetlt", 2, OpClass::FpAlu},
+    {Opcode::FSETLE, "fsetle", 2, OpClass::FpAlu},
+    {Opcode::FSETGT, "fsetgt", 2, OpClass::FpAlu},
+    {Opcode::FSETGE, "fsetge", 2, OpClass::FpAlu},
+
+    {Opcode::I2F,    "i2f",    1, OpClass::FpAlu},
+    {Opcode::F2I,    "f2i",    1, OpClass::FpAlu},
+
+    {Opcode::LDG,    "ldg",    0, OpClass::MemGlobal},
+    {Opcode::STG,    "stg",    1, OpClass::MemGlobal},
+    {Opcode::LDS,    "lds",    0, OpClass::MemShared},
+    {Opcode::STS,    "sts",    1, OpClass::MemShared},
+    {Opcode::LDL,    "ldl",    0, OpClass::MemLocal},
+    {Opcode::STL,    "stl",    1, OpClass::MemLocal},
+    {Opcode::LDT,    "ldt",    0, OpClass::MemTexture},
+    {Opcode::PARAM,  "param",  1, OpClass::Param},
+
+    {Opcode::BRA,    "bra",    0, OpClass::Control},
+    {Opcode::BRZ,    "brz",    1, OpClass::Control},
+    {Opcode::BRNZ,   "brnz",   1, OpClass::Control},
+    {Opcode::BAR,    "bar",    0, OpClass::Barrier},
+    {Opcode::EXIT,   "exit",   0, OpClass::Other},
+    {Opcode::NOP,    "nop",    0, OpClass::Other},
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+                  static_cast<size_t>(Opcode::NUM_OPCODES),
+              "opTable must cover every opcode");
+
+const OpInfo &
+info(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    gpufi_assert(idx < static_cast<size_t>(Opcode::NUM_OPCODES));
+    const OpInfo &row = opTable[idx];
+    gpufi_assert(row.op == op);
+    return row;
+}
+
+const char *sregTable[] = {
+    "%tid_x", "%tid_y", "%ntid_x", "%ntid_y",
+    "%ctaid_x", "%ctaid_y", "%nctaid_x", "%nctaid_y",
+    "%laneid", "%warpid",
+};
+
+static_assert(sizeof(sregTable) / sizeof(sregTable[0]) ==
+                  static_cast<size_t>(SpecialReg::NUM_SREGS),
+              "sregTable must cover every special register");
+
+} // namespace
+
+int
+numSources(Opcode op)
+{
+    return info(op).nsrc;
+}
+
+OpClass
+opClass(Opcode op)
+{
+    return info(op).cls;
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::MemGlobal:
+      case OpClass::MemShared:
+      case OpClass::MemLocal:
+      case OpClass::MemTexture:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LDG || op == Opcode::LDS || op == Opcode::LDL ||
+           op == Opcode::LDT;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::STG || op == Opcode::STS || op == Opcode::STL;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::BRA || op == Opcode::BRZ || op == Opcode::BRNZ;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::BRZ || op == Opcode::BRNZ;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return info(op).name;
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    static const auto *byName = [] {
+        auto *m = new std::unordered_map<std::string, Opcode>;
+        for (const auto &row : opTable)
+            (*m)[row.name] = row.op;
+        return m;
+    }();
+    auto it = byName->find(name);
+    return it == byName->end() ? Opcode::NUM_OPCODES : it->second;
+}
+
+const char *
+sregName(SpecialReg s)
+{
+    auto idx = static_cast<size_t>(s);
+    gpufi_assert(idx < static_cast<size_t>(SpecialReg::NUM_SREGS));
+    return sregTable[idx];
+}
+
+SpecialReg
+sregFromName(const std::string &name)
+{
+    for (size_t i = 0; i < static_cast<size_t>(SpecialReg::NUM_SREGS); ++i)
+        if (name == sregTable[i])
+            return static_cast<SpecialReg>(i);
+    return SpecialReg::NUM_SREGS;
+}
+
+} // namespace isa
+} // namespace gpufi

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Instruction-set definitions for the SASS-like kernel ISA executed by
+ * the simulator.
+ *
+ * The ISA is a compact register machine with 32-bit general-purpose
+ * registers and explicit memory spaces (global, shared, local,
+ * texture, kernel parameters) mirroring the PTX/SASS memory spaces
+ * that GPGPU-Sim models. Control flow uses conditional branches whose
+ * SIMT reconvergence points are computed by immediate post-dominator
+ * analysis at assembly time (the PDOM mechanism of GPGPU-Sim).
+ */
+
+#ifndef GPUFI_ISA_TYPES_HH
+#define GPUFI_ISA_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpufi {
+namespace isa {
+
+/** Operation codes. Names match the assembly mnemonics (lowercased). */
+enum class Opcode : uint8_t
+{
+    // Data movement
+    MOV,        ///< mov rd, (reg|imm|sreg)
+    SEL,        ///< sel rd, rcond, ra, rb : rd = rcond != 0 ? ra : rb
+
+    // Integer arithmetic / logic (32-bit two's complement)
+    ADD, SUB, MUL, MULHI, DIV, REM,
+    MIN, MAX, ABS, NEG,
+    AND, OR, XOR, NOT,
+    SHL, SHR, SRA,
+
+    // Integer comparisons: rd = (a <op> b) ? 1 : 0  (signed unless U)
+    SETEQ, SETNE, SETLT, SETLE, SETGT, SETGE, SETLTU, SETGEU,
+
+    // IEEE-754 single precision (bit patterns live in the 32-bit regs)
+    FADD, FSUB, FMUL, FDIV, FMIN, FMAX, FMA,
+    FABS, FNEG, FSQRT, FEXP, FLOG, FRCP,
+    FSETEQ, FSETNE, FSETLT, FSETLE, FSETGT, FSETGE,
+
+    // Conversions
+    I2F,        ///< signed int -> float
+    F2I,        ///< float -> signed int (truncate)
+
+    // Memory: ld* rd, [rbase+imm] ; st* rs, [rbase+imm]
+    LDG, STG,   ///< global memory
+    LDS, STS,   ///< shared memory (per-CTA)
+    LDL, STL,   ///< local memory (per-thread, off-chip)
+    LDT,        ///< texture memory (read-only global region via L1T)
+    PARAM,      ///< param rd, imm : read 32-bit kernel parameter
+
+    // Control
+    BRA,        ///< unconditional branch
+    BRZ,        ///< branch if rs == 0
+    BRNZ,       ///< branch if rs != 0
+    BAR,        ///< CTA-wide barrier (__syncthreads)
+    EXIT,       ///< thread terminates
+    NOP,
+
+    NUM_OPCODES
+};
+
+/** Functional-unit class of an opcode; selects issue latency. */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< simple integer ops
+    IntMul,     ///< integer multiply / divide path
+    FpAlu,      ///< FP add/mul/fma path
+    Sfu,        ///< special function unit (div, sqrt, exp, log, rcp)
+    MemGlobal,  ///< global loads/stores (through L1D or L2)
+    MemShared,  ///< shared memory
+    MemLocal,   ///< local memory (through L1D or L2)
+    MemTexture, ///< texture loads (through L1T)
+    Param,      ///< kernel parameter read (constant path)
+    Control,    ///< branches
+    Barrier,
+    Other
+};
+
+/** Special (read-only) hardware registers. */
+enum class SpecialReg : uint8_t
+{
+    TID_X, TID_Y,       ///< thread index within the CTA
+    NTID_X, NTID_Y,     ///< CTA dimensions
+    CTAID_X, CTAID_Y,   ///< CTA index within the grid
+    NCTAID_X, NCTAID_Y, ///< grid dimensions
+    LANEID,             ///< lane within the warp
+    WARPID,             ///< warp index within the CTA
+    NUM_SREGS
+};
+
+/** Operand kinds accepted by source positions. */
+enum class OperandKind : uint8_t
+{
+    None,
+    Reg,    ///< general-purpose register index
+    Imm,    ///< 32-bit immediate (int or float bit pattern)
+    SReg    ///< special register
+};
+
+/** A single source operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    uint32_t value = 0; ///< reg index, raw immediate bits, or SpecialReg
+
+    static Operand reg(uint32_t r) { return {OperandKind::Reg, r}; }
+    static Operand imm(uint32_t bits) { return {OperandKind::Imm, bits}; }
+    static Operand
+    sreg(SpecialReg s)
+    {
+        return {OperandKind::SReg, static_cast<uint32_t>(s)};
+    }
+
+    bool operator==(const Operand &) const = default;
+};
+
+/**
+ * One decoded instruction. Branch targets and reconvergence PCs are
+ * instruction indices within the owning kernel.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    int dst = -1;           ///< destination register or -1
+    Operand src[3];         ///< sources (count given by opcode)
+    int memBase = -1;       ///< base register for memory operands
+    int32_t memOffset = 0;  ///< byte offset added to the base register
+    int branchTarget = -1;  ///< target pc for BRA/BRZ/BRNZ
+    int reconvergePc = -1;  ///< PDOM reconvergence pc for cond. branches
+    uint32_t srcLine = 0;   ///< assembly source line (diagnostics)
+};
+
+/** Number of register source operands an opcode consumes. */
+int numSources(Opcode op);
+
+/** Functional-unit class of an opcode. */
+OpClass opClass(Opcode op);
+
+/** true for LDG/STG/LDS/STS/LDL/STL/LDT. */
+bool isMemory(Opcode op);
+
+/** true for loads (LDG/LDS/LDL/LDT). */
+bool isLoad(Opcode op);
+
+/** true for stores (STG/STS/STL). */
+bool isStore(Opcode op);
+
+/** true for BRA/BRZ/BRNZ. */
+bool isBranch(Opcode op);
+
+/** true for BRZ/BRNZ. */
+bool isCondBranch(Opcode op);
+
+/** Assembly mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Opcode for a mnemonic, or NUM_OPCODES if unknown. */
+Opcode opcodeFromName(const std::string &name);
+
+/** Assembly name of a special register (e.g. "%tid_x"). */
+const char *sregName(SpecialReg s);
+
+/** SpecialReg for an assembly name, or NUM_SREGS if unknown. */
+SpecialReg sregFromName(const std::string &name);
+
+} // namespace isa
+} // namespace gpufi
+
+#endif // GPUFI_ISA_TYPES_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Address types, memory spaces, and the device-fault exception used
+ * to model GPU crashes (the "Crash" fault-effect class).
+ */
+
+#ifndef GPUFI_MEM_ADDR_HH
+#define GPUFI_MEM_ADDR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gpufi {
+namespace mem {
+
+/** Device (global) memory address, in bytes. */
+using Addr = uint64_t;
+
+/** Memory spaces visible to the ISA (mirrors CUDA/PTX spaces). */
+enum class Space : uint8_t
+{
+    Global,
+    Local,      ///< per-thread, resides in device memory (off-chip)
+    Shared,     ///< per-CTA on-chip scratchpad
+    Texture,    ///< read-only global region accessed through L1T
+    Param       ///< kernel parameters (constant path)
+};
+
+/** Name of a Space for diagnostics. */
+const char *spaceName(Space s);
+
+/**
+ * Unrecoverable device-side error: an out-of-bounds or unmapped
+ * access, a wild jump, or a malformed control operation. The campaign
+ * classifier maps this to the Crash fault effect.
+ */
+class DeviceFault : public std::runtime_error
+{
+  public:
+    explicit DeviceFault(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+} // namespace mem
+} // namespace gpufi
+
+#endif // GPUFI_MEM_ADDR_HH

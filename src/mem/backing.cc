@@ -1,0 +1,179 @@
+#include "mem/backing.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace mem {
+
+const char *
+spaceName(Space s)
+{
+    switch (s) {
+      case Space::Global: return "global";
+      case Space::Local: return "local";
+      case Space::Shared: return "shared";
+      case Space::Texture: return "texture";
+      case Space::Param: return "param";
+    }
+    return "?";
+}
+
+DeviceMemory::DeviceMemory(uint64_t capacity)
+{
+    gpufi_assert(capacity > kHeapBase);
+    store_.resize(capacity, 0);
+}
+
+Addr
+DeviceMemory::allocate(uint64_t bytes)
+{
+    Addr addr = alignUp(brk_, 256);
+    if (addr + bytes > store_.size())
+        fatal("device memory exhausted: need %llu bytes at 0x%llx,"
+              " capacity %zu",
+              static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(addr), store_.size());
+    brk_ = addr + bytes;
+    return addr;
+}
+
+void
+DeviceMemory::reset()
+{
+    std::memset(store_.data(), 0, store_.size());
+    brk_ = kHeapBase;
+    texBase_ = 0;
+    texSize_ = 0;
+}
+
+bool
+DeviceMemory::valid(Addr addr, uint64_t size) const
+{
+    // The device heap is mapped as a whole (as a real GPU maps the
+    // memory a context owns): accesses below the null-guard region or
+    // beyond physical capacity fault; accesses between allocations do
+    // not, they just read zeros / clobber unused memory. This matches
+    // how corrupted pointers behave on hardware, where only wild
+    // values reach unmapped pages.
+    return addr >= kHeapBase && addr + size <= store_.size() &&
+           addr + size >= addr;
+}
+
+void
+DeviceMemory::read(Addr addr, void *out, uint64_t size) const
+{
+    if (!valid(addr, size))
+        throw DeviceFault(detail::format(
+            "invalid global read of %llu bytes at 0x%llx",
+            static_cast<unsigned long long>(size),
+            static_cast<unsigned long long>(addr)));
+    std::memcpy(out, store_.data() + addr, size);
+}
+
+void
+DeviceMemory::write(Addr addr, const void *in, uint64_t size)
+{
+    if (!valid(addr, size))
+        throw DeviceFault(detail::format(
+            "invalid global write of %llu bytes at 0x%llx",
+            static_cast<unsigned long long>(size),
+            static_cast<unsigned long long>(addr)));
+    std::memcpy(store_.data() + addr, in, size);
+}
+
+void
+DeviceMemory::readClamped(Addr addr, void *out, uint64_t size) const
+{
+    std::memset(out, 0, size);
+    Addr lo = addr < kHeapBase ? kHeapBase : addr;
+    Addr hi = addr + size < store_.size() ? addr + size
+                                          : store_.size();
+    if (lo >= hi)
+        return;
+    std::memcpy(static_cast<uint8_t *>(out) + (lo - addr),
+                store_.data() + lo, hi - lo);
+}
+
+uint32_t
+DeviceMemory::read32(Addr addr) const
+{
+    uint32_t v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+DeviceMemory::write32(Addr addr, uint32_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+void
+DeviceMemory::copyLine(Addr from, Addr to, uint32_t size)
+{
+    // The source is a line the cache legitimately held; the
+    // destination is wherever the corrupted tag points.
+    if (!valid(from, size))
+        throw DeviceFault(detail::format(
+            "writeback source 0x%llx unmapped",
+            static_cast<unsigned long long>(from)));
+    if (!valid(to, size))
+        throw DeviceFault(detail::format(
+            "dirty writeback to unmapped address 0x%llx"
+            " (corrupted tag)",
+            static_cast<unsigned long long>(to)));
+    std::memmove(store_.data() + to, store_.data() + from, size);
+}
+
+void
+DeviceMemory::flipBit(Addr addr, unsigned bit)
+{
+    gpufi_assert(bit < 8);
+    if (!valid(addr, 1))
+        return; // fault targets outside live data are masked
+    store_[addr] ^= static_cast<uint8_t>(1u << bit);
+}
+
+const uint8_t *
+DeviceMemory::data(Addr addr, uint64_t size) const
+{
+    if (!valid(addr, size))
+        fatal("host access to invalid device range [0x%llx, +%llu)",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(size));
+    return store_.data() + addr;
+}
+
+void
+DeviceMemory::bindTexture(Addr addr, uint64_t size)
+{
+    if (!valid(addr, size))
+        fatal("texture binding outside allocated memory");
+    texBase_ = addr;
+    texSize_ = size;
+}
+
+bool
+DeviceMemory::inTexture(Addr addr, uint64_t size) const
+{
+    return texSize_ > 0 && addr >= texBase_ &&
+           addr + size <= texBase_ + texSize_;
+}
+
+Addr
+DeviceMemory::clampToTexture(Addr addr, uint64_t size) const
+{
+    if (texSize_ < size)
+        fatal("texture fetch with no texture bound");
+    if (addr < texBase_)
+        return texBase_;
+    if (addr + size > texBase_ + texSize_)
+        return texBase_ + texSize_ - size;
+    return addr;
+}
+
+} // namespace mem
+} // namespace gpufi

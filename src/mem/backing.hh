@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Device (global/GDDR) memory with a bump allocator and access
+ * validation.
+ *
+ * Functional data for global, local and texture spaces lives here;
+ * the caches are tag-only timing structures whose data connection is
+ * made at access time (the GPGPU-Sim model the paper describes), with
+ * fault-injection hooks applied to values as they are retrieved.
+ */
+
+#ifndef GPUFI_MEM_BACKING_HH
+#define GPUFI_MEM_BACKING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace gpufi {
+namespace mem {
+
+/**
+ * Linear device memory. Allocations come from a bump allocator whose
+ * base is offset from zero so that null/small corrupted pointers
+ * fault, as they would through a real GPU MMU.
+ */
+class DeviceMemory
+{
+  public:
+    /** @param capacity total device memory in bytes. */
+    explicit DeviceMemory(uint64_t capacity = 64ull << 20);
+
+    /** Allocate @p bytes (256-byte aligned). fatal() when exhausted. */
+    Addr allocate(uint64_t bytes);
+
+    /** Reset the allocator and zero memory (between campaign runs). */
+    void reset();
+
+    /** First valid address (allocator base). */
+    Addr base() const { return kHeapBase; }
+
+    /** One past the last allocated address. */
+    Addr brk() const { return brk_; }
+
+    /**
+     * true if [addr, addr+size) falls inside the mapped device heap
+     * (above the null guard, below capacity). Space between
+     * allocations is mapped, as on a real GPU context.
+     */
+    bool valid(Addr addr, uint64_t size) const;
+
+    /**
+     * Read raw bytes. @throws DeviceFault if the range is not
+     * allocated (models an MMU fault -> Crash).
+     */
+    void read(Addr addr, void *out, uint64_t size) const;
+
+    /** Write raw bytes. @throws DeviceFault on invalid range. */
+    void write(Addr addr, const void *in, uint64_t size);
+
+    /**
+     * Read raw bytes, zero-filling any part of the range that is not
+     * allocated. Used for line-granularity fills where individual
+     * lane accesses have already been validated but the containing
+     * cache line may extend past the allocation frontier.
+     */
+    void readClamped(Addr addr, void *out, uint64_t size) const;
+
+    /** 32-bit convenience read. */
+    uint32_t read32(Addr addr) const;
+
+    /** 32-bit convenience write. */
+    void write32(Addr addr, uint32_t value);
+
+    /**
+     * Copy a line-sized block from @p from to @p to, used to model a
+     * dirty writeback through a corrupted tag (data lands at the
+     * wrong address). @throws DeviceFault if @p to is unmapped.
+     */
+    void copyLine(Addr from, Addr to, uint32_t size);
+
+    /** Flip one bit (local-memory fault injection). */
+    void flipBit(Addr addr, unsigned bit);
+
+    /** Direct pointer for golden-output comparison (validated). */
+    const uint8_t *data(Addr addr, uint64_t size) const;
+
+    /** Bind the texture region (read-only via LDT). */
+    void bindTexture(Addr addr, uint64_t size);
+
+    /** true if [addr, addr+size) lies within the bound texture. */
+    bool inTexture(Addr addr, uint64_t size) const;
+
+    /**
+     * Clamp a texture-fetch address into the bound region, the way
+     * GPU texture units clamp out-of-range coordinates instead of
+     * faulting. fatal() if no texture is bound.
+     */
+    Addr clampToTexture(Addr addr, uint64_t size) const;
+
+    uint64_t capacity() const { return store_.size(); }
+
+  private:
+    static constexpr Addr kHeapBase = 0x10000;
+
+    std::vector<uint8_t> store_;
+    Addr brk_ = kHeapBase;
+    Addr texBase_ = 0;
+    uint64_t texSize_ = 0;
+};
+
+} // namespace mem
+} // namespace gpufi
+
+#endif // GPUFI_MEM_BACKING_HH

@@ -1,0 +1,239 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace mem {
+
+uint32_t
+CacheConfig::numLines() const
+{
+    gpufi_assert(lineSize > 0 && sizeBytes % lineSize == 0);
+    return static_cast<uint32_t>(sizeBytes / lineSize);
+}
+
+uint32_t
+CacheConfig::numSets() const
+{
+    uint32_t lines = numLines();
+    gpufi_assert(assoc > 0 && lines % assoc == 0);
+    return lines / assoc;
+}
+
+uint64_t
+CacheConfig::bitsPerLine() const
+{
+    return static_cast<uint64_t>(lineSize) * 8 + tagBits;
+}
+
+uint64_t
+CacheConfig::totalBits() const
+{
+    return bitsPerLine() * numLines();
+}
+
+Cache::Cache(std::string name, const CacheConfig &cfg, DeviceMemory *mem)
+    : name_(std::move(name)), cfg_(cfg), mem_(mem)
+{
+    gpufi_assert(isPow2(cfg_.lineSize));
+    gpufi_assert(isPow2(cfg_.numSets()));
+    lines_.resize(cfg_.numLines());
+    setShift_ = log2Exact(cfg_.lineSize);
+    tagShift_ = setShift_ + log2Exact(cfg_.numSets());
+}
+
+uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return addr >> tagShift_;
+}
+
+uint32_t
+Cache::setOf(Addr addr) const
+{
+    return static_cast<uint32_t>((addr >> setShift_) &
+                                 (cfg_.numSets() - 1));
+}
+
+Addr
+Cache::lineAddr(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(cfg_.lineSize - 1);
+}
+
+Addr
+Cache::addrFromTag(uint64_t tag, uint32_t set) const
+{
+    return (tag << tagShift_) | (static_cast<Addr>(set) << setShift_);
+}
+
+int
+Cache::findWay(uint32_t set, uint64_t tag) const
+{
+    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+        const Line &l = lines_[set * cfg_.assoc + w];
+        if (l.valid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+uint32_t
+Cache::victimWay(uint32_t set) const
+{
+    uint32_t victim = 0;
+    uint64_t best = ~0ULL;
+    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+        const Line &l = lines_[set * cfg_.assoc + w];
+        if (!l.valid)
+            return w;
+        if (l.lru < best) {
+            best = l.lru;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+Cache::fill(uint32_t set, uint32_t way, Addr addr)
+{
+    uint32_t idx = set * cfg_.assoc + way;
+    Line &l = lines_[idx];
+    if (l.valid && l.dirty) {
+        ++stats_.writebacks;
+        Addr wbAddr = addrFromTag(l.tag, set);
+        if (wbAddr != l.trueAddr) {
+            // The tag was corrupted while the line was dirty: the
+            // writeback lands wherever the corrupted tag points.
+            ++stats_.wrongAddrWritebacks;
+            if (mem_)
+                mem_->copyLine(l.trueAddr, wbAddr, cfg_.lineSize);
+        }
+        // A clean-tag writeback needs no data motion: functional data
+        // is already in the backing store (GPGPU-Sim's split
+        // functional/timing model).
+    }
+    dropHooks(idx);
+    l.valid = true;
+    l.dirty = false;
+    l.tag = tagOf(addr);
+    l.trueAddr = lineAddr(addr);
+    l.lru = ++accessCounter_;
+}
+
+void
+Cache::dropHooks(uint32_t lineIdx)
+{
+    hooks_.erase(lineIdx);
+}
+
+bool
+Cache::readAccess(Addr addr)
+{
+    ++stats_.reads;
+    uint32_t set = setOf(addr);
+    int way = findWay(set, tagOf(addr));
+    if (way >= 0) {
+        lines_[set * cfg_.assoc + static_cast<uint32_t>(way)].lru =
+            ++accessCounter_;
+        return true;
+    }
+    ++stats_.readMisses;
+    fill(set, victimWay(set), addr);
+    return false;
+}
+
+bool
+Cache::writeAccess(Addr addr, WritePolicy policy)
+{
+    ++stats_.writes;
+    uint32_t set = setOf(addr);
+    int way = findWay(set, tagOf(addr));
+
+    if (policy == WritePolicy::WriteEvict) {
+        // Global data in L1: evict on write, never allocate. Data is
+        // forwarded to the next level by the caller.
+        if (way >= 0) {
+            uint32_t idx = set * cfg_.assoc + static_cast<uint32_t>(way);
+            lines_[idx].valid = false;
+            dropHooks(idx);
+            return true;
+        }
+        ++stats_.writeMisses;
+        return false;
+    }
+
+    // WriteBack: allocate on miss, mark dirty, overwrite kills hooks.
+    const bool hit = way >= 0;
+    if (!hit) {
+        ++stats_.writeMisses;
+        uint32_t w = victimWay(set);
+        fill(set, w, addr);
+        way = static_cast<int>(w);
+    }
+    uint32_t idx = set * cfg_.assoc + static_cast<uint32_t>(way);
+    Line &l = lines_[idx];
+    l.dirty = true;
+    l.lru = ++accessCounter_;
+    dropHooks(idx);
+    return hit;
+}
+
+void
+Cache::applyHooks(Addr addr, uint32_t size, uint8_t *data)
+{
+    if (hooks_.empty())
+        return;
+    uint32_t set = setOf(addr);
+    int way = findWay(set, tagOf(addr));
+    if (way < 0)
+        return;
+    uint32_t idx = set * cfg_.assoc + static_cast<uint32_t>(way);
+    auto it = hooks_.find(idx);
+    if (it == hooks_.end())
+        return;
+    uint64_t startBit =
+        (addr - lineAddr(addr)) * 8; // offset of the access in the line
+    uint64_t endBit = startBit + static_cast<uint64_t>(size) * 8;
+    for (uint32_t bit : it->second) {
+        if (bit >= startBit && bit < endBit) {
+            flipBitInBuffer(data, bit - startBit);
+            ++stats_.hookFlips;
+        }
+    }
+}
+
+bool
+Cache::injectBit(uint32_t lineIdx, uint64_t bit)
+{
+    gpufi_assert(lineIdx < lines_.size());
+    gpufi_assert(bit < cfg_.bitsPerLine());
+    Line &l = lines_[lineIdx];
+    if (bit < cfg_.tagBits) {
+        // Tag fault: mutate the stored tag in place. If the line is
+        // invalid nothing can ever observe it.
+        if (!l.valid)
+            return false;
+        l.tag = flipBit64(l.tag, static_cast<unsigned>(bit));
+        return true;
+    }
+    // Data fault: install an access hook on a valid line.
+    if (!l.valid)
+        return false;
+    hooks_[lineIdx].push_back(static_cast<uint32_t>(bit - cfg_.tagBits));
+    return true;
+}
+
+bool
+Cache::lineValid(uint32_t lineIdx) const
+{
+    gpufi_assert(lineIdx < lines_.size());
+    return lines_[lineIdx].valid;
+}
+
+} // namespace mem
+} // namespace gpufi

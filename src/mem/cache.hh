@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Set-associative tag-array cache model with fault-injection hooks.
+ *
+ * Following GPGPU-Sim, the cache holds tags and status only — data
+ * lives in DeviceMemory and the connection between a line and its
+ * data is made at access time. Fault injection therefore works
+ * exactly as the paper describes (§IV.B):
+ *
+ *  - a fault aimed at a *tag* bit mutates the stored tag immediately;
+ *    subsequent lookups of the original address miss, and if the line
+ *    was dirty its eventual writeback lands at the address the
+ *    corrupted tag denotes (possibly unmapped -> Crash);
+ *  - a fault aimed at a *data* bit installs a hook on the (valid)
+ *    line; every read hit that covers the hooked bit flips it in the
+ *    retrieved data; the hook dies when the line is written (write
+ *    hit) or replaced (read miss / fill).
+ */
+
+#ifndef GPUFI_MEM_CACHE_HH
+#define GPUFI_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "mem/backing.hh"
+
+namespace gpufi {
+namespace mem {
+
+/** Geometry and policy parameters of one cache. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 0;     ///< data capacity
+    uint32_t lineSize = 128;    ///< bytes per line (power of two)
+    uint32_t assoc = 4;         ///< ways per set
+    uint32_t tagBits = 57;      ///< modeled tag bits per line (paper §IV.C)
+
+    uint32_t numLines() const;
+    uint32_t numSets() const;
+    /** data bits + tag bits for one line. */
+    uint64_t bitsPerLine() const;
+    /** total modeled bits (AVF denominator contribution). */
+    uint64_t totalBits() const;
+};
+
+/** Write-miss/hit handling, per access space (paper Table II). */
+enum class WritePolicy : uint8_t
+{
+    WriteEvict,     ///< global data in L1: evict on write, no allocate
+    WriteBack       ///< local data in L1 and all of L2: writeback, allocate
+};
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    uint64_t reads = 0;
+    uint64_t readMisses = 0;
+    uint64_t writes = 0;
+    uint64_t writeMisses = 0;
+    uint64_t writebacks = 0;
+    uint64_t wrongAddrWritebacks = 0; ///< dirty evictions through a corrupted tag
+    uint64_t hookFlips = 0;           ///< data bits flipped by active hooks
+};
+
+/**
+ * One cache instance (an L1 of one SIMT core, or one L2 bank).
+ * Thread-compatible: each simulation owns its caches exclusively.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name diagnostic name
+     * @param cfg geometry
+     * @param mem backing store, used only to model dirty writebacks
+     *        through corrupted tags; may be nullptr for caches whose
+     *        spaces are never dirty (e.g. texture).
+     */
+    Cache(std::string name, const CacheConfig &cfg, DeviceMemory *mem);
+
+    /**
+     * Timing/state read access for the line containing @p addr.
+     * Performs fill and victim writeback on miss.
+     * @return true on hit.
+     */
+    bool readAccess(Addr addr);
+
+    /**
+     * Timing/state write access.
+     * @return true on hit.
+     */
+    bool writeAccess(Addr addr, WritePolicy policy);
+
+    /**
+     * Flip bits of loaded data covered by active hooks.
+     * @param addr start address of the loaded bytes
+     * @param size size of the loaded access
+     * @param data the functionally loaded bytes, mutated in place
+     *
+     * Call after a readAccess() hit for the same address.
+     */
+    void applyHooks(Addr addr, uint32_t size, uint8_t *data);
+
+    /**
+     * Inject a fault at bit @p bit of line @p lineIdx (flat index,
+     * set-major). Bits [0, tagBits) are tag bits; the rest are data
+     * bits. Tag faults mutate state immediately; data faults install
+     * a hook if the line is valid (otherwise the fault is trivially
+     * masked, which the return value reports).
+     * @return true if the fault armed (tag flipped or hook installed).
+     */
+    bool injectBit(uint32_t lineIdx, uint64_t bit);
+
+    /** true if the line currently holds valid contents. */
+    bool lineValid(uint32_t lineIdx) const;
+
+    /** Number of lines. */
+    uint32_t numLines() const { return cfg_.numLines(); }
+
+    const CacheConfig &config() const { return cfg_; }
+    const CacheStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+
+    /** Number of currently active data hooks (diagnostics/tests). */
+    size_t activeHooks() const { return hooks_.size(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;      ///< stored tag (mutable by faults)
+        Addr trueAddr = 0;     ///< line address the fill used
+        uint64_t lru = 0;
+    };
+
+    uint64_t tagOf(Addr addr) const;
+    uint32_t setOf(Addr addr) const;
+    Addr lineAddr(Addr addr) const;
+    /** Address a stored (possibly corrupted) tag denotes. */
+    Addr addrFromTag(uint64_t tag, uint32_t set) const;
+
+    /** -1 if no way of the set matches. */
+    int findWay(uint32_t set, uint64_t tag) const;
+    uint32_t victimWay(uint32_t set) const;
+    /** Evict (with writeback if dirty) and fill a way. */
+    void fill(uint32_t set, uint32_t way, Addr addr);
+    void dropHooks(uint32_t lineIdx);
+
+    std::string name_;
+    CacheConfig cfg_;
+    DeviceMemory *mem_;
+    std::vector<Line> lines_;
+    /** lineIdx -> data-bit offsets with active hooks. */
+    std::unordered_map<uint32_t, std::vector<uint32_t>> hooks_;
+    CacheStats stats_;
+    uint64_t accessCounter_ = 0;
+    uint32_t setShift_ = 0;  ///< log2(lineSize)
+    uint32_t tagShift_ = 0;  ///< log2(lineSize) + log2(numSets)
+};
+
+} // namespace mem
+} // namespace gpufi
+
+#endif // GPUFI_MEM_CACHE_HH

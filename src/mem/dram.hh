@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Off-chip DRAM channel timing model: a fixed access latency plus a
+ * single-server queue per channel, giving first-order bandwidth
+ * contention between memory partitions.
+ */
+
+#ifndef GPUFI_MEM_DRAM_HH
+#define GPUFI_MEM_DRAM_HH
+
+#include <cstdint>
+
+namespace gpufi {
+namespace mem {
+
+/** One DRAM channel behind one memory partition. */
+class DramChannel
+{
+  public:
+    /**
+     * @param accessLatency cycles from request to data
+     * @param serviceInterval cycles the channel stays busy per request
+     */
+    DramChannel(uint32_t accessLatency, uint32_t serviceInterval)
+        : accessLatency_(accessLatency), serviceInterval_(serviceInterval)
+    {}
+
+    /**
+     * Issue a request at cycle @p now.
+     * @return total latency including queueing delay.
+     */
+    uint32_t
+    access(uint64_t now)
+    {
+        ++requests_;
+        uint64_t start = now > nextFree_ ? now : nextFree_;
+        nextFree_ = start + serviceInterval_;
+        return static_cast<uint32_t>(start - now) + accessLatency_;
+    }
+
+    uint64_t requests() const { return requests_; }
+
+  private:
+    uint32_t accessLatency_;
+    uint32_t serviceInterval_;
+    uint64_t nextFree_ = 0;
+    uint64_t requests_ = 0;
+};
+
+} // namespace mem
+} // namespace gpufi
+
+#endif // GPUFI_MEM_DRAM_HH

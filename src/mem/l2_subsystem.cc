@@ -1,0 +1,107 @@
+#include "mem/l2_subsystem.hh"
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace mem {
+
+L2Subsystem::L2Subsystem(const L2Params &params, DeviceMemory *mem)
+    : params_(params)
+{
+    gpufi_assert(params_.numPartitions > 0);
+    gpufi_assert(params_.totalSize % params_.numPartitions == 0);
+
+    CacheConfig bankCfg;
+    bankCfg.sizeBytes = params_.totalSize / params_.numPartitions;
+    bankCfg.lineSize = params_.lineSize;
+    bankCfg.assoc = params_.assoc;
+    bankCfg.tagBits = params_.tagBits;
+    linesPerBank_ = bankCfg.numLines();
+
+    for (uint32_t p = 0; p < params_.numPartitions; ++p) {
+        banks_.push_back(std::make_unique<Cache>(
+            detail::format("L2.bank%u", p), bankCfg, mem));
+        channels_.emplace_back(params_.dramLatency,
+                               params_.dramServiceInterval);
+    }
+}
+
+uint32_t
+L2Subsystem::partitionOf(Addr addr) const
+{
+    return static_cast<uint32_t>((addr / params_.lineSize) %
+                                 params_.numPartitions);
+}
+
+uint32_t
+L2Subsystem::read(Addr addr, uint32_t size, uint8_t *data,
+                  uint64_t now, bool applyHooks)
+{
+    uint32_t p = partitionOf(addr);
+    Cache &bank = *banks_[p];
+    bool hit = bank.readAccess(addr);
+    if (hit) {
+        if (applyHooks)
+            bank.applyHooks(addr, size, data);
+        return params_.hitLatency;
+    }
+    return params_.hitLatency + channels_[p].access(now);
+}
+
+uint32_t
+L2Subsystem::write(Addr addr, uint64_t now)
+{
+    uint32_t p = partitionOf(addr);
+    Cache &bank = *banks_[p];
+    bool hit = bank.writeAccess(addr, WritePolicy::WriteBack);
+    if (hit)
+        return params_.hitLatency;
+    return params_.hitLatency + channels_[p].access(now);
+}
+
+uint32_t
+L2Subsystem::numLines() const
+{
+    return linesPerBank_ * params_.numPartitions;
+}
+
+uint64_t
+L2Subsystem::bitsPerLine() const
+{
+    return static_cast<uint64_t>(params_.lineSize) * 8 + params_.tagBits;
+}
+
+uint64_t
+L2Subsystem::totalBits() const
+{
+    return bitsPerLine() * numLines();
+}
+
+bool
+L2Subsystem::injectBit(uint32_t lineIdx, uint64_t bit)
+{
+    gpufi_assert(lineIdx < numLines());
+    uint32_t bankIdx = lineIdx / linesPerBank_;
+    uint32_t local = lineIdx % linesPerBank_;
+    return banks_[bankIdx]->injectBit(local, bit);
+}
+
+CacheStats
+L2Subsystem::stats() const
+{
+    CacheStats total;
+    for (const auto &b : banks_) {
+        const CacheStats &s = b->stats();
+        total.reads += s.reads;
+        total.readMisses += s.readMisses;
+        total.writes += s.writes;
+        total.writeMisses += s.writeMisses;
+        total.writebacks += s.writebacks;
+        total.wrongAddrWritebacks += s.wrongAddrWritebacks;
+        total.hookFlips += s.hookFlips;
+    }
+    return total;
+}
+
+} // namespace mem
+} // namespace gpufi

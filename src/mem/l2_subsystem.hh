@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The chip-level L2 cache plus DRAM channels.
+ *
+ * GPGPU-Sim splits the L2 into banks, one per memory partition. Like
+ * the paper, we expose the L2 to the injector as a single flat entity
+ * where the first N lines belong to bank 0 and so on; addresses are
+ * interleaved across partitions at line granularity. The L2 services
+ * all memory request types (the paper's configuration).
+ */
+
+#ifndef GPUFI_MEM_L2_SUBSYSTEM_HH
+#define GPUFI_MEM_L2_SUBSYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/backing.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace gpufi {
+namespace mem {
+
+/** Timing parameters of the L2/DRAM subsystem. */
+struct L2Params
+{
+    uint64_t totalSize = 3u << 20;  ///< data bytes across all banks
+    uint32_t lineSize = 128;
+    uint32_t assoc = 8;
+    uint32_t tagBits = 57;
+    uint32_t numPartitions = 12;
+    uint32_t hitLatency = 120;      ///< cycles, request to data on hit
+    uint32_t dramLatency = 220;     ///< additional cycles on miss
+    uint32_t dramServiceInterval = 16;
+};
+
+/** Banked L2 with per-partition DRAM channels. */
+class L2Subsystem
+{
+  public:
+    L2Subsystem(const L2Params &params, DeviceMemory *mem);
+
+    /**
+     * Read the line containing @p addr at cycle @p now, applying any
+     * active data hooks to @p data (the functionally loaded bytes).
+     * @param applyHooks false for constant/instruction fetches: the
+     *        paper's L2 hooks act only on local, global and texture
+     *        data (§IV.B.5).
+     * @return total latency in cycles.
+     */
+    uint32_t read(Addr addr, uint32_t size, uint8_t *data,
+                  uint64_t now, bool applyHooks = true);
+
+    /** Write access (writeback policy). @return latency in cycles. */
+    uint32_t write(Addr addr, uint64_t now);
+
+    /** Flat number of lines across all banks. */
+    uint32_t numLines() const;
+
+    /** Bits per line (data + tag). */
+    uint64_t bitsPerLine() const;
+
+    /** Total modeled bits (AVF denominator contribution). */
+    uint64_t totalBits() const;
+
+    /**
+     * Inject a fault at bit @p bit of flat line @p lineIdx (paper's
+     * single-entity L2 abstraction). @return true if armed.
+     */
+    bool injectBit(uint32_t lineIdx, uint64_t bit);
+
+    /** Bank that services @p addr. */
+    uint32_t partitionOf(Addr addr) const;
+
+    /** Aggregate stats across banks. */
+    CacheStats stats() const;
+
+    const L2Params &params() const { return params_; }
+
+  private:
+    L2Params params_;
+    std::vector<std::unique_ptr<Cache>> banks_;
+    std::vector<DramChannel> channels_;
+    uint32_t linesPerBank_;
+};
+
+} // namespace mem
+} // namespace gpufi
+
+#endif // GPUFI_MEM_L2_SUBSYSTEM_HH

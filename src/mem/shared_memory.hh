@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-CTA shared memory (the on-chip scratchpad). Each running CTA
+ * owns a private instance, as in GPGPU-Sim; the injector flips bits
+ * in the instance of a randomly chosen *active* CTA and the AVF
+ * methodology applies the df_smem derating factor to account for the
+ * fraction of the physical SM scratchpad a CTA instance represents.
+ */
+
+#ifndef GPUFI_MEM_SHARED_MEMORY_HH
+#define GPUFI_MEM_SHARED_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "mem/addr.hh"
+
+namespace gpufi {
+namespace mem {
+
+/** Shared-memory instance of one CTA. */
+class SharedMemory
+{
+  public:
+    explicit SharedMemory(uint32_t bytes) : data_(bytes, 0) {}
+
+    uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+
+    /** @throws DeviceFault on out-of-range access. */
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        check(addr, 4);
+        uint32_t v;
+        __builtin_memcpy(&v, data_.data() + addr, 4);
+        return v;
+    }
+
+    /** @throws DeviceFault on out-of-range access. */
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        check(addr, 4);
+        __builtin_memcpy(data_.data() + addr, &value, 4);
+    }
+
+    /** Flip one bit (fault injection). @pre bit < size()*8. */
+    void
+    flipBit(uint64_t bit)
+    {
+        gpufi_assert(bit < static_cast<uint64_t>(data_.size()) * 8);
+        flipBitInBuffer(data_.data(), bit);
+    }
+
+  private:
+    void
+    check(uint32_t addr, uint32_t bytes) const
+    {
+        if (addr + bytes > data_.size())
+            throw DeviceFault(detail::format(
+                "shared memory access at 0x%x (+%u) exceeds CTA"
+                " allocation of %zu bytes", addr, bytes, data_.size()));
+    }
+
+    std::vector<uint8_t> data_;
+};
+
+} // namespace mem
+} // namespace gpufi
+
+#endif // GPUFI_MEM_SHARED_MEMORY_HH

@@ -1,0 +1,663 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "isa/types.hh"
+#include "sim/exec.hh"
+#include "sim/gpu.hh"
+
+namespace gpufi {
+namespace sim {
+
+using isa::Opcode;
+using isa::OpClass;
+using isa::Operand;
+using isa::OperandKind;
+using mem::Addr;
+using mem::Space;
+
+SimtCore::SimtCore(Gpu *gpu, uint32_t id) : gpu_(gpu), id_(id)
+{
+    const GpuConfig &cfg = gpu_->config();
+    if (cfg.l1dEnabled) {
+        l1d_ = std::make_unique<mem::Cache>(
+            detail::format("core%u.L1D", id), cfg.l1dConfig(),
+            &gpu_->mem());
+    }
+    l1t_ = std::make_unique<mem::Cache>(
+        detail::format("core%u.L1T", id), cfg.l1tConfig(), nullptr);
+    l1c_ = std::make_unique<mem::Cache>(
+        detail::format("core%u.L1C", id), cfg.l1cConfig(), nullptr);
+}
+
+bool
+SimtCore::canAccept(uint32_t blockThreads, uint32_t regsPerThread,
+                    uint32_t sharedBytes) const
+{
+    const GpuConfig &cfg = gpu_->config();
+    if (ctas_.size() >= cfg.maxCtasPerSm)
+        return false;
+    if (usedThreads_ + blockThreads > cfg.maxThreadsPerSm)
+        return false;
+    if (usedRegs_ + blockThreads * regsPerThread > cfg.regsPerSm)
+        return false;
+    if (usedSmem_ + sharedBytes > cfg.smemPerSm)
+        return false;
+    return true;
+}
+
+void
+SimtCore::addCta(CtaRuntime *cta)
+{
+    cta->coreId = static_cast<int>(id_);
+    ctas_.push_back(cta);
+    for (auto &w : cta->warps)
+        warps_.push_back(&w);
+    uint32_t blockThreads = static_cast<uint32_t>(cta->threads.size());
+    usedThreads_ += blockThreads;
+    usedRegs_ += blockThreads * gpu_->runningKernel()->numRegs;
+    usedSmem_ += cta->shared.size();
+    liveThreads_ += blockThreads;
+}
+
+uint32_t
+SimtCore::liveWarps() const
+{
+    uint32_t n = 0;
+    for (const auto *cta : ctas_)
+        n += cta->liveWarps;
+    return n;
+}
+
+bool
+SimtCore::canIssue(const WarpContext &w, uint64_t now) const
+{
+    if (w.done || w.atBarrier || w.readyAt > now || w.stack.empty())
+        return false;
+    int pc = w.stack.back().pc;
+    gpufi_assert(pc >= 0 && pc < gpu_->runningKernel()->size());
+    const isa::Instruction &inst =
+        gpu_->runningKernel()->code[static_cast<size_t>(pc)];
+    // Scoreboard: block on in-flight writes to any referenced register.
+    auto pending = [&](int reg) {
+        return reg >= 0 &&
+               w.pendingWrites[static_cast<size_t>(reg)] > 0;
+    };
+    if (pending(inst.dst) || pending(inst.memBase))
+        return false;
+    for (const auto &s : inst.src)
+        if (s.kind == OperandKind::Reg &&
+            pending(static_cast<int>(s.value)))
+            return false;
+    return true;
+}
+
+void
+SimtCore::step(uint64_t now)
+{
+    // Retire writebacks that complete this cycle.
+    while (!wb_.empty() && wb_.top().cycle <= now) {
+        const WbEvent &ev = wb_.top();
+        gpufi_assert(
+            ev.warp->pendingWrites[static_cast<size_t>(ev.reg)] > 0);
+        --ev.warp->pendingWrites[static_cast<size_t>(ev.reg)];
+        wb_.pop();
+    }
+
+    if (warps_.empty())
+        return;
+
+    const GpuConfig &cfg = gpu_->config();
+    uint32_t issued = 0;
+    const size_t n = warps_.size();
+
+    if (cfg.schedPolicy == SchedPolicy::GTO) {
+        // Greedy: keep issuing the last warp while it is ready, then
+        // fall back to the oldest ready warp.
+        while (issued < cfg.issueWidth && gtoWarp_ && !gtoWarp_->done &&
+               canIssue(*gtoWarp_, now)) {
+            executeWarp(*gtoWarp_, now);
+            ++issued;
+        }
+        while (issued < cfg.issueWidth) {
+            WarpContext *oldest = nullptr;
+            for (WarpContext *w : warps_) {
+                if (w == gtoWarp_ || !canIssue(*w, now))
+                    continue;
+                if (!oldest || w->arrivalOrder < oldest->arrivalOrder)
+                    oldest = w;
+            }
+            if (!oldest)
+                break;
+            executeWarp(*oldest, now);
+            gtoWarp_ = oldest;
+            ++issued;
+        }
+    } else {
+        // Loose round robin over the resident warps.
+        size_t lastIssued = rrCursor_;
+        for (size_t k = 0; k < n && issued < cfg.issueWidth; ++k) {
+            size_t idx = (rrCursor_ + k) % n;
+            WarpContext *w = warps_[idx];
+            if (!canIssue(*w, now))
+                continue;
+            executeWarp(*w, now);
+            ++issued;
+            lastIssued = idx;
+        }
+        if (issued > 0)
+            rrCursor_ = (lastIssued + 1) % n;
+        if (rrCursor_ >= warps_.size())
+            rrCursor_ = 0;
+    }
+
+    sweepRetired();
+}
+
+void
+SimtCore::advancePc(WarpContext &w, int newPc)
+{
+    w.stack.back().pc = newPc;
+    // Reconvergence: threads reaching the rpc rejoin the entry below.
+    while (!w.stack.empty() &&
+           w.stack.back().rpc >= 0 &&
+           w.stack.back().pc == w.stack.back().rpc) {
+        w.stack.pop_back();
+    }
+    gpufi_assert(!w.stack.empty());
+}
+
+void
+SimtCore::diverge(WarpContext &w, int takenPc, int fallPc, int rpc,
+                  uint32_t takenMask, uint32_t fallMask)
+{
+    // Top entry becomes the join entry waiting at the reconvergence
+    // point; the two paths execute above it, taken side first. A side
+    // that branches directly to the reconvergence point gets no entry
+    // of its own: those threads wait in the join entry (otherwise they
+    // would run ahead of the other side — e.g. through a barrier).
+    w.stack.back().pc = rpc; // may be -1: join-at-exit
+    if (fallPc != rpc)
+        w.stack.push_back({fallPc, rpc, fallMask});
+    if (takenPc != rpc)
+        w.stack.push_back({takenPc, rpc, takenMask});
+}
+
+void
+SimtCore::cleanupStack(WarpContext &w)
+{
+    while (!w.stack.empty() &&
+           (w.stack.back().mask & ~w.exitedMask & w.validMask) == 0)
+        w.stack.pop_back();
+    if (w.stack.empty() && !w.done)
+        finishWarp(w);
+}
+
+void
+SimtCore::finishWarp(WarpContext &w)
+{
+    w.done = true;
+    CtaRuntime &cta = *w.cta;
+    gpufi_assert(cta.liveWarps > 0);
+    --cta.liveWarps;
+    checkBarrier(cta);
+    if (cta.liveWarps == 0)
+        retireCta(&cta);
+}
+
+void
+SimtCore::checkBarrier(CtaRuntime &cta)
+{
+    if (cta.barrierArrived == 0)
+        return;
+    if (cta.barrierArrived >= cta.liveWarps) {
+        for (auto &w : cta.warps)
+            w.atBarrier = false;
+        cta.barrierArrived = 0;
+    }
+}
+
+void
+SimtCore::retireCta(CtaRuntime *cta)
+{
+    retired_.push_back(cta);
+}
+
+void
+SimtCore::sweepRetired()
+{
+    if (retired_.empty())
+        return;
+    const isa::Kernel *kernel = gpu_->runningKernel();
+    for (CtaRuntime *cta : retired_) {
+        uint32_t blockThreads =
+            static_cast<uint32_t>(cta->threads.size());
+        usedThreads_ -= blockThreads;
+        usedRegs_ -= blockThreads * kernel->numRegs;
+        usedSmem_ -= cta->shared.size();
+        std::erase_if(warps_, [cta](const WarpContext *w) {
+            return w->cta == cta;
+        });
+        std::erase(ctas_, cta);
+        if (gtoWarp_ && gtoWarp_->cta == cta)
+            gtoWarp_ = nullptr;
+        gpu_->onCtaRetired(cta); // frees the CTA; do not touch after
+    }
+    retired_.clear();
+    if (rrCursor_ >= warps_.size())
+        rrCursor_ = 0;
+}
+
+void
+SimtCore::scheduleWriteback(WarpContext &w, int reg, uint64_t cycle)
+{
+    gpufi_assert(reg >= 0);
+    ++w.pendingWrites[static_cast<size_t>(reg)];
+    wb_.push({cycle, &w, reg});
+}
+
+namespace {
+
+/** Latency of a pure opcode given the configured latency table. */
+uint32_t
+aluLatency(const Latencies &lat, OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:  return lat.intAlu;
+      case OpClass::IntMul:  return lat.intMul;
+      case OpClass::FpAlu:   return lat.fpAlu;
+      case OpClass::Sfu:     return lat.sfu;
+      default:               return lat.intAlu;
+    }
+}
+
+} // namespace
+
+void
+SimtCore::executeWarp(WarpContext &w, uint64_t now)
+{
+    const isa::Kernel &kernel = *gpu_->runningKernel();
+    const int pc = w.stack.back().pc;
+    const isa::Instruction &inst =
+        kernel.code[static_cast<size_t>(pc)];
+    const uint32_t mask = w.activeMask();
+    gpufi_assert(mask != 0);
+
+    gpu_->countInstruction();
+    w.readyAt = now + 1;
+
+    CtaRuntime &cta = *w.cta;
+    const Latencies &lat = gpu_->config().lat;
+
+    // Per-lane operand fetch helper.
+    auto fetch = [&](uint32_t lane, const Operand &o) -> uint32_t {
+        switch (o.kind) {
+          case OperandKind::Reg:
+            return cta.threads[w.threadBase + lane]
+                .regs[o.value];
+          case OperandKind::Imm:
+            return o.value;
+          case OperandKind::SReg: {
+            const ThreadContext &t = cta.threads[w.threadBase + lane];
+            switch (static_cast<isa::SpecialReg>(o.value)) {
+              case isa::SpecialReg::TID_X: return t.tidX;
+              case isa::SpecialReg::TID_Y: return t.tidY;
+              case isa::SpecialReg::NTID_X: return gpu_->blockDim().x;
+              case isa::SpecialReg::NTID_Y: return gpu_->blockDim().y;
+              case isa::SpecialReg::CTAID_X: return cta.ctaX;
+              case isa::SpecialReg::CTAID_Y: return cta.ctaY;
+              case isa::SpecialReg::NCTAID_X: return gpu_->gridDim().x;
+              case isa::SpecialReg::NCTAID_Y: return gpu_->gridDim().y;
+              case isa::SpecialReg::LANEID: return lane;
+              case isa::SpecialReg::WARPID: return w.warpIdInCta;
+              default:
+                panic("bad special register %u", o.value);
+            }
+          }
+          case OperandKind::None:
+          default:
+            panic("operand fetch on empty operand (pc %d)", pc);
+        }
+    };
+
+    switch (inst.op) {
+      case Opcode::BRA:
+        advancePc(w, inst.branchTarget);
+        break;
+
+      case Opcode::BRZ:
+      case Opcode::BRNZ: {
+        uint32_t takenMask = 0;
+        for (uint32_t lane = 0; lane < 32; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            uint32_t v = fetch(lane, inst.src[0]);
+            bool taken = (inst.op == Opcode::BRZ) ? (v == 0) : (v != 0);
+            if (taken)
+                takenMask |= 1u << lane;
+        }
+        uint32_t fallMask = mask & ~takenMask;
+        w.readyAt = now + lat.control;
+        if (fallMask == 0) {
+            advancePc(w, inst.branchTarget);
+        } else if (takenMask == 0) {
+            advancePc(w, pc + 1);
+        } else {
+            diverge(w, inst.branchTarget, pc + 1, inst.reconvergePc,
+                    takenMask, fallMask);
+        }
+        break;
+      }
+
+      case Opcode::BAR:
+        advancePc(w, pc + 1);
+        w.atBarrier = true;
+        ++cta.barrierArrived;
+        checkBarrier(cta);
+        break;
+
+      case Opcode::EXIT: {
+        w.exitedMask |= mask;
+        uint32_t nExited = static_cast<uint32_t>(std::popcount(mask));
+        liveThreads_ -= nExited;
+        for (uint32_t lane = 0; lane < 32; ++lane)
+            if (mask & (1u << lane))
+                cta.threads[w.threadBase + lane].exited = true;
+        cleanupStack(w);
+        break;
+      }
+
+      case Opcode::NOP:
+        advancePc(w, pc + 1);
+        break;
+
+      case Opcode::PARAM: {
+        // Kernel parameters live in constant memory and are fetched
+        // through the per-SM constant cache. Misses go through the
+        // L2 but without L2 hooks: the paper's L2 injection acts on
+        // local/global/texture data only (§IV.B.5).
+        mem::Addr addr = gpu_->paramAddr(inst.src[0].value);
+        uint32_t v;
+        gpu_->mem().read(addr, &v, 4);
+        uint32_t latency = lat.param;
+        if (l1c_->readAccess(addr)) {
+            l1c_->applyHooks(addr, 4,
+                             reinterpret_cast<uint8_t *>(&v));
+        } else {
+            uint8_t dummy[4];
+            latency += gpu_->l2().read(addr, 4, dummy, now,
+                                       /*applyHooks=*/false);
+        }
+        for (uint32_t lane = 0; lane < 32; ++lane)
+            if (mask & (1u << lane))
+                cta.threads[w.threadBase + lane]
+                    .regs[static_cast<size_t>(inst.dst)] = v;
+        scheduleWriteback(w, inst.dst, now + latency);
+        advancePc(w, pc + 1);
+        break;
+      }
+
+      default: {
+        if (isa::isMemory(inst.op)) {
+            if (inst.op == Opcode::LDS || inst.op == Opcode::STS)
+                executeShared(w, inst, mask, now);
+            else
+                executeMemory(w, inst, mask, now);
+            advancePc(w, pc + 1);
+            break;
+        }
+        // Pure ALU/FP/conversion instruction.
+        uint32_t latency =
+            aluLatency(lat, isa::opClass(inst.op));
+        for (uint32_t lane = 0; lane < 32; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            uint32_t a = inst.src[0].kind != OperandKind::None
+                             ? fetch(lane, inst.src[0]) : 0;
+            uint32_t bv = inst.src[1].kind != OperandKind::None
+                              ? fetch(lane, inst.src[1]) : 0;
+            uint32_t cv = inst.src[2].kind != OperandKind::None
+                              ? fetch(lane, inst.src[2]) : 0;
+            cta.threads[w.threadBase + lane]
+                .regs[static_cast<size_t>(inst.dst)] =
+                evalAlu(inst.op, a, bv, cv);
+        }
+        scheduleWriteback(w, inst.dst, now + latency);
+        advancePc(w, pc + 1);
+        break;
+      }
+    }
+}
+
+void
+SimtCore::executeShared(WarpContext &w, const isa::Instruction &inst,
+                        uint32_t mask, uint64_t now)
+{
+    CtaRuntime &cta = *w.cta;
+    const Latencies &lat = gpu_->config().lat;
+
+    // Collect per-lane shared addresses and detect bank conflicts
+    // (32 banks, 4-byte wide; same-word broadcast is conflict-free).
+    uint32_t bankWords[32][2];  // up to 2 distinct words tracked/bank
+    uint32_t bankCount[32] = {};
+    uint32_t maxConflict = 1;
+
+    for (uint32_t lane = 0; lane < 32; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        ThreadContext &t = cta.threads[w.threadBase + lane];
+        uint32_t addr =
+            t.regs[static_cast<size_t>(inst.memBase)] +
+            static_cast<uint32_t>(inst.memOffset);
+        uint32_t word = addr >> 2;
+        uint32_t bank = word & 31;
+        bool seen = false;
+        for (uint32_t i = 0; i < std::min(bankCount[bank], 2u); ++i)
+            if (bankWords[bank][i] == word)
+                seen = true;
+        if (!seen) {
+            if (bankCount[bank] < 2)
+                bankWords[bank][bankCount[bank]] = word;
+            ++bankCount[bank];
+            maxConflict = std::max(maxConflict, bankCount[bank]);
+        }
+
+        if (inst.op == Opcode::LDS) {
+            t.regs[static_cast<size_t>(inst.dst)] =
+                cta.shared.read32(addr);
+        } else {
+            uint32_t v;
+            if (inst.src[0].kind == OperandKind::Imm)
+                v = inst.src[0].value;
+            else
+                v = t.regs[inst.src[0].value];
+            cta.shared.write32(addr, v);
+        }
+    }
+
+    uint32_t latency = lat.shared + (maxConflict - 1) * 2;
+    if (inst.op == Opcode::LDS)
+        scheduleWriteback(w, inst.dst, now + latency);
+    w.readyAt = now + 1;
+}
+
+uint32_t
+SimtCore::loadLine(Space space, Addr lineAddr, uint8_t *buf, uint64_t now)
+{
+    const GpuConfig &cfg = gpu_->config();
+    gpu_->mem().readClamped(lineAddr, buf, cfg.l1LineSize);
+
+    mem::Cache *l1 =
+        space == Space::Texture ? l1t_.get() : l1d_.get();
+    if (l1) {
+        if (l1->readAccess(lineAddr)) {
+            l1->applyHooks(lineAddr, cfg.l1LineSize, buf);
+            return cfg.lat.l1Hit;
+        }
+        return cfg.lat.l1Hit +
+               gpu_->l2().read(lineAddr, cfg.l1LineSize, buf, now);
+    }
+    return gpu_->l2().read(lineAddr, cfg.l1LineSize, buf, now);
+}
+
+uint32_t
+SimtCore::storeLine(Space space, Addr lineAddr, uint64_t now)
+{
+    const GpuConfig &cfg = gpu_->config();
+    if (space == Space::Global) {
+        // Global stores: evict-on-write in L1, forwarded to L2.
+        if (l1d_)
+            l1d_->writeAccess(lineAddr, mem::WritePolicy::WriteEvict);
+        return gpu_->l2().write(lineAddr, now);
+    }
+    // Local stores: writeback/allocate in L1 when present.
+    if (l1d_) {
+        bool hit =
+            l1d_->writeAccess(lineAddr, mem::WritePolicy::WriteBack);
+        if (hit)
+            return cfg.lat.l1Hit;
+        // Fetch-on-write through the L2 for the allocated line.
+        uint8_t scratch[512];
+        gpufi_assert(cfg.l1LineSize <= sizeof(scratch));
+        gpu_->mem().readClamped(lineAddr, scratch, cfg.l1LineSize);
+        return cfg.lat.l1Hit +
+               gpu_->l2().read(lineAddr, cfg.l1LineSize, scratch, now);
+    }
+    return gpu_->l2().write(lineAddr, now);
+}
+
+void
+SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
+                        uint32_t mask, uint64_t now)
+{
+    CtaRuntime &cta = *w.cta;
+    const GpuConfig &cfg = gpu_->config();
+    const uint32_t lineSize = cfg.l1LineSize;
+    mem::DeviceMemory &dmem = gpu_->mem();
+
+    Space space;
+    switch (inst.op) {
+      case Opcode::LDG: case Opcode::STG: space = Space::Global; break;
+      case Opcode::LDL: case Opcode::STL: space = Space::Local; break;
+      case Opcode::LDT: space = Space::Texture; break;
+      default:
+        panic("executeMemory: bad opcode %s", isa::opcodeName(inst.op));
+    }
+
+    // Per-lane effective addresses (with local-space translation and
+    // per-space validity checks that model MMU faults).
+    Addr laneAddr[32];
+    for (uint32_t lane = 0; lane < 32; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        ThreadContext &t = cta.threads[w.threadBase + lane];
+        uint32_t base = t.regs[static_cast<size_t>(inst.memBase)];
+        uint32_t off32 =
+            base + static_cast<uint32_t>(inst.memOffset);
+        Addr addr = off32;
+        if (space == Space::Local) {
+            if (off32 + 4 > gpu_->localBytes())
+                throw mem::DeviceFault(detail::format(
+                    "local access at offset %u exceeds per-thread"
+                    " allocation of %u bytes", off32,
+                    gpu_->localBytes()));
+            addr = gpu_->localAddr(cta, w.threadBase + lane) + off32;
+        } else if (space == Space::Texture) {
+            // Texture units clamp out-of-range addresses rather than
+            // faulting; a corrupted coordinate reads edge data.
+            addr = dmem.clampToTexture(addr, 4);
+        }
+        if (!dmem.valid(addr, 4))
+            throw mem::DeviceFault(detail::format(
+                "%s access at 0x%llx is unmapped",
+                mem::spaceName(space),
+                static_cast<unsigned long long>(addr)));
+        laneAddr[lane] = addr;
+    }
+
+    if (isa::isStore(inst.op)) {
+        // Functional writes, then per-line store timing.
+        std::vector<Addr> lines;
+        for (uint32_t lane = 0; lane < 32; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            ThreadContext &t = cta.threads[w.threadBase + lane];
+            uint32_t v;
+            if (inst.src[0].kind == OperandKind::Imm)
+                v = inst.src[0].value;
+            else
+                v = t.regs[inst.src[0].value];
+            dmem.write32(laneAddr[lane], v);
+            Addr la = laneAddr[lane] & ~static_cast<Addr>(lineSize - 1);
+            Addr lb =
+                (laneAddr[lane] + 3) & ~static_cast<Addr>(lineSize - 1);
+            lines.push_back(la);
+            if (lb != la)
+                lines.push_back(lb);
+        }
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()),
+                    lines.end());
+        uint32_t maxLat = 0;
+        for (Addr la : lines)
+            maxLat = std::max(maxLat, storeLine(space, la, now));
+        (void)maxLat; // stores do not block the warp
+        w.readyAt = now + 1 + (lines.size() > 1
+                                   ? (lines.size() - 1) * 2 : 0);
+        return;
+    }
+
+    // Loads: fetch each unique line once (with cache timing and fault
+    // hooks), then extract per-lane words from the retrieved bytes so
+    // injected corruption propagates into the registers.
+    struct LineBuf
+    {
+        Addr addr;
+        uint32_t latency;
+        std::vector<uint8_t> bytes;
+    };
+    std::vector<LineBuf> lineBufs;
+    auto lineFor = [&](Addr la) -> LineBuf & {
+        for (auto &lb : lineBufs)
+            if (lb.addr == la)
+                return lb;
+        lineBufs.push_back({la, 0, std::vector<uint8_t>(lineSize)});
+        LineBuf &lb = lineBufs.back();
+        lb.latency = loadLine(space, la, lb.bytes.data(), now);
+        return lb;
+    };
+
+    uint32_t maxLat = 0;
+    for (uint32_t lane = 0; lane < 32; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        ThreadContext &t = cta.threads[w.threadBase + lane];
+        Addr addr = laneAddr[lane];
+        Addr la = addr & ~static_cast<Addr>(lineSize - 1);
+        uint32_t v;
+        LineBuf &lb = lineFor(la);
+        uint64_t off = addr - la;
+        if (off + 4 <= lineSize) {
+            __builtin_memcpy(&v, lb.bytes.data() + off, 4);
+        } else {
+            // Line-crossing access (possible only with corrupted
+            // addresses): take the functional value and charge the
+            // second line's timing.
+            LineBuf &lb2 = lineFor(la + lineSize);
+            maxLat = std::max(maxLat, lb2.latency);
+            v = dmem.read32(addr);
+        }
+        maxLat = std::max(maxLat, lb.latency);
+        t.regs[static_cast<size_t>(inst.dst)] = v;
+    }
+    uint32_t serial = lineBufs.size() > 1
+                          ? static_cast<uint32_t>(
+                                (lineBufs.size() - 1) * 2) : 0;
+    scheduleWriteback(w, inst.dst, now + maxLat + serial);
+    w.readyAt = now + 1;
+}
+
+} // namespace sim
+} // namespace gpufi

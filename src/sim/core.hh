@@ -1,0 +1,137 @@
+/**
+ * @file
+ * One SIMT core (an Nvidia SM): resident CTAs, warp scheduler with
+ * scoreboard, SIMT reconvergence stack execution, barrier unit, and
+ * the private L1 data / texture caches.
+ */
+
+#ifndef GPUFI_SIM_CORE_HH
+#define GPUFI_SIM_CORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/gpu_config.hh"
+#include "sim/runtime.hh"
+
+namespace gpufi {
+namespace isa {
+struct Instruction;
+}
+
+namespace sim {
+
+class Gpu;
+
+/** A register writeback completing at a future cycle. */
+struct WbEvent
+{
+    uint64_t cycle;
+    WarpContext *warp;
+    int reg;
+
+    bool
+    operator>(const WbEvent &o) const
+    {
+        return cycle > o.cycle;
+    }
+};
+
+/** One streaming multiprocessor. */
+class SimtCore
+{
+  public:
+    SimtCore(Gpu *gpu, uint32_t id);
+
+    /** true if the CTA's resources fit right now. */
+    bool canAccept(uint32_t blockThreads, uint32_t regsPerThread,
+                   uint32_t sharedBytes) const;
+
+    /** Make a CTA resident (caller checked canAccept). */
+    void addCta(CtaRuntime *cta);
+
+    /** Advance one cycle: writebacks, then instruction issue. */
+    void step(uint64_t now);
+
+    /** true if any CTA is resident. */
+    bool busy() const { return !ctas_.empty(); }
+
+    uint32_t id() const { return id_; }
+
+    /** L1 data cache, or nullptr when the architecture disables it. */
+    mem::Cache *l1d() { return l1d_.get(); }
+    const mem::Cache *l1d() const { return l1d_.get(); }
+
+    /** L1 texture cache. */
+    mem::Cache *l1t() { return l1t_.get(); }
+    const mem::Cache *l1t() const { return l1t_.get(); }
+
+    /**
+     * L1 constant cache (kernel parameters are fetched through it).
+     * An extension target: the original paper defers constant-cache
+     * injection to future work.
+     */
+    mem::Cache *l1c() { return l1c_.get(); }
+    const mem::Cache *l1c() const { return l1c_.get(); }
+
+    const std::vector<CtaRuntime *> &ctas() const { return ctas_; }
+
+    /** Live (non-exited) threads across resident CTAs. */
+    uint32_t liveThreads() const { return liveThreads_; }
+
+    /** Live warps across resident CTAs. */
+    uint32_t liveWarps() const;
+
+  private:
+    bool canIssue(const WarpContext &w, uint64_t now) const;
+    void executeWarp(WarpContext &w, uint64_t now);
+    void executeMemory(WarpContext &w, const isa::Instruction &inst,
+                       uint32_t mask, uint64_t now);
+    void executeShared(WarpContext &w, const isa::Instruction &inst,
+                       uint32_t mask, uint64_t now);
+
+    /** Load one line's bytes with cache timing + hook application. */
+    uint32_t loadLine(mem::Space space, mem::Addr lineAddr, uint8_t *buf,
+                      uint64_t now);
+    /** Store-path timing for one line. */
+    uint32_t storeLine(mem::Space space, mem::Addr lineAddr,
+                       uint64_t now);
+
+    void advancePc(WarpContext &w, int newPc);
+    void diverge(WarpContext &w, int takenPc, int fallPc, int rpc,
+                 uint32_t takenMask, uint32_t fallMask);
+    /** Pop fully-exited entries; finish the warp when the stack drains. */
+    void cleanupStack(WarpContext &w);
+    void finishWarp(WarpContext &w);
+    void checkBarrier(CtaRuntime &cta);
+    void retireCta(CtaRuntime *cta);
+    void sweepRetired();
+    void scheduleWriteback(WarpContext &w, int reg, uint64_t cycle);
+
+    Gpu *gpu_;
+    uint32_t id_;
+    std::unique_ptr<mem::Cache> l1d_;
+    std::unique_ptr<mem::Cache> l1t_;
+    std::unique_ptr<mem::Cache> l1c_;
+
+    std::vector<CtaRuntime *> ctas_;       ///< resident (owned by Gpu)
+    std::vector<WarpContext *> warps_;     ///< all resident warps
+    std::vector<CtaRuntime *> retired_;    ///< done, swept after issue
+    std::priority_queue<WbEvent, std::vector<WbEvent>,
+                        std::greater<WbEvent>> wb_;
+
+    uint32_t usedThreads_ = 0;
+    uint32_t usedRegs_ = 0;
+    uint32_t usedSmem_ = 0;
+    uint32_t liveThreads_ = 0;
+    size_t rrCursor_ = 0;
+    WarpContext *gtoWarp_ = nullptr;
+};
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_CORE_HH

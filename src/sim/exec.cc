@@ -1,0 +1,105 @@
+#include "sim/exec.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace sim {
+
+using isa::Opcode;
+
+uint32_t
+evalAlu(Opcode op, uint32_t a, uint32_t b, uint32_t c)
+{
+    auto sa = static_cast<int32_t>(a);
+    auto sb = static_cast<int32_t>(b);
+    float fa = bitsToFloat(a);
+    float fb = bitsToFloat(b);
+    float fc = bitsToFloat(c);
+
+    switch (op) {
+      case Opcode::MOV:    return a;
+      case Opcode::SEL:    return a != 0 ? b : c;
+
+      case Opcode::ADD:    return a + b;
+      case Opcode::SUB:    return a - b;
+      case Opcode::MUL:    return a * b;
+      case Opcode::MULHI:
+        return static_cast<uint32_t>(
+            (static_cast<int64_t>(sa) * static_cast<int64_t>(sb)) >> 32);
+      case Opcode::DIV:
+        if (sb == 0)
+            return 0xffffffffu;
+        if (sa == INT32_MIN && sb == -1)
+            return static_cast<uint32_t>(INT32_MIN);
+        return static_cast<uint32_t>(sa / sb);
+      case Opcode::REM:
+        if (sb == 0)
+            return a;
+        if (sa == INT32_MIN && sb == -1)
+            return 0;
+        return static_cast<uint32_t>(sa % sb);
+      case Opcode::MIN:    return sa < sb ? a : b;
+      case Opcode::MAX:    return sa > sb ? a : b;
+      case Opcode::ABS:    return sa < 0 ? static_cast<uint32_t>(-sa) : a;
+      case Opcode::NEG:    return static_cast<uint32_t>(-sa);
+      case Opcode::AND:    return a & b;
+      case Opcode::OR:     return a | b;
+      case Opcode::XOR:    return a ^ b;
+      case Opcode::NOT:    return ~a;
+      case Opcode::SHL:    return (b & 31) == b ? a << b : 0;
+      case Opcode::SHR:    return (b & 31) == b ? a >> b : 0;
+      case Opcode::SRA:
+        return static_cast<uint32_t>(sa >> (b > 31 ? 31 : b));
+
+      case Opcode::SETEQ:  return sa == sb;
+      case Opcode::SETNE:  return sa != sb;
+      case Opcode::SETLT:  return sa < sb;
+      case Opcode::SETLE:  return sa <= sb;
+      case Opcode::SETGT:  return sa > sb;
+      case Opcode::SETGE:  return sa >= sb;
+      case Opcode::SETLTU: return a < b;
+      case Opcode::SETGEU: return a >= b;
+
+      case Opcode::FADD:   return floatToBits(fa + fb);
+      case Opcode::FSUB:   return floatToBits(fa - fb);
+      case Opcode::FMUL:   return floatToBits(fa * fb);
+      case Opcode::FDIV:   return floatToBits(fa / fb);
+      case Opcode::FMIN:   return floatToBits(std::fmin(fa, fb));
+      case Opcode::FMAX:   return floatToBits(std::fmax(fa, fb));
+      case Opcode::FMA:    return floatToBits(std::fmaf(fa, fb, fc));
+      case Opcode::FABS:   return floatToBits(std::fabs(fa));
+      case Opcode::FNEG:   return floatToBits(-fa);
+      case Opcode::FSQRT:  return floatToBits(std::sqrt(fa));
+      case Opcode::FEXP:   return floatToBits(std::exp(fa));
+      case Opcode::FLOG:   return floatToBits(std::log(fa));
+      case Opcode::FRCP:   return floatToBits(1.0f / fa);
+      case Opcode::FSETEQ: return fa == fb;
+      case Opcode::FSETNE: return fa != fb;
+      case Opcode::FSETLT: return fa < fb;
+      case Opcode::FSETLE: return fa <= fb;
+      case Opcode::FSETGT: return fa > fb;
+      case Opcode::FSETGE: return fa >= fb;
+
+      case Opcode::I2F:    return floatToBits(static_cast<float>(sa));
+      case Opcode::F2I:
+        // Saturating truncation (matches PTX cvt.rzi behavior closely
+        // enough for the workloads; NaN converts to 0).
+        if (std::isnan(fa))
+            return 0;
+        if (fa >= 2147483647.0f)
+            return static_cast<uint32_t>(INT32_MAX);
+        if (fa <= -2147483648.0f)
+            return static_cast<uint32_t>(INT32_MIN);
+        return static_cast<uint32_t>(static_cast<int32_t>(fa));
+
+      default:
+        panic("evalAlu called with non-ALU opcode '%s'",
+              isa::opcodeName(op));
+    }
+}
+
+} // namespace sim
+} // namespace gpufi

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Functional evaluation of pure (register-to-register) instructions.
+ * Memory and control-flow semantics live in the SIMT core, which also
+ * drives the timing model.
+ */
+
+#ifndef GPUFI_SIM_EXEC_HH
+#define GPUFI_SIM_EXEC_HH
+
+#include <cstdint>
+
+#include "isa/types.hh"
+
+namespace gpufi {
+namespace sim {
+
+/**
+ * Evaluate an ALU/FP/conversion/select opcode on already-fetched
+ * operand bits. Division by zero follows GPU semantics (no trap):
+ * integer x/0 = 0xffffffff, x%0 = x; FP follows IEEE-754.
+ *
+ * @param op a pure opcode (panics on memory/control opcodes)
+ * @param a first source bits
+ * @param b second source bits (ignored for unary ops)
+ * @param c third source bits (FMA/SEL only)
+ * @return result bits
+ */
+uint32_t evalAlu(isa::Opcode op, uint32_t a, uint32_t b, uint32_t c);
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_EXEC_HH

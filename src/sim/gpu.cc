@@ -1,0 +1,311 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace sim {
+
+Gpu::Gpu(const GpuConfig &config, mem::DeviceMemory &mem)
+    : config_(config), mem_(mem)
+{
+    config_.validate();
+    l2_ = std::make_unique<mem::L2Subsystem>(config_.l2, &mem_);
+    cores_.reserve(config_.numSms);
+    for (uint32_t i = 0; i < config_.numSms; ++i)
+        cores_.push_back(std::make_unique<SimtCore>(this, i));
+}
+
+Gpu::~Gpu() = default;
+
+uint32_t
+Gpu::param(uint32_t idx) const
+{
+    return mem_.read32(paramAddr(idx));
+}
+
+mem::Addr
+Gpu::paramAddr(uint32_t idx) const
+{
+    gpufi_assert(idx < params_.size());
+    gpufi_assert(paramBase_ != 0);
+    return paramBase_ + static_cast<mem::Addr>(idx) * 4;
+}
+
+uint32_t
+Gpu::localBytes() const
+{
+    return kernel_ ? kernel_->localBytes : 0;
+}
+
+mem::Addr
+Gpu::localAddr(const CtaRuntime &cta, uint32_t threadIdx) const
+{
+    gpufi_assert(kernel_ && kernel_->localBytes > 0);
+    uint64_t linear = cta.firstThreadLinear + threadIdx;
+    return localArena_ + linear * kernel_->localBytes;
+}
+
+SimtCore &
+Gpu::core(uint32_t id)
+{
+    gpufi_assert(id < cores_.size());
+    return *cores_[id];
+}
+
+uint32_t
+Gpu::numCores() const
+{
+    return static_cast<uint32_t>(cores_.size());
+}
+
+void
+Gpu::scheduleInjection(uint64_t cycle, InjectionFn fn)
+{
+    injections_.emplace(cycle, std::move(fn));
+}
+
+std::vector<Gpu::ThreadRef>
+Gpu::activeThreads()
+{
+    std::vector<ThreadRef> out;
+    for (const auto &cta : liveCtas_) {
+        for (uint32_t t = 0; t < cta->threads.size(); ++t)
+            if (!cta->threads[t].exited)
+                out.push_back({cta.get(), t});
+    }
+    return out;
+}
+
+std::vector<Gpu::WarpRef>
+Gpu::activeWarps()
+{
+    std::vector<WarpRef> out;
+    for (const auto &cta : liveCtas_) {
+        for (uint32_t wi = 0; wi < cta->warps.size(); ++wi)
+            if (!cta->warps[wi].done)
+                out.push_back({cta.get(), wi});
+    }
+    return out;
+}
+
+std::vector<CtaRuntime *>
+Gpu::activeCtas()
+{
+    std::vector<CtaRuntime *> out;
+    out.reserve(liveCtas_.size());
+    for (const auto &cta : liveCtas_)
+        out.push_back(cta.get());
+    return out;
+}
+
+std::vector<uint32_t>
+Gpu::activeCoreIds()
+{
+    std::vector<uint32_t> out;
+    for (const auto &core : cores_)
+        if (core->busy())
+            out.push_back(core->id());
+    return out;
+}
+
+std::unique_ptr<CtaRuntime>
+Gpu::createCta(uint64_t linearId)
+{
+    const isa::Kernel &k = *kernel_;
+    auto cta = std::make_unique<CtaRuntime>(k.sharedBytes);
+    cta->linearId = linearId;
+    cta->ctaX = static_cast<uint32_t>(linearId % grid_.x);
+    cta->ctaY = static_cast<uint32_t>(linearId / grid_.x);
+    cta->firstThreadLinear = linearId * block_.count();
+
+    const uint32_t blockThreads =
+        static_cast<uint32_t>(block_.count());
+    cta->threads.resize(blockThreads);
+    for (uint32_t t = 0; t < blockThreads; ++t) {
+        ThreadContext &tc = cta->threads[t];
+        tc.regs.assign(k.numRegs, 0);
+        tc.tidX = t % block_.x;
+        tc.tidY = t / block_.x;
+    }
+
+    const uint32_t warpSize = config_.warpSize;
+    const uint32_t numWarps = (blockThreads + warpSize - 1) / warpSize;
+    cta->warps.resize(numWarps);
+    for (uint32_t wi = 0; wi < numWarps; ++wi) {
+        WarpContext &w = cta->warps[wi];
+        w.warpIdInCta = wi;
+        w.threadBase = wi * warpSize;
+        w.cta = cta.get();
+        w.arrivalOrder = warpArrival_++;
+        w.pendingWrites.assign(k.numRegs, 0);
+        uint32_t lanes = std::min(warpSize,
+                                  blockThreads - wi * warpSize);
+        w.validMask = lanes == 32 ? ~0u : ((1u << lanes) - 1);
+        w.stack.push_back({0, -1, w.validMask});
+    }
+    cta->liveWarps = numWarps;
+    return cta;
+}
+
+void
+Gpu::scheduleCtas()
+{
+    const uint64_t total = grid_.count();
+    const uint32_t blockThreads = static_cast<uint32_t>(block_.count());
+    while (nextCta_ < total) {
+        // Round-robin placement over cores with room.
+        bool placed = false;
+        for (uint32_t k = 0; k < config_.numSms; ++k) {
+            uint32_t coreId =
+                static_cast<uint32_t>((ctaCursor_ + k) %
+                                      config_.numSms);
+            SimtCore &core = *cores_[coreId];
+            if (!core.canAccept(blockThreads, kernel_->numRegs,
+                                kernel_->sharedBytes))
+                continue;
+            auto cta = createCta(nextCta_);
+            core.addCta(cta.get());
+            liveCtas_.push_back(std::move(cta));
+            ++nextCta_;
+            ctaCursor_ = coreId + 1;
+            placed = true;
+            break;
+        }
+        if (!placed)
+            break;
+    }
+}
+
+void
+Gpu::onCtaRetired(CtaRuntime *cta)
+{
+    ++completedCtas_;
+    std::erase_if(liveCtas_, [cta](const auto &p) {
+        return p.get() == cta;
+    });
+}
+
+void
+Gpu::fireInjections()
+{
+    auto range = injections_.equal_range(cycle_);
+    if (range.first == range.second)
+        return;
+    std::vector<InjectionFn> fns;
+    for (auto it = range.first; it != range.second; ++it)
+        fns.push_back(std::move(it->second));
+    injections_.erase(range.first, range.second);
+    for (auto &fn : fns)
+        fn(*this);
+}
+
+void
+Gpu::sampleStats()
+{
+    const double maxWarps = config_.maxWarpsPerSm();
+    for (const auto &core : cores_) {
+        if (!core->busy())
+            continue;
+        occSum_ += static_cast<double>(core->liveWarps()) / maxWarps;
+        threadSum_ += core->liveThreads();
+        ctaSum_ += static_cast<double>(core->ctas().size());
+        ++sampleCount_;
+    }
+}
+
+LaunchStats
+Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
+            std::vector<uint32_t> params)
+{
+    const uint32_t blockThreads = static_cast<uint32_t>(block.count());
+    if (blockThreads == 0 || grid.count() == 0)
+        fatal("launch of '%s': empty grid or block",
+              kernel.name.c_str());
+    if (blockThreads > config_.maxThreadsPerSm)
+        fatal("launch of '%s': block of %u threads exceeds"
+              " maxThreadsPerSm %u", kernel.name.c_str(), blockThreads,
+              config_.maxThreadsPerSm);
+    if (kernel.sharedBytes > config_.smemPerSm)
+        fatal("launch of '%s': .smem %u exceeds smemPerSm %u",
+              kernel.name.c_str(), kernel.sharedBytes,
+              config_.smemPerSm);
+    if (blockThreads * kernel.numRegs > config_.regsPerSm)
+        fatal("launch of '%s': %u regs/CTA exceed regsPerSm %u",
+              kernel.name.c_str(), blockThreads * kernel.numRegs,
+              config_.regsPerSm);
+    for (const auto &inst : kernel.code)
+        if (inst.op == isa::Opcode::PARAM &&
+            inst.src[0].value >= params.size())
+            fatal("launch of '%s': param %u read but only %zu passed",
+                  kernel.name.c_str(), inst.src[0].value,
+                  params.size());
+
+    kernel_ = &kernel;
+    grid_ = grid;
+    block_ = block;
+    params_ = std::move(params);
+    nextCta_ = 0;
+    completedCtas_ = 0;
+    ctaCursor_ = 0;
+    occSum_ = threadSum_ = ctaSum_ = 0.0;
+    sampleCount_ = 0;
+
+    localArena_ = 0;
+    if (kernel.localBytes > 0) {
+        localArena_ = mem_.allocate(grid.count() * block.count() *
+                                    kernel.localBytes);
+    }
+
+    // Stage the parameters into constant memory (the CUDA driver
+    // copies kernel arguments into a constant bank at launch).
+    paramBase_ = 0;
+    if (!params_.empty()) {
+        paramBase_ = mem_.allocate(params_.size() * 4);
+        mem_.write(paramBase_, params_.data(), params_.size() * 4);
+    }
+
+    LaunchStats stats;
+    stats.kernelName = kernel.name;
+    stats.startCycle = cycle_;
+    stats.totalThreads = grid.count() * block.count();
+    stats.regsPerThread = kernel.numRegs;
+    stats.smemPerCta = kernel.sharedBytes;
+    stats.localPerThread = kernel.localBytes;
+    const uint64_t instrBefore = warpInstructions_;
+
+    scheduleCtas();
+
+    const uint64_t totalCtas = grid.count();
+    while (completedCtas_ < totalCtas) {
+        if (cycle_ >= cycleLimit_) {
+            kernel_ = nullptr;
+            throw TimeoutError(detail::format(
+                "cycle limit %llu reached in kernel '%s'",
+                static_cast<unsigned long long>(cycleLimit_),
+                kernel.name.c_str()));
+        }
+        fireInjections();
+        for (auto &core : cores_)
+            if (core->busy())
+                core->step(cycle_);
+        sampleStats();
+        scheduleCtas();
+        ++cycle_;
+    }
+
+    stats.endCycle = cycle_;
+    stats.warpInstructions = warpInstructions_ - instrBefore;
+    if (sampleCount_ > 0) {
+        double n = static_cast<double>(sampleCount_);
+        stats.occupancy = occSum_ / n;
+        stats.threadsMeanPerSm = threadSum_ / n;
+        stats.ctasMeanPerSm = ctaSum_ / n;
+    }
+    kernel_ = nullptr;
+    return stats;
+}
+
+} // namespace sim
+} // namespace gpufi

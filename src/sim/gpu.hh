@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The whole-chip GPU model: SIMT cores, the banked L2/DRAM subsystem,
+ * the CTA (thread-block) scheduler, the global cycle loop, and the
+ * query/injection surface the fault injector uses to reach the live
+ * microarchitectural structures.
+ */
+
+#ifndef GPUFI_SIM_GPU_HH
+#define GPUFI_SIM_GPU_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "mem/backing.hh"
+#include "mem/l2_subsystem.hh"
+#include "sim/core.hh"
+#include "sim/gpu_config.hh"
+#include "sim/launch.hh"
+#include "sim/runtime.hh"
+
+namespace gpufi {
+namespace sim {
+
+/**
+ * One simulated GPU chip. A Gpu instance is single-use per campaign
+ * run: construct, launch kernels (the "application"), read results
+ * from DeviceMemory, destroy. The global cycle counter accumulates
+ * across launches, so the injector can aim a fault at any cycle of
+ * the whole application, as the paper's cycle-file mechanism does.
+ */
+class Gpu
+{
+  public:
+    /** A live thread, addressable by the injector. */
+    struct ThreadRef
+    {
+        CtaRuntime *cta;
+        uint32_t threadIdx;     ///< index within cta->threads
+    };
+
+    /** A live warp, addressable by the injector. */
+    struct WarpRef
+    {
+        CtaRuntime *cta;
+        uint32_t warpIdx;       ///< index within cta->warps
+    };
+
+    using InjectionFn = std::function<void(Gpu &)>;
+
+    Gpu(const GpuConfig &config, mem::DeviceMemory &mem);
+    ~Gpu();
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /**
+     * Launch a kernel and run it to completion.
+     * @throws mem::DeviceFault on a device-side error (Crash)
+     * @throws TimeoutError when the cycle limit is exceeded
+     */
+    LaunchStats launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
+                       std::vector<uint32_t> params);
+
+    /** Abort with TimeoutError when the global cycle reaches this. */
+    void setCycleLimit(uint64_t limit) { cycleLimit_ = limit; }
+
+    /** Global cycle count, cumulative over launches. */
+    uint64_t cycle() const { return cycle_; }
+
+    /** Total warp instructions executed, cumulative over launches. */
+    uint64_t warpInstructions() const { return warpInstructions_; }
+
+    /** Register a fault to fire at the start of the given cycle. */
+    void scheduleInjection(uint64_t cycle, InjectionFn fn);
+
+    // ---- Injector query surface -------------------------------------
+
+    /** All live (created, not yet completed) threads, right now. */
+    std::vector<ThreadRef> activeThreads();
+
+    /** All live warps, right now. */
+    std::vector<WarpRef> activeWarps();
+
+    /** All resident CTAs, right now. */
+    std::vector<CtaRuntime *> activeCtas();
+
+    /** Ids of cores with at least one resident CTA. */
+    std::vector<uint32_t> activeCoreIds();
+
+    SimtCore &core(uint32_t id);
+    uint32_t numCores() const;
+
+    mem::L2Subsystem &l2() { return *l2_; }
+    mem::DeviceMemory &mem() { return mem_; }
+    const GpuConfig &config() const { return config_; }
+
+    /** Kernel currently executing (nullptr between launches). */
+    const isa::Kernel *runningKernel() const { return kernel_; }
+
+    /** Kernel parameter by index (constant path). */
+    uint32_t param(uint32_t idx) const;
+
+    /**
+     * Device address of a kernel parameter. Parameters are staged
+     * into constant memory at launch (as the CUDA driver does) and
+     * fetched through the per-SM constant cache.
+     */
+    mem::Addr paramAddr(uint32_t idx) const;
+
+    /** Block dimensions of the running launch. */
+    Dim3 blockDim() const { return block_; }
+    /** Grid dimensions of the running launch. */
+    Dim3 gridDim() const { return grid_; }
+
+    /** Local memory bytes per thread of the running kernel. */
+    uint32_t localBytes() const;
+
+    /**
+     * Device address of the first local-memory byte of a thread
+     * (local memory lives in device memory, as on real GPUs).
+     */
+    mem::Addr localAddr(const CtaRuntime &cta, uint32_t threadIdx) const;
+
+    // ---- Used by SimtCore -------------------------------------------
+
+    /** Count one issued warp instruction. */
+    void countInstruction() { ++warpInstructions_; }
+
+    /** A core finished a CTA; the scheduler may place another. */
+    void onCtaRetired(CtaRuntime *cta);
+
+  private:
+    void scheduleCtas();
+    std::unique_ptr<CtaRuntime> createCta(uint64_t linearId);
+    void fireInjections();
+    void sampleStats();
+
+    GpuConfig config_;
+    mem::DeviceMemory &mem_;
+    std::unique_ptr<mem::L2Subsystem> l2_;
+    std::vector<std::unique_ptr<SimtCore>> cores_;
+
+    // Launch state
+    const isa::Kernel *kernel_ = nullptr;
+    Dim3 grid_;
+    Dim3 block_;
+    std::vector<uint32_t> params_;
+    mem::Addr paramBase_ = 0;       ///< constant-memory staging
+    mem::Addr localArena_ = 0;
+    uint64_t nextCta_ = 0;
+    uint64_t completedCtas_ = 0;
+    std::vector<std::unique_ptr<CtaRuntime>> liveCtas_;
+    size_t ctaCursor_ = 0;      ///< round-robin core placement
+    uint64_t warpArrival_ = 0;  ///< GTO age counter
+
+    // Clock
+    uint64_t cycle_ = 0;
+    uint64_t cycleLimit_ = ~0ULL;
+    uint64_t warpInstructions_ = 0;
+
+    // Pending injections: cycle -> callbacks
+    std::multimap<uint64_t, InjectionFn> injections_;
+
+    // Per-launch statistics accumulation
+    double occSum_ = 0.0;
+    double threadSum_ = 0.0;
+    double ctaSum_ = 0.0;
+    uint64_t sampleCount_ = 0;
+};
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_GPU_HH

@@ -1,0 +1,264 @@
+#include "sim/gpu_config.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace sim {
+
+const char *const kPresetNames[3] = {"rtx2060", "gv100", "gtxtitan"};
+
+mem::CacheConfig
+GpuConfig::l1dConfig() const
+{
+    mem::CacheConfig c;
+    c.sizeBytes = l1dSizePerSm;
+    c.lineSize = l1LineSize;
+    c.assoc = l1dAssoc;
+    c.tagBits = tagBits;
+    return c;
+}
+
+mem::CacheConfig
+GpuConfig::l1tConfig() const
+{
+    mem::CacheConfig c;
+    c.sizeBytes = l1tSizePerSm;
+    c.lineSize = l1LineSize;
+    c.assoc = l1tAssoc;
+    c.tagBits = tagBits;
+    return c;
+}
+
+mem::CacheConfig
+GpuConfig::l1cConfig() const
+{
+    mem::CacheConfig c;
+    c.sizeBytes = l1cSizePerSm;
+    c.lineSize = l1cLineSize;
+    c.assoc = l1cAssoc;
+    c.tagBits = tagBits;
+    return c;
+}
+
+uint64_t
+GpuConfig::regFileBits() const
+{
+    return static_cast<uint64_t>(regsPerSm) * 32 * numSms;
+}
+
+uint64_t
+GpuConfig::sharedBits() const
+{
+    return static_cast<uint64_t>(smemPerSm) * 8 * numSms;
+}
+
+namespace {
+
+uint64_t
+cacheBits(uint64_t sizeBytes, uint32_t lineSize, uint32_t tagBits)
+{
+    uint64_t lines = sizeBytes / lineSize;
+    return sizeBytes * 8 + lines * tagBits;
+}
+
+} // namespace
+
+uint64_t
+GpuConfig::l1dBits() const
+{
+    if (!l1dEnabled)
+        return 0;
+    return cacheBits(l1dSizePerSm, l1LineSize, tagBits) * numSms;
+}
+
+uint64_t
+GpuConfig::l1tBits() const
+{
+    return cacheBits(l1tSizePerSm, l1LineSize, tagBits) * numSms;
+}
+
+uint64_t
+GpuConfig::l2Bits() const
+{
+    return cacheBits(l2.totalSize, l2.lineSize, l2.tagBits);
+}
+
+uint64_t
+GpuConfig::l1iBits() const
+{
+    return cacheBits(l1iSizePerSm, l1LineSize, tagBits) * numSms;
+}
+
+uint64_t
+GpuConfig::l1cBits() const
+{
+    return cacheBits(l1cSizePerSm, l1cLineSize, tagBits) * numSms;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSms == 0)
+        fatal("config '%s': numSms must be positive", name.c_str());
+    if (warpSize != 32)
+        fatal("config '%s': only warpSize 32 is supported", name.c_str());
+    if (maxThreadsPerSm % warpSize != 0)
+        fatal("config '%s': maxThreadsPerSm must be a warp multiple",
+              name.c_str());
+    if (maxCtasPerSm == 0)
+        fatal("config '%s': maxCtasPerSm must be positive", name.c_str());
+    if (!isPow2(l1LineSize))
+        fatal("config '%s': l1LineSize must be a power of two",
+              name.c_str());
+    if (l1dEnabled && l1dSizePerSm % (l1LineSize * l1dAssoc) != 0)
+        fatal("config '%s': L1D size not divisible into sets",
+              name.c_str());
+    if (l1tSizePerSm % (l1LineSize * l1tAssoc) != 0)
+        fatal("config '%s': L1T size not divisible into sets",
+              name.c_str());
+    if (l1dEnabled &&
+        !isPow2(l1dSizePerSm / (l1LineSize * l1dAssoc)))
+        fatal("config '%s': L1D set count must be a power of two",
+              name.c_str());
+    if (!isPow2(l1tSizePerSm / (l1LineSize * l1tAssoc)))
+        fatal("config '%s': L1T set count must be a power of two",
+              name.c_str());
+    if (!isPow2(l2.totalSize / l2.numPartitions /
+                (l2.lineSize * l2.assoc)))
+        fatal("config '%s': L2 bank set count must be a power of two",
+              name.c_str());
+    if (l1cSizePerSm % (l1cLineSize * l1cAssoc) != 0 ||
+        !isPow2(l1cSizePerSm / (l1cLineSize * l1cAssoc)))
+        fatal("config '%s': L1C set count must be a power of two",
+              name.c_str());
+    if (l2.totalSize % l2.numPartitions != 0)
+        fatal("config '%s': L2 size not divisible across partitions",
+              name.c_str());
+    if (issueWidth == 0)
+        fatal("config '%s': issueWidth must be positive", name.c_str());
+    if (rawFitPerBit <= 0)
+        fatal("config '%s': rawFitPerBit must be positive", name.c_str());
+}
+
+void
+GpuConfig::applyOverrides(const ConfigFile &cfg)
+{
+    numSms = static_cast<uint32_t>(cfg.getInt("gpgpu_n_clusters", numSms));
+    maxThreadsPerSm = static_cast<uint32_t>(
+        cfg.getInt("gpgpu_shader_core_max_threads", maxThreadsPerSm));
+    maxCtasPerSm = static_cast<uint32_t>(
+        cfg.getInt("gpgpu_shader_max_ctas", maxCtasPerSm));
+    regsPerSm = static_cast<uint32_t>(
+        cfg.getInt("gpgpu_shader_registers", regsPerSm));
+    smemPerSm = static_cast<uint32_t>(
+        cfg.getInt("gpgpu_shmem_size", smemPerSm));
+    l1dEnabled = cfg.getBool("gpgpu_l1d_enabled", l1dEnabled);
+    l1dSizePerSm = static_cast<uint64_t>(
+        cfg.getInt("gpgpu_l1d_size", static_cast<int64_t>(l1dSizePerSm)));
+    l1tSizePerSm = static_cast<uint64_t>(
+        cfg.getInt("gpgpu_l1t_size", static_cast<int64_t>(l1tSizePerSm)));
+    l2.totalSize = static_cast<uint64_t>(
+        cfg.getInt("gpgpu_l2_size", static_cast<int64_t>(l2.totalSize)));
+    l2.numPartitions = static_cast<uint32_t>(
+        cfg.getInt("gpgpu_n_mem", l2.numPartitions));
+    issueWidth = static_cast<uint32_t>(
+        cfg.getInt("gpgpu_max_insn_issue_per_warp", issueWidth));
+    std::string sched = cfg.getString("gpgpu_scheduler", "");
+    if (sched == "lrr")
+        schedPolicy = SchedPolicy::LRR;
+    else if (sched == "gto")
+        schedPolicy = SchedPolicy::GTO;
+    else if (!sched.empty())
+        fatal("unknown scheduler policy '%s' (use lrr or gto)",
+              sched.c_str());
+    rawFitPerBit = cfg.getDouble("gpufi_raw_fit_per_bit", rawFitPerBit);
+    validate();
+}
+
+GpuConfig
+makeRtx2060()
+{
+    GpuConfig c;
+    c.name = "RTX 2060";
+    c.numSms = 30;
+    c.maxThreadsPerSm = 1024;
+    c.maxCtasPerSm = 32;
+    c.smemPerSm = 64 * 1024;
+    c.l1dEnabled = true;
+    c.l1dSizePerSm = 64 * 1024;
+    c.l1tSizePerSm = 128 * 1024;
+    c.l1iSizePerSm = 128 * 1024;
+    c.l1cSizePerSm = 64 * 1024;
+    c.l2.totalSize = 3u << 20;
+    c.l2.numPartitions = 12;
+    c.rawFitPerBit = 1.8e-6; // 12 nm
+    c.validate();
+    return c;
+}
+
+GpuConfig
+makeQuadroGv100()
+{
+    GpuConfig c;
+    c.name = "Quadro GV100";
+    c.numSms = 80;
+    c.maxThreadsPerSm = 2048;
+    c.maxCtasPerSm = 32;
+    c.smemPerSm = 96 * 1024;
+    c.l1dEnabled = true;
+    c.l1dSizePerSm = 32 * 1024;
+    c.l1tSizePerSm = 128 * 1024;
+    c.l1iSizePerSm = 128 * 1024;
+    c.l1cSizePerSm = 64 * 1024;
+    c.l2.totalSize = 6u << 20;
+    c.l2.numPartitions = 24;
+    c.rawFitPerBit = 1.8e-6; // 12 nm
+    c.validate();
+    return c;
+}
+
+GpuConfig
+makeGtxTitan()
+{
+    GpuConfig c;
+    c.name = "GTX Titan";
+    c.numSms = 14;
+    c.maxThreadsPerSm = 2048;
+    c.maxCtasPerSm = 16;
+    c.smemPerSm = 48 * 1024;
+    // Kepler does not cache global data in L1.
+    c.l1dEnabled = false;
+    c.l1dSizePerSm = 0;
+    c.l1tSizePerSm = 48 * 1024;
+    // Kepler's 48 KB texture cache is 6-way (384 lines / 64 sets).
+    c.l1tAssoc = 6;
+    c.l1iSizePerSm = 4 * 1024;
+    c.l1cSizePerSm = 12 * 1024;
+    // Kepler's constant cache is finely sectored; 16-byte lines get
+    // closest to the paper's 17.78 KB* per SM (we model 17.34 KB*).
+    // 3 ways keep the 768 lines in a power-of-two 256 sets.
+    c.l1cLineSize = 16;
+    c.l1cAssoc = 3;
+    c.l2.totalSize = (3u << 20) / 2; // 1.5 MB
+    c.l2.numPartitions = 6;
+    c.rawFitPerBit = 1.2e-5; // 28 nm
+    c.validate();
+    return c;
+}
+
+GpuConfig
+makePreset(const std::string &name)
+{
+    if (name == "rtx2060")
+        return makeRtx2060();
+    if (name == "gv100")
+        return makeQuadroGv100();
+    if (name == "gtxtitan")
+        return makeGtxTitan();
+    fatal("unknown GPU preset '%s' (rtx2060, gv100, gtxtitan)",
+          name.c_str());
+}
+
+} // namespace sim
+} // namespace gpufi

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Kernel-launch descriptors and per-launch statistics.
+ */
+
+#ifndef GPUFI_SIM_LAUNCH_HH
+#define GPUFI_SIM_LAUNCH_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gpufi {
+namespace sim {
+
+/** 2D launch dimensions (z is not used by the supported workloads). */
+struct Dim3
+{
+    uint32_t x = 1;
+    uint32_t y = 1;
+
+    uint64_t count() const { return static_cast<uint64_t>(x) * y; }
+
+    bool operator==(const Dim3 &) const = default;
+};
+
+/**
+ * Thrown when the simulated application exceeds its cycle budget
+ * (2x the fault-free execution time in campaigns) — the Timeout
+ * fault-effect class.
+ */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    explicit TimeoutError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Statistics of one kernel launch (one dynamic invocation). */
+struct LaunchStats
+{
+    std::string kernelName;
+    uint64_t startCycle = 0;    ///< global cycle the launch began
+    uint64_t endCycle = 0;      ///< global cycle the launch finished
+    uint64_t warpInstructions = 0;
+    uint64_t totalThreads = 0;
+    uint32_t regsPerThread = 0;
+    uint32_t smemPerCta = 0;
+    uint32_t localPerThread = 0;
+
+    /**
+     * Mean ratio of resident warps to the SM warp capacity, sampled
+     * per cycle over SMs with at least one resident CTA (the paper's
+     * warp occupancy).
+     */
+    double occupancy = 0.0;
+    /** Mean running (non-exited) threads per active SM. */
+    double threadsMeanPerSm = 0.0;
+    /** Mean resident CTAs per active SM. */
+    double ctasMeanPerSm = 0.0;
+
+    uint64_t cycles() const { return endCycle - startCycle; }
+};
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_LAUNCH_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-launch runtime state: thread contexts, warps with SIMT
+ * reconvergence stacks and scoreboards, and CTA instances.
+ *
+ * These mirror the "running elements" the paper's implementation had
+ * to identify inside GPGPU-Sim to reach the hardware structures:
+ * active threads own their register arrays, active CTAs own their
+ * shared-memory instances, and warps carry the divergence state.
+ */
+
+#ifndef GPUFI_SIM_RUNTIME_HH
+#define GPUFI_SIM_RUNTIME_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "mem/shared_memory.hh"
+
+namespace gpufi {
+namespace sim {
+
+/** One CUDA thread: its registers and position in the CTA. */
+struct ThreadContext
+{
+    std::vector<uint32_t> regs; ///< allocated registers (kernel .reg)
+    uint32_t tidX = 0;
+    uint32_t tidY = 0;
+    bool exited = false;
+};
+
+/** One SIMT reconvergence stack entry. */
+struct StackEntry
+{
+    int pc = 0;     ///< next pc for the threads in @ref mask
+    int rpc = -1;   ///< pop when pc reaches this (-1: never/at exit)
+    uint32_t mask = 0;
+};
+
+struct CtaRuntime;
+
+/** One warp: divergence stack, scoreboard and scheduling state. */
+struct WarpContext
+{
+    std::vector<StackEntry> stack;
+    uint32_t validMask = 0;     ///< lanes that exist (partial warps)
+    uint32_t exitedMask = 0;
+    bool atBarrier = false;
+    bool done = false;
+    uint64_t readyAt = 0;       ///< earliest cycle the warp may issue
+    uint64_t arrivalOrder = 0;  ///< for GTO's "oldest" tie-break
+    uint32_t warpIdInCta = 0;
+    uint32_t threadBase = 0;    ///< index of lane 0 in CtaRuntime::threads
+    CtaRuntime *cta = nullptr;
+    /** Per-register in-flight write count (RAW/WAW scoreboard). */
+    std::vector<uint8_t> pendingWrites;
+
+    /** Lanes currently executing: top mask minus exited lanes. */
+    uint32_t
+    activeMask() const
+    {
+        return stack.empty() ? 0
+                             : (stack.back().mask & ~exitedMask &
+                                validMask);
+    }
+
+    /** Number of live (non-exited) threads. */
+    uint32_t
+    liveThreads() const
+    {
+        return static_cast<uint32_t>(
+            std::popcount(validMask & ~exitedMask));
+    }
+};
+
+/** One resident CTA: shared memory, threads, warps, barrier state. */
+struct CtaRuntime
+{
+    CtaRuntime(uint32_t sharedBytes) : shared(sharedBytes) {}
+
+    uint32_t ctaX = 0;
+    uint32_t ctaY = 0;
+    uint64_t linearId = 0;          ///< y-major linear CTA index
+    uint64_t firstThreadLinear = 0; ///< grid-linear id of thread 0
+    mem::SharedMemory shared;
+    std::vector<ThreadContext> threads;
+    std::vector<WarpContext> warps;
+    uint32_t liveWarps = 0;
+    uint32_t barrierArrived = 0;
+    int coreId = -1;
+};
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_RUNTIME_HH

@@ -1,0 +1,118 @@
+#include "sim/stats_printer.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "mem/cache.hh"
+
+namespace gpufi {
+namespace sim {
+
+std::string
+formatLaunchStats(const LaunchStats &s)
+{
+    std::ostringstream out;
+    out << "kernel '" << s.kernelName << "'\n"
+        << detail::format("  cycles            %llu (%llu..%llu)\n",
+                          static_cast<unsigned long long>(s.cycles()),
+                          static_cast<unsigned long long>(
+                              s.startCycle),
+                          static_cast<unsigned long long>(
+                              s.endCycle))
+        << detail::format("  warp instructions %llu (IPC %.3f)\n",
+                          static_cast<unsigned long long>(
+                              s.warpInstructions),
+                          s.cycles()
+                              ? static_cast<double>(
+                                    s.warpInstructions) /
+                                    static_cast<double>(s.cycles())
+                              : 0.0)
+        << detail::format("  threads           %llu (%u regs, %u B"
+                          " smem/CTA, %u B local)\n",
+                          static_cast<unsigned long long>(
+                              s.totalThreads),
+                          s.regsPerThread, s.smemPerCta,
+                          s.localPerThread)
+        << detail::format("  occupancy         %.3f (mean %.1f"
+                          " threads, %.2f CTAs per active SM)\n",
+                          s.occupancy, s.threadsMeanPerSm,
+                          s.ctasMeanPerSm);
+    return out.str();
+}
+
+std::string
+formatLaunchTable(const std::vector<LaunchStats> &all)
+{
+    std::ostringstream out;
+    out << detail::format("%-18s %10s %10s %8s %8s\n", "kernel",
+                          "cycles", "warp-inst", "IPC", "occup");
+    for (const auto &s : all) {
+        double ipc = s.cycles()
+                         ? static_cast<double>(s.warpInstructions) /
+                               static_cast<double>(s.cycles())
+                         : 0.0;
+        out << detail::format(
+            "%-18s %10llu %10llu %8.3f %8.3f\n",
+            s.kernelName.c_str(),
+            static_cast<unsigned long long>(s.cycles()),
+            static_cast<unsigned long long>(s.warpInstructions), ipc,
+            s.occupancy);
+    }
+    return out.str();
+}
+
+namespace {
+
+void
+addCache(mem::CacheStats &total, const mem::CacheStats &s)
+{
+    total.reads += s.reads;
+    total.readMisses += s.readMisses;
+    total.writes += s.writes;
+    total.writeMisses += s.writeMisses;
+    total.writebacks += s.writebacks;
+    total.wrongAddrWritebacks += s.wrongAddrWritebacks;
+    total.hookFlips += s.hookFlips;
+}
+
+std::string
+cacheLine(const char *label, const mem::CacheStats &s)
+{
+    uint64_t accesses = s.reads + s.writes;
+    uint64_t misses = s.readMisses + s.writeMisses;
+    double hitRate =
+        accesses ? 1.0 - static_cast<double>(misses) /
+                             static_cast<double>(accesses)
+                 : 0.0;
+    return detail::format(
+        "  %-5s accesses %8llu  misses %8llu  hit-rate %.3f"
+        "  writebacks %llu\n",
+        label, static_cast<unsigned long long>(accesses),
+        static_cast<unsigned long long>(misses), hitRate,
+        static_cast<unsigned long long>(s.writebacks));
+}
+
+} // namespace
+
+std::string
+formatMemoryStats(Gpu &gpu)
+{
+    mem::CacheStats l1d, l1t, l1c;
+    for (uint32_t i = 0; i < gpu.numCores(); ++i) {
+        if (gpu.core(i).l1d())
+            addCache(l1d, gpu.core(i).l1d()->stats());
+        addCache(l1t, gpu.core(i).l1t()->stats());
+        addCache(l1c, gpu.core(i).l1c()->stats());
+    }
+    std::ostringstream out;
+    out << "memory hierarchy:\n";
+    if (gpu.config().l1dEnabled)
+        out << cacheLine("L1D", l1d);
+    out << cacheLine("L1T", l1t);
+    out << cacheLine("L1C", l1c);
+    out << cacheLine("L2", gpu.l2().stats());
+    return out.str();
+}
+
+} // namespace sim
+} // namespace gpufi

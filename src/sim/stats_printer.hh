@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Human-readable statistics reports in the spirit of GPGPU-Sim's
+ * end-of-kernel output: per-launch performance counters and the
+ * cache-hierarchy hit/miss summary.
+ */
+
+#ifndef GPUFI_SIM_STATS_PRINTER_HH
+#define GPUFI_SIM_STATS_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hh"
+#include "sim/launch.hh"
+
+namespace gpufi {
+namespace sim {
+
+/** One launch as a multi-line "kernel ... stats" block. */
+std::string formatLaunchStats(const LaunchStats &stats);
+
+/** A one-line-per-launch table for a whole application. */
+std::string formatLaunchTable(const std::vector<LaunchStats> &all);
+
+/**
+ * Cache-hierarchy summary of a finished Gpu: aggregated L1D/L1T/L1C
+ * hit rates across cores and the banked L2, plus DRAM traffic.
+ */
+std::string formatMemoryStats(Gpu &gpu);
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_STATS_PRINTER_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * BFS — Breadth-First Search (Rodinia bfs): frontier expansion with
+ * the classic two-kernel structure. Kernel 1 expands the current
+ * frontier mask over the CSR graph and tentatively labels neighbors;
+ * kernel 2 commits the new frontier and raises the host-visible
+ * "changed" flag. The host loops until the flag stays clear, so the
+ * number of kernel invocations is data-dependent (and can change
+ * under faults).
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+#include "common/rng.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel bfs_expand
+.reg 18
+# params: 0=n 1=&starts 2=&edges 3=&mask 4=&umask 5=&visited 6=&cost
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2        # node id
+    param r3, 0
+    setge r4, r0, r3
+    brnz  r4, done
+    shl   r5, r0, 2
+    param r6, 3
+    add   r6, r6, r5
+    ldg   r7, [r6]          # mask[node]
+    brz   r7, done
+    stg   0, [r6]           # leave the frontier
+    param r8, 6
+    add   r8, r8, r5
+    ldg   r9, [r8]          # cost[node]
+    add   r9, r9, 1
+    param r10, 1
+    add   r10, r10, r5
+    ldg   r11, [r10]        # starts[node]
+    ldg   r12, [r10+4]      # starts[node+1]
+eloop:
+    setge r4, r11, r12
+    brnz  r4, done
+    shl   r13, r11, 2
+    param r14, 2
+    add   r14, r14, r13
+    ldg   r15, [r14]        # neighbor id
+    shl   r15, r15, 2
+    param r16, 5
+    add   r16, r16, r15
+    ldg   r17, [r16]        # visited[neighbor]
+    brnz  r17, skip
+    param r16, 6
+    add   r16, r16, r15
+    stg   r9, [r16]         # cost[neighbor] = cost[node] + 1
+    param r16, 4
+    add   r16, r16, r15
+    stg   1, [r16]          # updating mask
+skip:
+    add   r11, r11, 1
+    bra   eloop
+done:
+    exit
+
+.kernel bfs_commit
+.reg 12
+# params: 0=n 1=&mask 2=&umask 3=&visited 4=&changed
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2
+    param r3, 0
+    setge r4, r0, r3
+    brnz  r4, done
+    shl   r5, r0, 2
+    param r6, 2
+    add   r6, r6, r5
+    ldg   r7, [r6]          # updating mask
+    brz   r7, done
+    param r8, 1
+    add   r8, r8, r5
+    stg   1, [r8]           # join the frontier
+    param r8, 3
+    add   r8, r8, r5
+    stg   1, [r8]           # mark visited
+    stg   0, [r6]
+    param r9, 4
+    add   r9, r9, 0
+    stg   1, [r9]           # changed = 1
+done:
+    exit
+)";
+
+class Bfs : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "bfs"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        // Deterministic random graph: kDeg out-edges per node.
+        Rng rng(0xBF01);
+        std::vector<uint32_t> starts(kN + 1);
+        std::vector<uint32_t> edges(kN * kDeg);
+        for (uint32_t i = 0; i <= kN; ++i)
+            starts[i] = i * kDeg;
+        for (auto &e : edges)
+            e = static_cast<uint32_t>(rng.below(kN));
+
+        starts_ = upload(mem, starts);
+        edges_ = upload(mem, edges);
+        std::vector<uint32_t> mask(kN, 0), umask(kN, 0),
+            visited(kN, 0), cost(kN, 0xffffffffu);
+        mask[0] = 1;
+        visited[0] = 1;
+        cost[0] = 0;
+        mask_ = upload(mem, mask);
+        umask_ = upload(mem, umask);
+        visited_ = upload(mem, visited);
+        cost_ = upload(mem, cost);
+        changed_ = allocBytes(mem, 4);
+        declareOutput(cost_, kN * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &k1 = prog.kernel("bfs_expand");
+        const isa::Kernel &k2 = prog.kernel("bfs_commit");
+        std::vector<sim::LaunchStats> stats;
+        // Hard iteration bound so a faulty flag cannot spin the host
+        // forever before the cycle-limit timeout would catch it.
+        for (uint32_t level = 0; level < kN; ++level) {
+            gpu.mem().write32(changed_, 0);
+            stats.push_back(gpu.launch(
+                k1, {kN / 256, 1}, {256, 1},
+                {kN, p(starts_), p(edges_), p(mask_), p(umask_),
+                 p(visited_), p(cost_)}));
+            stats.push_back(gpu.launch(
+                k2, {kN / 256, 1}, {256, 1},
+                {kN, p(mask_), p(umask_), p(visited_), p(changed_)}));
+            if (peek32(gpu.mem(), changed_) == 0)
+                break;
+        }
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kN = 1024;
+    static constexpr uint32_t kDeg = 4;
+    mem::Addr starts_ = 0, edges_ = 0, mask_ = 0, umask_ = 0,
+              visited_ = 0, cost_ = 0, changed_ = 0;
+};
+
+} // namespace
+
+const char *
+bfsSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeBfs()
+{
+    return [] { return std::make_unique<Bfs>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

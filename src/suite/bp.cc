@@ -1,0 +1,154 @@
+/**
+ * @file
+ * BP — Backpropagation (Rodinia): a two-kernel neural-network step.
+ * bp_layerforward reduces input*weight products per hidden unit
+ * through shared memory and applies the sigmoid; bp_adjust updates
+ * the weight matrix from per-unit deltas. The paper observes BP as
+ * the lowest-AVF workload (short-lived register values).
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel bp_layerforward
+.reg 14
+.smem 1024              # kIn (256) partial products
+# params: 0=in 1=hid 2=&input 3=&w 4=&hidden
+    mov   r0, %ctaid_x      # hidden unit j
+    mov   r1, %tid_x        # input index t
+    shl   r2, r1, 2
+    param r3, 2
+    add   r3, r3, r2
+    ldg   r4, [r3]          # input[t]
+    param r5, 1
+    mul   r6, r1, r5
+    add   r6, r6, r0
+    shl   r6, r6, 2
+    param r7, 3
+    add   r7, r7, r6
+    ldg   r8, [r7]          # w[t][j]
+    fmul  r4, r4, r8
+    sts   r4, [r2]
+    bar
+    mov   r9, %ntid_x
+    shr   r9, r9, 1
+tree:
+    brz   r9, treedone
+    setlt r10, r1, r9
+    brz   r10, skip
+    add   r11, r1, r9
+    shl   r12, r11, 2
+    lds   r13, [r12]
+    lds   r11, [r2]
+    fadd  r11, r11, r13
+    sts   r11, [r2]
+skip:
+    bar
+    shr   r9, r9, 1
+    bra   tree
+treedone:
+    brnz  r1, done
+    lds   r4, [r2]          # weighted sum
+    fneg  r4, r4            # sigmoid: 1 / (1 + exp(-x))
+    fexp  r4, r4
+    mov   r5, 1.0
+    fadd  r4, r4, r5
+    frcp  r4, r4
+    mov   r6, %ctaid_x
+    shl   r6, r6, 2
+    param r7, 4
+    add   r7, r7, r6
+    stg   r4, [r7]
+done:
+    exit
+
+.kernel bp_adjust
+.reg 12
+# params: 0=hid 1=&input 2=&delta 3=&w 4=lr
+    mov   r0, %ctaid_x      # hidden unit j
+    mov   r1, %tid_x        # input index t
+    shl   r2, r1, 2
+    param r3, 1
+    add   r3, r3, r2
+    ldg   r4, [r3]          # input[t]
+    shl   r5, r0, 2
+    param r6, 2
+    add   r6, r6, r5
+    ldg   r7, [r6]          # delta[j]
+    param r8, 4             # learning rate
+    fmul  r9, r4, r7
+    fmul  r9, r9, r8
+    param r10, 0
+    mul   r11, r1, r10
+    add   r11, r11, r0
+    shl   r11, r11, 2
+    param r6, 3
+    add   r6, r6, r11
+    ldg   r10, [r6]
+    fadd  r10, r10, r9
+    stg   r10, [r6]         # w[t][j] += lr*delta[j]*input[t]
+    exit
+)";
+
+class Backprop : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "backprop"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        input_ = upload(mem, randomFloats(kIn, 0xC001, 0.0f, 1.0f));
+        w_ = upload(mem,
+                    randomFloats(kIn * kHid, 0xC002, -0.5f, 0.5f));
+        delta_ = upload(mem, randomFloats(kHid, 0xC003, -0.1f, 0.1f));
+        hidden_ = allocBytes(mem, kHid * 4);
+        declareOutput(hidden_, kHid * 4);
+        declareOutput(w_, kIn * kHid * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        std::vector<sim::LaunchStats> stats;
+        stats.push_back(gpu.launch(
+            prog.kernel("bp_layerforward"), {kHid, 1}, {kIn, 1},
+            {kIn, kHid, p(input_), p(w_), p(hidden_)}));
+        const float lr = 0.3f;
+        uint32_t lrBits;
+        __builtin_memcpy(&lrBits, &lr, 4);
+        stats.push_back(gpu.launch(
+            prog.kernel("bp_adjust"), {kHid, 1}, {kIn, 1},
+            {kHid, p(input_), p(delta_), p(w_), lrBits}));
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kIn = 256;
+    static constexpr uint32_t kHid = 32;
+    mem::Addr input_ = 0, w_ = 0, delta_ = 0, hidden_ = 0;
+};
+
+} // namespace
+
+const char *
+backpropSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeBackprop()
+{
+    return [] { return std::make_unique<Backprop>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * GE — Gaussian Elimination (Rodinia gaussian): forward elimination
+ * with the Fan1/Fan2 kernel pair, launched once per pivot column
+ * (2*(n-1) invocations). Fan1 computes the column of multipliers;
+ * Fan2 applies the row updates to the matrix and the right-hand side.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel ge_fan1
+.reg 12
+# params: 0=n 1=&a 2=&m 3=t
+    mov   r0, %tid_x
+    param r1, 0             # n
+    param r2, 3             # pivot t
+    sub   r3, r1, r2
+    sub   r3, r3, 1         # rows below the pivot
+    setge r4, r0, r3
+    brnz  r4, done
+    add   r5, r0, r2
+    add   r5, r5, 1         # row i
+    mul   r6, r5, r1
+    add   r6, r6, r2
+    shl   r6, r6, 2
+    param r7, 1
+    add   r8, r7, r6
+    ldg   r9, [r8]          # a[i][t]
+    mul   r10, r2, r1
+    add   r10, r10, r2
+    shl   r10, r10, 2
+    add   r8, r7, r10
+    ldg   r11, [r8]         # a[t][t]
+    fdiv  r9, r9, r11
+    param r7, 2
+    add   r8, r7, r6
+    stg   r9, [r8]          # m[i][t]
+done:
+    exit
+
+.kernel ge_fan2
+.reg 16
+# params: 0=n 1=&a 2=&b 3=&m 4=t
+    mov   r0, %tid_x        # column offset
+    mov   r1, %tid_y        # row offset
+    param r2, 0             # n
+    param r3, 4             # pivot t
+    sub   r4, r2, r3        # remaining columns
+    setge r5, r0, r4
+    brnz  r5, done
+    sub   r6, r4, 1         # remaining rows
+    setge r5, r1, r6
+    brnz  r5, done
+    add   r7, r3, 1
+    add   r7, r7, r1        # row i
+    add   r8, r3, r0        # column j
+    mul   r9, r7, r2
+    add   r10, r9, r3
+    shl   r10, r10, 2
+    param r11, 3
+    add   r12, r11, r10
+    ldg   r13, [r12]        # multiplier m[i][t]
+    mul   r10, r3, r2
+    add   r10, r10, r8
+    shl   r10, r10, 2
+    param r11, 1
+    add   r12, r11, r10
+    ldg   r14, [r12]        # a[t][j]
+    add   r10, r9, r8
+    shl   r10, r10, 2
+    add   r12, r11, r10
+    ldg   r15, [r12]        # a[i][j]
+    fmul  r14, r13, r14
+    fsub  r15, r15, r14
+    stg   r15, [r12]
+    brnz  r0, done          # first column thread also updates b
+    shl   r10, r3, 2
+    param r11, 2
+    add   r12, r11, r10
+    ldg   r14, [r12]        # b[t]
+    shl   r10, r7, 2
+    add   r12, r11, r10
+    ldg   r15, [r12]        # b[i]
+    fmul  r14, r13, r14
+    fsub  r15, r15, r14
+    stg   r15, [r12]
+done:
+    exit
+)";
+
+class Gaussian : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "gaussian"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        std::vector<float> a =
+            randomFloats(kN * kN, 0xCE01, 0.0f, 1.0f);
+        for (uint32_t i = 0; i < kN; ++i)
+            a[i * kN + i] += 50.0f; // no pivoting needed
+        a_ = upload(mem, a);
+        b_ = upload(mem, randomFloats(kN, 0xCE02, -1.0f, 1.0f));
+        m_ = allocBytes(mem, kN * kN * 4);
+        declareOutput(a_, kN * kN * 4);
+        declareOutput(b_, kN * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &fan1 = prog.kernel("ge_fan1");
+        const isa::Kernel &fan2 = prog.kernel("ge_fan2");
+        std::vector<sim::LaunchStats> stats;
+        for (uint32_t t = 0; t < kN - 1; ++t) {
+            stats.push_back(gpu.launch(fan1, {1, 1}, {kN, 1},
+                                       {kN, p(a_), p(m_), t}));
+            stats.push_back(gpu.launch(fan2, {1, 1}, {kN, kN},
+                                       {kN, p(a_), p(b_), p(m_), t}));
+        }
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kN = 16;
+    mem::Addr a_ = 0, b_ = 0, m_ = 0;
+};
+
+} // namespace
+
+const char *
+gaussianSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeGaussian()
+{
+    return [] { return std::make_unique<Gaussian>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * HS — HotSpot (Rodinia): iterative 2D thermal stencil. The
+ * temperature grid ping-pongs between two global buffers across
+ * invocations; the static power map is read through the texture path
+ * (L1T), exercising the texture-cache injection target.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel hotspot
+.reg 24
+# params: 0=width 1=height 2=&src 3=&dst 4=&power 5=k 6=c
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2        # x
+    mov   r3, %ctaid_y
+    mov   r4, %ntid_y
+    mul   r3, r3, r4
+    mov   r5, %tid_y
+    add   r3, r3, r5        # y
+    param r6, 0             # width
+    param r7, 1             # height
+    mul   r8, r3, r6
+    add   r8, r8, r0        # idx
+    shl   r9, r8, 2
+    param r10, 2
+    add   r10, r10, r9
+    ldg   r11, [r10]        # T[x,y]
+    # left neighbor (clamped)
+    mov   r12, 0
+    setgt r13, r0, r12
+    mul   r13, r13, 4
+    sub   r14, r9, r13
+    param r10, 2
+    add   r10, r10, r14
+    ldg   r15, [r10]        # T[x-1,y]
+    # right neighbor (clamped)
+    sub   r13, r6, 1
+    setlt r14, r0, r13
+    mul   r14, r14, 4
+    add   r14, r14, r9
+    param r10, 2
+    add   r10, r10, r14
+    ldg   r16, [r10]        # T[x+1,y]
+    # up neighbor (clamped)
+    setgt r13, r3, r12
+    shl   r14, r6, 2        # row bytes
+    mul   r13, r13, r14
+    sub   r13, r9, r13
+    param r10, 2
+    add   r10, r10, r13
+    ldg   r17, [r10]        # T[x,y-1]
+    # down neighbor (clamped)
+    sub   r13, r7, 1
+    setlt r13, r3, r13
+    mul   r13, r13, r14
+    add   r13, r13, r9
+    param r10, 2
+    add   r10, r10, r13
+    ldg   r18, [r10]        # T[x,y+1]
+    # laplacian = up + down + left + right - 4*self
+    fadd  r19, r15, r16
+    fadd  r19, r19, r17
+    fadd  r19, r19, r18
+    mov   r20, 4.0
+    fmul  r21, r11, r20
+    fsub  r19, r19, r21
+    param r22, 5            # thermal coefficient k
+    param r10, 4
+    add   r10, r10, r9
+    ldt   r23, [r10]        # power[idx] via the texture path
+    fma   r11, r19, r22, r11
+    param r22, 6            # power coefficient c
+    fma   r11, r23, r22, r11
+    param r10, 3
+    add   r10, r10, r9
+    stg   r11, [r10]
+    exit
+)";
+
+class Hotspot : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "hotspot"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        t0_ = upload(mem, randomFloats(kDim * kDim, 0xD001,
+                                       320.0f, 340.0f));
+        t1_ = allocBytes(mem, kDim * kDim * 4);
+        power_ = upload(mem, randomFloats(kDim * kDim, 0xD002,
+                                          0.0f, 1.0f));
+        mem.bindTexture(power_, kDim * kDim * 4);
+        // After an even number of iterations the result is in t0_.
+        declareOutput(t0_, kDim * kDim * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &k = prog.kernel("hotspot");
+        const float kc = 0.1f, cc = 0.05f;
+        uint32_t kBits, cBits;
+        __builtin_memcpy(&kBits, &kc, 4);
+        __builtin_memcpy(&cBits, &cc, 4);
+
+        std::vector<sim::LaunchStats> stats;
+        mem::Addr src = t0_, dst = t1_;
+        for (uint32_t iter = 0; iter < kIters; ++iter) {
+            stats.push_back(gpu.launch(
+                k, {kDim / 16, kDim / 16}, {16, 16},
+                {kDim, kDim, p(src), p(dst), p(power_), kBits,
+                 cBits}));
+            std::swap(src, dst);
+        }
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kDim = 64;
+    static constexpr uint32_t kIters = 4;
+    mem::Addr t0_ = 0, t1_ = 0, power_ = 0;
+};
+
+} // namespace
+
+const char *
+hotspotSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeHotspot()
+{
+    return [] { return std::make_unique<Hotspot>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

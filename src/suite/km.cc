@@ -1,0 +1,171 @@
+/**
+ * @file
+ * KM — K-Means (Rodinia kmeans): iterative point-to-centroid
+ * assignment on the device with host-side centroid recomputation
+ * between invocations. Each thread copies its point's feature vector
+ * into per-thread local memory (modeling the register spill of the
+ * original), exercising the local-memory injection target. The paper
+ * observes KM as the highest-AVF workload (long-lived values across
+ * the centroid loop).
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel km_assign
+.reg 20
+.local 16               # dim (4) features * 4 bytes
+# params: 0=n 1=dim 2=K 3=&points 4=&centroids 5=&labels
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2        # point id
+    param r3, 0
+    setge r4, r0, r3
+    brnz  r4, done
+    param r1, 1             # dim
+    mul   r2, r0, r1
+    shl   r2, r2, 2
+    param r3, 3
+    add   r3, r3, r2        # &points[p][0]
+    mov   r4, 0             # f
+copy:
+    setge r5, r4, r1
+    brnz  r5, copied
+    shl   r6, r4, 2
+    add   r7, r3, r6
+    ldg   r8, [r7]
+    stl   r8, [r6]          # local[f] = feature (spill)
+    add   r4, r4, 1
+    bra   copy
+copied:
+    mov   r9, 0             # k
+    mov   r10, 0            # best label
+    mov   r11, 0x7f800000   # best distance = +inf
+    param r12, 2            # K
+kloop:
+    setge r5, r9, r12
+    brnz  r5, kdone
+    mov   r13, 0            # dist = 0.0f
+    mov   r4, 0             # f
+floop:
+    setge r5, r4, r1
+    brnz  r5, fdone
+    shl   r6, r4, 2
+    ldl   r8, [r6]          # local[f]
+    mul   r14, r9, r1
+    add   r14, r14, r4
+    shl   r14, r14, 2
+    param r15, 4
+    add   r15, r15, r14
+    ldg   r16, [r15]        # centroid[k][f]
+    fsub  r16, r8, r16
+    fma   r13, r16, r16, r13
+    add   r4, r4, 1
+    bra   floop
+fdone:
+    fsetlt r5, r13, r11
+    brz   r5, noupd
+    mov   r11, r13
+    mov   r10, r9
+noupd:
+    add   r9, r9, 1
+    bra   kloop
+kdone:
+    shl   r17, r0, 2
+    param r18, 5
+    add   r18, r18, r17
+    stg   r10, [r18]
+done:
+    exit
+)";
+
+class Kmeans : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "kmeans"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        points_ = randomFloats(kN * kDim, 0xE001, 0.0f, 10.0f);
+        pointsAddr_ = upload(mem, points_);
+        // Initial centroids: the first K points.
+        std::vector<float> init(points_.begin(),
+                                points_.begin() + kK * kDim);
+        centroidsAddr_ = upload(mem, init);
+        labelsAddr_ = allocBytes(mem, kN * 4);
+        declareOutput(labelsAddr_, kN * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &k = prog.kernel("km_assign");
+        std::vector<sim::LaunchStats> stats;
+        for (uint32_t iter = 0; iter < kIters; ++iter) {
+            stats.push_back(gpu.launch(
+                k, {kN / 256, 1}, {256, 1},
+                {kN, kDim, kK, p(pointsAddr_), p(centroidsAddr_),
+                 p(labelsAddr_)}));
+            if (iter + 1 < kIters)
+                updateCentroids(gpu.mem());
+        }
+        return stats;
+    }
+
+  private:
+    /** Host step: recompute centroids as per-cluster feature means. */
+    void
+    updateCentroids(mem::DeviceMemory &mem)
+    {
+        std::vector<uint32_t> labels(kN);
+        mem.read(labelsAddr_, labels.data(), kN * 4);
+        std::vector<float> sums(kK * kDim, 0.0f);
+        std::vector<uint32_t> counts(kK, 0);
+        for (uint32_t i = 0; i < kN; ++i) {
+            uint32_t l = labels[i] < kK ? labels[i] : 0;
+            ++counts[l];
+            for (uint32_t f = 0; f < kDim; ++f)
+                sums[l * kDim + f] += points_[i * kDim + f];
+        }
+        for (uint32_t l = 0; l < kK; ++l)
+            if (counts[l] > 0)
+                for (uint32_t f = 0; f < kDim; ++f)
+                    sums[l * kDim + f] /=
+                        static_cast<float>(counts[l]);
+        mem.write(centroidsAddr_, sums.data(), kK * kDim * 4);
+    }
+
+    static constexpr uint32_t kN = 2048;
+    static constexpr uint32_t kDim = 4;
+    static constexpr uint32_t kK = 4;
+    static constexpr uint32_t kIters = 3;
+    std::vector<float> points_;
+    mem::Addr pointsAddr_ = 0, centroidsAddr_ = 0, labelsAddr_ = 0;
+};
+
+} // namespace
+
+const char *
+kmeansSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeKmeans()
+{
+    return [] { return std::make_unique<Kmeans>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

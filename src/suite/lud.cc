@@ -1,0 +1,367 @@
+/**
+ * @file
+ * LUD — LU Decomposition (Rodinia lud): in-place blocked LU without
+ * pivoting on a diagonally dominant matrix. Per block-step the host
+ * launches the Rodinia kernel triple: lud_diagonal factorizes the
+ * diagonal tile, lud_perimeter solves the row/column strips, and
+ * lud_internal applies the rank-B update to the trailing submatrix
+ * with shared-memory tiles.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel lud_diagonal
+.reg 22
+.smem 256               # 8x8 tile
+# params: 0=n 1=&A 2=step
+    mov   r0, %tid_x        # row j of the tile
+    param r1, 0             # n
+    param r2, 2             # s
+    mul   r3, r2, 8         # sB
+    add   r4, r3, r0        # global row
+    mul   r5, r4, r1
+    add   r5, r5, r3
+    shl   r5, r5, 2
+    param r6, 1
+    add   r5, r6, r5        # &A[row][sB]
+    mul   r7, r0, 32        # shared row offset
+    mov   r8, 0
+load:
+    setge r9, r8, 8
+    brnz  r9, loaded
+    shl   r10, r8, 2
+    add   r11, r5, r10
+    ldg   r12, [r11]
+    add   r13, r7, r10
+    sts   r12, [r13]
+    add   r8, r8, 1
+    bra   load
+loaded:
+    bar
+    mov   r8, 0             # k
+kloop:
+    setge r9, r8, 8
+    brnz  r9, kdone
+    setgt r9, r0, r8        # only rows below the pivot
+    brz   r9, kskip
+    mul   r10, r8, 32       # shared row k
+    shl   r11, r8, 2
+    add   r12, r10, r11
+    lds   r13, [r12]        # pivot sh[k][k]
+    add   r14, r7, r11
+    lds   r15, [r14]
+    fdiv  r15, r15, r13     # multiplier L[j][k]
+    sts   r15, [r14]
+    add   r16, r8, 1        # m
+mloop:
+    setge r9, r16, 8
+    brnz  r9, kskip
+    shl   r17, r16, 2
+    add   r18, r10, r17
+    lds   r19, [r18]        # sh[k][m]
+    add   r18, r7, r17
+    lds   r20, [r18]        # sh[j][m]
+    fmul  r19, r15, r19
+    fsub  r20, r20, r19
+    sts   r20, [r18]
+    add   r16, r16, 1
+    bra   mloop
+kskip:
+    bar
+    add   r8, r8, 1
+    bra   kloop
+kdone:
+    mov   r8, 0
+store:
+    setge r9, r8, 8
+    brnz  r9, done
+    shl   r10, r8, 2
+    add   r11, r7, r10
+    lds   r12, [r11]
+    add   r13, r5, r10
+    stg   r12, [r13]
+    add   r8, r8, 1
+    bra   store
+done:
+    exit
+
+.kernel lud_perimeter
+.reg 24
+.smem 512               # row-strip columns (0..255) + col-strip rows (256..511)
+# params: 0=n 1=&A 2=step
+    mov   r0, %tid_x
+    param r1, 0             # n
+    param r2, 2             # s
+    mul   r3, r2, 8         # sB
+    mov   r4, %ctaid_x
+    add   r5, r2, 1
+    add   r5, r5, r4        # target tile index t
+    mul   r6, r5, 8         # tB
+    setge r7, r0, 8
+    brnz  r7, colstrip
+    # Row strip (tile s,t): thread m owns column m; U update via the
+    # strictly-lower diagonal-tile multipliers.
+    add   r8, r6, r0        # global column
+    mov   r9, 0
+rload:
+    setge r10, r9, 8
+    brnz  r10, rloaded
+    add   r11, r3, r9
+    mul   r12, r11, r1
+    add   r12, r12, r8
+    shl   r12, r12, 2
+    param r13, 1
+    add   r12, r13, r12
+    ldg   r14, [r12]
+    mul   r15, r9, 8
+    add   r15, r15, r0
+    shl   r15, r15, 2
+    sts   r14, [r15]
+    add   r9, r9, 1
+    bra   rload
+rloaded:
+    mov   r9, 0             # k
+rk:
+    setge r10, r9, 8
+    brnz  r10, rkdone
+    add   r16, r9, 1        # j
+rj:
+    setge r10, r16, 8
+    brnz  r10, rknext
+    add   r11, r3, r16
+    mul   r12, r11, r1
+    add   r12, r12, r3
+    add   r12, r12, r9
+    shl   r12, r12, 2
+    param r13, 1
+    add   r12, r13, r12
+    ldg   r14, [r12]        # L[j][k] of the diagonal tile
+    mul   r15, r9, 8
+    add   r15, r15, r0
+    shl   r15, r15, 2
+    lds   r17, [r15]        # sh[k][m]
+    mul   r15, r16, 8
+    add   r15, r15, r0
+    shl   r15, r15, 2
+    lds   r18, [r15]        # sh[j][m]
+    fmul  r14, r14, r17
+    fsub  r18, r18, r14
+    sts   r18, [r15]
+    add   r16, r16, 1
+    bra   rj
+rknext:
+    add   r9, r9, 1
+    bra   rk
+rkdone:
+    mov   r9, 0
+rstore:
+    setge r10, r9, 8
+    brnz  r10, pdone
+    mul   r15, r9, 8
+    add   r15, r15, r0
+    shl   r15, r15, 2
+    lds   r14, [r15]
+    add   r11, r3, r9
+    mul   r12, r11, r1
+    add   r12, r12, r8
+    shl   r12, r12, 2
+    param r13, 1
+    add   r12, r13, r12
+    stg   r14, [r12]
+    add   r9, r9, 1
+    bra   rstore
+colstrip:
+    # Column strip (tile t,s): thread r0-8 owns row j; forward
+    # substitution against the diagonal tile's U part.
+    sub   r19, r0, 8        # j
+    add   r8, r6, r19       # global row
+    mov   r9, 0             # k
+ck:
+    setge r10, r9, 8
+    brnz  r10, pdone
+    mul   r12, r8, r1
+    add   r12, r12, r3
+    add   r12, r12, r9
+    shl   r12, r12, 2
+    param r13, 1
+    add   r12, r13, r12
+    ldg   r14, [r12]        # acc = A[row][sB+k]
+    mov   r16, 0            # i
+ci:
+    setge r10, r16, r9
+    brnz  r10, cidone
+    mul   r15, r19, 8
+    add   r15, r15, r16
+    shl   r15, r15, 2
+    add   r15, r15, 256
+    lds   r17, [r15]        # solved L[j][i]
+    add   r11, r3, r16
+    mul   r18, r11, r1
+    add   r18, r18, r3
+    add   r18, r18, r9
+    shl   r18, r18, 2
+    add   r18, r13, r18
+    ldg   r20, [r18]        # U[i][k] of the diagonal tile
+    fmul  r17, r17, r20
+    fsub  r14, r14, r17
+    add   r16, r16, 1
+    bra   ci
+cidone:
+    add   r11, r3, r9
+    mul   r18, r11, r1
+    add   r18, r18, r3
+    add   r18, r18, r9
+    shl   r18, r18, 2
+    add   r18, r13, r18
+    ldg   r20, [r18]        # pivot U[k][k]
+    fdiv  r14, r14, r20
+    mul   r15, r19, 8
+    add   r15, r15, r9
+    shl   r15, r15, 2
+    add   r15, r15, 256
+    sts   r14, [r15]
+    stg   r14, [r12]
+    add   r9, r9, 1
+    bra   ck
+pdone:
+    exit
+
+.kernel lud_internal
+.reg 24
+.smem 512               # L tile (0..255) + U tile (256..511)
+# params: 0=n 1=&A 2=step
+    mov   r0, %tid_x
+    mov   r1, %tid_y
+    param r2, 0             # n
+    param r3, 2             # s
+    mul   r4, r3, 8         # sB
+    mov   r5, %ctaid_x
+    add   r6, r3, 1
+    add   r6, r6, r5
+    mul   r6, r6, 8         # column tile base
+    mov   r5, %ctaid_y
+    add   r7, r3, 1
+    add   r7, r7, r5
+    mul   r7, r7, 8         # row tile base
+    add   r8, r7, r1
+    mul   r9, r8, r2
+    add   r9, r9, r4
+    add   r9, r9, r0
+    shl   r9, r9, 2
+    param r10, 1
+    add   r9, r10, r9
+    ldg   r11, [r9]         # L[rowB+ty][sB+tx]
+    mul   r12, r1, 8
+    add   r12, r12, r0
+    shl   r12, r12, 2
+    sts   r11, [r12]
+    add   r8, r4, r1
+    mul   r9, r8, r2
+    add   r9, r9, r6
+    add   r9, r9, r0
+    shl   r9, r9, 2
+    add   r9, r10, r9
+    ldg   r11, [r9]         # U[sB+ty][colB+tx]
+    add   r13, r12, 256
+    sts   r11, [r13]
+    bar
+    add   r8, r7, r1
+    mul   r9, r8, r2
+    add   r9, r9, r6
+    add   r9, r9, r0
+    shl   r9, r9, 2
+    add   r9, r10, r9       # &A[rowB+ty][colB+tx]
+    ldg   r14, [r9]
+    mov   r15, 0            # k
+iloop:
+    setge r16, r15, 8
+    brnz  r16, idone
+    mul   r17, r1, 8
+    add   r17, r17, r15
+    shl   r17, r17, 2
+    lds   r18, [r17]        # shL[ty][k]
+    mul   r17, r15, 8
+    add   r17, r17, r0
+    shl   r17, r17, 2
+    add   r17, r17, 256
+    lds   r19, [r17]        # shU[k][tx]
+    fmul  r18, r18, r19
+    fsub  r14, r14, r18
+    add   r15, r15, 1
+    bra   iloop
+idone:
+    stg   r14, [r9]
+    exit
+)";
+
+class Lud : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "lud"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        std::vector<float> a =
+            randomFloats(kN * kN, 0xAB01, 0.0f, 1.0f);
+        // Diagonal dominance: blocked LU without pivoting is stable.
+        for (uint32_t i = 0; i < kN; ++i)
+            a[i * kN + i] += 10.0f;
+        a_ = upload(mem, a);
+        declareOutput(a_, kN * kN * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &diag = prog.kernel("lud_diagonal");
+        const isa::Kernel &perim = prog.kernel("lud_perimeter");
+        const isa::Kernel &inter = prog.kernel("lud_internal");
+        constexpr uint32_t tiles = kN / kB;
+
+        std::vector<sim::LaunchStats> stats;
+        for (uint32_t s = 0; s < tiles; ++s) {
+            std::vector<uint32_t> params = {kN, p(a_), s};
+            stats.push_back(
+                gpu.launch(diag, {1, 1}, {kB, 1}, params));
+            uint32_t rest = tiles - 1 - s;
+            if (rest == 0)
+                continue;
+            stats.push_back(
+                gpu.launch(perim, {rest, 1}, {2 * kB, 1}, params));
+            stats.push_back(
+                gpu.launch(inter, {rest, rest}, {kB, kB}, params));
+        }
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kN = 32;
+    static constexpr uint32_t kB = 8;
+    mem::Addr a_ = 0;
+};
+
+} // namespace
+
+const char *
+ludSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeLud()
+{
+    return [] { return std::make_unique<Lud>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

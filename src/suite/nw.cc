@@ -1,0 +1,220 @@
+/**
+ * @file
+ * NW — Needleman-Wunsch (Rodinia nw): global sequence alignment by
+ * wavefront dynamic programming over the score matrix. The host
+ * launches one kernel per tile anti-diagonal (many invocations of one
+ * static kernel); each CTA solves a 16x16 tile in shared memory with
+ * an internal diagonal wavefront and barriers.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel nw_step
+.reg 26
+.smem 2184              # 17x17 score tile (0..1155, padded) + 16x16 ref (1160..)
+# params: 0=n1 1=&score 2=&ref 3=penalty 4=d 5=baseI 6=B
+    mov   r0, %ctaid_x
+    param r1, 5
+    add   r1, r1, r0        # tile row i
+    param r2, 4
+    sub   r2, r2, r1        # tile col j = d - i
+    param r3, 6             # B
+    mov   r4, %tid_x        # t
+    mul   r5, r1, r3        # gi0
+    mul   r6, r2, r3        # gj0
+    param r7, 0             # n1 (matrix dimension with border)
+    # top border: sh[0][t+1] = score[gi0][gj0 + t + 1]
+    add   r8, r6, r4
+    add   r8, r8, 1
+    mul   r9, r5, r7
+    add   r9, r9, r8
+    shl   r9, r9, 2
+    param r10, 1
+    add   r11, r10, r9
+    ldg   r12, [r11]
+    add   r13, r4, 1
+    shl   r13, r13, 2
+    sts   r12, [r13]
+    # left border: sh[t+1][0] = score[gi0 + t + 1][gj0]
+    add   r8, r5, r4
+    add   r8, r8, 1
+    mul   r9, r8, r7
+    add   r9, r9, r6
+    shl   r9, r9, 2
+    add   r11, r10, r9
+    ldg   r12, [r11]
+    add   r13, r4, 1
+    mul   r13, r13, 68      # shared row stride (17 * 4)
+    sts   r12, [r13]
+    # corner (thread 0): sh[0][0] = score[gi0][gj0]
+    brnz  r4, ncorner
+    mul   r9, r5, r7
+    add   r9, r9, r6
+    shl   r9, r9, 2
+    add   r11, r10, r9
+    ldg   r12, [r11]
+    mov   r13, 0
+    sts   r12, [r13]
+ncorner:
+    # reference tile: thread t loads row t
+    sub   r14, r7, 1        # n (reference is n x n)
+    add   r15, r5, r4
+    mul   r15, r15, r14
+    add   r15, r15, r6
+    shl   r15, r15, 2
+    param r16, 2
+    add   r15, r16, r15
+    mul   r17, r4, 64
+    add   r17, r17, 1160
+    mov   r18, 0
+refloop:
+    setge r19, r18, r3
+    brnz  r19, refdone
+    shl   r20, r18, 2
+    add   r21, r15, r20
+    ldg   r22, [r21]
+    add   r23, r17, r20
+    sts   r22, [r23]
+    add   r18, r18, 1
+    bra   refloop
+refdone:
+    bar
+    mov   r18, 0            # wavefront step
+    param r24, 3            # gap penalty
+wave:
+    mov   r19, 30           # 2B - 2
+    setgt r20, r18, r19
+    brnz  r20, wavedone
+    setle r20, r4, r18
+    sub   r21, r18, r4
+    setlt r22, r21, r3
+    and   r20, r20, r22
+    brz   r20, wskip
+    add   r21, r21, 1       # cell col j
+    add   r22, r4, 1        # cell row i
+    mul   r23, r22, 17
+    add   r23, r23, r21
+    shl   r23, r23, 2       # shared offset of (i, j)
+    lds   r25, [r23-72]     # diagonal score
+    sub   r19, r22, 1
+    mul   r19, r19, 16
+    add   r19, r19, r21
+    sub   r19, r19, 1
+    shl   r19, r19, 2
+    add   r19, r19, 1160
+    lds   r20, [r19]        # ref[i-1][j-1]
+    add   r25, r25, r20
+    lds   r20, [r23-68]     # up
+    add   r20, r20, r24
+    lds   r19, [r23-4]      # left
+    add   r19, r19, r24
+    max   r25, r25, r20
+    max   r25, r25, r19
+    sts   r25, [r23]
+wskip:
+    bar
+    add   r18, r18, 1
+    bra   wave
+wavedone:
+    # store interior row t+1 back to the global score matrix
+    add   r19, r5, r4
+    add   r19, r19, 1
+    mul   r19, r19, r7
+    add   r19, r19, r6
+    add   r19, r19, 1
+    shl   r19, r19, 2
+    param r10, 1
+    add   r19, r10, r19
+    add   r20, r4, 1
+    mul   r20, r20, 68
+    add   r20, r20, 4
+    mov   r18, 0
+stloop:
+    setge r21, r18, r3
+    brnz  r21, stdone
+    shl   r22, r18, 2
+    add   r23, r20, r22
+    lds   r25, [r23]
+    add   r23, r19, r22
+    stg   r25, [r23]
+    add   r18, r18, 1
+    bra   stloop
+stdone:
+    exit
+)";
+
+class NeedlemanWunsch : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "nw"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        // Score matrix with gap-penalty borders.
+        std::vector<int32_t> score((kN + 1) * (kN + 1), 0);
+        for (uint32_t i = 1; i <= kN; ++i) {
+            score[i * (kN + 1)] = static_cast<int32_t>(i) * kPenalty;
+            score[i] = static_cast<int32_t>(i) * kPenalty;
+        }
+        std::vector<uint32_t> scoreBits(score.size());
+        for (size_t i = 0; i < score.size(); ++i)
+            scoreBits[i] = static_cast<uint32_t>(score[i]);
+        score_ = upload(mem, scoreBits);
+        // Substitution values in [-4, 5], standing in for blosum62.
+        std::vector<uint32_t> ref = randomU32(kN * kN, 0xAE01, 10);
+        for (auto &v : ref)
+            v = static_cast<uint32_t>(static_cast<int32_t>(v) - 4);
+        ref_ = upload(mem, ref);
+        declareOutput(score_, scoreBits.size() * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &k = prog.kernel("nw_step");
+        constexpr uint32_t tiles = kN / kB;
+        std::vector<sim::LaunchStats> stats;
+        for (uint32_t d = 0; d <= 2 * (tiles - 1); ++d) {
+            uint32_t lo = d + 1 >= tiles ? d - (tiles - 1) : 0;
+            uint32_t hi = d < tiles - 1 ? d : tiles - 1;
+            uint32_t width = hi - lo + 1;
+            stats.push_back(gpu.launch(
+                k, {width, 1}, {kB, 1},
+                {kN + 1, p(score_), p(ref_),
+                 static_cast<uint32_t>(kPenalty), d, lo, kB}));
+        }
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kN = 48;
+    static constexpr uint32_t kB = 16;
+    static constexpr int32_t kPenalty = -1;
+    mem::Addr score_ = 0, ref_ = 0;
+};
+
+} // namespace
+
+const char *
+needlemanWunschSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeNeedlemanWunsch()
+{
+    return [] { return std::make_unique<NeedlemanWunsch>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

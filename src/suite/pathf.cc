@@ -1,0 +1,137 @@
+/**
+ * @file
+ * PATHF — PathFinder (Rodinia pathfinder): row-by-row dynamic
+ * programming over a weighted grid. Each invocation advances one
+ * row; CTAs stage the previous row in shared memory with a one-cell
+ * halo on each side.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel pathf_step
+.reg 20
+.smem 1032              # (256 + 2 halo) * 4 bytes
+# params: 0=cols 1=&wallRow 2=&src 3=&dst
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r2, r0, r1
+    mov   r3, %tid_x
+    add   r0, r2, r3        # column j
+    param r4, 0             # cols (multiple of the block size)
+    shl   r6, r0, 2
+    param r7, 2
+    add   r8, r7, r6
+    ldg   r9, [r8]          # src[j]
+    add   r10, r3, 1
+    shl   r10, r10, 2
+    sts   r9, [r10]         # shared[tid+1]
+    # left halo
+    brnz  r3, nleft
+    mov   r11, 0
+    sub   r12, r0, 1
+    max   r12, r12, r11
+    shl   r12, r12, 2
+    add   r8, r7, r12
+    ldg   r9, [r8]
+    mov   r12, 0
+    sts   r9, [r12]
+nleft:
+    # right halo
+    sub   r13, r1, 1
+    setne r14, r3, r13
+    brnz  r14, nright
+    add   r12, r0, 1
+    sub   r15, r4, 1
+    min   r12, r12, r15
+    shl   r12, r12, 2
+    add   r8, r7, r12
+    ldg   r9, [r8]
+    add   r12, r1, 1
+    shl   r12, r12, 2
+    sts   r9, [r12]
+nright:
+    bar
+    shl   r16, r3, 2
+    lds   r17, [r16]        # src[j-1]
+    lds   r18, [r16+4]      # src[j]
+    lds   r19, [r16+8]      # src[j+1]
+    fmin  r17, r17, r18
+    fmin  r17, r17, r19
+    param r7, 1
+    add   r8, r7, r6
+    ldg   r9, [r8]          # wall[row][j]
+    fadd  r17, r17, r9
+    param r7, 3
+    add   r8, r7, r6
+    stg   r17, [r8]
+    exit
+)";
+
+class Pathfinder : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "pathfinder"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        wall_ = upload(mem, randomFloats(kRows * kCols, 0xAF01,
+                                         0.0f, 10.0f));
+        // Row 0 seeds the DP; results ping-pong between two buffers.
+        std::vector<float> row0(kCols);
+        std::vector<float> all(kRows * kCols);
+        mem.read(wall_, all.data(), all.size() * 4);
+        for (uint32_t j = 0; j < kCols; ++j)
+            row0[j] = all[j];
+        r0_ = upload(mem, row0);
+        r1_ = allocBytes(mem, kCols * 4);
+        // kRows-1 steps: odd count leaves the result in r1_.
+        declareOutput((kRows - 1) % 2 == 1 ? r1_ : r0_, kCols * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &k = prog.kernel("pathf_step");
+        std::vector<sim::LaunchStats> stats;
+        mem::Addr src = r0_, dst = r1_;
+        for (uint32_t row = 1; row < kRows; ++row) {
+            mem::Addr wallRow = wall_ + row * kCols * 4;
+            stats.push_back(gpu.launch(
+                k, {kCols / 256, 1}, {256, 1},
+                {kCols, p(wallRow), p(src), p(dst)}));
+            std::swap(src, dst);
+        }
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kRows = 8;
+    static constexpr uint32_t kCols = 1024;
+    mem::Addr wall_ = 0, r0_ = 0, r1_ = 0;
+};
+
+} // namespace
+
+const char *
+pathfinderSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makePathfinder()
+{
+    return [] { return std::make_unique<Pathfinder>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

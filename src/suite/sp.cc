@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SP — Scalar Product (CUDA SDK scalarProd): each CTA reduces one
+ * vector-pair segment to a dot product using a shared-memory tree
+ * reduction with barriers.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel scalarprod
+.reg 14
+.smem 1024              # blockDim (256) * 4 bytes of partials
+# params: 0=segLen  1=&a  2=&b  3=&out
+    mov   r0, %ctaid_x
+    param r1, 0
+    mul   r2, r0, r1        # segment start
+    mov   r3, %tid_x
+    mov   r4, 0             # acc = 0.0f
+    mov   r5, %ntid_x       # stride
+    add   r6, r2, r3        # i
+    add   r7, r2, r1        # segment end
+loop:
+    setge r8, r6, r7
+    brnz  r8, reduce
+    shl   r9, r6, 2
+    param r10, 1
+    add   r10, r10, r9
+    ldg   r11, [r10]
+    param r10, 2
+    add   r10, r10, r9
+    ldg   r12, [r10]
+    fma   r4, r11, r12, r4
+    add   r6, r6, r5
+    bra   loop
+reduce:
+    shl   r9, r3, 2
+    sts   r4, [r9]          # shared[tid] = acc
+    bar
+    mov   r10, %ntid_x
+    shr   r10, r10, 1
+tree:
+    brz   r10, treedone
+    setlt r8, r3, r10
+    brz   r8, skip
+    add   r11, r3, r10
+    shl   r12, r11, 2
+    lds   r13, [r12]
+    lds   r11, [r9]
+    fadd  r11, r11, r13
+    sts   r11, [r9]
+skip:
+    bar
+    shr   r10, r10, 1
+    bra   tree
+treedone:
+    brnz  r3, done          # only lane 0 of CTA writes
+    lds   r4, [r9]
+    mov   r11, %ctaid_x
+    shl   r11, r11, 2
+    param r12, 3
+    add   r12, r12, r11
+    stg   r4, [r12]
+done:
+    exit
+)";
+
+class ScalarProduct : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "scalarprod"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        a_ = upload(mem, randomFloats(kVectors * kSegLen, 0xB001,
+                                      -4.0f, 4.0f));
+        b_ = upload(mem, randomFloats(kVectors * kSegLen, 0xB002,
+                                      -4.0f, 4.0f));
+        out_ = allocBytes(mem, kVectors * 4);
+        declareOutput(out_, kVectors * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        std::vector<sim::LaunchStats> stats;
+        stats.push_back(gpu.launch(prog.kernel("scalarprod"),
+                                   {kVectors, 1}, {kBlock, 1},
+                                   {kSegLen, p(a_), p(b_), p(out_)}));
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kVectors = 8;
+    static constexpr uint32_t kSegLen = 1024;
+    static constexpr uint32_t kBlock = 256;
+    mem::Addr a_ = 0, b_ = 0, out_ = 0;
+};
+
+} // namespace
+
+const char *
+scalarProductSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeScalarProduct()
+{
+    return [] { return std::make_unique<ScalarProduct>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * SRAD1 — Speckle Reducing Anisotropic Diffusion v1 (Rodinia
+ * srad_v1): per iteration, kernel srad1 computes the four directional
+ * gradients and the diffusion coefficient per pixel; kernel srad2
+ * integrates the divergence. The host computes q0sqr (ROI statistics)
+ * between iterations, as the original does. 1D thread mapping.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel srad1
+.reg 30
+# params: 0=cols 1=rows 2=&J 3=&dN 4=&dS 5=&dW 6=&dE 7=&C 8=q0sqr
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2        # pixel id
+    param r3, 0             # cols
+    param r4, 1             # rows
+    mul   r5, r3, r4
+    setge r6, r0, r5
+    brnz  r6, done
+    div   r7, r0, r3        # row
+    rem   r8, r0, r3        # col
+    sub   r9, r7, 1
+    mov   r10, 0
+    max   r9, r9, r10       # north row (clamped)
+    add   r11, r7, 1
+    sub   r12, r4, 1
+    min   r11, r11, r12     # south row
+    sub   r13, r8, 1
+    max   r13, r13, r10     # west col
+    add   r14, r8, 1
+    sub   r15, r3, 1
+    min   r14, r14, r15     # east col
+    param r16, 2            # &J
+    shl   r17, r0, 2
+    add   r18, r16, r17
+    ldg   r19, [r18]        # Jc
+    mul   r20, r9, r3
+    add   r20, r20, r8
+    shl   r20, r20, 2
+    add   r18, r16, r20
+    ldg   r21, [r18]        # J north
+    mul   r20, r11, r3
+    add   r20, r20, r8
+    shl   r20, r20, 2
+    add   r18, r16, r20
+    ldg   r22, [r18]        # J south
+    mul   r20, r7, r3
+    add   r20, r20, r13
+    shl   r20, r20, 2
+    add   r18, r16, r20
+    ldg   r23, [r18]        # J west
+    mul   r20, r7, r3
+    add   r20, r20, r14
+    shl   r20, r20, 2
+    add   r18, r16, r20
+    ldg   r24, [r18]        # J east
+    fsub  r21, r21, r19     # dN
+    fsub  r22, r22, r19     # dS
+    fsub  r23, r23, r19     # dW
+    fsub  r24, r24, r19     # dE
+    param r16, 3
+    add   r18, r16, r17
+    stg   r21, [r18]
+    param r16, 4
+    add   r18, r16, r17
+    stg   r22, [r18]
+    param r16, 5
+    add   r18, r16, r17
+    stg   r23, [r18]
+    param r16, 6
+    add   r18, r16, r17
+    stg   r24, [r18]
+    # G2 = (dN^2 + dS^2 + dW^2 + dE^2) / Jc^2
+    fmul  r25, r21, r21
+    fma   r25, r22, r22, r25
+    fma   r25, r23, r23, r25
+    fma   r25, r24, r24, r25
+    fmul  r26, r19, r19
+    fdiv  r25, r25, r26
+    # L = (dN + dS + dW + dE) / Jc
+    fadd  r26, r21, r22
+    fadd  r26, r26, r23
+    fadd  r26, r26, r24
+    fdiv  r26, r26, r19
+    # num = 0.5*G2 - 0.0625*L^2 ; den = (1 + 0.25*L)^2
+    mov   r27, 0.5
+    fmul  r25, r25, r27
+    fmul  r28, r26, r26
+    mov   r27, 0.0625
+    fmul  r28, r28, r27
+    fsub  r25, r25, r28     # num
+    mov   r27, 0.25
+    fmul  r28, r26, r27
+    mov   r27, 1.0
+    fadd  r28, r28, r27
+    fmul  r28, r28, r28
+    fdiv  r25, r25, r28     # qsqr
+    param r29, 8            # q0sqr
+    fsub  r26, r25, r29
+    fadd  r28, r29, r27     # 1 + q0
+    fmul  r28, r28, r29     # q0*(1+q0)
+    fdiv  r26, r26, r28     # den2
+    fadd  r26, r26, r27     # 1 + den2
+    frcp  r26, r26          # c
+    mov   r28, 0
+    fmax  r26, r26, r28     # clamp to [0, 1]
+    fmin  r26, r26, r27
+    param r16, 7
+    add   r18, r16, r17
+    stg   r26, [r18]
+done:
+    exit
+
+.kernel srad2
+.reg 26
+# params: 0=cols 1=rows 2=&J 3=&dN 4=&dS 5=&dW 6=&dE 7=&C 8=lambda4
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2
+    param r3, 0
+    param r4, 1
+    mul   r5, r3, r4
+    setge r6, r0, r5
+    brnz  r6, done
+    div   r7, r0, r3        # row
+    rem   r8, r0, r3        # col
+    add   r9, r7, 1
+    sub   r10, r4, 1
+    min   r9, r9, r10       # south row
+    add   r11, r8, 1
+    sub   r12, r3, 1
+    min   r11, r11, r12     # east col
+    shl   r13, r0, 2
+    param r14, 7            # &C
+    add   r15, r14, r13
+    ldg   r16, [r15]        # cN = cW = C[idx]
+    mul   r17, r9, r3
+    add   r17, r17, r8
+    shl   r17, r17, 2
+    add   r15, r14, r17
+    ldg   r18, [r15]        # cS = C[south]
+    mul   r17, r7, r3
+    add   r17, r17, r11
+    shl   r17, r17, 2
+    add   r15, r14, r17
+    ldg   r19, [r15]        # cE = C[east]
+    # D = cN*dN + cS*dS + cW*dW + cE*dE
+    param r14, 3
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fmul  r21, r16, r20     # cN*dN
+    param r14, 4
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fma   r21, r18, r20, r21
+    param r14, 5
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fma   r21, r16, r20, r21
+    param r14, 6
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fma   r21, r19, r20, r21
+    param r22, 8            # lambda/4
+    param r14, 2
+    add   r15, r14, r13
+    ldg   r23, [r15]
+    fma   r23, r21, r22, r23
+    stg   r23, [r15]        # J += lambda4 * D
+done:
+    exit
+)";
+
+class Srad1 : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "srad1"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        j_ = upload(mem, randomFloats(kDim * kDim, 0xF001,
+                                      0.2f, 1.0f));
+        dn_ = allocBytes(mem, kDim * kDim * 4);
+        ds_ = allocBytes(mem, kDim * kDim * 4);
+        dw_ = allocBytes(mem, kDim * kDim * 4);
+        de_ = allocBytes(mem, kDim * kDim * 4);
+        c_ = allocBytes(mem, kDim * kDim * 4);
+        declareOutput(j_, kDim * kDim * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &k1 = prog.kernel("srad1");
+        const isa::Kernel &k2 = prog.kernel("srad2");
+        const float lambda4 = 0.5f * 0.25f;
+        uint32_t l4Bits;
+        __builtin_memcpy(&l4Bits, &lambda4, 4);
+
+        std::vector<sim::LaunchStats> stats;
+        for (uint32_t iter = 0; iter < kIters; ++iter) {
+            uint32_t q0Bits = q0sqr(gpu.mem());
+            std::vector<uint32_t> params = {
+                kDim, kDim, p(j_), p(dn_), p(ds_), p(dw_), p(de_),
+                p(c_), q0Bits};
+            stats.push_back(gpu.launch(k1, {kDim * kDim / 256, 1},
+                                       {256, 1}, params));
+            params.back() = l4Bits;
+            stats.push_back(gpu.launch(k2, {kDim * kDim / 256, 1},
+                                       {256, 1}, params));
+        }
+        return stats;
+    }
+
+  private:
+    /** Host step: ROI statistics q0sqr = variance / mean^2. */
+    uint32_t
+    q0sqr(const mem::DeviceMemory &mem) const
+    {
+        std::vector<float> img(kDim * kDim);
+        mem.read(j_, img.data(), img.size() * 4);
+        float sum = 0.0f, sum2 = 0.0f;
+        for (float v : img) {
+            sum += v;
+            sum2 += v * v;
+        }
+        float n = static_cast<float>(img.size());
+        float meanRoi = sum / n;
+        float varRoi = (sum2 / n) - meanRoi * meanRoi;
+        float q0 = varRoi / (meanRoi * meanRoi);
+        uint32_t bits;
+        __builtin_memcpy(&bits, &q0, 4);
+        return bits;
+    }
+
+    static constexpr uint32_t kDim = 64;
+    static constexpr uint32_t kIters = 2;
+    mem::Addr j_ = 0, dn_ = 0, ds_ = 0, dw_ = 0, de_ = 0, c_ = 0;
+};
+
+} // namespace
+
+const char *
+srad1Source()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeSrad1()
+{
+    return [] { return std::make_unique<Srad1>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * SRAD2 — Speckle Reducing Anisotropic Diffusion v2 (Rodinia
+ * srad_v2): the 2D-tiled variant. Kernel srad2_grad stages the image
+ * tile plus halo in shared memory (image reads go through the texture
+ * path) before computing gradients and the diffusion coefficient;
+ * kernel srad2_update integrates the divergence with a 2D mapping.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel srad2_grad
+.reg 28
+.smem 1296              # (16+2)x(16+2) floats with halo
+# params: 0=cols 1=rows 2=&J 3=&dN 4=&dS 5=&dW 6=&dE 7=&C 8=q0sqr
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2        # x
+    mov   r3, %ctaid_y
+    mov   r4, %ntid_y
+    mul   r3, r3, r4
+    mov   r5, %tid_y
+    add   r3, r3, r5        # y
+    param r6, 0             # cols
+    param r7, 1             # rows
+    mul   r8, r3, r6
+    add   r8, r8, r0
+    shl   r8, r8, 2         # global byte offset
+    param r9, 2
+    add   r10, r9, r8
+    ldt   r11, [r10]        # J[y][x] via texture
+    add   r12, r5, 1
+    mul   r12, r12, 72      # shared row stride (18 * 4)
+    add   r13, r2, 1
+    shl   r13, r13, 2
+    add   r12, r12, r13     # center cell offset
+    sts   r11, [r12]
+    # west halo (tx == 0)
+    brnz  r2, nwest
+    mov   r14, 0
+    sub   r15, r0, 1
+    max   r15, r15, r14
+    mul   r16, r3, r6
+    add   r16, r16, r15
+    shl   r16, r16, 2
+    add   r10, r9, r16
+    ldt   r11, [r10]
+    add   r16, r5, 1
+    mul   r16, r16, 72
+    sts   r11, [r16]
+nwest:
+    # east halo (tx == ntid_x - 1)
+    sub   r14, r1, 1
+    setne r15, r2, r14
+    brnz  r15, neast
+    add   r15, r0, 1
+    sub   r16, r6, 1
+    min   r15, r15, r16
+    mul   r16, r3, r6
+    add   r16, r16, r15
+    shl   r16, r16, 2
+    add   r10, r9, r16
+    ldt   r11, [r10]
+    add   r16, r5, 1
+    mul   r16, r16, 72
+    add   r16, r16, 68
+    sts   r11, [r16]
+neast:
+    # north halo (ty == 0)
+    brnz  r5, nnorth
+    mov   r14, 0
+    sub   r15, r3, 1
+    max   r15, r15, r14
+    mul   r16, r15, r6
+    add   r16, r16, r0
+    shl   r16, r16, 2
+    add   r10, r9, r16
+    ldt   r11, [r10]
+    sts   r11, [r13]
+nnorth:
+    # south halo (ty == ntid_y - 1)
+    mov   r4, %ntid_y
+    sub   r14, r4, 1
+    setne r15, r5, r14
+    brnz  r15, nsouth
+    add   r15, r3, 1
+    sub   r16, r7, 1
+    min   r15, r15, r16
+    mul   r16, r15, r6
+    add   r16, r16, r0
+    shl   r16, r16, 2
+    add   r10, r9, r16
+    ldt   r11, [r10]
+    mov   r16, 1224         # row 17 of the shared tile
+    add   r16, r16, r13
+    sts   r11, [r16]
+nsouth:
+    bar
+    lds   r17, [r12]        # Jc
+    sub   r14, r12, 72
+    lds   r18, [r14]        # north
+    add   r14, r12, 72
+    lds   r19, [r14]        # south
+    sub   r14, r12, 4
+    lds   r20, [r14]        # west
+    add   r14, r12, 4
+    lds   r21, [r14]        # east
+    fsub  r18, r18, r17     # dN
+    fsub  r19, r19, r17     # dS
+    fsub  r20, r20, r17     # dW
+    fsub  r21, r21, r17     # dE
+    param r9, 3
+    add   r10, r9, r8
+    stg   r18, [r10]
+    param r9, 4
+    add   r10, r9, r8
+    stg   r19, [r10]
+    param r9, 5
+    add   r10, r9, r8
+    stg   r20, [r10]
+    param r9, 6
+    add   r10, r9, r8
+    stg   r21, [r10]
+    fmul  r22, r18, r18
+    fma   r22, r19, r19, r22
+    fma   r22, r20, r20, r22
+    fma   r22, r21, r21, r22
+    fmul  r23, r17, r17
+    fdiv  r22, r22, r23     # G2
+    fadd  r23, r18, r19
+    fadd  r23, r23, r20
+    fadd  r23, r23, r21
+    fdiv  r23, r23, r17     # L
+    mov   r24, 0.5
+    fmul  r22, r22, r24
+    fmul  r25, r23, r23
+    mov   r24, 0.0625
+    fmul  r25, r25, r24
+    fsub  r22, r22, r25     # num
+    mov   r24, 0.25
+    fmul  r25, r23, r24
+    mov   r24, 1.0
+    fadd  r25, r25, r24
+    fmul  r25, r25, r25
+    fdiv  r22, r22, r25     # qsqr
+    param r26, 8            # q0sqr
+    fsub  r23, r22, r26
+    fadd  r25, r26, r24
+    fmul  r25, r25, r26
+    fdiv  r23, r23, r25
+    fadd  r23, r23, r24
+    frcp  r23, r23
+    mov   r25, 0
+    fmax  r23, r23, r25
+    fmin  r23, r23, r24
+    param r9, 7
+    add   r10, r9, r8
+    stg   r23, [r10]
+    exit
+
+.kernel srad2_update
+.reg 26
+# params: 0=cols 1=rows 2=&J 3=&dN 4=&dS 5=&dW 6=&dE 7=&C 8=lambda4
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2        # x
+    mov   r3, %ctaid_y
+    mov   r4, %ntid_y
+    mul   r3, r3, r4
+    mov   r5, %tid_y
+    add   r3, r3, r5        # y
+    param r6, 0
+    param r7, 1
+    add   r9, r3, 1
+    sub   r10, r7, 1
+    min   r9, r9, r10       # south row
+    add   r11, r0, 1
+    sub   r12, r6, 1
+    min   r11, r11, r12     # east col
+    mul   r13, r3, r6
+    add   r13, r13, r0
+    shl   r13, r13, 2       # idx bytes
+    param r14, 7
+    add   r15, r14, r13
+    ldg   r16, [r15]        # cN = cW
+    mul   r17, r9, r6
+    add   r17, r17, r0
+    shl   r17, r17, 2
+    add   r15, r14, r17
+    ldg   r18, [r15]        # cS
+    mul   r17, r3, r6
+    add   r17, r17, r11
+    shl   r17, r17, 2
+    add   r15, r14, r17
+    ldg   r19, [r15]        # cE
+    param r14, 3
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fmul  r21, r16, r20
+    param r14, 4
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fma   r21, r18, r20, r21
+    param r14, 5
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fma   r21, r16, r20, r21
+    param r14, 6
+    add   r15, r14, r13
+    ldg   r20, [r15]
+    fma   r21, r19, r20, r21
+    param r22, 8
+    param r14, 2
+    add   r15, r14, r13
+    ldg   r23, [r15]
+    fma   r23, r21, r22, r23
+    stg   r23, [r15]
+    exit
+)";
+
+class Srad2 : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "srad2"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        j_ = upload(mem, randomFloats(kDim * kDim, 0xF101,
+                                      0.2f, 1.0f));
+        mem.bindTexture(j_, kDim * kDim * 4);
+        dn_ = allocBytes(mem, kDim * kDim * 4);
+        ds_ = allocBytes(mem, kDim * kDim * 4);
+        dw_ = allocBytes(mem, kDim * kDim * 4);
+        de_ = allocBytes(mem, kDim * kDim * 4);
+        c_ = allocBytes(mem, kDim * kDim * 4);
+        declareOutput(j_, kDim * kDim * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        const isa::Kernel &k1 = prog.kernel("srad2_grad");
+        const isa::Kernel &k2 = prog.kernel("srad2_update");
+        const float lambda4 = 0.5f * 0.25f;
+        uint32_t l4Bits;
+        __builtin_memcpy(&l4Bits, &lambda4, 4);
+
+        std::vector<sim::LaunchStats> stats;
+        for (uint32_t iter = 0; iter < kIters; ++iter) {
+            uint32_t q0Bits = q0sqr(gpu.mem());
+            std::vector<uint32_t> params = {
+                kDim, kDim, p(j_), p(dn_), p(ds_), p(dw_), p(de_),
+                p(c_), q0Bits};
+            stats.push_back(gpu.launch(k1, {kDim / 16, kDim / 16},
+                                       {16, 16}, params));
+            params.back() = l4Bits;
+            stats.push_back(gpu.launch(k2, {kDim / 16, kDim / 16},
+                                       {16, 16}, params));
+        }
+        return stats;
+    }
+
+  private:
+    uint32_t
+    q0sqr(const mem::DeviceMemory &mem) const
+    {
+        std::vector<float> img(kDim * kDim);
+        mem.read(j_, img.data(), img.size() * 4);
+        float sum = 0.0f, sum2 = 0.0f;
+        for (float v : img) {
+            sum += v;
+            sum2 += v * v;
+        }
+        float n = static_cast<float>(img.size());
+        float meanRoi = sum / n;
+        float varRoi = (sum2 / n) - meanRoi * meanRoi;
+        float q0 = varRoi / (meanRoi * meanRoi);
+        uint32_t bits;
+        __builtin_memcpy(&bits, &q0, 4);
+        return bits;
+    }
+
+    static constexpr uint32_t kDim = 64;
+    static constexpr uint32_t kIters = 2;
+    mem::Addr j_ = 0, dn_ = 0, ds_ = 0, dw_ = 0, de_ = 0, c_ = 0;
+};
+
+} // namespace
+
+const char *
+srad2Source()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeSrad2()
+{
+    return [] { return std::make_unique<Srad2>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

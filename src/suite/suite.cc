@@ -1,0 +1,38 @@
+#include "suite/suite.hh"
+
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace suite {
+
+const std::vector<BenchmarkInfo> &
+benchmarks()
+{
+    static const std::vector<BenchmarkInfo> all = {
+        {"HS", "hotspot", makeHotspot(), hotspotSource()},
+        {"KM", "kmeans", makeKmeans(), kmeansSource()},
+        {"SRAD1", "srad1", makeSrad1(), srad1Source()},
+        {"SRAD2", "srad2", makeSrad2(), srad2Source()},
+        {"LUD", "lud", makeLud(), ludSource()},
+        {"BFS", "bfs", makeBfs(), bfsSource()},
+        {"PATHF", "pathfinder", makePathfinder(), pathfinderSource()},
+        {"NW", "nw", makeNeedlemanWunsch(), needlemanWunschSource()},
+        {"GE", "gaussian", makeGaussian(), gaussianSource()},
+        {"BP", "backprop", makeBackprop(), backpropSource()},
+        {"VA", "vecadd", makeVectorAdd(), vectorAddSource()},
+        {"SP", "scalarprod", makeScalarProduct(), scalarProductSource()},
+    };
+    return all;
+}
+
+fi::WorkloadFactory
+factoryFor(const std::string &nameOrCode)
+{
+    for (const auto &b : benchmarks())
+        if (b.code == nameOrCode || b.name == nameOrCode)
+            return b.factory;
+    fatal("unknown benchmark '%s'", nameOrCode.c_str());
+}
+
+} // namespace suite
+} // namespace gpufi

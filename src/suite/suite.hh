@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The benchmark registry: the twelve workloads of the paper's §V.B
+ * (Rodinia + CUDA SDK), re-implemented for the simulator's ISA.
+ *
+ * Short codes follow the paper: HS, KM, SRAD1, SRAD2, LUD, BFS,
+ * PATHF, NW, GE, BP, VA, SP.
+ */
+
+#ifndef GPUFI_SUITE_SUITE_HH
+#define GPUFI_SUITE_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "fi/workload.hh"
+
+namespace gpufi {
+namespace suite {
+
+/** Benchmark descriptor. */
+struct BenchmarkInfo
+{
+    std::string code;       ///< paper short code, e.g. "HS"
+    std::string name;       ///< long name, e.g. "hotspot"
+    fi::WorkloadFactory factory;
+    const char *source;     ///< the kernels' assembly text
+};
+
+/** All twelve benchmarks, in the paper's order. */
+const std::vector<BenchmarkInfo> &benchmarks();
+
+/** Factory by short code or long name; fatal() if unknown. */
+fi::WorkloadFactory factoryFor(const std::string &nameOrCode);
+
+// Individual factories (each returns a fresh single-use instance)
+// and the corresponding kernel assembly sources.
+fi::WorkloadFactory makeVectorAdd();
+fi::WorkloadFactory makeScalarProduct();
+fi::WorkloadFactory makeBackprop();
+fi::WorkloadFactory makeHotspot();
+fi::WorkloadFactory makeKmeans();
+fi::WorkloadFactory makeSrad1();
+fi::WorkloadFactory makeSrad2();
+fi::WorkloadFactory makeLud();
+fi::WorkloadFactory makeBfs();
+fi::WorkloadFactory makePathfinder();
+fi::WorkloadFactory makeNeedlemanWunsch();
+fi::WorkloadFactory makeGaussian();
+const char *vectorAddSource();
+const char *scalarProductSource();
+const char *backpropSource();
+const char *hotspotSource();
+const char *kmeansSource();
+const char *srad1Source();
+const char *srad2Source();
+const char *ludSource();
+const char *bfsSource();
+const char *pathfinderSource();
+const char *needlemanWunschSource();
+const char *gaussianSource();
+
+} // namespace suite
+} // namespace gpufi
+
+#endif // GPUFI_SUITE_SUITE_HH

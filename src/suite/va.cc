@@ -1,0 +1,88 @@
+/**
+ * @file
+ * VA — Vector Addition (CUDA SDK vectorAdd): c[i] = a[i] + b[i].
+ * One kernel, one invocation, global memory only: the paper's
+ * low-vulnerability baseline workload.
+ */
+
+#include "suite/suite.hh"
+#include "suite/workload_base.hh"
+
+namespace gpufi {
+namespace suite {
+
+namespace {
+
+const char kSource[] = R"(
+.kernel vecadd
+.reg 10
+# params: 0=n  1=&a  2=&b  3=&c
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2        # global thread id
+    param r3, 0
+    setge r4, r0, r3
+    brnz  r4, done
+    shl   r5, r0, 2
+    param r6, 1
+    add   r6, r6, r5
+    ldg   r7, [r6]          # a[i]
+    param r8, 2
+    add   r8, r8, r5
+    ldg   r9, [r8]          # b[i]
+    fadd  r7, r7, r9
+    param r8, 3
+    add   r8, r8, r5
+    stg   r7, [r8]          # c[i] = a[i] + b[i]
+done:
+    exit
+)";
+
+class VectorAdd : public SuiteWorkload
+{
+  public:
+    std::string name() const override { return "vecadd"; }
+
+    void
+    setup(mem::DeviceMemory &mem) override
+    {
+        a_ = upload(mem, randomFloats(kN, 0xA001, -8.0f, 8.0f));
+        b_ = upload(mem, randomFloats(kN, 0xA002, -8.0f, 8.0f));
+        c_ = allocBytes(mem, kN * 4);
+        declareOutput(c_, kN * 4);
+    }
+
+    std::vector<sim::LaunchStats>
+    run(sim::Gpu &gpu) override
+    {
+        isa::Program prog = isa::assemble(kSource);
+        std::vector<sim::LaunchStats> stats;
+        stats.push_back(gpu.launch(prog.kernel("vecadd"),
+                                   {kN / 256, 1}, {256, 1},
+                                   {kN, p(a_), p(b_), p(c_)}));
+        return stats;
+    }
+
+  private:
+    static constexpr uint32_t kN = 8192;
+    mem::Addr a_ = 0, b_ = 0, c_ = 0;
+};
+
+} // namespace
+
+const char *
+vectorAddSource()
+{
+    return kSource;
+}
+
+fi::WorkloadFactory
+makeVectorAdd()
+{
+    return [] { return std::make_unique<VectorAdd>(); };
+}
+
+} // namespace suite
+} // namespace gpufi

@@ -1,0 +1,67 @@
+#include "suite/workload_base.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace gpufi {
+namespace suite {
+
+std::vector<float>
+SuiteWorkload::randomFloats(size_t n, uint64_t seed, float lo, float hi)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.uniformf(lo, hi);
+    return v;
+}
+
+std::vector<uint32_t>
+SuiteWorkload::randomU32(size_t n, uint64_t seed, uint32_t bound)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<uint32_t>(rng.below(bound));
+    return v;
+}
+
+mem::Addr
+SuiteWorkload::upload(mem::DeviceMemory &mem,
+                      const std::vector<float> &data)
+{
+    mem::Addr a = mem.allocate(data.size() * 4);
+    mem.write(a, data.data(), data.size() * 4);
+    return a;
+}
+
+mem::Addr
+SuiteWorkload::upload(mem::DeviceMemory &mem,
+                      const std::vector<uint32_t> &data)
+{
+    mem::Addr a = mem.allocate(data.size() * 4);
+    mem.write(a, data.data(), data.size() * 4);
+    return a;
+}
+
+mem::Addr
+SuiteWorkload::allocBytes(mem::DeviceMemory &mem, uint64_t bytes)
+{
+    return mem.allocate(bytes);
+}
+
+uint32_t
+SuiteWorkload::peek32(const mem::DeviceMemory &mem, mem::Addr a)
+{
+    return mem.read32(a);
+}
+
+uint32_t
+SuiteWorkload::p(mem::Addr a)
+{
+    gpufi_assert(a <= 0xffffffffULL);
+    return static_cast<uint32_t>(a);
+}
+
+} // namespace suite
+} // namespace gpufi

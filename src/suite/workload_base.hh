@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark suite: deterministic input
+ * generation, host<->device transfer helpers, and kernel launching
+ * with stats collection (the cudaMemcpy / kernel<<<>>> dance of the
+ * original CUDA applications).
+ */
+
+#ifndef GPUFI_SUITE_WORKLOAD_BASE_HH
+#define GPUFI_SUITE_WORKLOAD_BASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/workload.hh"
+#include "isa/assembler.hh"
+#include "isa/kernel.hh"
+#include "mem/backing.hh"
+#include "sim/gpu.hh"
+
+namespace gpufi {
+namespace suite {
+
+/** Base class for the twelve suite benchmarks. */
+class SuiteWorkload : public fi::Workload
+{
+  protected:
+    /** Deterministic floats in [lo, hi) from a fixed seed. */
+    static std::vector<float> randomFloats(size_t n, uint64_t seed,
+                                           float lo, float hi);
+
+    /** Deterministic uint32 values in [0, bound). */
+    static std::vector<uint32_t> randomU32(size_t n, uint64_t seed,
+                                           uint32_t bound);
+
+    /** Allocate and upload a float array; returns its device address. */
+    static mem::Addr upload(mem::DeviceMemory &mem,
+                            const std::vector<float> &data);
+
+    /** Allocate and upload a uint32 array. */
+    static mem::Addr upload(mem::DeviceMemory &mem,
+                            const std::vector<uint32_t> &data);
+
+    /** Allocate zero-initialized bytes. */
+    static mem::Addr allocBytes(mem::DeviceMemory &mem, uint64_t bytes);
+
+    /** Read back one 32-bit word (host-side logic between launches). */
+    static uint32_t peek32(const mem::DeviceMemory &mem, mem::Addr a);
+
+    /** Device address narrowed to a 32-bit kernel parameter. */
+    static uint32_t p(mem::Addr a);
+};
+
+} // namespace suite
+} // namespace gpufi
+
+#endif // GPUFI_SUITE_WORKLOAD_BASE_HH

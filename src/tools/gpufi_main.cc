@@ -1,0 +1,327 @@
+/**
+ * @file
+ * gpufi — the campaign front-end (the role of the paper's bash
+ * script): configure an injection campaign from the command line
+ * and/or a gpgpusim.config-style file, execute it, collect per-run
+ * logs, and print the aggregated fault-effect statistics and AVF/FIT
+ * report.
+ *
+ * Examples:
+ *   gpufi --list
+ *   gpufi --card rtx2060 --benchmark KM --target register_file \
+ *         --runs 100
+ *   gpufi --card gtxtitan --benchmark HS --full --runs 50 \
+ *         --log hs.log
+ *   gpufi --card gv100 --benchmark SP --target l2 --bits 3 \
+ *         --kernel scalarprod --scope warp
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "fi/avf.hh"
+#include "fi/campaign.hh"
+#include "fi/report_log.hh"
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "sim/gpu_config.hh"
+#include "sim/stats_printer.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+
+namespace {
+
+struct CliOptions
+{
+    std::string card = "rtx2060";
+    std::string benchmark;
+    std::string kernel;         ///< empty: every static kernel
+    std::string target = "register_file";
+    std::string scope = "thread";
+    std::vector<std::string> alsoTargets;
+    bool spread = false;
+    std::string logPath;
+    std::string configPath;
+    uint32_t runs = 100;
+    uint32_t bits = 1;
+    uint64_t seed = 1;
+    size_t threads = 0;
+    bool full = false;          ///< all structures + AVF/FIT report
+    bool list = false;
+    bool stats = false;         ///< golden run + performance report
+    bool dumpKernels = false;   ///< print the benchmark's assembly
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: gpufi [options]\n"
+        "  --list                 list benchmarks and GPU presets\n"
+        "  --card NAME            rtx2060 | gv100 | gtxtitan\n"
+        "  --benchmark NAME       suite code (KM) or name (kmeans)\n"
+        "  --kernel NAME          target one static kernel only\n"
+        "  --target NAME          register_file | local_memory |\n"
+        "                         shared_memory | l1_data |\n"
+        "                         l1_texture | l2 | l1_constant\n"
+        "  --also NAME            strike a further structure\n"
+        "                         simultaneously (repeatable)\n"
+        "  --scope thread|warp    register/local fault granularity\n"
+        "  --bits N               bits per injection (default 1)\n"
+        "  --spread               place multi-bit faults in distinct\n"
+        "                         entries instead of one entry\n"
+        "  --runs N               injections per campaign "
+        "(default 100)\n"
+        "  --seed N               campaign seed (default 1)\n"
+        "  --threads N            worker threads (default: auto)\n"
+        "  --full                 campaign every structure and print\n"
+        "                         the AVF/FIT report\n"
+        "  --stats                fault-free run + performance and\n"
+        "                         memory-hierarchy report, then exit\n"
+        "  --dump-kernels         print the benchmark's kernels as\n"
+        "                         (re-assemblable) assembly, then "
+        "exit\n"
+        "  --log FILE             write the per-run log\n"
+        "  --config FILE          gpgpusim.config-style overrides\n");
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    auto need = [&](int i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("option '%s' requires a value", argv[i]);
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--list") {
+            opts.list = true;
+        } else if (a == "--full") {
+            opts.full = true;
+        } else if (a == "--stats") {
+            opts.stats = true;
+        } else if (a == "--dump-kernels") {
+            opts.dumpKernels = true;
+        } else if (a == "--card") {
+            opts.card = need(i);
+            ++i;
+        } else if (a == "--benchmark") {
+            opts.benchmark = need(i);
+            ++i;
+        } else if (a == "--kernel") {
+            opts.kernel = need(i);
+            ++i;
+        } else if (a == "--target") {
+            opts.target = need(i);
+            ++i;
+        } else if (a == "--also") {
+            opts.alsoTargets.push_back(need(i));
+            ++i;
+        } else if (a == "--spread") {
+            opts.spread = true;
+        } else if (a == "--scope") {
+            opts.scope = need(i);
+            ++i;
+        } else if (a == "--bits") {
+            opts.bits = static_cast<uint32_t>(
+                std::strtoul(need(i), nullptr, 10));
+            ++i;
+        } else if (a == "--runs") {
+            opts.runs = static_cast<uint32_t>(
+                std::strtoul(need(i), nullptr, 10));
+            ++i;
+        } else if (a == "--seed") {
+            opts.seed = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--threads") {
+            opts.threads = static_cast<size_t>(
+                std::strtoul(need(i), nullptr, 10));
+            ++i;
+        } else if (a == "--log") {
+            opts.logPath = need(i);
+            ++i;
+        } else if (a == "--config") {
+            opts.configPath = need(i);
+            ++i;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s' (try --help)", a.c_str());
+        }
+    }
+    return opts;
+}
+
+void
+printResult(const std::string &kernel, const std::string &target,
+            const fi::CampaignResult &r)
+{
+    std::printf("%-14s %-14s masked %4u  perf %4u  sdc %4u  "
+                "crash %4u  timeout %4u  FR=%.4f\n",
+                kernel.c_str(), target.c_str(),
+                r.count(fi::Outcome::Masked),
+                r.count(fi::Outcome::Performance),
+                r.count(fi::Outcome::SDC),
+                r.count(fi::Outcome::Crash),
+                r.count(fi::Outcome::Timeout), r.failureRatio());
+}
+
+int
+runCli(const CliOptions &opts)
+{
+    if (opts.list) {
+        std::printf("benchmarks:\n");
+        for (const auto &b : suite::benchmarks())
+            std::printf("  %-6s %s\n", b.code.c_str(),
+                        b.name.c_str());
+        std::printf("cards: rtx2060, gv100, gtxtitan\n");
+        return 0;
+    }
+    if (opts.benchmark.empty()) {
+        usage();
+        return 1;
+    }
+
+    sim::GpuConfig card = sim::makePreset(opts.card);
+    if (!opts.configPath.empty())
+        card.applyOverrides(ConfigFile::fromFile(opts.configPath));
+
+    if (opts.dumpKernels) {
+        const char *source = nullptr;
+        for (const auto &b : suite::benchmarks())
+            if (b.code == opts.benchmark || b.name == opts.benchmark)
+                source = b.source;
+        if (!source)
+            fatal("unknown benchmark '%s'", opts.benchmark.c_str());
+        isa::Program prog = isa::assemble(source);
+        for (const auto &k : prog.kernels)
+            std::printf("%s\n", isa::disassembleSource(k).c_str());
+        return 0;
+    }
+
+    if (opts.stats) {
+        auto wl = suite::factoryFor(opts.benchmark)();
+        mem::DeviceMemory dmem(wl->memBytes());
+        wl->setup(dmem);
+        sim::Gpu gpu(card, dmem);
+        auto launches = wl->run(gpu);
+        std::printf("card %s | benchmark %s | %llu total cycles\n\n",
+                    card.name.c_str(), opts.benchmark.c_str(),
+                    static_cast<unsigned long long>(gpu.cycle()));
+        std::printf("%s\n",
+                    sim::formatLaunchTable(launches).c_str());
+        std::printf("%s", sim::formatMemoryStats(gpu).c_str());
+        return 0;
+    }
+
+    fi::CampaignRunner runner(card, suite::factoryFor(opts.benchmark),
+                              opts.threads);
+    const fi::GoldenRun &golden = runner.golden();
+
+    double z = stat_fi::zValue(0.99);
+    std::printf("card %s | benchmark %s | golden %llu cycles, "
+                "occupancy %.3f\n",
+                card.name.c_str(), opts.benchmark.c_str(),
+                static_cast<unsigned long long>(golden.totalCycles),
+                golden.appOccupancy);
+    std::printf("%u runs/campaign -> 99%% confidence, +/-%.1f%% "
+                "error margin\n\n",
+                opts.runs,
+                stat_fi::errorMargin(1e9, opts.runs, z) * 100.0);
+
+    std::vector<std::string> kernels;
+    if (!opts.kernel.empty())
+        kernels.push_back(opts.kernel);
+    else
+        for (const auto &prof : golden.kernels)
+            kernels.push_back(prof.name);
+
+    std::ofstream logFile;
+    if (!opts.logPath.empty()) {
+        logFile.open(opts.logPath);
+        if (!logFile)
+            fatal("cannot open log file '%s'", opts.logPath.c_str());
+        logFile << "# gpuFI-4 run log\n";
+    }
+
+    std::vector<fi::FaultTarget> targets;
+    if (opts.full) {
+        targets = {fi::FaultTarget::RegisterFile,
+                   fi::FaultTarget::LocalMemory,
+                   fi::FaultTarget::SharedMemory};
+        if (card.l1dEnabled)
+            targets.push_back(fi::FaultTarget::L1Data);
+        targets.push_back(fi::FaultTarget::L1Texture);
+        targets.push_back(fi::FaultTarget::L2);
+    } else {
+        targets = {fi::targetFromName(opts.target)};
+    }
+
+    std::vector<fi::KernelCampaignSet> sets;
+    for (const auto &kernelName : kernels) {
+        fi::KernelCampaignSet set;
+        set.profile = golden.profile(kernelName);
+        for (fi::FaultTarget target : targets) {
+            if (target == fi::FaultTarget::LocalMemory &&
+                set.profile.localPerThread == 0)
+                continue;
+            fi::CampaignSpec spec;
+            spec.kernelName = kernelName;
+            spec.target = target;
+            spec.scope = opts.scope == "warp" ? fi::FaultScope::Warp
+                                              : fi::FaultScope::Thread;
+            spec.mode = opts.spread ? fi::MultiBitMode::SpreadEntries
+                                    : fi::MultiBitMode::SameEntry;
+            for (const auto &extra : opts.alsoTargets)
+                spec.alsoTargets.push_back(
+                    fi::targetFromName(extra));
+            spec.nBits = opts.bits;
+            spec.runs = opts.runs;
+            spec.seed = opts.seed +
+                        static_cast<uint64_t>(target) * 7919;
+            spec.keepRecords = logFile.is_open();
+            std::vector<fi::RunRecord> records;
+            fi::CampaignResult r = runner.run(spec, &records);
+            printResult(kernelName, fi::targetName(target), r);
+            for (const auto &rec : records)
+                logFile << fi::formatRunRecord(rec) << "\n";
+            set.byStructure[target] = r;
+        }
+        sets.push_back(std::move(set));
+    }
+
+    if (opts.full) {
+        fi::AvfReport report = fi::computeReport(card, sets);
+        std::printf("\nchip wAVF %.4f%% | FIT %.1f failures per 10^9"
+                    " device-hours\n",
+                    report.wavf * 100.0, report.totalFit);
+        for (const auto &[target, fit] : report.structFit)
+            std::printf("  %-14s AVF %.4f%%  FIT %8.1f\n",
+                        fi::targetName(target),
+                        report.structAvf.at(target) * 100.0, fit);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runCli(parseArgs(argc, argv));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

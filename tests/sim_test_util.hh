@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for simulator-level tests: a small GPU configuration
+ * (tiny caches to force evictions quickly) and a harness that
+ * assembles and runs a single kernel.
+ */
+
+#ifndef GPUFI_TESTS_SIM_TEST_UTIL_HH
+#define GPUFI_TESTS_SIM_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "mem/backing.hh"
+#include "sim/gpu.hh"
+#include "sim/gpu_config.hh"
+
+namespace gpufi_test {
+
+/** A deliberately small GPU so tests exercise structural limits. */
+inline gpufi::sim::GpuConfig
+tinyConfig()
+{
+    gpufi::sim::GpuConfig cfg;
+    cfg.name = "tiny";
+    cfg.numSms = 2;
+    cfg.maxThreadsPerSm = 256;
+    cfg.maxCtasPerSm = 4;
+    cfg.regsPerSm = 16384;
+    cfg.smemPerSm = 16 * 1024;
+    cfg.l1dEnabled = true;
+    cfg.l1dSizePerSm = 2 * 1024;   // 16 lines: evictions are easy
+    cfg.l1tSizePerSm = 2 * 1024;
+    cfg.l1iSizePerSm = 2 * 1024;
+    cfg.l1cSizePerSm = 2 * 1024;
+    cfg.l2.totalSize = 16 * 1024;
+    cfg.l2.numPartitions = 2;
+    cfg.validate();
+    return cfg;
+}
+
+/** Assemble + launch one kernel; returns stats, keeps gpu/mem alive. */
+struct SimHarness
+{
+    explicit SimHarness(uint64_t memBytes = 1u << 20)
+        : mem(memBytes)
+    {}
+
+    gpufi::sim::LaunchStats
+    run(const std::string &source, gpufi::sim::Dim3 grid,
+        gpufi::sim::Dim3 block, std::vector<uint32_t> params,
+        const gpufi::sim::GpuConfig &cfg = tinyConfig())
+    {
+        program = gpufi::isa::assemble(source);
+        gpu = std::make_unique<gpufi::sim::Gpu>(cfg, mem);
+        return gpu->launch(program.kernels.front(), grid, block,
+                           std::move(params));
+    }
+
+    gpufi::mem::DeviceMemory mem;
+    gpufi::isa::Program program;
+    std::unique_ptr<gpufi::sim::Gpu> gpu;
+};
+
+} // namespace gpufi_test
+
+#endif // GPUFI_TESTS_SIM_TEST_UTIL_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * AVF/FIT math tests against hand-computed values: structure sizes,
+ * derating factors (df_reg, df_smem), eq. 2 (kernel AVF), eq. 3
+ * (weighted AVF), the per-class decomposition, and FIT rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fi/avf.hh"
+#include "sim/gpu_config.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+sim::GpuConfig
+card()
+{
+    return sim::makeRtx2060();
+}
+
+KernelProfile
+profile(uint64_t cycles, double threadsMean, double ctasMean,
+        uint32_t regs, uint32_t smem)
+{
+    KernelProfile p;
+    p.name = "k";
+    p.cycles = cycles;
+    p.threadsMean = threadsMean;
+    p.ctasMean = ctasMean;
+    p.regsPerThread = regs;
+    p.smemPerCta = smem;
+    return p;
+}
+
+CampaignResult
+result(uint32_t masked, uint32_t perf, uint32_t sdc, uint32_t crash,
+       uint32_t timeout)
+{
+    CampaignResult r;
+    r.counts[static_cast<size_t>(Outcome::Masked)] = masked;
+    r.counts[static_cast<size_t>(Outcome::Performance)] = perf;
+    r.counts[static_cast<size_t>(Outcome::SDC)] = sdc;
+    r.counts[static_cast<size_t>(Outcome::Crash)] = crash;
+    r.counts[static_cast<size_t>(Outcome::Timeout)] = timeout;
+    return r;
+}
+
+} // namespace
+
+TEST(StructureSizes, MatchesConfigBits)
+{
+    StructureSizes s = structureSizes(card(), 0);
+    EXPECT_EQ(s.of(FaultTarget::RegisterFile), card().regFileBits());
+    EXPECT_EQ(s.of(FaultTarget::SharedMemory), card().sharedBits());
+    EXPECT_EQ(s.of(FaultTarget::L1Data), card().l1dBits());
+    EXPECT_EQ(s.of(FaultTarget::L1Texture), card().l1tBits());
+    EXPECT_EQ(s.of(FaultTarget::L2), card().l2Bits());
+    EXPECT_EQ(s.of(FaultTarget::LocalMemory), 0u);
+    EXPECT_EQ(s.total(),
+              card().regFileBits() + card().sharedBits() +
+                  card().l1dBits() + card().l1tBits() +
+                  card().l2Bits());
+}
+
+TEST(StructureSizes, DynamicLocalIncluded)
+{
+    StructureSizes s = structureSizes(card(), 4096);
+    EXPECT_EQ(s.of(FaultTarget::LocalMemory), 4096u);
+}
+
+TEST(StructureSizes, TitanHasNoL1D)
+{
+    StructureSizes s = structureSizes(sim::makeGtxTitan(), 0);
+    EXPECT_EQ(s.of(FaultTarget::L1Data), 0u);
+    EXPECT_EQ(s.bits.count(FaultTarget::L1Data), 0u);
+}
+
+TEST(Derating, DfRegFormula)
+{
+    // df_reg = regs_per_thread * threads_mean / regfile_size.
+    KernelProfile p = profile(100, 512.0, 4.0, 32, 0);
+    EXPECT_DOUBLE_EQ(dfReg(card(), p), 32.0 * 512.0 / 65536.0);
+}
+
+TEST(Derating, DfRegClampsToOne)
+{
+    KernelProfile p = profile(100, 2048.0, 4.0, 255, 0);
+    EXPECT_DOUBLE_EQ(dfReg(card(), p), 1.0);
+}
+
+TEST(Derating, DfSmemFormula)
+{
+    // df_smem = cta_smem * ctas_mean / smem_size.
+    KernelProfile p = profile(100, 512.0, 4.0, 32, 2048);
+    EXPECT_DOUBLE_EQ(dfSmem(card(), p),
+                     2048.0 * 4.0 / (64.0 * 1024.0));
+}
+
+TEST(Derating, DfSmemZeroWhenUnused)
+{
+    KernelProfile p = profile(100, 512.0, 4.0, 32, 0);
+    EXPECT_DOUBLE_EQ(dfSmem(card(), p), 0.0);
+}
+
+TEST(Derating, DerateForSelectsFactor)
+{
+    KernelProfile p = profile(100, 1024.0, 2.0, 16, 1024);
+    EXPECT_DOUBLE_EQ(derateFor(FaultTarget::RegisterFile, card(), p),
+                     dfReg(card(), p));
+    EXPECT_DOUBLE_EQ(derateFor(FaultTarget::SharedMemory, card(), p),
+                     dfSmem(card(), p));
+    EXPECT_DOUBLE_EQ(derateFor(FaultTarget::L2, card(), p), 1.0);
+    EXPECT_DOUBLE_EQ(derateFor(FaultTarget::L1Data, card(), p), 1.0);
+}
+
+TEST(KernelAvf, SingleStructureHandComputed)
+{
+    KernelCampaignSet set;
+    set.profile = profile(1000, 1024.0, 4.0, 16, 0);
+    // L2: 40 runs, 10 SDC -> FR = 0.25, derate 1.
+    set.byStructure[FaultTarget::L2] = result(30, 0, 10, 0, 0);
+
+    StructureSizes sizes = structureSizes(card(), 0);
+    double expected = 0.25 *
+                      static_cast<double>(sizes.of(FaultTarget::L2)) /
+                      static_cast<double>(sizes.total());
+    EXPECT_DOUBLE_EQ(kernelAvf(card(), set), expected);
+}
+
+TEST(KernelAvf, RegisterFileIsDerated)
+{
+    KernelCampaignSet set;
+    set.profile = profile(1000, 512.0, 4.0, 32, 0);
+    set.byStructure[FaultTarget::RegisterFile] =
+        result(20, 0, 20, 0, 0); // FR = 0.5
+
+    StructureSizes sizes = structureSizes(card(), 0);
+    double df = 32.0 * 512.0 / 65536.0;
+    double expected =
+        0.5 * df *
+        static_cast<double>(sizes.of(FaultTarget::RegisterFile)) /
+        static_cast<double>(sizes.total());
+    EXPECT_DOUBLE_EQ(kernelAvf(card(), set), expected);
+}
+
+TEST(KernelAvf, MaskedAndPerformanceDoNotCount)
+{
+    KernelCampaignSet set;
+    set.profile = profile(1000, 512.0, 4.0, 32, 0);
+    set.byStructure[FaultTarget::L2] = result(30, 10, 0, 0, 0);
+    EXPECT_DOUBLE_EQ(kernelAvf(card(), set), 0.0);
+}
+
+TEST(KernelAvf, OutcomeDecompositionSumsToAvf)
+{
+    KernelCampaignSet set;
+    set.profile = profile(1000, 512.0, 4.0, 32, 1024);
+    set.byStructure[FaultTarget::RegisterFile] =
+        result(10, 5, 10, 5, 10);
+    set.byStructure[FaultTarget::SharedMemory] =
+        result(20, 0, 10, 5, 5);
+    set.byStructure[FaultTarget::L2] = result(35, 0, 5, 0, 0);
+
+    OutcomeAvf dec = kernelAvfByOutcome(card(), set);
+    double sum = dec[static_cast<size_t>(Outcome::SDC)] +
+                 dec[static_cast<size_t>(Outcome::Crash)] +
+                 dec[static_cast<size_t>(Outcome::Timeout)];
+    EXPECT_NEAR(sum, kernelAvf(card(), set), 1e-15);
+    EXPECT_GT(dec[static_cast<size_t>(Outcome::Masked)], 0.0);
+}
+
+TEST(Report, WavfWeightsByKernelCycles)
+{
+    KernelCampaignSet k1, k2;
+    k1.profile = profile(100, 1024.0, 4.0, 16, 0);
+    k1.profile.name = "k1";
+    k1.byStructure[FaultTarget::L2] = result(0, 0, 40, 0, 0); // FR=1
+    k2.profile = profile(300, 1024.0, 4.0, 16, 0);
+    k2.profile.name = "k2";
+    k2.byStructure[FaultTarget::L2] = result(40, 0, 0, 0, 0); // FR=0
+
+    AvfReport rep = computeReport(card(), {k1, k2});
+    double a1 = kernelAvf(card(), k1);
+    // wAVF = (a1*100 + 0*300) / 400.
+    EXPECT_DOUBLE_EQ(rep.wavf, a1 * 0.25);
+    // Per-structure AVF also cycle-weighted: 1*0.25 + 0*0.75.
+    EXPECT_DOUBLE_EQ(rep.structAvf[FaultTarget::L2], 0.25);
+}
+
+TEST(Report, FitMatchesFormula)
+{
+    KernelCampaignSet k;
+    k.profile = profile(100, 1024.0, 4.0, 16, 0);
+    k.byStructure[FaultTarget::L2] = result(20, 0, 20, 0, 0);
+
+    AvfReport rep = computeReport(card(), {k});
+    double bits = static_cast<double>(card().l2Bits());
+    EXPECT_DOUBLE_EQ(rep.structFit[FaultTarget::L2],
+                     0.5 * card().rawFitPerBit * bits);
+    EXPECT_DOUBLE_EQ(rep.totalFit, rep.structFit[FaultTarget::L2]);
+}
+
+TEST(Report, OlderTechnologyHasHigherFit)
+{
+    // Same AVF on GTX Titan (28 nm) vs RTX 2060 (12 nm): the raw FIT
+    // difference dominates even though Titan's structures are smaller.
+    KernelCampaignSet k;
+    k.profile = profile(100, 1024.0, 4.0, 16, 0);
+    k.byStructure[FaultTarget::RegisterFile] =
+        result(0, 0, 40, 0, 0);
+    k.profile.threadsMean = 2048.0;
+    k.profile.regsPerThread = 32;
+
+    AvfReport newer = computeReport(sim::makeRtx2060(), {k});
+    AvfReport older = computeReport(sim::makeGtxTitan(), {k});
+    EXPECT_GT(older.totalFit, newer.totalFit);
+}
+
+TEST(Report, MultiStructureTotalsAccumulate)
+{
+    KernelCampaignSet k;
+    k.profile = profile(100, 1024.0, 4.0, 16, 2048);
+    k.byStructure[FaultTarget::L2] = result(20, 0, 20, 0, 0);
+    k.byStructure[FaultTarget::L1Texture] = result(30, 0, 10, 0, 0);
+
+    AvfReport rep = computeReport(card(), {k});
+    EXPECT_DOUBLE_EQ(rep.totalFit,
+                     rep.structFit[FaultTarget::L2] +
+                         rep.structFit[FaultTarget::L1Texture]);
+    EXPECT_GT(rep.wavf, 0.0);
+}

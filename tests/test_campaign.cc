@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Campaign-controller tests: golden-run profiling, plan generation
+ * within kernel windows, outcome accounting, reproducibility across
+ * seeds and thread counts, and spec validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fi/campaign.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+sim::GpuConfig
+fastCard()
+{
+    // RTX 2060 geometry shrunk to 4 SMs for test speed; structure
+    // ratios stay realistic.
+    sim::GpuConfig c = sim::makeRtx2060();
+    c.numSms = 4;
+    c.validate();
+    return c;
+}
+
+} // namespace
+
+TEST(CampaignResult, CountsAndRatios)
+{
+    CampaignResult r;
+    for (int i = 0; i < 6; ++i)
+        r.add(Outcome::Masked);
+    for (int i = 0; i < 2; ++i)
+        r.add(Outcome::Performance);
+    r.add(Outcome::SDC);
+    r.add(Outcome::Timeout);
+    EXPECT_EQ(r.runs(), 10u);
+    EXPECT_DOUBLE_EQ(r.ratio(Outcome::Masked), 0.6);
+    EXPECT_DOUBLE_EQ(r.failureRatio(), 0.2); // SDC + Timeout
+    EXPECT_EQ(r.maskedTotal(), 8u);
+    EXPECT_DOUBLE_EQ(r.performanceShareOfMasked(), 0.25);
+}
+
+TEST(CampaignResult, MergeAddsCounts)
+{
+    CampaignResult a, b;
+    a.add(Outcome::SDC);
+    b.add(Outcome::SDC);
+    b.add(Outcome::Crash);
+    a.merge(b);
+    EXPECT_EQ(a.count(Outcome::SDC), 2u);
+    EXPECT_EQ(a.count(Outcome::Crash), 1u);
+}
+
+TEST(CampaignResult, EmptyIsSafe)
+{
+    CampaignResult r;
+    EXPECT_EQ(r.runs(), 0u);
+    EXPECT_DOUBLE_EQ(r.failureRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(r.performanceShareOfMasked(), 0.0);
+}
+
+TEST(Outcome, NamesRoundTrip)
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++i) {
+        auto o = static_cast<Outcome>(i);
+        EXPECT_EQ(outcomeFromName(outcomeName(o)), o);
+    }
+    EXPECT_THROW(outcomeFromName("Fine"), FatalError);
+}
+
+TEST(GoldenRun, AggregatesInvocationsPerStaticKernel)
+{
+    // HotSpot launches one static kernel four times.
+    CampaignRunner runner(fastCard(), suite::factoryFor("HS"), 1);
+    const GoldenRun &g = runner.golden();
+    ASSERT_EQ(g.kernels.size(), 1u);
+    const KernelProfile &p = g.kernels[0];
+    EXPECT_EQ(p.name, "hotspot");
+    EXPECT_EQ(p.windows.size(), 4u);
+    uint64_t sum = 0;
+    for (auto &[s, e] : p.windows) {
+        EXPECT_LT(s, e);
+        sum += e - s;
+    }
+    EXPECT_EQ(sum, p.cycles);
+    EXPECT_GT(p.occupancy, 0.0);
+    EXPECT_GT(p.threadsMean, 0.0);
+    EXPECT_GT(p.ctasMean, 0.0);
+    EXPECT_EQ(p.regsPerThread, 24u);
+    EXPECT_EQ(g.totalCycles, g.launches.back().endCycle);
+}
+
+TEST(GoldenRun, MultiKernelProfiles)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor("SRAD1"), 1);
+    const GoldenRun &g = runner.golden();
+    ASSERT_EQ(g.kernels.size(), 2u);
+    EXPECT_EQ(g.profile("srad1").windows.size(), 2u);
+    EXPECT_EQ(g.profile("srad2").windows.size(), 2u);
+    EXPECT_THROW(g.profile("nonexistent"), FatalError);
+}
+
+TEST(GoldenRun, SummarizeSynthetic)
+{
+    std::vector<sim::LaunchStats> launches(3);
+    launches[0].kernelName = "a";
+    launches[0].startCycle = 0;
+    launches[0].endCycle = 100;
+    launches[0].occupancy = 0.5;
+    launches[1].kernelName = "b";
+    launches[1].startCycle = 100;
+    launches[1].endCycle = 400;
+    launches[1].occupancy = 1.0;
+    launches[2].kernelName = "a";
+    launches[2].startCycle = 400;
+    launches[2].endCycle = 500;
+    launches[2].occupancy = 0.7;
+    GoldenRun g = summarizeGolden(launches, {1, 2, 3});
+    EXPECT_EQ(g.totalCycles, 500u);
+    EXPECT_EQ(g.output.size(), 3u);
+    ASSERT_EQ(g.kernels.size(), 2u);
+    EXPECT_EQ(g.profile("a").cycles, 200u);
+    EXPECT_DOUBLE_EQ(g.profile("a").occupancy, 0.6); // cycle-weighted
+    // App occupancy: (0.6*200 + 1.0*300) / 500.
+    EXPECT_DOUBLE_EQ(g.appOccupancy, 0.84);
+}
+
+TEST(Campaign, CountsSumToRuns)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = FaultTarget::RegisterFile;
+    spec.runs = 40;
+    CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.runs(), 40u);
+}
+
+TEST(Campaign, SameSeedReproduces)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 25;
+    spec.seed = 7;
+    CampaignResult a = runner.run(spec);
+    CampaignResult b = runner.run(spec);
+    EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Campaign, DifferentSeedsUsuallyDiffer)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor("KM"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "km_assign";
+    spec.runs = 30;
+    spec.seed = 1;
+    CampaignResult a = runner.run(spec);
+    spec.seed = 2;
+    CampaignResult b = runner.run(spec);
+    // Same statistics family but (with overwhelming probability)
+    // different exact counts.
+    EXPECT_NE(a.counts, b.counts);
+}
+
+TEST(Campaign, ParallelMatchesSerial)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 24;
+    spec.seed = 3;
+    CampaignRunner serial(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignRunner parallel(fastCard(), suite::factoryFor("VA"), 2);
+    EXPECT_EQ(serial.run(spec).counts, parallel.run(spec).counts);
+}
+
+TEST(Campaign, RecordsStayInsideKernelWindows)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor("SRAD1"), 1);
+    const KernelProfile &prof = runner.golden().profile("srad2");
+    CampaignSpec spec;
+    spec.kernelName = "srad2";
+    spec.runs = 30;
+    spec.keepRecords = true;
+    std::vector<RunRecord> records;
+    runner.run(spec, &records);
+    ASSERT_EQ(records.size(), 30u);
+    for (const auto &r : records) {
+        bool inside = false;
+        for (auto &[s, e] : prof.windows)
+            inside |= r.plan.cycle >= s && r.plan.cycle < e;
+        EXPECT_TRUE(inside) << "cycle " << r.plan.cycle;
+    }
+}
+
+TEST(Campaign, RegisterFaultsInKmeansCauseFailures)
+{
+    // KM is the paper's most vulnerable workload; 40 register-file
+    // injections essentially always produce at least one failure.
+    CampaignRunner runner(fastCard(), suite::factoryFor("KM"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "km_assign";
+    spec.runs = 40;
+    CampaignResult r = runner.run(spec);
+    EXPECT_GT(r.failureRatio(), 0.0);
+    EXPECT_GT(r.count(Outcome::SDC) + r.count(Outcome::Crash) +
+                  r.count(Outcome::Timeout),
+              0u);
+}
+
+TEST(Campaign, L2FaultsOnVecaddMostlyMasked)
+{
+    // VA touches ~32 of the thousands of L2 lines: random L2 faults
+    // are overwhelmingly masked.
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = FaultTarget::L2;
+    spec.runs = 30;
+    CampaignResult r = runner.run(spec);
+    EXPECT_GE(r.ratio(Outcome::Masked), 0.8);
+}
+
+TEST(Campaign, SpecValidation)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 0;
+    EXPECT_THROW(runner.run(spec), FatalError);
+    spec.runs = 1;
+    spec.kernelName = "not_a_kernel";
+    EXPECT_THROW(runner.run(spec), FatalError);
+}
+
+TEST(Campaign, TitanRejectsL1DataTarget)
+{
+    sim::GpuConfig titan = sim::makeGtxTitan();
+    titan.numSms = 4;
+    CampaignRunner runner(titan, suite::factoryFor("VA"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = FaultTarget::L1Data;
+    spec.runs = 1;
+    EXPECT_THROW(runner.run(spec), FatalError);
+}
+
+TEST(Campaign, TripleBitRunsComplete)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.nBits = 3;
+    spec.runs = 20;
+    CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.runs(), 20u);
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * CFG construction and immediate post-dominator tests — the analysis
+ * behind SIMT reconvergence points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/cfg.hh"
+
+using namespace gpufi;
+using namespace gpufi::isa;
+
+namespace {
+
+Kernel
+k(const std::string &body)
+{
+    return assembleKernel(".kernel t\n.reg 8\n" + body);
+}
+
+} // namespace
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Kernel kern = k("    mov r0, 1\n    add r0, r0, 1\n    exit\n");
+    Cfg cfg = buildCfg(kern);
+    ASSERT_EQ(cfg.blocks.size(), 1u);
+    EXPECT_EQ(cfg.blocks[0].first, 0);
+    EXPECT_EQ(cfg.blocks[0].last, 2);
+    EXPECT_TRUE(cfg.blocks[0].succs.empty());
+}
+
+TEST(Cfg, IfThenElseShape)
+{
+    Kernel kern = k(
+        "    brz r0, else\n"       // 0
+        "    mov r1, 1\n"          // 1
+        "    bra join\n"           // 2
+        "else:\n"
+        "    mov r1, 2\n"          // 3
+        "join:\n"
+        "    exit\n");             // 4
+    Cfg cfg = buildCfg(kern);
+    ASSERT_EQ(cfg.blocks.size(), 4u);
+    // Block 0 = {0}, block 1 = {1,2}, block 2 = {3}, block 3 = {4}.
+    EXPECT_EQ(cfg.blocks[0].succs, (std::vector<int>{1, 2}));
+    EXPECT_EQ(cfg.blocks[1].succs, (std::vector<int>{3}));
+    EXPECT_EQ(cfg.blocks[2].succs, (std::vector<int>{3}));
+    EXPECT_TRUE(cfg.blocks[3].succs.empty());
+    EXPECT_EQ(cfg.blockOf(2), 1);
+    EXPECT_EQ(cfg.blockOf(4), 3);
+
+    std::vector<int> ipdom = immediatePostDominators(cfg);
+    EXPECT_EQ(ipdom[0], 3); // branch reconverges at the join block
+    EXPECT_EQ(ipdom[1], 3);
+    EXPECT_EQ(ipdom[2], 3);
+    EXPECT_EQ(ipdom[3], -1); // exit post-dominated by virtual exit only
+
+    // The conditional branch instruction carries the join pc.
+    EXPECT_EQ(kern.code[0].reconvergePc, 4);
+}
+
+TEST(Cfg, LoopBackEdge)
+{
+    Kernel kern = k(
+        "top:\n"
+        "    sub r0, r0, 1\n"      // 0
+        "    brnz r0, top\n"       // 1
+        "    exit\n");             // 2
+    Cfg cfg = buildCfg(kern);
+    ASSERT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.blocks[0].succs, (std::vector<int>{0, 1}));
+    // The loop branch reconverges at the loop exit.
+    EXPECT_EQ(kern.code[1].reconvergePc, 2);
+}
+
+TEST(Cfg, BranchWhereBothPathsExitSeparately)
+{
+    Kernel kern = k(
+        "    brz r0, other\n"      // 0
+        "    exit\n"               // 1
+        "other:\n"
+        "    exit\n");             // 2
+    // No common post-dominator except the virtual exit.
+    EXPECT_EQ(kern.code[0].reconvergePc, -1);
+}
+
+TEST(Cfg, NestedIfsHaveNestedReconvergence)
+{
+    Kernel kern = k(
+        "    brz r0, outer_else\n" // 0
+        "    brz r1, inner_else\n" // 1
+        "    mov r2, 1\n"          // 2
+        "    bra inner_join\n"     // 3
+        "inner_else:\n"
+        "    mov r2, 2\n"          // 4
+        "inner_join:\n"
+        "    mov r3, 3\n"          // 5
+        "    bra outer_join\n"     // 6
+        "outer_else:\n"
+        "    mov r3, 4\n"          // 7
+        "outer_join:\n"
+        "    exit\n");             // 8
+    EXPECT_EQ(kern.code[0].reconvergePc, 8);
+    EXPECT_EQ(kern.code[1].reconvergePc, 5);
+}
+
+TEST(Cfg, CondBranchDirectlyToNextInstruction)
+{
+    // Degenerate: both sides of the branch go to pc+1.
+    Kernel kern = k(
+        "    brz r0, next\n"
+        "next:\n"
+        "    exit\n");
+    EXPECT_EQ(kern.code[0].reconvergePc, 1);
+}
+
+TEST(Cfg, UnreachableCodeAfterBra)
+{
+    Kernel kern = k(
+        "    bra away\n"
+        "    mov r0, 1\n"          // unreachable
+        "away:\n"
+        "    exit\n");
+    Cfg cfg = buildCfg(kern);
+    // Unreachable block exists but has the fall-through successor.
+    EXPECT_EQ(cfg.blocks.size(), 3u);
+}
+
+TEST(Cfg, DiamondWithSharedTail)
+{
+    Kernel kern = k(
+        "    brz r0, b\n"          // 0
+        "a:  add r1, r1, 1\n"      // 1
+        "    bra tail\n"           // 2
+        "b:  add r1, r1, 2\n"      // 3
+        "tail:\n"
+        "    add r1, r1, 3\n"      // 4
+        "    brnz r1, a\n"         // 5: loop back into one arm
+        "    exit\n");             // 6
+    // Reconvergence of the first branch is the tail block (pc 4).
+    EXPECT_EQ(kern.code[0].reconvergePc, 4);
+    // The back-branch reconverges at exit.
+    EXPECT_EQ(kern.code[5].reconvergePc, 6);
+}
+
+TEST(Cfg, BlockOfOutOfRange)
+{
+    Kernel kern = k("    exit\n");
+    Cfg cfg = buildCfg(kern);
+    EXPECT_EQ(cfg.blockOf(-1), -1);
+    EXPECT_EQ(cfg.blockOf(100), -1);
+}
+
+TEST(Cfg, PredsMatchSuccs)
+{
+    Kernel kern = k(
+        "    brz r0, e\n"
+        "    nop\n"
+        "e:  exit\n");
+    Cfg cfg = buildCfg(kern);
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (int s : cfg.blocks[b].succs) {
+            const auto &preds =
+                cfg.blocks[static_cast<size_t>(s)].preds;
+            EXPECT_NE(std::find(preds.begin(), preds.end(),
+                                static_cast<int>(b)),
+                      preds.end());
+        }
+}

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Common-substrate tests: logging/error idioms, RNG determinism and
+ * statistical sanity, config parsing, accumulator math, the
+ * statistical-fault-injection formulas, bit helpers and thread pool.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/thread_pool.hh"
+
+using namespace gpufi;
+
+// ---- logging ---------------------------------------------------------
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad user input %d", 7), FatalError);
+    try {
+        fatal("value = %d", 42);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value = 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("internal bug"), PanicError);
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(gpufi_assert(1 + 1 == 2));
+    EXPECT_THROW(gpufi_assert(1 + 1 == 3), PanicError);
+}
+
+TEST(Logging, FormatHelper)
+{
+    EXPECT_EQ(detail::format("%s-%d", "x", 5), "x-5");
+    EXPECT_EQ(detail::format("%08x", 0xabcu), "00000abc");
+}
+
+// ---- rng -------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = r.range(5, 9);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, DistinctProducesSortedUniqueValues)
+{
+    Rng r(9);
+    auto v = r.distinct(100, 20);
+    ASSERT_EQ(v.size(), 20u);
+    for (size_t i = 1; i < v.size(); ++i) {
+        ASSERT_LT(v[i - 1], v[i]);
+        ASSERT_LT(v[i], 100u);
+    }
+}
+
+TEST(Rng, DistinctFullRange)
+{
+    Rng r(13);
+    auto v = r.distinct(8, 8);
+    ASSERT_EQ(v.size(), 8u);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng r(77);
+    uint64_t first = r();
+    r.seed(77);
+    EXPECT_EQ(r(), first);
+}
+
+// ---- config ----------------------------------------------------------
+
+TEST(Config, GpgpusimOptionForm)
+{
+    auto cfg = ConfigFile::fromString(
+        "-gpgpu_n_clusters 30\n"
+        "-gpgpu_l2_size 3145728\n"
+        "-gpufi_enable\n");
+    EXPECT_EQ(cfg.getInt("gpgpu_n_clusters"), 30);
+    EXPECT_EQ(cfg.getInt("gpgpu_l2_size"), 3145728);
+    EXPECT_TRUE(cfg.getBool("gpufi_enable", false));
+}
+
+TEST(Config, AssignmentForm)
+{
+    auto cfg = ConfigFile::fromString(
+        "runs = 3000\n"
+        "raw_fit = 1.8e-6\n"
+        "name = rtx2060  # trailing comment\n");
+    EXPECT_EQ(cfg.getInt("runs"), 3000);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("raw_fit"), 1.8e-6);
+    EXPECT_EQ(cfg.getString("name"), "rtx2060");
+}
+
+TEST(Config, DefaultsAndMissing)
+{
+    auto cfg = ConfigFile::fromString("a = 1\n");
+    EXPECT_EQ(cfg.getInt("zzz", 5), 5);
+    EXPECT_THROW(cfg.getInt("zzz"), FatalError);
+    EXPECT_THROW(cfg.getString("zzz"), FatalError);
+}
+
+TEST(Config, MalformedValues)
+{
+    auto cfg = ConfigFile::fromString("a = hello\nb = 1x\n");
+    EXPECT_THROW(cfg.getInt("a"), FatalError);
+    EXPECT_THROW(cfg.getInt("b"), FatalError);
+    EXPECT_THROW(cfg.getDouble("a"), FatalError);
+    EXPECT_THROW(cfg.getBool("a", false), FatalError);
+}
+
+TEST(Config, SyntaxErrors)
+{
+    EXPECT_THROW(ConfigFile::fromString("just a bare line\n"),
+                 FatalError);
+}
+
+TEST(Config, IntList)
+{
+    auto cfg = ConfigFile::fromString("cores = 3, 17, 99\n");
+    auto v = cfg.getIntList("cores");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[1], 17);
+}
+
+TEST(Config, HexValues)
+{
+    auto cfg = ConfigFile::fromString("mask = 0xff\n");
+    EXPECT_EQ(cfg.getInt("mask"), 0xff);
+}
+
+TEST(Config, SetAndSerialize)
+{
+    ConfigFile cfg;
+    cfg.set("b", "2");
+    cfg.set("a", "1");
+    cfg.set("b", "3"); // overwrite keeps position
+    EXPECT_EQ(cfg.toString(), "b = 3\na = 1\n");
+    auto round = ConfigFile::fromString(cfg.toString());
+    EXPECT_EQ(round.getInt("b"), 3);
+}
+
+// ---- stats -----------------------------------------------------------
+
+TEST(RunningStat, Moments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsCombined)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i) * 10;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatFi, PaperSampleSize)
+{
+    // The paper: 3,000 injections give 99% confidence with <2% error
+    // margin for realistically sized fault populations.
+    double z = stat_fi::zValue(0.99);
+    double n = stat_fi::sampleSize(1e9, z, 0.02);
+    EXPECT_GT(n, 2900.0);
+    EXPECT_LT(n, 4200.0);
+    double e = stat_fi::errorMargin(1e9, 3000, z);
+    EXPECT_GT(e, 0.015);
+    EXPECT_LT(e, 0.025);
+}
+
+TEST(StatFi, MarginShrinksWithMoreRuns)
+{
+    double z = stat_fi::zValue(0.95);
+    EXPECT_GT(stat_fi::errorMargin(1e8, 100, z),
+              stat_fi::errorMargin(1e8, 10000, z));
+}
+
+TEST(StatFi, UnknownConfidenceIsFatal)
+{
+    EXPECT_THROW(stat_fi::zValue(0.5), FatalError);
+}
+
+// ---- bitops ----------------------------------------------------------
+
+TEST(BitOps, Flip32And64)
+{
+    EXPECT_EQ(flipBit32(0, 0), 1u);
+    EXPECT_EQ(flipBit32(0xff, 7), 0x7fu);
+    EXPECT_EQ(flipBit64(0, 63), 1ull << 63);
+}
+
+TEST(BitOps, BufferBits)
+{
+    uint8_t buf[4] = {0, 0, 0, 0};
+    flipBitInBuffer(buf, 0);
+    flipBitInBuffer(buf, 9);
+    flipBitInBuffer(buf, 31);
+    EXPECT_EQ(buf[0], 1);
+    EXPECT_EQ(buf[1], 2);
+    EXPECT_EQ(buf[3], 0x80);
+    EXPECT_TRUE(testBitInBuffer(buf, 9));
+    EXPECT_FALSE(testBitInBuffer(buf, 10));
+}
+
+TEST(BitOps, PowersAndAlignment)
+{
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_EQ(log2Exact(128), 7u);
+    EXPECT_EQ(alignUp(5, 8), 8u);
+    EXPECT_EQ(alignUp(8, 8), 8u);
+    EXPECT_EQ(divCeil(9, 4), 3u);
+}
+
+TEST(BitOps, FloatBitCasts)
+{
+    EXPECT_EQ(floatToBits(1.0f), 0x3f800000u);
+    EXPECT_EQ(bitsToFloat(0x40000000u), 2.0f);
+    float nan = bitsToFloat(0x7fc00000u);
+    EXPECT_TRUE(std::isnan(nan));
+}
+
+// ---- thread pool -----------------------------------------------------
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> n{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&n] { ++n; });
+    pool.wait();
+    EXPECT_EQ(n.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversIndices)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(64, [&](size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> n{0};
+    pool.submit([&n] { ++n; });
+    pool.wait();
+    pool.submit([&n] { ++n; });
+    pool.wait();
+    EXPECT_EQ(n.load(), 2);
+}
+
+TEST(ThreadPool, SingleWorkerIsSerial)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}

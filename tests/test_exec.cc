@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Functional-unit tests for evalAlu: a parameterized sweep of every
+ * pure opcode against reference semantics, including edge cases
+ * (division by zero, INT_MIN, shift overflow, NaN conversion).
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sim/exec.hh"
+
+using namespace gpufi;
+using gpufi::isa::Opcode;
+using gpufi::sim::evalAlu;
+
+namespace {
+
+uint32_t f2b(float f) { return floatToBits(f); }
+float b2f(uint32_t u) { return bitsToFloat(u); }
+
+struct AluCase
+{
+    const char *label;
+    Opcode op;
+    uint32_t a, b, c;
+    uint32_t expect;
+};
+
+class AluSweep : public ::testing::TestWithParam<AluCase>
+{};
+
+TEST_P(AluSweep, Matches)
+{
+    const AluCase &t = GetParam();
+    EXPECT_EQ(evalAlu(t.op, t.a, t.b, t.c), t.expect) << t.label;
+}
+
+const AluCase kIntCases[] = {
+    {"mov", Opcode::MOV, 0xdeadbeef, 0, 0, 0xdeadbeef},
+    {"sel-true", Opcode::SEL, 1, 10, 20, 10},
+    {"sel-false", Opcode::SEL, 0, 10, 20, 20},
+    {"add", Opcode::ADD, 3, 4, 0, 7},
+    {"add-wrap", Opcode::ADD, 0xffffffff, 1, 0, 0},
+    {"sub", Opcode::SUB, 3, 5, 0, static_cast<uint32_t>(-2)},
+    {"mul", Opcode::MUL, 7, 6, 0, 42},
+    {"mulhi", Opcode::MULHI, 0x40000000, 4, 0, 1},
+    {"mulhi-neg", Opcode::MULHI, static_cast<uint32_t>(-2), 3, 0,
+     0xffffffff},
+    {"div", Opcode::DIV, 42, 5, 0, 8},
+    {"div-neg", Opcode::DIV, static_cast<uint32_t>(-42), 5, 0,
+     static_cast<uint32_t>(-8)},
+    {"div-zero", Opcode::DIV, 7, 0, 0, 0xffffffff},
+    {"div-intmin", Opcode::DIV, 0x80000000,
+     static_cast<uint32_t>(-1), 0, 0x80000000},
+    {"rem", Opcode::REM, 42, 5, 0, 2},
+    {"rem-zero", Opcode::REM, 7, 0, 0, 7},
+    {"rem-intmin", Opcode::REM, 0x80000000,
+     static_cast<uint32_t>(-1), 0, 0},
+    {"min", Opcode::MIN, static_cast<uint32_t>(-3), 2, 0,
+     static_cast<uint32_t>(-3)},
+    {"max", Opcode::MAX, static_cast<uint32_t>(-3), 2, 0, 2},
+    {"abs", Opcode::ABS, static_cast<uint32_t>(-9), 0, 0, 9},
+    {"neg", Opcode::NEG, 9, 0, 0, static_cast<uint32_t>(-9)},
+    {"and", Opcode::AND, 0xff00ff00, 0x0ff00ff0, 0, 0x0f000f00},
+    {"or", Opcode::OR, 0xf0, 0x0f, 0, 0xff},
+    {"xor", Opcode::XOR, 0xff, 0x0f, 0, 0xf0},
+    {"not", Opcode::NOT, 0, 0, 0, 0xffffffff},
+    {"shl", Opcode::SHL, 1, 5, 0, 32},
+    {"shl-32", Opcode::SHL, 1, 32, 0, 0},
+    {"shr", Opcode::SHR, 0x80000000, 31, 0, 1},
+    {"shr-33", Opcode::SHR, 0xffffffff, 33, 0, 0},
+    {"sra", Opcode::SRA, 0x80000000, 31, 0, 0xffffffff},
+    {"seteq-t", Opcode::SETEQ, 5, 5, 0, 1},
+    {"seteq-f", Opcode::SETEQ, 5, 6, 0, 0},
+    {"setne", Opcode::SETNE, 5, 6, 0, 1},
+    {"setlt-signed", Opcode::SETLT, static_cast<uint32_t>(-1), 0, 0,
+     1},
+    {"setle", Opcode::SETLE, 4, 4, 0, 1},
+    {"setgt", Opcode::SETGT, 5, 4, 0, 1},
+    {"setge", Opcode::SETGE, 4, 5, 0, 0},
+    {"setltu-unsigned", Opcode::SETLTU, static_cast<uint32_t>(-1), 0,
+     0, 0},
+    {"setgeu", Opcode::SETGEU, static_cast<uint32_t>(-1), 0, 0, 1},
+};
+
+INSTANTIATE_TEST_SUITE_P(Int, AluSweep, ::testing::ValuesIn(kIntCases),
+                         [](const auto &info) {
+                             std::string n = info.param.label;
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+const AluCase kFloatCases[] = {
+    {"fadd", Opcode::FADD, f2b(1.5f), f2b(2.25f), 0, f2b(3.75f)},
+    {"fsub", Opcode::FSUB, f2b(1.0f), f2b(3.0f), 0, f2b(-2.0f)},
+    {"fmul", Opcode::FMUL, f2b(3.0f), f2b(0.5f), 0, f2b(1.5f)},
+    {"fdiv", Opcode::FDIV, f2b(1.0f), f2b(4.0f), 0, f2b(0.25f)},
+    {"fdiv-zero", Opcode::FDIV, f2b(1.0f), f2b(0.0f), 0,
+     f2b(INFINITY)},
+    {"fmin", Opcode::FMIN, f2b(-1.0f), f2b(2.0f), 0, f2b(-1.0f)},
+    {"fmax", Opcode::FMAX, f2b(-1.0f), f2b(2.0f), 0, f2b(2.0f)},
+    {"fma", Opcode::FMA, f2b(2.0f), f2b(3.0f), f2b(1.0f), f2b(7.0f)},
+    {"fabs", Opcode::FABS, f2b(-4.5f), 0, 0, f2b(4.5f)},
+    {"fneg", Opcode::FNEG, f2b(4.5f), 0, 0, f2b(-4.5f)},
+    {"fsqrt", Opcode::FSQRT, f2b(9.0f), 0, 0, f2b(3.0f)},
+    {"frcp", Opcode::FRCP, f2b(4.0f), 0, 0, f2b(0.25f)},
+    {"fseteq", Opcode::FSETEQ, f2b(2.0f), f2b(2.0f), 0, 1},
+    {"fsetne-nan", Opcode::FSETNE, f2b(NAN), f2b(NAN), 0, 1},
+    {"fsetlt", Opcode::FSETLT, f2b(1.0f), f2b(2.0f), 0, 1},
+    {"fsetle", Opcode::FSETLE, f2b(2.0f), f2b(2.0f), 0, 1},
+    {"fsetgt-nan", Opcode::FSETGT, f2b(NAN), f2b(0.0f), 0, 0},
+    {"fsetge", Opcode::FSETGE, f2b(3.0f), f2b(2.0f), 0, 1},
+    {"i2f", Opcode::I2F, static_cast<uint32_t>(-7), 0, 0, f2b(-7.0f)},
+    {"f2i", Opcode::F2I, f2b(-7.9f), 0, 0, static_cast<uint32_t>(-7)},
+    {"f2i-nan", Opcode::F2I, f2b(NAN), 0, 0, 0},
+    {"f2i-sat-hi", Opcode::F2I, f2b(3e9f), 0, 0, 0x7fffffff},
+    {"f2i-sat-lo", Opcode::F2I, f2b(-3e9f), 0, 0, 0x80000000},
+};
+
+INSTANTIATE_TEST_SUITE_P(Float, AluSweep,
+                         ::testing::ValuesIn(kFloatCases),
+                         [](const auto &info) {
+                             std::string n = info.param.label;
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Alu, TranscendentalsMatchLibm)
+{
+    EXPECT_EQ(evalAlu(Opcode::FEXP, f2b(1.25f), 0, 0),
+              f2b(std::exp(1.25f)));
+    EXPECT_EQ(evalAlu(Opcode::FLOG, f2b(5.5f), 0, 0),
+              f2b(std::log(5.5f)));
+    EXPECT_EQ(evalAlu(Opcode::FSQRT, f2b(2.0f), 0, 0),
+              f2b(std::sqrt(2.0f)));
+    EXPECT_EQ(evalAlu(Opcode::FMA, f2b(1.1f), f2b(2.2f), f2b(3.3f)),
+              f2b(std::fmaf(1.1f, 2.2f, 3.3f)));
+}
+
+TEST(Alu, NonAluOpcodePanics)
+{
+    EXPECT_THROW(evalAlu(Opcode::LDG, 0, 0, 0), PanicError);
+    EXPECT_THROW(evalAlu(Opcode::BRA, 0, 0, 0), PanicError);
+    EXPECT_THROW(evalAlu(Opcode::BAR, 0, 0, 0), PanicError);
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the beyond-paper extensions: spread-entry multi-bit
+ * faults (Table IV ii), simultaneous multi-structure injection
+ * (Table IV iii/iv), and the L1 constant cache as an injection
+ * target (the paper's §IV.C future work, modeled here with kernel
+ * parameters fetched through the constant cache).
+ */
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "fi/avf.hh"
+#include "fi/campaign.hh"
+#include "fi/injector.hh"
+#include "isa/assembler.hh"
+#include "sim_test_util.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using gpufi_test::tinyConfig;
+
+namespace {
+
+const char kSpin[] = R"(
+.kernel spin
+.reg 8
+    mov   r0, 150
+    mov   r1, 1
+    mov   r2, 2
+    mov   r3, 3
+loop:
+    sub   r0, r0, 1
+    brnz  r0, loop
+    exit
+)";
+
+struct Snapshot
+{
+    std::vector<uint32_t> regs;
+    std::set<uint32_t> touchedRegs; ///< regs differing from clean
+    fi::InjectionRecord record;
+};
+
+Snapshot
+snapshotWithPlan(const fi::FaultPlan *plan, uint64_t cycle)
+{
+    Snapshot snap;
+    mem::DeviceMemory dmem(1u << 20);
+    sim::Gpu gpu(tinyConfig(), dmem);
+    isa::Program prog = isa::assemble(kSpin);
+    if (plan) {
+        gpu.scheduleInjection(cycle, [&](sim::Gpu &g) {
+            applyFault(g, *plan, &snap.record);
+        });
+    }
+    gpu.scheduleInjection(cycle, [&](sim::Gpu &g) {
+        for (auto *cta : g.activeCtas())
+            for (auto &t : cta->threads)
+                snap.regs.insert(snap.regs.end(), t.regs.begin(),
+                                 t.regs.end());
+    });
+    gpu.setCycleLimit(50000);
+    try {
+        gpu.launch(prog.kernels.front(), {1, 1}, {32, 1}, {});
+    } catch (const sim::TimeoutError &) {
+    }
+    return snap;
+}
+
+} // namespace
+
+TEST(SpreadMode, BitsLandInDistinctRegisters)
+{
+    fi::FaultPlan plan;
+    plan.target = fi::FaultTarget::RegisterFile;
+    plan.mode = fi::MultiBitMode::SpreadEntries;
+    plan.nBits = 4;
+    plan.seed = 99;
+    Snapshot faulted = snapshotWithPlan(&plan, 80);
+    Snapshot clean = snapshotWithPlan(nullptr, 80);
+    ASSERT_TRUE(faulted.record.armed);
+
+    ASSERT_EQ(faulted.regs.size(), clean.regs.size());
+    uint32_t flippedBits = 0;
+    std::set<size_t> flippedWords;
+    for (size_t i = 0; i < clean.regs.size(); ++i) {
+        uint32_t x = faulted.regs[i] ^ clean.regs[i];
+        if (x) {
+            flippedWords.insert(i);
+            flippedBits += static_cast<uint32_t>(std::popcount(x));
+        }
+    }
+    // 4 bits, one per distinct register, all in one thread.
+    EXPECT_EQ(flippedBits, 4u);
+    EXPECT_EQ(flippedWords.size(), 4u);
+}
+
+TEST(SpreadMode, SameEntryConcentratesBits)
+{
+    fi::FaultPlan plan;
+    plan.target = fi::FaultTarget::RegisterFile;
+    plan.mode = fi::MultiBitMode::SameEntry;
+    plan.nBits = 4;
+    plan.seed = 99;
+    Snapshot faulted = snapshotWithPlan(&plan, 80);
+    Snapshot clean = snapshotWithPlan(nullptr, 80);
+    ASSERT_TRUE(faulted.record.armed);
+    std::set<size_t> flippedWords;
+    for (size_t i = 0; i < clean.regs.size(); ++i)
+        if (faulted.regs[i] != clean.regs[i])
+            flippedWords.insert(i);
+    EXPECT_EQ(flippedWords.size(), 1u);
+}
+
+TEST(SpreadMode, CampaignRunsWithSpread)
+{
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4;
+    fi::CampaignRunner runner(card, suite::factoryFor("VA"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.mode = fi::MultiBitMode::SpreadEntries;
+    spec.nBits = 3;
+    spec.runs = 15;
+    fi::CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.runs(), 15u);
+}
+
+TEST(MultiStructure, SimultaneousFaultsRun)
+{
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4;
+    fi::CampaignRunner runner(card, suite::factoryFor("HS"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "hotspot";
+    spec.target = fi::FaultTarget::RegisterFile;
+    spec.alsoTargets = {fi::FaultTarget::L1Texture,
+                        fi::FaultTarget::L2};
+    spec.runs = 20;
+    fi::CampaignResult multi = runner.run(spec);
+    EXPECT_EQ(multi.runs(), 20u);
+
+    // A multi-structure strike can only be at least as harmful as
+    // the register-file strike alone with the same seeds.
+    spec.alsoTargets.clear();
+    fi::CampaignResult single = runner.run(spec);
+    EXPECT_GE(multi.failureRatio() + 1e-12, single.failureRatio());
+}
+
+TEST(MultiStructure, ValidatesExtraTargets)
+{
+    sim::GpuConfig titan = sim::makeGtxTitan();
+    titan.numSms = 4;
+    fi::CampaignRunner runner(titan, suite::factoryFor("VA"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = fi::FaultTarget::RegisterFile;
+    spec.alsoTargets = {fi::FaultTarget::L1Data}; // absent on Kepler
+    spec.runs = 1;
+    EXPECT_THROW(runner.run(spec), FatalError);
+}
+
+// ---- L1 constant cache -------------------------------------------------
+
+TEST(ConstCache, ParamsAreFetchedThroughIt)
+{
+    const char src[] = R"(
+.kernel ptest
+.reg 4
+    param r0, 0
+    param r1, 1
+    add   r0, r0, r1
+    param r2, 2
+    stg   r0, [r2]
+    exit
+)";
+    gpufi_test::SimHarness h;
+    mem::Addr out = h.mem.allocate(4);
+    h.run(src, {1, 1}, {32, 1}, {40, 2, uint32_t(out)});
+    EXPECT_EQ(h.mem.read32(out), 42u);
+    const auto &l1c = h.gpu->core(0).l1c()->stats();
+    EXPECT_GT(l1c.reads, 0u);
+    EXPECT_GT(l1c.readMisses, 0u);
+    EXPECT_GT(l1c.reads, l1c.readMisses); // warps hit after the fill
+}
+
+TEST(ConstCache, DataFaultCorruptsLaterParamReads)
+{
+    // Two-phase kernel: read param 0 before and after the injection
+    // point; a constant-cache data fault on the cached line corrupts
+    // only the second read.
+    const char src[] = R"(
+.kernel ptest
+.reg 8
+    param r0, 0             # warm the constant cache
+    param r3, 1
+    stg   r0, [r3]          # out[0] = first read
+    mov   r1, 400
+spin:
+    sub   r1, r1, 1
+    brnz  r1, spin
+    param r2, 0             # read again after the fault
+    stg   r2, [r3+4]
+    exit
+)";
+    mem::DeviceMemory dmem(1u << 20);
+    mem::Addr out = dmem.allocate(8);
+    sim::Gpu gpu(tinyConfig(), dmem);
+    isa::Program prog = isa::assemble(src);
+
+    // Inject into every L1C line data bit 0 of core 0 mid-spin; the
+    // single valid line is the one holding the params.
+    gpu.scheduleInjection(200, [](sim::Gpu &g) {
+        mem::Cache *l1c = g.core(0).l1c();
+        for (uint32_t line = 0; line < l1c->numLines(); ++line)
+            l1c->injectBit(line, l1c->config().tagBits);
+    });
+    gpu.launch(prog.kernels.front(), {1, 1}, {1, 1},
+               {1000, static_cast<uint32_t>(out)});
+
+    EXPECT_EQ(dmem.read32(out), 1000u);       // clean first read
+    EXPECT_EQ(dmem.read32(out + 4), 1001u);   // bit 0 flipped
+}
+
+TEST(ConstCache, CampaignTargetWorks)
+{
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4;
+    fi::CampaignRunner runner(card, suite::factoryFor("VA"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = fi::FaultTarget::L1Constant;
+    spec.runs = 20;
+    fi::CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.runs(), 20u);
+}
+
+TEST(ConstCache, SizesEnterAvfOnlyWhenTargeted)
+{
+    sim::GpuConfig card = sim::makeRtx2060();
+    fi::StructureSizes base = fi::structureSizes(card, 0);
+    fi::StructureSizes ext = fi::structureSizes(card, 0, true);
+    EXPECT_EQ(base.of(fi::FaultTarget::L1Constant), 0u);
+    EXPECT_EQ(ext.of(fi::FaultTarget::L1Constant), card.l1cBits());
+    EXPECT_EQ(ext.total(), base.total() + card.l1cBits());
+}
+
+TEST(ConstCache, CorruptedParamStaysDeterministic)
+{
+    // Same plan -> same outcome, even through the constant path.
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 2;
+    fi::CampaignRunner runner(card, suite::factoryFor("SP"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "scalarprod";
+    spec.target = fi::FaultTarget::L1Constant;
+    spec.runs = 10;
+    spec.seed = 5;
+    EXPECT_EQ(runner.run(spec).counts, runner.run(spec).counts);
+}

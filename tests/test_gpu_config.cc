@@ -1,0 +1,174 @@
+/**
+ * @file
+ * GPU-configuration tests: the three presets must reproduce the
+ * paper's Table I (structure sizes, incl. the 57 tag bits per line)
+ * and Table V (microarchitectural parameters) exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "sim/gpu_config.hh"
+
+using namespace gpufi;
+using namespace gpufi::sim;
+
+namespace {
+
+double
+mb(uint64_t bits)
+{
+    return static_cast<double>(bits) / 8.0 / 1024.0 / 1024.0;
+}
+
+double
+kb(uint64_t bits)
+{
+    return static_cast<double>(bits) / 8.0 / 1024.0;
+}
+
+} // namespace
+
+TEST(GpuConfig, TableV_Rtx2060)
+{
+    GpuConfig c = makeRtx2060();
+    EXPECT_EQ(c.numSms, 30u);
+    EXPECT_EQ(c.warpSize, 32u);
+    EXPECT_EQ(c.maxThreadsPerSm, 1024u);
+    EXPECT_EQ(c.maxCtasPerSm, 32u);
+    EXPECT_EQ(c.regsPerSm, 65536u);
+    EXPECT_EQ(c.smemPerSm, 64u * 1024);
+    EXPECT_EQ(c.l1dSizePerSm, 64u * 1024);
+    EXPECT_EQ(c.l1tSizePerSm, 128u * 1024);
+    EXPECT_EQ(c.l2.totalSize, 3u << 20);
+    EXPECT_DOUBLE_EQ(c.rawFitPerBit, 1.8e-6);
+}
+
+TEST(GpuConfig, TableV_QuadroGv100)
+{
+    GpuConfig c = makeQuadroGv100();
+    EXPECT_EQ(c.numSms, 80u);
+    EXPECT_EQ(c.maxThreadsPerSm, 2048u);
+    EXPECT_EQ(c.maxCtasPerSm, 32u);
+    EXPECT_EQ(c.smemPerSm, 96u * 1024);
+    EXPECT_EQ(c.l1dSizePerSm, 32u * 1024);
+    EXPECT_EQ(c.l2.totalSize, 6u << 20);
+    EXPECT_DOUBLE_EQ(c.rawFitPerBit, 1.8e-6);
+}
+
+TEST(GpuConfig, TableV_GtxTitan)
+{
+    GpuConfig c = makeGtxTitan();
+    EXPECT_EQ(c.numSms, 14u);
+    EXPECT_EQ(c.maxThreadsPerSm, 2048u);
+    EXPECT_EQ(c.maxCtasPerSm, 16u);
+    EXPECT_EQ(c.smemPerSm, 48u * 1024);
+    EXPECT_FALSE(c.l1dEnabled);
+    EXPECT_EQ(c.l1tSizePerSm, 48u * 1024);
+    EXPECT_EQ(c.l2.totalSize, 3u << 19);
+    EXPECT_DOUBLE_EQ(c.rawFitPerBit, 1.2e-5);
+}
+
+TEST(GpuConfig, TableI_Rtx2060Sizes)
+{
+    GpuConfig c = makeRtx2060();
+    EXPECT_DOUBLE_EQ(mb(c.regFileBits()), 7.5);       // 7.5 MB
+    EXPECT_DOUBLE_EQ(mb(c.sharedBits()), 1.875);      // 1.875 MB
+    EXPECT_NEAR(mb(c.l1dBits()), 1.98, 0.005);        // 1.98 MB*
+    EXPECT_NEAR(mb(c.l1tBits()), 3.96, 0.005);        // 3.96 MB*
+    EXPECT_NEAR(mb(c.l1iBits()), 3.96, 0.005);
+    EXPECT_NEAR(mb(c.l1cBits()), 2.08, 0.005);
+    EXPECT_NEAR(mb(c.l2Bits()), 3.17, 0.005);         // 3.17 MB*
+}
+
+TEST(GpuConfig, TableI_QuadroGv100Sizes)
+{
+    GpuConfig c = makeQuadroGv100();
+    EXPECT_DOUBLE_EQ(mb(c.regFileBits()), 20.0);      // 20 MB
+    EXPECT_DOUBLE_EQ(mb(c.sharedBits()), 7.5);        // 7.5 MB
+    EXPECT_NEAR(mb(c.l1dBits()), 2.64, 0.005);        // 2.64 MB*
+    EXPECT_NEAR(mb(c.l1tBits()), 10.56, 0.01);        // 10.56 MB*
+    EXPECT_NEAR(mb(c.l2Bits()), 6.33, 0.01);          // 6.33 MB*
+}
+
+TEST(GpuConfig, TableI_GtxTitanSizes)
+{
+    GpuConfig c = makeGtxTitan();
+    EXPECT_DOUBLE_EQ(mb(c.regFileBits()), 3.5);       // 3.5 MB
+    EXPECT_NEAR(kb(c.sharedBits()), 672.0, 0.1);      // 672 KB
+    EXPECT_EQ(c.l1dBits(), 0u);                       // N/A
+    EXPECT_NEAR(kb(c.l1tBits()), 709.38, 0.5);        // 709.38 KB*
+    EXPECT_NEAR(kb(c.l1iBits()), 59.08, 0.1);         // 59.08 KB*
+    // Paper reports 248.92 KB*; with 16-byte constant-cache lines we
+    // model 242.8 KB* (documented deviation, reporting-only value).
+    EXPECT_NEAR(kb(c.l1cBits()), 242.8, 0.5);
+    EXPECT_NEAR(mb(c.l2Bits()), 1.58, 0.005);         // 1.58 MB*
+}
+
+TEST(GpuConfig, TableV_PerSmStarSizes)
+{
+    // Per-SM cache sizes with 57 tag bits, as starred in Table V.
+    GpuConfig c = makeRtx2060();
+    EXPECT_NEAR(kb(c.l1dBits() / c.numSms), 67.56, 0.01);   // 67.56 KB*
+    EXPECT_NEAR(kb(c.l1tBits() / c.numSms), 135.13, 0.01);  // 135.13 KB*
+    EXPECT_NEAR(kb(c.l1cBits() / c.numSms), 71.13, 0.01);   // 71.13 KB*
+    GpuConfig t = makeGtxTitan();
+    EXPECT_NEAR(kb(t.l1tBits() / t.numSms), 50.67, 0.01);   // 50.67 KB*
+    EXPECT_NEAR(kb(t.l1iBits() / t.numSms), 4.22, 0.01);    // 4.22 KB*
+}
+
+TEST(GpuConfig, PresetLookup)
+{
+    EXPECT_EQ(makePreset("rtx2060").name, "RTX 2060");
+    EXPECT_EQ(makePreset("gv100").name, "Quadro GV100");
+    EXPECT_EQ(makePreset("gtxtitan").name, "GTX Titan");
+    EXPECT_THROW(makePreset("rtx9090"), FatalError);
+}
+
+TEST(GpuConfig, ValidationRejectsBadGeometry)
+{
+    GpuConfig c = makeRtx2060();
+    c.numSms = 0;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = makeRtx2060();
+    c.warpSize = 16;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = makeRtx2060();
+    c.l1LineSize = 100;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = makeRtx2060();
+    c.l2.numPartitions = 7; // 3 MB not divisible by 7
+    EXPECT_THROW(c.validate(), FatalError);
+    c = makeRtx2060();
+    c.rawFitPerBit = 0.0;
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+TEST(GpuConfig, OverridesFromConfigFile)
+{
+    GpuConfig c = makeRtx2060();
+    auto file = ConfigFile::fromString(
+        "-gpgpu_n_clusters 16\n"
+        "-gpgpu_shmem_size 32768\n"
+        "-gpgpu_scheduler gto\n"
+        "-gpufi_raw_fit_per_bit 2.5e-6\n");
+    c.applyOverrides(file);
+    EXPECT_EQ(c.numSms, 16u);
+    EXPECT_EQ(c.smemPerSm, 32768u);
+    EXPECT_EQ(c.schedPolicy, SchedPolicy::GTO);
+    EXPECT_DOUBLE_EQ(c.rawFitPerBit, 2.5e-6);
+}
+
+TEST(GpuConfig, OverridesRejectBadScheduler)
+{
+    GpuConfig c = makeRtx2060();
+    auto file = ConfigFile::fromString("-gpgpu_scheduler fancy\n");
+    EXPECT_THROW(c.applyOverrides(file), FatalError);
+}
+
+TEST(GpuConfig, MaxWarps)
+{
+    EXPECT_EQ(makeRtx2060().maxWarpsPerSm(), 32u);
+    EXPECT_EQ(makeQuadroGv100().maxWarpsPerSm(), 64u);
+}

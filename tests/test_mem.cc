@@ -1,0 +1,243 @@
+/**
+ * @file
+ * DeviceMemory, SharedMemory, DRAM-channel and L2-subsystem tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing.hh"
+#include "mem/dram.hh"
+#include "mem/l2_subsystem.hh"
+#include "mem/shared_memory.hh"
+
+using namespace gpufi;
+using namespace gpufi::mem;
+
+TEST(DeviceMemory, AllocateAlignsAndAdvances)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(100);
+    Addr b = m.allocate(100);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(a, m.base());
+}
+
+TEST(DeviceMemory, ReadWriteRoundTrip)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(16);
+    m.write32(a, 0x12345678);
+    m.write32(a + 4, 0x9abcdef0);
+    EXPECT_EQ(m.read32(a), 0x12345678u);
+    EXPECT_EQ(m.read32(a + 4), 0x9abcdef0u);
+}
+
+TEST(DeviceMemory, OutOfBoundsFaults)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(16);
+    EXPECT_THROW(m.read32(0), DeviceFault);        // null guard
+    EXPECT_THROW(m.read32(1u << 20), DeviceFault); // beyond capacity
+    uint32_t v = 1;
+    EXPECT_THROW(m.write((1u << 20) - 2, &v, 4),
+                 DeviceFault); // straddles capacity
+    // Between allocations and the capacity the heap is mapped, as on
+    // a real GPU context: no fault, just untouched zeros.
+    EXPECT_EQ(m.read32(a + (1u << 19)), 0u);
+}
+
+TEST(DeviceMemory, ValidRange)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(16);
+    EXPECT_TRUE(m.valid(a, 16));
+    EXPECT_TRUE(m.valid(a, 17)); // mapped heap past the allocation
+    EXPECT_FALSE(m.valid(0, 1));
+    EXPECT_FALSE(m.valid(1u << 20, 1));
+    EXPECT_FALSE(m.valid(~0ull, 4)); // overflow guarded
+}
+
+TEST(DeviceMemory, ReadClampedZeroFills)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(8);
+    m.write32(a, 0xaabbccdd);
+    m.write32(a + 4, 0x11223344);
+    uint8_t buf[16];
+    m.readClamped(a, buf, 16); // past brk: zero fill
+    uint32_t w0, w3;
+    __builtin_memcpy(&w0, buf, 4);
+    __builtin_memcpy(&w3, buf + 12, 4);
+    EXPECT_EQ(w0, 0xaabbccddu);
+    EXPECT_EQ(w3, 0u);
+}
+
+TEST(DeviceMemory, ExhaustionIsFatal)
+{
+    DeviceMemory m(1u << 17);
+    EXPECT_THROW(m.allocate(1u << 20), FatalError);
+}
+
+TEST(DeviceMemory, ResetClearsState)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(16);
+    m.write32(a, 7);
+    m.reset();
+    Addr b = m.allocate(16);
+    EXPECT_EQ(a, b); // allocator restarted
+    EXPECT_EQ(m.read32(b), 0u);
+}
+
+TEST(DeviceMemory, TextureBinding)
+{
+    DeviceMemory m(1u << 20);
+    Addr t = m.allocate(64);
+    Addr o = m.allocate(64);
+    m.bindTexture(t, 64);
+    EXPECT_TRUE(m.inTexture(t, 4));
+    EXPECT_TRUE(m.inTexture(t + 60, 4));
+    EXPECT_FALSE(m.inTexture(t + 61, 4));
+    EXPECT_FALSE(m.inTexture(o, 4));
+}
+
+TEST(DeviceMemory, FlipBit)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(4);
+    m.write32(a, 0);
+    m.flipBit(a, 3);
+    EXPECT_EQ(m.read32(a), 8u);
+    m.flipBit(a, 3);
+    EXPECT_EQ(m.read32(a), 0u);
+    m.flipBit(1, 0); // outside live data: silently masked
+}
+
+TEST(DeviceMemory, CopyLineFaultsOnUnmappedTarget)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(256);
+    EXPECT_THROW(m.copyLine(a, 1u << 21, 128), DeviceFault);
+    // Within the mapped heap the copy lands (wrong-address data).
+    EXPECT_NO_THROW(m.copyLine(a, a + (1u << 19), 128));
+}
+
+TEST(SharedMemory, ReadWriteAndBounds)
+{
+    SharedMemory s(256);
+    s.write32(0, 11);
+    s.write32(252, 22);
+    EXPECT_EQ(s.read32(0), 11u);
+    EXPECT_EQ(s.read32(252), 22u);
+    EXPECT_THROW(s.read32(253), DeviceFault);
+    EXPECT_THROW(s.write32(256, 1), DeviceFault);
+}
+
+TEST(SharedMemory, FlipBit)
+{
+    SharedMemory s(64);
+    s.flipBit(9); // byte 1, bit 1
+    EXPECT_EQ(s.read32(0), 0x200u);
+}
+
+TEST(DramChannel, QueueingDelays)
+{
+    DramChannel ch(100, 16);
+    EXPECT_EQ(ch.access(0), 100u);       // idle: pure latency
+    EXPECT_EQ(ch.access(0), 116u);       // queued behind first
+    EXPECT_EQ(ch.access(0), 132u);
+    EXPECT_EQ(ch.access(1000), 100u);    // idle again later
+    EXPECT_EQ(ch.requests(), 4u);
+}
+
+namespace {
+
+L2Params
+smallL2()
+{
+    L2Params p;
+    p.totalSize = 4 * 1024;
+    p.lineSize = 128;
+    p.assoc = 2;
+    p.numPartitions = 2;
+    p.hitLatency = 10;
+    p.dramLatency = 50;
+    p.dramServiceInterval = 8;
+    return p;
+}
+
+} // namespace
+
+TEST(L2Subsystem, AddressesInterleaveAcrossPartitions)
+{
+    DeviceMemory m(1u << 20);
+    L2Subsystem l2(smallL2(), &m);
+    EXPECT_EQ(l2.partitionOf(0), 0u);
+    EXPECT_EQ(l2.partitionOf(128), 1u);
+    EXPECT_EQ(l2.partitionOf(256), 0u);
+}
+
+TEST(L2Subsystem, MissThenHitLatency)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(4096);
+    L2Subsystem l2(smallL2(), &m);
+    uint8_t buf[128];
+    m.readClamped(a, buf, 128);
+    uint32_t lat1 = l2.read(a, 128, buf, 0);
+    uint32_t lat2 = l2.read(a, 128, buf, 100);
+    EXPECT_GT(lat1, lat2);        // miss costs DRAM
+    EXPECT_EQ(lat2, 10u);         // hit latency
+}
+
+TEST(L2Subsystem, FlatLineIndexReachesEveryBank)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(8192);
+    L2Subsystem l2(smallL2(), &m);
+    EXPECT_EQ(l2.numLines(), 32u);
+    EXPECT_EQ(l2.bitsPerLine(), 128u * 8 + 57);
+    uint8_t buf[128];
+    // Warm both banks.
+    l2.read(a, 128, buf, 0);         // bank 0
+    l2.read(a + 128, 128, buf, 0);   // bank 1
+    // Some flat index in [0,16) covers bank 0, [16,32) bank 1.
+    int armed = 0;
+    for (uint32_t i = 0; i < l2.numLines(); ++i)
+        if (l2.injectBit(i, 0))
+            ++armed;
+    EXPECT_EQ(armed, 2); // exactly the two valid lines
+}
+
+TEST(L2Subsystem, StatsAggregateAcrossBanks)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(4096);
+    L2Subsystem l2(smallL2(), &m);
+    uint8_t buf[128];
+    l2.read(a, 128, buf, 0);
+    l2.read(a + 128, 128, buf, 0);
+    l2.write(a + 256, 0);
+    CacheStats s = l2.stats();
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.readMisses, 2u);
+    EXPECT_EQ(s.writes, 1u);
+}
+
+TEST(L2Subsystem, HooksFlipThroughRead)
+{
+    DeviceMemory m(1u << 20);
+    Addr a = m.allocate(4096);
+    m.write32(a, 0);
+    L2Subsystem l2(smallL2(), &m);
+    uint8_t buf[128] = {};
+    l2.read(a, 128, buf, 0); // fill
+    // Find the valid flat line and hook data bit 1.
+    for (uint32_t i = 0; i < l2.numLines(); ++i)
+        l2.injectBit(i, 57 + 1);
+    m.readClamped(a, buf, 128);
+    l2.read(a, 128, buf, 10); // hit applies the hook
+    EXPECT_EQ(buf[0], 0x02);
+}

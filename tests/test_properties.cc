@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Property-style tests (parameterized sweeps):
+ *  - functional results are timing-independent: every benchmark
+ *    produces identical output on different chip geometries and warp
+ *    schedulers;
+ *  - campaign invariants hold for every injectable structure;
+ *  - faults in structures a workload never touches are always masked;
+ *  - the cache model agrees with a simple reference model under
+ *    randomized access sequences.
+ */
+
+#include <map>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "fi/campaign.hh"
+#include "mem/cache.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+
+// ---- timing-independence of functional results ------------------------
+
+namespace {
+
+sim::GpuConfig
+geometry(int variant)
+{
+    switch (variant) {
+      case 0: {
+        sim::GpuConfig c = sim::makeRtx2060();
+        c.numSms = 4;
+        return c;
+      }
+      case 1: {
+        // Few, small SMs with tiny caches: heavy eviction pressure
+        // and CTA serialization.
+        sim::GpuConfig c = sim::makeRtx2060();
+        c.name = "small";
+        c.numSms = 2;
+        c.maxThreadsPerSm = 256;
+        c.maxCtasPerSm = 2;
+        c.l1dSizePerSm = 4 * 1024;
+        c.l1tSizePerSm = 4 * 1024;
+        c.l2.totalSize = 64 * 1024;
+        c.l2.numPartitions = 2;
+        c.validate();
+        return c;
+      }
+      default: {
+        sim::GpuConfig c = sim::makeQuadroGv100();
+        c.numSms = 8;
+        c.schedPolicy = sim::SchedPolicy::GTO;
+        return c;
+      }
+    }
+}
+
+class BenchmarkSweep
+    : public ::testing::TestWithParam<const char *>
+{};
+
+std::vector<uint8_t>
+goldenOn(const sim::GpuConfig &cfg, const std::string &code)
+{
+    fi::CampaignRunner runner(cfg, suite::factoryFor(code), 1);
+    return runner.golden().output;
+}
+
+} // namespace
+
+TEST_P(BenchmarkSweep, OutputIndependentOfGeometryAndScheduler)
+{
+    std::string code = GetParam();
+    auto ref = goldenOn(geometry(0), code);
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(goldenOn(geometry(1), code), ref)
+        << code << " differs on the small geometry";
+    EXPECT_EQ(goldenOn(geometry(2), code), ref)
+        << code << " differs under GTO on GV100 geometry";
+}
+
+TEST_P(BenchmarkSweep, GoldenRunsAreReproducible)
+{
+    std::string code = GetParam();
+    fi::CampaignRunner a(geometry(0), suite::factoryFor(code), 1);
+    fi::CampaignRunner b(geometry(0), suite::factoryFor(code), 1);
+    EXPECT_EQ(a.golden().totalCycles, b.golden().totalCycles);
+    EXPECT_EQ(a.golden().output, b.golden().output);
+    ASSERT_EQ(a.golden().kernels.size(), b.golden().kernels.size());
+    for (size_t i = 0; i < a.golden().kernels.size(); ++i) {
+        EXPECT_EQ(a.golden().kernels[i].cycles,
+                  b.golden().kernels[i].cycles);
+        EXPECT_DOUBLE_EQ(a.golden().kernels[i].occupancy,
+                         b.golden().kernels[i].occupancy);
+    }
+}
+
+TEST_P(BenchmarkSweep, ProfilesAreSane)
+{
+    std::string code = GetParam();
+    fi::CampaignRunner runner(geometry(0), suite::factoryFor(code),
+                              1);
+    const fi::GoldenRun &g = runner.golden();
+    EXPECT_GT(g.totalCycles, 0u);
+    EXPECT_GT(g.appOccupancy, 0.0);
+    EXPECT_LE(g.appOccupancy, 1.0);
+    for (const auto &k : g.kernels) {
+        EXPECT_GT(k.cycles, 0u);
+        EXPECT_FALSE(k.windows.empty());
+        EXPECT_GT(k.regsPerThread, 0u);
+        EXPECT_GT(k.threadsMean, 0.0);
+        EXPECT_GE(k.ctasMean, 1.0 - 1e-9);
+        // Windows are disjoint and ordered.
+        for (size_t i = 1; i < k.windows.size(); ++i)
+            EXPECT_LE(k.windows[i - 1].second, k.windows[i].first);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTwelve, BenchmarkSweep,
+    ::testing::Values("HS", "KM", "SRAD1", "SRAD2", "LUD", "BFS",
+                      "PATHF", "NW", "GE", "BP", "VA", "SP"),
+    [](const auto &info) { return std::string(info.param); });
+
+// ---- campaign invariants per structure --------------------------------
+
+namespace {
+
+class TargetSweep
+    : public ::testing::TestWithParam<fi::FaultTarget>
+{};
+
+} // namespace
+
+TEST_P(TargetSweep, CampaignInvariants)
+{
+    fi::FaultTarget target = GetParam();
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4;
+    // KM uses local memory, shared is unused; both are legal targets.
+    fi::CampaignRunner runner(card, suite::factoryFor("KM"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "km_assign";
+    spec.target = target;
+    spec.runs = 15;
+    spec.keepRecords = true;
+
+    std::vector<fi::RunRecord> records;
+    fi::CampaignResult r = runner.run(spec, &records);
+    EXPECT_EQ(r.runs(), 15u);
+    ASSERT_EQ(records.size(), 15u);
+    for (const auto &rec : records) {
+        EXPECT_EQ(rec.plan.target, target);
+        EXPECT_LT(rec.plan.cycle, runner.golden().totalCycles);
+        // A finished run never exceeds the 2x timeout bound.
+        EXPECT_LE(rec.cycles, 2 * runner.golden().totalCycles);
+    }
+    // Replays are exact.
+    std::vector<fi::RunRecord> again;
+    fi::CampaignResult r2 = runner.run(spec, &again);
+    EXPECT_EQ(r.counts, r2.counts);
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].outcome, again[i].outcome);
+        EXPECT_EQ(records[i].cycles, again[i].cycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, TargetSweep,
+    ::testing::Values(fi::FaultTarget::RegisterFile,
+                      fi::FaultTarget::LocalMemory,
+                      fi::FaultTarget::SharedMemory,
+                      fi::FaultTarget::L1Data,
+                      fi::FaultTarget::L1Texture,
+                      fi::FaultTarget::L2),
+    [](const auto &info) {
+        return std::string(fi::targetName(info.param));
+    });
+
+// ---- unused structures are invulnerable --------------------------------
+
+TEST(MaskedByConstruction, SharedFaultsOnVecadd)
+{
+    // VA declares no shared memory: every shared-memory fault finds
+    // no CTA instance and is trivially masked.
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4;
+    fi::CampaignRunner runner(card, suite::factoryFor("VA"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = fi::FaultTarget::SharedMemory;
+    spec.runs = 20;
+    fi::CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.count(fi::Outcome::Masked), 20u);
+}
+
+TEST(MaskedByConstruction, TextureFaultsOnBfs)
+{
+    // BFS never issues a texture access: L1T lines stay invalid and
+    // every injection is reported unarmed -> masked.
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4;
+    fi::CampaignRunner runner(card, suite::factoryFor("BFS"), 1);
+    fi::CampaignSpec spec;
+    spec.kernelName = "bfs_expand";
+    spec.target = fi::FaultTarget::L1Texture;
+    spec.runs = 20;
+    spec.keepRecords = true;
+    std::vector<fi::RunRecord> records;
+    fi::CampaignResult r = runner.run(spec, &records);
+    EXPECT_EQ(r.count(fi::Outcome::Masked), 20u);
+    for (const auto &rec : records)
+        EXPECT_FALSE(rec.injection.armed);
+}
+
+// ---- cache model vs reference oracle ----------------------------------
+
+namespace {
+
+/** A trivially correct set-associative LRU reference. */
+class RefCache
+{
+  public:
+    RefCache(uint32_t sets, uint32_t ways, uint32_t lineSize)
+        : sets_(sets), ways_(ways), lineSize_(lineSize)
+    {}
+
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t line = addr / lineSize_;
+        uint32_t set = static_cast<uint32_t>(line % sets_);
+        uint64_t tag = line / sets_;
+        auto &v = content_[set];
+        for (size_t i = 0; i < v.size(); ++i) {
+            if (v[i] == tag) {
+                v.erase(v.begin() + static_cast<long>(i));
+                v.push_back(tag); // MRU at back
+                return true;
+            }
+        }
+        v.push_back(tag);
+        if (v.size() > ways_)
+            v.erase(v.begin());
+        return false;
+    }
+
+  private:
+    uint32_t sets_, ways_, lineSize_;
+    std::map<uint32_t, std::vector<uint64_t>> content_;
+};
+
+} // namespace
+
+TEST(CacheOracle, RandomReadSequencesMatchReferenceLru)
+{
+    mem::DeviceMemory dmem(4u << 20);
+    mem::Addr base = dmem.allocate(1u << 20);
+
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.lineSize = 128;
+    cfg.assoc = 4; // 8 sets
+    mem::Cache cache("oracle", cfg, &dmem);
+    RefCache ref(8, 4, 128);
+
+    Rng rng(0xCAFE);
+    for (int i = 0; i < 20000; ++i) {
+        // Cluster addresses to get a realistic hit mix.
+        uint64_t addr = base + rng.below(64) * 128 + rng.below(128);
+        ASSERT_EQ(cache.readAccess(addr), ref.access(addr))
+            << "access " << i;
+    }
+    EXPECT_GT(cache.stats().readMisses, 0u);
+    EXPECT_GT(cache.stats().reads - cache.stats().readMisses, 0u);
+}
+
+TEST(CacheOracle, MixedReadWriteBackSequencesMatchReference)
+{
+    mem::DeviceMemory dmem(4u << 20);
+    mem::Addr base = dmem.allocate(1u << 20);
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 2048;
+    cfg.lineSize = 128;
+    cfg.assoc = 2; // 8 sets
+    mem::Cache cache("oracle", cfg, &dmem);
+    RefCache ref(8, 2, 128);
+
+    Rng rng(0xBEEF);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t addr = base + rng.below(48) * 128;
+        if (rng.chance(0.3)) {
+            // WriteBack allocates exactly like a read in the
+            // reference model.
+            ASSERT_EQ(cache.writeAccess(addr,
+                                        mem::WritePolicy::WriteBack),
+                      ref.access(addr))
+                << "write " << i;
+        } else {
+            ASSERT_EQ(cache.readAccess(addr), ref.access(addr))
+                << "read " << i;
+        }
+    }
+}
+
+// ---- multi-bit faults --------------------------------------------------
+
+TEST(MultiBit, FullRegisterInversion)
+{
+    // 32 distinct bits in a 32-bit register invert it completely;
+    // the sweep checks distinct() never repeats a position.
+    Rng rng(1234);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto bits = rng.distinct(32, 32);
+        uint32_t v = 0xA5A5A5A5;
+        for (uint64_t b : bits)
+            v ^= 1u << b;
+        EXPECT_EQ(v, ~0xA5A5A5A5u);
+    }
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Run-log serialization and parser tests (the paper's "parser of the
+ * logged information" module).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fi/report_log.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+RunRecord
+sample()
+{
+    RunRecord r;
+    r.runIdx = 17;
+    r.plan.target = FaultTarget::L1Data;
+    r.plan.scope = FaultScope::Warp;
+    r.plan.cycle = 123456;
+    r.plan.nBits = 3;
+    r.plan.seed = 0xdeadbeef;
+    r.injection.armed = true;
+    r.injection.detail = "core2 line 14";
+    r.outcome = Outcome::SDC;
+    r.cycles = 98765;
+    return r;
+}
+
+} // namespace
+
+TEST(ReportLog, FormatContainsAllFields)
+{
+    std::string line = formatRunRecord(sample());
+    EXPECT_NE(line.find("run=17"), std::string::npos);
+    EXPECT_NE(line.find("target=l1_data"), std::string::npos);
+    EXPECT_NE(line.find("scope=warp"), std::string::npos);
+    EXPECT_NE(line.find("cycle=123456"), std::string::npos);
+    EXPECT_NE(line.find("bits=3"), std::string::npos);
+    EXPECT_NE(line.find("armed=1"), std::string::npos);
+    EXPECT_NE(line.find("outcome=SDC"), std::string::npos);
+    // Spaces in the detail are escaped so the line stays one token
+    // per field.
+    EXPECT_NE(line.find("detail=core2_line_14"), std::string::npos);
+}
+
+TEST(ReportLog, RoundTrip)
+{
+    RunRecord orig = sample();
+    RunRecord back = parseRunRecord(formatRunRecord(orig));
+    EXPECT_EQ(back.runIdx, orig.runIdx);
+    EXPECT_EQ(back.plan.target, orig.plan.target);
+    EXPECT_EQ(back.plan.scope, orig.plan.scope);
+    EXPECT_EQ(back.plan.cycle, orig.plan.cycle);
+    EXPECT_EQ(back.plan.nBits, orig.plan.nBits);
+    EXPECT_EQ(back.plan.seed, orig.plan.seed);
+    EXPECT_EQ(back.injection.armed, orig.injection.armed);
+    EXPECT_EQ(back.outcome, orig.outcome);
+    EXPECT_EQ(back.cycles, orig.cycles);
+}
+
+TEST(ReportLog, ParseAggregatesOutcomes)
+{
+    std::vector<RunRecord> records;
+    for (int i = 0; i < 5; ++i) {
+        RunRecord r = sample();
+        r.runIdx = static_cast<uint32_t>(i);
+        r.outcome = i < 3 ? Outcome::Masked : Outcome::Crash;
+        records.push_back(r);
+    }
+    std::istringstream in(formatRunLog(records));
+    CampaignResult result = parseRunLog(in);
+    EXPECT_EQ(result.runs(), 5u);
+    EXPECT_EQ(result.count(Outcome::Masked), 3u);
+    EXPECT_EQ(result.count(Outcome::Crash), 2u);
+}
+
+TEST(ReportLog, ParserSkipsCommentsAndBlanks)
+{
+    std::istringstream in(
+        "# header comment\n"
+        "\n"
+        "   \n"
+        "run=0 target=l2 outcome=Timeout\n");
+    CampaignResult result = parseRunLog(in);
+    EXPECT_EQ(result.runs(), 1u);
+    EXPECT_EQ(result.count(Outcome::Timeout), 1u);
+}
+
+TEST(ReportLog, MalformedLinesAreFatal)
+{
+    EXPECT_THROW(parseRunRecord("not key-value"), FatalError);
+    EXPECT_THROW(parseRunRecord("bogus=1 outcome=SDC"), FatalError);
+    EXPECT_THROW(parseRunRecord("run=1 target=l2"), FatalError);
+    EXPECT_THROW(parseRunRecord("outcome=NotAnOutcome"), FatalError);
+}
+
+TEST(ReportLog, MinimalLineParses)
+{
+    RunRecord r = parseRunRecord("outcome=Masked");
+    EXPECT_EQ(r.outcome, Outcome::Masked);
+    EXPECT_EQ(r.runIdx, 0u);
+    EXPECT_FALSE(r.injection.armed);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Disassembler round-trip property: for every kernel of every suite
+ * benchmark (and for hand-written kernels covering each syntactic
+ * construct), assemble(disassembleSource(k)) must reproduce the
+ * exact instruction stream — opcodes, operands, branch structure and
+ * reconvergence points — and the resource declarations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using namespace gpufi::isa;
+
+namespace {
+
+void
+expectSameInstruction(const Instruction &a, const Instruction &b,
+                      int pc, const std::string &kernel)
+{
+    SCOPED_TRACE(kernel + " pc " + std::to_string(pc));
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.dst, b.dst);
+    for (int s = 0; s < 3; ++s) {
+        EXPECT_EQ(a.src[s].kind, b.src[s].kind);
+        if (a.src[s].kind != OperandKind::None)
+            EXPECT_EQ(a.src[s].value, b.src[s].value);
+    }
+    EXPECT_EQ(a.memBase, b.memBase);
+    EXPECT_EQ(a.memOffset, b.memOffset);
+    EXPECT_EQ(a.branchTarget, b.branchTarget);
+    EXPECT_EQ(a.reconvergePc, b.reconvergePc);
+}
+
+void
+expectRoundTrip(const Kernel &k)
+{
+    std::string source = disassembleSource(k);
+    Kernel again = assembleKernel(source);
+    EXPECT_EQ(again.name, k.name);
+    EXPECT_EQ(again.numRegs, k.numRegs);
+    EXPECT_EQ(again.sharedBytes, k.sharedBytes);
+    EXPECT_EQ(again.localBytes, k.localBytes);
+    ASSERT_EQ(again.size(), k.size()) << source;
+    for (int pc = 0; pc < k.size(); ++pc)
+        expectSameInstruction(k.code[static_cast<size_t>(pc)],
+                              again.code[static_cast<size_t>(pc)],
+                              pc, k.name);
+}
+
+class SuiteKernelRoundTrip
+    : public ::testing::TestWithParam<const char *>
+{};
+
+} // namespace
+
+TEST_P(SuiteKernelRoundTrip, DisassembleAssembleIsIdentity)
+{
+    const char *source = nullptr;
+    for (const auto &b : suite::benchmarks())
+        if (b.code == GetParam())
+            source = b.source;
+    ASSERT_NE(source, nullptr);
+    Program prog = assemble(source);
+    ASSERT_FALSE(prog.kernels.empty());
+    for (const auto &k : prog.kernels)
+        expectRoundTrip(k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTwelve, SuiteKernelRoundTrip,
+    ::testing::Values("HS", "KM", "SRAD1", "SRAD2", "LUD", "BFS",
+                      "PATHF", "NW", "GE", "BP", "VA", "SP"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(RoundTrip, AllOperandKinds)
+{
+    const char src[] = R"(
+.kernel ops
+.reg 12
+.smem 128
+.local 32
+    mov   r0, %tid_x
+    mov   r1, 42
+    mov   r2, -1
+    mov   r3, 1.5
+    fma   r4, r0, r1, r2
+    sel   r5, r0, r1, r2
+    ldg   r6, [r0+16]
+    stg   r6, [r0-4]
+    lds   r7, [r1]
+    sts   r7, [r1+8]
+    ldl   r8, [r2]
+    stl   r8, [r2+4]
+    ldt   r9, [r0]
+    param r10, 3
+    bar
+    nop
+    exit
+)";
+    expectRoundTrip(assembleKernel(src));
+}
+
+TEST(RoundTrip, BranchesAndLoops)
+{
+    const char src[] = R"(
+.kernel branches
+.reg 6
+head:
+    sub   r0, r0, 1
+    brz   r0, out
+    brnz  r1, head
+    bra   head
+out:
+    exit
+)";
+    expectRoundTrip(assembleKernel(src));
+}
+
+TEST(RoundTrip, NestedDivergence)
+{
+    const char src[] = R"(
+.kernel nest
+.reg 6
+    brz   r0, a
+    brz   r1, b
+    mov   r2, 1
+    bra   join1
+b:
+    mov   r2, 2
+join1:
+    bra   join0
+a:
+    mov   r2, 3
+join0:
+    exit
+)";
+    expectRoundTrip(assembleKernel(src));
+}
+
+TEST(RoundTrip, StoreImmediates)
+{
+    const char src[] = R"(
+.kernel sti
+.reg 4
+    stg   1, [r0]
+    sts   0, [r1+4]
+    exit
+)";
+    expectRoundTrip(assembleKernel(src));
+}

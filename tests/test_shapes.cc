@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Paper-shape regression tests: small fixed-seed campaigns must
+ * reproduce the qualitative findings of the paper's evaluation —
+ * SDC dominance, the multiplicity effect, the technology effect on
+ * FIT, and the low-vs-high vulnerability ordering of benchmarks.
+ * Everything is seeded, so these are deterministic, not flaky.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fi/avf.hh"
+#include "fi/campaign.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+sim::GpuConfig
+smallCard(const sim::GpuConfig &base)
+{
+    sim::GpuConfig c = base;
+    c.numSms = 4;
+    c.validate();
+    return c;
+}
+
+/** Cycle-weighted register-file failure ratio of a whole app. */
+double
+regfileFr(const sim::GpuConfig &card, const std::string &bench,
+          uint32_t runs, uint32_t bits = 1)
+{
+    CampaignRunner runner(card, suite::factoryFor(bench), 1);
+    double fr = 0.0;
+    uint64_t cycles = 0;
+    for (const auto &prof : runner.golden().kernels) {
+        CampaignSpec spec;
+        spec.kernelName = prof.name;
+        spec.target = FaultTarget::RegisterFile;
+        spec.nBits = bits;
+        spec.runs = runs;
+        spec.seed = 11;
+        fr += runner.run(spec).failureRatio() *
+              static_cast<double>(prof.cycles);
+        cycles += prof.cycles;
+    }
+    return fr / static_cast<double>(cycles);
+}
+
+} // namespace
+
+TEST(PaperShapes, SdcDominatesCrashOverTheSuite)
+{
+    // Fig. 1: the dominant failure class is SDC; crashes are rare.
+    sim::GpuConfig card = smallCard(sim::makeRtx2060());
+    uint32_t sdc = 0, crash = 0;
+    for (const char *bench : {"HS", "KM", "SRAD1", "GE", "VA"}) {
+        CampaignRunner runner(card, suite::factoryFor(bench), 1);
+        for (const auto &prof : runner.golden().kernels) {
+            CampaignSpec spec;
+            spec.kernelName = prof.name;
+            spec.target = FaultTarget::RegisterFile;
+            spec.runs = 60;
+            spec.seed = 21;
+            CampaignResult r = runner.run(spec);
+            sdc += r.count(Outcome::SDC);
+            crash += r.count(Outcome::Crash);
+        }
+    }
+    EXPECT_GT(sdc, crash);
+}
+
+TEST(PaperShapes, TripleBitMoreHarmfulThanSingleBit)
+{
+    // Fig. 6: triple-bit faults raise the failure probability.
+    sim::GpuConfig card = smallCard(sim::makeRtx2060());
+    double single = regfileFr(card, "KM", 80, 1);
+    double triple = regfileFr(card, "KM", 80, 3);
+    EXPECT_GT(triple, single);
+}
+
+TEST(PaperShapes, OlderTechnologyDominatesFit)
+{
+    // Fig. 7: the 28 nm GTX Titan's FIT exceeds the 12 nm RTX 2060's
+    // for the same workload (raw FIT/bit is ~6.7x higher).
+    sim::GpuConfig rtx = smallCard(sim::makeRtx2060());
+    sim::GpuConfig titan = smallCard(sim::makeGtxTitan());
+
+    auto fitFor = [&](const sim::GpuConfig &card) {
+        CampaignRunner runner(card, suite::factoryFor("HS"), 1);
+        std::vector<KernelCampaignSet> sets;
+        for (const auto &prof : runner.golden().kernels) {
+            KernelCampaignSet set;
+            set.profile = prof;
+            CampaignSpec spec;
+            spec.kernelName = prof.name;
+            spec.target = FaultTarget::RegisterFile;
+            spec.runs = 60;
+            spec.seed = 31;
+            set.byStructure[FaultTarget::RegisterFile] =
+                runner.run(spec);
+            sets.push_back(std::move(set));
+        }
+        return computeReport(card, sets).totalFit;
+    };
+    EXPECT_GT(fitFor(titan), fitFor(rtx));
+}
+
+TEST(PaperShapes, RegisterFileDominatesStructureContribution)
+{
+    // Fig. 2: the register file is the dominant contributor to the
+    // total AVF for HS (largest structure holding live state).
+    sim::GpuConfig card = smallCard(sim::makeRtx2060());
+    CampaignRunner runner(card, suite::factoryFor("HS"), 1);
+    KernelCampaignSet set;
+    set.profile = runner.golden().profile("hotspot");
+    for (FaultTarget t : {FaultTarget::RegisterFile,
+                          FaultTarget::SharedMemory,
+                          FaultTarget::L1Data, FaultTarget::L1Texture,
+                          FaultTarget::L2}) {
+        CampaignSpec spec;
+        spec.kernelName = "hotspot";
+        spec.target = t;
+        spec.runs = 60;
+        spec.seed = 41;
+        set.byStructure[t] = runner.run(spec);
+    }
+    StructureSizes sizes = structureSizes(card, 0);
+    double total = static_cast<double>(sizes.total());
+    double regContribution =
+        set.byStructure[FaultTarget::RegisterFile].failureRatio() *
+        dfReg(card, set.profile) *
+        static_cast<double>(sizes.of(FaultTarget::RegisterFile)) /
+        total;
+    double rest = kernelAvf(card, set) - regContribution;
+    EXPECT_GT(regContribution, rest);
+}
+
+TEST(PaperShapes, WarpScopeMoreHarmfulWhereMaskingIsProbabilistic)
+{
+    // Table IV: warp-scope faults strike the same register bit in
+    // every lane. Because liveness of a given (register, bit) is
+    // highly correlated across lanes, this only raises the failure
+    // probability for workloads whose per-thread masking is itself
+    // probabilistic — KM's distance comparisons are the clearest
+    // case in the suite.
+    sim::GpuConfig card = smallCard(sim::makeRtx2060());
+    CampaignRunner runner(card, suite::factoryFor("KM"), 1);
+    CampaignSpec spec;
+    spec.kernelName = "km_assign";
+    spec.target = FaultTarget::RegisterFile;
+    spec.runs = 150;
+    spec.seed = 51;
+    spec.scope = FaultScope::Thread;
+    double thread = runner.run(spec).failureRatio();
+    spec.scope = FaultScope::Warp;
+    double warp = runner.run(spec).failureRatio();
+    EXPECT_GT(warp, thread);
+}

@@ -1,0 +1,629 @@
+/**
+ * @file
+ * Simulator behavior tests: arithmetic through the pipeline, SIMT
+ * divergence and reconvergence, loops, barriers, shared/local/texture
+ * memory, special registers, CTA scheduling under resource limits,
+ * crash and timeout semantics, statistics, and determinism.
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hh"
+
+using namespace gpufi;
+using gpufi_test::SimHarness;
+using gpufi_test::tinyConfig;
+
+namespace {
+
+/** Store each thread's global id scaled by a parameter. */
+const char kGidKernel[] = R"(
+.kernel gid
+.reg 8
+# params: 0=&out 1=scale
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2
+    param r3, 1
+    mul   r4, r0, r3
+    shl   r5, r0, 2
+    param r6, 0
+    add   r6, r6, r5
+    stg   r4, [r6]
+    exit
+)";
+
+} // namespace
+
+TEST(Sim, GlobalThreadIdsAcrossCtas)
+{
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(64 * 4);
+    h.run(kGidKernel, {4, 1}, {16, 1}, {uint32_t(out), 3});
+    for (uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), i * 3) << i;
+}
+
+TEST(Sim, PartialWarpExecutes)
+{
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(10 * 4);
+    h.run(kGidKernel, {1, 1}, {10, 1}, {uint32_t(out), 7});
+    for (uint32_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), i * 7) << i;
+}
+
+TEST(Sim, SpecialRegisters2D)
+{
+    const char src[] = R"(
+.kernel sregs
+.reg 10
+# out[linear] = tid_y * 1000 + ctaid_y * 100 + laneid
+    mov   r0, %ctaid_x
+    mov   r1, %nctaid_x
+    mov   r2, %ctaid_y
+    mul   r3, r2, r1
+    add   r3, r3, r0        # linear cta
+    mov   r4, %ntid_x
+    mov   r5, %ntid_y
+    mul   r6, r4, r5
+    mul   r3, r3, r6        # cta thread base
+    mov   r7, %tid_y
+    mul   r8, r7, r4
+    mov   r9, %tid_x
+    add   r8, r8, r9
+    add   r3, r3, r8        # global linear thread
+    mul   r7, r7, 1000
+    mul   r8, r2, 100
+    add   r7, r7, r8
+    mov   r8, %laneid
+    add   r7, r7, r8
+    shl   r3, r3, 2
+    param r8, 0
+    add   r8, r8, r3
+    stg   r7, [r8]
+    exit
+)";
+    SimHarness h;
+    // 2x2 grid of 4x2 blocks = 32 threads.
+    mem::Addr out = h.mem.allocate(32 * 4);
+    h.run(src, {2, 2}, {4, 2}, {uint32_t(out)});
+    for (uint32_t cy = 0; cy < 2; ++cy)
+        for (uint32_t cx = 0; cx < 2; ++cx)
+            for (uint32_t ty = 0; ty < 2; ++ty)
+                for (uint32_t tx = 0; tx < 4; ++tx) {
+                    uint32_t linear =
+                        ((cy * 2 + cx) * 8) + ty * 4 + tx;
+                    uint32_t lane = ty * 4 + tx; // one warp per CTA
+                    EXPECT_EQ(h.mem.read32(out + linear * 4),
+                              ty * 1000 + cy * 100 + lane);
+                }
+}
+
+TEST(Sim, DivergenceReconverges)
+{
+    // Odd lanes take one path, even lanes the other; afterwards all
+    // lanes multiply by 10: result = (odd ? 100+i : 200+i) * 10.
+    const char src[] = R"(
+.kernel div
+.reg 8
+    mov   r0, %tid_x
+    and   r1, r0, 1
+    brnz  r1, odd
+    add   r2, r0, 200
+    bra   join
+odd:
+    add   r2, r0, 100
+join:
+    mul   r2, r2, 10
+    shl   r3, r0, 2
+    param r4, 0
+    add   r4, r4, r3
+    stg   r2, [r4]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(32 * 4);
+    h.run(src, {1, 1}, {32, 1}, {uint32_t(out)});
+    for (uint32_t i = 0; i < 32; ++i) {
+        uint32_t expect = ((i & 1) ? 100 + i : 200 + i) * 10;
+        EXPECT_EQ(h.mem.read32(out + i * 4), expect) << i;
+    }
+}
+
+TEST(Sim, NestedDivergence)
+{
+    const char src[] = R"(
+.kernel nest
+.reg 8
+    mov   r0, %tid_x
+    and   r1, r0, 1
+    brz   r1, even
+    and   r2, r0, 2
+    brz   r2, oddlow
+    mov   r3, 33
+    bra   innerjoin
+oddlow:
+    mov   r3, 11
+innerjoin:
+    bra   join
+even:
+    mov   r3, 44
+join:
+    shl   r4, r0, 2
+    param r5, 0
+    add   r5, r5, r4
+    stg   r3, [r5]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(8 * 4);
+    h.run(src, {1, 1}, {8, 1}, {uint32_t(out)});
+    const uint32_t expect[8] = {44, 11, 44, 33, 44, 11, 44, 33};
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), expect[i]) << i;
+}
+
+TEST(Sim, DataDependentLoopTripCounts)
+{
+    // Thread i loops i+1 times accumulating 5.
+    const char src[] = R"(
+.kernel loop
+.reg 8
+    mov   r0, %tid_x
+    add   r1, r0, 1
+    mov   r2, 0
+again:
+    add   r2, r2, 5
+    sub   r1, r1, 1
+    brnz  r1, again
+    shl   r3, r0, 2
+    param r4, 0
+    add   r4, r4, r3
+    stg   r2, [r4]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(32 * 4);
+    h.run(src, {1, 1}, {32, 1}, {uint32_t(out)});
+    for (uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), (i + 1) * 5) << i;
+}
+
+TEST(Sim, BarrierOrdersSharedMemory)
+{
+    // Each thread writes shared[tid], then after the barrier reads
+    // shared[ntid-1-tid] — wrong without a working barrier across
+    // the CTA's warps.
+    const char src[] = R"(
+.kernel shswap
+.reg 10
+.smem 512
+    mov   r0, %tid_x
+    mul   r1, r0, 17
+    shl   r2, r0, 2
+    sts   r1, [r2]
+    bar
+    mov   r3, %ntid_x
+    sub   r3, r3, 1
+    sub   r3, r3, r0        # partner
+    shl   r4, r3, 2
+    lds   r5, [r4]
+    shl   r6, r0, 2
+    param r7, 0
+    add   r7, r7, r6
+    stg   r5, [r7]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(128 * 4);
+    h.run(src, {1, 1}, {128, 1}, {uint32_t(out)});
+    for (uint32_t i = 0; i < 128; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), (127 - i) * 17) << i;
+}
+
+TEST(Sim, BarrierInUniformLoop)
+{
+    // Warps ping-pong through shared memory over 4 barrier rounds.
+    const char src[] = R"(
+.kernel rounds
+.reg 10
+.smem 512
+    mov   r0, %tid_x
+    shl   r1, r0, 2
+    sts   r0, [r1]
+    bar
+    mov   r2, 0             # round
+round:
+    setge r3, r2, 4
+    brnz  r3, fin
+    mov   r4, %ntid_x
+    sub   r4, r4, 1
+    sub   r4, r4, r0
+    shl   r5, r4, 2
+    lds   r6, [r5]          # partner's value
+    bar
+    add   r6, r6, 1
+    sts   r6, [r1]
+    bar
+    add   r2, r2, 1
+    bra   round
+fin:
+    lds   r7, [r1]
+    param r8, 0
+    add   r8, r8, r1
+    stg   r7, [r8]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(64 * 4);
+    h.run(src, {1, 1}, {64, 1}, {uint32_t(out)});
+    // Round r: new[t] = old[partner] + 1. Starting from identity,
+    // after 4 rounds: value alternates between t+rounds and
+    // partner+rounds; with even rounds it is t + 4.
+    for (uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), i + 4) << i;
+}
+
+TEST(Sim, LocalMemoryIsPerThread)
+{
+    const char src[] = R"(
+.kernel loc
+.reg 8
+.local 16
+    mov   r0, %ctaid_x
+    mov   r1, %ntid_x
+    mul   r0, r0, r1
+    mov   r2, %tid_x
+    add   r0, r0, r2
+    mul   r3, r0, 3
+    mov   r4, 0
+    stl   r3, [r4]
+    stl   r0, [r4+4]
+    ldl   r5, [r4]
+    ldl   r6, [r4+4]
+    add   r5, r5, r6        # 3*gid + gid
+    shl   r7, r0, 2
+    param r3, 0
+    add   r3, r3, r7
+    stg   r5, [r3]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(64 * 4);
+    h.run(src, {2, 1}, {32, 1}, {uint32_t(out)});
+    for (uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), 4 * i) << i;
+}
+
+TEST(Sim, TextureReadsBoundRegion)
+{
+    const char src[] = R"(
+.kernel tex
+.reg 8
+    mov   r0, %tid_x
+    shl   r1, r0, 2
+    param r2, 0
+    add   r2, r2, r1
+    ldt   r3, [r2]
+    mul   r3, r3, 2
+    param r4, 1
+    add   r4, r4, r1
+    stg   r3, [r4]
+    exit
+)";
+    SimHarness h;
+    mem::Addr texData = h.mem.allocate(32 * 4);
+    for (uint32_t i = 0; i < 32; ++i)
+        h.mem.write32(texData + i * 4, i + 100);
+    h.mem.bindTexture(texData, 32 * 4);
+    mem::Addr out = h.mem.allocate(32 * 4);
+    h.run(src, {1, 1}, {32, 1}, {uint32_t(texData), uint32_t(out)});
+    for (uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), (i + 100) * 2) << i;
+}
+
+TEST(Sim, TextureFetchOutsideBindingClamps)
+{
+    // Texture units clamp out-of-range addresses to the binding's
+    // edge instead of faulting.
+    const char src[] = R"(
+.kernel texoob
+.reg 4
+    param r0, 0
+    ldt   r1, [r0]
+    param r2, 1
+    stg   r1, [r2]
+    exit
+)";
+    SimHarness h;
+    mem::Addr texData = h.mem.allocate(64);
+    h.mem.write32(texData + 60, 0x1234);  // last texel
+    h.mem.bindTexture(texData, 64);
+    mem::Addr other = h.mem.allocate(64);
+    h.run(src, {1, 1}, {1, 1}, {uint32_t(other), uint32_t(other)});
+    EXPECT_EQ(h.mem.read32(other), 0x1234u);
+}
+
+TEST(Sim, OutOfBoundsGlobalAccessCrashes)
+{
+    const char src[] = R"(
+.kernel oob
+.reg 4
+    mov   r0, 0x40000000
+    ldg   r1, [r0]
+    exit
+)";
+    SimHarness h;
+    EXPECT_THROW(h.run(src, {1, 1}, {1, 1}, {}), mem::DeviceFault);
+}
+
+TEST(Sim, NullPointerCrashes)
+{
+    const char src[] = R"(
+.kernel nullp
+.reg 4
+    mov   r0, 0
+    stg   r0, [r0]
+    exit
+)";
+    SimHarness h;
+    EXPECT_THROW(h.run(src, {1, 1}, {1, 1}, {}), mem::DeviceFault);
+}
+
+TEST(Sim, LocalAccessBeyondAllocationCrashes)
+{
+    const char src[] = R"(
+.kernel locoob
+.reg 4
+.local 8
+    mov   r0, 64
+    ldl   r1, [r0]
+    exit
+)";
+    SimHarness h;
+    EXPECT_THROW(h.run(src, {1, 1}, {1, 1}, {}), mem::DeviceFault);
+}
+
+TEST(Sim, SharedAccessBeyondAllocationCrashes)
+{
+    const char src[] = R"(
+.kernel shoob
+.reg 4
+.smem 64
+    mov   r0, 4096
+    lds   r1, [r0]
+    exit
+)";
+    SimHarness h;
+    EXPECT_THROW(h.run(src, {1, 1}, {1, 1}, {}), mem::DeviceFault);
+}
+
+TEST(Sim, InfiniteLoopHitsCycleLimit)
+{
+    const char src[] = R"(
+.kernel spin
+.reg 4
+forever:
+    bra   forever
+)";
+    SimHarness h;
+    h.program = isa::assemble(src);
+    h.gpu = std::make_unique<sim::Gpu>(tinyConfig(), h.mem);
+    h.gpu->setCycleLimit(5000);
+    EXPECT_THROW(h.gpu->launch(h.program.kernels.front(), {1, 1},
+                               {32, 1}, {}),
+                 sim::TimeoutError);
+}
+
+TEST(Sim, MoreCtasThanCapacityCompletes)
+{
+    SimHarness h;
+    // tiny config: 2 SMs x 4 CTAs resident; launch 32 CTAs.
+    mem::Addr out = h.mem.allocate(32 * 64 * 4);
+    h.run(kGidKernel, {32, 1}, {64, 1}, {uint32_t(out), 1});
+    for (uint32_t i = 0; i < 32 * 64; ++i)
+        ASSERT_EQ(h.mem.read32(out + i * 4), i);
+}
+
+TEST(Sim, SharedMemoryLimitGatesResidency)
+{
+    // Each CTA uses 8KB of the 16KB per-SM shared memory: at most 2
+    // resident per SM even though the CTA limit is 4.
+    const char src[] = R"(
+.kernel big
+.reg 6
+.smem 8192
+    mov   r0, %ctaid_x
+    shl   r1, r0, 2
+    param r2, 0
+    add   r2, r2, r1
+    stg   r0, [r2]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(8 * 4);
+    auto stats = h.run(src, {8, 1}, {32, 1}, {uint32_t(out)});
+    EXPECT_LE(stats.ctasMeanPerSm, 2.0);
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), i);
+}
+
+TEST(Sim, LaunchStatsBasics)
+{
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(128 * 4);
+    auto stats = h.run(kGidKernel, {2, 1}, {64, 1},
+                       {uint32_t(out), 1});
+    EXPECT_EQ(stats.kernelName, "gid");
+    EXPECT_GT(stats.cycles(), 0u);
+    EXPECT_GT(stats.warpInstructions, 0u);
+    EXPECT_EQ(stats.totalThreads, 128u);
+    EXPECT_EQ(stats.regsPerThread, 8u);
+    EXPECT_GT(stats.occupancy, 0.0);
+    EXPECT_LE(stats.occupancy, 1.0);
+    EXPECT_GT(stats.threadsMeanPerSm, 0.0);
+    EXPECT_GE(stats.ctasMeanPerSm, 1.0);
+}
+
+TEST(Sim, DeterministicCyclesAndOutput)
+{
+    std::vector<uint64_t> cycles;
+    std::vector<uint32_t> firstWord;
+    for (int rep = 0; rep < 3; ++rep) {
+        SimHarness h;
+        mem::Addr out = h.mem.allocate(64 * 4);
+        auto stats = h.run(kGidKernel, {4, 1}, {16, 1},
+                           {uint32_t(out), 3});
+        cycles.push_back(stats.cycles());
+        firstWord.push_back(h.mem.read32(out + 4));
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(cycles[1], cycles[2]);
+    EXPECT_EQ(firstWord[0], firstWord[1]);
+}
+
+TEST(Sim, GtoAndLrrSameFunctionalResult)
+{
+    for (auto policy : {sim::SchedPolicy::LRR, sim::SchedPolicy::GTO}) {
+        SimHarness h;
+        auto cfg = tinyConfig();
+        cfg.schedPolicy = policy;
+        mem::Addr out = h.mem.allocate(128 * 4);
+        h.run(kGidKernel, {4, 1}, {32, 1}, {uint32_t(out), 9}, cfg);
+        for (uint32_t i = 0; i < 128; ++i)
+            ASSERT_EQ(h.mem.read32(out + i * 4), i * 9);
+    }
+}
+
+TEST(Sim, FloatArithmeticThroughPipeline)
+{
+    const char src[] = R"(
+.kernel fp
+.reg 8
+    mov   r0, %tid_x
+    i2f   r1, r0
+    mov   r2, 1.5
+    fmul  r1, r1, r2
+    mov   r3, 2.0
+    fma   r1, r1, r3, r2    # tid*1.5*2 + 1.5
+    f2i   r4, r1
+    shl   r5, r0, 2
+    param r6, 0
+    add   r6, r6, r5
+    stg   r4, [r6]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(16 * 4);
+    h.run(src, {1, 1}, {16, 1}, {uint32_t(out)});
+    for (uint32_t i = 0; i < 16; ++i) {
+        float expect = std::fmaf(static_cast<float>(i) * 1.5f, 2.0f,
+                                 1.5f);
+        EXPECT_EQ(h.mem.read32(out + i * 4),
+                  static_cast<uint32_t>(static_cast<int32_t>(expect)))
+            << i;
+    }
+}
+
+TEST(Sim, ScoreboardEnforcesRawThroughLoad)
+{
+    // r1 is loaded then immediately consumed: without a working
+    // scoreboard the add would read the stale value.
+    const char src[] = R"(
+.kernel raw
+.reg 6
+    param r0, 0
+    ldg   r1, [r0]
+    add   r1, r1, 1
+    param r2, 1
+    stg   r1, [r2]
+    exit
+)";
+    SimHarness h;
+    mem::Addr in = h.mem.allocate(4);
+    h.mem.write32(in, 41);
+    mem::Addr out = h.mem.allocate(4);
+    h.run(src, {1, 1}, {1, 1}, {uint32_t(in), uint32_t(out)});
+    EXPECT_EQ(h.mem.read32(out), 42u);
+}
+
+TEST(Sim, MultipleLaunchesAccumulateCycles)
+{
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(32 * 4);
+    h.program = isa::assemble(kGidKernel);
+    h.gpu = std::make_unique<sim::Gpu>(tinyConfig(), h.mem);
+    auto s1 = h.gpu->launch(h.program.kernels.front(), {1, 1},
+                            {32, 1}, {uint32_t(out), 1});
+    auto s2 = h.gpu->launch(h.program.kernels.front(), {1, 1},
+                            {32, 1}, {uint32_t(out), 2});
+    EXPECT_EQ(s1.endCycle, s2.startCycle);
+    EXPECT_EQ(h.gpu->cycle(), s2.endCycle);
+    EXPECT_EQ(h.mem.read32(out + 4), 2u);
+}
+
+TEST(Sim, LaunchValidatesResources)
+{
+    SimHarness h;
+    h.program = isa::assemble(kGidKernel);
+    h.gpu = std::make_unique<sim::Gpu>(tinyConfig(), h.mem);
+    // 512 threads per block > 256 maxThreadsPerSm.
+    EXPECT_THROW(h.gpu->launch(h.program.kernels.front(), {1, 1},
+                               {512, 1}, {0, 0}),
+                 FatalError);
+    // Missing kernel parameters.
+    EXPECT_THROW(h.gpu->launch(h.program.kernels.front(), {1, 1},
+                               {32, 1}, {}),
+                 FatalError);
+}
+
+TEST(Sim, IntegerDivisionByZeroDoesNotTrap)
+{
+    const char src[] = R"(
+.kernel div0
+.reg 6
+    mov   r0, 7
+    mov   r1, 0
+    div   r2, r0, r1
+    rem   r3, r0, r1
+    param r4, 0
+    stg   r2, [r4]
+    stg   r3, [r4+4]
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(8);
+    h.run(src, {1, 1}, {1, 1}, {uint32_t(out)});
+    EXPECT_EQ(h.mem.read32(out), 0xffffffffu);
+    EXPECT_EQ(h.mem.read32(out + 4), 7u);
+}
+
+TEST(Sim, WarpsExitWhileOthersBarrier)
+{
+    // Warp 0 exits immediately; warps 1-3 still pass their barrier.
+    const char src[] = R"(
+.kernel exits
+.reg 8
+    mov   r0, %warpid
+    brz   r0, out
+    bar
+    mov   r1, %tid_x
+    shl   r2, r1, 2
+    param r3, 0
+    add   r3, r3, r2
+    stg   r0, [r3]
+out:
+    exit
+)";
+    SimHarness h;
+    mem::Addr out = h.mem.allocate(128 * 4);
+    h.run(src, {1, 1}, {128, 1}, {uint32_t(out)});
+    for (uint32_t i = 32; i < 128; ++i)
+        EXPECT_EQ(h.mem.read32(out + i * 4), i / 32) << i;
+}

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Golden-output validation: every suite benchmark's simulated result
+ * must match a host-side reference implementation bit-for-bit. The
+ * references replicate the kernels' exact operation order and
+ * floating-point primitives (fmaf, division, exp), so any mismatch
+ * indicates a simulator or kernel bug, not rounding noise.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "fi/campaign.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+
+namespace {
+
+std::vector<float>
+randomFloats(size_t n, uint64_t seed, float lo, float hi)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.uniformf(lo, hi);
+    return v;
+}
+
+std::vector<uint8_t>
+goldenOutput(const std::string &code)
+{
+    fi::CampaignRunner runner(sim::makeRtx2060(),
+                              suite::factoryFor(code), 1);
+    return runner.golden().output;
+}
+
+std::vector<float>
+asFloats(const std::vector<uint8_t> &bytes)
+{
+    std::vector<float> v(bytes.size() / 4);
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+}
+
+std::vector<int32_t>
+asInts(const std::vector<uint8_t> &bytes)
+{
+    std::vector<int32_t> v(bytes.size() / 4);
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+}
+
+void
+expectBitExact(const std::vector<float> &expected,
+               const std::vector<float> &actual)
+{
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        uint32_t e, a;
+        std::memcpy(&e, &expected[i], 4);
+        std::memcpy(&a, &actual[i], 4);
+        ASSERT_EQ(e, a) << "index " << i << ": expected "
+                        << expected[i] << ", got " << actual[i];
+    }
+}
+
+} // namespace
+
+TEST(SuiteGolden, VectorAdd)
+{
+    auto a = randomFloats(8192, 0xA001, -8.0f, 8.0f);
+    auto b = randomFloats(8192, 0xA002, -8.0f, 8.0f);
+    std::vector<float> expected(8192);
+    for (size_t i = 0; i < 8192; ++i)
+        expected[i] = a[i] + b[i];
+    expectBitExact(expected, asFloats(goldenOutput("VA")));
+}
+
+TEST(SuiteGolden, ScalarProduct)
+{
+    constexpr uint32_t vectors = 8, segLen = 1024, block = 256;
+    auto a = randomFloats(vectors * segLen, 0xB001, -4.0f, 4.0f);
+    auto b = randomFloats(vectors * segLen, 0xB002, -4.0f, 4.0f);
+    std::vector<float> expected(vectors);
+    for (uint32_t v = 0; v < vectors; ++v) {
+        std::vector<float> partial(block, 0.0f);
+        for (uint32_t t = 0; t < block; ++t)
+            for (uint32_t i = v * segLen + t; i < (v + 1) * segLen;
+                 i += block)
+                partial[t] = std::fmaf(a[i], b[i], partial[t]);
+        for (uint32_t s = block / 2; s > 0; s /= 2)
+            for (uint32_t t = 0; t < s; ++t)
+                partial[t] += partial[t + s];
+        expected[v] = partial[0];
+    }
+    expectBitExact(expected, asFloats(goldenOutput("SP")));
+}
+
+TEST(SuiteGolden, Backprop)
+{
+    constexpr uint32_t in = 256, hid = 32;
+    auto input = randomFloats(in, 0xC001, 0.0f, 1.0f);
+    auto w = randomFloats(in * hid, 0xC002, -0.5f, 0.5f);
+    auto delta = randomFloats(hid, 0xC003, -0.1f, 0.1f);
+    const float lr = 0.3f;
+
+    std::vector<float> hidden(hid);
+    for (uint32_t j = 0; j < hid; ++j) {
+        std::vector<float> partial(in);
+        for (uint32_t t = 0; t < in; ++t)
+            partial[t] = input[t] * w[t * hid + j];
+        for (uint32_t s = in / 2; s > 0; s /= 2)
+            for (uint32_t t = 0; t < s; ++t)
+                partial[t] += partial[t + s];
+        hidden[j] = 1.0f / (1.0f + std::exp(-partial[0]));
+    }
+    for (uint32_t j = 0; j < hid; ++j)
+        for (uint32_t t = 0; t < in; ++t)
+            w[t * hid + j] += (input[t] * delta[j]) * lr;
+
+    std::vector<float> expected = hidden;
+    expected.insert(expected.end(), w.begin(), w.end());
+    expectBitExact(expected, asFloats(goldenOutput("BP")));
+}
+
+TEST(SuiteGolden, Hotspot)
+{
+    constexpr uint32_t dim = 64, iters = 4;
+    auto t = randomFloats(dim * dim, 0xD001, 320.0f, 340.0f);
+    auto power = randomFloats(dim * dim, 0xD002, 0.0f, 1.0f);
+    const float kc = 0.1f, cc = 0.05f;
+
+    std::vector<float> cur = t, next(dim * dim);
+    for (uint32_t it = 0; it < iters; ++it) {
+        for (uint32_t y = 0; y < dim; ++y) {
+            for (uint32_t x = 0; x < dim; ++x) {
+                auto at = [&](int yy, int xx) {
+                    return cur[static_cast<uint32_t>(yy) * dim +
+                               static_cast<uint32_t>(xx)];
+                };
+                float self = at(y, x);
+                float left = at(y, x > 0 ? x - 1 : x);
+                float right = at(y, x + 1 < dim ? x + 1 : x);
+                float up = at(y > 0 ? y - 1 : y, x);
+                float down = at(y + 1 < dim ? y + 1 : y, x);
+                float lap = ((left + right) + up) + down -
+                            self * 4.0f;
+                float v = std::fmaf(lap, kc, self);
+                v = std::fmaf(power[y * dim + x], cc, v);
+                next[y * dim + x] = v;
+            }
+        }
+        std::swap(cur, next);
+    }
+    expectBitExact(cur, asFloats(goldenOutput("HS")));
+}
+
+TEST(SuiteGolden, Kmeans)
+{
+    constexpr uint32_t n = 2048, dim = 4, k = 4, iters = 3;
+    auto points = randomFloats(n * dim, 0xE001, 0.0f, 10.0f);
+    std::vector<float> centroids(points.begin(),
+                                 points.begin() + k * dim);
+    std::vector<uint32_t> labels(n, 0);
+    for (uint32_t iter = 0; iter < iters; ++iter) {
+        for (uint32_t i = 0; i < n; ++i) {
+            uint32_t best = 0;
+            float bestd = INFINITY;
+            for (uint32_t c = 0; c < k; ++c) {
+                float dist = 0.0f;
+                for (uint32_t f = 0; f < dim; ++f) {
+                    float d = points[i * dim + f] -
+                              centroids[c * dim + f];
+                    dist = std::fmaf(d, d, dist);
+                }
+                if (dist < bestd) {
+                    bestd = dist;
+                    best = c;
+                }
+            }
+            labels[i] = best;
+        }
+        if (iter + 1 == iters)
+            break;
+        std::vector<float> sums(k * dim, 0.0f);
+        std::vector<uint32_t> counts(k, 0);
+        for (uint32_t i = 0; i < n; ++i) {
+            ++counts[labels[i]];
+            for (uint32_t f = 0; f < dim; ++f)
+                sums[labels[i] * dim + f] += points[i * dim + f];
+        }
+        for (uint32_t c = 0; c < k; ++c)
+            if (counts[c] > 0)
+                for (uint32_t f = 0; f < dim; ++f)
+                    sums[c * dim + f] /=
+                        static_cast<float>(counts[c]);
+        centroids = sums;
+    }
+    auto out = goldenOutput("KM");
+    std::vector<uint32_t> got(out.size() / 4);
+    std::memcpy(got.data(), out.data(), out.size());
+    ASSERT_EQ(labels.size(), got.size());
+    for (size_t i = 0; i < labels.size(); ++i)
+        ASSERT_EQ(labels[i], got[i]) << "point " << i;
+}
+
+namespace {
+
+/** SRAD math shared by both variants (replicates kernel op order). */
+void
+sradIteration(std::vector<float> &j, uint32_t dim, float lambda4)
+{
+    const uint32_t n = dim * dim;
+    float sum = 0.0f, sum2 = 0.0f;
+    for (float v : j) {
+        sum += v;
+        sum2 += v * v;
+    }
+    float cnt = static_cast<float>(n);
+    float mean = sum / cnt;
+    float var = (sum2 / cnt) - mean * mean;
+    float q0 = var / (mean * mean);
+
+    std::vector<float> dn(n), ds(n), dw(n), de(n), c(n);
+    for (uint32_t row = 0; row < dim; ++row) {
+        for (uint32_t col = 0; col < dim; ++col) {
+            uint32_t idx = row * dim + col;
+            uint32_t rn = row > 0 ? row - 1 : 0;
+            uint32_t rs = row + 1 < dim ? row + 1 : dim - 1;
+            uint32_t cw = col > 0 ? col - 1 : 0;
+            uint32_t ce = col + 1 < dim ? col + 1 : dim - 1;
+            float jc = j[idx];
+            dn[idx] = j[rn * dim + col] - jc;
+            ds[idx] = j[rs * dim + col] - jc;
+            dw[idx] = j[row * dim + cw] - jc;
+            de[idx] = j[row * dim + ce] - jc;
+            float g2 = dn[idx] * dn[idx];
+            g2 = std::fmaf(ds[idx], ds[idx], g2);
+            g2 = std::fmaf(dw[idx], dw[idx], g2);
+            g2 = std::fmaf(de[idx], de[idx], g2);
+            g2 = g2 / (jc * jc);
+            float l = ((dn[idx] + ds[idx]) + dw[idx]) + de[idx];
+            l = l / jc;
+            float num = g2 * 0.5f - (l * l) * 0.0625f;
+            float den = l * 0.25f + 1.0f;
+            den = den * den;
+            float qsqr = num / den;
+            float den2 = (qsqr - q0) / ((q0 + 1.0f) * q0);
+            float cv = 1.0f / (den2 + 1.0f);
+            cv = std::fmaxf(cv, 0.0f);
+            cv = std::fminf(cv, 1.0f);
+            c[idx] = cv;
+        }
+    }
+    for (uint32_t row = 0; row < dim; ++row) {
+        for (uint32_t col = 0; col < dim; ++col) {
+            uint32_t idx = row * dim + col;
+            uint32_t rs = row + 1 < dim ? row + 1 : dim - 1;
+            uint32_t ce = col + 1 < dim ? col + 1 : dim - 1;
+            float d = c[idx] * dn[idx];
+            d = std::fmaf(c[rs * dim + col], ds[idx], d);
+            d = std::fmaf(c[idx], dw[idx], d);
+            d = std::fmaf(c[row * dim + ce], de[idx], d);
+            j[idx] = std::fmaf(d, lambda4, j[idx]);
+        }
+    }
+}
+
+} // namespace
+
+TEST(SuiteGolden, Srad1)
+{
+    auto j = randomFloats(64 * 64, 0xF001, 0.2f, 1.0f);
+    sradIteration(j, 64, 0.125f);
+    sradIteration(j, 64, 0.125f);
+    expectBitExact(j, asFloats(goldenOutput("SRAD1")));
+}
+
+TEST(SuiteGolden, Srad2)
+{
+    auto j = randomFloats(64 * 64, 0xF101, 0.2f, 1.0f);
+    sradIteration(j, 64, 0.125f);
+    sradIteration(j, 64, 0.125f);
+    expectBitExact(j, asFloats(goldenOutput("SRAD2")));
+}
+
+TEST(SuiteGolden, Lud)
+{
+    constexpr uint32_t n = 32, bsz = 8, tiles = n / bsz;
+    auto a = randomFloats(n * n, 0xAB01, 0.0f, 1.0f);
+    for (uint32_t i = 0; i < n; ++i)
+        a[i * n + i] += 10.0f;
+
+    // Blocked LU replicating the kernels' exact operation order.
+    for (uint32_t s = 0; s < tiles; ++s) {
+        uint32_t sb = s * bsz;
+        // Diagonal tile.
+        for (uint32_t k = 0; k < bsz; ++k) {
+            for (uint32_t j = k + 1; j < bsz; ++j) {
+                float mult = a[(sb + j) * n + sb + k] /
+                             a[(sb + k) * n + sb + k];
+                a[(sb + j) * n + sb + k] = mult;
+                for (uint32_t m = k + 1; m < bsz; ++m)
+                    a[(sb + j) * n + sb + m] -=
+                        mult * a[(sb + k) * n + sb + m];
+            }
+        }
+        // Perimeter strips.
+        for (uint32_t t = s + 1; t < tiles; ++t) {
+            uint32_t tb = t * bsz;
+            // Row strip (s, t).
+            for (uint32_t k = 0; k < bsz; ++k)
+                for (uint32_t j = k + 1; j < bsz; ++j)
+                    for (uint32_t m = 0; m < bsz; ++m)
+                        a[(sb + j) * n + tb + m] -=
+                            a[(sb + j) * n + sb + k] *
+                            a[(sb + k) * n + tb + m];
+            // Column strip (t, s).
+            for (uint32_t j = 0; j < bsz; ++j) {
+                for (uint32_t k = 0; k < bsz; ++k) {
+                    float acc = a[(tb + j) * n + sb + k];
+                    for (uint32_t i = 0; i < k; ++i)
+                        acc -= a[(tb + j) * n + sb + i] *
+                               a[(sb + i) * n + sb + k];
+                    a[(tb + j) * n + sb + k] =
+                        acc / a[(sb + k) * n + sb + k];
+                }
+            }
+        }
+        // Internal tiles.
+        if (s + 1 < tiles) {
+            std::vector<float> snap = a;
+            for (uint32_t ti = s + 1; ti < tiles; ++ti)
+                for (uint32_t tj = s + 1; tj < tiles; ++tj)
+                    for (uint32_t y = 0; y < bsz; ++y)
+                        for (uint32_t x = 0; x < bsz; ++x) {
+                            uint32_t gi = ti * bsz + y;
+                            uint32_t gj = tj * bsz + x;
+                            float acc = snap[gi * n + gj];
+                            for (uint32_t k = 0; k < bsz; ++k)
+                                acc -= snap[gi * n + sb + k] *
+                                       snap[(sb + k) * n + gj];
+                            a[gi * n + gj] = acc;
+                        }
+        }
+    }
+    expectBitExact(a, asFloats(goldenOutput("LUD")));
+}
+
+TEST(SuiteGolden, Bfs)
+{
+    constexpr uint32_t n = 1024, deg = 4;
+    Rng rng(0xBF01);
+    std::vector<uint32_t> edges(n * deg);
+    for (auto &e : edges)
+        e = static_cast<uint32_t>(rng.below(n));
+
+    std::vector<uint32_t> cost(n, 0xffffffffu);
+    std::vector<bool> visited(n, false), frontier(n, false);
+    cost[0] = 0;
+    visited[0] = true;
+    frontier[0] = true;
+    for (;;) {
+        std::vector<bool> nextf(n, false);
+        bool any = false;
+        for (uint32_t v = 0; v < n; ++v) {
+            if (!frontier[v])
+                continue;
+            for (uint32_t e = 0; e < deg; ++e) {
+                uint32_t nb = edges[v * deg + e];
+                if (!visited[nb]) {
+                    cost[nb] = cost[v] + 1;
+                    nextf[nb] = true;
+                }
+            }
+        }
+        for (uint32_t v = 0; v < n; ++v)
+            if (nextf[v]) {
+                visited[v] = true;
+                any = true;
+            }
+        frontier = nextf;
+        if (!any)
+            break;
+    }
+    auto out = goldenOutput("BFS");
+    std::vector<uint32_t> got(out.size() / 4);
+    std::memcpy(got.data(), out.data(), out.size());
+    ASSERT_EQ(cost.size(), got.size());
+    for (size_t i = 0; i < cost.size(); ++i)
+        ASSERT_EQ(cost[i], got[i]) << "node " << i;
+}
+
+TEST(SuiteGolden, Pathfinder)
+{
+    constexpr uint32_t rows = 8, cols = 1024;
+    auto wall = randomFloats(rows * cols, 0xAF01, 0.0f, 10.0f);
+    std::vector<float> cur(wall.begin(), wall.begin() + cols);
+    std::vector<float> next(cols);
+    for (uint32_t row = 1; row < rows; ++row) {
+        for (uint32_t j = 0; j < cols; ++j) {
+            float l = cur[j > 0 ? j - 1 : 0];
+            float ce = cur[j];
+            float r = cur[j + 1 < cols ? j + 1 : cols - 1];
+            float m = std::fminf(std::fminf(l, ce), r);
+            next[j] = m + wall[row * cols + j];
+        }
+        std::swap(cur, next);
+    }
+    expectBitExact(cur, asFloats(goldenOutput("PATHF")));
+}
+
+TEST(SuiteGolden, NeedlemanWunsch)
+{
+    constexpr uint32_t n = 48;
+    constexpr int32_t penalty = -1;
+    auto refU = [&] {
+        Rng rng(0xAE01);
+        std::vector<int32_t> r(n * n);
+        for (auto &v : r)
+            v = static_cast<int32_t>(rng.below(10)) - 4;
+        return r;
+    }();
+
+    std::vector<int32_t> score((n + 1) * (n + 1), 0);
+    for (uint32_t i = 1; i <= n; ++i) {
+        score[i * (n + 1)] = static_cast<int32_t>(i) * penalty;
+        score[i] = static_cast<int32_t>(i) * penalty;
+    }
+    for (uint32_t i = 1; i <= n; ++i)
+        for (uint32_t j = 1; j <= n; ++j) {
+            int32_t diag = score[(i - 1) * (n + 1) + j - 1] +
+                           refU[(i - 1) * n + j - 1];
+            int32_t up = score[(i - 1) * (n + 1) + j] + penalty;
+            int32_t left = score[i * (n + 1) + j - 1] + penalty;
+            score[i * (n + 1) + j] =
+                std::max(diag, std::max(up, left));
+        }
+    auto got = asInts(goldenOutput("NW"));
+    ASSERT_EQ(score.size(), got.size());
+    for (size_t i = 0; i < score.size(); ++i)
+        ASSERT_EQ(score[i], got[i]) << "cell " << i;
+}
+
+TEST(SuiteGolden, Gaussian)
+{
+    constexpr uint32_t n = 16;
+    auto a = randomFloats(n * n, 0xCE01, 0.0f, 1.0f);
+    for (uint32_t i = 0; i < n; ++i)
+        a[i * n + i] += 50.0f;
+    auto b = randomFloats(n, 0xCE02, -1.0f, 1.0f);
+
+    for (uint32_t t = 0; t < n - 1; ++t) {
+        std::vector<float> mcol(n, 0.0f);
+        for (uint32_t i = t + 1; i < n; ++i)
+            mcol[i] = a[i * n + t] / a[t * n + t];
+        for (uint32_t i = t + 1; i < n; ++i) {
+            for (uint32_t j = t; j < n; ++j)
+                a[i * n + j] -= mcol[i] * a[t * n + j];
+            b[i] -= mcol[i] * b[t];
+        }
+    }
+    std::vector<float> expected = a;
+    expected.insert(expected.end(), b.begin(), b.end());
+    expectBitExact(expected, asFloats(goldenOutput("GE")));
+}

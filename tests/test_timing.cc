@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Timing-model behavior tests: cache hits must be faster than
+ * misses, DRAM queueing and bank conflicts must show up in cycle
+ * counts, barriers must serialize, and the GTO/LRR schedulers must
+ * produce different (but functionally identical) timings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats_printer.hh"
+#include "sim_test_util.hh"
+
+using namespace gpufi;
+using gpufi_test::SimHarness;
+using gpufi_test::tinyConfig;
+
+namespace {
+
+/** Cycles to run a single-warp kernel on the tiny config. */
+uint64_t
+cyclesOf(const std::string &src, std::vector<uint32_t> params,
+         sim::Dim3 grid = {1, 1}, sim::Dim3 block = {32, 1})
+{
+    SimHarness h;
+    // Warm allocations so parameter addresses are consistent.
+    return h.run(src, grid, block, std::move(params)).cycles();
+}
+
+} // namespace
+
+TEST(Timing, RereadingCachedLineIsFasterThanColdLines)
+{
+    // Kernel A reads the same word 8 times (7 L1 hits); kernel B
+    // reads 8 different lines (8 misses). Same instruction count.
+    const char same[] = R"(
+.kernel t
+.reg 6
+    param r0, 0
+    mov   r1, 8
+loop:
+    ldg   r2, [r0]
+    sub   r1, r1, 1
+    brnz  r1, loop
+    exit
+)";
+    const char strided[] = R"(
+.kernel t
+.reg 6
+    param r0, 0
+    mov   r1, 8
+loop:
+    ldg   r2, [r0]
+    add   r0, r0, 2048
+    sub   r1, r1, 1
+    brnz  r1, loop
+    exit
+)";
+    SimHarness ha;
+    mem::Addr buf = ha.mem.allocate(64 * 1024);
+    uint64_t hitCycles =
+        ha.run(same, {1, 1}, {1, 1}, {uint32_t(buf)}).cycles();
+    SimHarness hb;
+    buf = hb.mem.allocate(64 * 1024);
+    uint64_t missCycles =
+        hb.run(strided, {1, 1}, {1, 1}, {uint32_t(buf)}).cycles();
+    EXPECT_LT(hitCycles + 100, missCycles);
+}
+
+TEST(Timing, SharedBankConflictsCostCycles)
+{
+    // Conflict-free: thread t accesses word t (distinct banks).
+    // Conflicted: thread t accesses word 32*t (all bank 0).
+    const char free_[] = R"(
+.kernel t
+.reg 6
+.smem 8192
+    mov   r0, %tid_x
+    shl   r1, r0, 2
+    mov   r2, 16
+loop:
+    lds   r3, [r1]
+    sub   r2, r2, 1
+    brnz  r2, loop
+    exit
+)";
+    const char conflict[] = R"(
+.kernel t
+.reg 6
+.smem 8192
+    mov   r0, %tid_x
+    shl   r1, r0, 7         # word 32*t -> one bank
+    mov   r2, 16
+loop:
+    lds   r3, [r1]
+    sub   r2, r2, 1
+    brnz  r2, loop
+    exit
+)";
+    EXPECT_LT(cyclesOf(free_, {}), cyclesOf(conflict, {}));
+}
+
+TEST(Timing, BarrierSerializesSkewedWarps)
+{
+    // Each round a different warp is slow (64 spin iterations vs 4).
+    // With a barrier per round every warp waits for that round's
+    // slow warp, so total ~ rounds x slow; without it each warp pays
+    // the slow round once, so total ~ slow + (rounds-1) x fast.
+    const char barriers[] = R"(
+.kernel t
+.reg 8
+.smem 256
+    mov   r0, 8             # rounds
+    mov   r5, 0
+loop:
+    mov   r1, %warpid
+    rem   r2, r5, 8
+    setne r3, r1, r2
+    brnz  r3, fast
+    mov   r4, 64
+    bra   spin
+fast:
+    mov   r4, 4
+spin:
+    sub   r4, r4, 1
+    brnz  r4, spin
+    bar
+    add   r5, r5, 1
+    sub   r0, r0, 1
+    brnz  r0, loop
+    exit
+)";
+    const char nobarriers[] = R"(
+.kernel t
+.reg 8
+.smem 256
+    mov   r0, 8
+    mov   r5, 0
+loop:
+    mov   r1, %warpid
+    rem   r2, r5, 8
+    setne r3, r1, r2
+    brnz  r3, fast
+    mov   r4, 64
+    bra   spin
+fast:
+    mov   r4, 4
+spin:
+    sub   r4, r4, 1
+    brnz  r4, spin
+    nop
+    add   r5, r5, 1
+    sub   r0, r0, 1
+    brnz  r0, loop
+    exit
+)";
+    uint64_t with = cyclesOf(barriers, {}, {1, 1}, {256, 1});
+    uint64_t without = cyclesOf(nobarriers, {}, {1, 1}, {256, 1});
+    EXPECT_GT(with, without + without / 2);
+}
+
+TEST(Timing, MoreCtasTakeLongerOnOneSm)
+{
+    const char body[] = R"(
+.kernel t
+.reg 6
+    mov   r0, 32
+loop:
+    sub   r0, r0, 1
+    brnz  r0, loop
+    exit
+)";
+    sim::GpuConfig one = tinyConfig();
+    one.numSms = 1;
+    SimHarness ha;
+    uint64_t few =
+        ha.run(body, {2, 1}, {64, 1}, {}, one).cycles();
+    SimHarness hb;
+    uint64_t many =
+        hb.run(body, {16, 1}, {64, 1}, {}, one).cycles();
+    EXPECT_GT(many, few);
+}
+
+TEST(Timing, SecondSmHalvesWaveCount)
+{
+    const char body[] = R"(
+.kernel t
+.reg 6
+    mov   r0, 64
+loop:
+    sub   r0, r0, 1
+    brnz  r0, loop
+    exit
+)";
+    sim::GpuConfig one = tinyConfig();
+    one.numSms = 1;
+    one.maxCtasPerSm = 1;
+    sim::GpuConfig two = one;
+    two.numSms = 2;
+    SimHarness ha;
+    uint64_t serial = ha.run(body, {8, 1}, {32, 1}, {}, one).cycles();
+    SimHarness hb;
+    uint64_t parallel =
+        hb.run(body, {8, 1}, {32, 1}, {}, two).cycles();
+    EXPECT_GT(serial, parallel);
+    EXPECT_NEAR(static_cast<double>(serial) /
+                    static_cast<double>(parallel),
+                2.0, 0.5);
+}
+
+TEST(Timing, SfuOpsSlowerThanIntAlu)
+{
+    const char sfu[] = R"(
+.kernel t
+.reg 6
+    mov   r0, 32
+    mov   r1, 1.5
+loop:
+    fsqrt r1, r1
+    sub   r0, r0, 1
+    brnz  r0, loop
+    exit
+)";
+    const char alu[] = R"(
+.kernel t
+.reg 6
+    mov   r0, 32
+    mov   r1, 3
+loop:
+    add   r1, r1, 1
+    sub   r0, r0, 1
+    brnz  r0, loop
+    exit
+)";
+    EXPECT_GT(cyclesOf(sfu, {}, {1, 1}, {1, 1}),
+              cyclesOf(alu, {}, {1, 1}, {1, 1}));
+}
+
+TEST(Timing, SchedulersDifferInCyclesNotResults)
+{
+    const char body[] = R"(
+.kernel t
+.reg 8
+    mov   r0, %tid_x
+    mov   r1, 24
+    mov   r2, 0
+loop:
+    add   r2, r2, r0
+    sub   r1, r1, 1
+    brnz  r1, loop
+    shl   r3, r0, 2
+    param r4, 0
+    add   r4, r4, r3
+    stg   r2, [r4]
+    exit
+)";
+    sim::GpuConfig lrr = tinyConfig();
+    sim::GpuConfig gto = tinyConfig();
+    gto.schedPolicy = sim::SchedPolicy::GTO;
+
+    SimHarness ha;
+    mem::Addr outA = ha.mem.allocate(256 * 4);
+    uint64_t cyclesLrr =
+        ha.run(body, {2, 1}, {128, 1}, {uint32_t(outA)}, lrr)
+            .cycles();
+    SimHarness hb;
+    mem::Addr outB = hb.mem.allocate(256 * 4);
+    uint64_t cyclesGto =
+        hb.run(body, {2, 1}, {128, 1}, {uint32_t(outB)}, gto)
+            .cycles();
+    for (uint32_t i = 0; i < 256; ++i)
+        ASSERT_EQ(ha.mem.read32(outA + i * 4),
+                  hb.mem.read32(outB + i * 4));
+    // Same result; the policies need not produce equal timing, but
+    // both must be positive and within a sane band of each other.
+    EXPECT_GT(cyclesLrr, 0u);
+    EXPECT_GT(cyclesGto, 0u);
+    EXPECT_LT(cyclesGto, cyclesLrr * 4);
+    EXPECT_LT(cyclesLrr, cyclesGto * 4);
+}
+
+TEST(Timing, StatsPrinterFormats)
+{
+    const char body[] = R"(
+.kernel pretty
+.reg 6
+    param r0, 0
+    ldg   r1, [r0]
+    stg   r1, [r0+4]
+    exit
+)";
+    SimHarness h;
+    mem::Addr buf = h.mem.allocate(256);
+    auto stats = h.run(body, {1, 1}, {32, 1}, {uint32_t(buf)});
+    std::string block = sim::formatLaunchStats(stats);
+    EXPECT_NE(block.find("kernel 'pretty'"), std::string::npos);
+    EXPECT_NE(block.find("occupancy"), std::string::npos);
+    std::string table = sim::formatLaunchTable({stats, stats});
+    EXPECT_NE(table.find("pretty"), std::string::npos);
+    std::string memory = sim::formatMemoryStats(*h.gpu);
+    EXPECT_NE(memory.find("L1D"), std::string::npos);
+    EXPECT_NE(memory.find("L2"), std::string::npos);
+    EXPECT_NE(memory.find("hit-rate"), std::string::npos);
+}
