@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_derating.dir/ablation_derating.cc.o"
+  "CMakeFiles/ablation_derating.dir/ablation_derating.cc.o.d"
+  "ablation_derating"
+  "ablation_derating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_derating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multibit.dir/ablation_multibit.cc.o"
+  "CMakeFiles/ablation_multibit.dir/ablation_multibit.cc.o.d"
+  "ablation_multibit"
+  "ablation_multibit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

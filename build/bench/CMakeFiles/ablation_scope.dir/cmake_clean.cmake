@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scope.dir/ablation_scope.cc.o"
+  "CMakeFiles/ablation_scope.dir/ablation_scope.cc.o.d"
+  "ablation_scope"
+  "ablation_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

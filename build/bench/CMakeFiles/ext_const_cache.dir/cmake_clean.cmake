@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_const_cache.dir/ext_const_cache.cc.o"
+  "CMakeFiles/ext_const_cache.dir/ext_const_cache.cc.o.d"
+  "ext_const_cache"
+  "ext_const_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_const_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

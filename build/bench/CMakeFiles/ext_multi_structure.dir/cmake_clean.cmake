@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_structure.dir/ext_multi_structure.cc.o"
+  "CMakeFiles/ext_multi_structure.dir/ext_multi_structure.cc.o.d"
+  "ext_multi_structure"
+  "ext_multi_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

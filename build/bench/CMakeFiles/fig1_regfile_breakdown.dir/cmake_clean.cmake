@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_regfile_breakdown.dir/fig1_regfile_breakdown.cc.o"
+  "CMakeFiles/fig1_regfile_breakdown.dir/fig1_regfile_breakdown.cc.o.d"
+  "fig1_regfile_breakdown"
+  "fig1_regfile_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_regfile_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

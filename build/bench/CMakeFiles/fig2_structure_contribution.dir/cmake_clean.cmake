@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_structure_contribution.dir/fig2_structure_contribution.cc.o"
+  "CMakeFiles/fig2_structure_contribution.dir/fig2_structure_contribution.cc.o.d"
+  "fig2_structure_contribution"
+  "fig2_structure_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_structure_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

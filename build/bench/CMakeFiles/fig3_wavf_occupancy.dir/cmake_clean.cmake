@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wavf_occupancy.dir/fig3_wavf_occupancy.cc.o"
+  "CMakeFiles/fig3_wavf_occupancy.dir/fig3_wavf_occupancy.cc.o.d"
+  "fig3_wavf_occupancy"
+  "fig3_wavf_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wavf_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_performance_effect.dir/fig4_performance_effect.cc.o"
+  "CMakeFiles/fig4_performance_effect.dir/fig4_performance_effect.cc.o.d"
+  "fig4_performance_effect"
+  "fig4_performance_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_performance_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

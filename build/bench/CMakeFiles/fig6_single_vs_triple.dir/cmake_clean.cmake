@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_single_vs_triple.dir/fig6_single_vs_triple.cc.o"
+  "CMakeFiles/fig6_single_vs_triple.dir/fig6_single_vs_triple.cc.o.d"
+  "fig6_single_vs_triple"
+  "fig6_single_vs_triple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_single_vs_triple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_single_vs_triple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fit_rates.dir/fig7_fit_rates.cc.o"
+  "CMakeFiles/fig7_fit_rates.dir/fig7_fit_rates.cc.o.d"
+  "fig7_fit_rates"
+  "fig7_fit_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

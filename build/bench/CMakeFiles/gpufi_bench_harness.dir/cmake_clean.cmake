@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/gpufi_bench_harness.dir/harness.cc.o.d"
+  "libgpufi_bench_harness.a"
+  "libgpufi_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memspaces.dir/table2_memspaces.cc.o"
+  "CMakeFiles/table2_memspaces.dir/table2_memspaces.cc.o.d"
+  "table2_memspaces"
+  "table2_memspaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_params.dir/table5_params.cc.o"
+  "CMakeFiles/table5_params.dir/table5_params.cc.o.d"
+  "table5_params"
+  "table5_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_demo.dir/campaign_demo.cpp.o"
+  "CMakeFiles/campaign_demo.dir/campaign_demo.cpp.o.d"
+  "campaign_demo"
+  "campaign_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_common.dir/config.cc.o"
+  "CMakeFiles/gpufi_common.dir/config.cc.o.d"
+  "CMakeFiles/gpufi_common.dir/logging.cc.o"
+  "CMakeFiles/gpufi_common.dir/logging.cc.o.d"
+  "CMakeFiles/gpufi_common.dir/rng.cc.o"
+  "CMakeFiles/gpufi_common.dir/rng.cc.o.d"
+  "CMakeFiles/gpufi_common.dir/stats.cc.o"
+  "CMakeFiles/gpufi_common.dir/stats.cc.o.d"
+  "CMakeFiles/gpufi_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gpufi_common.dir/thread_pool.cc.o.d"
+  "libgpufi_common.a"
+  "libgpufi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fi/avf.cc" "src/fi/CMakeFiles/gpufi_fi.dir/avf.cc.o" "gcc" "src/fi/CMakeFiles/gpufi_fi.dir/avf.cc.o.d"
+  "/root/repo/src/fi/campaign.cc" "src/fi/CMakeFiles/gpufi_fi.dir/campaign.cc.o" "gcc" "src/fi/CMakeFiles/gpufi_fi.dir/campaign.cc.o.d"
+  "/root/repo/src/fi/fault.cc" "src/fi/CMakeFiles/gpufi_fi.dir/fault.cc.o" "gcc" "src/fi/CMakeFiles/gpufi_fi.dir/fault.cc.o.d"
+  "/root/repo/src/fi/injector.cc" "src/fi/CMakeFiles/gpufi_fi.dir/injector.cc.o" "gcc" "src/fi/CMakeFiles/gpufi_fi.dir/injector.cc.o.d"
+  "/root/repo/src/fi/report_log.cc" "src/fi/CMakeFiles/gpufi_fi.dir/report_log.cc.o" "gcc" "src/fi/CMakeFiles/gpufi_fi.dir/report_log.cc.o.d"
+  "/root/repo/src/fi/workload.cc" "src/fi/CMakeFiles/gpufi_fi.dir/workload.cc.o" "gcc" "src/fi/CMakeFiles/gpufi_fi.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpufi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpufi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

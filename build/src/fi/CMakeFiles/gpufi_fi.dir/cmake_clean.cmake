@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_fi.dir/avf.cc.o"
+  "CMakeFiles/gpufi_fi.dir/avf.cc.o.d"
+  "CMakeFiles/gpufi_fi.dir/campaign.cc.o"
+  "CMakeFiles/gpufi_fi.dir/campaign.cc.o.d"
+  "CMakeFiles/gpufi_fi.dir/fault.cc.o"
+  "CMakeFiles/gpufi_fi.dir/fault.cc.o.d"
+  "CMakeFiles/gpufi_fi.dir/injector.cc.o"
+  "CMakeFiles/gpufi_fi.dir/injector.cc.o.d"
+  "CMakeFiles/gpufi_fi.dir/report_log.cc.o"
+  "CMakeFiles/gpufi_fi.dir/report_log.cc.o.d"
+  "CMakeFiles/gpufi_fi.dir/workload.cc.o"
+  "CMakeFiles/gpufi_fi.dir/workload.cc.o.d"
+  "libgpufi_fi.a"
+  "libgpufi_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

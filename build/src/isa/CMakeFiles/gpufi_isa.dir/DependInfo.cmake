@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/gpufi_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/gpufi_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/cfg.cc" "src/isa/CMakeFiles/gpufi_isa.dir/cfg.cc.o" "gcc" "src/isa/CMakeFiles/gpufi_isa.dir/cfg.cc.o.d"
+  "/root/repo/src/isa/disassembler.cc" "src/isa/CMakeFiles/gpufi_isa.dir/disassembler.cc.o" "gcc" "src/isa/CMakeFiles/gpufi_isa.dir/disassembler.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/isa/CMakeFiles/gpufi_isa.dir/kernel.cc.o" "gcc" "src/isa/CMakeFiles/gpufi_isa.dir/kernel.cc.o.d"
+  "/root/repo/src/isa/types.cc" "src/isa/CMakeFiles/gpufi_isa.dir/types.cc.o" "gcc" "src/isa/CMakeFiles/gpufi_isa.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

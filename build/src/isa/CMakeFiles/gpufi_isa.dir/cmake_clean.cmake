@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_isa.dir/assembler.cc.o"
+  "CMakeFiles/gpufi_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/gpufi_isa.dir/cfg.cc.o"
+  "CMakeFiles/gpufi_isa.dir/cfg.cc.o.d"
+  "CMakeFiles/gpufi_isa.dir/disassembler.cc.o"
+  "CMakeFiles/gpufi_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/gpufi_isa.dir/kernel.cc.o"
+  "CMakeFiles/gpufi_isa.dir/kernel.cc.o.d"
+  "CMakeFiles/gpufi_isa.dir/types.cc.o"
+  "CMakeFiles/gpufi_isa.dir/types.cc.o.d"
+  "libgpufi_isa.a"
+  "libgpufi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_mem.dir/backing.cc.o"
+  "CMakeFiles/gpufi_mem.dir/backing.cc.o.d"
+  "CMakeFiles/gpufi_mem.dir/cache.cc.o"
+  "CMakeFiles/gpufi_mem.dir/cache.cc.o.d"
+  "CMakeFiles/gpufi_mem.dir/l2_subsystem.cc.o"
+  "CMakeFiles/gpufi_mem.dir/l2_subsystem.cc.o.d"
+  "libgpufi_mem.a"
+  "libgpufi_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/gpufi_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/gpufi_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/exec.cc" "src/sim/CMakeFiles/gpufi_sim.dir/exec.cc.o" "gcc" "src/sim/CMakeFiles/gpufi_sim.dir/exec.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/gpufi_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/gpufi_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/gpu_config.cc" "src/sim/CMakeFiles/gpufi_sim.dir/gpu_config.cc.o" "gcc" "src/sim/CMakeFiles/gpufi_sim.dir/gpu_config.cc.o.d"
+  "/root/repo/src/sim/stats_printer.cc" "src/sim/CMakeFiles/gpufi_sim.dir/stats_printer.cc.o" "gcc" "src/sim/CMakeFiles/gpufi_sim.dir/stats_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpufi_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_sim.dir/core.cc.o"
+  "CMakeFiles/gpufi_sim.dir/core.cc.o.d"
+  "CMakeFiles/gpufi_sim.dir/exec.cc.o"
+  "CMakeFiles/gpufi_sim.dir/exec.cc.o.d"
+  "CMakeFiles/gpufi_sim.dir/gpu.cc.o"
+  "CMakeFiles/gpufi_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/gpufi_sim.dir/gpu_config.cc.o"
+  "CMakeFiles/gpufi_sim.dir/gpu_config.cc.o.d"
+  "CMakeFiles/gpufi_sim.dir/stats_printer.cc.o"
+  "CMakeFiles/gpufi_sim.dir/stats_printer.cc.o.d"
+  "libgpufi_sim.a"
+  "libgpufi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/bfs.cc" "src/suite/CMakeFiles/gpufi_suite.dir/bfs.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/bfs.cc.o.d"
+  "/root/repo/src/suite/bp.cc" "src/suite/CMakeFiles/gpufi_suite.dir/bp.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/bp.cc.o.d"
+  "/root/repo/src/suite/ge.cc" "src/suite/CMakeFiles/gpufi_suite.dir/ge.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/ge.cc.o.d"
+  "/root/repo/src/suite/hs.cc" "src/suite/CMakeFiles/gpufi_suite.dir/hs.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/hs.cc.o.d"
+  "/root/repo/src/suite/km.cc" "src/suite/CMakeFiles/gpufi_suite.dir/km.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/km.cc.o.d"
+  "/root/repo/src/suite/lud.cc" "src/suite/CMakeFiles/gpufi_suite.dir/lud.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/lud.cc.o.d"
+  "/root/repo/src/suite/nw.cc" "src/suite/CMakeFiles/gpufi_suite.dir/nw.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/nw.cc.o.d"
+  "/root/repo/src/suite/pathf.cc" "src/suite/CMakeFiles/gpufi_suite.dir/pathf.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/pathf.cc.o.d"
+  "/root/repo/src/suite/sp.cc" "src/suite/CMakeFiles/gpufi_suite.dir/sp.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/sp.cc.o.d"
+  "/root/repo/src/suite/srad1.cc" "src/suite/CMakeFiles/gpufi_suite.dir/srad1.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/srad1.cc.o.d"
+  "/root/repo/src/suite/srad2.cc" "src/suite/CMakeFiles/gpufi_suite.dir/srad2.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/srad2.cc.o.d"
+  "/root/repo/src/suite/suite.cc" "src/suite/CMakeFiles/gpufi_suite.dir/suite.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/suite.cc.o.d"
+  "/root/repo/src/suite/va.cc" "src/suite/CMakeFiles/gpufi_suite.dir/va.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/va.cc.o.d"
+  "/root/repo/src/suite/workload_base.cc" "src/suite/CMakeFiles/gpufi_suite.dir/workload_base.cc.o" "gcc" "src/suite/CMakeFiles/gpufi_suite.dir/workload_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fi/CMakeFiles/gpufi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpufi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpufi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

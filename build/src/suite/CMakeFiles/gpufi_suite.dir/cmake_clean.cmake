@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_suite.dir/bfs.cc.o"
+  "CMakeFiles/gpufi_suite.dir/bfs.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/bp.cc.o"
+  "CMakeFiles/gpufi_suite.dir/bp.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/ge.cc.o"
+  "CMakeFiles/gpufi_suite.dir/ge.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/hs.cc.o"
+  "CMakeFiles/gpufi_suite.dir/hs.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/km.cc.o"
+  "CMakeFiles/gpufi_suite.dir/km.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/lud.cc.o"
+  "CMakeFiles/gpufi_suite.dir/lud.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/nw.cc.o"
+  "CMakeFiles/gpufi_suite.dir/nw.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/pathf.cc.o"
+  "CMakeFiles/gpufi_suite.dir/pathf.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/sp.cc.o"
+  "CMakeFiles/gpufi_suite.dir/sp.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/srad1.cc.o"
+  "CMakeFiles/gpufi_suite.dir/srad1.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/srad2.cc.o"
+  "CMakeFiles/gpufi_suite.dir/srad2.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/suite.cc.o"
+  "CMakeFiles/gpufi_suite.dir/suite.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/va.cc.o"
+  "CMakeFiles/gpufi_suite.dir/va.cc.o.d"
+  "CMakeFiles/gpufi_suite.dir/workload_base.cc.o"
+  "CMakeFiles/gpufi_suite.dir/workload_base.cc.o.d"
+  "libgpufi_suite.a"
+  "libgpufi_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/gpufi_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_avf.cc" "tests/CMakeFiles/gpufi_tests.dir/test_avf.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_avf.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/gpufi_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_campaign.cc" "tests/CMakeFiles/gpufi_tests.dir/test_campaign.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_campaign.cc.o.d"
+  "/root/repo/tests/test_cfg.cc" "tests/CMakeFiles/gpufi_tests.dir/test_cfg.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_cfg.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/gpufi_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_exec.cc" "tests/CMakeFiles/gpufi_tests.dir/test_exec.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_exec.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/gpufi_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_gpu_config.cc" "tests/CMakeFiles/gpufi_tests.dir/test_gpu_config.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_gpu_config.cc.o.d"
+  "/root/repo/tests/test_injector.cc" "tests/CMakeFiles/gpufi_tests.dir/test_injector.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_injector.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/gpufi_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/gpufi_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_report_log.cc" "tests/CMakeFiles/gpufi_tests.dir/test_report_log.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_report_log.cc.o.d"
+  "/root/repo/tests/test_roundtrip.cc" "tests/CMakeFiles/gpufi_tests.dir/test_roundtrip.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_roundtrip.cc.o.d"
+  "/root/repo/tests/test_shapes.cc" "tests/CMakeFiles/gpufi_tests.dir/test_shapes.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_shapes.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/gpufi_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_suite_golden.cc" "tests/CMakeFiles/gpufi_tests.dir/test_suite_golden.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_suite_golden.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/gpufi_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/gpufi_tests.dir/test_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/gpufi_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/gpufi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpufi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpufi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
