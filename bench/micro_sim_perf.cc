@@ -165,6 +165,114 @@ BM_ApplyFaultRegfile(benchmark::State &state)
 }
 BENCHMARK(BM_ApplyFaultRegfile);
 
+void
+BM_SnapshotCapture(benchmark::State &state)
+{
+    // Cost of one full-machine snapshot on a live mid-kernel GPU.
+    auto factory = suite::factoryFor("VA");
+    auto wl = factory();
+    mem::DeviceMemory dmem(wl->memBytes());
+    wl->setup(dmem);
+    sim::GpuConfig cfg = sim::makeRtx2060();
+    cfg.numSms = 4;
+    cfg.validate();
+    sim::Gpu gpu(cfg, dmem);
+    gpu.scheduleInjection(20, [&](sim::Gpu &g) {
+        for (auto _ : state) {
+            sim::GpuSnapshot snap;
+            g.captureSnapshot(snap);
+            benchmark::DoNotOptimize(snap.cycle);
+        }
+    });
+    wl->run(gpu);
+}
+BENCHMARK(BM_SnapshotCapture);
+
+void
+BM_SnapshotRestoreReplay(benchmark::State &state)
+{
+    // Resume from a mid-run snapshot and simulate the second half;
+    // compare against BM_GoldenRun/va to see the skipped prefix.
+    sim::GpuConfig cfg = sim::makeRtx2060();
+    cfg.numSms = 4;
+    cfg.validate();
+    auto factory = suite::factoryFor("VA");
+    auto wl = factory();
+    mem::DeviceMemory setupMem(wl->memBytes());
+    wl->setup(setupMem);
+    mem::DeviceMemory::Image image;
+    setupMem.snapshot(image);
+
+    uint64_t total = 0;
+    {
+        mem::DeviceMemory m(wl->memBytes());
+        m.restore(image);
+        sim::Gpu g(cfg, m);
+        wl->run(g);
+        total = g.cycle();
+    }
+
+    mem::DeviceMemory pioneerMem(wl->memBytes());
+    pioneerMem.restore(image);
+    sim::Gpu pioneer(cfg, pioneerMem);
+    sim::GoldenTrace trace;
+    pioneer.record(&trace);
+    sim::GpuSnapshot snap;
+    pioneer.scheduleInjection(
+        total / 2, [&](sim::Gpu &g) { g.captureSnapshot(snap); });
+    wl->run(pioneer);
+
+    mem::DeviceMemory replayMem(wl->memBytes());
+    uint64_t simulated = 0;
+    for (auto _ : state) {
+        replayMem.restore(image);
+        sim::Gpu gpu(cfg, replayMem);
+        gpu.beginReplay(trace, snap);
+        auto stats = wl->run(gpu);
+        simulated += gpu.cycle() - snap.cycle;
+        benchmark::DoNotOptimize(stats);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotRestoreReplay);
+
+void
+BM_Campaign(benchmark::State &state, bool fastForward)
+{
+    // Whole-campaign wall clock, with and without fast-forward. The
+    // Arg is the run count; the ISSUE's speedup criterion compares
+    // fast/3000 against full/3000.
+    sim::GpuConfig cfg = sim::makeRtx2060();
+    cfg.numSms = 4;
+    cfg.validate();
+    const uint32_t runs = static_cast<uint32_t>(state.range(0));
+    fi::CampaignRunner runner(cfg, suite::factoryFor("VA"), 1);
+    runner.golden();
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = runs;
+    spec.fastForward = fastForward;
+    spec.earlyTermination = fastForward;
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        spec.seed = ++seed;
+        auto result = runner.run(spec);
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["runs/s"] = benchmark::Counter(
+        static_cast<double>(runs) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_Campaign, fast, true)
+    ->Arg(16)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Campaign, full, false)
+    ->Arg(16)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Incremental 128-bit state hashing for the campaign fast-forward
+ * machinery: the simulator folds all behavior-relevant
+ * microarchitectural state into a StateHasher so a faulty run can be
+ * compared against the golden run's hash stream at the same cycle.
+ *
+ * Not cryptographic — a deliberate mismatch is not in the threat
+ * model. What matters is (a) platform-independent determinism (fixed
+ * multiply/xor mixing, no libstdc++ hashing) and (b) a collision
+ * probability small enough that a false "converged" verdict over a
+ * campaign of thousands of checks is negligible (two independent
+ * 64-bit lanes).
+ */
+
+#ifndef GPUFI_COMMON_HASH_HH
+#define GPUFI_COMMON_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace gpufi {
+
+/** Order-sensitive accumulator over two independent 64-bit lanes. */
+struct StateHasher
+{
+    uint64_t a = 0x9e3779b97f4a7c15ULL;
+    uint64_t b = 0xc2b2ae3d27d4eb4fULL;
+
+    void
+    mixU64(uint64_t v)
+    {
+        a ^= v;
+        a *= 0x100000001b3ULL;
+        a ^= a >> 29;
+        b ^= v + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2);
+        b *= 0xff51afd7ed558ccdULL;
+        b ^= b >> 31;
+    }
+
+    void
+    mixBytes(const void *p, size_t n)
+    {
+        const uint8_t *bytes = static_cast<const uint8_t *>(p);
+        while (n >= 8) {
+            uint64_t v;
+            std::memcpy(&v, bytes, 8);
+            mixU64(v);
+            bytes += 8;
+            n -= 8;
+        }
+        if (n > 0) {
+            uint64_t v = 0;
+            std::memcpy(&v, bytes, n);
+            mixU64(v | (static_cast<uint64_t>(n) << 56));
+        }
+    }
+
+    void
+    mixStr(const std::string &s)
+    {
+        mixU64(s.size());
+        mixBytes(s.data(), s.size());
+    }
+
+    bool
+    operator==(const StateHasher &o) const
+    {
+        return a == o.a && b == o.b;
+    }
+};
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_HASH_HH

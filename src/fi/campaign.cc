@@ -1,6 +1,8 @@
 #include "fi/campaign.hh"
 
-#include <mutex>
+#include <algorithm>
+#include <atomic>
+#include <numeric>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -44,6 +46,10 @@ outcomeFromName(const std::string &name)
 const KernelProfile &
 GoldenRun::profile(const std::string &name) const
 {
+    auto it = kernelIndex.find(name);
+    if (it != kernelIndex.end())
+        return kernels[it->second];
+    // Hand-assembled GoldenRuns (tests) may not fill the index.
     for (const auto &k : kernels)
         if (k.name == name)
             return k;
@@ -126,18 +132,17 @@ summarizeGolden(std::vector<sim::LaunchStats> launches,
     // weighted by invocation cycles, as the paper describes for the
     // application-level occupancy computation.
     for (const auto &ls : g.launches) {
-        KernelProfile *prof = nullptr;
-        for (auto &k : g.kernels)
-            if (k.name == ls.kernelName)
-                prof = &k;
-        if (!prof) {
+        auto [it, inserted] =
+            g.kernelIndex.try_emplace(ls.kernelName, g.kernels.size());
+        if (inserted) {
             g.kernels.emplace_back();
-            prof = &g.kernels.back();
-            prof->name = ls.kernelName;
-            prof->regsPerThread = ls.regsPerThread;
-            prof->smemPerCta = ls.smemPerCta;
-            prof->localPerThread = ls.localPerThread;
+            KernelProfile &k = g.kernels.back();
+            k.name = ls.kernelName;
+            k.regsPerThread = ls.regsPerThread;
+            k.smemPerCta = ls.smemPerCta;
+            k.localPerThread = ls.localPerThread;
         }
+        KernelProfile *prof = &g.kernels[it->second];
         uint64_t c = ls.cycles();
         prof->windows.emplace_back(ls.startCycle, ls.endCycle);
         prof->occupancy += ls.occupancy * static_cast<double>(c);
@@ -217,6 +222,111 @@ CampaignRunner::makePlan(const CampaignSpec &spec,
     panic("cycle offset beyond kernel windows");
 }
 
+void
+CampaignRunner::buildFastForward(const CampaignSpec &spec,
+                                 const std::vector<FaultPlan> &plans,
+                                 FastForward &ff)
+{
+    // Snapshot ladder: quantiles over the distinct injection cycles,
+    // always including the earliest so every plan has a predecessor.
+    std::vector<uint64_t> cycles;
+    cycles.reserve(plans.size());
+    for (const FaultPlan &p : plans)
+        cycles.push_back(p.cycle);
+    std::sort(cycles.begin(), cycles.end());
+    cycles.erase(std::unique(cycles.begin(), cycles.end()),
+                 cycles.end());
+    const size_t budget =
+        std::min<size_t>(std::max<uint32_t>(spec.snapshotBudget, 1),
+                         cycles.size());
+    ff.snapCycles.clear();
+    for (size_t k = 0; k < budget; ++k)
+        ff.snapCycles.push_back(cycles[(k * cycles.size()) / budget]);
+
+    // The pioneer: one fault-free execution recording the trace and
+    // capturing the ladder's snapshots at their firing points.
+    ff.workload = factory_();
+    mem::DeviceMemory dmem(ff.workload->memBytes());
+    ff.workload->setup(dmem);
+    dmem.snapshot(ff.setupImage);
+
+    sim::Gpu pioneer(gpu_, dmem);
+    pioneer.record(&ff.trace);
+    ff.snaps.clear();
+    for (uint64_t cycle : ff.snapCycles) {
+        ff.snaps.push_back(std::make_unique<sim::GpuSnapshot>());
+        sim::GpuSnapshot *snap = ff.snaps.back().get();
+        pioneer.scheduleInjection(cycle, [snap](sim::Gpu &g) {
+            g.captureSnapshot(*snap);
+        });
+    }
+    ff.workload->run(pioneer);
+
+    for (const auto &s : ff.snaps)
+        gpufi_assert(s->valid);
+    gpufi_assert(pioneer.cycle() == golden_.totalCycles);
+}
+
+Outcome
+CampaignRunner::executeFast(const FaultPlan &plan,
+                            const CampaignSpec &spec,
+                            const FastForward &ff,
+                            mem::DeviceMemory &dmem,
+                            InjectionRecord *rec, uint64_t *cyclesOut)
+{
+    // Nearest predecessor snapshot (the ladder includes the global
+    // minimum injection cycle, so one always exists).
+    auto it = std::upper_bound(ff.snapCycles.begin(),
+                               ff.snapCycles.end(), plan.cycle);
+    gpufi_assert(it != ff.snapCycles.begin());
+    const sim::GpuSnapshot &snap =
+        *ff.snaps[static_cast<size_t>(it - ff.snapCycles.begin()) - 1];
+
+    dmem.restore(ff.setupImage);
+    sim::Gpu gpu(gpu_, dmem);
+    gpu.beginReplay(ff.trace, snap);
+    if (spec.earlyTermination)
+        gpu.enableConvergenceCheck(ff.trace, plan.cycle + 1);
+    gpu.setCycleLimit(2 * golden_.totalCycles);
+    gpu.scheduleInjection(plan.cycle, [plan, rec](sim::Gpu &g) {
+        applyFault(g, plan, rec);
+    });
+    for (size_t i = 0; i < spec.alsoTargets.size(); ++i) {
+        FaultPlan extra = plan;
+        extra.target = spec.alsoTargets[i];
+        extra.seed = plan.seed ^ (0x517cc1b727220a95ULL * (i + 1));
+        gpu.scheduleInjection(extra.cycle, [extra](sim::Gpu &g) {
+            applyFault(g, extra, nullptr);
+        });
+    }
+
+    Outcome outcome;
+    try {
+        ff.workload->run(gpu);
+        std::vector<uint8_t> out = ff.workload->readOutput(dmem);
+        if (out != golden_.output)
+            outcome = Outcome::SDC;
+        else if (gpu.cycle() != golden_.totalCycles)
+            outcome = Outcome::Performance;
+        else
+            outcome = Outcome::Masked;
+    } catch (const sim::ConvergedEarly &) {
+        // The state hash matched the golden stream: the rest of the
+        // run follows the golden execution, so the output and the
+        // cycle count are the golden ones.
+        if (cyclesOut)
+            *cyclesOut = golden_.totalCycles;
+        return Outcome::Masked;
+    } catch (const mem::DeviceFault &) {
+        outcome = Outcome::Crash;
+    } catch (const sim::TimeoutError &) {
+        outcome = Outcome::Timeout;
+    }
+    if (cyclesOut)
+        *cyclesOut = gpu.cycle();
+    return outcome;
+}
+
 Outcome
 CampaignRunner::executeOne(const FaultPlan &plan,
                            const std::vector<FaultTarget> &also,
@@ -280,29 +390,87 @@ CampaignRunner::run(const CampaignSpec &spec,
     const GoldenRun &g = golden();
     const KernelProfile &prof = g.profile(spec.kernelName);
 
-    CampaignResult result;
-    std::vector<RunRecord> local(spec.runs);
-    std::mutex mtx;
+    // Plans are deterministic per (campaign seed, run index), so they
+    // can be drawn up front, independent of execution order.
+    std::vector<FaultPlan> plans(spec.runs);
+    for (uint32_t i = 0; i < spec.runs; ++i)
+        plans[i] = makePlan(spec, prof, i);
 
-    auto doRun = [&](size_t i) {
-        RunRecord &r = local[i];
-        r.runIdx = static_cast<uint32_t>(i);
-        r.plan = makePlan(spec, prof, r.runIdx);
-        r.outcome = executeOne(r.plan, spec.alsoTargets,
-                               &r.injection, &r.cycles);
-        std::lock_guard<std::mutex> lock(mtx);
-        result.add(r.outcome);
+    const bool wantRecords = records && spec.keepRecords;
+    const bool fast = spec.fastForward &&
+                      spec.runs >= CampaignSpec::kFastForwardMinRuns;
+
+    // Under fast-forward, issue runs in injection-cycle order so
+    // neighbouring runs restore the same (cache-warm) snapshot.
+    std::vector<uint32_t> order(spec.runs);
+    std::iota(order.begin(), order.end(), 0u);
+    if (fast) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             return plans[a].cycle < plans[b].cycle;
+                         });
+    }
+
+    FastForward ff;
+    if (fast)
+        buildFastForward(spec, plans, ff);
+
+    // Per-run records only materialize when the caller asked for
+    // them; outcome counts accumulate per worker, merged once at the
+    // end, so workers share no mutable state at all.
+    std::vector<RunRecord> local(wantRecords ? spec.runs : 0);
+    std::atomic<size_t> next{0};
+    std::vector<CampaignResult> partial;
+
+    auto worker = [&](size_t wi) {
+        std::unique_ptr<mem::DeviceMemory> dmem;
+        if (fast) {
+            // One device-memory arena per worker, reset from the
+            // cached setup() image before each run.
+            dmem = std::make_unique<mem::DeviceMemory>(
+                ff.workload->memBytes());
+        }
+        for (;;) {
+            size_t k = next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= order.size())
+                break;
+            const uint32_t i = order[k];
+            const FaultPlan &plan = plans[i];
+            InjectionRecord *rec = nullptr;
+            uint64_t *cyc = nullptr;
+            RunRecord *r = nullptr;
+            if (wantRecords) {
+                r = &local[i];
+                r->runIdx = i;
+                r->plan = plan;
+                rec = &r->injection;
+                cyc = &r->cycles;
+            }
+            Outcome o = fast ? executeFast(plan, spec, ff, *dmem,
+                                           rec, cyc)
+                             : executeOne(plan, spec.alsoTargets,
+                                          rec, cyc);
+            if (r)
+                r->outcome = o;
+            partial[wi].add(o);
+        }
     };
 
     if (threads_ == 1) {
-        for (size_t i = 0; i < spec.runs; ++i)
-            doRun(i);
+        partial.resize(1);
+        worker(0);
     } else {
         ThreadPool pool(threads_);
-        pool.parallelFor(spec.runs, doRun);
+        partial.resize(pool.size());
+        for (size_t wi = 0; wi < pool.size(); ++wi)
+            pool.submit([&worker, wi] { worker(wi); });
+        pool.wait();
     }
 
-    if (records && spec.keepRecords)
+    CampaignResult result;
+    for (const CampaignResult &p : partial)
+        result.merge(p);
+    if (wantRecords)
         *records = std::move(local);
     return result;
 }

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,8 @@ struct GoldenRun
     std::vector<uint8_t> output;
     std::vector<KernelProfile> kernels;     ///< one per static kernel
     double appOccupancy = 0.0; ///< cycle-weighted over static kernels
+    /** kernel name -> index into kernels (filled by summarizeGolden). */
+    std::map<std::string, size_t> kernelIndex;
 
     /** Profile by kernel name; fatal() if absent. */
     const KernelProfile &profile(const std::string &name) const;
@@ -118,12 +121,34 @@ struct CampaignSpec
     bool keepRecords = false;   ///< retain per-run RunRecords
 
     /**
+     * Start injected runs from a pioneer snapshot at the nearest
+     * predecessor of the injection cycle instead of simulating the
+     * fault-free prefix from cycle 0. Produces bit-identical results
+     * (same seeds -> same RunRecords); applies when runs >=
+     * kFastForwardMinRuns so the pioneer's cost amortizes.
+     */
+    bool fastForward = true;
+
+    /** Snapshots the pioneer may keep alive (memory bound). */
+    uint32_t snapshotBudget = 12;
+
+    /**
+     * Classify a run Masked as soon as its periodic state hash
+     * matches the golden stream at the same cycle (the rest of the
+     * run then provably follows the golden execution).
+     */
+    bool earlyTermination = true;
+
+    /**
      * Additional structures struck *simultaneously* with `target`
      * in every run, at the same cycle with independent entity/bit
      * draws (paper Table IV: "different hardware structures
      * simultaneously").
      */
     std::vector<FaultTarget> alsoTargets;
+
+    /** Below this run count fast-forward is not worth the pioneer. */
+    static constexpr uint32_t kFastForwardMinRuns = 4;
 };
 
 /**
@@ -155,9 +180,30 @@ class CampaignRunner
     const sim::GpuConfig &gpuConfig() const { return gpu_; }
 
   private:
+    /**
+     * The per-campaign fast-forward context: the pioneer's recorded
+     * trace, the workload's post-setup() memory image, the snapshot
+     * ladder (sorted by cycle) and the shared workload instance whose
+     * run() every injected run re-enters.
+     */
+    struct FastForward
+    {
+        std::unique_ptr<Workload> workload;
+        mem::DeviceMemory::Image setupImage;
+        sim::GoldenTrace trace;
+        std::vector<uint64_t> snapCycles;
+        std::vector<std::unique_ptr<sim::GpuSnapshot>> snaps;
+    };
+
     Outcome executeOne(const FaultPlan &plan,
                        const std::vector<FaultTarget> &also,
                        InjectionRecord *rec, uint64_t *cyclesOut);
+    Outcome executeFast(const FaultPlan &plan, const CampaignSpec &spec,
+                        const FastForward &ff, mem::DeviceMemory &dmem,
+                        InjectionRecord *rec, uint64_t *cyclesOut);
+    void buildFastForward(const CampaignSpec &spec,
+                          const std::vector<FaultPlan> &plans,
+                          FastForward &ff);
     FaultPlan makePlan(const CampaignSpec &spec,
                        const KernelProfile &prof, uint32_t runIdx);
 

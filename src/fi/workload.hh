@@ -25,9 +25,10 @@ namespace gpufi {
 namespace fi {
 
 /**
- * One benchmark application. Campaign runs create a fresh instance
- * per execution (instances are single-use: setup() then run() once),
- * so parallel runs share nothing.
+ * One benchmark application. setup() is called once per instance;
+ * run() must be re-entrant: fast-forwarded campaigns share one
+ * instance across all injected runs (each with its own restored
+ * DeviceMemory), so run() may not mutate members set up by setup().
  */
 class Workload
 {
@@ -49,7 +50,9 @@ class Workload
     /**
      * Launch every kernel of the application in order, returning the
      * per-launch statistics. Host-side logic between launches (e.g.
-     * convergence flags) reads device memory directly.
+     * convergence flags) must access device memory through the Gpu
+     * host API (hostRead/hostWrite) so snapshot replay can log and
+     * re-serve those accesses deterministically.
      */
     virtual std::vector<sim::LaunchStats> run(sim::Gpu &gpu) = 0;
 

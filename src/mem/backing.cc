@@ -47,6 +47,53 @@ DeviceMemory::reset()
     brk_ = kHeapBase;
     texBase_ = 0;
     texSize_ = 0;
+    highWater_ = kHeapBase;
+}
+
+void
+DeviceMemory::noteWrite(Addr addr, uint64_t size)
+{
+    if (addr + size > highWater_)
+        highWater_ = addr + size;
+}
+
+void
+DeviceMemory::snapshot(Image &out) const
+{
+    Addr hi = extent();
+    out.bytes.assign(store_.data() + kHeapBase, store_.data() + hi);
+    out.brk = brk_;
+    out.texBase = texBase_;
+    out.texSize = texSize_;
+    out.highWater = highWater_;
+}
+
+void
+DeviceMemory::restore(const Image &img)
+{
+    // Only the union of both dirtied ranges needs touching: bytes
+    // beyond each high-water mark are zero by construction.
+    Addr imgEnd = kHeapBase + img.bytes.size();
+    Addr clearEnd = extent() > imgEnd ? extent() : imgEnd;
+    gpufi_assert(clearEnd <= store_.size());
+    std::memset(store_.data() + kHeapBase, 0, clearEnd - kHeapBase);
+    std::memcpy(store_.data() + kHeapBase, img.bytes.data(),
+                img.bytes.size());
+    brk_ = img.brk;
+    texBase_ = img.texBase;
+    texSize_ = img.texSize;
+    highWater_ = img.highWater;
+}
+
+void
+DeviceMemory::hashInto(StateHasher &h) const
+{
+    Addr hi = extent();
+    h.mixU64(brk_);
+    h.mixU64(texBase_);
+    h.mixU64(texSize_);
+    h.mixU64(hi);
+    h.mixBytes(store_.data() + kHeapBase, hi - kHeapBase);
 }
 
 bool
@@ -82,6 +129,7 @@ DeviceMemory::write(Addr addr, const void *in, uint64_t size)
             static_cast<unsigned long long>(size),
             static_cast<unsigned long long>(addr)));
     std::memcpy(store_.data() + addr, in, size);
+    noteWrite(addr, size);
 }
 
 void
@@ -126,6 +174,7 @@ DeviceMemory::copyLine(Addr from, Addr to, uint32_t size)
             " (corrupted tag)",
             static_cast<unsigned long long>(to)));
     std::memmove(store_.data() + to, store_.data() + from, size);
+    noteWrite(to, size);
 }
 
 void
@@ -135,6 +184,7 @@ DeviceMemory::flipBit(Addr addr, unsigned bit)
     if (!valid(addr, 1))
         return; // fault targets outside live data are masked
     store_[addr] ^= static_cast<uint8_t>(1u << bit);
+    noteWrite(addr, 1);
 }
 
 const uint8_t *

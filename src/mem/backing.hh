@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.hh"
 #include "mem/addr.hh"
 
 namespace gpufi {
@@ -28,6 +29,21 @@ namespace mem {
 class DeviceMemory
 {
   public:
+    /**
+     * A point-in-time copy of everything that defines the memory's
+     * observable state: the dirtied byte range, the allocator brk and
+     * the texture binding. Doubles as the campaign's cached
+     * setup() image and as the memory part of a GpuSnapshot.
+     */
+    struct Image
+    {
+        std::vector<uint8_t> bytes; ///< contents of [base, extent)
+        Addr brk = 0;
+        Addr texBase = 0;
+        uint64_t texSize = 0;
+        Addr highWater = 0;
+    };
+
     /** @param capacity total device memory in bytes. */
     explicit DeviceMemory(uint64_t capacity = 64ull << 20);
 
@@ -101,13 +117,42 @@ class DeviceMemory
 
     uint64_t capacity() const { return store_.size(); }
 
+    /**
+     * One past the highest byte ever written (allocation alone does
+     * not raise it). Bounds snapshotting and hashing: bytes beyond
+     * the high-water mark are guaranteed zero.
+     */
+    Addr highWater() const { return highWater_; }
+
+    /** Capture the current state into @p out. */
+    void snapshot(Image &out) const;
+
+    /**
+     * Restore a previously captured state. Equivalent to reset() +
+     * replaying every write the image saw, but only touches the byte
+     * range either side ever dirtied.
+     */
+    void restore(const Image &img);
+
+    /**
+     * Fold all observable state (dirtied bytes, brk, texture
+     * binding) into @p h for golden-vs-faulty convergence checks.
+     */
+    void hashInto(StateHasher &h) const;
+
   private:
     static constexpr Addr kHeapBase = 0x10000;
+
+    /** Upper bound of the region snapshot/hash must cover. */
+    Addr extent() const { return brk_ > highWater_ ? brk_ : highWater_; }
+
+    void noteWrite(Addr addr, uint64_t size);
 
     std::vector<uint8_t> store_;
     Addr brk_ = kHeapBase;
     Addr texBase_ = 0;
     uint64_t texSize_ = 0;
+    Addr highWater_ = kHeapBase;
 };
 
 } // namespace mem

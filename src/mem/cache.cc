@@ -235,5 +235,57 @@ Cache::lineValid(uint32_t lineIdx) const
     return lines_[lineIdx].valid;
 }
 
+void
+Cache::snapshot(State &out) const
+{
+    out.lines = lines_;
+    out.hooks = hooks_;
+    out.stats = stats_;
+    out.accessCounter = accessCounter_;
+}
+
+void
+Cache::restore(const State &s)
+{
+    gpufi_assert(s.lines.size() == lines_.size());
+    lines_ = s.lines;
+    hooks_ = s.hooks;
+    stats_ = s.stats;
+    accessCounter_ = s.accessCounter;
+}
+
+void
+Cache::hashInto(StateHasher &h) const
+{
+    const uint32_t assoc = cfg_.assoc;
+    const uint32_t sets = cfg_.numSets();
+    for (uint32_t set = 0; set < sets; ++set) {
+        const Line *base = &lines_[static_cast<size_t>(set) * assoc];
+        for (uint32_t way = 0; way < assoc; ++way) {
+            const Line &l = base[way];
+            if (!l.valid)
+                continue;
+            // Recency rank of this way among the set's valid lines.
+            uint32_t rank = 0;
+            for (uint32_t o = 0; o < assoc; ++o)
+                if (o != way && base[o].valid && base[o].lru < l.lru)
+                    ++rank;
+            uint32_t idx = set * assoc + way;
+            h.mixU64((static_cast<uint64_t>(idx) << 8) | rank |
+                     (l.dirty ? 0x80u : 0u));
+            h.mixU64(l.tag);
+            h.mixU64(l.trueAddr);
+            auto it = hooks_.find(idx);
+            if (it != hooks_.end()) {
+                // Hook order within a line is append order, which is
+                // deterministic; hash it as-is.
+                h.mixU64(it->second.size());
+                for (uint32_t bit : it->second)
+                    h.mixU64(bit);
+            }
+        }
+    }
+}
+
 } // namespace mem
 } // namespace gpufi

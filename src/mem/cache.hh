@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.hh"
 #include "mem/addr.hh"
 #include "mem/backing.hh"
 
@@ -73,6 +74,25 @@ struct CacheStats
 class Cache
 {
   public:
+    /** Tag/status of one line (data lives in DeviceMemory). */
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;      ///< stored tag (mutable by faults)
+        Addr trueAddr = 0;     ///< line address the fill used
+        uint64_t lru = 0;
+    };
+
+    /** Complete mutable state, for campaign snapshot/restore. */
+    struct State
+    {
+        std::vector<Line> lines;
+        std::unordered_map<uint32_t, std::vector<uint32_t>> hooks;
+        CacheStats stats;
+        uint64_t accessCounter = 0;
+    };
+
     /**
      * @param name diagnostic name
      * @param cfg geometry
@@ -128,16 +148,23 @@ class Cache
     /** Number of currently active data hooks (diagnostics/tests). */
     size_t activeHooks() const { return hooks_.size(); }
 
-  private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        uint64_t tag = 0;      ///< stored tag (mutable by faults)
-        Addr trueAddr = 0;     ///< line address the fill used
-        uint64_t lru = 0;
-    };
+    /** Capture the full mutable state. */
+    void snapshot(State &out) const;
 
+    /** Restore a previously captured state (same geometry). */
+    void restore(const State &s);
+
+    /**
+     * Fold behavior-relevant state into @p h. Valid lines are hashed
+     * by position with tag, status, hooks and their LRU *rank* within
+     * the set — absolute lru counters differ between a restored and a
+     * straight run but only the per-set recency order (and way
+     * position, which drives invalid-way victim selection) can affect
+     * future behavior. Stats counters are excluded.
+     */
+    void hashInto(StateHasher &h) const;
+
+  private:
     uint64_t tagOf(Addr addr) const;
     uint32_t setOf(Addr addr) const;
     Addr lineAddr(Addr addr) const;

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "common/hash.hh"
+
 namespace gpufi {
 namespace mem {
 
@@ -17,6 +19,13 @@ namespace mem {
 class DramChannel
 {
   public:
+    /** Mutable state, for campaign snapshot/restore. */
+    struct State
+    {
+        uint64_t nextFree = 0;
+        uint64_t requests = 0;
+    };
+
     /**
      * @param accessLatency cycles from request to data
      * @param serviceInterval cycles the channel stays busy per request
@@ -39,6 +48,26 @@ class DramChannel
     }
 
     uint64_t requests() const { return requests_; }
+
+    State snapshot() const { return {nextFree_, requests_}; }
+
+    void
+    restore(const State &s)
+    {
+        nextFree_ = s.nextFree;
+        requests_ = s.requests;
+    }
+
+    /**
+     * Fold the channel's behavior-relevant state into @p h at cycle
+     * @p now: only residual busy time matters (any nextFree <= now
+     * behaves identically); the request counter is stats-only.
+     */
+    void
+    hashInto(StateHasher &h, uint64_t now) const
+    {
+        h.mixU64(nextFree_ > now ? nextFree_ - now : 0);
+    }
 
   private:
     uint32_t accessLatency_;

@@ -86,6 +86,37 @@ L2Subsystem::injectBit(uint32_t lineIdx, uint64_t bit)
     return banks_[bankIdx]->injectBit(local, bit);
 }
 
+void
+L2Subsystem::snapshot(State &out) const
+{
+    out.banks.resize(banks_.size());
+    for (size_t i = 0; i < banks_.size(); ++i)
+        banks_[i]->snapshot(out.banks[i]);
+    out.channels.resize(channels_.size());
+    for (size_t i = 0; i < channels_.size(); ++i)
+        out.channels[i] = channels_[i].snapshot();
+}
+
+void
+L2Subsystem::restore(const State &s)
+{
+    gpufi_assert(s.banks.size() == banks_.size());
+    gpufi_assert(s.channels.size() == channels_.size());
+    for (size_t i = 0; i < banks_.size(); ++i)
+        banks_[i]->restore(s.banks[i]);
+    for (size_t i = 0; i < channels_.size(); ++i)
+        channels_[i].restore(s.channels[i]);
+}
+
+void
+L2Subsystem::hashInto(StateHasher &h, uint64_t now) const
+{
+    for (const auto &b : banks_)
+        b->hashInto(h);
+    for (const auto &c : channels_)
+        c.hashInto(h, now);
+}
+
 CacheStats
 L2Subsystem::stats() const
 {

@@ -79,6 +79,22 @@ class L2Subsystem
 
     const L2Params &params() const { return params_; }
 
+    /** Complete mutable state, for campaign snapshot/restore. */
+    struct State
+    {
+        std::vector<Cache::State> banks;
+        std::vector<DramChannel::State> channels;
+    };
+
+    /** Capture the full mutable state. */
+    void snapshot(State &out) const;
+
+    /** Restore a previously captured state (same geometry). */
+    void restore(const State &s);
+
+    /** Fold behavior-relevant state into @p h at cycle @p now. */
+    void hashInto(StateHasher &h, uint64_t now) const;
+
   private:
     L2Params params_;
     std::vector<std::unique_ptr<Cache>> banks_;

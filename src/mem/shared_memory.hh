@@ -54,6 +54,9 @@ class SharedMemory
         flipBitInBuffer(data_.data(), bit);
     }
 
+    /** Raw contents (snapshot hashing). */
+    const uint8_t *bytes() const { return data_.data(); }
+
   private:
     void
     check(uint32_t addr, uint32_t bytes) const

@@ -11,11 +11,13 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hh"
 #include "sim/gpu_config.hh"
 #include "sim/runtime.hh"
+#include "sim/snapshot.hh"
 
 namespace gpufi {
 namespace isa {
@@ -84,6 +86,26 @@ class SimtCore
 
     /** Live warps across resident CTAs. */
     uint32_t liveWarps() const;
+
+    /** Capture scheduler + cache state (at the fault firing point). */
+    void snapshot(CoreState &out) const;
+
+    /**
+     * Restore onto an empty core. @p byId maps CTA linear ids to the
+     * restored CtaRuntime instances (owned by the Gpu); the kernel
+     * must already be set on the Gpu so addCta sees its register
+     * footprint.
+     */
+    void restore(const CoreState &s,
+                 const std::unordered_map<uint64_t, CtaRuntime *> &byId);
+
+    /**
+     * Fold behavior-relevant core state into @p h at cycle @p now.
+     * Writeback timestamps are normalized relative to @p now and
+     * order-normalized across equal cycles (drain order among equal
+     * timestamps cannot affect behavior).
+     */
+    void hashInto(StateHasher &h, uint64_t now) const;
 
   private:
     bool canIssue(const WarpContext &w, uint64_t now) const;

@@ -242,6 +242,24 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
                   kernel.name.c_str(), inst.src[0].value,
                   params.size());
 
+    if (replayTrace_) {
+        // Replay-skip mode: validate the launch against the pioneer's
+        // log; before the resume point, return the recorded stats
+        // without simulating.
+        const GoldenTrace &t = *replayTrace_;
+        const size_t idx = launchesStarted_;
+        gpufi_assert(idx < t.launches.size() && idx < t.stats.size());
+        const LaunchDesc &d = t.launches[idx];
+        gpufi_assert(d.kernelName == kernel.name && d.grid == grid &&
+                     d.block == block && d.params == params);
+        ++launchesStarted_;
+        if (idx < resumeSnap_->launchIdx)
+            return t.stats[idx];
+        gpufi_assert(idx == resumeSnap_->launchIdx);
+        restoreFromSnapshot(kernel);
+        return runLaunchLoop();
+    }
+
     kernel_ = &kernel;
     grid_ = grid;
     block_ = block;
@@ -266,18 +284,32 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
         mem_.write(paramBase_, params_.data(), params_.size() * 4);
     }
 
-    LaunchStats stats;
-    stats.kernelName = kernel.name;
-    stats.startCycle = cycle_;
-    stats.totalThreads = grid.count() * block.count();
-    stats.regsPerThread = kernel.numRegs;
-    stats.smemPerCta = kernel.sharedBytes;
-    stats.localPerThread = kernel.localBytes;
-    const uint64_t instrBefore = warpInstructions_;
+    runHash_.mixStr(kernel.name);
+    runHash_.mixU64((static_cast<uint64_t>(grid.x) << 32) | grid.y);
+    runHash_.mixU64((static_cast<uint64_t>(block.x) << 32) | block.y);
+    runHash_.mixU64(params_.size());
+    runHash_.mixBytes(params_.data(), params_.size() * 4);
+    if (recordTrace_) {
+        LaunchDesc d;
+        d.kernelName = kernel.name;
+        d.grid = grid;
+        d.block = block;
+        d.params = params_;
+        recordTrace_->launches.push_back(std::move(d));
+    }
+    ++launchesStarted_;
+    launchStartCycle_ = cycle_;
+    launchStartInstr_ = warpInstructions_;
 
     scheduleCtas();
+    return runLaunchLoop();
+}
 
-    const uint64_t totalCtas = grid.count();
+LaunchStats
+Gpu::runLaunchLoop()
+{
+    const isa::Kernel &kernel = *kernel_;
+    const uint64_t totalCtas = grid_.count();
     while (completedCtas_ < totalCtas) {
         if (cycle_ >= cycleLimit_) {
             kernel_ = nullptr;
@@ -287,6 +319,8 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
                 kernel.name.c_str()));
         }
         fireInjections();
+        maybeRecordHash();
+        maybeCheckConvergence();
         for (auto &core : cores_)
             if (core->busy())
                 core->step(cycle_);
@@ -295,8 +329,15 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
         ++cycle_;
     }
 
+    LaunchStats stats;
+    stats.kernelName = kernel.name;
+    stats.startCycle = launchStartCycle_;
+    stats.totalThreads = grid_.count() * block_.count();
+    stats.regsPerThread = kernel.numRegs;
+    stats.smemPerCta = kernel.sharedBytes;
+    stats.localPerThread = kernel.localBytes;
     stats.endCycle = cycle_;
-    stats.warpInstructions = warpInstructions_ - instrBefore;
+    stats.warpInstructions = warpInstructions_ - launchStartInstr_;
     if (sampleCount_ > 0) {
         double n = static_cast<double>(sampleCount_);
         stats.occupancy = occSum_ / n;
@@ -304,6 +345,8 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
         stats.ctasMeanPerSm = ctaSum_ / n;
     }
     kernel_ = nullptr;
+    if (recordTrace_)
+        recordTrace_->stats.push_back(stats);
     return stats;
 }
 

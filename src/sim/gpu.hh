@@ -22,6 +22,7 @@
 #include "sim/gpu_config.hh"
 #include "sim/launch.hh"
 #include "sim/runtime.hh"
+#include "sim/snapshot.hh"
 
 namespace gpufi {
 namespace sim {
@@ -32,6 +33,13 @@ namespace sim {
  * from DeviceMemory, destroy. The global cycle counter accumulates
  * across launches, so the injector can aim a fault at any cycle of
  * the whole application, as the paper's cycle-file mechanism does.
+ *
+ * For campaign fast-forward a fresh Gpu can instead resume mid-run
+ * from a GpuSnapshot (see snapshot.hh): record() captures a
+ * GoldenTrace on the pioneer run, beginReplay() skips the launches
+ * before the snapshot and restores the machine state inside the
+ * matching launch, after which simulation proceeds bit-identically
+ * to a from-scratch run.
  */
 class Gpu
 {
@@ -77,6 +85,74 @@ class Gpu
 
     /** Register a fault to fire at the start of the given cycle. */
     void scheduleInjection(uint64_t cycle, InjectionFn fn);
+
+    // ---- Host-side device-memory access -----------------------------
+    //
+    // Host logic between launches (convergence flags, host-side
+    // reductions) must use these instead of mem() directly: during
+    // campaign replay the Gpu serves reads from the pioneer's log and
+    // suppresses writes while launches are being skipped, and in
+    // normal execution the values are folded into the run digest so
+    // host-visible divergence blocks early-convergence termination.
+
+    /** Host read of device memory (logged/replayed in campaigns). */
+    void hostRead(mem::Addr addr, void *out, uint64_t size);
+
+    /** Host write to device memory (logged/replayed in campaigns). */
+    void hostWrite(mem::Addr addr, const void *in, uint64_t size);
+
+    uint32_t
+    hostRead32(mem::Addr addr)
+    {
+        uint32_t v;
+        hostRead(addr, &v, 4);
+        return v;
+    }
+
+    void
+    hostWrite32(mem::Addr addr, uint32_t value)
+    {
+        hostWrite(addr, &value, 4);
+    }
+
+    // ---- Campaign fast-forward --------------------------------------
+
+    /** Record launches, host ops and the hash stream into @p trace. */
+    void record(GoldenTrace *trace) { recordTrace_ = trace; }
+
+    /**
+     * Capture complete simulator state. Call at the fault firing
+     * point (top of a cycle, e.g. from a scheduled injection
+     * callback) on a fresh-start Gpu mid-launch.
+     */
+    void captureSnapshot(GpuSnapshot &out) const;
+
+    /**
+     * Arm replay on a fresh Gpu: launches before snap.launchIdx
+     * return their recorded stats without simulating, host ops are
+     * served from the trace's log, and the launch at snap.launchIdx
+     * restores the snapshot and resumes cycle-accurate simulation.
+     * The Gpu's DeviceMemory must hold the workload's post-setup()
+     * image (the snapshot carries every later mutation).
+     */
+    void beginReplay(const GoldenTrace &trace, const GpuSnapshot &snap);
+
+    /**
+     * Periodically compare this run's state hash against @p trace's
+     * golden stream, starting no earlier than @p minCycle (use
+     * injection cycle + 1). On a match, launch() throws
+     * ConvergedEarly. Mismatches back off exponentially.
+     */
+    void enableConvergenceCheck(const GoldenTrace &trace,
+                                uint64_t minCycle);
+
+    /**
+     * Hash of everything that can influence the rest of the run:
+     * the host-visible history digest, device memory, L2/DRAM, and
+     * per-core caches, scheduler and CTA state, with timestamps
+     * normalized relative to the current cycle.
+     */
+    StateHasher stateHash() const;
 
     // ---- Injector query surface -------------------------------------
 
@@ -139,6 +215,10 @@ class Gpu
     std::unique_ptr<CtaRuntime> createCta(uint64_t linearId);
     void fireInjections();
     void sampleStats();
+    LaunchStats runLaunchLoop();
+    void restoreFromSnapshot(const isa::Kernel &kernel);
+    void maybeRecordHash();
+    void maybeCheckConvergence();
 
     GpuConfig config_;
     mem::DeviceMemory &mem_;
@@ -167,10 +247,25 @@ class Gpu
     std::multimap<uint64_t, InjectionFn> injections_;
 
     // Per-launch statistics accumulation
+    uint64_t launchStartCycle_ = 0;
+    uint64_t launchStartInstr_ = 0;
     double occSum_ = 0.0;
     double threadSum_ = 0.0;
     double ctaSum_ = 0.0;
     uint64_t sampleCount_ = 0;
+
+    // Campaign fast-forward (see snapshot.hh)
+    GoldenTrace *recordTrace_ = nullptr;        ///< pioneer mode
+    const GoldenTrace *replayTrace_ = nullptr;  ///< replay-skip mode
+    const GpuSnapshot *resumeSnap_ = nullptr;
+    size_t replayHostCursor_ = 0;
+    uint64_t hostOpCount_ = 0;
+    size_t launchesStarted_ = 0;
+    const GoldenTrace *convTrace_ = nullptr;
+    uint64_t convNextCycle_ = ~0ULL;
+    uint64_t convStride_ = 1;
+    /** Digest of launches issued and host-op values so far. */
+    StateHasher runHash_;
 };
 
 } // namespace sim

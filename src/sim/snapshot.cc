@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Snapshot capture/restore and state hashing for campaign
+ * fast-forward (see snapshot.hh for the scheme).
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "sim/core.hh"
+#include "sim/gpu.hh"
+#include "sim/snapshot.hh"
+
+namespace gpufi {
+namespace sim {
+
+namespace {
+
+/** Distinguish host reads/writes and launches in the run digest. */
+constexpr uint64_t kTagHostRead = 0x486f73745244ULL;   // "HostRD"
+constexpr uint64_t kTagHostWrite = 0x486f73745752ULL;  // "HostWR"
+
+/**
+ * Fold one CTA's architectural state into @p h. Registers of exited
+ * threads are skipped: nothing can read them again, so divergence
+ * confined to them must not block convergence detection.
+ */
+void
+hashCta(StateHasher &h, const CtaRuntime &cta, uint64_t now)
+{
+    h.mixU64(cta.linearId);
+    h.mixU64(static_cast<uint64_t>(cta.coreId));
+    h.mixU64((static_cast<uint64_t>(cta.liveWarps) << 32) |
+             cta.barrierArrived);
+    h.mixBytes(cta.shared.bytes(), cta.shared.size());
+    for (const auto &t : cta.threads) {
+        h.mixU64(t.exited);
+        if (!t.exited)
+            h.mixBytes(t.regs.data(), t.regs.size() * 4);
+    }
+    for (const auto &w : cta.warps) {
+        h.mixU64(w.stack.size());
+        for (const auto &e : w.stack) {
+            h.mixU64((static_cast<uint64_t>(
+                          static_cast<uint32_t>(e.pc)) << 32) |
+                     static_cast<uint32_t>(e.rpc));
+            h.mixU64(e.mask);
+        }
+        h.mixU64((static_cast<uint64_t>(w.validMask) << 32) |
+                 w.exitedMask);
+        h.mixU64((w.atBarrier ? 1u : 0u) | (w.done ? 2u : 0u));
+        h.mixU64(w.readyAt > now ? w.readyAt - now : 0);
+        h.mixU64(w.arrivalOrder);
+        h.mixBytes(w.pendingWrites.data(), w.pendingWrites.size());
+    }
+}
+
+} // namespace
+
+// ---- SimtCore ------------------------------------------------------
+
+void
+SimtCore::snapshot(CoreState &out) const
+{
+    // Captures happen at the fault firing point (top of a cycle),
+    // where the previous step's retired CTAs have all been swept.
+    gpufi_assert(retired_.empty());
+
+    out.ctaOrder.clear();
+    out.ctaOrder.reserve(ctas_.size());
+    for (const CtaRuntime *cta : ctas_)
+        out.ctaOrder.push_back(cta->linearId);
+    out.rrCursor = rrCursor_;
+    out.hasGto = gtoWarp_ != nullptr;
+    if (gtoWarp_) {
+        out.gtoCtaLinear = gtoWarp_->cta->linearId;
+        out.gtoWarpIdx = gtoWarp_->warpIdInCta;
+    }
+    out.liveThreads = liveThreads_;
+
+    out.wb.clear();
+    auto q = wb_;
+    while (!q.empty()) {
+        const WbEvent &e = q.top();
+        out.wb.push_back({e.cycle, e.warp->cta->linearId,
+                          e.warp->warpIdInCta, e.reg});
+        q.pop();
+    }
+
+    out.hasL1d = l1d_ != nullptr;
+    if (l1d_)
+        l1d_->snapshot(out.l1d);
+    l1t_->snapshot(out.l1t);
+    l1c_->snapshot(out.l1c);
+}
+
+void
+SimtCore::restore(const CoreState &s,
+                  const std::unordered_map<uint64_t, CtaRuntime *> &byId)
+{
+    gpufi_assert(ctas_.empty() && warps_.empty() && wb_.empty() &&
+                 retired_.empty());
+    auto ctaOf = [&](uint64_t linearId) -> CtaRuntime * {
+        auto it = byId.find(linearId);
+        gpufi_assert(it != byId.end());
+        return it->second;
+    };
+
+    // addCta replicates the original warps_ append order and the
+    // used-resource accounting; the kernel is already set on the Gpu.
+    for (uint64_t id : s.ctaOrder)
+        addCta(ctaOf(id));
+    // addCta counted every thread of each CTA; apply recorded exits.
+    liveThreads_ = s.liveThreads;
+    rrCursor_ = s.rrCursor;
+    gtoWarp_ = nullptr;
+    if (s.hasGto) {
+        CtaRuntime *cta = ctaOf(s.gtoCtaLinear);
+        gpufi_assert(s.gtoWarpIdx < cta->warps.size());
+        gtoWarp_ = &cta->warps[s.gtoWarpIdx];
+    }
+    // Rebuild in-flight writebacks; the warps' pendingWrites counters
+    // came with the CTA copies, so push events without re-counting.
+    for (const CoreState::Wb &e : s.wb) {
+        CtaRuntime *cta = ctaOf(e.ctaLinear);
+        gpufi_assert(e.warpIdx < cta->warps.size());
+        wb_.push({e.cycle, &cta->warps[e.warpIdx], e.reg});
+    }
+
+    gpufi_assert(s.hasL1d == (l1d_ != nullptr));
+    if (l1d_)
+        l1d_->restore(s.l1d);
+    l1t_->restore(s.l1t);
+    l1c_->restore(s.l1c);
+}
+
+void
+SimtCore::hashInto(StateHasher &h, uint64_t now) const
+{
+    h.mixU64(ctas_.size());
+    for (const CtaRuntime *cta : ctas_)
+        h.mixU64(cta->linearId);
+    h.mixU64(rrCursor_);
+    if (gtoWarp_) {
+        h.mixU64(gtoWarp_->cta->linearId + 1);
+        h.mixU64(gtoWarp_->warpIdInCta);
+    } else {
+        h.mixU64(0);
+    }
+
+    // Pending writebacks, normalized: relative completion time and a
+    // canonical order (drain order among equal cycles is irrelevant).
+    auto q = wb_;
+    std::vector<std::tuple<uint64_t, uint64_t, uint32_t, int>> evs;
+    while (!q.empty()) {
+        const WbEvent &e = q.top();
+        evs.emplace_back(e.cycle > now ? e.cycle - now : 0,
+                         e.warp->cta->linearId, e.warp->warpIdInCta,
+                         e.reg);
+        q.pop();
+    }
+    std::sort(evs.begin(), evs.end());
+    h.mixU64(evs.size());
+    for (const auto &[c, cta, warp, reg] : evs) {
+        h.mixU64(c);
+        h.mixU64(cta);
+        h.mixU64((static_cast<uint64_t>(warp) << 32) |
+                 static_cast<uint32_t>(reg));
+    }
+
+    if (l1d_)
+        l1d_->hashInto(h);
+    l1t_->hashInto(h);
+    l1c_->hashInto(h);
+}
+
+// ---- Gpu: host-side memory ops -------------------------------------
+
+void
+Gpu::hostRead(mem::Addr addr, void *out, uint64_t size)
+{
+    if (replayTrace_) {
+        const auto &ops = replayTrace_->hostOps;
+        gpufi_assert(replayHostCursor_ < ops.size());
+        const HostOp &op = ops[replayHostCursor_++];
+        gpufi_assert(!op.isWrite && op.addr == addr &&
+                     op.data.size() == size);
+        std::memcpy(out, op.data.data(), size);
+        return;
+    }
+    mem_.read(addr, out, size);
+    ++hostOpCount_;
+    runHash_.mixU64(kTagHostRead);
+    runHash_.mixU64(addr);
+    runHash_.mixBytes(out, size);
+    if (recordTrace_) {
+        const uint8_t *p = static_cast<const uint8_t *>(out);
+        recordTrace_->hostOps.push_back(
+            {false, addr, std::vector<uint8_t>(p, p + size)});
+    }
+}
+
+void
+Gpu::hostWrite(mem::Addr addr, const void *in, uint64_t size)
+{
+    if (replayTrace_) {
+        // Skipped epoch: the write's effect is already part of the
+        // snapshot's memory image. Validate and drop it.
+        const auto &ops = replayTrace_->hostOps;
+        gpufi_assert(replayHostCursor_ < ops.size());
+        const HostOp &op = ops[replayHostCursor_++];
+        gpufi_assert(op.isWrite && op.addr == addr &&
+                     op.data.size() == size);
+        gpufi_assert(std::memcmp(op.data.data(), in, size) == 0);
+        return;
+    }
+    mem_.write(addr, in, size);
+    ++hostOpCount_;
+    runHash_.mixU64(kTagHostWrite);
+    runHash_.mixU64(addr);
+    runHash_.mixBytes(in, size);
+    if (recordTrace_) {
+        const uint8_t *p = static_cast<const uint8_t *>(in);
+        recordTrace_->hostOps.push_back(
+            {true, addr, std::vector<uint8_t>(p, p + size)});
+    }
+}
+
+// ---- Gpu: snapshot capture/restore ---------------------------------
+
+void
+Gpu::captureSnapshot(GpuSnapshot &out) const
+{
+    gpufi_assert(kernel_ != nullptr); // must be mid-launch
+    out.cycle = cycle_;
+    out.warpInstructions = warpInstructions_;
+    out.warpArrival = warpArrival_;
+    out.launchIdx = launchesStarted_ - 1;
+    out.hostOpCursor = hostOpCount_;
+    out.kernelName = kernel_->name;
+    out.grid = grid_;
+    out.block = block_;
+    out.params = params_;
+    out.paramBase = paramBase_;
+    out.localArena = localArena_;
+    out.nextCta = nextCta_;
+    out.completedCtas = completedCtas_;
+    out.ctaCursor = ctaCursor_;
+    out.launchStartCycle = launchStartCycle_;
+    out.launchStartInstr = launchStartInstr_;
+    out.occSum = occSum_;
+    out.threadSum = threadSum_;
+    out.ctaSum = ctaSum_;
+    out.sampleCount = sampleCount_;
+    out.runHash = runHash_;
+
+    out.ctas.clear();
+    out.ctas.reserve(liveCtas_.size());
+    for (const auto &cta : liveCtas_)
+        out.ctas.push_back(*cta); // warps' cta pointers fixed on restore
+    out.cores.resize(cores_.size());
+    for (size_t i = 0; i < cores_.size(); ++i)
+        cores_[i]->snapshot(out.cores[i]);
+    l2_->snapshot(out.l2);
+    mem_.snapshot(out.mem);
+    out.valid = true;
+}
+
+void
+Gpu::beginReplay(const GoldenTrace &trace, const GpuSnapshot &snap)
+{
+    gpufi_assert(snap.valid);
+    gpufi_assert(cycle_ == 0 && launchesStarted_ == 0 &&
+                 hostOpCount_ == 0);
+    replayTrace_ = &trace;
+    resumeSnap_ = &snap;
+    replayHostCursor_ = 0;
+}
+
+void
+Gpu::restoreFromSnapshot(const isa::Kernel &kernel)
+{
+    const GpuSnapshot &snap = *resumeSnap_;
+    gpufi_assert(kernel.name == snap.kernelName);
+    gpufi_assert(replayHostCursor_ == snap.hostOpCursor);
+
+    kernel_ = &kernel;
+    grid_ = snap.grid;
+    block_ = snap.block;
+    params_ = snap.params;
+    paramBase_ = snap.paramBase;
+    localArena_ = snap.localArena;
+    nextCta_ = snap.nextCta;
+    completedCtas_ = snap.completedCtas;
+    ctaCursor_ = snap.ctaCursor;
+    warpArrival_ = snap.warpArrival;
+    cycle_ = snap.cycle;
+    warpInstructions_ = snap.warpInstructions;
+    launchStartCycle_ = snap.launchStartCycle;
+    launchStartInstr_ = snap.launchStartInstr;
+    occSum_ = snap.occSum;
+    threadSum_ = snap.threadSum;
+    ctaSum_ = snap.ctaSum;
+    sampleCount_ = snap.sampleCount;
+    runHash_ = snap.runHash;
+    hostOpCount_ = snap.hostOpCursor;
+
+    mem_.restore(snap.mem);
+    l2_->restore(snap.l2);
+
+    // Rebuild the resident CTAs in the captured liveCtas_ order (the
+    // injector's entity enumeration depends on it), re-targeting the
+    // copied warps' back-pointers at the new instances.
+    liveCtas_.clear();
+    std::unordered_map<uint64_t, CtaRuntime *> byId;
+    for (const CtaRuntime &src : snap.ctas) {
+        auto cta = std::make_unique<CtaRuntime>(src);
+        for (auto &w : cta->warps)
+            w.cta = cta.get();
+        byId.emplace(cta->linearId, cta.get());
+        liveCtas_.push_back(std::move(cta));
+    }
+    gpufi_assert(snap.cores.size() == cores_.size());
+    for (size_t i = 0; i < cores_.size(); ++i)
+        cores_[i]->restore(snap.cores[i], byId);
+
+    // Leave replay mode: the rest of the run simulates for real.
+    replayTrace_ = nullptr;
+    resumeSnap_ = nullptr;
+}
+
+// ---- Gpu: state hashing and convergence ----------------------------
+
+StateHasher
+Gpu::stateHash() const
+{
+    StateHasher h = runHash_;
+    h.mixU64(cycle_);
+    h.mixU64(nextCta_);
+    h.mixU64(completedCtas_);
+    h.mixU64(ctaCursor_);
+    h.mixU64(warpArrival_);
+    h.mixU64(paramBase_);
+    h.mixU64(localArena_);
+    mem_.hashInto(h);
+    l2_->hashInto(h, cycle_);
+    h.mixU64(liveCtas_.size());
+    for (const auto &cta : liveCtas_)
+        hashCta(h, *cta, cycle_);
+    for (const auto &core : cores_)
+        core->hashInto(h, cycle_);
+    return h;
+}
+
+void
+Gpu::maybeRecordHash()
+{
+    GoldenTrace *t = recordTrace_;
+    if (!t)
+        return;
+    if (cycle_ % t->hashInterval != 0 ||
+        cycle_ / t->hashInterval != t->hashes.size())
+        return;
+    StateHasher h = stateHash();
+    t->hashes.push_back({h.a, h.b});
+    if (t->hashes.size() > GoldenTrace::kMaxHashPoints) {
+        // Thin the stream: keep the even entries and double the
+        // interval, preserving hashes[i] == hash(i * hashInterval).
+        std::vector<HashPoint> keep;
+        keep.reserve(t->hashes.size() / 2 + 1);
+        for (size_t i = 0; i < t->hashes.size(); i += 2)
+            keep.push_back(t->hashes[i]);
+        t->hashes = std::move(keep);
+        t->hashInterval *= 2;
+    }
+}
+
+void
+Gpu::enableConvergenceCheck(const GoldenTrace &trace, uint64_t minCycle)
+{
+    convTrace_ = &trace;
+    convStride_ = 1;
+    const uint64_t h = trace.hashInterval;
+    convNextCycle_ = ((minCycle + h - 1) / h) * h;
+}
+
+void
+Gpu::maybeCheckConvergence()
+{
+    if (!convTrace_ || cycle_ != convNextCycle_)
+        return;
+    const GoldenTrace &t = *convTrace_;
+    const size_t idx = static_cast<size_t>(cycle_ / t.hashInterval);
+    if (idx >= t.hashes.size()) {
+        // Past the golden run's end: a converging run would already
+        // have matched, so stop checking.
+        convTrace_ = nullptr;
+        return;
+    }
+    StateHasher h = stateHash();
+    if (h.a == t.hashes[idx].a && h.b == t.hashes[idx].b)
+        throw ConvergedEarly{cycle_};
+    // Still divergent: back off so persistent divergence (a likely
+    // SDC) does not keep paying for full-state hashes.
+    convNextCycle_ += convStride_ * t.hashInterval;
+    if (convStride_ < 32)
+        convStride_ *= 2;
+}
+
+} // namespace sim
+} // namespace gpufi

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Simulator checkpointing for injection-campaign fast-forward.
+ *
+ * A campaign repeats the same fault-free prefix of the application up
+ * to each run's injection cycle. Instead of re-simulating that prefix
+ * 3000 times, the campaign advances one "pioneer" golden simulation
+ * once, dropping GpuSnapshots at selected injection cycles, and every
+ * injected run restores the nearest predecessor snapshot and replays
+ * only the gap. The pioneer also records a GoldenTrace: the launch
+ * sequence, per-launch stats, host-side device-memory operations, and
+ * a periodic stream of whole-machine state hashes used for
+ * early-convergence termination of injected runs.
+ *
+ * The restore-and-replay invariant: a Gpu restored from a snapshot
+ * taken at cycle C is bit-identical — architectural state, cache
+ * tags/LRU, scheduler cursors, writeback queues, RNG-visible
+ * enumeration order — to a Gpu that simulated cycles [0, C) from
+ * scratch, so the remainder of the run (including a fault injected at
+ * any cycle >= C) unfolds exactly as it would have without the skip.
+ */
+
+#ifndef GPUFI_SIM_SNAPSHOT_HH
+#define GPUFI_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+#include "mem/l2_subsystem.hh"
+#include "sim/launch.hh"
+#include "sim/runtime.hh"
+
+namespace gpufi {
+namespace sim {
+
+/** One kernel launch as issued by the workload's host code. */
+struct LaunchDesc
+{
+    std::string kernelName;
+    Dim3 grid;
+    Dim3 block;
+    std::vector<uint32_t> params;
+};
+
+/**
+ * One host-side device-memory operation (e.g. reading a convergence
+ * flag between launches). Recorded by the pioneer so that replay can
+ * serve reads from the log and validate/suppress writes while the
+ * simulation itself is being skipped.
+ */
+struct HostOp
+{
+    bool isWrite = false;
+    mem::Addr addr = 0;
+    std::vector<uint8_t> data;  ///< bytes read or written
+};
+
+/** One entry of the golden state-hash stream. */
+struct HashPoint
+{
+    uint64_t a = 0;
+    uint64_t b = 0;
+};
+
+/**
+ * Everything the pioneer run records: the launch sequence with its
+ * stats (replayed verbatim for skipped launches), the host-op log,
+ * and the periodic state-hash stream. hashes[i] is the machine hash
+ * at the top of cycle i * hashInterval; when the stream outgrows
+ * kMaxHashPoints the even entries are kept and the interval doubles,
+ * bounding both memory and hashing cost for long applications.
+ */
+struct GoldenTrace
+{
+    static constexpr size_t kMaxHashPoints = 128;
+
+    std::vector<LaunchDesc> launches;
+    std::vector<LaunchStats> stats;
+    std::vector<HostOp> hostOps;
+    std::vector<HashPoint> hashes;
+    uint64_t hashInterval = 64;
+};
+
+/** Snapshot of one SIMT core's scheduler and cache state. */
+struct CoreState
+{
+    /** A pending register writeback, by warp identity. */
+    struct Wb
+    {
+        uint64_t cycle = 0;
+        uint64_t ctaLinear = 0;
+        uint32_t warpIdx = 0;
+        int reg = -1;
+    };
+
+    std::vector<uint64_t> ctaOrder; ///< resident CTAs, placement order
+    std::vector<Wb> wb;
+    size_t rrCursor = 0;
+    bool hasGto = false;
+    uint64_t gtoCtaLinear = 0;
+    uint32_t gtoWarpIdx = 0;
+    uint32_t liveThreads = 0;
+    bool hasL1d = false;
+    mem::Cache::State l1d;
+    mem::Cache::State l1t;
+    mem::Cache::State l1c;
+};
+
+/**
+ * Complete mutable state of a Gpu at the top of one cycle (the fault
+ * firing point), sufficient to resume deterministically in a fresh
+ * Gpu over a restored DeviceMemory.
+ */
+struct GpuSnapshot
+{
+    bool valid = false;     ///< set by captureSnapshot()
+
+    // Clock and app-wide counters
+    uint64_t cycle = 0;
+    uint64_t warpInstructions = 0;
+    uint64_t warpArrival = 0;
+
+    // Position in the recorded launch/host-op streams
+    size_t launchIdx = 0;       ///< launch in progress at capture
+    uint64_t hostOpCursor = 0;  ///< host ops completed before capture
+    std::string kernelName;     ///< for validation at resume
+
+    // In-progress launch state
+    Dim3 grid;
+    Dim3 block;
+    std::vector<uint32_t> params;
+    mem::Addr paramBase = 0;
+    mem::Addr localArena = 0;
+    uint64_t nextCta = 0;
+    uint64_t completedCtas = 0;
+    size_t ctaCursor = 0;
+    uint64_t launchStartCycle = 0;
+    uint64_t launchStartInstr = 0;
+    double occSum = 0.0;
+    double threadSum = 0.0;
+    double ctaSum = 0.0;
+    uint64_t sampleCount = 0;
+
+    /** Host-visible history digest at the capture point. */
+    StateHasher runHash;
+
+    /**
+     * Resident CTAs in liveCtas_ order (value copies; the contained
+     * warps' cta back-pointers are re-targeted on restore).
+     */
+    std::vector<CtaRuntime> ctas;
+    std::vector<CoreState> cores;
+    mem::L2Subsystem::State l2;
+    mem::DeviceMemory::Image mem;
+};
+
+/**
+ * Thrown out of Gpu::launch when an injected run's state hash matches
+ * the golden stream at the same cycle: the remainder of the run is
+ * guaranteed to follow the golden execution, so the campaign can
+ * classify it Masked immediately with the golden cycle count.
+ */
+struct ConvergedEarly
+{
+    uint64_t cycle = 0;     ///< cycle at which convergence was proven
+};
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_SNAPSHOT_HH

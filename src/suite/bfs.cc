@@ -141,7 +141,7 @@ class Bfs : public SuiteWorkload
         // Hard iteration bound so a faulty flag cannot spin the host
         // forever before the cycle-limit timeout would catch it.
         for (uint32_t level = 0; level < kN; ++level) {
-            gpu.mem().write32(changed_, 0);
+            gpu.hostWrite32(changed_, 0);
             stats.push_back(gpu.launch(
                 k1, {kN / 256, 1}, {256, 1},
                 {kN, p(starts_), p(edges_), p(mask_), p(umask_),
@@ -149,7 +149,7 @@ class Bfs : public SuiteWorkload
             stats.push_back(gpu.launch(
                 k2, {kN / 256, 1}, {256, 1},
                 {kN, p(mask_), p(umask_), p(visited_), p(changed_)}));
-            if (peek32(gpu.mem(), changed_) == 0)
+            if (gpu.hostRead32(changed_) == 0)
                 break;
         }
         return stats;

@@ -117,7 +117,7 @@ class Kmeans : public SuiteWorkload
                 {kN, kDim, kK, p(pointsAddr_), p(centroidsAddr_),
                  p(labelsAddr_)}));
             if (iter + 1 < kIters)
-                updateCentroids(gpu.mem());
+                updateCentroids(gpu);
         }
         return stats;
     }
@@ -125,10 +125,10 @@ class Kmeans : public SuiteWorkload
   private:
     /** Host step: recompute centroids as per-cluster feature means. */
     void
-    updateCentroids(mem::DeviceMemory &mem)
+    updateCentroids(sim::Gpu &gpu)
     {
         std::vector<uint32_t> labels(kN);
-        mem.read(labelsAddr_, labels.data(), kN * 4);
+        gpu.hostRead(labelsAddr_, labels.data(), kN * 4);
         std::vector<float> sums(kK * kDim, 0.0f);
         std::vector<uint32_t> counts(kK, 0);
         for (uint32_t i = 0; i < kN; ++i) {
@@ -142,7 +142,7 @@ class Kmeans : public SuiteWorkload
                 for (uint32_t f = 0; f < kDim; ++f)
                     sums[l * kDim + f] /=
                         static_cast<float>(counts[l]);
-        mem.write(centroidsAddr_, sums.data(), kK * kDim * 4);
+        gpu.hostWrite(centroidsAddr_, sums.data(), kK * kDim * 4);
     }
 
     static constexpr uint32_t kN = 2048;

@@ -215,7 +215,7 @@ class Srad1 : public SuiteWorkload
 
         std::vector<sim::LaunchStats> stats;
         for (uint32_t iter = 0; iter < kIters; ++iter) {
-            uint32_t q0Bits = q0sqr(gpu.mem());
+            uint32_t q0Bits = q0sqr(gpu);
             std::vector<uint32_t> params = {
                 kDim, kDim, p(j_), p(dn_), p(ds_), p(dw_), p(de_),
                 p(c_), q0Bits};
@@ -231,10 +231,10 @@ class Srad1 : public SuiteWorkload
   private:
     /** Host step: ROI statistics q0sqr = variance / mean^2. */
     uint32_t
-    q0sqr(const mem::DeviceMemory &mem) const
+    q0sqr(sim::Gpu &gpu) const
     {
         std::vector<float> img(kDim * kDim);
-        mem.read(j_, img.data(), img.size() * 4);
+        gpu.hostRead(j_, img.data(), img.size() * 4);
         float sum = 0.0f, sum2 = 0.0f;
         for (float v : img) {
             sum += v;

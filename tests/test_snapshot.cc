@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Snapshot/restore tests: capturing complete simulator state
+ * mid-kernel and resuming it in a fresh Gpu must reproduce the
+ * original execution bit-for-bit, and fast-forwarded campaigns must
+ * be indistinguishable from from-scratch campaigns (same seeds ->
+ * same RunRecords).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+#include "fi/campaign.hh"
+#include "fi/workload.hh"
+#include "mem/backing.hh"
+#include "sim/gpu.hh"
+#include "sim/gpu_config.hh"
+#include "sim/snapshot.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+sim::GpuConfig
+fastCard()
+{
+    sim::GpuConfig c = sim::makeRtx2060();
+    c.numSms = 4;
+    c.validate();
+    return c;
+}
+
+void
+expectStatsEqual(const std::vector<sim::LaunchStats> &a,
+                 const std::vector<sim::LaunchStats> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("launch " + std::to_string(i));
+        EXPECT_EQ(a[i].kernelName, b[i].kernelName);
+        EXPECT_EQ(a[i].startCycle, b[i].startCycle);
+        EXPECT_EQ(a[i].endCycle, b[i].endCycle);
+        EXPECT_EQ(a[i].warpInstructions, b[i].warpInstructions);
+        EXPECT_EQ(a[i].totalThreads, b[i].totalThreads);
+        EXPECT_EQ(a[i].regsPerThread, b[i].regsPerThread);
+        EXPECT_EQ(a[i].smemPerCta, b[i].smemPerCta);
+        EXPECT_EQ(a[i].localPerThread, b[i].localPerThread);
+        EXPECT_EQ(a[i].occupancy, b[i].occupancy);
+        EXPECT_EQ(a[i].threadsMeanPerSm, b[i].threadsMeanPerSm);
+        EXPECT_EQ(a[i].ctasMeanPerSm, b[i].ctasMeanPerSm);
+    }
+}
+
+} // namespace
+
+/**
+ * Save/restore round trip at several points of the execution, for
+ * workloads covering single-kernel (VA), multi-kernel with host-side
+ * reads between launches (SRAD1), and data-dependent launch counts
+ * with host-side reads and writes (BFS).
+ */
+class SnapshotRoundTrip : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(SnapshotRoundTrip, RestoredRunIsBitIdentical)
+{
+    sim::GpuConfig cfg = fastCard();
+    WorkloadFactory factory = suite::factoryFor(GetParam());
+    std::unique_ptr<Workload> wl = factory();
+
+    // Post-setup() memory image, shared by every execution below.
+    mem::DeviceMemory setupMem(wl->memBytes());
+    wl->setup(setupMem);
+    mem::DeviceMemory::Image setupImage;
+    setupMem.snapshot(setupImage);
+
+    // Plain baseline run (no recording), to learn the total cycles.
+    mem::DeviceMemory baseMem(wl->memBytes());
+    baseMem.restore(setupImage);
+    sim::Gpu base(cfg, baseMem);
+    std::vector<sim::LaunchStats> baseStats = wl->run(base);
+    const uint64_t totalCycles = base.cycle();
+    std::vector<uint8_t> baseOutput = wl->readOutput(baseMem);
+    ASSERT_GT(totalCycles, 0u);
+
+    // Pioneer run: record the trace and capture snapshots (plus the
+    // machine hash) at ~25/50/75% of the execution.
+    std::vector<uint64_t> snapCycles = {
+        totalCycles / 4, totalCycles / 2, (3 * totalCycles) / 4};
+    std::vector<sim::GpuSnapshot> snaps(snapCycles.size());
+    std::vector<StateHasher> hashAtCapture(snapCycles.size());
+
+    mem::DeviceMemory pioneerMem(wl->memBytes());
+    pioneerMem.restore(setupImage);
+    sim::Gpu pioneer(cfg, pioneerMem);
+    sim::GoldenTrace trace;
+    pioneer.record(&trace);
+    for (size_t i = 0; i < snapCycles.size(); ++i)
+        pioneer.scheduleInjection(snapCycles[i], [&, i](sim::Gpu &g) {
+            g.captureSnapshot(snaps[i]);
+            hashAtCapture[i] = g.stateHash();
+        });
+    std::vector<sim::LaunchStats> pioneerStats = wl->run(pioneer);
+
+    // Recording must not perturb the execution.
+    EXPECT_EQ(pioneer.cycle(), totalCycles);
+    expectStatsEqual(pioneerStats, baseStats);
+    EXPECT_EQ(wl->readOutput(pioneerMem), baseOutput);
+    EXPECT_FALSE(trace.hashes.empty());
+
+    // Resume from each snapshot in a fresh Gpu over a fresh memory
+    // restored to the setup image; everything downstream must match.
+    for (size_t i = 0; i < snaps.size(); ++i) {
+        SCOPED_TRACE("snapshot at cycle " +
+                     std::to_string(snapCycles[i]));
+        ASSERT_TRUE(snaps[i].valid);
+        EXPECT_EQ(snaps[i].cycle, snapCycles[i]);
+
+        mem::DeviceMemory replayMem(wl->memBytes());
+        replayMem.restore(setupImage);
+        sim::Gpu replay(cfg, replayMem);
+        replay.beginReplay(trace, snaps[i]);
+
+        // The machine hash right after restore must equal the hash
+        // at the capture point — full microarchitectural identity.
+        StateHasher hashAtResume;
+        bool resumed = false;
+        replay.scheduleInjection(snapCycles[i], [&](sim::Gpu &g) {
+            hashAtResume = g.stateHash();
+            resumed = true;
+        });
+
+        std::vector<sim::LaunchStats> replayStats = wl->run(replay);
+        ASSERT_TRUE(resumed);
+        EXPECT_TRUE(hashAtResume == hashAtCapture[i]);
+        EXPECT_EQ(replay.cycle(), totalCycles);
+        expectStatsEqual(replayStats, baseStats);
+        EXPECT_EQ(wl->readOutput(replayMem), baseOutput);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SaveRestore, SnapshotRoundTrip,
+                         ::testing::Values("VA", "SRAD1", "BFS"));
+
+namespace {
+
+/** Run one campaign and return (counts, records). */
+std::pair<CampaignResult, std::vector<RunRecord>>
+runCampaign(const char *wl, const CampaignSpec &spec, size_t threads)
+{
+    CampaignRunner runner(fastCard(), suite::factoryFor(wl), threads);
+    std::vector<RunRecord> records;
+    CampaignResult result = runner.run(spec, &records);
+    return {result, records};
+}
+
+void
+expectRecordsEqual(const std::vector<RunRecord> &a,
+                   const std::vector<RunRecord> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        EXPECT_EQ(a[i].runIdx, b[i].runIdx);
+        EXPECT_EQ(a[i].plan.target, b[i].plan.target);
+        EXPECT_EQ(a[i].plan.scope, b[i].plan.scope);
+        EXPECT_EQ(a[i].plan.mode, b[i].plan.mode);
+        EXPECT_EQ(a[i].plan.cycle, b[i].plan.cycle);
+        EXPECT_EQ(a[i].plan.nBits, b[i].plan.nBits);
+        EXPECT_EQ(a[i].plan.seed, b[i].plan.seed);
+        EXPECT_EQ(a[i].injection.armed, b[i].injection.armed);
+        EXPECT_EQ(a[i].injection.detail, b[i].injection.detail);
+        EXPECT_EQ(a[i].outcome, b[i].outcome);
+        EXPECT_EQ(a[i].cycles, b[i].cycles);
+    }
+}
+
+} // namespace
+
+/**
+ * The headline equivalence: a fast-forwarded campaign (snapshot
+ * restore + early-convergence termination) must produce the exact
+ * same RunRecord stream as the from-scratch campaign.
+ */
+class CampaignEquivalence : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(CampaignEquivalence, FastForwardIsBitIdentical)
+{
+    const char *wl = GetParam();
+    CampaignSpec slow;
+    slow.kernelName = std::string(wl) == "VA" ? "vecadd" : "bfs_expand";
+    slow.runs = 24;
+    slow.seed = 5;
+    slow.keepRecords = true;
+    slow.fastForward = false;
+    slow.earlyTermination = false;
+
+    CampaignSpec fast = slow;
+    fast.fastForward = true;
+    fast.earlyTermination = true;
+
+    auto [slowResult, slowRecords] = runCampaign(wl, slow, 1);
+    auto [fastResult, fastRecords] = runCampaign(wl, fast, 1);
+
+    EXPECT_EQ(slowResult.counts, fastResult.counts);
+    expectRecordsEqual(slowRecords, fastRecords);
+}
+
+INSTANTIATE_TEST_SUITE_P(FastVsSlow, CampaignEquivalence,
+                         ::testing::Values("VA", "BFS"));
+
+TEST(CampaignEquivalence, TinySnapshotBudgetStillBitIdentical)
+{
+    // With only 2 snapshots most runs replay a long fault-free
+    // stretch from a distant predecessor — results must not change.
+    CampaignSpec slow;
+    slow.kernelName = "srad1";
+    slow.runs = 18;
+    slow.seed = 11;
+    slow.keepRecords = true;
+    slow.fastForward = false;
+    slow.earlyTermination = false;
+
+    CampaignSpec fast = slow;
+    fast.fastForward = true;
+    fast.earlyTermination = true;
+    fast.snapshotBudget = 2;
+
+    auto [slowResult, slowRecords] = runCampaign("SRAD1", slow, 1);
+    auto [fastResult, fastRecords] = runCampaign("SRAD1", fast, 1);
+
+    EXPECT_EQ(slowResult.counts, fastResult.counts);
+    expectRecordsEqual(slowRecords, fastRecords);
+}
+
+TEST(CampaignEquivalence, ParallelFastMatchesSerialFast)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 24;
+    spec.seed = 9;
+    spec.keepRecords = true;
+
+    auto [serialResult, serialRecords] = runCampaign("VA", spec, 1);
+    auto [parallelResult, parallelRecords] = runCampaign("VA", spec, 4);
+
+    EXPECT_EQ(serialResult.counts, parallelResult.counts);
+    expectRecordsEqual(serialRecords, parallelRecords);
+}
