@@ -1,0 +1,116 @@
+#include "common/fsio.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace gpufi {
+
+namespace {
+
+/** Directory part of @p path ("." when there is none). */
+std::string
+dirOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+/** fsync a directory so a rename inside it survives a crash. */
+void
+syncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        fatal("cannot open directory '%s' for fsync: %s", dir.c_str(),
+              std::strerror(errno));
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("fsync of directory '%s' failed: %s", dir.c_str(),
+              std::strerror(err));
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+openAppend(const std::string &path)
+{
+    // O_RDWR (not O_WRONLY): append-side callers also need to peek
+    // at the existing tail, e.g. to heal a torn final line.
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        fatal("cannot open '%s' for append: %s", path.c_str(),
+              std::strerror(errno));
+    return fd;
+}
+
+void
+writeFully(int fd, const void *data, uint64_t size)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    while (size > 0) {
+        ssize_t n = ::write(fd, p, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("write failed: %s", std::strerror(errno));
+        }
+        p += n;
+        size -= static_cast<uint64_t>(n);
+    }
+}
+
+void
+syncFd(int fd, const std::string &path)
+{
+    if (::fsync(fd) != 0)
+        fatal("fsync of '%s' failed: %s", path.c_str(),
+              std::strerror(errno));
+}
+
+uint64_t
+fileSize(int fd, const std::string &path)
+{
+    struct stat st;
+    if (::fstat(fd, &st) != 0)
+        fatal("fstat of '%s' failed: %s", path.c_str(),
+              std::strerror(errno));
+    return static_cast<uint64_t>(st.st_size);
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    // The temp file lives in the target's directory so the rename
+    // stays within one filesystem (rename across devices is a copy,
+    // not atomic).
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("cannot create '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+    writeFully(fd, content.data(), content.size());
+    syncFd(fd, tmp);
+    ::close(fd);
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        fatal("rename '%s' -> '%s' failed: %s", tmp.c_str(),
+              path.c_str(), std::strerror(err));
+    }
+    syncDir(dirOf(path));
+}
+
+} // namespace gpufi

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Durable file I/O helpers for the campaign durability layer: atomic
+ * whole-file replacement (temp file + fsync + rename) and fsync'd
+ * appends, so a host-side crash at any instant leaves either the old
+ * or the new contents on disk — never a half-written file.
+ */
+
+#ifndef GPUFI_COMMON_FSIO_HH
+#define GPUFI_COMMON_FSIO_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpufi {
+
+/**
+ * Replace @p path with @p content atomically: write a temp file in
+ * the same directory, fsync it, rename() over the target, and fsync
+ * the directory so the rename itself is durable. fatal() on any I/O
+ * error (a user-environment problem: permissions, full disk, ...).
+ */
+void writeFileAtomic(const std::string &path, const std::string &content);
+
+/**
+ * Open @p path for appending (created if missing, 0644).
+ * @return the file descriptor. fatal() on failure.
+ */
+int openAppend(const std::string &path);
+
+/** write() the whole buffer, retrying short writes. fatal() on error. */
+void writeFully(int fd, const void *data, uint64_t size);
+
+/** fsync @p fd; fatal() on error (@p path only names it in messages). */
+void syncFd(int fd, const std::string &path);
+
+/** Size of the file behind @p fd in bytes. fatal() on error. */
+uint64_t fileSize(int fd, const std::string &path);
+
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_FSIO_HH

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <numeric>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "fi/injector.hh"
+#include "fi/journal.hh"
 #include "mem/addr.hh"
 
 namespace gpufi {
@@ -17,6 +19,7 @@ namespace {
 
 const char *const outcomeNames[] = {
     "Masked", "Performance", "SDC", "Crash", "Timeout",
+    "ToolError", "ToolHang",
 };
 
 static_assert(sizeof(outcomeNames) / sizeof(outcomeNames[0]) ==
@@ -24,6 +27,12 @@ static_assert(sizeof(outcomeNames) / sizeof(outcomeNames[0]) ==
               "outcomeNames must cover every Outcome");
 
 } // namespace
+
+bool
+isToolOutcome(Outcome o)
+{
+    return o == Outcome::ToolError || o == Outcome::ToolHang;
+}
 
 const char *
 outcomeName(Outcome o)
@@ -77,10 +86,22 @@ CampaignResult::add(Outcome o)
     ++counts[static_cast<size_t>(o)];
 }
 
+uint32_t
+CampaignResult::toolFailures() const
+{
+    return count(Outcome::ToolError) + count(Outcome::ToolHang);
+}
+
+uint32_t
+CampaignResult::validRuns() const
+{
+    return runs() - toolFailures();
+}
+
 double
 CampaignResult::ratio(Outcome o) const
 {
-    uint32_t n = runs();
+    uint32_t n = isToolOutcome(o) ? runs() : validRuns();
     return n == 0 ? 0.0
                   : static_cast<double>(count(o)) / n;
 }
@@ -88,7 +109,7 @@ CampaignResult::ratio(Outcome o) const
 double
 CampaignResult::failureRatio() const
 {
-    uint32_t n = runs();
+    uint32_t n = validRuns();
     if (n == 0)
         return 0.0;
     uint32_t failures =
@@ -116,6 +137,22 @@ CampaignResult::merge(const CampaignResult &o)
 {
     for (size_t i = 0; i < counts.size(); ++i)
         counts[i] += o.counts[i];
+}
+
+uint64_t
+campaignFingerprint(const CampaignSpec &spec)
+{
+    StateHasher h;
+    h.mixStr(spec.kernelName);
+    h.mixU64(static_cast<uint64_t>(spec.target));
+    h.mixU64(static_cast<uint64_t>(spec.scope));
+    h.mixU64(static_cast<uint64_t>(spec.mode));
+    h.mixU64(spec.nBits);
+    h.mixU64(spec.seed);
+    h.mixU64(spec.alsoTargets.size());
+    for (FaultTarget t : spec.alsoTargets)
+        h.mixU64(static_cast<uint64_t>(t));
+    return h.a ^ (h.b * 0x9e3779b97f4a7c15ULL);
 }
 
 GoldenRun
@@ -265,6 +302,14 @@ CampaignRunner::buildFastForward(const CampaignSpec &spec,
     for (const auto &s : ff.snaps)
         gpufi_assert(s->valid);
     gpufi_assert(pioneer.cycle() == golden_.totalCycles);
+
+    if (spec.test.corruptSnapshots) {
+        // Durability tests: clobber one byte of each sealed snapshot
+        // so every restore raises sim::SnapshotCorrupt and the runs
+        // fall back to the from-scratch slow path.
+        for (auto &s : ff.snaps)
+            s->mem.bytes[0] ^= 0xff;
+    }
 }
 
 Outcome
@@ -284,10 +329,11 @@ CampaignRunner::executeFast(const FaultPlan &plan,
 
     dmem.restore(ff.setupImage);
     sim::Gpu gpu(gpu_, dmem);
-    gpu.beginReplay(ff.trace, snap);
+    gpu.beginReplay(ff.trace, snap, spec.verifySnapshots);
     if (spec.earlyTermination)
         gpu.enableConvergenceCheck(ff.trace, plan.cycle + 1);
     gpu.setCycleLimit(2 * golden_.totalCycles);
+    gpu.setWallClockLimit(spec.wallClockLimitSec);
     gpu.scheduleInjection(plan.cycle, [plan, rec](sim::Gpu &g) {
         applyFault(g, plan, rec);
     });
@@ -329,7 +375,7 @@ CampaignRunner::executeFast(const FaultPlan &plan,
 
 Outcome
 CampaignRunner::executeOne(const FaultPlan &plan,
-                           const std::vector<FaultTarget> &also,
+                           const CampaignSpec &spec,
                            InjectionRecord *rec, uint64_t *cyclesOut)
 {
     auto wl = factory_();
@@ -338,14 +384,15 @@ CampaignRunner::executeOne(const FaultPlan &plan,
     sim::Gpu gpu(gpu_, dmem);
     // The paper's Timeout bound: twice the fault-free execution time.
     gpu.setCycleLimit(2 * golden_.totalCycles);
+    gpu.setWallClockLimit(spec.wallClockLimitSec);
     gpu.scheduleInjection(plan.cycle, [plan, rec](sim::Gpu &g) {
         applyFault(g, plan, rec);
     });
     // Simultaneous faults in further structures (Table IV iii/iv):
     // same cycle, independent entity/bit draws.
-    for (size_t i = 0; i < also.size(); ++i) {
+    for (size_t i = 0; i < spec.alsoTargets.size(); ++i) {
         FaultPlan extra = plan;
-        extra.target = also[i];
+        extra.target = spec.alsoTargets[i];
         extra.seed = plan.seed ^ (0x517cc1b727220a95ULL * (i + 1));
         gpu.scheduleInjection(extra.cycle, [extra](sim::Gpu &g) {
             applyFault(g, extra, nullptr);
@@ -374,7 +421,9 @@ CampaignRunner::executeOne(const FaultPlan &plan,
 
 CampaignResult
 CampaignRunner::run(const CampaignSpec &spec,
-                    std::vector<RunRecord> *records)
+                    std::vector<RunRecord> *records,
+                    RunJournal *journal,
+                    const std::vector<RunRecord> *resumed)
 {
     if (spec.runs == 0)
         fatal("campaign with zero runs");
@@ -389,6 +438,7 @@ CampaignRunner::run(const CampaignSpec &spec,
 
     const GoldenRun &g = golden();
     const KernelProfile &prof = g.profile(spec.kernelName);
+    const uint64_t fingerprint = campaignFingerprint(spec);
 
     // Plans are deterministic per (campaign seed, run index), so they
     // can be drawn up front, independent of execution order.
@@ -396,28 +446,73 @@ CampaignRunner::run(const CampaignSpec &spec,
     for (uint32_t i = 0; i < spec.runs; ++i)
         plans[i] = makePlan(spec, prof, i);
 
+    // Resume: a journaled record claims its run index, provided it
+    // matches the deterministic plan for that index. A mismatch means
+    // the journal belongs to a different setup (config, workload or
+    // seed drifted under the same fingerprint) — resuming would merge
+    // incomparable runs, so that is fatal, not skippable.
+    std::vector<uint8_t> done(spec.runs, 0);
+    std::vector<const RunRecord *> fromJournal(spec.runs, nullptr);
+    CampaignResult resumedCounts;
+    if (resumed) {
+        for (const RunRecord &r : *resumed) {
+            if (r.runIdx >= spec.runs)
+                continue; // journal written with a larger --runs
+            if (done[r.runIdx]) {
+                warn("journal has a duplicate record for run %u; "
+                     "keeping the first", r.runIdx);
+                continue;
+            }
+            const FaultPlan &p = plans[r.runIdx];
+            if (r.plan.cycle != p.cycle || r.plan.seed != p.seed ||
+                r.plan.target != p.target)
+                fatal("journaled run %u does not match this campaign's"
+                      " deterministic plan (cycle %llu vs %llu) — the"
+                      " journal comes from a different configuration",
+                      r.runIdx,
+                      static_cast<unsigned long long>(r.plan.cycle),
+                      static_cast<unsigned long long>(p.cycle));
+            done[r.runIdx] = 1;
+            fromJournal[r.runIdx] = &r;
+            resumedCounts.add(r.outcome);
+        }
+    }
+
+    std::vector<uint32_t> pending;
+    pending.reserve(spec.runs);
+    for (uint32_t i = 0; i < spec.runs; ++i)
+        if (!done[i])
+            pending.push_back(i);
+
     const bool wantRecords = records && spec.keepRecords;
     const bool fast = spec.fastForward &&
-                      spec.runs >= CampaignSpec::kFastForwardMinRuns;
+                      pending.size() >= CampaignSpec::kFastForwardMinRuns;
 
     // Under fast-forward, issue runs in injection-cycle order so
     // neighbouring runs restore the same (cache-warm) snapshot.
-    std::vector<uint32_t> order(spec.runs);
-    std::iota(order.begin(), order.end(), 0u);
     if (fast) {
-        std::stable_sort(order.begin(), order.end(),
+        std::stable_sort(pending.begin(), pending.end(),
                          [&](uint32_t a, uint32_t b) {
                              return plans[a].cycle < plans[b].cycle;
                          });
     }
 
     FastForward ff;
-    if (fast)
-        buildFastForward(spec, plans, ff);
+    if (fast) {
+        std::vector<FaultPlan> pendingPlans;
+        pendingPlans.reserve(pending.size());
+        for (uint32_t i : pending)
+            pendingPlans.push_back(plans[i]);
+        buildFastForward(spec, pendingPlans, ff);
+    }
+
+    auto hookedOn = [](const std::vector<uint32_t> &v, uint32_t i) {
+        return std::find(v.begin(), v.end(), i) != v.end();
+    };
 
     // Per-run records only materialize when the caller asked for
     // them; outcome counts accumulate per worker, merged once at the
-    // end, so workers share no mutable state at all.
+    // end, so workers share no mutable state (the journal locks).
     std::vector<RunRecord> local(wantRecords ? spec.runs : 0);
     std::atomic<size_t> next{0};
     std::vector<CampaignResult> partial;
@@ -431,32 +526,68 @@ CampaignRunner::run(const CampaignSpec &spec,
                 ff.workload->memBytes());
         }
         for (;;) {
-            size_t k = next.fetch_add(1, std::memory_order_relaxed);
-            if (k >= order.size())
+            // Graceful drain: stop claiming, let in-flight runs
+            // finish and reach the journal.
+            if (spec.cancel &&
+                spec.cancel->load(std::memory_order_relaxed))
                 break;
-            const uint32_t i = order[k];
+            size_t k = next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= pending.size())
+                break;
+            const uint32_t i = pending[k];
             const FaultPlan &plan = plans[i];
-            InjectionRecord *rec = nullptr;
-            uint64_t *cyc = nullptr;
-            RunRecord *r = nullptr;
-            if (wantRecords) {
-                r = &local[i];
-                r->runIdx = i;
-                r->plan = plan;
-                rec = &r->injection;
-                cyc = &r->cycles;
+            RunRecord r;
+            r.runIdx = i;
+            r.plan = plan;
+
+            // Attempt 0 takes the fast path when available; any
+            // tool-level failure (unexpected exception, corrupt
+            // snapshot, watchdog trip) is retried once from scratch.
+            // Only a second failure becomes a ToolError/ToolHang.
+            const int attempts = spec.retrySlowPath ? 2 : 1;
+            bool decided = false;
+            for (int a = 0; a < attempts && !decided; ++a) {
+                r.injection = InjectionRecord{};
+                r.cycles = 0;
+                try {
+                    if (hookedOn(spec.test.hangOnRuns, i))
+                        throw sim::WallClockExceeded(
+                            "test hook: simulated watchdog trip");
+                    if (hookedOn(spec.test.throwOnRuns, i))
+                        throw std::runtime_error(
+                            "test hook: injected worker exception");
+                    r.outcome = (fast && a == 0)
+                        ? executeFast(plan, spec, ff, *dmem,
+                                      &r.injection, &r.cycles)
+                        : executeOne(plan, spec, &r.injection,
+                                     &r.cycles);
+                    decided = true;
+                } catch (const sim::WallClockExceeded &e) {
+                    warn("run %u: %s%s", i, e.what(),
+                         a + 1 < attempts ? " (retrying from scratch)"
+                                          : " (classified ToolHang)");
+                    r.outcome = Outcome::ToolHang;
+                } catch (const std::exception &e) {
+                    warn("run %u: %s%s", i, e.what(),
+                         a + 1 < attempts ? " (retrying from scratch)"
+                                          : " (classified ToolError)");
+                    r.outcome = Outcome::ToolError;
+                }
             }
-            Outcome o = fast ? executeFast(plan, spec, ff, *dmem,
-                                           rec, cyc)
-                             : executeOne(plan, spec.alsoTargets,
-                                          rec, cyc);
-            if (r)
-                r->outcome = o;
-            partial[wi].add(o);
+
+            // Durable before counted: a kill after this line loses
+            // nothing; a kill during it loses at most this run.
+            if (journal)
+                journal->append(fingerprint, r);
+            partial[wi].add(r.outcome);
+            if (wantRecords)
+                local[i] = r;
         }
     };
 
-    if (threads_ == 1) {
+    if (pending.empty()) {
+        // Nothing left to execute (fully-journaled resume).
+    } else if (threads_ == 1) {
         partial.resize(1);
         worker(0);
     } else {
@@ -467,11 +598,15 @@ CampaignRunner::run(const CampaignSpec &spec,
         pool.wait();
     }
 
-    CampaignResult result;
+    CampaignResult result = resumedCounts;
     for (const CampaignResult &p : partial)
         result.merge(p);
-    if (wantRecords)
+    if (wantRecords) {
+        for (uint32_t i = 0; i < spec.runs; ++i)
+            if (fromJournal[i])
+                local[i] = *fromJournal[i];
         *records = std::move(local);
+    }
     return result;
 }
 

@@ -11,6 +11,7 @@
 #define GPUFI_FI_CAMPAIGN_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -25,7 +26,16 @@
 namespace gpufi {
 namespace fi {
 
-/** Fault-effect classes (paper §V.B). */
+class RunJournal;
+
+/**
+ * Fault-effect classes (paper §V.B), plus two *tool-level* classes
+ * that record infrastructure failures (a host-side exception or a
+ * wall-clock watchdog trip that survived the from-scratch retry).
+ * Tool outcomes keep the campaign running but are excluded from the
+ * paper's failure-ratio denominator: they say nothing about the
+ * simulated device, only about the injector.
+ */
 enum class Outcome : uint8_t
 {
     Masked,         ///< identical output, identical cycles
@@ -33,8 +43,13 @@ enum class Outcome : uint8_t
     SDC,            ///< wrong output, no error indication
     Crash,          ///< device exception, unrecoverable
     Timeout,        ///< exceeded 2x the fault-free execution time
+    ToolError,      ///< injector-side exception (not a device fault)
+    ToolHang,       ///< wall-clock watchdog fired (simulator stuck)
     NUM_OUTCOMES
 };
+
+/** true for the tool-level classes (ToolError, ToolHang). */
+bool isToolOutcome(Outcome o);
 
 /** Stable name, e.g. "SDC". */
 const char *outcomeName(Outcome o);
@@ -96,9 +111,21 @@ struct CampaignResult
     uint32_t runs() const;
     uint32_t count(Outcome o) const;
     void add(Outcome o);
-    /** Fraction of runs with the given outcome. */
+    /** Runs that produced a device-level verdict (no tool outcomes). */
+    uint32_t validRuns() const;
+    /** ToolError + ToolHang runs (infrastructure failures). */
+    uint32_t toolFailures() const;
+    /**
+     * Fraction with the given outcome. Device outcomes are measured
+     * against validRuns() (tool failures must not dilute the paper's
+     * statistics); tool outcomes against all runs(). 0 on an empty
+     * denominator.
+     */
     double ratio(Outcome o) const;
-    /** (SDC + Crash + Timeout) / runs — the paper's FR_structure. */
+    /**
+     * (SDC + Crash + Timeout) / validRuns() — the paper's
+     * FR_structure. 0 when no run produced a device verdict.
+     */
     double failureRatio() const;
     /** Masked + Performance (functionally correct runs). */
     uint32_t maskedTotal() const;
@@ -147,9 +174,66 @@ struct CampaignSpec
      */
     std::vector<FaultTarget> alsoTargets;
 
+    // ---- Durability / self-healing knobs ---------------------------
+
+    /**
+     * Per-run wall-clock watchdog, seconds (0 disables). Separate
+     * from the simulated-cycle 2x Timeout bound: it catches the
+     * *simulator* being stuck, not the simulated device. A trip is
+     * retried once from scratch; if the retry trips too the run is
+     * classified ToolHang.
+     */
+    double wallClockLimitSec = 0.0;
+
+    /**
+     * Retry a run whose execution failed at the tool level (an
+     * unexpected exception, a corrupt snapshot, a watchdog trip)
+     * once via the from-scratch slow path before classifying it
+     * ToolError/ToolHang.
+     */
+    bool retrySlowPath = true;
+
+    /**
+     * Verify each snapshot's content digest when an injected run
+     * restores it; a mismatch (memory corruption, a stale or
+     * clobbered snapshot) raises sim::SnapshotCorrupt, which the
+     * retry path converts into a from-scratch execution.
+     */
+    bool verifySnapshots = true;
+
+    /**
+     * Graceful-drain flag (e.g. set by a SIGINT handler): when it
+     * becomes true, workers finish their in-flight runs and stop
+     * claiming new ones; run() returns the partial aggregate. With a
+     * journal the campaign is resumable from that point.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /** Failure-injection hooks for the durability tests only. */
+    struct TestHooks
+    {
+        /** Corrupt every pioneer snapshot after capture. */
+        bool corruptSnapshots = false;
+        /** Runs that throw std::runtime_error on every attempt. */
+        std::vector<uint32_t> throwOnRuns;
+        /** Runs that raise the watchdog on every attempt. */
+        std::vector<uint32_t> hangOnRuns;
+    };
+    TestHooks test;
+
     /** Below this run count fast-forward is not worth the pioneer. */
     static constexpr uint32_t kFastForwardMinRuns = 4;
 };
+
+/**
+ * Stable fingerprint of the spec fields that determine the campaign's
+ * run plans (kernel, target(s), scope, mode, bits, seed). Journal
+ * records carry it so a resume cannot silently mix campaigns.
+ * Deliberately excludes `runs`: a journal written at --runs N is a
+ * valid prefix when resuming with a larger N (plans depend only on
+ * the seed and the run index).
+ */
+uint64_t campaignFingerprint(const CampaignSpec &spec);
 
 /**
  * Runs injection campaigns for one (GPU config, workload) pair. The
@@ -173,9 +257,20 @@ class CampaignRunner
      * kernel or targets the L1D on an architecture without one.
      * @param records when non-null and spec.keepRecords, receives one
      *        RunRecord per injected run.
+     * @param journal when non-null, every completed run is appended
+     *        durably (fsync'd) before it is counted, so a kill at any
+     *        point loses at most the in-flight runs.
+     * @param resumed completed records recovered from a prior
+     *        journal (same campaign fingerprint); their run indices
+     *        are skipped and their outcomes merged, making the final
+     *        result bit-identical to an uninterrupted campaign.
+     *        fatal() if a resumed record contradicts this campaign's
+     *        deterministic plan (journal from a different setup).
      */
     CampaignResult run(const CampaignSpec &spec,
-                       std::vector<RunRecord> *records = nullptr);
+                       std::vector<RunRecord> *records = nullptr,
+                       RunJournal *journal = nullptr,
+                       const std::vector<RunRecord> *resumed = nullptr);
 
     const sim::GpuConfig &gpuConfig() const { return gpu_; }
 
@@ -195,8 +290,7 @@ class CampaignRunner
         std::vector<std::unique_ptr<sim::GpuSnapshot>> snaps;
     };
 
-    Outcome executeOne(const FaultPlan &plan,
-                       const std::vector<FaultTarget> &also,
+    Outcome executeOne(const FaultPlan &plan, const CampaignSpec &spec,
                        InjectionRecord *rec, uint64_t *cyclesOut);
     Outcome executeFast(const FaultPlan &plan, const CampaignSpec &spec,
                         const FastForward &ff, mem::DeviceMemory &dmem,

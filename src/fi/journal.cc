@@ -1,0 +1,177 @@
+#include "fi/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/fsio.hh"
+#include "common/logging.hh"
+#include "fi/report_log.hh"
+
+namespace gpufi {
+namespace fi {
+
+namespace {
+
+constexpr const char *kHeader = "# gpufi-journal v1\n";
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** strtoull on exactly-16-hex-digit input; false on anything else. */
+bool
+parseHex16(const std::string &s, uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+journalLineChecksum(const std::string &prefix)
+{
+    // FNV-1a 64: stable across platforms, cheap, and plenty to catch
+    // torn writes (deliberate forgery is not in the threat model).
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : prefix) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+RunJournal::~RunJournal()
+{
+    close();
+}
+
+void
+RunJournal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+RunJournal::open(const std::string &path)
+{
+    gpufi_assert(fd_ < 0);
+    fd_ = openAppend(path);
+    path_ = path;
+    uint64_t size = fileSize(fd_, path_);
+    if (size == 0) {
+        writeFully(fd_, kHeader, std::strlen(kHeader));
+        syncFd(fd_, path_);
+        return;
+    }
+    // Heal a torn tail left by a killed writer: terminate it so the
+    // next append starts a fresh line instead of being glued onto
+    // the fragment (which would destroy the new record too).
+    char last = '\n';
+    if (::pread(fd_, &last, 1, static_cast<off_t>(size - 1)) != 1)
+        fatal("cannot read tail of '%s': %s", path.c_str(),
+              std::strerror(errno));
+    if (last != '\n') {
+        writeFully(fd_, "\n", 1);
+        syncFd(fd_, path_);
+    }
+}
+
+void
+RunJournal::append(uint64_t fingerprint, const RunRecord &record)
+{
+    gpufi_assert(fd_ >= 0);
+    std::string prefix =
+        "c=" + hex16(fingerprint) + " " + formatRunRecord(record);
+    std::string line =
+        prefix + " ck=" + hex16(journalLineChecksum(prefix)) + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    writeFully(fd_, line.data(), line.size());
+    syncFd(fd_, path_);
+    ++appended_;
+}
+
+JournalContents
+loadJournal(const std::string &path)
+{
+    JournalContents contents;
+    std::ifstream in(path);
+    if (!in)
+        return contents; // no journal yet: nothing to resume
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+
+        auto damaged = [&](const char *why) {
+            warn("journal '%s': skipping %s line '%.60s'",
+                 path.c_str(), why, line.c_str());
+            ++contents.malformed;
+        };
+
+        // The checksum field must close the line; a torn tail from a
+        // killed writer fails here before any field is trusted.
+        size_t ckPos = line.rfind(" ck=");
+        if (ckPos == std::string::npos ||
+            ckPos + 4 + 16 != line.size()) {
+            damaged("truncated");
+            continue;
+        }
+        uint64_t ck = 0;
+        std::string prefix = line.substr(0, ckPos);
+        if (!parseHex16(line.substr(ckPos + 4), ck) ||
+            ck != journalLineChecksum(prefix)) {
+            damaged("corrupt");
+            continue;
+        }
+
+        if (prefix.rfind("c=", 0) != 0) {
+            damaged("malformed");
+            continue;
+        }
+        size_t space = prefix.find(' ');
+        uint64_t fingerprint = 0;
+        if (space == std::string::npos ||
+            !parseHex16(prefix.substr(2, space - 2), fingerprint)) {
+            damaged("malformed");
+            continue;
+        }
+
+        RunRecord record;
+        std::string err;
+        if (!tryParseRunRecord(prefix.substr(space + 1), record,
+                               &err)) {
+            damaged("malformed");
+            continue;
+        }
+        contents.byCampaign[fingerprint].push_back(std::move(record));
+        ++contents.lines;
+    }
+    return contents;
+}
+
+} // namespace fi
+} // namespace gpufi

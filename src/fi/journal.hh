@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The campaign write-ahead run journal: an append-only, fsync'd,
+ * self-checksummed record of every completed injected run. A campaign
+ * killed at any instant — including mid-write of the last line —
+ * resumes from its journal and finishes with a CampaignResult and a
+ * run log bit-identical to an uninterrupted execution.
+ *
+ * Line format (one run per line):
+ *
+ *     c=<fingerprint-hex16> <formatRunRecord fields> ck=<crc-hex16>
+ *
+ * `c=` ties the record to a campaign fingerprint (see
+ * campaignFingerprint) so one journal file can serve a whole --full
+ * sweep; `ck=` is a checksum over everything before it, so a
+ * truncated half-written tail is detected and skipped instead of
+ * parsed as a (wrong) record. '#' lines are comments.
+ */
+
+#ifndef GPUFI_FI_JOURNAL_HH
+#define GPUFI_FI_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hh"
+
+namespace gpufi {
+namespace fi {
+
+/**
+ * Append side of the journal. Thread-safe: campaign workers append
+ * concurrently; each append is one write() of a full line followed by
+ * fsync, so the on-disk journal is always a sequence of whole lines
+ * plus at most one torn tail.
+ */
+class RunJournal
+{
+  public:
+    RunJournal() = default;
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /**
+     * Open @p path for appending (created with a header if new).
+     * fatal() on I/O errors.
+     */
+    void open(const std::string &path);
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /** Durably append one completed run under @p fingerprint. */
+    void append(uint64_t fingerprint, const RunRecord &record);
+
+    /** Records appended through this handle (not the on-disk total). */
+    uint64_t appended() const { return appended_; }
+
+    /** Close the descriptor early (destructor also closes). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+    std::mutex mutex_;
+    uint64_t appended_ = 0;
+};
+
+/** What loading a journal recovered. */
+struct JournalContents
+{
+    /** Completed records grouped by campaign fingerprint. */
+    std::map<uint64_t, std::vector<RunRecord>> byCampaign;
+    uint32_t lines = 0;         ///< records recovered
+    uint32_t malformed = 0;     ///< damaged/truncated lines skipped
+};
+
+/**
+ * Tolerant journal load for --resume: malformed lines, checksum
+ * mismatches and a torn final line are skipped (counted in
+ * `malformed`), never fatal. A missing file yields empty contents.
+ */
+JournalContents loadJournal(const std::string &path);
+
+/** The `ck=` checksum of a journal line prefix (FNV-1a 64). */
+uint64_t journalLineChecksum(const std::string &prefix);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_JOURNAL_HH

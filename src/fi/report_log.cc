@@ -91,18 +91,51 @@ parseRunRecord(const std::string &line)
     return r;
 }
 
-CampaignResult
-parseRunLog(std::istream &in)
+bool
+tryParseRunRecord(const std::string &line, RunRecord &out,
+                  std::string *error)
 {
-    CampaignResult result;
+    try {
+        out = parseRunRecord(line);
+        return true;
+    } catch (const std::exception &e) {
+        // FatalError from the strict parser, or std::invalid_argument/
+        // std::out_of_range from the numeric conversions on garbage.
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
+RunLogSummary
+parseRunLogTolerant(std::istream &in, std::vector<RunRecord> *records)
+{
+    RunLogSummary summary;
     std::string line;
     while (std::getline(in, line)) {
         size_t start = line.find_first_not_of(" \t\r");
         if (start == std::string::npos || line[start] == '#')
             continue;
-        result.add(parseRunRecord(line).outcome);
+        RunRecord r;
+        std::string err;
+        if (!tryParseRunRecord(line, r, &err)) {
+            warn("run log: skipping malformed line '%.60s': %s",
+                 line.c_str(), err.c_str());
+            ++summary.malformed;
+            continue;
+        }
+        ++summary.parsed;
+        summary.result.add(r.outcome);
+        if (records)
+            records->push_back(std::move(r));
     }
-    return result;
+    return summary;
+}
+
+CampaignResult
+parseRunLog(std::istream &in)
+{
+    return parseRunLogTolerant(in).result;
 }
 
 } // namespace fi

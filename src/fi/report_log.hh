@@ -28,14 +28,40 @@ std::string formatRunLog(const std::vector<RunRecord> &records);
 
 /**
  * Parse one log line back into a RunRecord (detail text is not
- * recovered verbatim). fatal() on malformed input.
+ * recovered verbatim). fatal() on malformed input — use
+ * tryParseRunRecord when the input may be damaged.
  */
 RunRecord parseRunRecord(const std::string &line);
 
 /**
- * Aggregate a run log into a CampaignResult, skipping blank lines
- * and '#' comments.
+ * Non-throwing variant of parseRunRecord for logs that may contain
+ * malformed or truncated lines (a crashed writer, a corrupted disk).
+ * @param error when non-null, receives a description on failure.
+ * @return true and fill @p out on success.
  */
+bool tryParseRunRecord(const std::string &line, RunRecord &out,
+                       std::string *error = nullptr);
+
+/** What a tolerant run-log parse saw. */
+struct RunLogSummary
+{
+    CampaignResult result;      ///< aggregate over the parsed lines
+    uint32_t parsed = 0;        ///< well-formed record lines
+    uint32_t malformed = 0;     ///< damaged lines skipped (warned)
+};
+
+/**
+ * Aggregate a run log into a CampaignResult, skipping blank lines
+ * and '#' comments. Malformed or truncated lines are skipped with a
+ * warning and counted in the summary, so a partially written log
+ * from a crashed campaign still re-aggregates offline.
+ * @param records when non-null, receives every parsed record.
+ */
+RunLogSummary parseRunLogTolerant(std::istream &in,
+                                  std::vector<RunRecord> *records
+                                  = nullptr);
+
+/** parseRunLogTolerant, keeping only the aggregate. */
 CampaignResult parseRunLog(std::istream &in);
 
 } // namespace fi

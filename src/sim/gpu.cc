@@ -318,6 +318,15 @@ Gpu::runLaunchLoop()
                 static_cast<unsigned long long>(cycleLimit_),
                 kernel.name.c_str()));
         }
+        if (wallArmed_ && (cycle_ & 1023) == 0 &&
+            std::chrono::steady_clock::now() >= wallDeadline_) {
+            kernel_ = nullptr;
+            throw WallClockExceeded(detail::format(
+                "wall-clock watchdog fired at cycle %llu in kernel "
+                "'%s'",
+                static_cast<unsigned long long>(cycle_),
+                kernel.name.c_str()));
+        }
         fireInjections();
         maybeRecordHash();
         maybeCheckConvergence();

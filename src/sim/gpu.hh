@@ -9,6 +9,7 @@
 #ifndef GPUFI_SIM_GPU_HH
 #define GPUFI_SIM_GPU_HH
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -77,6 +78,27 @@ class Gpu
     /** Abort with TimeoutError when the global cycle reaches this. */
     void setCycleLimit(uint64_t limit) { cycleLimit_ = limit; }
 
+    /**
+     * Per-run wall-clock watchdog: abort with WallClockExceeded once
+     * @p seconds of host time have elapsed from this call (0
+     * disables). Checked every 1024 simulated cycles, so a weird
+     * fault that stalls simulated progress cannot stall the campaign
+     * — the simulated-cycle limit above never fires if cycles stop
+     * advancing in wall-clock time.
+     */
+    void
+    setWallClockLimit(double seconds)
+    {
+        wallArmed_ = seconds > 0.0;
+        if (wallArmed_) {
+            wallDeadline_ =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+        }
+    }
+
     /** Global cycle count, cumulative over launches. */
     uint64_t cycle() const { return cycle_; }
 
@@ -134,8 +156,11 @@ class Gpu
      * restores the snapshot and resumes cycle-accurate simulation.
      * The Gpu's DeviceMemory must hold the workload's post-setup()
      * image (the snapshot carries every later mutation).
+     * @param verifyIntegrity check the snapshot's sealed digest at
+     *        restore time, throwing SnapshotCorrupt on mismatch.
      */
-    void beginReplay(const GoldenTrace &trace, const GpuSnapshot &snap);
+    void beginReplay(const GoldenTrace &trace, const GpuSnapshot &snap,
+                     bool verifyIntegrity = true);
 
     /**
      * Periodically compare this run's state hash against @p trace's
@@ -243,6 +268,10 @@ class Gpu
     uint64_t cycleLimit_ = ~0ULL;
     uint64_t warpInstructions_ = 0;
 
+    // Wall-clock watchdog (see setWallClockLimit)
+    bool wallArmed_ = false;
+    std::chrono::steady_clock::time_point wallDeadline_{};
+
     // Pending injections: cycle -> callbacks
     std::multimap<uint64_t, InjectionFn> injections_;
 
@@ -258,6 +287,7 @@ class Gpu
     GoldenTrace *recordTrace_ = nullptr;        ///< pioneer mode
     const GoldenTrace *replayTrace_ = nullptr;  ///< replay-skip mode
     const GpuSnapshot *resumeSnap_ = nullptr;
+    bool verifySnapshot_ = true;
     size_t replayHostCursor_ = 0;
     uint64_t hostOpCount_ = 0;
     size_t launchesStarted_ = 0;

@@ -38,6 +38,20 @@ class TimeoutError : public std::runtime_error
     {}
 };
 
+/**
+ * Thrown when a run's host wall-clock watchdog fires (see
+ * Gpu::setWallClockLimit). Unlike TimeoutError this says nothing
+ * about the simulated device — it flags the *simulator* as stuck, so
+ * campaigns classify it ToolHang, outside the paper's statistics.
+ */
+class WallClockExceeded : public std::runtime_error
+{
+  public:
+    explicit WallClockExceeded(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
 /** Statistics of one kernel launch (one dynamic invocation). */
 struct LaunchStats
 {

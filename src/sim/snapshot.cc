@@ -57,7 +57,140 @@ hashCta(StateHasher &h, const CtaRuntime &cta, uint64_t now)
     }
 }
 
+/** Fold one captured cache state into @p h (hooks in key order). */
+void
+digestCache(StateHasher &h, const mem::Cache::State &s)
+{
+    h.mixU64(s.lines.size());
+    for (const auto &l : s.lines) {
+        h.mixU64((l.valid ? 1u : 0u) | (l.dirty ? 2u : 0u));
+        h.mixU64(l.tag);
+        h.mixU64(l.trueAddr);
+        h.mixU64(l.lru);
+    }
+    // The hook map is unordered; digest in sorted key order so the
+    // digest is a function of content, not of hash-table history.
+    std::vector<uint32_t> keys;
+    keys.reserve(s.hooks.size());
+    for (const auto &kv : s.hooks)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    h.mixU64(keys.size());
+    for (uint32_t k : keys) {
+        const auto &bits = s.hooks.at(k);
+        h.mixU64(k);
+        h.mixU64(bits.size());
+        h.mixBytes(bits.data(), bits.size() * 4);
+    }
+    h.mixU64(s.accessCounter);
+    h.mixU64(s.stats.reads);
+    h.mixU64(s.stats.readMisses);
+    h.mixU64(s.stats.writes);
+    h.mixU64(s.stats.writeMisses);
+    h.mixU64(s.stats.writebacks);
+    h.mixU64(s.stats.wrongAddrWritebacks);
+    h.mixU64(s.stats.hookFlips);
+}
+
+/** Fold one captured core state into @p h. */
+void
+digestCore(StateHasher &h, const CoreState &s)
+{
+    h.mixU64(s.ctaOrder.size());
+    for (uint64_t id : s.ctaOrder)
+        h.mixU64(id);
+    h.mixU64(s.wb.size());
+    for (const auto &e : s.wb) {
+        h.mixU64(e.cycle);
+        h.mixU64(e.ctaLinear);
+        h.mixU64((static_cast<uint64_t>(e.warpIdx) << 32) |
+                 static_cast<uint32_t>(e.reg));
+    }
+    h.mixU64(s.rrCursor);
+    h.mixU64((s.hasGto ? 1u : 0u) | (s.hasL1d ? 2u : 0u));
+    h.mixU64(s.gtoCtaLinear);
+    h.mixU64(s.gtoWarpIdx);
+    h.mixU64(s.liveThreads);
+    if (s.hasL1d)
+        digestCache(h, s.l1d);
+    digestCache(h, s.l1t);
+    digestCache(h, s.l1c);
+}
+
 } // namespace
+
+// ---- GpuSnapshot integrity -----------------------------------------
+
+StateHasher
+GpuSnapshot::computeDigest() const
+{
+    auto bits = [](double d) {
+        uint64_t u;
+        std::memcpy(&u, &d, sizeof(u));
+        return u;
+    };
+    StateHasher h;
+    h.mixU64(cycle);
+    h.mixU64(warpInstructions);
+    h.mixU64(warpArrival);
+    h.mixU64(launchIdx);
+    h.mixU64(hostOpCursor);
+    h.mixStr(kernelName);
+    h.mixU64((static_cast<uint64_t>(grid.x) << 32) | grid.y);
+    h.mixU64((static_cast<uint64_t>(block.x) << 32) | block.y);
+    h.mixU64(params.size());
+    h.mixBytes(params.data(), params.size() * 4);
+    h.mixU64(paramBase);
+    h.mixU64(localArena);
+    h.mixU64(nextCta);
+    h.mixU64(completedCtas);
+    h.mixU64(ctaCursor);
+    h.mixU64(launchStartCycle);
+    h.mixU64(launchStartInstr);
+    h.mixU64(bits(occSum));
+    h.mixU64(bits(threadSum));
+    h.mixU64(bits(ctaSum));
+    h.mixU64(sampleCount);
+    h.mixU64(runHash.a);
+    h.mixU64(runHash.b);
+
+    h.mixU64(ctas.size());
+    for (const CtaRuntime &cta : ctas)
+        hashCta(h, cta, cycle);
+    h.mixU64(cores.size());
+    for (const CoreState &c : cores)
+        digestCore(h, c);
+    h.mixU64(l2.banks.size());
+    for (const auto &b : l2.banks)
+        digestCache(h, b);
+    h.mixU64(l2.channels.size());
+    for (const auto &ch : l2.channels) {
+        h.mixU64(ch.nextFree);
+        h.mixU64(ch.requests);
+    }
+    h.mixU64(mem.bytes.size());
+    h.mixBytes(mem.bytes.data(), mem.bytes.size());
+    h.mixU64(mem.brk);
+    h.mixU64(mem.texBase);
+    h.mixU64(mem.texSize);
+    h.mixU64(mem.highWater);
+    return h;
+}
+
+void
+GpuSnapshot::seal()
+{
+    StateHasher h = computeDigest();
+    digestA = h.a;
+    digestB = h.b;
+}
+
+bool
+GpuSnapshot::verify() const
+{
+    StateHasher h = computeDigest();
+    return h.a == digestA && h.b == digestB;
+}
 
 // ---- SimtCore ------------------------------------------------------
 
@@ -265,17 +398,20 @@ Gpu::captureSnapshot(GpuSnapshot &out) const
         cores_[i]->snapshot(out.cores[i]);
     l2_->snapshot(out.l2);
     mem_.snapshot(out.mem);
+    out.seal();
     out.valid = true;
 }
 
 void
-Gpu::beginReplay(const GoldenTrace &trace, const GpuSnapshot &snap)
+Gpu::beginReplay(const GoldenTrace &trace, const GpuSnapshot &snap,
+                 bool verifyIntegrity)
 {
     gpufi_assert(snap.valid);
     gpufi_assert(cycle_ == 0 && launchesStarted_ == 0 &&
                  hostOpCount_ == 0);
     replayTrace_ = &trace;
     resumeSnap_ = &snap;
+    verifySnapshot_ = verifyIntegrity;
     replayHostCursor_ = 0;
 }
 
@@ -283,6 +419,15 @@ void
 Gpu::restoreFromSnapshot(const isa::Kernel &kernel)
 {
     const GpuSnapshot &snap = *resumeSnap_;
+    if (verifySnapshot_ && !snap.verify()) {
+        replayTrace_ = nullptr;
+        resumeSnap_ = nullptr;
+        throw SnapshotCorrupt(detail::format(
+            "snapshot for kernel '%s' at cycle %llu fails its "
+            "integrity digest",
+            snap.kernelName.c_str(),
+            static_cast<unsigned long long>(snap.cycle)));
+    }
     gpufi_assert(kernel.name == snap.kernelName);
     gpufi_assert(replayHostCursor_ == snap.hostOpCursor);
 

@@ -24,6 +24,7 @@
 #define GPUFI_SIM_SNAPSHOT_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,40 @@ struct GpuSnapshot
     std::vector<CoreState> cores;
     mem::L2Subsystem::State l2;
     mem::DeviceMemory::Image mem;
+
+    // ---- Integrity ---------------------------------------------------
+
+    /** Content digest set by seal(); checked before every restore. */
+    uint64_t digestA = 0;
+    uint64_t digestB = 0;
+
+    /**
+     * Digest over every captured field above (excluding the digest
+     * itself): clock/counters, launch position, CTA architectural
+     * state, per-core scheduler/writeback/cache state, L2/DRAM, and
+     * the memory image.
+     */
+    StateHasher computeDigest() const;
+
+    /** Stamp the digest (captureSnapshot does this automatically). */
+    void seal();
+
+    /** true when the content still matches the sealed digest. */
+    bool verify() const;
+};
+
+/**
+ * Thrown when a restore finds a snapshot whose content no longer
+ * matches its sealed digest (memory corruption, a stale or clobbered
+ * buffer). Campaigns catch it and re-execute the run from scratch —
+ * a corrupt snapshot degrades throughput, never correctness.
+ */
+class SnapshotCorrupt : public std::runtime_error
+{
+  public:
+    explicit SnapshotCorrupt(const std::string &what)
+        : std::runtime_error(what)
+    {}
 };
 
 /**

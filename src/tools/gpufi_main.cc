@@ -16,17 +16,20 @@
  *         --kernel scalarprod --scope warp
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/fsio.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "fi/avf.hh"
 #include "fi/campaign.hh"
+#include "fi/journal.hh"
 #include "fi/report_log.hh"
 #include "isa/assembler.hh"
 #include "isa/disassembler.hh"
@@ -37,6 +40,21 @@
 using namespace gpufi;
 
 namespace {
+
+/**
+ * Graceful drain: the first SIGINT/SIGTERM asks workers to finish
+ * their in-flight runs and flush the journal; a second signal falls
+ * back to the default disposition (immediate death — the journal is
+ * still consistent, that is the point of the fsync-per-line design).
+ */
+std::atomic<bool> g_interrupted{false};
+
+void
+onSignal(int sig)
+{
+    g_interrupted.store(true, std::memory_order_relaxed);
+    std::signal(sig, SIG_DFL);
+}
 
 struct CliOptions
 {
@@ -49,6 +67,10 @@ struct CliOptions
     bool spread = false;
     std::string logPath;
     std::string configPath;
+    std::string journalPath;
+    bool resume = false;
+    double watchdogSec = 0.0;
+    bool noRetry = false;
     uint32_t runs = 100;
     uint32_t bits = 1;
     uint64_t seed = 1;
@@ -88,8 +110,19 @@ usage()
         "  --dump-kernels         print the benchmark's kernels as\n"
         "                         (re-assemblable) assembly, then "
         "exit\n"
-        "  --log FILE             write the per-run log\n"
-        "  --config FILE          gpgpusim.config-style overrides\n");
+        "  --log FILE             write the per-run log (atomically)\n"
+        "  --config FILE          gpgpusim.config-style overrides\n"
+        "  --journal FILE         append every completed run durably\n"
+        "                         (fsync'd write-ahead journal)\n"
+        "  --resume               skip runs already in the journal;\n"
+        "                         the final result is bit-identical\n"
+        "                         to an uninterrupted campaign\n"
+        "  --watchdog-sec X       per-run wall-clock watchdog; a\n"
+        "                         stuck run is retried from scratch,\n"
+        "                         then classified ToolHang (0: off)\n"
+        "  --no-retry             classify tool-level failures\n"
+        "                         immediately instead of retrying\n"
+        "                         once via the from-scratch path\n");
 }
 
 CliOptions
@@ -152,6 +185,16 @@ parseArgs(int argc, char **argv)
         } else if (a == "--config") {
             opts.configPath = need(i);
             ++i;
+        } else if (a == "--journal") {
+            opts.journalPath = need(i);
+            ++i;
+        } else if (a == "--resume") {
+            opts.resume = true;
+        } else if (a == "--watchdog-sec") {
+            opts.watchdogSec = std::strtod(need(i), nullptr);
+            ++i;
+        } else if (a == "--no-retry") {
+            opts.noRetry = true;
         } else if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
@@ -164,16 +207,21 @@ parseArgs(int argc, char **argv)
 
 void
 printResult(const std::string &kernel, const std::string &target,
-            const fi::CampaignResult &r)
+            const fi::CampaignResult &r, bool partial)
 {
     std::printf("%-14s %-14s masked %4u  perf %4u  sdc %4u  "
-                "crash %4u  timeout %4u  FR=%.4f\n",
+                "crash %4u  timeout %4u  FR=%.4f",
                 kernel.c_str(), target.c_str(),
                 r.count(fi::Outcome::Masked),
                 r.count(fi::Outcome::Performance),
                 r.count(fi::Outcome::SDC),
                 r.count(fi::Outcome::Crash),
                 r.count(fi::Outcome::Timeout), r.failureRatio());
+    if (r.toolFailures() > 0)
+        std::printf("  tool %u (excluded)", r.toolFailures());
+    if (partial)
+        std::printf("  [partial: %u runs]", r.runs());
+    std::printf("\n");
 }
 
 int
@@ -246,13 +294,30 @@ runCli(const CliOptions &opts)
         for (const auto &prof : golden.kernels)
             kernels.push_back(prof.name);
 
-    std::ofstream logFile;
-    if (!opts.logPath.empty()) {
-        logFile.open(opts.logPath);
-        if (!logFile)
-            fatal("cannot open log file '%s'", opts.logPath.c_str());
-        logFile << "# gpuFI-4 run log\n";
+    // The log accumulates in memory and lands via one atomic
+    // temp-file + rename at the end, so a killed campaign never
+    // leaves a half-written log; the durable mid-campaign state
+    // lives in the journal.
+    std::string logText;
+    if (!opts.logPath.empty())
+        logText = "# gpuFI-4 run log\n";
+
+    fi::RunJournal journal;
+    fi::JournalContents prior;
+    if (!opts.journalPath.empty()) {
+        if (opts.resume) {
+            prior = fi::loadJournal(opts.journalPath);
+            if (prior.malformed > 0)
+                std::printf("journal: skipped %u damaged line(s)\n",
+                            prior.malformed);
+        }
+        journal.open(opts.journalPath);
+    } else if (opts.resume) {
+        fatal("--resume requires --journal");
     }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
 
     std::vector<fi::FaultTarget> targets;
     if (opts.full) {
@@ -268,6 +333,7 @@ runCli(const CliOptions &opts)
     }
 
     std::vector<fi::KernelCampaignSet> sets;
+    bool drained = false;
     for (const auto &kernelName : kernels) {
         fi::KernelCampaignSet set;
         set.profile = golden.profile(kernelName);
@@ -289,16 +355,61 @@ runCli(const CliOptions &opts)
             spec.runs = opts.runs;
             spec.seed = opts.seed +
                         static_cast<uint64_t>(target) * 7919;
-            spec.keepRecords = logFile.is_open();
+            spec.keepRecords = !opts.logPath.empty();
+            spec.wallClockLimitSec = opts.watchdogSec;
+            spec.retrySlowPath = !opts.noRetry;
+            spec.cancel = &g_interrupted;
+
+            const std::vector<fi::RunRecord> *resumed = nullptr;
+            if (opts.resume) {
+                auto it = prior.byCampaign.find(
+                    fi::campaignFingerprint(spec));
+                if (it != prior.byCampaign.end()) {
+                    resumed = &it->second;
+                    uint32_t have = 0;
+                    for (const auto &rr : it->second)
+                        if (rr.runIdx < spec.runs)
+                            ++have;
+                    std::printf("  [resume] %s/%s: %u/%u runs from "
+                                "the journal\n",
+                                kernelName.c_str(),
+                                fi::targetName(target), have,
+                                spec.runs);
+                }
+            }
+
             std::vector<fi::RunRecord> records;
-            fi::CampaignResult r = runner.run(spec, &records);
-            printResult(kernelName, fi::targetName(target), r);
+            fi::CampaignResult r =
+                runner.run(spec, &records,
+                           journal.isOpen() ? &journal : nullptr,
+                           resumed);
+            drained =
+                g_interrupted.load(std::memory_order_relaxed) &&
+                r.runs() < spec.runs;
+            printResult(kernelName, fi::targetName(target), r,
+                        drained);
+            if (drained)
+                break;
             for (const auto &rec : records)
-                logFile << fi::formatRunRecord(rec) << "\n";
+                logText += fi::formatRunRecord(rec) + "\n";
             set.byStructure[target] = r;
         }
+        if (drained)
+            break;
         sets.push_back(std::move(set));
     }
+
+    if (drained) {
+        std::printf("\ninterrupted: partial aggregates above");
+        if (journal.isOpen())
+            std::printf("; rerun with --journal %s --resume to "
+                        "continue", journal.path().c_str());
+        std::printf("\n");
+        return 130;
+    }
+
+    if (!opts.logPath.empty())
+        writeFileAtomic(opts.logPath, logText);
 
     if (opts.full) {
         fi::AvfReport report = fi::computeReport(card, sets);

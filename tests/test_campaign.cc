@@ -59,10 +59,50 @@ TEST(CampaignResult, MergeAddsCounts)
 
 TEST(CampaignResult, EmptyIsSafe)
 {
+    // An empty campaign (drained before any run, or a resume with
+    // nothing pending) must yield finite, zero ratios — never a
+    // division by zero.
     CampaignResult r;
     EXPECT_EQ(r.runs(), 0u);
+    EXPECT_EQ(r.validRuns(), 0u);
+    EXPECT_EQ(r.toolFailures(), 0u);
+    EXPECT_DOUBLE_EQ(r.ratio(Outcome::SDC), 0.0);
+    EXPECT_DOUBLE_EQ(r.ratio(Outcome::ToolError), 0.0);
     EXPECT_DOUBLE_EQ(r.failureRatio(), 0.0);
     EXPECT_DOUBLE_EQ(r.performanceShareOfMasked(), 0.0);
+}
+
+TEST(CampaignResult, ToolOutcomesStayOutOfDeviceRatios)
+{
+    CampaignResult r;
+    for (int i = 0; i < 6; ++i)
+        r.add(Outcome::Masked);
+    r.add(Outcome::SDC);
+    r.add(Outcome::Crash);
+    r.add(Outcome::ToolError);
+    r.add(Outcome::ToolHang);
+    EXPECT_EQ(r.runs(), 10u);
+    EXPECT_EQ(r.toolFailures(), 2u);
+    EXPECT_EQ(r.validRuns(), 8u);
+    // Device ratios are over validRuns(); tool ratios over runs().
+    EXPECT_DOUBLE_EQ(r.ratio(Outcome::Masked), 6.0 / 8.0);
+    EXPECT_DOUBLE_EQ(r.failureRatio(), 2.0 / 8.0);
+    EXPECT_DOUBLE_EQ(r.ratio(Outcome::ToolError), 1.0 / 10.0);
+    EXPECT_TRUE(isToolOutcome(Outcome::ToolError));
+    EXPECT_TRUE(isToolOutcome(Outcome::ToolHang));
+    EXPECT_FALSE(isToolOutcome(Outcome::Timeout));
+}
+
+TEST(CampaignResult, AllToolFailuresHaveNoDeviceVerdict)
+{
+    CampaignResult r;
+    r.add(Outcome::ToolError);
+    r.add(Outcome::ToolHang);
+    EXPECT_EQ(r.runs(), 2u);
+    EXPECT_EQ(r.validRuns(), 0u);
+    EXPECT_DOUBLE_EQ(r.failureRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(r.ratio(Outcome::SDC), 0.0);
+    EXPECT_DOUBLE_EQ(r.ratio(Outcome::ToolHang), 0.5);
 }
 
 TEST(Outcome, NamesRoundTrip)

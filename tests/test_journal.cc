@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Campaign durability tests: the fsync'd write-ahead journal, atomic
+ * file replacement, kill-and-resume bit-identity (torn tail
+ * included), snapshot-integrity fallback, worker exception isolation,
+ * the wall-clock watchdog and graceful cancellation.
+ */
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fsio.hh"
+#include "common/logging.hh"
+#include "fi/campaign.hh"
+#include "fi/journal.hh"
+#include "fi/report_log.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+sim::GpuConfig
+fastCard()
+{
+    sim::GpuConfig c = sim::makeRtx2060();
+    c.numSms = 4;
+    c.validate();
+    return c;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+RunRecord
+sampleRecord(uint32_t idx)
+{
+    RunRecord r;
+    r.runIdx = idx;
+    r.plan.target = FaultTarget::RegisterFile;
+    r.plan.cycle = 100 + idx;
+    r.plan.seed = 0x1234 + idx;
+    r.injection.armed = true;
+    r.injection.detail = "cta0.t1 reg r2";
+    r.outcome = Outcome::Masked;
+    r.cycles = 5000;
+    return r;
+}
+
+void
+expectRecordsEqual(const std::vector<RunRecord> &a,
+                   const std::vector<RunRecord> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("record " + std::to_string(i));
+        // formatRunRecord covers every persisted field, so equality
+        // of the formatted lines is equality of the records.
+        EXPECT_EQ(formatRunRecord(a[i]), formatRunRecord(b[i]));
+    }
+}
+
+} // namespace
+
+// ---- Atomic file replacement ---------------------------------------
+
+TEST(Fsio, WriteFileAtomicCreatesAndReplaces)
+{
+    std::string path = tmpPath("fsio_atomic.txt");
+    writeFileAtomic(path, "first\n");
+    EXPECT_EQ(slurp(path), "first\n");
+    writeFileAtomic(path, "second version\n");
+    EXPECT_EQ(slurp(path), "second version\n");
+}
+
+// ---- Journal append/load -------------------------------------------
+
+TEST(Journal, AppendAndLoadRoundTrip)
+{
+    std::string path = tmpPath("journal_roundtrip.jnl");
+    std::remove(path.c_str());
+    {
+        RunJournal j;
+        j.open(path);
+        j.append(0xaaaa, sampleRecord(0));
+        j.append(0xaaaa, sampleRecord(1));
+        j.append(0xbbbb, sampleRecord(7));
+        EXPECT_EQ(j.appended(), 3u);
+    }
+    JournalContents c = loadJournal(path);
+    EXPECT_EQ(c.lines, 3u);
+    EXPECT_EQ(c.malformed, 0u);
+    ASSERT_EQ(c.byCampaign.size(), 2u);
+    ASSERT_EQ(c.byCampaign[0xaaaa].size(), 2u);
+    ASSERT_EQ(c.byCampaign[0xbbbb].size(), 1u);
+    expectRecordsEqual(c.byCampaign[0xaaaa],
+                       {sampleRecord(0), sampleRecord(1)});
+    expectRecordsEqual(c.byCampaign[0xbbbb], {sampleRecord(7)});
+}
+
+TEST(Journal, ReopenAppendsInsteadOfTruncating)
+{
+    std::string path = tmpPath("journal_reopen.jnl");
+    std::remove(path.c_str());
+    {
+        RunJournal j;
+        j.open(path);
+        j.append(1, sampleRecord(0));
+    }
+    {
+        RunJournal j;
+        j.open(path);
+        j.append(1, sampleRecord(1));
+    }
+    JournalContents c = loadJournal(path);
+    EXPECT_EQ(c.lines, 2u);
+    EXPECT_EQ(c.byCampaign[1].size(), 2u);
+}
+
+TEST(Journal, TornTailIsSkippedNotFatal)
+{
+    std::string path = tmpPath("journal_torn.jnl");
+    std::remove(path.c_str());
+    {
+        RunJournal j;
+        j.open(path);
+        j.append(1, sampleRecord(0));
+        j.append(1, sampleRecord(1));
+    }
+    // Simulate a kill mid-write: chop the last line in half.
+    std::string content = slurp(path);
+    std::ofstream(path, std::ios::trunc)
+        << content.substr(0, content.size() - 30);
+
+    JournalContents c = loadJournal(path);
+    EXPECT_EQ(c.lines, 1u);
+    EXPECT_EQ(c.malformed, 1u);
+    expectRecordsEqual(c.byCampaign[1], {sampleRecord(0)});
+}
+
+TEST(Journal, CorruptLineIsSkippedNotFatal)
+{
+    std::string path = tmpPath("journal_corrupt.jnl");
+    std::remove(path.c_str());
+    {
+        RunJournal j;
+        j.open(path);
+        j.append(1, sampleRecord(0));
+        j.append(1, sampleRecord(1));
+    }
+    // Flip one byte in the middle of the first record's line; its
+    // checksum no longer matches, so only that line is dropped.
+    std::string content = slurp(path);
+    size_t pos = content.find("cycle=100");
+    ASSERT_NE(pos, std::string::npos);
+    content[pos + 6] = '9';
+    std::ofstream(path, std::ios::trunc) << content;
+
+    JournalContents c = loadJournal(path);
+    EXPECT_EQ(c.lines, 1u);
+    EXPECT_EQ(c.malformed, 1u);
+    expectRecordsEqual(c.byCampaign[1], {sampleRecord(1)});
+}
+
+TEST(Journal, MissingFileYieldsEmptyContents)
+{
+    JournalContents c = loadJournal(tmpPath("does_not_exist.jnl"));
+    EXPECT_EQ(c.lines, 0u);
+    EXPECT_EQ(c.malformed, 0u);
+    EXPECT_TRUE(c.byCampaign.empty());
+}
+
+TEST(Journal, ChecksumDetectsPrefixChanges)
+{
+    uint64_t base = journalLineChecksum("c=0001 run=0 outcome=Masked");
+    EXPECT_NE(base, journalLineChecksum("c=0001 run=1 outcome=Masked"));
+    EXPECT_NE(base, journalLineChecksum("c=0001 run=0 outcome=Maske"));
+    EXPECT_NE(base, journalLineChecksum(""));
+}
+
+// ---- Campaign fingerprint ------------------------------------------
+
+TEST(CampaignFingerprint, CoversPlanInputsIgnoresExecutionKnobs)
+{
+    CampaignSpec a;
+    a.kernelName = "vecadd";
+    a.seed = 5;
+    CampaignSpec b = a;
+
+    // Knobs that do not change the deterministic plans (or results)
+    // must not change the fingerprint — a journal stays resumable
+    // when only they differ, including a larger --runs.
+    b.runs = a.runs * 2;
+    b.fastForward = !a.fastForward;
+    b.earlyTermination = !a.earlyTermination;
+    b.snapshotBudget = 99;
+    b.wallClockLimitSec = 1e9;
+    b.retrySlowPath = !a.retrySlowPath;
+    EXPECT_EQ(campaignFingerprint(a), campaignFingerprint(b));
+
+    // Plan inputs must change it.
+    b = a;
+    b.seed = 6;
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+    b = a;
+    b.kernelName = "other";
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+    b = a;
+    b.target = FaultTarget::L2;
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+    b = a;
+    b.nBits = 3;
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+    b = a;
+    b.alsoTargets.push_back(FaultTarget::SharedMemory);
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+}
+
+// ---- Kill-and-resume bit-identity ----------------------------------
+
+namespace {
+
+/**
+ * Run the spec journaled-and-uninterrupted, then replay a kill by
+ * truncating a copy of the journal after @p keepLines whole records
+ * plus a torn half-line, resume from it, and require the resumed
+ * (result, records) to be bit-identical to the uninterrupted pair.
+ */
+void
+killAndResume(const CampaignSpec &spec, const char *wl,
+              size_t keepLines, const std::string &tag)
+{
+    std::string full = tmpPath("resume_full_" + tag + ".jnl");
+    std::string cut = tmpPath("resume_cut_" + tag + ".jnl");
+    std::remove(full.c_str());
+    std::remove(cut.c_str());
+
+    CampaignRunner runner(fastCard(), suite::factoryFor(wl), 1);
+    std::vector<RunRecord> wantRecords;
+    RunJournal journal;
+    journal.open(full);
+    CampaignResult want = runner.run(spec, &wantRecords, &journal);
+    journal.close();
+    ASSERT_EQ(want.runs(), spec.runs);
+
+    // Keep the header, keepLines whole records, and a torn tail.
+    std::istringstream in(slurp(full));
+    std::string out, line;
+    size_t records = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '#') {
+            out += line + "\n";
+            continue;
+        }
+        if (records < keepLines) {
+            out += line + "\n";
+            ++records;
+        } else {
+            out += line.substr(0, line.size() / 2); // no newline
+            break;
+        }
+    }
+    std::ofstream(cut, std::ios::trunc) << out;
+
+    JournalContents prior = loadJournal(cut);
+    EXPECT_EQ(prior.lines, keepLines);
+    EXPECT_EQ(prior.malformed, 1u);
+
+    const uint64_t fp = campaignFingerprint(spec);
+    CampaignRunner resumedRunner(fastCard(), suite::factoryFor(wl), 1);
+    std::vector<RunRecord> gotRecords;
+    RunJournal cutJournal;
+    cutJournal.open(cut);
+    CampaignResult got =
+        resumedRunner.run(spec, &gotRecords, &cutJournal,
+                          &prior.byCampaign[fp]);
+    cutJournal.close();
+
+    // Only the non-journaled runs re-executed...
+    EXPECT_EQ(cutJournal.appended(), spec.runs - keepLines);
+    // ...and the final aggregate and log are bit-identical.
+    EXPECT_EQ(got.counts, want.counts);
+    expectRecordsEqual(gotRecords, wantRecords);
+    // The resumed journal now also holds the full campaign.
+    JournalContents after = loadJournal(cut);
+    EXPECT_EQ(after.byCampaign[fp].size(), spec.runs);
+}
+
+} // namespace
+
+TEST(Durability, KillAndResumeFastPath)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 12;
+    spec.seed = 3;
+    spec.keepRecords = true;
+    killAndResume(spec, "VA", 5, "fast");
+}
+
+TEST(Durability, KillAndResumeSlowPath)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 10;
+    spec.seed = 4;
+    spec.keepRecords = true;
+    spec.fastForward = false;
+    spec.earlyTermination = false;
+    killAndResume(spec, "VA", 7, "slow");
+}
+
+TEST(Durability, ResumeRejectsForeignJournal)
+{
+    // A resumed record whose plan contradicts this campaign's
+    // deterministic plan means the journal belongs to a different
+    // setup; silently merging it would corrupt the statistics.
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 5;
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+
+    RunRecord bogus;
+    bogus.runIdx = 2;
+    bogus.plan.cycle = ~0ULL; // no plan ever lands here
+    std::vector<RunRecord> resumed = {bogus};
+    EXPECT_THROW(runner.run(spec, nullptr, nullptr, &resumed),
+                 FatalError);
+}
+
+TEST(Durability, FullyJournaledResumeExecutesNothing)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 6;
+    spec.keepRecords = true;
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    std::vector<RunRecord> records;
+    CampaignResult want = runner.run(spec, &records);
+
+    std::vector<RunRecord> got;
+    CampaignResult res =
+        runner.run(spec, &got, nullptr, &records);
+    EXPECT_EQ(res.counts, want.counts);
+    expectRecordsEqual(got, records);
+}
+
+// ---- Worker isolation, watchdog, snapshot fallback -----------------
+
+TEST(Durability, InjectedExceptionBecomesToolError)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 8;
+    spec.keepRecords = true;
+    spec.test.throwOnRuns = {2, 5};
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    std::vector<RunRecord> records;
+    CampaignResult r = runner.run(spec, &records);
+
+    // The campaign completes every other run; the poisoned runs are
+    // ToolError and stay out of the failure-ratio denominator.
+    EXPECT_EQ(r.runs(), 8u);
+    EXPECT_EQ(r.count(Outcome::ToolError), 2u);
+    EXPECT_EQ(r.toolFailures(), 2u);
+    EXPECT_EQ(r.validRuns(), 6u);
+    EXPECT_EQ(records[2].outcome, Outcome::ToolError);
+    EXPECT_EQ(records[5].outcome, Outcome::ToolError);
+    EXPECT_NE(records[3].outcome, Outcome::ToolError);
+
+    CampaignResult device = r;
+    device.counts[static_cast<size_t>(Outcome::ToolError)] = 0;
+    EXPECT_DOUBLE_EQ(r.failureRatio(), device.failureRatio());
+}
+
+TEST(Durability, InjectedHangBecomesToolHang)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 6;
+    spec.keepRecords = true;
+    spec.test.hangOnRuns = {0};
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    std::vector<RunRecord> records;
+    CampaignResult r = runner.run(spec, &records);
+    EXPECT_EQ(r.runs(), 6u);
+    EXPECT_EQ(r.count(Outcome::ToolHang), 1u);
+    EXPECT_EQ(records[0].outcome, Outcome::ToolHang);
+    EXPECT_EQ(r.validRuns(), 5u);
+}
+
+TEST(Durability, RealWatchdogClassifiesToolHang)
+{
+    // An impossible wall-clock budget trips the in-loop watchdog on
+    // every attempt of every run — the cooperative check in the cycle
+    // loop, not a test hook.
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 3;
+    spec.fastForward = false;
+    spec.wallClockLimitSec = 1e-9;
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.count(Outcome::ToolHang), 3u);
+    EXPECT_EQ(r.validRuns(), 0u);
+    EXPECT_DOUBLE_EQ(r.failureRatio(), 0.0);
+}
+
+TEST(Durability, CorruptSnapshotsFallBackBitIdentically)
+{
+    CampaignSpec slow;
+    slow.kernelName = "vecadd";
+    slow.runs = 10;
+    slow.seed = 8;
+    slow.keepRecords = true;
+    slow.fastForward = false;
+    slow.earlyTermination = false;
+
+    // Every pioneer snapshot is clobbered post-seal: each fast-path
+    // attempt raises SnapshotCorrupt, and the retry executes the run
+    // from scratch. Slower, never wrong.
+    CampaignSpec corrupted = slow;
+    corrupted.fastForward = true;
+    corrupted.test.corruptSnapshots = true;
+
+    CampaignRunner a(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignRunner b(fastCard(), suite::factoryFor("VA"), 1);
+    std::vector<RunRecord> slowRecords, corruptedRecords;
+    CampaignResult slowResult = a.run(slow, &slowRecords);
+    CampaignResult corruptedResult =
+        b.run(corrupted, &corruptedRecords);
+
+    EXPECT_EQ(corruptedResult.counts, slowResult.counts);
+    EXPECT_EQ(corruptedResult.toolFailures(), 0u);
+    expectRecordsEqual(corruptedRecords, slowRecords);
+}
+
+TEST(Durability, CorruptSnapshotsWithoutRetryAreToolErrors)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 6;
+    spec.retrySlowPath = false;
+    spec.test.corruptSnapshots = true;
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.count(Outcome::ToolError), 6u);
+}
+
+TEST(Durability, CancelStopsBeforeClaimingRuns)
+{
+    std::atomic<bool> cancel{true};
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 20;
+    spec.cancel = &cancel;
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    CampaignResult r = runner.run(spec);
+    EXPECT_EQ(r.runs(), 0u);
+    EXPECT_DOUBLE_EQ(r.failureRatio(), 0.0);
+}

@@ -108,3 +108,48 @@ TEST(ReportLog, MinimalLineParses)
     EXPECT_EQ(r.runIdx, 0u);
     EXPECT_FALSE(r.injection.armed);
 }
+
+TEST(ReportLog, TryParseReportsInsteadOfThrowing)
+{
+    RunRecord r;
+    EXPECT_TRUE(tryParseRunRecord("run=3 outcome=Crash", r));
+    EXPECT_EQ(r.runIdx, 3u);
+    EXPECT_EQ(r.outcome, Outcome::Crash);
+
+    std::string err;
+    EXPECT_FALSE(tryParseRunRecord("not key-value", r, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(tryParseRunRecord("run=NaN outcome=Crash", r));
+    EXPECT_FALSE(tryParseRunRecord("run=1 target=l2", r));
+}
+
+TEST(ReportLog, TolerantParserSkipsDamageAndCounts)
+{
+    // A log with a corrupt middle line and a truncated tail (the
+    // kill-at-any-point scenario) still yields every intact record.
+    std::istringstream in(
+        "# gpuFI-4 run log\n"
+        "run=0 target=l2 outcome=Masked\n"
+        "run=1 garbage\n"
+        "run=2 target=l2 outcome=SDC\n"
+        "run=3 target=l2 outco");
+    std::vector<RunRecord> records;
+    RunLogSummary s = parseRunLogTolerant(in, &records);
+    EXPECT_EQ(s.parsed, 2u);
+    EXPECT_EQ(s.malformed, 2u);
+    EXPECT_EQ(s.result.runs(), 2u);
+    EXPECT_EQ(s.result.count(Outcome::SDC), 1u);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].runIdx, 2u);
+}
+
+TEST(ReportLog, ToolOutcomesRoundTrip)
+{
+    RunRecord r = sample();
+    r.outcome = Outcome::ToolHang;
+    EXPECT_EQ(parseRunRecord(formatRunRecord(r)).outcome,
+              Outcome::ToolHang);
+    r.outcome = Outcome::ToolError;
+    EXPECT_EQ(parseRunRecord(formatRunRecord(r)).outcome,
+              Outcome::ToolError);
+}

@@ -148,6 +148,69 @@ TEST_P(SnapshotRoundTrip, RestoredRunIsBitIdentical)
 INSTANTIATE_TEST_SUITE_P(SaveRestore, SnapshotRoundTrip,
                          ::testing::Values("VA", "SRAD1", "BFS"));
 
+TEST(SnapshotIntegrity, SealedDigestDetectsTampering)
+{
+    sim::GpuConfig cfg = fastCard();
+    std::unique_ptr<Workload> wl = suite::factoryFor("VA")();
+    mem::DeviceMemory setupMem(wl->memBytes());
+    wl->setup(setupMem);
+    mem::DeviceMemory::Image setupImage;
+    setupMem.snapshot(setupImage);
+
+    mem::DeviceMemory baseMem(wl->memBytes());
+    baseMem.restore(setupImage);
+    sim::Gpu base(cfg, baseMem);
+    wl->run(base);
+    const uint64_t totalCycles = base.cycle();
+
+    mem::DeviceMemory pioneerMem(wl->memBytes());
+    pioneerMem.restore(setupImage);
+    sim::Gpu pioneer(cfg, pioneerMem);
+    sim::GoldenTrace trace;
+    pioneer.record(&trace);
+    sim::GpuSnapshot snap;
+    pioneer.scheduleInjection(totalCycles / 2, [&](sim::Gpu &g) {
+        g.captureSnapshot(snap);
+    });
+    wl->run(pioneer);
+    ASSERT_TRUE(snap.valid);
+
+    // captureSnapshot seals; undoing a tamper restores the verdict.
+    EXPECT_TRUE(snap.verify());
+    snap.mem.bytes[0] ^= 1;
+    EXPECT_FALSE(snap.verify());
+    snap.mem.bytes[0] ^= 1;
+    EXPECT_TRUE(snap.verify());
+    snap.warpArrival ^= 1; // scheduler state counts too
+    EXPECT_FALSE(snap.verify());
+    snap.warpArrival ^= 1;
+    ASSERT_FALSE(snap.ctas.empty());
+    ASSERT_FALSE(snap.ctas[0].threads.empty());
+    snap.ctas[0].threads[0].regs[0] ^= 1; // architectural state too
+    EXPECT_FALSE(snap.verify());
+    snap.ctas[0].threads[0].regs[0] ^= 1;
+    EXPECT_TRUE(snap.verify());
+
+    // A restore refuses a tampered snapshot...
+    snap.mem.bytes[0] ^= 1;
+    {
+        mem::DeviceMemory replayMem(wl->memBytes());
+        replayMem.restore(setupImage);
+        sim::Gpu replay(cfg, replayMem);
+        replay.beginReplay(trace, snap);
+        EXPECT_THROW(wl->run(replay), sim::SnapshotCorrupt);
+    }
+    snap.mem.bytes[0] ^= 1;
+
+    // ...and accepts the intact one, reproducing the golden run.
+    mem::DeviceMemory replayMem(wl->memBytes());
+    replayMem.restore(setupImage);
+    sim::Gpu replay(cfg, replayMem);
+    replay.beginReplay(trace, snap);
+    wl->run(replay);
+    EXPECT_EQ(replay.cycle(), totalCycles);
+}
+
 namespace {
 
 /** Run one campaign and return (counts, records). */
