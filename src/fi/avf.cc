@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fi/site.hh"
 
 namespace gpufi {
 namespace fi {
@@ -27,17 +28,29 @@ StructureSizes
 structureSizes(const sim::GpuConfig &cfg, uint64_t localBitsDynamic,
                bool includeConstCache)
 {
-    StructureSizes s;
-    s.bits[FaultTarget::RegisterFile] = cfg.regFileBits();
-    s.bits[FaultTarget::SharedMemory] = cfg.sharedBits();
-    if (cfg.l1dEnabled)
-        s.bits[FaultTarget::L1Data] = cfg.l1dBits();
-    s.bits[FaultTarget::L1Texture] = cfg.l1tBits();
-    s.bits[FaultTarget::L2] = cfg.l2Bits();
-    if (localBitsDynamic > 0)
-        s.bits[FaultTarget::LocalMemory] = localBitsDynamic;
+    std::set<FaultTarget> extensions;
     if (includeConstCache)
-        s.bits[FaultTarget::L1Constant] = cfg.l1cBits();
+        extensions.insert(FaultTarget::L1Constant);
+    return structureSizes(cfg, localBitsDynamic, extensions);
+}
+
+StructureSizes
+structureSizes(const sim::GpuConfig &cfg, uint64_t localBitsDynamic,
+               const std::set<FaultTarget> &extensions)
+{
+    SiteSizing sizing;
+    sizing.localBits = localBitsDynamic;
+    StructureSizes s;
+    for (const FaultSite *site : allSites()) {
+        FaultTarget t = site->target();
+        if (!site->paperTarget() && extensions.count(t) == 0)
+            continue;
+        if (!site->available(cfg))
+            continue;
+        uint64_t bits = site->totalBits(cfg, sizing);
+        if (bits > 0)
+            s.bits[t] = bits;
+    }
     return s;
 }
 
@@ -63,14 +76,7 @@ double
 derateFor(FaultTarget t, const sim::GpuConfig &cfg,
           const KernelProfile &prof)
 {
-    switch (t) {
-      case FaultTarget::RegisterFile:
-        return dfReg(cfg, prof);
-      case FaultTarget::SharedMemory:
-        return dfSmem(cfg, prof);
-      default:
-        return 1.0;
-    }
+    return siteFor(t).derate(cfg, prof);
 }
 
 namespace {
@@ -80,6 +86,17 @@ localBits(const KernelProfile &prof)
 {
     return static_cast<uint64_t>(prof.localPerThread) *
            prof.maxTotalThreads * 8;
+}
+
+/** Non-paper targets a campaign set actually injected into. */
+std::set<FaultTarget>
+extensionTargets(const std::map<FaultTarget, CampaignResult> &byStruct)
+{
+    std::set<FaultTarget> out;
+    for (const auto &[target, result] : byStruct)
+        if (!siteFor(target).paperTarget())
+            out.insert(target);
+    return out;
 }
 
 } // namespace
@@ -97,11 +114,12 @@ OutcomeAvf
 kernelAvfByOutcome(const sim::GpuConfig &cfg,
                    const KernelCampaignSet &set)
 {
-    // Count the constant cache in the denominator only when the
-    // campaign actually targeted it (the beyond-paper extension).
-    bool withL1c = set.byStructure.count(FaultTarget::L1Constant) > 0;
+    // Count extension targets (constant cache, SIMT stack, warp
+    // control state) in the denominator only when the campaign
+    // actually targeted them (the beyond-paper extensions).
     StructureSizes sizes =
-        structureSizes(cfg, localBits(set.profile), withL1c);
+        structureSizes(cfg, localBits(set.profile),
+                       extensionTargets(set.byStructure));
     const double total = static_cast<double>(sizes.total());
     gpufi_assert(total > 0);
 
@@ -130,11 +148,12 @@ computeReport(const sim::GpuConfig &cfg,
     gpufi_assert(totalCycles > 0);
 
     uint64_t maxLocalBits = 0;
-    bool withL1c = false;
+    std::set<FaultTarget> extensions;
     std::map<FaultTarget, double> structAvfWeighted;
 
     for (const auto &set : kernels) {
-        withL1c |= set.byStructure.count(FaultTarget::L1Constant) > 0;
+        std::set<FaultTarget> ext = extensionTargets(set.byStructure);
+        extensions.insert(ext.begin(), ext.end());
         double w = static_cast<double>(set.profile.cycles) /
                    static_cast<double>(totalCycles);
         // Chip wAVF and its per-class decomposition (eq. 3).
@@ -160,7 +179,7 @@ computeReport(const sim::GpuConfig &cfg,
     report.structAvf = structAvfWeighted;
 
     StructureSizes sizes =
-        structureSizes(cfg, maxLocalBits, withL1c);
+        structureSizes(cfg, maxLocalBits, extensions);
     for (const auto &[target, avf] : report.structAvf) {
         double fit = avf * cfg.rawFitPerBit *
                      static_cast<double>(sizes.of(target));

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "fi/campaign.hh"
@@ -51,6 +52,17 @@ struct StructureSizes
 StructureSizes structureSizes(const sim::GpuConfig &cfg,
                               uint64_t localBitsDynamic,
                               bool includeConstCache = false);
+
+/**
+ * Registry-driven generalization: sizes every paper target available
+ * on @p cfg plus the listed extension targets (any non-paper site,
+ * e.g. the constant cache, SIMT stack or warp control state). All
+ * capacities come from the fault-site registry (fi/site.hh), so a
+ * newly registered target is sized here without touching AVF code.
+ */
+StructureSizes structureSizes(const sim::GpuConfig &cfg,
+                              uint64_t localBitsDynamic,
+                              const std::set<FaultTarget> &extensions);
 
 /** Derating factor of the register file for one kernel profile. */
 double dfReg(const sim::GpuConfig &cfg, const KernelProfile &prof);

@@ -10,6 +10,7 @@
 #include "common/thread_pool.hh"
 #include "fi/injector.hh"
 #include "fi/journal.hh"
+#include "fi/site.hh"
 #include "mem/addr.hh"
 
 namespace gpufi {
@@ -428,9 +429,10 @@ CampaignRunner::run(const CampaignSpec &spec,
     if (spec.runs == 0)
         fatal("campaign with zero runs");
     auto checkTarget = [&](FaultTarget t) {
-        if (t == FaultTarget::L1Data && !gpu_.l1dEnabled)
-            fatal("campaign targets the L1 data cache but '%s' has"
-                  " none", gpu_.name.c_str());
+        const FaultSite &site = siteFor(t);
+        if (!site.available(gpu_))
+            fatal("campaign targets %s but '%s' has none",
+                  site.name().c_str(), gpu_.name.c_str());
     };
     checkTarget(spec.target);
     for (FaultTarget t : spec.alsoTargets)

@@ -10,6 +10,7 @@ namespace {
 const char *const names[] = {
     "register_file", "local_memory", "shared_memory",
     "l1_data", "l1_texture", "l2", "l1_constant",
+    "simt_stack", "warp_ctrl",
 };
 
 static_assert(sizeof(names) / sizeof(names[0]) ==

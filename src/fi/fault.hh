@@ -19,9 +19,15 @@ namespace gpufi {
 namespace fi {
 
 /**
- * Injectable hardware structures (paper Table IV). L1Constant is an
- * extension beyond the paper, which defers constant-cache injection
- * to future work (§IV.C); kernel parameters are fetched through it.
+ * Injectable hardware structures (paper Table IV), plus extension
+ * targets beyond the paper's set. L1Constant models the constant
+ * cache the paper defers to future work (§IV.C); SimtStack and
+ * WarpCtrl reach the per-warp control structures (reconvergence
+ * stacks, exit/barrier state) that the permanent-fault literature on
+ * GPU parallelism management identifies as vulnerable. Every value
+ * here is backed by a FaultSite registration (see fi/site.hh); the
+ * injector, AVF sizing, CLI vocabulary and run-log columns all
+ * enumerate the registry rather than this enum directly.
  */
 enum class FaultTarget : uint8_t
 {
@@ -32,6 +38,8 @@ enum class FaultTarget : uint8_t
     L1Texture,
     L2,
     L1Constant,     ///< extension target (not in the paper's set)
+    SimtStack,      ///< extension: per-warp SIMT reconvergence stacks
+    WarpCtrl,       ///< extension: warp exit/barrier/done control word
     NUM_TARGETS
 };
 

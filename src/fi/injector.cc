@@ -1,274 +1,18 @@
 #include "fi/injector.hh"
 
-#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "fi/site.hh"
 
 namespace gpufi {
 namespace fi {
-
-namespace {
-
-void
-note(InjectionRecord *rec, bool armed, std::string detail)
-{
-    if (rec) {
-        rec->armed = armed;
-        rec->detail = std::move(detail);
-    }
-}
-
-/** (register, bit) pairs for a register-file fault, per mode. */
-std::vector<std::pair<uint32_t, uint64_t>>
-regFileFlips(const FaultPlan &plan, uint32_t numRegs, Rng &rng)
-{
-    std::vector<std::pair<uint32_t, uint64_t>> flips;
-    if (plan.mode == MultiBitMode::SpreadEntries && plan.nBits > 1) {
-        // One random bit in each of nBits distinct registers
-        // (Table IV: "different entries of a structure").
-        uint32_t n = plan.nBits < numRegs ? plan.nBits : numRegs;
-        for (uint64_t reg : rng.distinct(numRegs, n))
-            flips.emplace_back(static_cast<uint32_t>(reg),
-                               rng.below(32));
-        return flips;
-    }
-    uint32_t reg = static_cast<uint32_t>(rng.below(numRegs));
-    for (uint64_t bit : rng.distinct(32, plan.nBits))
-        flips.emplace_back(reg, bit);
-    return flips;
-}
-
-void
-injectRegisterFile(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
-                   InjectionRecord *rec)
-{
-    const isa::Kernel *kernel = gpu.runningKernel();
-    if (!kernel || kernel->numRegs == 0) {
-        note(rec, false, "no kernel running");
-        return;
-    }
-    auto flips = regFileFlips(plan, kernel->numRegs, rng);
-    auto flipThread = [&](sim::ThreadContext &t) {
-        for (const auto &[reg, bit] : flips)
-            t.regs[reg] =
-                flipBit32(t.regs[reg], static_cast<unsigned>(bit));
-    };
-
-    if (plan.scope == FaultScope::Warp) {
-        auto warps = gpu.activeWarps();
-        if (warps.empty()) {
-            note(rec, false, "no active warp");
-            return;
-        }
-        auto &victim = warps[rng.below(warps.size())];
-        sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
-        uint32_t live = w.validMask & ~w.exitedMask;
-        for (uint32_t lane = 0; lane < 32; ++lane)
-            if (live & (1u << lane))
-                flipThread(victim.cta->threads[w.threadBase + lane]);
-        note(rec, true,
-             detail::format("warp cta%llu.w%u reg r%u",
-                            static_cast<unsigned long long>(
-                                victim.cta->linearId),
-                            victim.warpIdx, flips.front().first));
-        return;
-    }
-
-    auto threads = gpu.activeThreads();
-    if (threads.empty()) {
-        note(rec, false, "no active thread");
-        return;
-    }
-    auto &victim = threads[rng.below(threads.size())];
-    flipThread(victim.cta->threads[victim.threadIdx]);
-    note(rec, true,
-         detail::format("thread cta%llu.t%u reg r%u",
-                        static_cast<unsigned long long>(
-                            victim.cta->linearId),
-                        victim.threadIdx, flips.front().first));
-}
-
-void
-injectLocalMemory(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
-                  InjectionRecord *rec)
-{
-    uint32_t localBytes = gpu.localBytes();
-    if (localBytes == 0) {
-        note(rec, false, "kernel uses no local memory");
-        return;
-    }
-    std::vector<uint64_t> bits =
-        rng.distinct(static_cast<uint64_t>(localBytes) * 8, plan.nBits);
-
-    auto flipThreadLocal = [&](const sim::CtaRuntime &cta,
-                               uint32_t threadIdx) {
-        mem::Addr base = gpu.localAddr(cta, threadIdx);
-        for (uint64_t b : bits)
-            gpu.mem().flipBit(base + b / 8,
-                              static_cast<unsigned>(b % 8));
-    };
-
-    if (plan.scope == FaultScope::Warp) {
-        auto warps = gpu.activeWarps();
-        if (warps.empty()) {
-            note(rec, false, "no active warp");
-            return;
-        }
-        auto &victim = warps[rng.below(warps.size())];
-        sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
-        uint32_t live = w.validMask & ~w.exitedMask;
-        for (uint32_t lane = 0; lane < 32; ++lane)
-            if (live & (1u << lane))
-                flipThreadLocal(*victim.cta, w.threadBase + lane);
-        note(rec, true,
-             detail::format("local of warp cta%llu.w%u",
-                            static_cast<unsigned long long>(
-                                victim.cta->linearId),
-                            victim.warpIdx));
-        return;
-    }
-
-    auto threads = gpu.activeThreads();
-    if (threads.empty()) {
-        note(rec, false, "no active thread");
-        return;
-    }
-    auto &victim = threads[rng.below(threads.size())];
-    flipThreadLocal(*victim.cta, victim.threadIdx);
-    note(rec, true,
-         detail::format("local of thread cta%llu.t%u",
-                        static_cast<unsigned long long>(
-                            victim.cta->linearId),
-                        victim.threadIdx));
-}
-
-void
-injectSharedMemory(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
-                   InjectionRecord *rec)
-{
-    auto ctas = gpu.activeCtas();
-    std::erase_if(ctas, [](const sim::CtaRuntime *c) {
-        return c->shared.size() == 0;
-    });
-    if (ctas.empty()) {
-        note(rec, false, "no active CTA with shared memory");
-        return;
-    }
-    sim::CtaRuntime *victim = ctas[rng.below(ctas.size())];
-    std::vector<uint64_t> bits = rng.distinct(
-        static_cast<uint64_t>(victim->shared.size()) * 8, plan.nBits);
-    for (uint64_t b : bits)
-        victim->shared.flipBit(b);
-    note(rec, true,
-         detail::format("shared of cta%llu",
-                        static_cast<unsigned long long>(
-                            victim->linearId)));
-}
-
-/**
- * (line, bit) pairs for a cache fault, per multi-bit mode: all bits
- * in one line, or one bit in each of nBits distinct lines.
- */
-std::vector<std::pair<uint32_t, uint64_t>>
-cacheFlips(const FaultPlan &plan, uint32_t numLines,
-           uint64_t bitsPerLine, Rng &rng)
-{
-    std::vector<std::pair<uint32_t, uint64_t>> flips;
-    if (plan.mode == MultiBitMode::SpreadEntries && plan.nBits > 1) {
-        uint32_t n = plan.nBits < numLines ? plan.nBits : numLines;
-        for (uint64_t line : rng.distinct(numLines, n))
-            flips.emplace_back(static_cast<uint32_t>(line),
-                               rng.below(bitsPerLine));
-        return flips;
-    }
-    uint32_t line = static_cast<uint32_t>(rng.below(numLines));
-    for (uint64_t bit : rng.distinct(bitsPerLine, plan.nBits))
-        flips.emplace_back(line, bit);
-    return flips;
-}
-
-void
-injectL1(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
-         InjectionRecord *rec)
-{
-    auto coreIds = gpu.activeCoreIds();
-    if (coreIds.empty()) {
-        note(rec, false, "no active core");
-        return;
-    }
-    uint32_t coreId = coreIds[rng.below(coreIds.size())];
-    mem::Cache *cache = nullptr;
-    switch (plan.target) {
-      case FaultTarget::L1Data:
-        cache = gpu.core(coreId).l1d();
-        break;
-      case FaultTarget::L1Texture:
-        cache = gpu.core(coreId).l1t();
-        break;
-      case FaultTarget::L1Constant:
-        cache = gpu.core(coreId).l1c();
-        break;
-      default:
-        panic("injectL1 with non-L1 target");
-    }
-    if (!cache) {
-        note(rec, false, "cache not present on this architecture");
-        return;
-    }
-    auto flips = cacheFlips(plan, cache->numLines(),
-                            cache->config().bitsPerLine(), rng);
-    bool armed = false;
-    for (const auto &[line, bit] : flips)
-        armed |= cache->injectBit(line, bit);
-    note(rec, armed,
-         detail::format("%s core%u line %u%s", cache->name().c_str(),
-                        coreId, flips.front().first,
-                        armed ? "" : " (line invalid)"));
-}
-
-void
-injectL2(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
-         InjectionRecord *rec)
-{
-    mem::L2Subsystem &l2 = gpu.l2();
-    auto flips =
-        cacheFlips(plan, l2.numLines(), l2.bitsPerLine(), rng);
-    bool armed = false;
-    for (const auto &[line, bit] : flips)
-        armed |= l2.injectBit(line, bit);
-    note(rec, armed,
-         detail::format("L2 flat line %u%s", flips.front().first,
-                        armed ? "" : " (line invalid)"));
-}
-
-} // namespace
 
 void
 applyFault(sim::Gpu &gpu, const FaultPlan &plan, InjectionRecord *record)
 {
     gpufi_assert(plan.nBits >= 1);
     Rng rng(plan.seed);
-    switch (plan.target) {
-      case FaultTarget::RegisterFile:
-        injectRegisterFile(gpu, plan, rng, record);
-        break;
-      case FaultTarget::LocalMemory:
-        injectLocalMemory(gpu, plan, rng, record);
-        break;
-      case FaultTarget::SharedMemory:
-        injectSharedMemory(gpu, plan, rng, record);
-        break;
-      case FaultTarget::L1Data:
-      case FaultTarget::L1Texture:
-      case FaultTarget::L1Constant:
-        injectL1(gpu, plan, rng, record);
-        break;
-      case FaultTarget::L2:
-        injectL2(gpu, plan, rng, record);
-        break;
-      default:
-        panic("bad fault target");
-    }
+    siteFor(plan.target).inject(gpu, plan, rng, record);
 }
 
 } // namespace fi

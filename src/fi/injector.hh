@@ -1,19 +1,9 @@
 /**
  * @file
  * The injection engine: given a live GPU at the planned cycle, pick
- * the victim entity and flip the planned number of bits.
- *
- * Implements §IV.B of the paper per structure:
- *  - register file: random active thread (or warp), random allocated
- *    register, random distinct bits within the register;
- *  - local memory: like the register file, at thread granularity,
- *    bits flipped in the thread's off-chip local segment;
- *  - shared memory: random active CTA's shared-memory instance;
- *  - L1 data / texture cache: random active SIMT core, random line,
- *    random bit within tag+data; tag bits mutate the stored tag,
- *    data bits install access hooks;
- *  - L2: random line of the flat single-entity abstraction over the
- *    banks, tag or data bit.
+ * the victim entity and flip the planned number of bits (paper
+ * §IV.B). Per-structure selection semantics live in the fault-site
+ * registry (fi/site.hh); applyFault is the one dispatch point.
  */
 
 #ifndef GPUFI_FI_INJECTOR_HH

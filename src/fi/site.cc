@@ -1,0 +1,721 @@
+#include "fi/site.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "fi/avf.hh"
+#include "mem/cache.hh"
+#include "sim/structures.hh"
+
+namespace gpufi {
+namespace fi {
+
+namespace {
+
+void
+note(InjectionRecord *rec, bool armed, std::string detail)
+{
+    if (rec) {
+        rec->armed = armed;
+        rec->detail = std::move(detail);
+    }
+}
+
+/**
+ * (entry, bit) pairs for an entry-addressed structure, per multi-bit
+ * mode: nBits distinct bits within one random entry, or one random
+ * bit in each of nBits distinct entries (Table IV: "different
+ * entries of a structure"). This is the one victim-bit selector for
+ * every registered site; the RNG draw order below is pinned by the
+ * golden-log equivalence test and must not change.
+ */
+std::vector<std::pair<uint32_t, uint64_t>>
+entryFlips(const FaultPlan &plan, uint64_t numEntries,
+           uint64_t bitsPerEntry, Rng &rng)
+{
+    std::vector<std::pair<uint32_t, uint64_t>> flips;
+    if (plan.mode == MultiBitMode::SpreadEntries && plan.nBits > 1) {
+        uint64_t n = plan.nBits < numEntries ? plan.nBits : numEntries;
+        for (uint64_t entry : rng.distinct(numEntries, n))
+            flips.emplace_back(static_cast<uint32_t>(entry),
+                               rng.below(bitsPerEntry));
+        return flips;
+    }
+    uint32_t entry = static_cast<uint32_t>(rng.below(numEntries));
+    for (uint64_t bit : rng.distinct(bitsPerEntry, plan.nBits))
+        flips.emplace_back(entry, bit);
+    return flips;
+}
+
+// ---- Register file --------------------------------------------------
+
+class RegisterFileSite : public FaultSite
+{
+  public:
+    FaultTarget target() const override
+    {
+        return FaultTarget::RegisterFile;
+    }
+
+    const char *
+    selectionSemantics() const override
+    {
+        return "random active thread (or warp), random allocated "
+               "register, random bits within it";
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return static_cast<uint64_t>(cfg.regsPerSm) * cfg.numSms;
+    }
+
+    uint64_t bitsPerEntry(const sim::GpuConfig &) const override
+    {
+        return 32;
+    }
+
+    double
+    derate(const sim::GpuConfig &cfg,
+           const KernelProfile &prof) const override
+    {
+        return dfReg(cfg, prof);
+    }
+
+    void
+    inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+           InjectionRecord *rec) const override
+    {
+        const isa::Kernel *kernel = gpu.runningKernel();
+        if (!kernel || kernel->numRegs == 0) {
+            note(rec, false, "no kernel running");
+            return;
+        }
+        auto flips = entryFlips(plan, kernel->numRegs, 32, rng);
+        auto flipThread = [&](sim::ThreadContext &t) {
+            for (const auto &[reg, bit] : flips)
+                t.regs[reg] =
+                    flipBit32(t.regs[reg], static_cast<unsigned>(bit));
+        };
+
+        if (plan.scope == FaultScope::Warp) {
+            auto warps = gpu.activeWarps();
+            if (warps.empty()) {
+                note(rec, false, "no active warp");
+                return;
+            }
+            auto &victim = warps[rng.below(warps.size())];
+            sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
+            uint32_t live = w.validMask & ~w.exitedMask;
+            for (uint32_t lane = 0; lane < 32; ++lane)
+                if (live & (1u << lane))
+                    flipThread(
+                        victim.cta->threads[w.threadBase + lane]);
+            note(rec, true,
+                 detail::format("warp cta%llu.w%u reg r%u",
+                                static_cast<unsigned long long>(
+                                    victim.cta->linearId),
+                                victim.warpIdx, flips.front().first));
+            return;
+        }
+
+        auto threads = gpu.activeThreads();
+        if (threads.empty()) {
+            note(rec, false, "no active thread");
+            return;
+        }
+        auto &victim = threads[rng.below(threads.size())];
+        flipThread(victim.cta->threads[victim.threadIdx]);
+        note(rec, true,
+             detail::format("thread cta%llu.t%u reg r%u",
+                            static_cast<unsigned long long>(
+                                victim.cta->linearId),
+                            victim.threadIdx, flips.front().first));
+    }
+
+    void
+    capture(const sim::Gpu &gpu, StateHasher &h) const override
+    {
+        for (const auto &cta : gpu.residentCtas())
+            for (const sim::ThreadContext &t : cta->threads)
+                sim::hashThreadRegs(h, t);
+    }
+};
+
+// ---- Local memory ---------------------------------------------------
+
+class LocalMemorySite : public FaultSite
+{
+  public:
+    FaultTarget target() const override
+    {
+        return FaultTarget::LocalMemory;
+    }
+
+    const char *
+    selectionSemantics() const override
+    {
+        return "random active thread (or all lanes of a warp), random "
+               "bits of its off-chip local segment";
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &,
+            const SiteSizing &sizing) const override
+    {
+        return sizing.localBits / 8;
+    }
+
+    uint64_t bitsPerEntry(const sim::GpuConfig &) const override
+    {
+        return 8;
+    }
+
+    void
+    inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+           InjectionRecord *rec) const override
+    {
+        uint32_t localBytes = gpu.localBytes();
+        if (localBytes == 0) {
+            note(rec, false, "kernel uses no local memory");
+            return;
+        }
+        std::vector<uint64_t> bits = rng.distinct(
+            static_cast<uint64_t>(localBytes) * 8, plan.nBits);
+
+        auto flipThreadLocal = [&](const sim::CtaRuntime &cta,
+                                   uint32_t threadIdx) {
+            mem::Addr base = gpu.localAddr(cta, threadIdx);
+            for (uint64_t b : bits)
+                gpu.mem().flipBit(base + b / 8,
+                                  static_cast<unsigned>(b % 8));
+        };
+
+        if (plan.scope == FaultScope::Warp) {
+            auto warps = gpu.activeWarps();
+            if (warps.empty()) {
+                note(rec, false, "no active warp");
+                return;
+            }
+            auto &victim = warps[rng.below(warps.size())];
+            sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
+            uint32_t live = w.validMask & ~w.exitedMask;
+            for (uint32_t lane = 0; lane < 32; ++lane)
+                if (live & (1u << lane))
+                    flipThreadLocal(*victim.cta, w.threadBase + lane);
+            note(rec, true,
+                 detail::format("local of warp cta%llu.w%u",
+                                static_cast<unsigned long long>(
+                                    victim.cta->linearId),
+                                victim.warpIdx));
+            return;
+        }
+
+        auto threads = gpu.activeThreads();
+        if (threads.empty()) {
+            note(rec, false, "no active thread");
+            return;
+        }
+        auto &victim = threads[rng.below(threads.size())];
+        flipThreadLocal(*victim.cta, victim.threadIdx);
+        note(rec, true,
+             detail::format("local of thread cta%llu.t%u",
+                            static_cast<unsigned long long>(
+                                victim.cta->linearId),
+                            victim.threadIdx));
+    }
+
+    void
+    capture(const sim::Gpu &gpu, StateHasher &h) const override
+    {
+        uint32_t localBytes = gpu.localBytes();
+        h.mixU64(localBytes);
+        if (localBytes == 0)
+            return;
+        std::vector<uint8_t> buf(localBytes);
+        for (const auto &cta : gpu.residentCtas()) {
+            for (uint32_t t = 0;
+                 t < static_cast<uint32_t>(cta->threads.size()); ++t) {
+                gpu.mem().read(gpu.localAddr(*cta, t), buf.data(),
+                               localBytes);
+                h.mixBytes(buf.data(), localBytes);
+            }
+        }
+    }
+};
+
+// ---- Shared memory --------------------------------------------------
+
+class SharedMemorySite : public FaultSite
+{
+  public:
+    FaultTarget target() const override
+    {
+        return FaultTarget::SharedMemory;
+    }
+
+    const char *
+    selectionSemantics() const override
+    {
+        return "random active CTA's shared-memory instance, random "
+               "bits within it";
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return static_cast<uint64_t>(cfg.smemPerSm) * cfg.numSms;
+    }
+
+    uint64_t bitsPerEntry(const sim::GpuConfig &) const override
+    {
+        return 8;
+    }
+
+    double
+    derate(const sim::GpuConfig &cfg,
+           const KernelProfile &prof) const override
+    {
+        return dfSmem(cfg, prof);
+    }
+
+    void
+    inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+           InjectionRecord *rec) const override
+    {
+        auto ctas = gpu.activeCtas();
+        std::erase_if(ctas, [](const sim::CtaRuntime *c) {
+            return c->shared.size() == 0;
+        });
+        if (ctas.empty()) {
+            note(rec, false, "no active CTA with shared memory");
+            return;
+        }
+        sim::CtaRuntime *victim = ctas[rng.below(ctas.size())];
+        std::vector<uint64_t> bits = rng.distinct(
+            static_cast<uint64_t>(victim->shared.size()) * 8,
+            plan.nBits);
+        for (uint64_t b : bits)
+            victim->shared.flipBit(b);
+        note(rec, true,
+             detail::format("shared of cta%llu",
+                            static_cast<unsigned long long>(
+                                victim->linearId)));
+    }
+
+    void
+    capture(const sim::Gpu &gpu, StateHasher &h) const override
+    {
+        for (const auto &cta : gpu.residentCtas())
+            sim::hashShared(h, cta->shared);
+    }
+};
+
+// ---- L1 caches ------------------------------------------------------
+
+/** Common selection/flip logic of the three per-core L1 caches. */
+class L1CacheSite : public FaultSite
+{
+  public:
+    const char *
+    selectionSemantics() const override
+    {
+        return "random active SIMT core, random line, random tag+data "
+               "bit within the line";
+    }
+
+    uint64_t
+    bitsPerEntry(const sim::GpuConfig &cfg) const override
+    {
+        return lineGeometry(cfg).bitsPerLine();
+    }
+
+    void
+    inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+           InjectionRecord *rec) const override
+    {
+        auto coreIds = gpu.activeCoreIds();
+        if (coreIds.empty()) {
+            note(rec, false, "no active core");
+            return;
+        }
+        uint32_t coreId = coreIds[rng.below(coreIds.size())];
+        mem::Cache *cache = cacheOf(gpu.core(coreId));
+        if (!cache) {
+            note(rec, false, "cache not present on this architecture");
+            return;
+        }
+        auto flips = entryFlips(plan, cache->numLines(),
+                                cache->config().bitsPerLine(), rng);
+        bool armed = false;
+        for (const auto &[line, bit] : flips)
+            armed |= cache->injectBit(line, bit);
+        uint32_t line = flips.front().first;
+        uint32_t assoc = cache->config().assoc;
+        note(rec, armed,
+             detail::format("%s core%u line %u set %u way %u%s",
+                            cache->name().c_str(), coreId, line,
+                            line / assoc, line % assoc,
+                            armed ? "" : " (line invalid)"));
+    }
+
+    void
+    capture(const sim::Gpu &gpu, StateHasher &h) const override
+    {
+        for (uint32_t id = 0; id < gpu.numCores(); ++id)
+            if (const mem::Cache *cache = cacheOf(gpu.core(id)))
+                cache->hashInto(h);
+    }
+
+  protected:
+    /** Geometry of one per-SM instance (sets × ways × line+tag). */
+    virtual mem::CacheConfig
+    lineGeometry(const sim::GpuConfig &cfg) const = 0;
+
+    virtual mem::Cache *cacheOf(sim::SimtCore &core) const = 0;
+    virtual const mem::Cache *cacheOf(const sim::SimtCore &core)
+        const = 0;
+
+    uint64_t
+    linesPerChip(const sim::GpuConfig &cfg) const
+    {
+        const mem::CacheConfig geom = lineGeometry(cfg);
+        if (geom.sizeBytes == 0)
+            return 0;
+        return static_cast<uint64_t>(geom.numLines()) * cfg.numSms;
+    }
+};
+
+class L1DataSite : public L1CacheSite
+{
+  public:
+    FaultTarget target() const override { return FaultTarget::L1Data; }
+
+    bool available(const sim::GpuConfig &cfg) const override
+    {
+        return cfg.l1dEnabled;
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return cfg.l1dEnabled ? linesPerChip(cfg) : 0;
+    }
+
+  protected:
+    mem::CacheConfig
+    lineGeometry(const sim::GpuConfig &cfg) const override
+    {
+        return cfg.l1dConfig();
+    }
+
+    mem::Cache *cacheOf(sim::SimtCore &core) const override
+    {
+        return core.l1d();
+    }
+
+    const mem::Cache *cacheOf(const sim::SimtCore &core) const override
+    {
+        return core.l1d();
+    }
+};
+
+class L1TextureSite : public L1CacheSite
+{
+  public:
+    FaultTarget target() const override
+    {
+        return FaultTarget::L1Texture;
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return linesPerChip(cfg);
+    }
+
+  protected:
+    mem::CacheConfig
+    lineGeometry(const sim::GpuConfig &cfg) const override
+    {
+        return cfg.l1tConfig();
+    }
+
+    mem::Cache *cacheOf(sim::SimtCore &core) const override
+    {
+        return core.l1t();
+    }
+
+    const mem::Cache *cacheOf(const sim::SimtCore &core) const override
+    {
+        return core.l1t();
+    }
+};
+
+class L1ConstantSite : public L1CacheSite
+{
+  public:
+    FaultTarget target() const override
+    {
+        return FaultTarget::L1Constant;
+    }
+
+    bool paperTarget() const override { return false; }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return linesPerChip(cfg);
+    }
+
+  protected:
+    mem::CacheConfig
+    lineGeometry(const sim::GpuConfig &cfg) const override
+    {
+        return cfg.l1cConfig();
+    }
+
+    mem::Cache *cacheOf(sim::SimtCore &core) const override
+    {
+        return core.l1c();
+    }
+
+    const mem::Cache *cacheOf(const sim::SimtCore &core) const override
+    {
+        return core.l1c();
+    }
+};
+
+// ---- L2 -------------------------------------------------------------
+
+class L2Site : public FaultSite
+{
+  public:
+    FaultTarget target() const override { return FaultTarget::L2; }
+
+    const char *
+    selectionSemantics() const override
+    {
+        return "random line of the flat single-entity abstraction "
+               "over the L2 banks, tag or data bit";
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return cfg.l2.totalSize / cfg.l2.lineSize;
+    }
+
+    uint64_t
+    bitsPerEntry(const sim::GpuConfig &cfg) const override
+    {
+        return static_cast<uint64_t>(cfg.l2.lineSize) * 8 +
+               cfg.l2.tagBits;
+    }
+
+    void
+    inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+           InjectionRecord *rec) const override
+    {
+        mem::L2Subsystem &l2 = gpu.l2();
+        auto flips =
+            entryFlips(plan, l2.numLines(), l2.bitsPerLine(), rng);
+        bool armed = false;
+        for (const auto &[line, bit] : flips)
+            armed |= l2.injectBit(line, bit);
+        uint32_t flat = flips.front().first;
+        note(rec, armed,
+             detail::format("L2 bank%u line %u (flat %u)%s",
+                            flat / l2.linesPerBank(),
+                            flat % l2.linesPerBank(), flat,
+                            armed ? "" : " (line invalid)"));
+    }
+
+    void
+    capture(const sim::Gpu &gpu, StateHasher &h) const override
+    {
+        gpu.l2().hashInto(h, gpu.cycle());
+    }
+};
+
+// ---- SIMT reconvergence stack (extension target) --------------------
+
+class SimtStackSite : public FaultSite
+{
+  public:
+    FaultTarget target() const override
+    {
+        return FaultTarget::SimtStack;
+    }
+
+    bool paperTarget() const override { return false; }
+
+    const char *
+    selectionSemantics() const override
+    {
+        return "random active warp, random live reconvergence-stack "
+               "entries (pc/rpc/active-mask bits)";
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return static_cast<uint64_t>(cfg.numSms) *
+               cfg.maxWarpsPerSm() * cfg.simtStackDepth;
+    }
+
+    uint64_t bitsPerEntry(const sim::GpuConfig &) const override
+    {
+        return sim::kStackEntryBits;
+    }
+
+    void
+    inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+           InjectionRecord *rec) const override
+    {
+        auto warps = gpu.activeWarps();
+        if (warps.empty()) {
+            note(rec, false, "no active warp");
+            return;
+        }
+        auto &victim = warps[rng.below(warps.size())];
+        sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
+        if (w.stack.empty()) {
+            note(rec, false, "empty SIMT stack");
+            return;
+        }
+        auto flips =
+            entryFlips(plan, w.stack.size(), sim::kStackEntryBits, rng);
+        for (const auto &[entry, bit] : flips)
+            sim::flipStackBit(w.stack[entry],
+                              static_cast<uint32_t>(bit));
+        note(rec, true,
+             detail::format("simt stack of cta%llu.w%u entry %u",
+                            static_cast<unsigned long long>(
+                                victim.cta->linearId),
+                            victim.warpIdx, flips.front().first));
+    }
+
+    void
+    capture(const sim::Gpu &gpu, StateHasher &h) const override
+    {
+        for (const auto &cta : gpu.residentCtas())
+            for (const sim::WarpContext &w : cta->warps)
+                sim::hashStack(h, w);
+    }
+};
+
+// ---- Warp control state (extension target) --------------------------
+
+class WarpCtrlSite : public FaultSite
+{
+  public:
+    FaultTarget target() const override
+    {
+        return FaultTarget::WarpCtrl;
+    }
+
+    bool paperTarget() const override { return false; }
+
+    const char *
+    selectionSemantics() const override
+    {
+        return "random active warps' control words (exitedMask, "
+               "atBarrier, done)";
+    }
+
+    uint64_t
+    entries(const sim::GpuConfig &cfg, const SiteSizing &) const override
+    {
+        return static_cast<uint64_t>(cfg.numSms) * cfg.maxWarpsPerSm();
+    }
+
+    uint64_t bitsPerEntry(const sim::GpuConfig &) const override
+    {
+        return sim::kWarpCtrlBits;
+    }
+
+    void
+    inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+           InjectionRecord *rec) const override
+    {
+        auto warps = gpu.activeWarps();
+        if (warps.empty()) {
+            note(rec, false, "no active warp");
+            return;
+        }
+        // One control word per live warp: SameEntry concentrates the
+        // bits in one warp, SpreadEntries hits distinct warps.
+        auto flips =
+            entryFlips(plan, warps.size(), sim::kWarpCtrlBits, rng);
+        for (const auto &[warpIdx, bit] : flips) {
+            auto &v = warps[warpIdx];
+            sim::flipWarpCtrlBit(v.cta->warps[v.warpIdx],
+                                 static_cast<uint32_t>(bit));
+        }
+        auto &first = warps[flips.front().first];
+        note(rec, true,
+             detail::format("ctrl of warp cta%llu.w%u",
+                            static_cast<unsigned long long>(
+                                first.cta->linearId),
+                            first.warpIdx));
+    }
+
+    void
+    capture(const sim::Gpu &gpu, StateHasher &h) const override
+    {
+        for (const auto &cta : gpu.residentCtas())
+            for (const sim::WarpContext &w : cta->warps)
+                sim::hashWarpCtrl(h, w);
+    }
+};
+
+} // namespace
+
+const FaultSite &
+siteFor(FaultTarget t)
+{
+    static const RegisterFileSite regFile;
+    static const LocalMemorySite localMem;
+    static const SharedMemorySite sharedMem;
+    static const L1DataSite l1d;
+    static const L1TextureSite l1t;
+    static const L2Site l2;
+    static const L1ConstantSite l1c;
+    static const SimtStackSite simtStack;
+    static const WarpCtrlSite warpCtrl;
+    // Enum order (fault.hh); the golden-log fixtures pin the first
+    // seven entries to the paper's legacy targets.
+    static const FaultSite *const table[] = {
+        &regFile, &localMem, &sharedMem, &l1d, &l1t, &l2, &l1c,
+        &simtStack, &warpCtrl,
+    };
+    static_assert(std::size(table) ==
+                      static_cast<size_t>(FaultTarget::NUM_TARGETS),
+                  "register new fault sites here");
+    size_t idx = static_cast<size_t>(t);
+    gpufi_assert(idx < std::size(table));
+    return *table[idx];
+}
+
+const FaultSite *
+findSite(const std::string &name)
+{
+    for (const FaultSite *site : allSites())
+        if (site->name() == name)
+            return site;
+    return nullptr;
+}
+
+std::vector<const FaultSite *>
+allSites()
+{
+    std::vector<const FaultSite *> out;
+    out.reserve(static_cast<size_t>(FaultTarget::NUM_TARGETS));
+    for (size_t t = 0; t < static_cast<size_t>(FaultTarget::NUM_TARGETS);
+         ++t)
+        out.push_back(&siteFor(static_cast<FaultTarget>(t)));
+    return out;
+}
+
+} // namespace fi
+} // namespace gpufi

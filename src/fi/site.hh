@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The fault-site registry: one abstraction for every injectable
+ * storage structure of the modeled GPU.
+ *
+ * A FaultSite bundles everything the framework needs to know about
+ * one structure — its stable CLI name, its bit capacity on a given
+ * chip configuration, its victim-selection semantics, how to flip
+ * bits in the live machine, and how to capture its content into a
+ * digest. The injector, AVF math, snapshot digests and CLI all
+ * enumerate the same registry, so adding a target is one new
+ * registration in site.cc: campaigns, journaling, classification and
+ * per-structure AVF output fall out for free (the simt_stack and
+ * warp_ctrl extension targets are exactly such registrations).
+ *
+ * Determinism contract: inject() must draw from @p rng in a fixed,
+ * documented order so that a FaultPlan replays bit-identically (the
+ * golden-log equivalence test pins the stream for the paper's seven
+ * legacy targets).
+ */
+
+#ifndef GPUFI_FI_SITE_HH
+#define GPUFI_FI_SITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "fi/campaign.hh"
+#include "fi/fault.hh"
+#include "sim/gpu.hh"
+#include "sim/gpu_config.hh"
+
+namespace gpufi {
+namespace fi {
+
+/**
+ * Workload-dependent sizing inputs. Most structures are sized by the
+ * GpuConfig alone; local memory lives off-chip and is allocated per
+ * launch, so its bit capacity comes from the kernel profile.
+ */
+struct SiteSizing
+{
+    uint64_t localBits = 0; ///< dynamic local-memory bits (0 if unused)
+};
+
+/**
+ * One injectable structure. Stateless: all methods take the config
+ * or the live GPU; the singletons in the registry are shared across
+ * concurrent campaign workers.
+ */
+class FaultSite
+{
+  public:
+    virtual ~FaultSite() = default;
+
+    /** The enum value this site serves. */
+    virtual FaultTarget target() const = 0;
+
+    /** Stable name used by --target, journals and report logs. */
+    std::string name() const { return targetName(target()); }
+
+    /** One-line victim-selection semantics, for --list-targets. */
+    virtual const char *selectionSemantics() const = 0;
+
+    /**
+     * True for the structures of the paper's Table IV set; false for
+     * extension targets (constant cache, SIMT stack, warp control
+     * state), which only enter the AVF denominator when actually
+     * campaigned (avf.cc) and are excluded from --full by default.
+     */
+    virtual bool paperTarget() const { return true; }
+
+    /** Whether the structure exists on this chip configuration. */
+    virtual bool available(const sim::GpuConfig &cfg) const
+    {
+        (void)cfg;
+        return true;
+    }
+
+    /** Addressable entries (registers, lines, bytes, warps...). */
+    virtual uint64_t entries(const sim::GpuConfig &cfg,
+                             const SiteSizing &sizing) const = 0;
+
+    /** Bits per entry (32 for registers, line+tag bits for caches). */
+    virtual uint64_t bitsPerEntry(const sim::GpuConfig &cfg) const = 0;
+
+    /** Total bit capacity = entries × bitsPerEntry. */
+    uint64_t
+    totalBits(const sim::GpuConfig &cfg, const SiteSizing &sizing) const
+    {
+        return entries(cfg, sizing) * bitsPerEntry(cfg);
+    }
+
+    /**
+     * AVF derating factor (paper §V.A): df_reg for the register
+     * file, df_smem for shared memory, 1.0 for everything else.
+     */
+    virtual double derate(const sim::GpuConfig &cfg,
+                          const KernelProfile &prof) const
+    {
+        (void)cfg;
+        (void)prof;
+        return 1.0;
+    }
+
+    /**
+     * Strike the live GPU: select the victim entity and flip the
+     * planned bits, drawing from @p rng in this site's documented
+     * order. Fills @p rec (if non-null) with armed/detail.
+     */
+    virtual void inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
+                        InjectionRecord *rec) const = 0;
+
+    /**
+     * Mix this structure's complete live content into @p h. Two GPUs
+     * in the same architectural state must produce the same stream;
+     * the digest is only compared within one process.
+     */
+    virtual void capture(const sim::Gpu &gpu, StateHasher &h) const = 0;
+};
+
+/** The registered site serving @p t. Every enum value has one. */
+const FaultSite &siteFor(FaultTarget t);
+
+/** Site by stable name, nullptr if unknown. */
+const FaultSite *findSite(const std::string &name);
+
+/** All registered sites, in FaultTarget enum order. */
+std::vector<const FaultSite *> allSites();
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_SITE_HH

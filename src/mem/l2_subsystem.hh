@@ -59,6 +59,12 @@ class L2Subsystem
     /** Flat number of lines across all banks. */
     uint32_t numLines() const;
 
+    /** Lines per bank (flat line / linesPerBank() = owning bank). */
+    uint32_t linesPerBank() const { return linesPerBank_; }
+
+    /** Number of L2 banks (= memory partitions). */
+    uint32_t numBanks() const { return params_.numPartitions; }
+
     /** Bits per line (data + tag). */
     uint64_t bitsPerLine() const;
 

@@ -77,7 +77,14 @@ SimtCore::canIssue(const WarpContext &w, uint64_t now) const
     if (w.done || w.atBarrier || w.readyAt > now || w.stack.empty())
         return false;
     int pc = w.stack.back().pc;
-    gpufi_assert(pc >= 0 && pc < gpu_->runningKernel()->size());
+    // A corrupted SIMT-stack pc (an injected control-structure
+    // fault) is a device-level error: real hardware raises an
+    // illegal-instruction-address exception, so classify as Crash
+    // rather than aborting the tool.
+    if (pc < 0 || pc >= gpu_->runningKernel()->size())
+        throw mem::DeviceFault(detail::format(
+            "warp pc %d outside kernel [0, %d)", pc,
+            gpu_->runningKernel()->size()));
     const isa::Instruction &inst =
         gpu_->runningKernel()->code[static_cast<size_t>(pc)];
     // Scoreboard: block on in-flight writes to any referenced register.
@@ -166,7 +173,11 @@ SimtCore::advancePc(WarpContext &w, int newPc)
            w.stack.back().pc == w.stack.back().rpc) {
         w.stack.pop_back();
     }
-    gpufi_assert(!w.stack.empty());
+    // Only corrupted rpc values (injected SIMT-stack faults) can
+    // drain the stack here; treat the underflow as a device fault.
+    if (w.stack.empty())
+        throw mem::DeviceFault(
+            "SIMT stack underflow during reconvergence");
 }
 
 void
@@ -283,7 +294,14 @@ SimtCore::executeWarp(WarpContext &w, uint64_t now)
     const isa::Instruction &inst =
         kernel.code[static_cast<size_t>(pc)];
     const uint32_t mask = w.activeMask();
-    gpufi_assert(mask != 0);
+    if (mask == 0) {
+        // Unreachable in a fault-free run; an injected mask or
+        // exitedMask flip can kill every lane of the top entry. Pop
+        // dead entries (finishing the warp if none remain) instead
+        // of executing with no lanes.
+        cleanupStack(w);
+        return;
+    }
 
     gpu_->countInstruction();
     w.readyAt = now + 1;

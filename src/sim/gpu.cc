@@ -54,6 +54,13 @@ Gpu::core(uint32_t id)
     return *cores_[id];
 }
 
+const SimtCore &
+Gpu::core(uint32_t id) const
+{
+    gpufi_assert(id < cores_.size());
+    return *cores_[id];
+}
+
 uint32_t
 Gpu::numCores() const
 {

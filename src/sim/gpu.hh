@@ -194,10 +194,24 @@ class Gpu
     std::vector<uint32_t> activeCoreIds();
 
     SimtCore &core(uint32_t id);
+    const SimtCore &core(uint32_t id) const;
     uint32_t numCores() const;
 
+    /**
+     * Resident CTAs in scheduler order, for read-only capture (the
+     * fault-site registry's digest accessors). The mutable
+     * enumeration for injection is activeCtas().
+     */
+    const std::vector<std::unique_ptr<CtaRuntime>> &
+    residentCtas() const
+    {
+        return liveCtas_;
+    }
+
     mem::L2Subsystem &l2() { return *l2_; }
+    const mem::L2Subsystem &l2() const { return *l2_; }
     mem::DeviceMemory &mem() { return mem_; }
+    const mem::DeviceMemory &mem() const { return mem_; }
     const GpuConfig &config() const { return config_; }
 
     /** Kernel currently executing (nullptr between launches). */

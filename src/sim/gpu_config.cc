@@ -137,6 +137,9 @@ GpuConfig::validate() const
               name.c_str());
     if (issueWidth == 0)
         fatal("config '%s': issueWidth must be positive", name.c_str());
+    if (simtStackDepth == 0)
+        fatal("config '%s': simtStackDepth must be positive",
+              name.c_str());
     if (rawFitPerBit <= 0)
         fatal("config '%s': rawFitPerBit must be positive", name.c_str());
 }
@@ -173,6 +176,8 @@ GpuConfig::applyOverrides(const ConfigFile &cfg)
         fatal("unknown scheduler policy '%s' (use lrr or gto)",
               sched.c_str());
     rawFitPerBit = cfg.getDouble("gpufi_raw_fit_per_bit", rawFitPerBit);
+    simtStackDepth = static_cast<uint32_t>(
+        cfg.getInt("gpufi_simt_stack_depth", simtStackDepth));
     validate();
 }
 

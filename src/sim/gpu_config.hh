@@ -51,6 +51,12 @@ struct GpuConfig
     uint32_t maxCtasPerSm = 32;
     uint32_t regsPerSm = 65536;         ///< 32-bit registers
     uint32_t smemPerSm = 64 * 1024;     ///< bytes
+    /**
+     * Modeled SIMT reconvergence-stack capacity per warp (entries).
+     * Sizes the simt_stack extension target's AVF denominator; the
+     * functional stacks grow dynamically and are far shallower.
+     */
+    uint32_t simtStackDepth = 32;
 
     // L1 caches, per SM
     bool l1dEnabled = true;

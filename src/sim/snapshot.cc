@@ -12,6 +12,7 @@
 #include "sim/core.hh"
 #include "sim/gpu.hh"
 #include "sim/snapshot.hh"
+#include "sim/structures.hh"
 
 namespace gpufi {
 namespace sim {
@@ -23,9 +24,14 @@ constexpr uint64_t kTagHostRead = 0x486f73745244ULL;   // "HostRD"
 constexpr uint64_t kTagHostWrite = 0x486f73745752ULL;  // "HostWR"
 
 /**
- * Fold one CTA's architectural state into @p h. Registers of exited
- * threads are skipped: nothing can read them again, so divergence
- * confined to them must not block convergence detection.
+ * Fold one CTA's architectural state into @p h, going through the
+ * canonical per-structure accessors (sim/structures.hh) shared with
+ * the fault-site registry: registers of exited threads are skipped
+ * (nothing can read them again, so divergence confined to them must
+ * not block convergence detection), and every injectable warp
+ * structure — registers, shared memory, SIMT stacks, the warp
+ * control word — is digested by the same code the injector flips
+ * through.
  */
 void
 hashCta(StateHasher &h, const CtaRuntime &cta, uint64_t now)
@@ -34,23 +40,12 @@ hashCta(StateHasher &h, const CtaRuntime &cta, uint64_t now)
     h.mixU64(static_cast<uint64_t>(cta.coreId));
     h.mixU64((static_cast<uint64_t>(cta.liveWarps) << 32) |
              cta.barrierArrived);
-    h.mixBytes(cta.shared.bytes(), cta.shared.size());
-    for (const auto &t : cta.threads) {
-        h.mixU64(t.exited);
-        if (!t.exited)
-            h.mixBytes(t.regs.data(), t.regs.size() * 4);
-    }
+    hashShared(h, cta.shared);
+    for (const auto &t : cta.threads)
+        hashThreadRegs(h, t);
     for (const auto &w : cta.warps) {
-        h.mixU64(w.stack.size());
-        for (const auto &e : w.stack) {
-            h.mixU64((static_cast<uint64_t>(
-                          static_cast<uint32_t>(e.pc)) << 32) |
-                     static_cast<uint32_t>(e.rpc));
-            h.mixU64(e.mask);
-        }
-        h.mixU64((static_cast<uint64_t>(w.validMask) << 32) |
-                 w.exitedMask);
-        h.mixU64((w.atBarrier ? 1u : 0u) | (w.done ? 2u : 0u));
+        hashStack(h, w);
+        hashWarpCtrl(h, w);
         h.mixU64(w.readyAt > now ? w.readyAt - now : 0);
         h.mixU64(w.arrivalOrder);
         h.mixBytes(w.pendingWrites.data(), w.pendingWrites.size());

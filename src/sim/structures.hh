@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Canonical per-structure bit-flip and hash accessors for the
+ * warp-level storage structures. These are the single source of
+ * truth for what "one entry" of each structure is: the snapshot
+ * digests (sim/snapshot.cc) and the fault-site registry (fi/site.cc)
+ * both go through them, so an injected flip is by construction
+ * visible to convergence detection and snapshot integrity checking,
+ * and a structure's bit layout cannot drift between the injector and
+ * the digest.
+ *
+ * Bit layouts:
+ *  - SIMT stack entry (kStackEntryBits = 96):
+ *      [ 0,32) pc   [32,64) rpc   [64,96) active mask
+ *  - warp control word (kWarpCtrlBits = 34):
+ *      [ 0,32) exitedMask   [32] atBarrier   [33] done
+ *    The validMask is deliberately NOT part of the injectable word:
+ *    it is structural wiring (which lanes physically exist in a
+ *    partial warp), not storage — flipping a lane into existence
+ *    would index threads that were never allocated.
+ */
+
+#ifndef GPUFI_SIM_STRUCTURES_HH
+#define GPUFI_SIM_STRUCTURES_HH
+
+#include <cstdint>
+
+#include "common/hash.hh"
+#include "mem/shared_memory.hh"
+#include "sim/runtime.hh"
+
+namespace gpufi {
+namespace sim {
+
+/** Bits in one SIMT reconvergence stack entry (pc | rpc | mask). */
+constexpr uint32_t kStackEntryBits = 96;
+
+/** Bits in one warp's control word (exitedMask | atBarrier | done). */
+constexpr uint32_t kWarpCtrlBits = 34;
+
+/** Flip one bit of a SIMT stack entry (bit in [0, kStackEntryBits)). */
+inline void
+flipStackBit(StackEntry &e, uint32_t bit)
+{
+    if (bit < 32)
+        e.pc = static_cast<int>(static_cast<uint32_t>(e.pc) ^
+                                (1u << bit));
+    else if (bit < 64)
+        e.rpc = static_cast<int>(static_cast<uint32_t>(e.rpc) ^
+                                 (1u << (bit - 32)));
+    else
+        e.mask ^= 1u << (bit - 64);
+}
+
+/** Flip one bit of a warp's control word (bit in [0, kWarpCtrlBits)). */
+inline void
+flipWarpCtrlBit(WarpContext &w, uint32_t bit)
+{
+    if (bit < 32)
+        w.exitedMask ^= 1u << bit;
+    else if (bit == 32)
+        w.atBarrier = !w.atBarrier;
+    else
+        w.done = !w.done;
+}
+
+/** Fold one thread's register state into @p h (exited regs skipped:
+ *  nothing can read them again). */
+inline void
+hashThreadRegs(StateHasher &h, const ThreadContext &t)
+{
+    h.mixU64(t.exited);
+    if (!t.exited)
+        h.mixBytes(t.regs.data(), t.regs.size() * 4);
+}
+
+/** Fold one CTA's shared-memory instance into @p h. */
+inline void
+hashShared(StateHasher &h, const mem::SharedMemory &s)
+{
+    h.mixBytes(s.bytes(), s.size());
+}
+
+/** Fold one warp's SIMT reconvergence stack into @p h. */
+inline void
+hashStack(StateHasher &h, const WarpContext &w)
+{
+    h.mixU64(w.stack.size());
+    for (const StackEntry &e : w.stack) {
+        h.mixU64((static_cast<uint64_t>(
+                      static_cast<uint32_t>(e.pc)) << 32) |
+                 static_cast<uint32_t>(e.rpc));
+        h.mixU64(e.mask);
+    }
+}
+
+/** Fold one warp's control state (incl. the structural validMask)
+ *  into @p h. */
+inline void
+hashWarpCtrl(StateHasher &h, const WarpContext &w)
+{
+    h.mixU64((static_cast<uint64_t>(w.validMask) << 32) |
+             w.exitedMask);
+    h.mixU64((w.atBarrier ? 1u : 0u) | (w.done ? 2u : 0u));
+}
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_STRUCTURES_HH

@@ -31,6 +31,7 @@
 #include "fi/campaign.hh"
 #include "fi/journal.hh"
 #include "fi/report_log.hh"
+#include "fi/site.hh"
 #include "isa/assembler.hh"
 #include "isa/disassembler.hh"
 #include "sim/gpu_config.hh"
@@ -77,9 +78,32 @@ struct CliOptions
     size_t threads = 0;
     bool full = false;          ///< all structures + AVF/FIT report
     bool list = false;
+    bool listTargets = false;   ///< print the fault-site registry
     bool stats = false;         ///< golden run + performance report
     bool dumpKernels = false;   ///< print the benchmark's assembly
 };
+
+/**
+ * The --target vocabulary, enumerated from the fault-site registry
+ * and wrapped into indented usage-text lines.
+ */
+std::string
+targetVocabulary(const std::string &indent)
+{
+    std::string out;
+    std::string line = indent;
+    for (const fi::FaultSite *site : fi::allSites()) {
+        std::string name = site->name();
+        bool first = line == indent;
+        if (!first && line.size() + name.size() + 3 > 72) {
+            out += line + " |\n";
+            line = indent;
+            first = true;
+        }
+        line += first ? name : " | " + name;
+    }
+    return out + line + "\n";
+}
 
 void
 usage()
@@ -87,12 +111,15 @@ usage()
     std::printf(
         "usage: gpufi [options]\n"
         "  --list                 list benchmarks and GPU presets\n"
+        "  --list-targets         print the fault-site registry for\n"
+        "                         the selected --card, then exit\n"
         "  --card NAME            rtx2060 | gv100 | gtxtitan\n"
         "  --benchmark NAME       suite code (KM) or name (kmeans)\n"
         "  --kernel NAME          target one static kernel only\n"
-        "  --target NAME          register_file | local_memory |\n"
-        "                         shared_memory | l1_data |\n"
-        "                         l1_texture | l2 | l1_constant\n"
+        "  --target NAME          a registered fault site, one of:\n");
+    std::printf("%s",
+                targetVocabulary("                         ").c_str());
+    std::printf(
         "  --also NAME            strike a further structure\n"
         "                         simultaneously (repeatable)\n"
         "  --scope thread|warp    register/local fault granularity\n"
@@ -138,6 +165,8 @@ parseArgs(int argc, char **argv)
         std::string a = argv[i];
         if (a == "--list") {
             opts.list = true;
+        } else if (a == "--list-targets") {
+            opts.listTargets = true;
         } else if (a == "--full") {
             opts.full = true;
         } else if (a == "--stats") {
@@ -224,6 +253,47 @@ printResult(const std::string &kernel, const std::string &target,
     std::printf("\n");
 }
 
+/**
+ * Satellite of the fault-site registry: print every registered
+ * injectable structure with its capacity on the selected card. The
+ * README's target table is regenerated from this output.
+ */
+void
+printTargetRegistry(const sim::GpuConfig &card)
+{
+    std::printf("fault-site registry | card %s\n\n",
+                card.name.c_str());
+    std::printf("%-14s %10s %10s %14s  %s\n", "target", "entries",
+                "bits/entry", "total bits", "selection");
+    fi::SiteSizing sizing; // local memory is sized per workload
+    for (const fi::FaultSite *site : fi::allSites()) {
+        char entriesBuf[24];
+        char totalBuf[24];
+        if (site->target() == fi::FaultTarget::LocalMemory) {
+            std::snprintf(entriesBuf, sizeof(entriesBuf), "dynamic");
+            std::snprintf(totalBuf, sizeof(totalBuf), "dynamic");
+        } else {
+            std::snprintf(entriesBuf, sizeof(entriesBuf), "%llu",
+                          static_cast<unsigned long long>(
+                              site->entries(card, sizing)));
+            std::snprintf(totalBuf, sizeof(totalBuf), "%llu",
+                          static_cast<unsigned long long>(
+                              site->totalBits(card, sizing)));
+        }
+        std::string flags;
+        if (!site->paperTarget())
+            flags += " [extension]";
+        if (!site->available(card))
+            flags += " [not on this card]";
+        std::printf("%-14s %10s %10llu %14s  %s%s\n",
+                    site->name().c_str(), entriesBuf,
+                    static_cast<unsigned long long>(
+                        site->bitsPerEntry(card)),
+                    totalBuf, site->selectionSemantics(),
+                    flags.c_str());
+    }
+}
+
 int
 runCli(const CliOptions &opts)
 {
@@ -233,6 +303,14 @@ runCli(const CliOptions &opts)
             std::printf("  %-6s %s\n", b.code.c_str(),
                         b.name.c_str());
         std::printf("cards: rtx2060, gv100, gtxtitan\n");
+        return 0;
+    }
+    if (opts.listTargets) {
+        sim::GpuConfig card = sim::makePreset(opts.card);
+        if (!opts.configPath.empty())
+            card.applyOverrides(
+                ConfigFile::fromFile(opts.configPath));
+        printTargetRegistry(card);
         return 0;
     }
     if (opts.benchmark.empty()) {
@@ -321,13 +399,11 @@ runCli(const CliOptions &opts)
 
     std::vector<fi::FaultTarget> targets;
     if (opts.full) {
-        targets = {fi::FaultTarget::RegisterFile,
-                   fi::FaultTarget::LocalMemory,
-                   fi::FaultTarget::SharedMemory};
-        if (card.l1dEnabled)
-            targets.push_back(fi::FaultTarget::L1Data);
-        targets.push_back(fi::FaultTarget::L1Texture);
-        targets.push_back(fi::FaultTarget::L2);
+        // The paper's Table IV set, straight from the registry:
+        // extension targets stay opt-in via --target/--also.
+        for (const fi::FaultSite *site : fi::allSites())
+            if (site->paperTarget() && site->available(card))
+                targets.push_back(site->target());
     } else {
         targets = {fi::targetFromName(opts.target)};
     }

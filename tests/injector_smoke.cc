@@ -1,0 +1,108 @@
+/**
+ * @file
+ * injector_smoke — one 10-run micro-campaign per registered fault
+ * site (including the extension targets), meant to run under the
+ * ASan+UBSan preset as the `injector_smoke` ctest label. It
+ * exercises the full injection path — registry dispatch, victim
+ * selection, bit flips, classification — on every structure, so a
+ * memory error anywhere in a site's inject() or capture() surfaces
+ * in CI even for targets the unit tests arm only indirectly.
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fi/campaign.hh"
+#include "fi/fault.hh"
+#include "fi/site.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+
+namespace {
+
+/**
+ * Benchmark whose kernels actually exercise a structure: SRAD2
+ * allocates shared memory and issues texture loads; KM covers the
+ * rest (registers, local memory, caches, control state).
+ */
+const char *
+benchFor(fi::FaultTarget t)
+{
+    switch (t) {
+      case fi::FaultTarget::SharedMemory:
+      case fi::FaultTarget::L1Texture:
+        return "SRAD2";
+      default:
+        return "KM";
+    }
+}
+
+const char *
+kernelFor(const char *bench)
+{
+    return bench[0] == 'S' ? "srad2_grad" : "km_assign";
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4; // small chip: smoke in seconds, not minutes
+
+    std::map<std::string, std::unique_ptr<fi::CampaignRunner>> runners;
+    int failures = 0;
+
+    for (const fi::FaultSite *site : fi::allSites()) {
+        if (!site->available(card)) {
+            std::printf("%-14s SKIP (not on this card)\n",
+                        site->name().c_str());
+            continue;
+        }
+        const char *bench = benchFor(site->target());
+        auto &runner = runners[bench];
+        if (!runner)
+            runner = std::make_unique<fi::CampaignRunner>(
+                card, suite::factoryFor(bench), 1);
+
+        fi::CampaignSpec spec;
+        spec.kernelName = kernelFor(bench);
+        spec.target = site->target();
+        spec.runs = 10;
+        spec.seed = 0xDECAF;
+        spec.keepRecords = true;
+
+        std::vector<fi::RunRecord> records;
+        fi::CampaignResult r;
+        try {
+            r = runner->run(spec, &records);
+        } catch (const FatalError &e) {
+            std::printf("%-14s FAIL: %s\n", site->name().c_str(),
+                        e.what());
+            ++failures;
+            continue;
+        }
+
+        bool ok = r.runs() == spec.runs &&
+                  records.size() == spec.runs;
+        for (const auto &rec : records)
+            ok = ok && !rec.injection.detail.empty();
+        std::printf("%-14s %s  masked %2u perf %2u sdc %2u crash %2u "
+                    "timeout %2u tool %2u\n",
+                    site->name().c_str(), ok ? "ok  " : "FAIL",
+                    r.count(fi::Outcome::Masked),
+                    r.count(fi::Outcome::Performance),
+                    r.count(fi::Outcome::SDC),
+                    r.count(fi::Outcome::Crash),
+                    r.count(fi::Outcome::Timeout), r.toolFailures());
+        if (!ok)
+            ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}

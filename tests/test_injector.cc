@@ -241,6 +241,37 @@ TEST(Injector, CacheTargetsReportArming)
     }
 }
 
+TEST(Injector, SimtStackFaultHitsOneWarp)
+{
+    fi::FaultPlan plan;
+    plan.target = fi::FaultTarget::SimtStack;
+    plan.nBits = 1;
+    plan.seed = 51;
+    TwinResult faulted = runWithPlan(&plan, 100);
+    TwinResult clean = runWithPlan(nullptr, 100);
+    ASSERT_TRUE(faulted.record.armed) << faulted.record.detail;
+    EXPECT_NE(faulted.record.detail.find("simt stack of"),
+              std::string::npos);
+    // The stack is control state: registers, shared and local memory
+    // are untouched at the firing cycle.
+    EXPECT_EQ(bitDiff(faulted.regs, clean.regs), 0u);
+    EXPECT_EQ(bitDiff(faulted.shared, clean.shared), 0u);
+}
+
+TEST(Injector, WarpCtrlFaultHitsControlWord)
+{
+    fi::FaultPlan plan;
+    plan.target = fi::FaultTarget::WarpCtrl;
+    plan.nBits = 2;
+    plan.seed = 52;
+    TwinResult faulted = runWithPlan(&plan, 100);
+    TwinResult clean = runWithPlan(nullptr, 100);
+    ASSERT_TRUE(faulted.record.armed) << faulted.record.detail;
+    EXPECT_NE(faulted.record.detail.find("ctrl of warp"),
+              std::string::npos);
+    EXPECT_EQ(bitDiff(faulted.regs, clean.regs), 0u);
+}
+
 TEST(Injector, InjectionAfterCompletionIsMasked)
 {
     // Cycle far beyond the app: callback never fires; run completes.
