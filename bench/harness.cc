@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "common/stats.hh"
 
 namespace gpufi {
@@ -13,6 +14,10 @@ namespace bench {
 Options
 optionsFromEnv()
 {
+    // Every bench binary funnels through here, so this one line gives
+    // the whole harness GPUFI_METRICS_OUT support.
+    obs::writeMetricsAtExitIfRequested("bench-harness");
+
     Options opts;
     if (const char *v = std::getenv("GPUFI_RUNS"))
         opts.runs = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));

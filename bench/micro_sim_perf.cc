@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/obs.hh"
 #include "fi/campaign.hh"
 #include "fi/injector.hh"
 #include "isa/assembler.hh"
@@ -275,4 +276,17 @@ BENCHMARK_CAPTURE(BM_Campaign, full, false)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the GPUFI_METRICS_OUT atexit hook is
+// armed before any benchmark runs (bench-smoke CI validates the
+// resulting report).
+int
+main(int argc, char **argv)
+{
+    obs::writeMetricsAtExitIfRequested("micro_sim_perf");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

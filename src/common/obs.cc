@@ -1,0 +1,1047 @@
+#include "common/obs.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/fsio.hh"
+#include "common/logging.hh"
+
+namespace gpufi {
+namespace obs {
+
+// ---- Gauge -------------------------------------------------------------
+
+uint64_t
+Gauge::encode(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+Gauge::value() const
+{
+    uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+// ---- Histogram ---------------------------------------------------------
+
+void
+Histogram::observe(uint64_t v)
+{
+    uint32_t k = v ? 63u - static_cast<uint32_t>(
+                              __builtin_clzll(v))
+                   : 0u;
+    buckets_[k].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Registry ----------------------------------------------------------
+
+namespace {
+
+/**
+ * Metric storage. Values are heap-allocated and never freed before
+ * process exit, so handles returned to instrumentation sites stay
+ * valid with no lifetime coordination. std::map keeps report output
+ * sorted by name with no extra pass.
+ */
+struct RegistryState
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+RegistryState &
+state()
+{
+    static RegistryState *s = new RegistryState;
+    return *s;
+}
+
+/** fatal() when @p name already exists under a different kind. */
+void
+checkKind(const RegistryState &s, const std::string &name,
+          const char *kind)
+{
+    bool inC = s.counters.count(name) > 0;
+    bool inG = s.gauges.count(name) > 0;
+    bool inH = s.histograms.count(name) > 0;
+    bool wantC = std::strcmp(kind, "counter") == 0;
+    bool wantG = std::strcmp(kind, "gauge") == 0;
+    bool wantH = std::strcmp(kind, "histogram") == 0;
+    if ((inC && !wantC) || (inG && !wantG) || (inH && !wantH))
+        fatal("obs metric '%s' already registered with a different "
+              "kind (requested %s)", name.c_str(), kind);
+}
+
+} // namespace
+
+Registry &
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    RegistryState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    checkKind(s, name, "counter");
+    auto &slot = s.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    RegistryState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    checkKind(s, name, "gauge");
+    auto &slot = s.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    RegistryState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    checkKind(s, name, "histogram");
+    auto &slot = s.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Registry::counters() const
+{
+    RegistryState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(s.counters.size());
+    for (const auto &[name, c] : s.counters)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+Registry::gauges() const
+{
+    RegistryState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(s.gauges.size());
+    for (const auto &[name, g] : s.gauges)
+        out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, const Histogram *>>
+Registry::histograms() const
+{
+    RegistryState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<std::pair<std::string, const Histogram *>> out;
+    out.reserve(s.histograms.size());
+    for (const auto &[name, h] : s.histograms)
+        out.emplace_back(name, h.get());
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    RegistryState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (auto &[name, c] : s.counters)
+        c->reset();
+    for (auto &[name, g] : s.gauges)
+        g->reset();
+    for (auto &[name, h] : s.histograms)
+        h->reset();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return Registry::instance().histogram(name);
+}
+
+// ---- Json --------------------------------------------------------------
+
+Json
+Json::boolean(bool b)
+{
+    Json j;
+    j.kind_ = Kind::Bool;
+    j.b_ = b;
+    return j;
+}
+
+Json
+Json::u64(uint64_t v)
+{
+    Json j;
+    j.kind_ = Kind::U64;
+    j.u_ = v;
+    return j;
+}
+
+Json
+Json::i64(int64_t v)
+{
+    Json j;
+    j.kind_ = Kind::I64;
+    j.i_ = v;
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    Json j;
+    j.kind_ = Kind::Double;
+    j.d_ = v;
+    return j;
+}
+
+Json
+Json::str(std::string s)
+{
+    Json j;
+    j.kind_ = Kind::String;
+    j.s_ = std::move(s);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+uint64_t
+Json::asU64() const
+{
+    switch (kind_) {
+      case Kind::U64:
+        return u_;
+      case Kind::I64:
+        return i_ >= 0 ? static_cast<uint64_t>(i_) : 0;
+      case Kind::Double:
+        return d_ >= 0 ? static_cast<uint64_t>(d_) : 0;
+      default:
+        return 0;
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::U64:
+        return static_cast<double>(u_);
+      case Kind::I64:
+        return static_cast<double>(i_);
+      case Kind::Double:
+        return d_;
+      default:
+        return 0.0;
+    }
+}
+
+void
+Json::push(Json v)
+{
+    gpufi_assert(kind_ == Kind::Array);
+    items_.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    gpufi_assert(kind_ == Kind::Object);
+    keys_.push_back(key);
+    items_.push_back(std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (size_t i = 0; i < keys_.size(); ++i)
+        if (keys_[i] == key)
+            return &items_[i];
+    return nullptr;
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<size_t>(indent) *
+                       static_cast<size_t>(depth),
+                   ' ');
+    }
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[40];
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += b_ ? "true" : "false";
+        break;
+      case Kind::U64:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, u_);
+        out += buf;
+        break;
+      case Kind::I64:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, i_);
+        out += buf;
+        break;
+      case Kind::Double:
+        // %.17g round-trips any finite double exactly, so
+        // dump(parse(dump(x))) == dump(x) bit-equal.
+        std::snprintf(buf, sizeof(buf), "%.17g", d_);
+        // JSON has no inf/nan; report them as null.
+        if (std::strstr(buf, "inf") || std::strstr(buf, "nan"))
+            out += "null";
+        else
+            out += buf;
+        break;
+      case Kind::String:
+        appendEscaped(out, s_);
+        break;
+      case Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            appendIndent(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            appendIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            appendIndent(out, indent, depth + 1);
+            appendEscaped(out, keys_[i]);
+            out += indent > 0 ? ": " : ":";
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            appendIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string, tracking offset. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (err.empty())
+            err = why + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (text.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= text.size())
+                    return fail("truncated escape");
+                char e = text[pos + 1];
+                pos += 2;
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned v = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        char h = text[pos + k];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    // Metrics strings are ASCII; encode BMP code
+                    // points as UTF-8 for completeness.
+                    if (v < 0x80) {
+                        out += static_cast<char>(v);
+                    } else if (v < 0x800) {
+                        out += static_cast<char>(0xc0 | (v >> 6));
+                        out += static_cast<char>(0x80 | (v & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (v >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((v >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (v & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        size_t start = pos;
+        bool neg = false;
+        bool isDouble = false;
+        if (pos < text.size() && text[pos] == '-') {
+            neg = true;
+            ++pos;
+        }
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            if (text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E')
+                isDouble = true;
+            ++pos;
+        }
+        std::string tok = text.substr(start, pos - start);
+        if (tok.empty() || tok == "-")
+            return fail("bad number");
+        errno = 0;
+        char *end = nullptr;
+        if (!isDouble) {
+            if (neg) {
+                long long v = std::strtoll(tok.c_str(), &end, 10);
+                if (errno == 0 && end == tok.c_str() + tok.size()) {
+                    out = Json::i64(v);
+                    return true;
+                }
+            } else {
+                unsigned long long v =
+                    std::strtoull(tok.c_str(), &end, 10);
+                if (errno == 0 && end == tok.c_str() + tok.size()) {
+                    out = Json::u64(v);
+                    return true;
+                }
+            }
+            // Out-of-range integer: fall through to double.
+            errno = 0;
+        }
+        double d = std::strtod(tok.c_str(), &end);
+        if (errno != 0 || end != tok.c_str() + tok.size())
+            return fail("bad number");
+        out = Json::number(d);
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!expect(':'))
+                    return false;
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                out.set(key, std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    skipWs();
+                    continue;
+                }
+                return expect('}');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                out.push(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return expect(']');
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json::str(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Json::boolean(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Json::boolean(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Json();
+            return true;
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    Parser p{text};
+    Json out;
+    if (!p.parseValue(out)) {
+        if (err)
+            *err = p.err;
+        return Json();
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = "trailing garbage at offset " +
+                   std::to_string(p.pos);
+        return Json();
+    }
+    if (err)
+        err->clear();
+    return out;
+}
+
+// ---- Metrics report ----------------------------------------------------
+
+Json
+buildMetricsReport(
+    const std::vector<std::pair<std::string, std::string>> &extraMeta)
+{
+    Registry &reg = Registry::instance();
+    Json report = Json::object();
+
+    Json meta = Json::object();
+    meta.set("schema", Json::str(kMetricsSchema));
+    meta.set("version", Json::u64(kMetricsVersion));
+    for (const auto &[k, v] : extraMeta)
+        meta.set(k, Json::str(v));
+    report.set("meta", std::move(meta));
+
+    Json counters = Json::object();
+    for (const auto &[name, value] : reg.counters())
+        counters.set(name, Json::u64(value));
+    report.set("counters", std::move(counters));
+
+    Json gauges = Json::object();
+    for (const auto &[name, value] : reg.gauges())
+        gauges.set(name, Json::number(value));
+    report.set("gauges", std::move(gauges));
+
+    Json histograms = Json::object();
+    for (const auto &[name, h] : reg.histograms()) {
+        Json hj = Json::object();
+        hj.set("count", Json::u64(h->count()));
+        hj.set("sum", Json::u64(h->sum()));
+        Json buckets = Json::array();
+        for (uint32_t k = 0; k < Histogram::kBuckets; ++k) {
+            uint64_t n = h->bucket(k);
+            if (n == 0)
+                continue;
+            Json pair = Json::array();
+            pair.push(Json::u64(k == 0 ? 0 : (1ULL << k)));
+            pair.push(Json::u64(n));
+            buckets.push(std::move(pair));
+        }
+        hj.set("buckets", std::move(buckets));
+        histograms.set(name, std::move(hj));
+    }
+    report.set("histograms", std::move(histograms));
+    return report;
+}
+
+namespace {
+
+void
+addFinding(std::string *err, const std::string &what)
+{
+    if (err) {
+        if (!err->empty())
+            *err += '\n';
+        *err += what;
+    }
+}
+
+bool
+hasCounterWithPrefix(const Json &counters, const std::string &prefix)
+{
+    for (const auto &key : counters.keys())
+        if (key.rfind(prefix, 0) == 0)
+            return true;
+    return false;
+}
+
+} // namespace
+
+bool
+validateMetricsReport(const Json &report, std::string *err)
+{
+    bool ok = true;
+    auto finding = [&](const std::string &what) {
+        ok = false;
+        addFinding(err, what);
+    };
+
+    if (!report.isObject()) {
+        finding("report is not a JSON object");
+        return false;
+    }
+    const Json *meta = report.find("meta");
+    if (!meta || !meta->isObject()) {
+        finding("missing 'meta' object");
+    } else {
+        const Json *schema = meta->find("schema");
+        if (!schema || schema->asString() != kMetricsSchema)
+            finding("meta.schema != '" +
+                    std::string(kMetricsSchema) + "'");
+        const Json *version = meta->find("version");
+        if (!version || !version->isNumber() ||
+            version->asU64() != kMetricsVersion)
+            finding("meta.version != " +
+                    std::to_string(kMetricsVersion));
+    }
+
+    const Json *counters = report.find("counters");
+    const Json *gauges = report.find("gauges");
+    const Json *histograms = report.find("histograms");
+    if (!counters || !counters->isObject())
+        finding("missing 'counters' object");
+    if (!gauges || !gauges->isObject())
+        finding("missing 'gauges' object");
+    if (!histograms || !histograms->isObject())
+        finding("missing 'histograms' object");
+    if (!ok)
+        return false;
+
+    for (size_t i = 0; i < counters->keys().size(); ++i)
+        if (counters->items()[i].kind() != Json::Kind::U64)
+            finding("counter '" + counters->keys()[i] +
+                    "' is not an unsigned integer");
+    for (size_t i = 0; i < gauges->keys().size(); ++i)
+        if (!gauges->items()[i].isNumber() &&
+            gauges->items()[i].kind() != Json::Kind::Null)
+            finding("gauge '" + gauges->keys()[i] +
+                    "' is not a number");
+
+    // The gate's minimum surface (acceptance criteria): cycles and
+    // IPC, per-cache hit/miss, snapshot fast-forward savings,
+    // per-phase campaign timings, outcome tallies.
+    const char *requiredCounters[] = {
+        "sim.cycles",
+        "sim.warp_instructions",
+        "snapshot.ff_runs",
+        "snapshot.ff_cycles_saved",
+    };
+    for (const char *name : requiredCounters)
+        if (!counters->find(name))
+            finding(std::string("missing counter '") + name + "'");
+    if (!gauges->find("sim.ipc"))
+        finding("missing gauge 'sim.ipc'");
+
+    // At least one cache with both access and miss counters; l1t and
+    // l2 exist on every modeled card.
+    for (const char *cache : {"cache.l1t", "cache.l2"}) {
+        for (const char *leaf : {".reads", ".read_misses"}) {
+            std::string name = std::string(cache) + leaf;
+            if (!counters->find(name))
+                finding("missing counter '" + name + "'");
+        }
+    }
+
+    if (!hasCounterWithPrefix(*counters, "campaign.phase_us."))
+        finding("no 'campaign.phase_us.*' timings");
+    if (!hasCounterWithPrefix(*counters, "campaign.outcome."))
+        finding("no 'campaign.outcome.*' tallies");
+    return ok;
+}
+
+void
+writeMetricsFile(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &extraMeta)
+{
+    writeFileAtomic(path, buildMetricsReport(extraMeta).dump(2));
+}
+
+namespace {
+
+std::string g_atexitPath;
+std::string g_atexitTool;
+
+void
+atexitWriter()
+{
+    writeMetricsFile(g_atexitPath, {{"tool", g_atexitTool}});
+}
+
+} // namespace
+
+void
+writeMetricsAtExitIfRequested(const std::string &tool)
+{
+    const char *path = std::getenv("GPUFI_METRICS_OUT");
+    if (!path || !*path || !g_atexitPath.empty())
+        return;
+    g_atexitPath = path;
+    g_atexitTool = tool;
+    std::atexit(atexitWriter);
+}
+
+// ---- Heartbeat ---------------------------------------------------------
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration<double>(clock::now() - epoch)
+        .count();
+}
+
+Heartbeat::Heartbeat(double intervalSec, uint64_t total,
+                     std::vector<std::string> classNames,
+                     std::FILE *out)
+    : intervalSec_(intervalSec), total_(total),
+      names_(std::move(classNames)), out_(out ? out : stderr),
+      tallies_(names_.size()), startSec_(monotonicSeconds())
+{
+}
+
+void
+Heartbeat::onEvent(size_t klass)
+{
+    onEventAt(klass, monotonicSeconds());
+}
+
+bool
+Heartbeat::onEventAt(size_t klass, double nowSec)
+{
+    if (klass < tallies_.size())
+        tallies_[klass].fetch_add(1, std::memory_order_relaxed);
+    done_.fetch_add(1, std::memory_order_relaxed);
+    return maybeEmit(nowSec, false);
+}
+
+void
+Heartbeat::finish()
+{
+    if (done_.load(std::memory_order_relaxed) > 0)
+        maybeEmit(monotonicSeconds(), true);
+}
+
+bool
+Heartbeat::maybeEmit(double nowSec, bool force)
+{
+    if (intervalSec_ <= 0)
+        return false;
+    // The rate limit is one atomic compare-exchange on the next
+    // allowed emission time: exactly one thread wins each interval,
+    // every loser returns without blocking.
+    uint64_t nowMicros = static_cast<uint64_t>(nowSec * 1e6);
+    uint64_t next = nextEmitMicros_.load(std::memory_order_relaxed);
+    if (!force && nowMicros < next)
+        return false;
+    uint64_t after =
+        nowMicros + static_cast<uint64_t>(intervalSec_ * 1e6);
+    if (!nextEmitMicros_.compare_exchange_strong(
+            next, after, std::memory_order_relaxed))
+        return false;
+    std::fprintf(out_, "%s\n", formatLine(nowSec).c_str());
+    std::fflush(out_);
+    ++emitted_;
+    return true;
+}
+
+std::string
+Heartbeat::formatLine(double nowSec) const
+{
+    uint64_t done = done_.load(std::memory_order_relaxed);
+    double elapsed = nowSec - startSec_;
+    double rate = elapsed > 0 ? static_cast<double>(done) / elapsed
+                              : 0.0;
+    std::string line = "[gpufi] ";
+    char buf[64];
+    if (total_ > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%llu/%llu runs %.1f%%",
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total_),
+                      100.0 * static_cast<double>(done) /
+                          static_cast<double>(total_));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu runs",
+                      static_cast<unsigned long long>(done));
+    }
+    line += buf;
+    std::snprintf(buf, sizeof(buf), " | %.1f runs/s", rate);
+    line += buf;
+    if (total_ > 0 && rate > 0 && done < total_) {
+        double eta = static_cast<double>(total_ - done) / rate;
+        uint64_t s = static_cast<uint64_t>(eta);
+        if (s >= 3600)
+            std::snprintf(buf, sizeof(buf), " | eta %lluh%02llum",
+                          static_cast<unsigned long long>(s / 3600),
+                          static_cast<unsigned long long>(
+                              (s % 3600) / 60));
+        else if (s >= 60)
+            std::snprintf(buf, sizeof(buf), " | eta %llum%02llus",
+                          static_cast<unsigned long long>(s / 60),
+                          static_cast<unsigned long long>(s % 60));
+        else
+            std::snprintf(buf, sizeof(buf), " | eta %llus",
+                          static_cast<unsigned long long>(s));
+        line += buf;
+    }
+    std::string tallyPart;
+    for (size_t i = 0; i < names_.size(); ++i) {
+        uint64_t n = tallies_[i].load(std::memory_order_relaxed);
+        if (n == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%s%s %llu",
+                      tallyPart.empty() ? "" : " ",
+                      names_[i].c_str(),
+                      static_cast<unsigned long long>(n));
+        tallyPart += buf;
+    }
+    if (!tallyPart.empty())
+        line += " | " + tallyPart;
+    return line;
+}
+
+} // namespace obs
+} // namespace gpufi

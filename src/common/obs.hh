@@ -1,0 +1,361 @@
+/**
+ * @file
+ * gpufi::obs — the low-overhead observability subsystem: a
+ * process-wide registry of named counters, gauges and log-scale
+ * latency histograms, a versioned JSON metrics report, and a
+ * rate-limited stderr heartbeat for long campaigns.
+ *
+ * Contract (DESIGN.md §11):
+ *
+ *  - *Write-only from the simulator.* Nothing in the simulation or
+ *    the injector ever reads a metric back, so instrumentation can
+ *    never change an RNG stream or a classification (the twin-run
+ *    test pins this).
+ *  - *Cheap on the hot path.* Simulator hot loops bump plain
+ *    `uint64_t` members of the objects they already own (CacheStats,
+ *    SimtCore scheduler tallies, Gpu cycle counters) and flush them
+ *    into the registry once, at Gpu destruction. Code outside the
+ *    cycle loop (campaign phases, journal I/O) adds straight to
+ *    registry handles: a relaxed atomic add, no locks.
+ *  - *Locks only on registration.* Looking a metric up by name takes
+ *    a mutex; instrumentation sites therefore resolve their handles
+ *    once (function-local static) and keep the pointer.
+ *  - *Stable names.* Dot-separated lowercase
+ *    `subsystem.object.metric` (e.g. `cache.l1d.read_misses`,
+ *    `campaign.phase_us.run_fast`). Renaming a published metric is a
+ *    schema change and bumps kMetricsVersion.
+ */
+
+#ifndef GPUFI_COMMON_OBS_HH
+#define GPUFI_COMMON_OBS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpufi {
+namespace obs {
+
+/** Schema identifier of the JSON metrics report. */
+constexpr const char *kMetricsSchema = "gpufi-metrics";
+
+/** Version of the metrics report layout and naming scheme. */
+constexpr uint32_t kMetricsVersion = 1;
+
+/**
+ * A monotonically increasing event/total counter. Increment is one
+ * relaxed atomic add — safe from any thread, never a lock.
+ */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+    /** Test-only: registry reset. */
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** A last-written double value (rates, ratios, configuration). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        bits_.store(encode(v), std::memory_order_relaxed);
+    }
+
+    double value() const;
+
+    void reset() { bits_.store(0, std::memory_order_relaxed); }
+
+  private:
+    static uint64_t encode(double v);
+    std::atomic<uint64_t> bits_{0};
+};
+
+/**
+ * A log2-bucketed histogram for latency-like values: bucket k counts
+ * observations v with floor(log2(v)) == k (v == 0 lands in bucket 0).
+ * Fixed 64 buckets, so any uint64_t value has a home; observe() is
+ * two relaxed adds and a bit scan.
+ */
+class Histogram
+{
+  public:
+    static constexpr uint32_t kBuckets = 64;
+
+    void observe(uint64_t v);
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    uint64_t bucket(uint32_t k) const
+    {
+        return buckets_[k].load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    std::atomic<uint64_t> buckets_[kBuckets]{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/**
+ * The process-wide registry. counter()/gauge()/histogram() get or
+ * create by name (mutex held only for the lookup); returned
+ * references stay valid for the life of the process. One name maps
+ * to exactly one kind — reusing it with another kind is fatal().
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Sorted (name, value) snapshots for the report writer. */
+    std::vector<std::pair<std::string, uint64_t>> counters() const;
+    std::vector<std::pair<std::string, double>> gauges() const;
+    std::vector<std::pair<std::string, const Histogram *>>
+    histograms() const;
+
+    /** Test-only: zero every metric (names stay registered). */
+    void resetAll();
+};
+
+/** Shorthand for Registry::instance().counter(name) etc. */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histogram &histogram(const std::string &name);
+
+// ---- Minimal JSON model ------------------------------------------------
+//
+// Just enough JSON for the metrics report and its validator: ordered
+// objects, exact uint64/int64 integers (counters must round-trip
+// bit-equal), %.17g doubles (dump(parse(dump(x))) == dump(x)).
+
+class Json
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null, Bool, U64, I64, Double, String, Array, Object
+    };
+
+    Json() : kind_(Kind::Null) {}
+    static Json boolean(bool b);
+    static Json u64(uint64_t v);
+    static Json i64(int64_t v);
+    static Json number(double v);
+    static Json str(std::string s);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::U64 || kind_ == Kind::I64 ||
+               kind_ == Kind::Double;
+    }
+
+    bool asBool() const { return b_; }
+    uint64_t asU64() const;
+    double asDouble() const;
+    const std::string &asString() const { return s_; }
+
+    /** Array elements / object values, in insertion order. */
+    const std::vector<Json> &items() const { return items_; }
+    /** Object keys, parallel to items(), insertion order. */
+    const std::vector<std::string> &keys() const { return keys_; }
+
+    /** Append to an array. */
+    void push(Json v);
+    /** Set an object member (appends; duplicate keys are a bug). */
+    void set(const std::string &key, Json v);
+    /** Object member by key; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Serialize. @p indent 0 = compact; >0 = pretty, that many
+     * spaces per level. Deterministic: preserves insertion order. */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse @p text. On failure returns a Null value and, when
+     * @p err is non-null, a one-line description with offset.
+     */
+    static Json parse(const std::string &text, std::string *err);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool b_ = false;
+    uint64_t u_ = 0;
+    int64_t i_ = 0;
+    double d_ = 0.0;
+    std::string s_;
+    std::vector<Json> items_;
+    std::vector<std::string> keys_;   ///< objects only
+};
+
+// ---- Metrics report ----------------------------------------------------
+
+/**
+ * Build the versioned metrics report from the live registry:
+ *
+ *   { "meta":      { "schema", "version", ...extraMeta },
+ *     "counters":  { "<name>": uint, ... },
+ *     "gauges":    { "<name>": double, ... },
+ *     "histograms":{ "<name>": { "count", "sum",
+ *                                "buckets": [[log2lo, n], ...] } } }
+ *
+ * Metric names are flat dotted strings; keys are sorted.
+ */
+Json buildMetricsReport(
+    const std::vector<std::pair<std::string, std::string>> &extraMeta);
+
+/**
+ * Validate a parsed metrics report: schema/version match, the three
+ * sections are well-formed, and the report covers the gate's minimum
+ * surface (sim cycles + IPC, per-cache hit/miss counters, snapshot
+ * fast-forward savings, per-phase campaign timings, outcome
+ * tallies). @return true when valid; otherwise false with a
+ * diagnostic in @p err (one finding per line).
+ */
+bool validateMetricsReport(const Json &report, std::string *err);
+
+/**
+ * Serialize the registry and write it to @p path atomically (temp
+ * file + rename). @p extraMeta lands in "meta" next to schema and
+ * version (e.g. {"tool","gpufi"}, {"card","rtx2060"}).
+ */
+void writeMetricsFile(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &extraMeta);
+
+/**
+ * If the GPUFI_METRICS_OUT environment variable names a file,
+ * register an atexit hook that writes the metrics report there (the
+ * bench harness calls this so every reproduction binary can emit
+ * metrics without per-binary wiring). Idempotent.
+ */
+void writeMetricsAtExitIfRequested(const std::string &tool);
+
+// ---- Heartbeat ---------------------------------------------------------
+
+/**
+ * A rate-limited progress line on stderr for long campaigns:
+ *
+ *   [gpufi] 412/3000 runs 13.7% | 9.6 runs/s | eta 4m29s | \
+ *   Masked 361 SDC 22 Crash 18 Timeout 7 ...
+ *
+ * onEvent() tallies one completed unit of work (thread-safe) and
+ * emits at most one line per interval. The clock is injectable so
+ * the rate-limit logic is unit-testable: production call sites use
+ * onEvent(klass), tests drive onEventAt(klass, nowSec) and count
+ * emitted lines. Class names are caller-supplied (the campaign
+ * passes outcome names) — obs stays below fi in the layering.
+ */
+class Heartbeat
+{
+  public:
+    /**
+     * @param intervalSec minimum seconds between lines (<= 0
+     *        disables emission; tallies still accumulate)
+     * @param total expected units of work (0: no percent/ETA)
+     * @param classNames tally labels, indexed by onEvent's klass
+     * @param out stream for the line (default stderr)
+     */
+    Heartbeat(double intervalSec, uint64_t total,
+              std::vector<std::string> classNames,
+              std::FILE *out = nullptr);
+
+    /** Tally one completed unit and emit if the interval elapsed. */
+    void onEvent(size_t klass);
+
+    /** Test surface: as onEvent but with an explicit clock.
+     * @return true when a line was emitted. */
+    bool onEventAt(size_t klass, double nowSec);
+
+    /** Force a final line (ignores the rate limit; e.g. at 100%). */
+    void finish();
+
+    uint64_t done() const
+    {
+        return done_.load(std::memory_order_relaxed);
+    }
+
+    /** The line body for @p nowSec (exposed for tests). */
+    std::string formatLine(double nowSec) const;
+
+    /** Lines actually emitted. */
+    uint64_t emitted() const { return emitted_; }
+
+  private:
+    bool maybeEmit(double nowSec, bool force);
+
+    double intervalSec_;
+    uint64_t total_;
+    std::vector<std::string> names_;
+    std::FILE *out_;
+    std::vector<std::atomic<uint64_t>> tallies_;
+    std::atomic<uint64_t> done_{0};
+    double startSec_;
+    std::atomic<uint64_t> nextEmitMicros_{0}; ///< rate-limit gate
+    uint64_t emitted_ = 0;
+};
+
+/** Monotonic seconds since an arbitrary process-local epoch. */
+double monotonicSeconds();
+
+/**
+ * Scoped phase timer: adds elapsed wall-clock microseconds to the
+ * counter `campaign.phase_us.<phase>` on destruction.
+ */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(Counter &c) : c_(c), t0_(monotonicSeconds()) {}
+    ~PhaseTimer() { c_.add(elapsedMicros()); }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+    uint64_t
+    elapsedMicros() const
+    {
+        double dt = monotonicSeconds() - t0_;
+        return dt > 0 ? static_cast<uint64_t>(dt * 1e6) : 0;
+    }
+
+  private:
+    Counter &c_;
+    double t0_;
+};
+
+} // namespace obs
+} // namespace gpufi
+
+#endif // GPUFI_COMMON_OBS_HH

@@ -6,6 +6,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "fi/injector.hh"
@@ -27,7 +28,71 @@ static_assert(sizeof(outcomeNames) / sizeof(outcomeNames[0]) ==
                   static_cast<size_t>(Outcome::NUM_OUTCOMES),
               "outcomeNames must cover every Outcome");
 
+/**
+ * Pre-resolved obs handles for the campaign layer. Constructing the
+ * singleton registers every campaign metric (at value 0), so any
+ * metrics report written after a campaign covers the full surface the
+ * validator demands even when a tally never fired.
+ */
+struct CampaignObs
+{
+    obs::Counter &phaseGolden =
+        obs::counter("campaign.phase_us.golden");
+    obs::Counter &phasePioneer =
+        obs::counter("campaign.phase_us.pioneer");
+    obs::Counter &phaseRunFast =
+        obs::counter("campaign.phase_us.run_fast");
+    obs::Counter &phaseRunSlow =
+        obs::counter("campaign.phase_us.run_slow");
+    obs::Counter &retries = obs::counter("campaign.retries");
+    obs::Counter &earlyTerms =
+        obs::counter("campaign.early_terminations");
+    obs::Counter &earlyCyclesSaved =
+        obs::counter("campaign.early_term_cycles_saved");
+    obs::Counter &ffRuns = obs::counter("snapshot.ff_runs");
+    obs::Counter &ffCyclesSaved =
+        obs::counter("snapshot.ff_cycles_saved");
+    obs::Histogram &runUs = obs::histogram("campaign.run_us");
+    /** campaign.outcome.<lowercase name>, indexed by Outcome. */
+    obs::Counter *outcomes[
+        static_cast<size_t>(Outcome::NUM_OUTCOMES)];
+
+    static CampaignObs &
+    get()
+    {
+        static CampaignObs o;
+        return o;
+    }
+
+  private:
+    CampaignObs()
+    {
+        static const char *const kOutcomeMetricNames[] = {
+            "campaign.outcome.masked",
+            "campaign.outcome.performance",
+            "campaign.outcome.sdc",
+            "campaign.outcome.crash",
+            "campaign.outcome.timeout",
+            "campaign.outcome.tool_error",
+            "campaign.outcome.tool_hang",
+        };
+        static_assert(sizeof(kOutcomeMetricNames) /
+                              sizeof(kOutcomeMetricNames[0]) ==
+                          static_cast<size_t>(Outcome::NUM_OUTCOMES),
+                      "metric names must cover every Outcome");
+        for (size_t i = 0;
+             i < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++i)
+            outcomes[i] = &obs::counter(kOutcomeMetricNames[i]);
+    }
+};
+
 } // namespace
+
+void
+registerCampaignMetrics()
+{
+    CampaignObs::get();
+}
 
 bool
 isToolOutcome(Outcome o)
@@ -221,6 +286,7 @@ CampaignRunner::golden()
 {
     if (haveGolden_)
         return golden_;
+    obs::PhaseTimer timer(CampaignObs::get().phaseGolden);
     auto wl = factory_();
     mem::DeviceMemory dmem(wl->memBytes());
     wl->setup(dmem);
@@ -265,6 +331,8 @@ CampaignRunner::buildFastForward(const CampaignSpec &spec,
                                  const std::vector<FaultPlan> &plans,
                                  FastForward &ff)
 {
+    obs::PhaseTimer timer(CampaignObs::get().phasePioneer);
+
     // Snapshot ladder: quantiles over the distinct injection cycles,
     // always including the earliest so every plan has a predecessor.
     std::vector<uint64_t> cycles;
@@ -327,6 +395,8 @@ CampaignRunner::executeFast(const FaultPlan &plan,
     gpufi_assert(it != ff.snapCycles.begin());
     const sim::GpuSnapshot &snap =
         *ff.snaps[static_cast<size_t>(it - ff.snapCycles.begin()) - 1];
+    CampaignObs::get().ffRuns.add(1);
+    CampaignObs::get().ffCyclesSaved.add(snap.cycle);
 
     dmem.restore(ff.setupImage);
     sim::Gpu gpu(gpu_, dmem);
@@ -357,10 +427,13 @@ CampaignRunner::executeFast(const FaultPlan &plan,
             outcome = Outcome::Performance;
         else
             outcome = Outcome::Masked;
-    } catch (const sim::ConvergedEarly &) {
+    } catch (const sim::ConvergedEarly &e) {
         // The state hash matched the golden stream: the rest of the
         // run follows the golden execution, so the output and the
         // cycle count are the golden ones.
+        CampaignObs::get().earlyTerms.add(1);
+        CampaignObs::get().earlyCyclesSaved.add(
+            golden_.totalCycles - e.cycle);
         if (cyclesOut)
             *cyclesOut = golden_.totalCycles;
         return Outcome::Masked;
@@ -438,6 +511,11 @@ CampaignRunner::run(const CampaignSpec &spec,
     for (FaultTarget t : spec.alsoTargets)
         checkTarget(t);
 
+    // Resolving the handles up front also registers every campaign
+    // metric, so a report written after this call always covers the
+    // validator's required surface.
+    CampaignObs &co = CampaignObs::get();
+
     const GoldenRun &g = golden();
     const KernelProfile &prof = g.profile(spec.kernelName);
     const uint64_t fingerprint = campaignFingerprint(spec);
@@ -512,6 +590,23 @@ CampaignRunner::run(const CampaignSpec &spec,
         return std::find(v.begin(), v.end(), i) != v.end();
     };
 
+    // Progress heartbeat (observational only). Resumed runs are
+    // tallied up front so completed/total and the ETA reflect the
+    // whole campaign, not just this process's share.
+    std::unique_ptr<obs::Heartbeat> heartbeat;
+    if (spec.progressSec > 0.0) {
+        std::vector<std::string> classNames;
+        for (size_t i = 0;
+             i < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++i)
+            classNames.push_back(outcomeNames[i]);
+        heartbeat = std::make_unique<obs::Heartbeat>(
+            spec.progressSec, spec.runs, std::move(classNames));
+        for (uint32_t i = 0; i < spec.runs; ++i)
+            if (fromJournal[i])
+                heartbeat->onEvent(
+                    static_cast<size_t>(fromJournal[i]->outcome));
+    }
+
     // Per-run records only materialize when the caller asked for
     // them; outcome counts accumulate per worker, merged once at the
     // end, so workers share no mutable state (the journal locks).
@@ -548,7 +643,12 @@ CampaignRunner::run(const CampaignSpec &spec,
             // Only a second failure becomes a ToolError/ToolHang.
             const int attempts = spec.retrySlowPath ? 2 : 1;
             bool decided = false;
+            const double runStart = obs::monotonicSeconds();
             for (int a = 0; a < attempts && !decided; ++a) {
+                if (a > 0)
+                    co.retries.add(1);
+                obs::PhaseTimer attemptTimer(
+                    fast && a == 0 ? co.phaseRunFast : co.phaseRunSlow);
                 r.injection = InjectionRecord{};
                 r.cycles = 0;
                 try {
@@ -577,6 +677,12 @@ CampaignRunner::run(const CampaignSpec &spec,
                 }
             }
 
+            double runUs =
+                (obs::monotonicSeconds() - runStart) * 1e6;
+            co.runUs.observe(
+                runUs > 0 ? static_cast<uint64_t>(runUs) : 0);
+            co.outcomes[static_cast<size_t>(r.outcome)]->add(1);
+
             // Durable before counted: a kill after this line loses
             // nothing; a kill during it loses at most this run.
             if (journal)
@@ -584,6 +690,8 @@ CampaignRunner::run(const CampaignSpec &spec,
             partial[wi].add(r.outcome);
             if (wantRecords)
                 local[i] = r;
+            if (heartbeat)
+                heartbeat->onEvent(static_cast<size_t>(r.outcome));
         }
     };
 
@@ -599,6 +707,9 @@ CampaignRunner::run(const CampaignSpec &spec,
             pool.submit([&worker, wi] { worker(wi); });
         pool.wait();
     }
+
+    if (heartbeat)
+        heartbeat->finish();
 
     CampaignResult result = resumedCounts;
     for (const CampaignResult &p : partial)

@@ -202,6 +202,15 @@ struct CampaignSpec
     bool verifySnapshots = true;
 
     /**
+     * Emit a rate-limited progress heartbeat on stderr at most once
+     * per this many seconds (0 disables): completed/total runs,
+     * runs/s, ETA and the outcome tallies so far. Purely
+     * observational — MUST stay out of campaignFingerprint() and
+     * cannot affect plans, outcomes or the journal.
+     */
+    double progressSec = 0.0;
+
+    /**
      * Graceful-drain flag (e.g. set by a SIGINT handler): when it
      * becomes true, workers finish their in-flight runs and stop
      * claiming new ones; run() returns the partial aggregate. With a
@@ -224,6 +233,15 @@ struct CampaignSpec
     /** Below this run count fast-forward is not worth the pioneer. */
     static constexpr uint32_t kFastForwardMinRuns = 4;
 };
+
+/**
+ * Register the campaign layer's obs metrics (phase timers, outcome
+ * tallies, fast-forward savings) at value 0. CampaignRunner::run()
+ * does this implicitly; tools that may exit without running a
+ * campaign (e.g. `gpufi --stats --metrics-out`) call it so their
+ * reports still cover the validator's required surface.
+ */
+void registerCampaignMetrics();
 
 /**
  * Stable fingerprint of the spec fields that determine the campaign's

@@ -9,6 +9,7 @@
 
 #include "common/fsio.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "fi/report_log.hh"
 
 namespace gpufi {
@@ -99,20 +100,32 @@ RunJournal::open(const std::string &path)
 void
 RunJournal::append(uint64_t fingerprint, const RunRecord &record)
 {
+    static obs::Counter &appends = obs::counter("journal.appends");
+    static obs::Counter &bytes = obs::counter("journal.bytes");
+    static obs::Counter &appendUs = obs::counter("journal.append_us");
+
     gpufi_assert(fd_ >= 0);
     std::string prefix =
         "c=" + hex16(fingerprint) + " " + formatRunRecord(record);
     std::string line =
         prefix + " ck=" + hex16(journalLineChecksum(prefix)) + "\n";
+    obs::PhaseTimer timer(appendUs);
     std::lock_guard<std::mutex> lock(mutex_);
     writeFully(fd_, line.data(), line.size());
     syncFd(fd_, path_);
     ++appended_;
+    appends.add(1);
+    bytes.add(line.size());
 }
 
 JournalContents
 loadJournal(const std::string &path)
 {
+    static obs::Counter &loadedLines =
+        obs::counter("journal.loaded_lines");
+    static obs::Counter &malformedLines =
+        obs::counter("journal.malformed_lines");
+
     JournalContents contents;
     std::ifstream in(path);
     if (!in)
@@ -170,6 +183,8 @@ loadJournal(const std::string &path)
         contents.byCampaign[fingerprint].push_back(std::move(record));
         ++contents.lines;
     }
+    loadedLines.add(contents.lines);
+    malformedLines.add(contents.malformed);
     return contents;
 }
 

@@ -63,7 +63,8 @@ struct CacheStats
     uint64_t writes = 0;
     uint64_t writeMisses = 0;
     uint64_t writebacks = 0;
-    uint64_t wrongAddrWritebacks = 0; ///< dirty evictions through a corrupted tag
+    /** Dirty evictions written back through a corrupted tag. */
+    uint64_t wrongAddrWritebacks = 0;
     uint64_t hookFlips = 0;           ///< data bits flipped by active hooks
 };
 

@@ -160,7 +160,55 @@ SimtCore::step(uint64_t now)
             rrCursor_ = 0;
     }
 
+    // Scheduler observability: plain-uint64 tallies only (published
+    // to the obs registry by the Gpu destructor). The hot path is
+    // two increments; the cause scan is sampled (see below), since
+    // even an early-exit warp scan per stall cycle measured ~10%
+    // simulation time on latency-bound kernels.
+    if (issued > 0) {
+        ++sched_.issueCycles;
+        stallScanAt_ = 0; // next stall starts an episode: rescan
+    } else {
+        ++sched_.stallCycles;
+        if (sched_.stallCycles >= stallScanAt_)
+            rescanStallCause();
+        ++*stallCauseCounter_;
+    }
+
     sweepRetired();
+}
+
+// Re-attribute the current stall episode to a cause. Runs at the
+// first stall cycle after an issue cycle and every kStallCauseStride
+// stall cycles within an episode; the cycles in between repeat the
+// cached verdict, so latency+barrier+other == stallCycles stays
+// exact while the attribution is piecewise-constant. Out of line
+// (and never inlined) so the scan cannot perturb the codegen of
+// step()'s issue loops.
+void
+SimtCore::rescanStallCause()
+{
+    // Majority vote over the live warps. A live warp not parked at
+    // the CTA barrier can only be blocked on operand/writeback
+    // latency here — the issue loops visited every warp and issued
+    // nothing — so counting barrier warps decides the verdict; no
+    // live warps at all means the core is draining retired CTAs.
+    uint32_t live = 0;
+    uint32_t atBarrier = 0;
+    for (const WarpContext *w : warps_) {
+        if (w->done)
+            continue;
+        ++live;
+        if (w->atBarrier)
+            ++atBarrier;
+    }
+    if (live == 0)
+        stallCauseCounter_ = &sched_.stallOther;
+    else if (atBarrier * 2 > live)
+        stallCauseCounter_ = &sched_.stallBarrier;
+    else
+        stallCauseCounter_ = &sched_.stallLatency;
+    stallScanAt_ = sched_.stallCycles + kStallCauseStride;
 }
 
 void

@@ -42,6 +42,33 @@ struct WbEvent
     }
 };
 
+/**
+ * Warp-scheduler cycle tallies of one core (plain counters, bumped
+ * in step() and published to the obs registry when the owning Gpu is
+ * destroyed). A stall cycle is a busy cycle that issued nothing; it
+ * is attributed to one cause by majority vote over the live warps:
+ * a CTA barrier when most are parked at one, otherwise
+ * operand/writeback latency (a live non-barrier warp on an
+ * issued-nothing cycle is by definition waiting on readyAt or a
+ * scoreboarded write), or "other" when no live warps remain
+ * (draining retired CTAs). The vote is re-taken at the start of
+ * each stall episode and every kStallCauseStride stall cycles
+ * within one (cycles in between repeat the cached verdict), keeping
+ * the per-cycle cost to a pair of increments. Excluded from
+ * snapshots and state hashes — diagnostics only.
+ */
+struct SchedStats
+{
+    uint64_t issueCycles = 0;   ///< busy cycles issuing >= 1 instr
+    uint64_t stallCycles = 0;   ///< busy cycles issuing none
+    uint64_t stallLatency = 0;  ///< blamed on operand/memory latency
+    uint64_t stallBarrier = 0;  ///< blamed on a CTA barrier
+    uint64_t stallOther = 0;    ///< scoreboard conflicts, draining
+};
+
+/** Stall cycles between cause re-scans inside one stall episode. */
+constexpr uint64_t kStallCauseStride = 32;
+
 /** One streaming multiprocessor. */
 class SimtCore
 {
@@ -86,6 +113,9 @@ class SimtCore
 
     /** Live warps across resident CTAs. */
     uint32_t liveWarps() const;
+
+    /** Warp-scheduler issue/stall tallies (see SchedStats). */
+    const SchedStats &sched() const { return sched_; }
 
     /** Capture scheduler + cache state (at the fault firing point). */
     void snapshot(CoreState &out) const;
@@ -132,6 +162,9 @@ class SimtCore
     void retireCta(CtaRuntime *cta);
     void sweepRetired();
     void scheduleWriteback(WarpContext &w, int reg, uint64_t cycle);
+    /** Re-attribute the running stall episode (see SchedStats). Out
+     *  of line so the scan cannot perturb step()'s codegen. */
+    void rescanStallCause() __attribute__((noinline));
 
     Gpu *gpu_;
     uint32_t id_;
@@ -151,6 +184,11 @@ class SimtCore
     uint32_t liveThreads_ = 0;
     size_t rrCursor_ = 0;
     WarpContext *gtoWarp_ = nullptr;
+    SchedStats sched_;
+    /** Stall-cause cache: counter the current episode bumps, and
+     *  the stallCycles value at which to re-scan the cause. */
+    uint64_t *stallCauseCounter_ = nullptr;
+    uint64_t stallScanAt_ = 0;
 };
 
 } // namespace sim

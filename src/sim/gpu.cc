@@ -3,9 +3,86 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/obs.hh"
 
 namespace gpufi {
 namespace sim {
+
+namespace {
+
+/**
+ * Registry handles for the simulator's published metrics, resolved
+ * once (the registry lookup takes a mutex; the adds below are
+ * relaxed atomics). One instance per cache level keeps the naming
+ * scheme in one place: cache.<level>.<stat>.
+ */
+struct CacheObs
+{
+    obs::Counter &reads;
+    obs::Counter &readMisses;
+    obs::Counter &writes;
+    obs::Counter &writeMisses;
+    obs::Counter &writebacks;
+    obs::Counter &wrongAddrWritebacks;
+    obs::Counter &hookFlips;
+
+    explicit CacheObs(const std::string &level)
+        : reads(obs::counter("cache." + level + ".reads")),
+          readMisses(obs::counter("cache." + level + ".read_misses")),
+          writes(obs::counter("cache." + level + ".writes")),
+          writeMisses(
+              obs::counter("cache." + level + ".write_misses")),
+          writebacks(obs::counter("cache." + level + ".writebacks")),
+          wrongAddrWritebacks(obs::counter(
+              "cache." + level + ".wrong_addr_writebacks")),
+          hookFlips(obs::counter("cache." + level + ".hook_flips"))
+    {}
+
+    void
+    add(const mem::CacheStats &s)
+    {
+        reads.add(s.reads);
+        readMisses.add(s.readMisses);
+        writes.add(s.writes);
+        writeMisses.add(s.writeMisses);
+        writebacks.add(s.writebacks);
+        wrongAddrWritebacks.add(s.wrongAddrWritebacks);
+        hookFlips.add(s.hookFlips);
+    }
+};
+
+struct SimObs
+{
+    obs::Counter &cycles = obs::counter("sim.cycles");
+    obs::Counter &instructions =
+        obs::counter("sim.warp_instructions");
+    obs::Counter &launches = obs::counter("sim.launches");
+    obs::Counter &issueCycles = obs::counter("sched.issue_cycles");
+    obs::Counter &stallCycles = obs::counter("sched.stall_cycles");
+    obs::Counter &stallLatency =
+        obs::counter("sched.stall_latency_cycles");
+    obs::Counter &stallBarrier =
+        obs::counter("sched.stall_barrier_cycles");
+    obs::Counter &stallOther =
+        obs::counter("sched.stall_other_cycles");
+    obs::Counter &watchdogFires =
+        obs::counter("sim.watchdog_fires");
+    obs::Counter &timeouts = obs::counter("sim.timeouts");
+    obs::Gauge &ipc = obs::gauge("sim.ipc");
+    CacheObs l1d{"l1d"};
+    CacheObs l1t{"l1t"};
+    CacheObs l1c{"l1c"};
+    CacheObs l2{"l2"};
+
+    static SimObs &
+    get()
+    {
+        static SimObs o;
+        return o;
+    }
+};
+
+} // namespace
 
 Gpu::Gpu(const GpuConfig &config, mem::DeviceMemory &mem)
     : config_(config), mem_(mem)
@@ -17,7 +94,40 @@ Gpu::Gpu(const GpuConfig &config, mem::DeviceMemory &mem)
         cores_.push_back(std::make_unique<SimtCore>(this, i));
 }
 
-Gpu::~Gpu() = default;
+Gpu::~Gpu()
+{
+    publishObs();
+}
+
+void
+Gpu::publishObs()
+{
+    if (obsPublished_)
+        return;
+    obsPublished_ = true;
+    SimObs &o = SimObs::get();
+    o.cycles.add(cycle_);
+    o.instructions.add(warpInstructions_);
+    o.launches.add(launchesStarted_);
+    for (const auto &core : cores_) {
+        const SchedStats &s = core->sched();
+        o.issueCycles.add(s.issueCycles);
+        o.stallCycles.add(s.stallCycles);
+        o.stallLatency.add(s.stallLatency);
+        o.stallBarrier.add(s.stallBarrier);
+        o.stallOther.add(s.stallOther);
+        if (core->l1d())
+            o.l1d.add(core->l1d()->stats());
+        o.l1t.add(core->l1t()->stats());
+        o.l1c.add(core->l1c()->stats());
+    }
+    o.l2.add(l2_->stats());
+    // Process-cumulative IPC over everything simulated so far.
+    uint64_t c = o.cycles.value();
+    if (c > 0)
+        o.ipc.set(static_cast<double>(o.instructions.value()) /
+                  static_cast<double>(c));
+}
 
 uint32_t
 Gpu::param(uint32_t idx) const
@@ -320,6 +430,7 @@ Gpu::runLaunchLoop()
     while (completedCtas_ < totalCtas) {
         if (cycle_ >= cycleLimit_) {
             kernel_ = nullptr;
+            SimObs::get().timeouts.add(1);
             throw TimeoutError(detail::format(
                 "cycle limit %llu reached in kernel '%s'",
                 static_cast<unsigned long long>(cycleLimit_),
@@ -328,6 +439,7 @@ Gpu::runLaunchLoop()
         if (wallArmed_ && (cycle_ & 1023) == 0 &&
             std::chrono::steady_clock::now() >= wallDeadline_) {
             kernel_ = nullptr;
+            SimObs::get().watchdogFires.add(1);
             throw WallClockExceeded(detail::format(
                 "wall-clock watchdog fired at cycle %llu in kernel "
                 "'%s'",

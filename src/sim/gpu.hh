@@ -246,6 +246,16 @@ class Gpu
     /** Count one issued warp instruction. */
     void countInstruction() { ++warpInstructions_; }
 
+    /**
+     * Publish this Gpu's accumulated tallies (cycles, instructions,
+     * scheduler stalls, cache hit/miss counters) into the obs
+     * registry. Idempotent; the destructor calls it, so every Gpu —
+     * golden, pioneer or injected run — contributes exactly once.
+     * Call it early only when the registry must be current while the
+     * Gpu is still alive (e.g. `gpufi --stats --metrics-out`).
+     */
+    void publishObs();
+
     /** A core finished a CTA; the scheduler may place another. */
     void onCtaRetired(CtaRuntime *cta);
 
@@ -285,6 +295,8 @@ class Gpu
     // Wall-clock watchdog (see setWallClockLimit)
     bool wallArmed_ = false;
     std::chrono::steady_clock::time_point wallDeadline_{};
+
+    bool obsPublished_ = false; ///< publishObs() ran (see above)
 
     // Pending injections: cycle -> callbacks
     std::multimap<uint64_t, InjectionFn> injections_;

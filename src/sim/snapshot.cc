@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "sim/core.hh"
 #include "sim/gpu.hh"
 #include "sim/snapshot.hh"
@@ -361,6 +362,8 @@ Gpu::hostWrite(mem::Addr addr, const void *in, uint64_t size)
 void
 Gpu::captureSnapshot(GpuSnapshot &out) const
 {
+    static obs::Counter &captures = obs::counter("snapshot.captures");
+    captures.add(1);
     gpufi_assert(kernel_ != nullptr); // must be mid-launch
     out.cycle = cycle_;
     out.warpInstructions = warpInstructions_;
@@ -413,10 +416,14 @@ Gpu::beginReplay(const GoldenTrace &trace, const GpuSnapshot &snap,
 void
 Gpu::restoreFromSnapshot(const isa::Kernel &kernel)
 {
+    static obs::Counter &restores = obs::counter("snapshot.restores");
+    static obs::Counter &verifyFailures =
+        obs::counter("snapshot.verify_failures");
     const GpuSnapshot &snap = *resumeSnap_;
     if (verifySnapshot_ && !snap.verify()) {
         replayTrace_ = nullptr;
         resumeSnap_ = nullptr;
+        verifyFailures.add(1);
         throw SnapshotCorrupt(detail::format(
             "snapshot for kernel '%s' at cycle %llu fails its "
             "integrity digest",
@@ -469,6 +476,7 @@ Gpu::restoreFromSnapshot(const isa::Kernel &kernel)
     // Leave replay mode: the rest of the run simulates for real.
     replayTrace_ = nullptr;
     resumeSnap_ = nullptr;
+    restores.add(1);
 }
 
 // ---- Gpu: state hashing and convergence ----------------------------
@@ -539,9 +547,16 @@ Gpu::maybeCheckConvergence()
         convTrace_ = nullptr;
         return;
     }
+    static obs::Counter &checks =
+        obs::counter("sim.convergence_checks");
+    static obs::Counter &converged =
+        obs::counter("sim.early_converged");
+    checks.add(1);
     StateHasher h = stateHash();
-    if (h.a == t.hashes[idx].a && h.b == t.hashes[idx].b)
+    if (h.a == t.hashes[idx].a && h.b == t.hashes[idx].b) {
+        converged.add(1);
         throw ConvergedEarly{cycle_};
+    }
     // Still divergent: back off so persistent divergence (a likely
     // SDC) does not keep paying for full-state hashes.
     convNextCycle_ += convStride_ * t.hashInterval;

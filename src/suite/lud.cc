@@ -94,7 +94,7 @@ done:
 
 .kernel lud_perimeter
 .reg 24
-.smem 512               # row-strip columns (0..255) + col-strip rows (256..511)
+.smem 512               # row-strip cols (0..255) + col rows (256..)
 # params: 0=n 1=&A 2=step
     mov   r0, %tid_x
     param r1, 0             # n

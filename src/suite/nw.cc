@@ -18,7 +18,7 @@ namespace {
 const char kSource[] = R"(
 .kernel nw_step
 .reg 26
-.smem 2184              # 17x17 score tile (0..1155, padded) + 16x16 ref (1160..)
+.smem 2184              # 17x17 score tile (padded) + 16x16 ref
 # params: 0=n1 1=&score 2=&ref 3=penalty 4=d 5=baseI 6=B
     mov   r0, %ctaid_x
     param r1, 5

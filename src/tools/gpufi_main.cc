@@ -26,6 +26,7 @@
 #include "common/config.hh"
 #include "common/fsio.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "common/stats.hh"
 #include "fi/avf.hh"
 #include "fi/campaign.hh"
@@ -69,6 +70,8 @@ struct CliOptions
     std::string logPath;
     std::string configPath;
     std::string journalPath;
+    std::string metricsOut;     ///< JSON metrics report destination
+    double progressSec = 0.0;   ///< stderr heartbeat interval
     bool resume = false;
     double watchdogSec = 0.0;
     bool noRetry = false;
@@ -149,7 +152,13 @@ usage()
         "                         then classified ToolHang (0: off)\n"
         "  --no-retry             classify tool-level failures\n"
         "                         immediately instead of retrying\n"
-        "                         once via the from-scratch path\n");
+        "                         once via the from-scratch path\n"
+        "  --metrics-out FILE     write the versioned JSON metrics\n"
+        "                         report (counters, gauges,\n"
+        "                         histograms) on exit\n"
+        "  --progress-sec N       stderr heartbeat at most every N\n"
+        "                         seconds: runs/s, outcome tallies,\n"
+        "                         ETA (0: off)\n");
 }
 
 CliOptions
@@ -216,6 +225,12 @@ parseArgs(int argc, char **argv)
             ++i;
         } else if (a == "--journal") {
             opts.journalPath = need(i);
+            ++i;
+        } else if (a == "--metrics-out") {
+            opts.metricsOut = need(i);
+            ++i;
+        } else if (a == "--progress-sec") {
+            opts.progressSec = std::strtod(need(i), nullptr);
             ++i;
         } else if (a == "--resume") {
             opts.resume = true;
@@ -294,6 +309,19 @@ printTargetRegistry(const sim::GpuConfig &card)
     }
 }
 
+/** Write the --metrics-out report (no-op when the flag is unset). */
+void
+writeMetrics(const CliOptions &opts)
+{
+    if (opts.metricsOut.empty())
+        return;
+    fi::registerCampaignMetrics();
+    obs::writeMetricsFile(opts.metricsOut,
+                          {{"tool", "gpufi"},
+                           {"card", opts.card},
+                           {"benchmark", opts.benchmark}});
+}
+
 int
 runCli(const CliOptions &opts)
 {
@@ -347,6 +375,10 @@ runCli(const CliOptions &opts)
         std::printf("%s\n",
                     sim::formatLaunchTable(launches).c_str());
         std::printf("%s", sim::formatMemoryStats(gpu).c_str());
+        // The Gpu is still alive here; flush its tallies so the
+        // report carries them.
+        gpu.publishObs();
+        writeMetrics(opts);
         return 0;
     }
 
@@ -432,6 +464,7 @@ runCli(const CliOptions &opts)
             spec.seed = opts.seed +
                         static_cast<uint64_t>(target) * 7919;
             spec.keepRecords = !opts.logPath.empty();
+            spec.progressSec = opts.progressSec;
             spec.wallClockLimitSec = opts.watchdogSec;
             spec.retrySlowPath = !opts.noRetry;
             spec.cancel = &g_interrupted;
@@ -481,6 +514,7 @@ runCli(const CliOptions &opts)
             std::printf("; rerun with --journal %s --resume to "
                         "continue", journal.path().c_str());
         std::printf("\n");
+        writeMetrics(opts);
         return 130;
     }
 
@@ -497,6 +531,7 @@ runCli(const CliOptions &opts)
                         fi::targetName(target),
                         report.structAvf.at(target) * 100.0, fit);
     }
+    writeMetrics(opts);
     return 0;
 }
 

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gpufi-metrics-check — validate a JSON metrics report against the
+ * gpufi-metrics schema (see obs.hh / DESIGN.md §11). The bench-smoke
+ * CI job gates on it: a report that drops a required counter or
+ * bumps the schema version without review fails the pipeline.
+ *
+ * Usage: gpufi-metrics-check FILE...
+ * Exit status: 0 when every file validates, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/obs.hh"
+
+using namespace gpufi;
+
+namespace {
+
+bool
+checkFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    std::string err;
+    obs::Json report = obs::Json::parse(ss.str(), &err);
+    if (report.kind() == obs::Json::Kind::Null && !err.empty()) {
+        std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    if (!obs::validateMetricsReport(report, &err)) {
+        std::fprintf(stderr, "%s: invalid metrics report:\n%s",
+                     path.c_str(), err.c_str());
+        return false;
+    }
+    std::printf("%s: ok\n", path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: gpufi-metrics-check FILE...\n");
+        return 1;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i)
+        ok = checkFile(argv[i]) && ok;
+    return ok ? 0 : 1;
+}

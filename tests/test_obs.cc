@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Observability-layer tests: registry invariants, histogram
+ * bucketing, JSON round-trips, metrics-report validation, heartbeat
+ * rate limiting, and the twin-run guarantee that instrumentation
+ * changes no campaign result (obs is write-only from the simulator).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/obs.hh"
+#include "fi/campaign.hh"
+#include "fi/report_log.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using obs::Json;
+
+TEST(ObsRegistry, SameNameSameHandle)
+{
+    obs::Counter &a = obs::counter("test.registry.same");
+    obs::Counter &b = obs::counter("test.registry.same");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    b.add(2);
+    EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(ObsRegistry, KindClashIsFatal)
+{
+    obs::counter("test.registry.clash");
+    EXPECT_THROW(obs::gauge("test.registry.clash"), FatalError);
+    EXPECT_THROW(obs::histogram("test.registry.clash"), FatalError);
+}
+
+TEST(ObsRegistry, SnapshotsAreSorted)
+{
+    obs::counter("test.registry.zz");
+    obs::counter("test.registry.aa");
+    auto counters = obs::Registry::instance().counters();
+    EXPECT_TRUE(std::is_sorted(
+        counters.begin(), counters.end(),
+        [](const auto &x, const auto &y) { return x.first < y.first; }));
+}
+
+TEST(ObsRegistry, ResetAllZeroesValues)
+{
+    obs::Counter &c = obs::counter("test.registry.reset");
+    obs::Gauge &g = obs::gauge("test.registry.reset_gauge");
+    c.add(7);
+    g.set(1.5);
+    obs::Registry::instance().resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(ObsGauge, StoresDoubles)
+{
+    obs::Gauge &g = obs::gauge("test.gauge.value");
+    g.set(0.125);
+    EXPECT_EQ(g.value(), 0.125);
+    g.set(-3.75);
+    EXPECT_EQ(g.value(), -3.75);
+}
+
+TEST(ObsHistogram, Log2Bucketing)
+{
+    obs::Histogram &h = obs::histogram("test.hist.buckets");
+    h.reset();
+    h.observe(0);
+    h.observe(1);
+    h.observe(2);
+    h.observe(3);
+    h.observe(1024);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1030u);
+    EXPECT_EQ(h.bucket(0), 2u);   // 0 and 1
+    EXPECT_EQ(h.bucket(1), 2u);   // 2 and 3
+    EXPECT_EQ(h.bucket(10), 1u);  // 1024
+    EXPECT_EQ(h.bucket(2), 0u);
+    h.observe(~0ULL);
+    EXPECT_EQ(h.bucket(63), 1u);
+}
+
+namespace {
+
+/** dump -> parse -> dump must be byte-identical. */
+void
+expectRoundTrip(const Json &doc)
+{
+    std::string d1 = doc.dump(2);
+    std::string err;
+    Json parsed = Json::parse(d1, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(parsed.dump(2), d1);
+    // Compact form round-trips too.
+    std::string c1 = doc.dump(0);
+    Json compact = Json::parse(c1, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(compact.dump(0), c1);
+}
+
+} // namespace
+
+TEST(ObsJson, RoundTripExactIntegers)
+{
+    Json doc = Json::object();
+    doc.set("u64max", Json::u64(~0ULL));
+    doc.set("zero", Json::u64(0));
+    doc.set("negative", Json::i64(-123456789012345678LL));
+    expectRoundTrip(doc);
+    // The extremes must survive as exact integers, not doubles.
+    Json parsed = Json::parse(doc.dump(2), nullptr);
+    EXPECT_EQ(parsed.find("u64max")->kind(), Json::Kind::U64);
+    EXPECT_EQ(parsed.find("u64max")->asU64(), ~0ULL);
+}
+
+TEST(ObsJson, RoundTripDoublesStringsNesting)
+{
+    Json arr = Json::array();
+    arr.push(Json::number(0.1));
+    arr.push(Json::number(1e300));
+    arr.push(Json::number(-2.5));
+    arr.push(Json::boolean(true));
+    arr.push(Json());
+    Json inner = Json::object();
+    inner.set("quote\"back\\slash", Json::str("line\nbreak\ttab"));
+    inner.set("empty", Json::array());
+    arr.push(std::move(inner));
+    Json doc = Json::object();
+    doc.set("values", std::move(arr));
+    expectRoundTrip(doc);
+}
+
+TEST(ObsJson, ParseErrors)
+{
+    std::string err;
+    EXPECT_EQ(Json::parse("[1,2,", &err).kind(), Json::Kind::Null);
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(Json::parse("{} x", &err).kind(), Json::Kind::Null);
+    EXPECT_NE(err.find("trailing"), std::string::npos);
+    EXPECT_EQ(Json::parse("{\"a\":}", &err).kind(), Json::Kind::Null);
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(Json::parse("\"unterminated", &err).kind(),
+              Json::Kind::Null);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(ObsMetricsReport, BuildsValidReport)
+{
+    // Register the full required surface, as gpufi does (the sim
+    // counters via the Gpu flush, the campaign ones via
+    // registerCampaignMetrics).
+    obs::counter("sim.cycles");
+    obs::counter("sim.warp_instructions");
+    obs::gauge("sim.ipc");
+    for (const char *cache : {"cache.l1t", "cache.l2"})
+        for (const char *leaf : {".reads", ".read_misses"})
+            obs::counter(std::string(cache) + leaf);
+    fi::registerCampaignMetrics();
+
+    Json report = obs::buildMetricsReport({{"tool", "test"}});
+    std::string err;
+    EXPECT_TRUE(obs::validateMetricsReport(report, &err)) << err;
+    EXPECT_EQ(report.find("meta")->find("schema")->asString(),
+              obs::kMetricsSchema);
+    expectRoundTrip(report);
+}
+
+TEST(ObsMetricsReport, ValidatorRejectsBadReports)
+{
+    std::string err;
+    Json notObject = Json::array();
+    EXPECT_FALSE(obs::validateMetricsReport(notObject, &err));
+
+    Json wrongSchema = Json::parse(
+        R"({"meta":{"schema":"other","version":1},
+            "counters":{},"gauges":{},"histograms":{}})",
+        nullptr);
+    err.clear();
+    EXPECT_FALSE(obs::validateMetricsReport(wrongSchema, &err));
+    EXPECT_NE(err.find("meta.schema"), std::string::npos);
+
+    Json emptySections = Json::parse(
+        R"({"meta":{"schema":"gpufi-metrics","version":1},
+            "counters":{},"gauges":{},"histograms":{}})",
+        nullptr);
+    err.clear();
+    EXPECT_FALSE(obs::validateMetricsReport(emptySections, &err));
+    EXPECT_NE(err.find("missing counter 'sim.cycles'"),
+              std::string::npos);
+    EXPECT_NE(err.find("missing gauge 'sim.ipc'"),
+              std::string::npos);
+    EXPECT_NE(err.find("campaign.outcome"), std::string::npos);
+
+    Json badCounter = Json::parse(
+        R"({"meta":{"schema":"gpufi-metrics","version":1},
+            "counters":{"sim.cycles":-1},
+            "gauges":{},"histograms":{}})",
+        nullptr);
+    err.clear();
+    EXPECT_FALSE(obs::validateMetricsReport(badCounter, &err));
+    EXPECT_NE(err.find("not an unsigned integer"), std::string::npos);
+}
+
+TEST(ObsHeartbeat, RateLimiting)
+{
+    obs::Heartbeat hb(1.0, 10, {"A", "B"});
+    // tallies accumulate regardless of emission; onEventAt drives a
+    // synthetic clock so the test is deterministic.
+    EXPECT_TRUE(hb.onEventAt(0, 0.0));    // first event emits
+    EXPECT_FALSE(hb.onEventAt(1, 0.5));   // inside the interval
+    EXPECT_FALSE(hb.onEventAt(0, 0.99));
+    EXPECT_TRUE(hb.onEventAt(1, 1.1));    // interval elapsed
+    EXPECT_FALSE(hb.onEventAt(0, 1.2));
+    EXPECT_EQ(hb.done(), 5u);
+    EXPECT_EQ(hb.emitted(), 2u);
+    std::string line = hb.formatLine(2.0);
+    EXPECT_NE(line.find("[gpufi] 5/10 runs 50.0%"),
+              std::string::npos);
+    EXPECT_NE(line.find("A 3"), std::string::npos);
+    EXPECT_NE(line.find("B 2"), std::string::npos);
+}
+
+TEST(ObsHeartbeat, DisabledIntervalNeverEmits)
+{
+    obs::Heartbeat hb(0.0, 4, {"A"});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(hb.onEventAt(0, static_cast<double>(i * 10)));
+    EXPECT_EQ(hb.done(), 4u);
+    EXPECT_EQ(hb.emitted(), 0u);
+}
+
+namespace {
+
+sim::GpuConfig
+fastCard()
+{
+    sim::GpuConfig c = sim::makeRtx2060();
+    c.numSms = 4;
+    c.validate();
+    return c;
+}
+
+std::string
+recordStream(const std::vector<fi::RunRecord> &records)
+{
+    std::string out;
+    for (const auto &r : records)
+        out += fi::formatRunRecord(r) + "\n";
+    return out;
+}
+
+} // namespace
+
+TEST(ObsTwinRun, InstrumentationChangesNothing)
+{
+    // Twin campaigns: one plain, one with the heartbeat enabled and
+    // a metrics report built mid-flight. The per-run records (plans,
+    // injections, outcomes, cycle counts) must be bit-identical —
+    // obs is write-only from the simulator, so observing a campaign
+    // cannot perturb its RNG streams or classifications.
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 12;
+    spec.seed = 11;
+    spec.keepRecords = true;
+
+    fi::CampaignRunner plain(fastCard(), suite::factoryFor("VA"), 1);
+    std::vector<fi::RunRecord> plainRecords;
+    fi::CampaignResult a = plain.run(spec, &plainRecords);
+
+    fi::CampaignSpec observed = spec;
+    observed.progressSec = 3600.0; // one line, then rate-limited
+    EXPECT_EQ(fi::campaignFingerprint(spec),
+              fi::campaignFingerprint(observed));
+
+    fi::CampaignRunner instrumented(fastCard(),
+                                    suite::factoryFor("VA"), 1);
+    std::vector<fi::RunRecord> observedRecords;
+    fi::CampaignResult b =
+        instrumented.run(observed, &observedRecords);
+    Json report = obs::buildMetricsReport({});
+    std::string err;
+    EXPECT_TRUE(obs::validateMetricsReport(report, &err)) << err;
+
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(recordStream(plainRecords),
+              recordStream(observedRecords));
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Deterministic source-format gate for CI (the `format` job).
+
+The tree is hand-formatted in the gem5 style (4-space indent, return
+type on its own line, ~79-column lines); running a formatter over it
+would churn every file, so this gate checks only the invariants that
+are unambiguous and tool-independent:
+
+  * no tab characters in C++ sources or CMake lists
+  * no trailing whitespace
+  * every file ends with exactly one newline
+  * lines fit in 79 columns (string-literal kernel sources included)
+
+`.clang-format` in the repo root approximates the same style for
+editor integration; it is advisory, this script is the gate.
+
+Usage: check_format.py [ROOT]
+Exit status: 0 when clean, 1 with one finding per line otherwise.
+"""
+
+import sys
+from pathlib import Path
+
+MAX_COLS = 79
+SOURCE_SUFFIXES = {".cc", ".hh", ".py"}
+SOURCE_NAMES = {"CMakeLists.txt"}
+SKIP_DIRS = {"build", ".git", ".github"}
+
+
+def source_files(root: Path):
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(root)
+        if rel.parts and rel.parts[0] in SKIP_DIRS:
+            continue
+        if path.suffix in SOURCE_SUFFIXES or path.name in SOURCE_NAMES:
+            yield path
+
+
+def check_file(path: Path, findings: list):
+    rel = str(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        findings.append(f"{rel}: not valid UTF-8")
+        return
+    if not text:
+        findings.append(f"{rel}: empty file")
+        return
+    if not text.endswith("\n"):
+        findings.append(f"{rel}: missing newline at end of file")
+    elif text.endswith("\n\n"):
+        findings.append(f"{rel}: multiple trailing newlines")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "\t" in line:
+            findings.append(f"{rel}:{lineno}: tab character")
+        if line != line.rstrip():
+            findings.append(f"{rel}:{lineno}: trailing whitespace")
+        if len(line) > MAX_COLS:
+            findings.append(
+                f"{rel}:{lineno}: {len(line)} columns (max {MAX_COLS})"
+            )
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    findings = []
+    count = 0
+    for path in source_files(root):
+        count += 1
+        check_file(path, findings)
+    for finding in findings:
+        print(finding)
+    print(
+        f"checked {count} files: "
+        + ("clean" if not findings else f"{len(findings)} finding(s)")
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
