@@ -1,0 +1,116 @@
+/**
+ * @file
+ * bench_campaign — the end-to-end campaign wall-clock probe behind
+ * the committed perf trajectory. It times the bench-smoke campaign
+ * (VA/vecadd on a 4-SM RTX 2060) twice: once on the fast-forward
+ * path (snapshot ladder + early termination, the default) and once
+ * on the full from-scratch reference, then emits one
+ * BENCH_campaign.json point:
+ *
+ *     {"schema": "gpufi-bench-campaign-v1", "workload": "VA",
+ *      "runs": N, "wall_sec": <fast arm seconds>,
+ *      "cycles_simulated": <sum of per-run cycles, fast arm>,
+ *      "ff_ratio": <full seconds / fast seconds>}
+ *
+ * `ff_ratio` is the machine-neutral figure the CI trajectory gate
+ * compares (tools/bench_check.py): both arms run on the same host
+ * in the same process, so their ratio cancels the hardware, while
+ * absolute `wall_sec` only compares within one machine.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fsio.hh"
+#include "fi/campaign.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+
+namespace {
+
+struct ArmResult
+{
+    double wallSec = 0.0;
+    uint64_t cyclesSimulated = 0;
+};
+
+ArmResult
+runArm(bool fastForward, uint32_t runs)
+{
+    sim::GpuConfig card = sim::makeRtx2060();
+    card.numSms = 4;
+    card.validate();
+    fi::CampaignRunner runner(card, suite::factoryFor("VA"), 1);
+    runner.golden(); // pay the golden run outside the timed region
+
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = runs;
+    spec.seed = 1;
+    spec.fastForward = fastForward;
+    spec.earlyTermination = fastForward;
+    spec.keepRecords = true;
+
+    std::vector<fi::RunRecord> records;
+    auto t0 = std::chrono::steady_clock::now();
+    fi::CampaignResult result = runner.run(spec, &records);
+    auto t1 = std::chrono::steady_clock::now();
+
+    ArmResult out;
+    out.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    for (const fi::RunRecord &r : records)
+        out.cyclesSimulated += r.cycles;
+    if (result.runs() != runs)
+        fatal("campaign executed %u of %u runs", result.runs(), runs);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t runs = 3000;
+    std::string out = "BENCH_campaign.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--runs" && i + 1 < argc) {
+            runs = static_cast<uint32_t>(std::stoul(argv[++i]));
+        } else if (a == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_campaign [--runs N] [--out "
+                         "FILE.json]\n");
+            return 2;
+        }
+    }
+
+    ArmResult fast = runArm(true, runs);
+    ArmResult full = runArm(false, runs);
+    const double ffRatio = full.wallSec / fast.wallSec;
+
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"schema\": \"gpufi-bench-campaign-v1\",\n"
+                  "  \"workload\": \"VA\",\n"
+                  "  \"runs\": %u,\n"
+                  "  \"wall_sec\": %.6f,\n"
+                  "  \"cycles_simulated\": %llu,\n"
+                  "  \"ff_ratio\": %.4f\n"
+                  "}\n",
+                  runs, fast.wallSec,
+                  static_cast<unsigned long long>(fast.cyclesSimulated),
+                  ffRatio);
+    writeFileAtomic(out, buf);
+    std::printf("fast %.3fs  full %.3fs  ff_ratio %.2fx  -> %s\n",
+                fast.wallSec, full.wallSec, ffRatio, out.c_str());
+    return 0;
+}

@@ -41,6 +41,13 @@ testBitInBuffer(const uint8_t *buf, uint64_t bit)
     return (buf[bit / 8] >> (bit % 8)) & 1u;
 }
 
+/** Index of the lowest set bit of @p v. @pre v != 0. */
+inline unsigned
+ctz64(uint64_t v)
+{
+    return static_cast<unsigned>(__builtin_ctzll(v));
+}
+
 /** true if @p v is a power of two (v != 0). */
 constexpr bool
 isPow2(uint64_t v)

@@ -355,6 +355,12 @@ CampaignRunner::buildFastForward(const CampaignSpec &spec,
     mem::DeviceMemory dmem(ff.workload->memBytes());
     ff.workload->setup(dmem);
     dmem.snapshot(ff.setupImage);
+    // From here every write is page-tracked, so the ladder's
+    // snapshots capture only the pages that diverged from the setup
+    // image (the delta form workers overlay after their own setup
+    // restore).
+    if (spec.deltaSnapshots)
+        dmem.beginDirtyTracking();
 
     sim::Gpu pioneer(gpu_, dmem);
     pioneer.record(&ff.trace);
@@ -371,13 +377,24 @@ CampaignRunner::buildFastForward(const CampaignSpec &spec,
     for (const auto &s : ff.snaps)
         gpufi_assert(s->valid);
     gpufi_assert(pioneer.cycle() == golden_.totalCycles);
+    ff.snapVerified =
+        std::make_unique<std::atomic<bool>[]>(ff.snaps.size());
 
     if (spec.test.corruptSnapshots) {
         // Durability tests: clobber one byte of each sealed snapshot
         // so every restore raises sim::SnapshotCorrupt and the runs
-        // fall back to the from-scratch slow path.
-        for (auto &s : ff.snaps)
-            s->mem.bytes[0] ^= 0xff;
+        // fall back to the from-scratch slow path. Delta-form images
+        // keep their content in pages; an empty delta (no writes by
+        // the capture cycle) is corrupted through its brk scalar,
+        // which the digest also covers.
+        for (auto &s : ff.snaps) {
+            if (!s->mem.bytes.empty())
+                s->mem.bytes[0] ^= 0xff;
+            else if (!s->mem.pages.empty())
+                s->mem.pages[0] ^= 0xff;
+            else
+                s->mem.brk ^= 1;
+        }
     }
 }
 
@@ -393,14 +410,24 @@ CampaignRunner::executeFast(const FaultPlan &plan,
     auto it = std::upper_bound(ff.snapCycles.begin(),
                                ff.snapCycles.end(), plan.cycle);
     gpufi_assert(it != ff.snapCycles.begin());
-    const sim::GpuSnapshot &snap =
-        *ff.snaps[static_cast<size_t>(it - ff.snapCycles.begin()) - 1];
+    const size_t snapIdx =
+        static_cast<size_t>(it - ff.snapCycles.begin()) - 1;
+    const sim::GpuSnapshot &snap = *ff.snaps[snapIdx];
     CampaignObs::get().ffRuns.add(1);
     CampaignObs::get().ffCyclesSaved.add(snap.cycle);
 
+    // With delta snapshots the worker arena tracks its own dirty
+    // pages, so this setup restore (after the first run) and the
+    // snapshot restore inside beginReplay touch only the pages that
+    // actually changed instead of the whole image.
     dmem.restore(ff.setupImage);
+    if (spec.deltaSnapshots && !dmem.trackingDirty())
+        dmem.beginDirtyTracking();
     sim::Gpu gpu(gpu_, dmem);
-    gpu.beginReplay(ff.trace, snap, spec.verifySnapshots);
+    const bool verifyThis =
+        spec.verifySnapshots &&
+        !ff.snapVerified[snapIdx].load(std::memory_order_relaxed);
+    gpu.beginReplay(ff.trace, snap, verifyThis);
     if (spec.earlyTermination)
         gpu.enableConvergenceCheck(ff.trace, plan.cycle + 1);
     gpu.setCycleLimit(2 * golden_.totalCycles);
@@ -416,6 +443,16 @@ CampaignRunner::executeFast(const FaultPlan &plan,
             applyFault(g, extra, nullptr);
         });
     }
+
+    // Any device-level verdict means the snapshot restore — and its
+    // digest check when this run performed one — succeeded, so later
+    // runs can skip re-hashing the same sealed bytes. SnapshotCorrupt
+    // propagates past this function, leaving the latch unset.
+    auto markVerified = [&] {
+        if (verifyThis)
+            ff.snapVerified[snapIdx].store(
+                true, std::memory_order_relaxed);
+    };
 
     Outcome outcome;
     try {
@@ -434,6 +471,7 @@ CampaignRunner::executeFast(const FaultPlan &plan,
         CampaignObs::get().earlyTerms.add(1);
         CampaignObs::get().earlyCyclesSaved.add(
             golden_.totalCycles - e.cycle);
+        markVerified();
         if (cyclesOut)
             *cyclesOut = golden_.totalCycles;
         return Outcome::Masked;
@@ -442,6 +480,7 @@ CampaignRunner::executeFast(const FaultPlan &plan,
     } catch (const sim::TimeoutError &) {
         outcome = Outcome::Timeout;
     }
+    markVerified();
     if (cyclesOut)
         *cyclesOut = gpu.cycle();
     return outcome;

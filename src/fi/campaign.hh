@@ -160,6 +160,16 @@ struct CampaignSpec
     uint32_t snapshotBudget = 12;
 
     /**
+     * Capture pioneer snapshots as 4KiB dirty-page deltas against
+     * the post-setup() memory image and restore workers by page
+     * overlay instead of whole-image copies (DESIGN.md §12). A pure
+     * execution-speed knob: restored state, and therefore every
+     * RunRecord, is bit-identical either way, so it is excluded
+     * from campaignFingerprint(). `gpufi --no-fastpath` clears it.
+     */
+    bool deltaSnapshots = true;
+
+    /**
      * Classify a run Masked as soon as its periodic state hash
      * matches the golden stream at the same cycle (the rest of the
      * run then provably follows the golden execution).
@@ -194,10 +204,14 @@ struct CampaignSpec
     bool retrySlowPath = true;
 
     /**
-     * Verify each snapshot's content digest when an injected run
+     * Verify a snapshot's content digest when an injected run
      * restores it; a mismatch (memory corruption, a stale or
      * clobbered snapshot) raises sim::SnapshotCorrupt, which the
-     * retry path converts into a from-scratch execution.
+     * retry path converts into a from-scratch execution. A snapshot
+     * that passed once is not re-digested by later runs (the check
+     * is against capture-time corruption, and re-hashing identical
+     * bytes per run dominated fast-path cost); a failing snapshot
+     * is re-checked — and keeps failing — on every run.
      */
     bool verifySnapshots = true;
 
@@ -306,6 +320,14 @@ class CampaignRunner
         sim::GoldenTrace trace;
         std::vector<uint64_t> snapCycles;
         std::vector<std::unique_ptr<sim::GpuSnapshot>> snaps;
+        /**
+         * Per-snapshot "digest verified OK" latches (indexed like
+         * snaps). Set only after a restore passed the integrity
+         * check, so a healthy snapshot is digested once per campaign
+         * while a corrupt one keeps failing every run that touches
+         * it (see CampaignSpec::verifySnapshots).
+         */
+        std::unique_ptr<std::atomic<bool>[]> snapVerified;
     };
 
     Outcome executeOne(const FaultPlan &plan, const CampaignSpec &spec,

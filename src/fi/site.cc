@@ -91,10 +91,11 @@ class RegisterFileSite : public FaultSite
             return;
         }
         auto flips = entryFlips(plan, kernel->numRegs, 32, rng);
-        auto flipThread = [&](sim::ThreadContext &t) {
+        auto flipThread = [&](sim::CtaRuntime &cta, size_t idx) {
+            uint32_t *regs = cta.regs(idx);
             for (const auto &[reg, bit] : flips)
-                t.regs[reg] =
-                    flipBit32(t.regs[reg], static_cast<unsigned>(bit));
+                regs[reg] =
+                    flipBit32(regs[reg], static_cast<unsigned>(bit));
         };
 
         if (plan.scope == FaultScope::Warp) {
@@ -108,8 +109,7 @@ class RegisterFileSite : public FaultSite
             uint32_t live = w.validMask & ~w.exitedMask;
             for (uint32_t lane = 0; lane < 32; ++lane)
                 if (live & (1u << lane))
-                    flipThread(
-                        victim.cta->threads[w.threadBase + lane]);
+                    flipThread(*victim.cta, w.threadBase + lane);
             note(rec, true,
                  detail::format("warp cta%llu.w%u reg r%u",
                                 static_cast<unsigned long long>(
@@ -124,7 +124,7 @@ class RegisterFileSite : public FaultSite
             return;
         }
         auto &victim = threads[rng.below(threads.size())];
-        flipThread(victim.cta->threads[victim.threadIdx]);
+        flipThread(*victim.cta, victim.threadIdx);
         note(rec, true,
              detail::format("thread cta%llu.t%u reg r%u",
                             static_cast<unsigned long long>(
@@ -136,8 +136,7 @@ class RegisterFileSite : public FaultSite
     capture(const sim::Gpu &gpu, StateHasher &h) const override
     {
         for (const auto &cta : gpu.residentCtas())
-            for (const sim::ThreadContext &t : cta->threads)
-                sim::hashThreadRegs(h, t);
+            sim::hashCtaRegs(h, *cta);
     }
 };
 

@@ -48,6 +48,9 @@ DeviceMemory::reset()
     texBase_ = 0;
     texSize_ = 0;
     highWater_ = kHeapBase;
+    // The state tracking was anchored to is gone.
+    trackDirty_ = false;
+    dirtyBits_.clear();
 }
 
 void
@@ -55,25 +58,126 @@ DeviceMemory::noteWrite(Addr addr, uint64_t size)
 {
     if (addr + size > highWater_)
         highWater_ = addr + size;
+    if (trackDirty_)
+        markDirty(addr, size);
+}
+
+void
+DeviceMemory::markDirty(Addr addr, uint64_t size)
+{
+    uint64_t first = addr / kPageSize;
+    uint64_t last = (addr + size - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; ++p)
+        dirtyBits_[p >> 6] |= 1ull << (p & 63);
+}
+
+void
+DeviceMemory::beginDirtyTracking()
+{
+    uint64_t pages = (store_.size() + kPageSize - 1) / kPageSize;
+    dirtyBits_.assign((pages + 63) / 64, 0);
+    trackDirty_ = true;
 }
 
 void
 DeviceMemory::snapshot(Image &out) const
 {
-    Addr hi = extent();
-    out.bytes.assign(store_.data() + kHeapBase, store_.data() + hi);
     out.brk = brk_;
     out.texBase = texBase_;
     out.texSize = texSize_;
     out.highWater = highWater_;
+    if (!trackDirty_) {
+        Addr hi = extent();
+        out.bytes.assign(store_.data() + kHeapBase, store_.data() + hi);
+        out.sparse = false;
+        out.pageIdx.clear();
+        out.pages.clear();
+        return;
+    }
+    // Delta form: the pages written since tracking began. The last
+    // page of an unaligned capacity is zero-padded so the
+    // pageIdx/pages size invariant holds.
+    out.sparse = true;
+    out.bytes.clear();
+    out.pageIdx.clear();
+    out.pages.clear();
+    for (size_t w = 0; w < dirtyBits_.size(); ++w) {
+        uint64_t bits = dirtyBits_[w];
+        while (bits) {
+            unsigned b = ctz64(bits);
+            bits &= bits - 1;
+            uint64_t p = w * 64 + b;
+            Addr lo = p * kPageSize;
+            uint64_t n = store_.size() - lo < kPageSize
+                             ? store_.size() - lo : kPageSize;
+            out.pageIdx.push_back(static_cast<uint32_t>(p));
+            size_t at = out.pages.size();
+            out.pages.resize(at + kPageSize, 0);
+            std::memcpy(out.pages.data() + at, store_.data() + lo, n);
+        }
+    }
 }
 
 void
 DeviceMemory::restore(const Image &img)
 {
+    if (img.sparse) {
+        // Overlay the delta's pages; everything else already equals
+        // the base state the delta was captured against. Overlaid
+        // pages deviate from that base, so they stay (become) dirty.
+        gpufi_assert(img.pageIdx.size() * kPageSize ==
+                     img.pages.size());
+        for (size_t i = 0; i < img.pageIdx.size(); ++i) {
+            Addr lo = static_cast<Addr>(img.pageIdx[i]) * kPageSize;
+            gpufi_assert(lo < store_.size());
+            uint64_t n = store_.size() - lo < kPageSize
+                             ? store_.size() - lo : kPageSize;
+            std::memcpy(store_.data() + lo,
+                        img.pages.data() + i * kPageSize, n);
+            if (trackDirty_)
+                markDirty(lo, n);
+        }
+        brk_ = img.brk;
+        texBase_ = img.texBase;
+        texSize_ = img.texSize;
+        highWater_ = img.highWater;
+        return;
+    }
+    Addr imgEnd = kHeapBase + img.bytes.size();
+    if (trackDirty_) {
+        // Dense restore of the tracking base: only the pages written
+        // since the last restore can differ from it, so touch those
+        // alone and restart tracking.
+        for (size_t w = 0; w < dirtyBits_.size(); ++w) {
+            uint64_t bits = dirtyBits_[w];
+            dirtyBits_[w] = 0;
+            while (bits) {
+                unsigned b = ctz64(bits);
+                bits &= bits - 1;
+                uint64_t p = w * 64 + b;
+                Addr lo = p * kPageSize;
+                Addr hi = lo + kPageSize < store_.size()
+                              ? lo + kPageSize : store_.size();
+                if (lo < kHeapBase)
+                    lo = kHeapBase;
+                if (lo >= hi)
+                    continue;
+                std::memset(store_.data() + lo, 0, hi - lo);
+                Addr cend = hi < imgEnd ? hi : imgEnd;
+                if (lo < cend)
+                    std::memcpy(store_.data() + lo,
+                                img.bytes.data() + (lo - kHeapBase),
+                                cend - lo);
+            }
+        }
+        brk_ = img.brk;
+        texBase_ = img.texBase;
+        texSize_ = img.texSize;
+        highWater_ = img.highWater;
+        return;
+    }
     // Only the union of both dirtied ranges needs touching: bytes
     // beyond each high-water mark are zero by construction.
-    Addr imgEnd = kHeapBase + img.bytes.size();
     Addr clearEnd = extent() > imgEnd ? extent() : imgEnd;
     gpufi_assert(clearEnd <= store_.size());
     std::memset(store_.data() + kHeapBase, 0, clearEnd - kHeapBase);

@@ -29,11 +29,24 @@ namespace mem {
 class DeviceMemory
 {
   public:
+    /** Dirty-tracking granule (delta snapshots, DESIGN.md §12). */
+    static constexpr uint64_t kPageSize = 4096;
+
     /**
      * A point-in-time copy of everything that defines the memory's
      * observable state: the dirtied byte range, the allocator brk and
      * the texture binding. Doubles as the campaign's cached
      * setup() image and as the memory part of a GpuSnapshot.
+     *
+     * Two forms exist. The *dense* form (`sparse == false`) carries
+     * the whole [base, extent) range in `bytes`. The *delta* form
+     * (`sparse == true`, emitted while dirty tracking is enabled)
+     * carries only the kPageSize pages written since tracking began:
+     * `pageIdx[i]` is the page number (address / kPageSize) whose
+     * content is pages[i*kPageSize, (i+1)*kPageSize). Restoring a
+     * delta image overlays those pages and is only meaningful when
+     * the memory currently holds the base state tracking started
+     * from (the campaign's post-setup() image).
      */
     struct Image
     {
@@ -42,6 +55,9 @@ class DeviceMemory
         Addr texBase = 0;
         uint64_t texSize = 0;
         Addr highWater = 0;
+        bool sparse = false;            ///< delta form?
+        std::vector<uint32_t> pageIdx;  ///< dirty page numbers, sorted
+        std::vector<uint8_t> pages;     ///< pageIdx.size() * kPageSize
     };
 
     /** @param capacity total device memory in bytes. */
@@ -124,15 +140,33 @@ class DeviceMemory
      */
     Addr highWater() const { return highWater_; }
 
-    /** Capture the current state into @p out. */
+    /**
+     * Capture the current state into @p out: the dense form
+     * normally, the delta form while dirty tracking is enabled.
+     */
     void snapshot(Image &out) const;
 
     /**
      * Restore a previously captured state. Equivalent to reset() +
      * replaying every write the image saw, but only touches the byte
-     * range either side ever dirtied.
+     * range either side ever dirtied. With dirty tracking enabled a
+     * dense restore touches only the pages written since the last
+     * restore (and restarts tracking); a delta restore overlays the
+     * image's pages onto the current state, which must be the base
+     * state its capture tracked from.
      */
     void restore(const Image &img);
+
+    /**
+     * Start tracking written pages from the current state, making
+     * snapshot() emit delta images and restore() of the *current*
+     * state's dense image touch dirty pages only. Idempotent reset
+     * of the dirty set when already enabled.
+     */
+    void beginDirtyTracking();
+
+    /** true while beginDirtyTracking() is in effect. */
+    bool trackingDirty() const { return trackDirty_; }
 
     /**
      * Fold all observable state (dirtied bytes, brk, texture
@@ -147,12 +181,16 @@ class DeviceMemory
     Addr extent() const { return brk_ > highWater_ ? brk_ : highWater_; }
 
     void noteWrite(Addr addr, uint64_t size);
+    void markDirty(Addr addr, uint64_t size);
 
     std::vector<uint8_t> store_;
     Addr brk_ = kHeapBase;
     Addr texBase_ = 0;
     uint64_t texSize_ = 0;
     Addr highWater_ = kHeapBase;
+    bool trackDirty_ = false;
+    /** One bit per kPageSize page of store_, set on write. */
+    std::vector<uint64_t> dirtyBits_;
 };
 
 } // namespace mem

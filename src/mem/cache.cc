@@ -41,6 +41,7 @@ Cache::Cache(std::string name, const CacheConfig &cfg, DeviceMemory *mem)
     gpufi_assert(isPow2(cfg_.lineSize));
     gpufi_assert(isPow2(cfg_.numSets()));
     lines_.resize(cfg_.numLines());
+    validBits_.assign((lines_.size() + 63) / 64, 0);
     setShift_ = log2Exact(cfg_.lineSize);
     tagShift_ = setShift_ + log2Exact(cfg_.numSets());
 }
@@ -119,6 +120,7 @@ Cache::fill(uint32_t set, uint32_t way, Addr addr)
     }
     dropHooks(idx);
     l.valid = true;
+    setValidBit(idx, true);
     l.dirty = false;
     l.tag = tagOf(addr);
     l.trueAddr = lineAddr(addr);
@@ -160,6 +162,7 @@ Cache::writeAccess(Addr addr, WritePolicy policy)
         if (way >= 0) {
             uint32_t idx = set * cfg_.assoc + static_cast<uint32_t>(way);
             lines_[idx].valid = false;
+            setValidBit(idx, false);
             dropHooks(idx);
             return true;
         }
@@ -252,25 +255,45 @@ Cache::restore(const State &s)
     hooks_ = s.hooks;
     stats_ = s.stats;
     accessCounter_ = s.accessCounter;
+    std::fill(validBits_.begin(), validBits_.end(), 0);
+    for (size_t i = 0; i < lines_.size(); ++i)
+        if (lines_[i].valid)
+            setValidBit(static_cast<uint32_t>(i), true);
+}
+
+void
+Cache::setValidBit(uint32_t lineIdx, bool valid)
+{
+    uint64_t mask = 1ull << (lineIdx & 63);
+    if (valid)
+        validBits_[lineIdx >> 6] |= mask;
+    else
+        validBits_[lineIdx >> 6] &= ~mask;
 }
 
 void
 Cache::hashInto(StateHasher &h) const
 {
+    // Walk only the valid lines via the occupancy bitmap; ascending
+    // line index is set-major way order, so the emitted stream is
+    // identical to a full scan that skips invalid lines.
     const uint32_t assoc = cfg_.assoc;
-    const uint32_t sets = cfg_.numSets();
-    for (uint32_t set = 0; set < sets; ++set) {
-        const Line *base = &lines_[static_cast<size_t>(set) * assoc];
-        for (uint32_t way = 0; way < assoc; ++way) {
-            const Line &l = base[way];
-            if (!l.valid)
-                continue;
+    for (size_t word = 0; word < validBits_.size(); ++word) {
+        uint64_t bits = validBits_[word];
+        while (bits) {
+            const uint32_t idx =
+                static_cast<uint32_t>(word * 64 + ctz64(bits));
+            bits &= bits - 1;
+            const Line &l = lines_[idx];
+            const uint32_t set = idx / assoc;
+            const uint32_t way = idx % assoc;
+            const Line *base =
+                &lines_[static_cast<size_t>(set) * assoc];
             // Recency rank of this way among the set's valid lines.
             uint32_t rank = 0;
             for (uint32_t o = 0; o < assoc; ++o)
                 if (o != way && base[o].valid && base[o].lru < l.lru)
                     ++rank;
-            uint32_t idx = set * assoc + way;
             h.mixU64((static_cast<uint64_t>(idx) << 8) | rank |
                      (l.dirty ? 0x80u : 0u));
             h.mixU64(l.tag);

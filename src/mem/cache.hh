@@ -178,11 +178,20 @@ class Cache
     /** Evict (with writeback if dirty) and fill a way. */
     void fill(uint32_t set, uint32_t way, Addr addr);
     void dropHooks(uint32_t lineIdx);
+    void setValidBit(uint32_t lineIdx, bool valid);
 
     std::string name_;
     CacheConfig cfg_;
     DeviceMemory *mem_;
     std::vector<Line> lines_;
+    /**
+     * One bit per line, set iff the line is valid. Mirrors the
+     * per-line valid flags so hashInto() can walk only the occupied
+     * lines instead of scanning a mostly-empty array every
+     * convergence check; maintained at the three places the flag
+     * changes (fill, write-evict, restore).
+     */
+    std::vector<uint64_t> validBits_;
     /** lineIdx -> data-bit offsets with active hooks. */
     std::unordered_map<uint32_t, std::vector<uint32_t>> hooks_;
     CacheStats stats_;

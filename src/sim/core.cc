@@ -55,6 +55,7 @@ SimtCore::addCta(CtaRuntime *cta)
     ctas_.push_back(cta);
     for (auto &w : cta->warps)
         warps_.push_back(&w);
+    schedDirty_ = true;
     uint32_t blockThreads = static_cast<uint32_t>(cta->threads.size());
     usedThreads_ += blockThreads;
     usedRegs_ += blockThreads * gpu_->runningKernel()->numRegs;
@@ -85,6 +86,17 @@ SimtCore::canIssue(const WarpContext &w, uint64_t now) const
         throw mem::DeviceFault(detail::format(
             "warp pc %d outside kernel [0, %d)", pc,
             gpu_->runningKernel()->size()));
+    if (gpu_->config().fastDecode) {
+        // Scoreboard via the pre-resolved operand register list; the
+        // checked set is exactly the slow path's {dst, memBase, Reg
+        // sources}, so the verdict is identical.
+        const DecodedInst &d = gpu_->decodedData()[pc];
+        for (uint8_t i = 0; i < d.nScore; ++i)
+            if (w.pendingWrites[static_cast<size_t>(
+                    d.scoreReg[i])] > 0)
+                return false;
+        return true;
+    }
     const isa::Instruction &inst =
         gpu_->runningKernel()->code[static_cast<size_t>(pc)];
     // Scoreboard: block on in-flight writes to any referenced register.
@@ -101,7 +113,7 @@ SimtCore::canIssue(const WarpContext &w, uint64_t now) const
     return true;
 }
 
-void
+uint32_t
 SimtCore::step(uint64_t now)
 {
     // Retire writebacks that complete this cycle.
@@ -114,9 +126,17 @@ SimtCore::step(uint64_t now)
     }
 
     if (warps_.empty())
-        return;
+        return 0;
 
     const GpuConfig &cfg = gpu_->config();
+    // The SoA prefilter (fastSched) rejects gated-out warps before
+    // touching their WarpContext cache lines. canIssue performs the
+    // same gate checks first, so a prefiltered warp is exactly one
+    // the slow path would have rejected without reaching the
+    // throwing pc check — the filter cannot change any outcome.
+    const bool gated = cfg.fastSched;
+    if (gated && schedDirty_)
+        syncSched();
     uint32_t issued = 0;
     const size_t n = warps_.size();
 
@@ -126,11 +146,15 @@ SimtCore::step(uint64_t now)
         while (issued < cfg.issueWidth && gtoWarp_ && !gtoWarp_->done &&
                canIssue(*gtoWarp_, now)) {
             executeWarp(*gtoWarp_, now);
+            syncWarpGate(*gtoWarp_);
             ++issued;
         }
         while (issued < cfg.issueWidth) {
             WarpContext *oldest = nullptr;
-            for (WarpContext *w : warps_) {
+            for (size_t i = 0; i < n; ++i) {
+                if (gated && warpGate_[i] > now)
+                    continue;
+                WarpContext *w = warps_[i];
                 if (w == gtoWarp_ || !canIssue(*w, now))
                     continue;
                 if (!oldest || w->arrivalOrder < oldest->arrivalOrder)
@@ -139,6 +163,7 @@ SimtCore::step(uint64_t now)
             if (!oldest)
                 break;
             executeWarp(*oldest, now);
+            syncWarpGate(*oldest);
             gtoWarp_ = oldest;
             ++issued;
         }
@@ -147,10 +172,13 @@ SimtCore::step(uint64_t now)
         size_t lastIssued = rrCursor_;
         for (size_t k = 0; k < n && issued < cfg.issueWidth; ++k) {
             size_t idx = (rrCursor_ + k) % n;
+            if (gated && warpGate_[idx] > now)
+                continue;
             WarpContext *w = warps_[idx];
             if (!canIssue(*w, now))
                 continue;
             executeWarp(*w, now);
+            syncWarpGate(*w);
             ++issued;
             lastIssued = idx;
         }
@@ -176,6 +204,91 @@ SimtCore::step(uint64_t now)
     }
 
     sweepRetired();
+    return issued;
+}
+
+void
+SimtCore::syncSched()
+{
+    warpGate_.resize(warps_.size());
+    for (size_t i = 0; i < warps_.size(); ++i) {
+        warps_[i]->schedSlot = static_cast<uint32_t>(i);
+        warpGate_[i] = warpGateWord(*warps_[i]);
+    }
+    schedDirty_ = false;
+}
+
+uint64_t
+SimtCore::nextEventCycle(uint64_t now) const
+{
+    uint64_t next = ~0ULL;
+    // Writeback completions are unconditional stop events: the skip
+    // window must not swallow a scoreboard release, or the machine
+    // state at the next stop cycle (which snapshots and hash points
+    // observe) would differ from the reference interpreter's.
+    if (!wb_.empty())
+        next = wb_.top().cycle;
+    const int kernelSize = gpu_->runningKernel()->size();
+    const DecodedInst *dec = gpu_->decodedData();
+    for (const WarpContext *w : warps_) {
+        // Mirror canIssue's check order. done/atBarrier warps only
+        // unblock through an issued instruction elsewhere, which is
+        // itself a stop event; an empty stack with done unset (an
+        // injected control-word flip) never issues in the reference
+        // interpreter either.
+        if (w->done || w->atBarrier)
+            continue;
+        if (w->readyAt > now) {
+            next = std::min(next, w->readyAt);
+            continue;
+        }
+        if (w->stack.empty())
+            continue;
+        const int pc = w->stack.back().pc;
+        if (pc < 0 || pc >= kernelSize)
+            return now; // step() must raise the device fault itself
+        const DecodedInst &d = dec[pc];
+        bool blocked = false;
+        for (uint8_t i = 0; i < d.nScore; ++i) {
+            if (w->pendingWrites[static_cast<size_t>(
+                    d.scoreReg[i])] > 0) {
+                blocked = true;
+                break;
+            }
+        }
+        if (!blocked)
+            return now; // issuable right now: nothing to skip
+        // Scoreboard-blocked: released only by a writeback, and the
+        // wb_.top() candidate above already bounds the window.
+    }
+    return next;
+}
+
+void
+SimtCore::accountSkippedStalls(uint64_t k)
+{
+    if (k == 0 || warps_.empty())
+        return;
+    // Replicate k iterations of step()'s stall branch against frozen
+    // warp state: bump the episode's cached cause counter until the
+    // first re-scan crossing, re-scan once (every crossing in the
+    // window sees the same frozen state, hence the same verdict),
+    // then attribute the rest to that verdict. stallScanAt_ advances
+    // stride-aligned from the first crossing, exactly as repeated
+    // single-cycle crossings would have left it.
+    const uint64_t cur = sched_.stallCycles;
+    const uint64_t i0 = stallScanAt_ > cur ? stallScanAt_ - cur : 1;
+    sched_.stallCycles += k;
+    if (i0 > k) {
+        *stallCauseCounter_ += k;
+        return;
+    }
+    *stallCauseCounter_ += i0 - 1;
+    rescanStallCause();
+    *stallCauseCounter_ += k - (i0 - 1);
+    stallScanAt_ = cur + i0 +
+                   ((k - i0) / kStallCauseStride + 1) *
+                       kStallCauseStride;
 }
 
 // Re-attribute the current stall episode to a cause. Runs at the
@@ -258,6 +371,7 @@ void
 SimtCore::finishWarp(WarpContext &w)
 {
     w.done = true;
+    syncWarpGate(w);
     CtaRuntime &cta = *w.cta;
     gpufi_assert(cta.liveWarps > 0);
     --cta.liveWarps;
@@ -272,8 +386,10 @@ SimtCore::checkBarrier(CtaRuntime &cta)
     if (cta.barrierArrived == 0)
         return;
     if (cta.barrierArrived >= cta.liveWarps) {
-        for (auto &w : cta.warps)
+        for (auto &w : cta.warps) {
             w.atBarrier = false;
+            syncWarpGate(w);
+        }
         cta.barrierArrived = 0;
     }
 }
@@ -305,6 +421,7 @@ SimtCore::sweepRetired()
         gpu_->onCtaRetired(cta); // frees the CTA; do not touch after
     }
     retired_.clear();
+    schedDirty_ = true; // warps_ indices shifted
     if (rrCursor_ >= warps_.size())
         rrCursor_ = 0;
 }
@@ -316,23 +433,6 @@ SimtCore::scheduleWriteback(WarpContext &w, int reg, uint64_t cycle)
     ++w.pendingWrites[static_cast<size_t>(reg)];
     wb_.push({cycle, &w, reg});
 }
-
-namespace {
-
-/** Latency of a pure opcode given the configured latency table. */
-uint32_t
-aluLatency(const Latencies &lat, OpClass cls)
-{
-    switch (cls) {
-      case OpClass::IntAlu:  return lat.intAlu;
-      case OpClass::IntMul:  return lat.intMul;
-      case OpClass::FpAlu:   return lat.fpAlu;
-      case OpClass::Sfu:     return lat.sfu;
-      default:               return lat.intAlu;
-    }
-}
-
-} // namespace
 
 void
 SimtCore::executeWarp(WarpContext &w, uint64_t now)
@@ -361,8 +461,7 @@ SimtCore::executeWarp(WarpContext &w, uint64_t now)
     auto fetch = [&](uint32_t lane, const Operand &o) -> uint32_t {
         switch (o.kind) {
           case OperandKind::Reg:
-            return cta.threads[w.threadBase + lane]
-                .regs[o.value];
+            return cta.regs(w.threadBase + lane)[o.value];
           case OperandKind::Imm:
             return o.value;
           case OperandKind::SReg: {
@@ -458,14 +557,71 @@ SimtCore::executeWarp(WarpContext &w, uint64_t now)
         }
         for (uint32_t lane = 0; lane < 32; ++lane)
             if (mask & (1u << lane))
-                cta.threads[w.threadBase + lane]
-                    .regs[static_cast<size_t>(inst.dst)] = v;
+                cta.regs(w.threadBase + lane)
+                    [static_cast<size_t>(inst.dst)] = v;
         scheduleWriteback(w, inst.dst, now + latency);
         advancePc(w, pc + 1);
         break;
       }
 
       default: {
+        if (gpu_->config().fastDecode) {
+            // Pre-decoded dispatch: kind, latency and operand
+            // resolution were fixed at launch (DESIGN.md §12); the
+            // functional semantics below are byte-for-byte those of
+            // the interpreter arm that follows.
+            const DecodedInst &d = gpu_->decodedData()[pc];
+            if (d.kind == ExecKind::Shared) {
+                executeShared(w, inst, mask, now);
+                advancePc(w, pc + 1);
+                break;
+            }
+            if (d.kind == ExecKind::Memory) {
+                executeMemory(w, inst, mask, now);
+                advancePc(w, pc + 1);
+                break;
+            }
+            if (!d.anySReg) {
+                // All sources are registers or constants: the lane
+                // loop needs no per-operand kind dispatch.
+                for (uint32_t lane = 0; lane < 32; ++lane) {
+                    if (!(mask & (1u << lane)))
+                        continue;
+                    uint32_t *regs = cta.regs(w.threadBase + lane);
+                    uint32_t a = d.aluSrcReg[0] >= 0
+                                     ? regs[d.aluSrcReg[0]]
+                                     : d.aluSrcImm[0];
+                    uint32_t bv = d.aluSrcReg[1] >= 0
+                                      ? regs[d.aluSrcReg[1]]
+                                      : d.aluSrcImm[1];
+                    uint32_t cv = d.aluSrcReg[2] >= 0
+                                      ? regs[d.aluSrcReg[2]]
+                                      : d.aluSrcImm[2];
+                    regs[static_cast<size_t>(inst.dst)] =
+                        evalAlu(inst.op, a, bv, cv);
+                }
+            } else {
+                for (uint32_t lane = 0; lane < 32; ++lane) {
+                    if (!(mask & (1u << lane)))
+                        continue;
+                    uint32_t a =
+                        inst.src[0].kind != OperandKind::None
+                            ? fetch(lane, inst.src[0]) : 0;
+                    uint32_t bv =
+                        inst.src[1].kind != OperandKind::None
+                            ? fetch(lane, inst.src[1]) : 0;
+                    uint32_t cv =
+                        inst.src[2].kind != OperandKind::None
+                            ? fetch(lane, inst.src[2]) : 0;
+                    cta.regs(w.threadBase + lane)
+                        [static_cast<size_t>(inst.dst)] =
+                        evalAlu(inst.op, a, bv, cv);
+                }
+            }
+            scheduleWriteback(w, inst.dst, now + d.aluLat);
+            advancePc(w, pc + 1);
+            break;
+        }
         if (isa::isMemory(inst.op)) {
             if (inst.op == Opcode::LDS || inst.op == Opcode::STS)
                 executeShared(w, inst, mask, now);
@@ -476,7 +632,7 @@ SimtCore::executeWarp(WarpContext &w, uint64_t now)
         }
         // Pure ALU/FP/conversion instruction.
         uint32_t latency =
-            aluLatency(lat, isa::opClass(inst.op));
+            aluLatencyFor(lat, isa::opClass(inst.op));
         for (uint32_t lane = 0; lane < 32; ++lane) {
             if (!(mask & (1u << lane)))
                 continue;
@@ -486,8 +642,8 @@ SimtCore::executeWarp(WarpContext &w, uint64_t now)
                               ? fetch(lane, inst.src[1]) : 0;
             uint32_t cv = inst.src[2].kind != OperandKind::None
                               ? fetch(lane, inst.src[2]) : 0;
-            cta.threads[w.threadBase + lane]
-                .regs[static_cast<size_t>(inst.dst)] =
+            cta.regs(w.threadBase + lane)
+                [static_cast<size_t>(inst.dst)] =
                 evalAlu(inst.op, a, bv, cv);
         }
         scheduleWriteback(w, inst.dst, now + latency);
@@ -513,9 +669,9 @@ SimtCore::executeShared(WarpContext &w, const isa::Instruction &inst,
     for (uint32_t lane = 0; lane < 32; ++lane) {
         if (!(mask & (1u << lane)))
             continue;
-        ThreadContext &t = cta.threads[w.threadBase + lane];
+        uint32_t *regs = cta.regs(w.threadBase + lane);
         uint32_t addr =
-            t.regs[static_cast<size_t>(inst.memBase)] +
+            regs[static_cast<size_t>(inst.memBase)] +
             static_cast<uint32_t>(inst.memOffset);
         uint32_t word = addr >> 2;
         uint32_t bank = word & 31;
@@ -531,14 +687,14 @@ SimtCore::executeShared(WarpContext &w, const isa::Instruction &inst,
         }
 
         if (inst.op == Opcode::LDS) {
-            t.regs[static_cast<size_t>(inst.dst)] =
+            regs[static_cast<size_t>(inst.dst)] =
                 cta.shared.read32(addr);
         } else {
             uint32_t v;
             if (inst.src[0].kind == OperandKind::Imm)
                 v = inst.src[0].value;
             else
-                v = t.regs[inst.src[0].value];
+                v = regs[inst.src[0].value];
             cta.shared.write32(addr, v);
         }
     }
@@ -618,8 +774,8 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
     for (uint32_t lane = 0; lane < 32; ++lane) {
         if (!(mask & (1u << lane)))
             continue;
-        ThreadContext &t = cta.threads[w.threadBase + lane];
-        uint32_t base = t.regs[static_cast<size_t>(inst.memBase)];
+        uint32_t base = cta.regs(w.threadBase + lane)
+            [static_cast<size_t>(inst.memBase)];
         uint32_t off32 =
             base + static_cast<uint32_t>(inst.memOffset);
         Addr addr = off32;
@@ -649,12 +805,12 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
         for (uint32_t lane = 0; lane < 32; ++lane) {
             if (!(mask & (1u << lane)))
                 continue;
-            ThreadContext &t = cta.threads[w.threadBase + lane];
             uint32_t v;
             if (inst.src[0].kind == OperandKind::Imm)
                 v = inst.src[0].value;
             else
-                v = t.regs[inst.src[0].value];
+                v = cta.regs(w.threadBase + lane)
+                    [inst.src[0].value];
             dmem.write32(laneAddr[lane], v);
             Addr la = laneAddr[lane] & ~static_cast<Addr>(lineSize - 1);
             Addr lb =
@@ -699,7 +855,6 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
     for (uint32_t lane = 0; lane < 32; ++lane) {
         if (!(mask & (1u << lane)))
             continue;
-        ThreadContext &t = cta.threads[w.threadBase + lane];
         Addr addr = laneAddr[lane];
         Addr la = addr & ~static_cast<Addr>(lineSize - 1);
         uint32_t v;
@@ -716,7 +871,8 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
             v = dmem.read32(addr);
         }
         maxLat = std::max(maxLat, lb.latency);
-        t.regs[static_cast<size_t>(inst.dst)] = v;
+        cta.regs(w.threadBase + lane)
+            [static_cast<size_t>(inst.dst)] = v;
     }
     uint32_t serial = lineBufs.size() > 1
                           ? static_cast<uint32_t>(

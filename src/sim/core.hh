@@ -18,6 +18,7 @@
 #include "sim/gpu_config.hh"
 #include "sim/runtime.hh"
 #include "sim/snapshot.hh"
+#include "sim/structures.hh"
 
 namespace gpufi {
 namespace isa {
@@ -82,8 +83,35 @@ class SimtCore
     /** Make a CTA resident (caller checked canAccept). */
     void addCta(CtaRuntime *cta);
 
-    /** Advance one cycle: writebacks, then instruction issue. */
-    void step(uint64_t now);
+    /**
+     * Advance one cycle: writebacks, then instruction issue.
+     * @return the number of warp instructions issued this cycle.
+     */
+    uint32_t step(uint64_t now);
+
+    /**
+     * Earliest cycle >= @p now at which this core could do anything
+     * observable: drain a writeback, or issue from some warp. Used
+     * by the Gpu's idle-skip fast path (DESIGN.md §12); a return of
+     * @p now means "cannot skip" (including the case of a corrupted
+     * warp pc, which the real step() must turn into a device fault).
+     * Only meaningful right after a cycle that issued nothing.
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /**
+     * Account @p k consecutive idle cycles' worth of stall tallies,
+     * bit-identically to stepping the frozen core @p k times (the
+     * cause re-scan crossings included). Part of the idle-skip fast
+     * path; a no-op on a core with no resident warps.
+     */
+    void accountSkippedStalls(uint64_t k);
+
+    /**
+     * Invalidate the SoA scheduler mirror after an external mutation
+     * of warp state (a fired fault injection, a snapshot restore).
+     */
+    void noteWarpsMutated() { schedDirty_ = true; }
 
     /** true if any CTA is resident. */
     bool busy() const { return !ctas_.empty(); }
@@ -159,6 +187,15 @@ class SimtCore
     void cleanupStack(WarpContext &w);
     void finishWarp(WarpContext &w);
     void checkBarrier(CtaRuntime &cta);
+    /** Rebuild the SoA gate mirror and the warps' schedSlot wiring. */
+    void syncSched();
+    /** Refresh one warp's gate word (no-op while the mirror is stale). */
+    void
+    syncWarpGate(const WarpContext &w)
+    {
+        if (!schedDirty_)
+            warpGate_[w.schedSlot] = warpGateWord(w);
+    }
     void retireCta(CtaRuntime *cta);
     void sweepRetired();
     void scheduleWriteback(WarpContext &w, int reg, uint64_t cycle);
@@ -174,6 +211,14 @@ class SimtCore
 
     std::vector<CtaRuntime *> ctas_;       ///< resident (owned by Gpu)
     std::vector<WarpContext *> warps_;     ///< all resident warps
+    /**
+     * SoA mirror of the warps' gate state (see warpGateWord),
+     * indexed like warps_. Rebuilt lazily when schedDirty_ and kept
+     * in sync by the issue path; consulted only under
+     * GpuConfig::fastSched.
+     */
+    std::vector<uint64_t> warpGate_;
+    bool schedDirty_ = true;
     std::vector<CtaRuntime *> retired_;    ///< done, swept after issue
     std::priority_queue<WbEvent, std::vector<WbEvent>,
                         std::greater<WbEvent>> wb_;

@@ -101,5 +101,82 @@ evalAlu(Opcode op, uint32_t a, uint32_t b, uint32_t c)
     }
 }
 
+namespace {
+
+ExecKind
+kindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::BRA:
+      case Opcode::BRZ:
+      case Opcode::BRNZ:
+        return ExecKind::Control;
+      case Opcode::BAR:
+        return ExecKind::Barrier;
+      case Opcode::EXIT:
+        return ExecKind::Exit;
+      case Opcode::NOP:
+        return ExecKind::Nop;
+      case Opcode::PARAM:
+        return ExecKind::Param;
+      case Opcode::LDS:
+      case Opcode::STS:
+        return ExecKind::Shared;
+      default:
+        if (isa::isMemory(op))
+            return ExecKind::Memory;
+        return ExecKind::Alu;
+    }
+}
+
+} // namespace
+
+std::vector<DecodedInst>
+decodeKernel(const isa::Kernel &kernel, const Latencies &lat)
+{
+    std::vector<DecodedInst> out;
+    out.reserve(kernel.code.size());
+    for (const isa::Instruction &inst : kernel.code) {
+        DecodedInst d;
+        d.op = inst.op;
+        d.kind = kindOf(inst.op);
+        if (d.kind == ExecKind::Alu)
+            d.aluLat = aluLatencyFor(lat, isa::opClass(inst.op));
+
+        // Scoreboard operands, in the order canIssue checks them:
+        // dst and memBase first, then the register sources.
+        auto score = [&d](int reg) {
+            if (reg >= 0)
+                d.scoreReg[d.nScore++] = static_cast<int16_t>(reg);
+        };
+        score(inst.dst);
+        score(inst.memBase);
+        for (const isa::Operand &s : inst.src)
+            if (s.kind == isa::OperandKind::Reg)
+                score(static_cast<int>(s.value));
+
+        // ALU operand specialization; a None source fetches as 0 in
+        // the interpreter, so it becomes the constant 0 here.
+        for (int i = 0; i < 3; ++i) {
+            const isa::Operand &s = inst.src[i];
+            switch (s.kind) {
+              case isa::OperandKind::Reg:
+                d.aluSrcReg[i] = static_cast<int16_t>(s.value);
+                break;
+              case isa::OperandKind::Imm:
+                d.aluSrcImm[i] = s.value;
+                break;
+              case isa::OperandKind::SReg:
+                d.anySReg = true;
+                break;
+              case isa::OperandKind::None:
+                break;
+            }
+        }
+        out.push_back(d);
+    }
+    return out;
+}
+
 } // namespace sim
 } // namespace gpufi

@@ -9,8 +9,11 @@
 #define GPUFI_SIM_EXEC_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "isa/kernel.hh"
 #include "isa/types.hh"
+#include "sim/gpu_config.hh"
 
 namespace gpufi {
 namespace sim {
@@ -27,6 +30,75 @@ namespace sim {
  * @return result bits
  */
 uint32_t evalAlu(isa::Opcode op, uint32_t a, uint32_t b, uint32_t c);
+
+/** Issue latency of a pure opcode class under @p lat. */
+inline uint32_t
+aluLatencyFor(const Latencies &lat, isa::OpClass cls)
+{
+    switch (cls) {
+      case isa::OpClass::IntAlu: return lat.intAlu;
+      case isa::OpClass::IntMul: return lat.intMul;
+      case isa::OpClass::FpAlu:  return lat.fpAlu;
+      case isa::OpClass::Sfu:    return lat.sfu;
+      default:                   return lat.intAlu;
+    }
+}
+
+/** Coarse dispatch class of a decoded instruction (fast-decode path). */
+enum class ExecKind : uint8_t
+{
+    Alu,        ///< pure register-to-register op (evalAlu)
+    Memory,     ///< global/local/texture load or store
+    Shared,     ///< LDS/STS through the shared-memory bank model
+    Param,      ///< kernel-parameter read (constant path)
+    Control,    ///< BRA/BRZ/BRNZ
+    Barrier,    ///< BAR
+    Exit,       ///< EXIT
+    Nop
+};
+
+/**
+ * One pre-decoded instruction of the running kernel (DESIGN.md §12).
+ *
+ * The per-issue work the interpreter used to redo every cycle —
+ * operand-kind dispatch, functional-unit classification, scoreboard
+ * operand discovery — is resolved once per kernel launch. Nothing
+ * here is architectural state: the table is a pure function of the
+ * immutable isa::Kernel plus the timing config, so it is rebuilt on
+ * launch and on snapshot restore rather than captured.
+ */
+struct DecodedInst
+{
+    isa::Opcode op = isa::Opcode::NOP;
+    ExecKind kind = ExecKind::Nop;
+    uint32_t aluLat = 0;    ///< issue latency when kind == Alu
+
+    /**
+     * Registers the scoreboard must see clean before issue: dst,
+     * memBase and every Reg-kind source, deduplicated not at all
+     * (the pending() check is idempotent, so duplicates only cost
+     * one extra byte-compare).
+     */
+    int16_t scoreReg[5] = {-1, -1, -1, -1, -1};
+    uint8_t nScore = 0;
+
+    /**
+     * ALU operand specialization: when no source reads a special
+     * register, source i is either a register (aluSrcReg[i] >= 0)
+     * or the constant aluSrcImm[i], letting the hot lane loop skip
+     * the OperandKind dispatch entirely.
+     */
+    bool anySReg = false;
+    int16_t aluSrcReg[3] = {-1, -1, -1};
+    uint32_t aluSrcImm[3] = {0, 0, 0};
+};
+
+/**
+ * Decode every instruction of @p kernel against the timing config.
+ * Index i of the result decodes kernel.code[i].
+ */
+std::vector<DecodedInst> decodeKernel(const isa::Kernel &kernel,
+                                      const Latencies &lat);
 
 } // namespace sim
 } // namespace gpufi

@@ -240,9 +240,11 @@ Gpu::createCta(uint64_t linearId)
     const uint32_t blockThreads =
         static_cast<uint32_t>(block_.count());
     cta->threads.resize(blockThreads);
+    cta->regsPerThread = k.numRegs;
+    cta->regFile.assign(
+        static_cast<size_t>(blockThreads) * k.numRegs, 0);
     for (uint32_t t = 0; t < blockThreads; ++t) {
         ThreadContext &tc = cta->threads[t];
-        tc.regs.assign(k.numRegs, 0);
         tc.tidX = t % block_.x;
         tc.tidY = t / block_.x;
     }
@@ -316,6 +318,10 @@ Gpu::fireInjections()
     injections_.erase(range.first, range.second);
     for (auto &fn : fns)
         fn(*this);
+    // An injection may have flipped warp control state (done,
+    // atBarrier) behind the schedulers' SoA mirrors.
+    for (auto &core : cores_)
+        core->noteWarpsMutated();
 }
 
 void
@@ -378,6 +384,7 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
     }
 
     kernel_ = &kernel;
+    decoded_ = decodeKernel(kernel, config_.lat);
     grid_ = grid;
     block_ = block;
     params_ = std::move(params);
@@ -422,11 +429,74 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
     return runLaunchLoop();
 }
 
+uint64_t
+Gpu::nextEventCycle() const
+{
+    uint64_t next = cycleLimit_;
+    auto consider = [&next](uint64_t c) {
+        if (c < next)
+            next = c;
+    };
+    auto it = injections_.lower_bound(cycle_);
+    if (it != injections_.end())
+        consider(it->first);
+    if (recordTrace_) {
+        const uint64_t rec = recordTrace_->hashes.size() *
+                             recordTrace_->hashInterval;
+        if (rec >= cycle_)
+            consider(rec);
+    }
+    if (convTrace_ && convNextCycle_ >= cycle_)
+        consider(convNextCycle_);
+    for (const auto &core : cores_)
+        if (core->busy())
+            consider(core->nextEventCycle(cycle_));
+    return next < cycle_ ? cycle_ : next;
+}
+
+void
+Gpu::skipIdleCycles(uint64_t target)
+{
+    static obs::Counter &skipped =
+        obs::counter("sim.idle_cycles_skipped");
+    // Chunk absurd windows (an unlimited-cycle run deadlocked by a
+    // fault) so the stats replay below stays bounded and the
+    // watchdog keeps getting a look in. Chunking is invisible:
+    // accounting [c, c+k1) then [c+k1, c+k1+k2) replays the same
+    // per-cycle sequence as [c, c+k1+k2) in one go.
+    constexpr uint64_t kMaxSkipChunk = 1 << 16;
+    const uint64_t k = std::min(target - cycle_, kMaxSkipChunk);
+    skipped.add(k);
+    for (auto &core : cores_)
+        if (core->busy())
+            core->accountSkippedStalls(k);
+    // Occupancy sampling accumulates doubles; replay the identical
+    // addition sequence over the frozen state (no multiply-by-k:
+    // float addition is not associative).
+    for (uint64_t i = 0; i < k; ++i)
+        sampleStats();
+    cycle_ += k;
+    // The reference loop polls the wall clock every 1024 cycles; a
+    // skipped window may never line up with that phase again, so
+    // poll here (wall-clock outcomes are inherently host-dependent).
+    if (wallArmed_ &&
+        std::chrono::steady_clock::now() >= wallDeadline_) {
+        const std::string name = kernel_->name;
+        kernel_ = nullptr;
+        SimObs::get().watchdogFires.add(1);
+        throw WallClockExceeded(detail::format(
+            "wall-clock watchdog fired at cycle %llu in kernel "
+            "'%s'",
+            static_cast<unsigned long long>(cycle_), name.c_str()));
+    }
+}
+
 LaunchStats
 Gpu::runLaunchLoop()
 {
     const isa::Kernel &kernel = *kernel_;
     const uint64_t totalCtas = grid_.count();
+    bool stalled = false;
     while (completedCtas_ < totalCtas) {
         if (cycle_ >= cycleLimit_) {
             kernel_ = nullptr;
@@ -446,15 +516,28 @@ Gpu::runLaunchLoop()
                 static_cast<unsigned long long>(cycle_),
                 kernel.name.c_str()));
         }
+        if (stalled && config_.fastIdleSkip) {
+            // The previous cycle issued nothing anywhere, so nothing
+            // can happen before the next event cycle; events AT the
+            // current cycle return cycle_ and fall through to the
+            // reference path.
+            const uint64_t next = nextEventCycle();
+            if (next > cycle_ + 1) {
+                skipIdleCycles(next);
+                continue; // re-check limits, then process `next`
+            }
+        }
         fireInjections();
         maybeRecordHash();
         maybeCheckConvergence();
+        uint32_t issued = 0;
         for (auto &core : cores_)
             if (core->busy())
-                core->step(cycle_);
+                issued += core->step(cycle_);
         sampleStats();
         scheduleCtas();
         ++cycle_;
+        stalled = issued == 0;
     }
 
     LaunchStats stats;

@@ -20,6 +20,7 @@
 #include "mem/backing.hh"
 #include "mem/l2_subsystem.hh"
 #include "sim/core.hh"
+#include "sim/exec.hh"
 #include "sim/gpu_config.hh"
 #include "sim/launch.hh"
 #include "sim/runtime.hh"
@@ -217,6 +218,13 @@ class Gpu
     /** Kernel currently executing (nullptr between launches). */
     const isa::Kernel *runningKernel() const { return kernel_; }
 
+    /**
+     * Decode table of the running kernel, indexed by pc (rebuilt at
+     * every launch and snapshot restore; see sim/exec.hh). Valid
+     * exactly while runningKernel() is non-null.
+     */
+    const DecodedInst *decodedData() const { return decoded_.data(); }
+
     /** Kernel parameter by index (constant path). */
     uint32_t param(uint32_t idx) const;
 
@@ -265,6 +273,20 @@ class Gpu
     void fireInjections();
     void sampleStats();
     LaunchStats runLaunchLoop();
+    /**
+     * Idle-skip fast path (DESIGN.md §12): earliest cycle >= cycle_
+     * at which anything observable can happen — a core event, a
+     * scheduled injection, a golden-hash record point, a convergence
+     * check, or the cycle limit. Meaningful only right after a fully
+     * stalled cycle.
+     */
+    uint64_t nextEventCycle() const;
+    /**
+     * Jump the clock to @p target, accounting the skipped cycles'
+     * stall tallies and occupancy samples bit-identically to
+     * stepping the frozen machine through them one by one.
+     */
+    void skipIdleCycles(uint64_t target);
     void restoreFromSnapshot(const isa::Kernel &kernel);
     void maybeRecordHash();
     void maybeCheckConvergence();
@@ -276,6 +298,7 @@ class Gpu
 
     // Launch state
     const isa::Kernel *kernel_ = nullptr;
+    std::vector<DecodedInst> decoded_;  ///< per-pc decode table
     Dim3 grid_;
     Dim3 block_;
     std::vector<uint32_t> params_;

@@ -178,6 +178,9 @@ GpuConfig::applyOverrides(const ConfigFile &cfg)
     rawFitPerBit = cfg.getDouble("gpufi_raw_fit_per_bit", rawFitPerBit);
     simtStackDepth = static_cast<uint32_t>(
         cfg.getInt("gpufi_simt_stack_depth", simtStackDepth));
+    fastDecode = cfg.getBool("gpufi_fast_decode", fastDecode);
+    fastIdleSkip = cfg.getBool("gpufi_fast_idle_skip", fastIdleSkip);
+    fastSched = cfg.getBool("gpufi_fast_sched", fastSched);
     validate();
 }
 

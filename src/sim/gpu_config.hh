@@ -82,6 +82,28 @@ struct GpuConfig
     SchedPolicy schedPolicy = SchedPolicy::LRR;
     Latencies lat;
 
+    /**
+     * Fast-path stages (DESIGN.md §12). Each stage is an
+     * architecturally invisible speedup of the cycle loop, admitted
+     * by the twin-run fixture: with any combination of these flags,
+     * every RunRecord, hash stream and AVF number is bit-identical
+     * to the all-off reference interpreter (--no-fastpath). They are
+     * execution knobs, not architecture: none of them enters a
+     * campaign fingerprint or snapshot digest.
+     */
+    bool fastDecode = true;   ///< decode once per kernel, not per issue
+    bool fastIdleSkip = true; ///< skip fully-stalled cycles by event
+    bool fastSched = true;    ///< SoA ready/parked warp pre-filter
+
+    /** Convenience: toggle every fast-path stage at once. */
+    void
+    setFastPath(bool on)
+    {
+        fastDecode = on;
+        fastIdleSkip = on;
+        fastSched = on;
+    }
+
     // Technology: raw FIT rate of one bit (paper §VI.F).
     double rawFitPerBit = 1.8e-6;
 

@@ -21,10 +21,15 @@
 namespace gpufi {
 namespace sim {
 
-/** One CUDA thread: its registers and position in the CTA. */
+/**
+ * One CUDA thread's position in the CTA. Its registers live in the
+ * owning CTA's flat register file (CtaRuntime::regFile), laid out
+ * thread-major so the per-lane execution loops walk contiguous
+ * memory and snapshots copy one block instead of one small vector
+ * per thread.
+ */
 struct ThreadContext
 {
-    std::vector<uint32_t> regs; ///< allocated registers (kernel .reg)
     uint32_t tidX = 0;
     uint32_t tidY = 0;
     bool exited = false;
@@ -55,6 +60,13 @@ struct WarpContext
     CtaRuntime *cta = nullptr;
     /** Per-register in-flight write count (RAW/WAW scoreboard). */
     std::vector<uint8_t> pendingWrites;
+    /**
+     * Index of this warp in its core's dense scheduler arrays
+     * (SimtCore::warps_ / warpGate_). Transient wiring, valid only
+     * while the core's SoA mirror is in sync (DESIGN.md §12): not
+     * architectural state, so never hashed or snapshotted.
+     */
+    uint32_t schedSlot = 0;
 
     /** Lanes currently executing: top mask minus exited lanes. */
     uint32_t
@@ -85,10 +97,27 @@ struct CtaRuntime
     uint64_t firstThreadLinear = 0; ///< grid-linear id of thread 0
     mem::SharedMemory shared;
     std::vector<ThreadContext> threads;
+    /** All threads' registers, thread-major: thread t's registers
+     *  occupy [t * regsPerThread, (t+1) * regsPerThread). */
+    std::vector<uint32_t> regFile;
+    uint32_t regsPerThread = 0;     ///< the kernel's .reg count
     std::vector<WarpContext> warps;
     uint32_t liveWarps = 0;
     uint32_t barrierArrived = 0;
     int coreId = -1;
+
+    /** Thread @p t's registers inside @ref regFile. */
+    uint32_t *
+    regs(size_t t)
+    {
+        return regFile.data() + t * regsPerThread;
+    }
+
+    const uint32_t *
+    regs(size_t t) const
+    {
+        return regFile.data() + t * regsPerThread;
+    }
 };
 
 } // namespace sim

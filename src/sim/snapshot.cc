@@ -42,8 +42,7 @@ hashCta(StateHasher &h, const CtaRuntime &cta, uint64_t now)
     h.mixU64((static_cast<uint64_t>(cta.liveWarps) << 32) |
              cta.barrierArrived);
     hashShared(h, cta.shared);
-    for (const auto &t : cta.threads)
-        hashThreadRegs(h, t);
+    hashCtaRegs(h, cta);
     for (const auto &w : cta.warps) {
         hashStack(h, w);
         hashWarpCtrl(h, w);
@@ -166,6 +165,11 @@ GpuSnapshot::computeDigest() const
     }
     h.mixU64(mem.bytes.size());
     h.mixBytes(mem.bytes.data(), mem.bytes.size());
+    h.mixU64(mem.sparse ? 1 : 0);
+    h.mixU64(mem.pageIdx.size());
+    h.mixBytes(mem.pageIdx.data(),
+               mem.pageIdx.size() * sizeof(uint32_t));
+    h.mixBytes(mem.pages.data(), mem.pages.size());
     h.mixU64(mem.brk);
     h.mixU64(mem.texBase);
     h.mixU64(mem.texSize);
@@ -434,6 +438,7 @@ Gpu::restoreFromSnapshot(const isa::Kernel &kernel)
     gpufi_assert(replayHostCursor_ == snap.hostOpCursor);
 
     kernel_ = &kernel;
+    decoded_ = decodeKernel(kernel, config_.lat);
     grid_ = snap.grid;
     block_ = snap.block;
     params_ = snap.params;

@@ -64,14 +64,55 @@ flipWarpCtrlBit(WarpContext &w, uint32_t bit)
         w.done = !w.done;
 }
 
-/** Fold one thread's register state into @p h (exited regs skipped:
+/**
+ * SoA scheduler-gate word of one warp (DESIGN.md §12): the earliest
+ * cycle the warp could pass canIssue's cheap gate checks, or ~0 when
+ * it cannot issue at any cycle without an external state change
+ * (done, or parked at the CTA barrier). The scheduler's dense
+ * prefilter compares this word against the current cycle before
+ * touching the warp's cache lines at all. The mirror is always
+ * derived from the warp — never the other way around — so it is not
+ * architectural state and is neither hashed nor snapshotted.
+ */
+inline uint64_t
+warpGateWord(const WarpContext &w)
+{
+    return (w.done || w.atBarrier) ? ~0ULL : w.readyAt;
+}
+
+/** Fold thread @p t's register state into @p h (exited regs skipped:
  *  nothing can read them again). */
 inline void
-hashThreadRegs(StateHasher &h, const ThreadContext &t)
+hashThreadRegs(StateHasher &h, const CtaRuntime &cta, size_t t)
 {
-    h.mixU64(t.exited);
-    if (!t.exited)
-        h.mixBytes(t.regs.data(), t.regs.size() * 4);
+    const bool exited = cta.threads[t].exited;
+    h.mixU64(exited);
+    if (!exited)
+        h.mixBytes(cta.regs(t), cta.regsPerThread * 4);
+}
+
+/**
+ * Fold every thread's registers of @p cta into @p h. While no thread
+ * has exited — the common case at mid-kernel convergence checks —
+ * the whole flat register file is digested in one bulk pass,
+ * prefixed with a tag no per-thread stream can start with (the
+ * per-thread stream opens with an exited flag of 0 or 1). Once any
+ * thread has exited it falls back to the per-thread accessor, which
+ * skips exited threads' registers.
+ */
+inline void
+hashCtaRegs(StateHasher &h, const CtaRuntime &cta)
+{
+    bool anyExited = false;
+    for (const ThreadContext &t : cta.threads)
+        anyExited |= t.exited;
+    if (!anyExited) {
+        h.mixU64(0x426c6bULL); // "Blk": whole-block fast path
+        h.mixBytes(cta.regFile.data(), cta.regFile.size() * 4);
+        return;
+    }
+    for (size_t t = 0; t < cta.threads.size(); ++t)
+        hashThreadRegs(h, cta, t);
 }
 
 /** Fold one CTA's shared-memory instance into @p h. */

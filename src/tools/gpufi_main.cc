@@ -75,6 +75,7 @@ struct CliOptions
     bool resume = false;
     double watchdogSec = 0.0;
     bool noRetry = false;
+    bool noFastpath = false;    ///< reference interpreter + dense snaps
     uint32_t runs = 100;
     uint32_t bits = 1;
     uint64_t seed = 1;
@@ -153,6 +154,12 @@ usage()
         "  --no-retry             classify tool-level failures\n"
         "                         immediately instead of retrying\n"
         "                         once via the from-scratch path\n"
+        "  --no-fastpath          run the all-off reference\n"
+        "                         interpreter (no decoded-inst\n"
+        "                         cache, idle skipping, SoA\n"
+        "                         scheduler state or delta\n"
+        "                         snapshots); bit-identical to the\n"
+        "                         default, for twin-run audits\n"
         "  --metrics-out FILE     write the versioned JSON metrics\n"
         "                         report (counters, gauges,\n"
         "                         histograms) on exit\n"
@@ -239,6 +246,8 @@ parseArgs(int argc, char **argv)
             ++i;
         } else if (a == "--no-retry") {
             opts.noRetry = true;
+        } else if (a == "--no-fastpath") {
+            opts.noFastpath = true;
         } else if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
@@ -349,6 +358,8 @@ runCli(const CliOptions &opts)
     sim::GpuConfig card = sim::makePreset(opts.card);
     if (!opts.configPath.empty())
         card.applyOverrides(ConfigFile::fromFile(opts.configPath));
+    if (opts.noFastpath)
+        card.setFastPath(false);
 
     if (opts.dumpKernels) {
         const char *source = nullptr;
@@ -467,6 +478,7 @@ runCli(const CliOptions &opts)
             spec.progressSec = opts.progressSec;
             spec.wallClockLimitSec = opts.watchdogSec;
             spec.retrySlowPath = !opts.noRetry;
+            spec.deltaSnapshots = !opts.noFastpath;
             spec.cancel = &g_interrupted;
 
             const std::vector<fi::RunRecord> *resumed = nullptr;

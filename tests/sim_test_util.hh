@@ -1,8 +1,11 @@
 /**
  * @file
  * Shared helpers for simulator-level tests: a small GPU configuration
- * (tiny caches to force evictions quickly) and a harness that
- * assembles and runs a single kernel.
+ * (tiny caches to force evictions quickly), a harness that assembles
+ * and runs a single kernel, and the twin-run equivalence fixture used
+ * to gate every behavior-neutral knob (fast-path stages, delta
+ * snapshots, instrumentation, worker count) on bit-identical campaign
+ * records.
  */
 
 #ifndef GPUFI_TESTS_SIM_TEST_UTIL_HH
@@ -12,10 +15,15 @@
 #include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
+#include "fi/campaign.hh"
+#include "fi/report_log.hh"
 #include "isa/assembler.hh"
 #include "mem/backing.hh"
 #include "sim/gpu.hh"
 #include "sim/gpu_config.hh"
+#include "suite/suite.hh"
 
 namespace gpufi_test {
 
@@ -63,6 +71,79 @@ struct SimHarness
     gpufi::isa::Program program;
     std::unique_ptr<gpufi::sim::Gpu> gpu;
 };
+
+// ---- Twin-run equivalence fixture ----------------------------------
+
+/** The campaign-sized card twin-run checks default to. */
+inline gpufi::sim::GpuConfig
+campaignCard()
+{
+    gpufi::sim::GpuConfig c = gpufi::sim::makeRtx2060();
+    c.numSms = 4;
+    c.validate();
+    return c;
+}
+
+/**
+ * One arm of a twin run: a workload, a chip, a campaign spec and a
+ * worker count. Two arms whose knobs are behavior-neutral relative
+ * to each other (observability, fast-path stages, delta snapshots,
+ * thread count) must produce bit-identical campaign records.
+ */
+struct TwinArm
+{
+    std::string app = "VA";
+    gpufi::sim::GpuConfig card = campaignCard();
+    gpufi::fi::CampaignSpec spec;
+    unsigned threads = 1;
+};
+
+/** What one arm produced: result, records, and the formatted lines. */
+struct TwinOutcome
+{
+    gpufi::fi::CampaignResult result;
+    std::vector<gpufi::fi::RunRecord> records;
+    std::string stream;
+};
+
+/** Execute one arm with record retention forced on. */
+inline TwinOutcome
+runTwinArm(const TwinArm &arm)
+{
+    TwinOutcome out;
+    gpufi::fi::CampaignSpec spec = arm.spec;
+    spec.keepRecords = true;
+    gpufi::fi::CampaignRunner runner(
+        arm.card, gpufi::suite::factoryFor(arm.app), arm.threads);
+    out.result = runner.run(spec, &out.records);
+    for (const auto &r : out.records)
+        out.stream += gpufi::fi::formatRunRecord(r) + "\n";
+    return out;
+}
+
+/**
+ * Assert the twin-run admissibility rule: identical outcome counts
+ * and a bit-identical record stream (plans, seeds, injection
+ * details, per-run cycle counts, classifications). Identical counts
+ * make every downstream AVF/FIT figure identical as well — eq. 1-3
+ * are pure functions of the counts.
+ */
+inline void
+expectTwinsIdentical(const TwinOutcome &ref, const TwinOutcome &var,
+                     const std::string &label)
+{
+    EXPECT_EQ(ref.result.counts, var.result.counts) << label;
+    EXPECT_EQ(ref.stream, var.stream) << label;
+    EXPECT_EQ(ref.result.toolFailures(), 0u) << label;
+}
+
+/** Run both arms and apply the admissibility rule. */
+inline void
+expectTwinEquivalence(const TwinArm &ref, const TwinArm &var,
+                      const std::string &label)
+{
+    expectTwinsIdentical(runTwinArm(ref), runTwinArm(var), label);
+}
 
 } // namespace gpufi_test
 

@@ -57,9 +57,8 @@ snapshotWithPlan(const fi::FaultPlan *plan, uint64_t cycle)
     }
     gpu.scheduleInjection(cycle, [&](sim::Gpu &g) {
         for (auto *cta : g.activeCtas())
-            for (auto &t : cta->threads)
-                snap.regs.insert(snap.regs.end(), t.regs.begin(),
-                                 t.regs.end());
+            snap.regs.insert(snap.regs.end(), cta->regFile.begin(),
+                             cta->regFile.end());
     });
     gpu.setCycleLimit(50000);
     try {
@@ -249,14 +248,15 @@ TEST(ConstCache, SizesEnterAvfOnlyWhenTargeted)
 
 TEST(ConstCache, CorruptedParamStaysDeterministic)
 {
-    // Same plan -> same outcome, even through the constant path.
-    sim::GpuConfig card = sim::makeRtx2060();
-    card.numSms = 2;
-    fi::CampaignRunner runner(card, suite::factoryFor("SP"), 1);
-    fi::CampaignSpec spec;
-    spec.kernelName = "scalarprod";
-    spec.target = fi::FaultTarget::L1Constant;
-    spec.runs = 10;
-    spec.seed = 5;
-    EXPECT_EQ(runner.run(spec).counts, runner.run(spec).counts);
+    // Same plan -> same records, even through the constant path.
+    gpufi_test::TwinArm arm;
+    arm.app = "SP";
+    arm.card = sim::makeRtx2060();
+    arm.card.numSms = 2;
+    arm.card.validate();
+    arm.spec.kernelName = "scalarprod";
+    arm.spec.target = fi::FaultTarget::L1Constant;
+    arm.spec.runs = 10;
+    arm.spec.seed = 5;
+    gpufi_test::expectTwinEquivalence(arm, arm, "l1c-replay");
 }

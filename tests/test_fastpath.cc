@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Differential twin-run gates for the raw-speed cycle-loop work.
+ * Each fast-path stage — the decoded-instruction cache, event-driven
+ * idle skipping, the SoA scheduler pre-filter — and the
+ * delta-snapshot campaign path is admissible only if a campaign with
+ * the stage enabled produces bit-identical records (same seeds, same
+ * plans, same outcomes and cycle counts) to the all-off reference
+ * interpreter that `gpufi --no-fastpath` selects. The stages are
+ * gated one at a time, all together, and across every registered
+ * fault site, so a stage that subtly reorders scheduling or warps a
+ * cycle count cannot land.
+ */
+
+#include <cstddef>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fi/site.hh"
+#include "sim_test_util.hh"
+
+using namespace gpufi;
+using gpufi_test::TwinArm;
+
+namespace {
+
+/** The all-off arm: what `gpufi --no-fastpath` runs. */
+TwinArm
+referenceArm()
+{
+    TwinArm arm;
+    arm.card.setFastPath(false);
+    arm.spec.deltaSnapshots = false;
+    arm.spec.kernelName = "vecadd";
+    arm.spec.runs = 12;
+    arm.spec.seed = 7;
+    return arm;
+}
+
+struct Stage
+{
+    const char *name;
+    void (*enable)(TwinArm &);
+};
+
+constexpr Stage kStages[] = {
+    {"fastDecode", [](TwinArm &a) { a.card.fastDecode = true; }},
+    {"fastIdleSkip", [](TwinArm &a) { a.card.fastIdleSkip = true; }},
+    {"fastSched", [](TwinArm &a) { a.card.fastSched = true; }},
+    {"deltaSnapshots",
+     [](TwinArm &a) { a.spec.deltaSnapshots = true; }},
+};
+
+/** Structure-exercising workload, as in injector_smoke. */
+const char *
+benchFor(fi::FaultTarget t)
+{
+    switch (t) {
+      case fi::FaultTarget::SharedMemory:
+      case fi::FaultTarget::L1Texture:
+        return "SRAD2";
+      default:
+        return "KM";
+    }
+}
+
+const char *
+kernelFor(const char *bench)
+{
+    return bench[0] == 'S' ? "srad2_grad" : "km_assign";
+}
+
+} // namespace
+
+class FastPathStage : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(FastPathStage, StageAloneIsAdmissible)
+{
+    const Stage &stage = kStages[GetParam()];
+    TwinArm ref = referenceArm();
+    TwinArm var = referenceArm();
+    stage.enable(var);
+    gpufi_test::expectTwinEquivalence(ref, var, stage.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStages, FastPathStage,
+    ::testing::Range<size_t>(0, std::size(kStages)),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return kStages[info.param].name;
+    });
+
+TEST(FastPath, AllStagesTogetherAreAdmissible)
+{
+    TwinArm ref = referenceArm();
+    TwinArm fast = referenceArm();
+    fast.card.setFastPath(true);
+    fast.spec.deltaSnapshots = true;
+    gpufi_test::expectTwinEquivalence(ref, fast, "all-stages");
+}
+
+TEST(FastPath, AdmissibleAcrossAllFaultSites)
+{
+    // The full fast path against the reference, once per registered
+    // fault site, on a workload that actually exercises the
+    // structure. Identical counts per site pin the whole AVF/FIT
+    // pipeline: eq. 1-3 are pure functions of the per-site counts.
+    for (const fi::FaultSite *site : fi::allSites()) {
+        TwinArm ref = referenceArm();
+        if (!site->available(ref.card))
+            continue;
+        const char *bench = benchFor(site->target());
+        ref.app = bench;
+        ref.spec.kernelName = kernelFor(bench);
+        ref.spec.target = site->target();
+        ref.spec.runs = 8;
+        TwinArm fast = ref;
+        fast.card.setFastPath(true);
+        fast.spec.deltaSnapshots = true;
+        gpufi_test::expectTwinEquivalence(ref, fast, site->name());
+    }
+}
+
+TEST(FastPath, WorkerCountIsAdmissible)
+{
+    // Worker threads partition the run indices but every plan is a
+    // pure function of (seed, runIdx), so parallelism must not show
+    // in the records either.
+    TwinArm ref = referenceArm();
+    ref.card.setFastPath(true);
+    ref.spec.deltaSnapshots = true;
+    TwinArm parallel = ref;
+    parallel.threads = 3;
+    gpufi_test::expectTwinEquivalence(ref, parallel, "three-workers");
+}

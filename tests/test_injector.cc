@@ -49,8 +49,8 @@ snapshotRegs(sim::Gpu &gpu)
 {
     std::vector<uint32_t> out;
     for (auto *cta : gpu.activeCtas())
-        for (auto &t : cta->threads)
-            out.insert(out.end(), t.regs.begin(), t.regs.end());
+        out.insert(out.end(), cta->regFile.begin(),
+                   cta->regFile.end());
     return out;
 }
 

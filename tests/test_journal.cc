@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 
 #include "common/fsio.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "fi/campaign.hh"
 #include "fi/journal.hh"
 #include "fi/report_log.hh"
@@ -193,6 +196,134 @@ TEST(Journal, ChecksumDetectsPrefixChanges)
     EXPECT_NE(base, journalLineChecksum("c=0001 run=1 outcome=Masked"));
     EXPECT_NE(base, journalLineChecksum("c=0001 run=0 outcome=Maske"));
     EXPECT_NE(base, journalLineChecksum(""));
+}
+
+TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
+{
+    // Property fuzz over the healing path. A healthy journal is
+    // mutilated in deterministic pseudo-random ways — truncated at
+    // an arbitrary byte, bit-flipped anywhere, spliced with garbage,
+    // or given a duplicated tail line (a writer retry) — and every
+    // round asserts the load/heal invariants: loadJournal never
+    // fatals; every record it does recover is byte-identical to one
+    // that was written (a damaged line is dropped, never misparsed
+    // into a wrong record); a run index appears at most once unless
+    // the mutation itself cloned a healthy line; and a writer
+    // reopening the damaged file can append a fresh record that the
+    // next load recovers exactly once.
+    const uint64_t kFp = 0x5eed;
+    const uint32_t kRuns = 10;
+    std::map<uint32_t, std::string> want;
+    for (uint32_t i = 0; i < kRuns; ++i)
+        want[i] = formatRunRecord(sampleRecord(i));
+
+    Rng rng(0xFA57);
+    for (uint32_t iter = 0; iter < 48; ++iter) {
+        SCOPED_TRACE("iteration " + std::to_string(iter));
+        const std::string path = tmpPath("journal_fuzz.jnl");
+        std::remove(path.c_str());
+        {
+            RunJournal j;
+            j.open(path);
+            for (uint32_t i = 0; i < kRuns; ++i)
+                j.append(kFp, sampleRecord(i));
+        }
+        std::string bytes = slurp(path);
+        bool mayDuplicate = false;
+        switch (iter % 4) {
+          case 0: // torn tail at an arbitrary byte
+            bytes.resize(rng.below(bytes.size() + 1));
+            break;
+          case 1: // random bit flips anywhere in the file
+            for (uint64_t k = rng.range(1, 3); k > 0; --k)
+                bytes[rng.below(bytes.size())] ^=
+                    static_cast<char>(1u << rng.below(8));
+            break;
+          case 2: { // splice a garbage fragment at a random offset
+            const std::string junk = "run=9999 outcome=Masked";
+            bytes.insert(rng.below(bytes.size() + 1), junk);
+            break;
+          }
+          case 3: { // clone the last complete line (writer retry)
+            size_t cut = bytes.rfind('\n', bytes.size() - 2);
+            bytes += bytes.substr(cut + 1);
+            mayDuplicate = true;
+            break;
+          }
+        }
+        std::ofstream(path, std::ios::trunc) << bytes;
+
+        JournalContents c = loadJournal(path); // must not fatal
+        std::set<uint32_t> seen;
+        for (const auto &kv : c.byCampaign) {
+            EXPECT_EQ(kv.first, kFp);
+            for (const RunRecord &r : kv.second) {
+                auto it = want.find(r.runIdx);
+                ASSERT_NE(it, want.end())
+                    << "recovered a record that was never written";
+                EXPECT_EQ(formatRunRecord(r), it->second);
+                if (!seen.insert(r.runIdx).second)
+                    EXPECT_TRUE(mayDuplicate)
+                        << "duplicate run " << r.runIdx;
+            }
+        }
+
+        // Heal and continue: the reopened writer terminates any torn
+        // tail, so its fresh append must survive the next load.
+        const uint32_t freshIdx = 500 + iter;
+        {
+            RunJournal j;
+            j.open(path);
+            j.append(kFp, sampleRecord(freshIdx));
+        }
+        JournalContents after = loadJournal(path);
+        uint32_t fresh = 0;
+        for (const RunRecord &r : after.byCampaign[kFp])
+            if (r.runIdx == freshIdx) {
+                ++fresh;
+                EXPECT_EQ(formatRunRecord(r),
+                          formatRunRecord(sampleRecord(freshIdx)));
+            }
+        EXPECT_EQ(fresh, 1u);
+    }
+}
+
+TEST(Journal, DuplicatedLinesNeverDoubleCountOnResume)
+{
+    // A journal holding every run of a finished campaign — with its
+    // tail line duplicated, as a crashed-then-retried writer can
+    // leave behind — must resume to the exact same aggregate: each
+    // run index claimed once, nothing re-executed twice.
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = 8;
+    spec.seed = 21;
+    spec.keepRecords = true;
+
+    const std::string path = tmpPath("journal_dup.jnl");
+    std::remove(path.c_str());
+    CampaignRunner runner(fastCard(), suite::factoryFor("VA"), 1);
+    std::vector<RunRecord> wantRecords;
+    RunJournal journal;
+    journal.open(path);
+    CampaignResult want = runner.run(spec, &wantRecords, &journal);
+    journal.close();
+
+    std::string bytes = slurp(path);
+    size_t cut = bytes.rfind('\n', bytes.size() - 2);
+    bytes += bytes.substr(cut + 1);
+    std::ofstream(path, std::ios::trunc) << bytes;
+
+    const uint64_t fp = campaignFingerprint(spec);
+    JournalContents prior = loadJournal(path);
+    ASSERT_EQ(prior.byCampaign[fp].size(), spec.runs + 1);
+
+    CampaignRunner resumed(fastCard(), suite::factoryFor("VA"), 1);
+    std::vector<RunRecord> gotRecords;
+    CampaignResult got =
+        resumed.run(spec, &gotRecords, nullptr, &prior.byCampaign[fp]);
+    EXPECT_EQ(got.counts, want.counts);
+    expectRecordsEqual(gotRecords, wantRecords);
 }
 
 // ---- Campaign fingerprint ------------------------------------------

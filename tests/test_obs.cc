@@ -18,6 +18,7 @@
 #include "fi/campaign.hh"
 #include "fi/report_log.hh"
 #include "sim/gpu_config.hh"
+#include "sim_test_util.hh"
 #include "suite/suite.hh"
 
 using namespace gpufi;
@@ -238,28 +239,6 @@ TEST(ObsHeartbeat, DisabledIntervalNeverEmits)
     EXPECT_EQ(hb.emitted(), 0u);
 }
 
-namespace {
-
-sim::GpuConfig
-fastCard()
-{
-    sim::GpuConfig c = sim::makeRtx2060();
-    c.numSms = 4;
-    c.validate();
-    return c;
-}
-
-std::string
-recordStream(const std::vector<fi::RunRecord> &records)
-{
-    std::string out;
-    for (const auto &r : records)
-        out += fi::formatRunRecord(r) + "\n";
-    return out;
-}
-
-} // namespace
-
 TEST(ObsTwinRun, InstrumentationChangesNothing)
 {
     // Twin campaigns: one plain, one with the heartbeat enabled and
@@ -267,31 +246,21 @@ TEST(ObsTwinRun, InstrumentationChangesNothing)
     // injections, outcomes, cycle counts) must be bit-identical —
     // obs is write-only from the simulator, so observing a campaign
     // cannot perturb its RNG streams or classifications.
-    fi::CampaignSpec spec;
-    spec.kernelName = "vecadd";
-    spec.runs = 12;
-    spec.seed = 11;
-    spec.keepRecords = true;
+    gpufi_test::TwinArm plain;
+    plain.spec.kernelName = "vecadd";
+    plain.spec.runs = 12;
+    plain.spec.seed = 11;
 
-    fi::CampaignRunner plain(fastCard(), suite::factoryFor("VA"), 1);
-    std::vector<fi::RunRecord> plainRecords;
-    fi::CampaignResult a = plain.run(spec, &plainRecords);
+    gpufi_test::TwinArm observed = plain;
+    observed.spec.progressSec = 3600.0; // one line, then rate-limited
+    EXPECT_EQ(fi::campaignFingerprint(plain.spec),
+              fi::campaignFingerprint(observed.spec));
 
-    fi::CampaignSpec observed = spec;
-    observed.progressSec = 3600.0; // one line, then rate-limited
-    EXPECT_EQ(fi::campaignFingerprint(spec),
-              fi::campaignFingerprint(observed));
-
-    fi::CampaignRunner instrumented(fastCard(),
-                                    suite::factoryFor("VA"), 1);
-    std::vector<fi::RunRecord> observedRecords;
-    fi::CampaignResult b =
-        instrumented.run(observed, &observedRecords);
+    gpufi_test::TwinOutcome a = gpufi_test::runTwinArm(plain);
+    gpufi_test::TwinOutcome b = gpufi_test::runTwinArm(observed);
     Json report = obs::buildMetricsReport({});
     std::string err;
     EXPECT_TRUE(obs::validateMetricsReport(report, &err)) << err;
 
-    EXPECT_EQ(a.counts, b.counts);
-    EXPECT_EQ(recordStream(plainRecords),
-              recordStream(observedRecords));
+    gpufi_test::expectTwinsIdentical(a, b, "observed-vs-plain");
 }

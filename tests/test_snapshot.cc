@@ -185,10 +185,10 @@ TEST(SnapshotIntegrity, SealedDigestDetectsTampering)
     EXPECT_FALSE(snap.verify());
     snap.warpArrival ^= 1;
     ASSERT_FALSE(snap.ctas.empty());
-    ASSERT_FALSE(snap.ctas[0].threads.empty());
-    snap.ctas[0].threads[0].regs[0] ^= 1; // architectural state too
+    ASSERT_FALSE(snap.ctas[0].regFile.empty());
+    snap.ctas[0].regFile[0] ^= 1; // architectural state too
     EXPECT_FALSE(snap.verify());
-    snap.ctas[0].threads[0].regs[0] ^= 1;
+    snap.ctas[0].regFile[0] ^= 1;
     EXPECT_TRUE(snap.verify());
 
     // A restore refuses a tampered snapshot...

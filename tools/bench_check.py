@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_campaign.json point against the committed
+perf trajectory.
+
+Usage: bench_check.py FRESH.json TRAJECTORY.json [--tolerance F]
+       bench_check.py --schema-only FRESH.json
+
+The fresh point (written by bench/bench_campaign) must match the
+gpufi-bench-campaign-v1 schema, agree with the trajectory on workload
+and run count, and must not regress: its ff_ratio — the full
+from-scratch reference campaign's wall seconds divided by the
+fast-path campaign's, both measured back-to-back in one process on
+one host — must stay above (1 - tolerance) of the last committed
+trajectory point's ff_ratio (default tolerance 0.10, i.e. a >10%
+campaign-time regression relative to the in-process reference fails).
+The ratio is the gated figure because CI hosts differ in absolute
+speed; wall_sec is still recorded so same-machine history stays
+inspectable in the trajectory file.
+"""
+
+import json
+import sys
+
+POINT_SCHEMA = "gpufi-bench-campaign-v1"
+TRAJECTORY_SCHEMA = "gpufi-bench-campaign-trajectory-v1"
+REQUIRED_FRESH = {
+    "schema": str,
+    "workload": str,
+    "runs": int,
+    "wall_sec": (int, float),
+    "cycles_simulated": int,
+    "ff_ratio": (int, float),
+}
+
+
+def fail(msg):
+    print(f"bench_check: FAIL: {msg}")
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def validate_fresh(point, where):
+    for key, types in REQUIRED_FRESH.items():
+        if key not in point:
+            fail(f"{where}: missing key '{key}'")
+        value = point[key]
+        if isinstance(value, bool) or not isinstance(value, types):
+            fail(f"{where}: '{key}' has wrong type "
+                 f"({type(value).__name__})")
+    if point["schema"] != POINT_SCHEMA:
+        fail(f"{where}: schema '{point['schema']}' is not "
+             f"'{POINT_SCHEMA}'")
+    for key in ("runs", "wall_sec", "cycles_simulated", "ff_ratio"):
+        if point[key] <= 0:
+            fail(f"{where}: '{key}' must be positive, got "
+                 f"{point[key]}")
+
+
+def validate_trajectory(traj, where):
+    if traj.get("schema") != TRAJECTORY_SCHEMA:
+        fail(f"{where}: schema is not '{TRAJECTORY_SCHEMA}'")
+    points = traj.get("points")
+    if not isinstance(points, list) or not points:
+        fail(f"{where}: 'points' must be a non-empty list")
+    for i, p in enumerate(points):
+        for key in ("label", "wall_sec", "ff_ratio"):
+            if key not in p:
+                fail(f"{where}: points[{i}] missing '{key}'")
+        if not isinstance(p["ff_ratio"], (int, float)) \
+                or isinstance(p["ff_ratio"], bool) \
+                or p["ff_ratio"] <= 0:
+            fail(f"{where}: points[{i}].ff_ratio must be a positive "
+                 f"number")
+
+
+def main(argv):
+    tolerance = 0.10
+    schema_only = False
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--tolerance" and i + 1 < len(argv):
+            tolerance = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--schema-only":
+            schema_only = True
+            i += 1
+        else:
+            args.append(argv[i])
+            i += 1
+
+    if schema_only:
+        # Smoke mode: validate one fresh point's schema without a
+        # trajectory compare (run counts too small to gate on).
+        if len(args) != 1:
+            print(__doc__)
+            return 2
+        fresh = load(args[0])
+        validate_fresh(fresh, args[0])
+        print(f"bench_check: OK: {args[0]} matches {POINT_SCHEMA}")
+        return 0
+
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+
+    fresh = load(args[0])
+    traj = load(args[1])
+    validate_fresh(fresh, args[0])
+    validate_trajectory(traj, args[1])
+
+    for key in ("workload", "runs"):
+        if key in traj and fresh[key] != traj[key]:
+            fail(f"{key} mismatch: fresh={fresh[key]} "
+                 f"trajectory={traj[key]}")
+
+    last = traj["points"][-1]
+    floor = last["ff_ratio"] * (1.0 - tolerance)
+    if fresh["ff_ratio"] < floor:
+        fail(f"campaign time regressed: ff_ratio {fresh['ff_ratio']:.3f}"
+             f" < {floor:.3f} (last committed point "
+             f"'{last['label']}' had {last['ff_ratio']:.3f}, "
+             f"tolerance {tolerance:.0%})")
+
+    print(f"bench_check: OK: ff_ratio {fresh['ff_ratio']:.3f} vs "
+          f"'{last['label']}' {last['ff_ratio']:.3f} "
+          f"(floor {floor:.3f}); fast arm {fresh['wall_sec']:.3f}s "
+          f"for {fresh['runs']} runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
