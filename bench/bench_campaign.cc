@@ -1,21 +1,26 @@
 /**
  * @file
  * bench_campaign — the end-to-end campaign wall-clock probe behind
- * the committed perf trajectory. It times the bench-smoke campaign
- * (VA/vecadd on a 4-SM RTX 2060) twice: once on the fast-forward
- * path (snapshot ladder + early termination, the default) and once
- * on the full from-scratch reference, then emits one
- * BENCH_campaign.json point:
+ * the committed perf trajectory. For each suite workload (all twelve
+ * by default) it times a campaign on a 4-SM RTX 2060 twice: once on
+ * the fast-forward path (snapshot ladder + early termination + the
+ * per-worker Gpu arena, the defaults) and once on the full
+ * from-scratch reference, then appends one gpufi-bench-campaign-v1
+ * record to the BENCH_campaign.json array:
  *
- *     {"schema": "gpufi-bench-campaign-v1", "workload": "VA",
- *      "runs": N, "wall_sec": <fast arm seconds>,
+ *     {"schema": "gpufi-bench-campaign-v1", "workload": "HS",
+ *      "kernel": <first golden launch>, "runs": N,
+ *      "wall_sec": <fast arm seconds>,
  *      "cycles_simulated": <sum of per-run cycles, fast arm>,
  *      "ff_ratio": <full seconds / fast seconds>}
  *
  * `ff_ratio` is the machine-neutral figure the CI trajectory gate
  * compares (tools/bench_check.py): both arms run on the same host
  * in the same process, so their ratio cancels the hardware, while
- * absolute `wall_sec` only compares within one machine.
+ * absolute `wall_sec` only compares within one machine. The VA
+ * anchor runs at --runs (default 3000, the paper's campaign size);
+ * the other workloads at --sweep-runs (default 300), enough to
+ * amortize each pioneer while keeping the sweep CI-sized.
  */
 
 #include <chrono>
@@ -38,19 +43,23 @@ struct ArmResult
 {
     double wallSec = 0.0;
     uint64_t cyclesSimulated = 0;
+    std::string kernel;
 };
 
 ArmResult
-runArm(bool fastForward, uint32_t runs)
+runArm(const suite::BenchmarkInfo &bench, bool fastForward,
+       uint32_t runs)
 {
     sim::GpuConfig card = sim::makeRtx2060();
     card.numSms = 4;
     card.validate();
-    fi::CampaignRunner runner(card, suite::factoryFor("VA"), 1);
-    runner.golden(); // pay the golden run outside the timed region
+    fi::CampaignRunner runner(card, bench.factory, 1);
+    // Pay the golden run outside the timed region; it also names the
+    // campaign's target kernel (the first launch).
+    const fi::GoldenRun &golden = runner.golden();
 
     fi::CampaignSpec spec;
-    spec.kernelName = "vecadd";
+    spec.kernelName = golden.launches.front().kernelName;
     spec.runs = runs;
     spec.seed = 1;
     spec.fastForward = fastForward;
@@ -64,11 +73,29 @@ runArm(bool fastForward, uint32_t runs)
 
     ArmResult out;
     out.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    out.kernel = spec.kernelName;
     for (const fi::RunRecord &r : records)
         out.cyclesSimulated += r.cycles;
     if (result.runs() != runs)
         fatal("campaign executed %u of %u runs", result.runs(), runs);
     return out;
+}
+
+bool
+selected(const std::string &only, const std::string &code)
+{
+    if (only.empty())
+        return true;
+    size_t pos = 0;
+    while (pos <= only.size()) {
+        size_t comma = only.find(',', pos);
+        if (comma == std::string::npos)
+            comma = only.size();
+        if (only.compare(pos, comma - pos, code) == 0)
+            return true;
+        pos = comma + 1;
+    }
+    return false;
 }
 
 } // namespace
@@ -77,40 +104,64 @@ int
 main(int argc, char **argv)
 {
     uint32_t runs = 3000;
+    uint32_t sweepRuns = 300;
+    std::string only;
     std::string out = "BENCH_campaign.json";
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--runs" && i + 1 < argc) {
             runs = static_cast<uint32_t>(std::stoul(argv[++i]));
+        } else if (a == "--sweep-runs" && i + 1 < argc) {
+            sweepRuns = static_cast<uint32_t>(std::stoul(argv[++i]));
+        } else if (a == "--only" && i + 1 < argc) {
+            only = argv[++i];
         } else if (a == "--out" && i + 1 < argc) {
             out = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: bench_campaign [--runs N] [--out "
-                         "FILE.json]\n");
+                         "usage: bench_campaign [--runs N] "
+                         "[--sweep-runs N] [--only CODE,CODE,...] "
+                         "[--out FILE.json]\n");
             return 2;
         }
     }
 
-    ArmResult fast = runArm(true, runs);
-    ArmResult full = runArm(false, runs);
-    const double ffRatio = full.wallSec / fast.wallSec;
+    std::string json = "[\n";
+    bool first = true;
+    for (const suite::BenchmarkInfo &bench : suite::benchmarks()) {
+        if (!selected(only, bench.code))
+            continue;
+        const uint32_t n = bench.code == "VA" ? runs : sweepRuns;
+        ArmResult fast = runArm(bench, true, n);
+        ArmResult full = runArm(bench, false, n);
+        const double ffRatio = full.wallSec / fast.wallSec;
 
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "{\n"
-                  "  \"schema\": \"gpufi-bench-campaign-v1\",\n"
-                  "  \"workload\": \"VA\",\n"
-                  "  \"runs\": %u,\n"
-                  "  \"wall_sec\": %.6f,\n"
-                  "  \"cycles_simulated\": %llu,\n"
-                  "  \"ff_ratio\": %.4f\n"
-                  "}\n",
-                  runs, fast.wallSec,
-                  static_cast<unsigned long long>(fast.cyclesSimulated),
-                  ffRatio);
-    writeFileAtomic(out, buf);
-    std::printf("fast %.3fs  full %.3fs  ff_ratio %.2fx  -> %s\n",
-                fast.wallSec, full.wallSec, ffRatio, out.c_str());
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s  {\n"
+            "    \"schema\": \"gpufi-bench-campaign-v1\",\n"
+            "    \"workload\": \"%s\",\n"
+            "    \"kernel\": \"%s\",\n"
+            "    \"runs\": %u,\n"
+            "    \"wall_sec\": %.6f,\n"
+            "    \"cycles_simulated\": %llu,\n"
+            "    \"ff_ratio\": %.4f\n"
+            "  }",
+            first ? "" : ",\n", bench.code.c_str(),
+            fast.kernel.c_str(), n, fast.wallSec,
+            static_cast<unsigned long long>(fast.cyclesSimulated),
+            ffRatio);
+        json += buf;
+        first = false;
+        std::printf(
+            "%-6s fast %7.3fs  full %7.3fs  ff_ratio %.2fx\n",
+            bench.code.c_str(), fast.wallSec, full.wallSec, ffRatio);
+    }
+    json += "\n]\n";
+    if (first)
+        fatal("--only '%s' selected no workloads", only.c_str());
+    writeFileAtomic(out, json);
+    std::printf("-> %s\n", out.c_str());
     return 0;
 }

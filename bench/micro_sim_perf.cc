@@ -6,6 +6,10 @@
  * that determine campaign wall-clock time.
  */
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include <benchmark/benchmark.h>
 
 #include "common/obs.hh"
@@ -19,6 +23,55 @@
 #include "suite/suite.hh"
 
 using namespace gpufi;
+
+// ---- Allocation-count probe (this binary only) ---------------------
+//
+// A counting global operator new, linked into the bench binary alone,
+// so BM_CampaignAllocs can measure heap allocations per
+// fast-forwarded run — the figure the per-worker Gpu arena drives
+// toward zero. Overhead is one relaxed atomic increment; the product
+// binaries keep the stock allocator.
+
+static std::atomic<uint64_t> gAllocCount{0};
+
+void *
+operator new(std::size_t n)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace {
 
@@ -273,6 +326,44 @@ BENCHMARK_CAPTURE(BM_Campaign, full, false)
     ->Arg(16)
     ->Arg(3000)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_CampaignAllocs(benchmark::State &state)
+{
+    // Heap allocations per fast-forwarded run, via the counting
+    // operator new above. Two campaign sizes are differenced so the
+    // shared golden/pioneer setup cost cancels and only the
+    // steady-state per-run allocation count remains — the figure the
+    // per-worker Gpu arena drives toward zero (DESIGN.md §13).
+    sim::GpuConfig cfg = sim::makeRtx2060();
+    cfg.numSms = 4;
+    cfg.validate();
+    fi::CampaignRunner runner(cfg, suite::factoryFor("VA"), 1);
+    runner.golden();
+    fi::CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    uint64_t seed = 0;
+    double perRun = 0.0;
+    for (auto _ : state) {
+        spec.seed = ++seed;
+        spec.runs = 16;
+        const uint64_t a0 =
+            gAllocCount.load(std::memory_order_relaxed);
+        auto small = runner.run(spec);
+        const uint64_t a1 =
+            gAllocCount.load(std::memory_order_relaxed);
+        spec.runs = 116;
+        auto large = runner.run(spec);
+        const uint64_t a2 =
+            gAllocCount.load(std::memory_order_relaxed);
+        benchmark::DoNotOptimize(small);
+        benchmark::DoNotOptimize(large);
+        perRun = static_cast<double>((a2 - a1) - (a1 - a0)) / 100.0;
+    }
+    state.counters["allocs/ff_run"] = perRun;
+    obs::gauge("bench.allocs_per_ff_run").set(perRun);
+}
+BENCHMARK(BM_CampaignAllocs)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -380,31 +380,37 @@ CampaignRunner::buildFastForward(const CampaignSpec &spec,
     ff.snapVerified =
         std::make_unique<std::atomic<bool>[]>(ff.snaps.size());
 
-    if (spec.test.corruptSnapshots) {
-        // Durability tests: clobber one byte of each sealed snapshot
-        // so every restore raises sim::SnapshotCorrupt and the runs
-        // fall back to the from-scratch slow path. Delta-form images
-        // keep their content in pages; an empty delta (no writes by
-        // the capture cycle) is corrupted through its brk scalar,
-        // which the digest also covers.
-        for (auto &s : ff.snaps) {
-            if (!s->mem.bytes.empty())
-                s->mem.bytes[0] ^= 0xff;
-            else if (!s->mem.pages.empty())
-                s->mem.pages[0] ^= 0xff;
-            else
-                s->mem.brk ^= 1;
-        }
-    }
+    // Durability tests: clobber one byte of a sealed snapshot so
+    // every restore of it raises sim::SnapshotCorrupt and the run
+    // falls back to the from-scratch slow path. Delta-form images
+    // keep their content in pages; an empty delta (no writes by the
+    // capture cycle) is corrupted through its brk scalar, which the
+    // digest also covers.
+    auto corruptOne = [](sim::GpuSnapshot &s) {
+        if (!s.mem.bytes.empty())
+            s.mem.bytes[0] ^= 0xff;
+        else if (!s.mem.pages.empty())
+            s.mem.pages[0] ^= 0xff;
+        else
+            s.mem.brk ^= 1;
+    };
+    if (spec.test.corruptSnapshots)
+        for (auto &s : ff.snaps)
+            corruptOne(*s);
+    // Arena-residue tests corrupt a subset of the ladder, so one
+    // worker interleaves slow-path fallbacks with fast runs.
+    for (uint32_t idx : spec.test.corruptSnapshotIndices)
+        if (idx < ff.snaps.size())
+            corruptOne(*ff.snaps[idx]);
 }
 
 Outcome
 CampaignRunner::executeFast(const FaultPlan &plan,
                             const CampaignSpec &spec,
-                            const FastForward &ff,
-                            mem::DeviceMemory &dmem,
+                            const FastForward &ff, WorkerArena &arena,
                             InjectionRecord *rec, uint64_t *cyclesOut)
 {
+    mem::DeviceMemory &dmem = *arena.dmem;
     // Nearest predecessor snapshot (the ladder includes the global
     // minimum injection cycle, so one always exists).
     auto it = std::upper_bound(ff.snapCycles.begin(),
@@ -423,7 +429,21 @@ CampaignRunner::executeFast(const FaultPlan &plan,
     dmem.restore(ff.setupImage);
     if (spec.deltaSnapshots && !dmem.trackingDirty())
         dmem.beginDirtyTracking();
-    sim::Gpu gpu(gpu_, dmem);
+    // The worker's arena Gpu, reset in place (allocations kept), or a
+    // single-use instance when arena reuse is disabled (--no-reuse
+    // keeps the construct-per-run reference path alive). A run that
+    // throws at any point — SnapshotCorrupt, watchdog, a device fault
+    // — leaves the arena dirty; the next run's resetForRun() clears
+    // all of it (the arena-residue tests pin this).
+    std::unique_ptr<sim::Gpu> fresh;
+    if (spec.reuseGpus) {
+        if (!arena.gpu)
+            arena.gpu = std::make_unique<sim::Gpu>(gpu_, dmem);
+        arena.gpu->resetForRun();
+    } else {
+        fresh = std::make_unique<sim::Gpu>(gpu_, dmem);
+    }
+    sim::Gpu &gpu = spec.reuseGpus ? *arena.gpu : *fresh;
     const bool verifyThis =
         spec.verifySnapshots &&
         !ff.snapVerified[snapIdx].load(std::memory_order_relaxed);
@@ -654,11 +674,12 @@ CampaignRunner::run(const CampaignSpec &spec,
     std::vector<CampaignResult> partial;
 
     auto worker = [&](size_t wi) {
-        std::unique_ptr<mem::DeviceMemory> dmem;
+        WorkerArena arena;
         if (fast) {
             // One device-memory arena per worker, reset from the
-            // cached setup() image before each run.
-            dmem = std::make_unique<mem::DeviceMemory>(
+            // cached setup() image before each run; the arena Gpu is
+            // built lazily on the worker's first fast run.
+            arena.dmem = std::make_unique<mem::DeviceMemory>(
                 ff.workload->memBytes());
         }
         for (;;) {
@@ -698,7 +719,7 @@ CampaignRunner::run(const CampaignSpec &spec,
                         throw std::runtime_error(
                             "test hook: injected worker exception");
                     r.outcome = (fast && a == 0)
-                        ? executeFast(plan, spec, ff, *dmem,
+                        ? executeFast(plan, spec, ff, arena,
                                       &r.injection, &r.cycles)
                         : executeOne(plan, spec, &r.injection,
                                      &r.cycles);

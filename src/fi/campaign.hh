@@ -24,6 +24,9 @@
 #include "sim/launch.hh"
 
 namespace gpufi {
+namespace sim {
+class Gpu;
+}
 namespace fi {
 
 class RunJournal;
@@ -170,6 +173,18 @@ struct CampaignSpec
     bool deltaSnapshots = true;
 
     /**
+     * Per-worker Gpu arenas (DESIGN.md §13): each campaign worker
+     * keeps one long-lived sim::Gpu and begins every fast-forwarded
+     * run with Gpu::resetForRun() instead of reconstructing it, so
+     * caches, register files, SIMT stacks and scheduler state keep
+     * their allocations across runs. A pure execution-speed knob like
+     * deltaSnapshots: restored state, and therefore every RunRecord,
+     * is bit-identical either way, so it is excluded from
+     * campaignFingerprint(). `gpufi --no-reuse` clears it.
+     */
+    bool reuseGpus = true;
+
+    /**
      * Classify a run Masked as soon as its periodic state hash
      * matches the golden stream at the same cycle (the rest of the
      * run then provably follows the golden execution).
@@ -237,6 +252,12 @@ struct CampaignSpec
     {
         /** Corrupt every pioneer snapshot after capture. */
         bool corruptSnapshots = false;
+        /**
+         * Corrupt only the given ladder indices (arena-residue
+         * tests: some runs of a worker fall back to the slow path
+         * while its other runs stay fast in the same arena).
+         */
+        std::vector<uint32_t> corruptSnapshotIndices;
         /** Runs that throw std::runtime_error on every attempt. */
         std::vector<uint32_t> throwOnRuns;
         /** Runs that raise the watchdog on every attempt. */
@@ -330,10 +351,23 @@ class CampaignRunner
         std::unique_ptr<std::atomic<bool>[]> snapVerified;
     };
 
+    /**
+     * One worker's long-lived execution context: a DeviceMemory
+     * reset from the cached setup() image before each run, and (with
+     * CampaignSpec::reuseGpus) one Gpu reset in place per run. The
+     * Gpu holds a reference to *dmem, so dmem is declared first
+     * (destroyed last) and both live exactly as long as the worker.
+     */
+    struct WorkerArena
+    {
+        std::unique_ptr<mem::DeviceMemory> dmem;
+        std::unique_ptr<sim::Gpu> gpu;
+    };
+
     Outcome executeOne(const FaultPlan &plan, const CampaignSpec &spec,
                        InjectionRecord *rec, uint64_t *cyclesOut);
     Outcome executeFast(const FaultPlan &plan, const CampaignSpec &spec,
-                        const FastForward &ff, mem::DeviceMemory &dmem,
+                        const FastForward &ff, WorkerArena &arena,
                         InjectionRecord *rec, uint64_t *cyclesOut);
     void buildFastForward(const CampaignSpec &spec,
                           const std::vector<FaultPlan> &plans,

@@ -241,7 +241,17 @@ Cache::lineValid(uint32_t lineIdx) const
 void
 Cache::snapshot(State &out) const
 {
-    out.lines = lines_;
+    out.valid.clear();
+    for (size_t word = 0; word < validBits_.size(); ++word) {
+        uint64_t bits = validBits_[word];
+        while (bits) {
+            const uint32_t idx =
+                static_cast<uint32_t>(word * 64 + ctz64(bits));
+            bits &= bits - 1;
+            out.valid.emplace_back(idx, lines_[idx]);
+        }
+    }
+    out.numLines = static_cast<uint32_t>(lines_.size());
     out.hooks = hooks_;
     out.stats = stats_;
     out.accessCounter = accessCounter_;
@@ -250,15 +260,31 @@ Cache::snapshot(State &out) const
 void
 Cache::restore(const State &s)
 {
-    gpufi_assert(s.lines.size() == lines_.size());
-    lines_ = s.lines;
-    hooks_ = s.hooks;
+    gpufi_assert(s.numLines == lines_.size());
+    // Invalidate whatever is resident, then install the captured
+    // valid lines. The stale fields a previously valid line leaves
+    // behind are unobservable (see State), so the result is
+    // behaviorally identical to rewriting the whole array.
+    for (size_t word = 0; word < validBits_.size(); ++word) {
+        uint64_t bits = validBits_[word];
+        while (bits) {
+            const uint32_t idx =
+                static_cast<uint32_t>(word * 64 + ctz64(bits));
+            bits &= bits - 1;
+            lines_[idx].valid = false;
+        }
+    }
+    std::fill(validBits_.begin(), validBits_.end(), 0);
+    for (const auto &kv : s.valid) {
+        lines_[kv.first] = kv.second;
+        setValidBit(kv.first, true);
+    }
+    // Hook maps are empty except under an active data-fault hook;
+    // skip the hashtable assignment in the common empty==empty case.
+    if (!hooks_.empty() || !s.hooks.empty())
+        hooks_ = s.hooks;
     stats_ = s.stats;
     accessCounter_ = s.accessCounter;
-    std::fill(validBits_.begin(), validBits_.end(), 0);
-    for (size_t i = 0; i < lines_.size(); ++i)
-        if (lines_[i].valid)
-            setValidBit(static_cast<uint32_t>(i), true);
 }
 
 void

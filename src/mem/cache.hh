@@ -85,10 +85,19 @@ class Cache
         uint64_t lru = 0;
     };
 
-    /** Complete mutable state, for campaign snapshot/restore. */
+    /**
+     * Complete mutable state, for campaign snapshot/restore. Valid
+     * lines only: an invalid line's tag/trueAddr/lru are dead state
+     * (victim selection takes any invalid way before consulting lru,
+     * injectBit refuses invalid lines, a fill rewrites every field),
+     * so capturing and restoring them would copy tens of thousands
+     * of unobservable L2 entries per fast-forwarded run.
+     */
     struct State
     {
-        std::vector<Line> lines;
+        /** (line index, contents) of valid lines, ascending index. */
+        std::vector<std::pair<uint32_t, Line>> valid;
+        uint32_t numLines = 0;  ///< geometry check on restore
         std::unordered_map<uint32_t, std::vector<uint32_t>> hooks;
         CacheStats stats;
         uint64_t accessCounter = 0;

@@ -26,6 +26,13 @@ class SharedMemory
   public:
     explicit SharedMemory(uint32_t bytes) : data_(bytes, 0) {}
 
+    /**
+     * Re-zero (and resize) in place for CTA-instance reuse: the
+     * observable state equals a freshly constructed instance, but the
+     * backing allocation is kept when the capacity suffices.
+     */
+    void reset(uint32_t bytes) { data_.assign(bytes, 0); }
+
     uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
 
     /** @throws DeviceFault on out-of-range access. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
 
 #include "common/logging.hh"
 #include "isa/types.hh"
@@ -63,6 +64,27 @@ SimtCore::addCta(CtaRuntime *cta)
     liveThreads_ += blockThreads;
 }
 
+void
+SimtCore::resetForRun()
+{
+    ctas_.clear();
+    warps_.clear();
+    retired_.clear();
+    wb_.clear();
+    schedDirty_ = true;
+    gtoWarp_ = nullptr;
+    rrCursor_ = 0;
+    usedThreads_ = 0;
+    usedRegs_ = 0;
+    usedSmem_ = 0;
+    liveThreads_ = 0;
+    sched_ = SchedStats{};
+    // Matches a fresh core: the first stall cycle re-scans (the
+    // episode cache is only dereferenced after a re-scan set it).
+    stallCauseCounter_ = nullptr;
+    stallScanAt_ = 0;
+}
+
 uint32_t
 SimtCore::liveWarps() const
 {
@@ -117,12 +139,14 @@ uint32_t
 SimtCore::step(uint64_t now)
 {
     // Retire writebacks that complete this cycle.
-    while (!wb_.empty() && wb_.top().cycle <= now) {
-        const WbEvent &ev = wb_.top();
+    while (!wb_.empty() && wb_.front().cycle <= now) {
+        std::pop_heap(wb_.begin(), wb_.end(),
+                      std::greater<WbEvent>{});
+        const WbEvent ev = wb_.back();
+        wb_.pop_back();
         gpufi_assert(
             ev.warp->pendingWrites[static_cast<size_t>(ev.reg)] > 0);
         --ev.warp->pendingWrites[static_cast<size_t>(ev.reg)];
-        wb_.pop();
     }
 
     if (warps_.empty())
@@ -227,7 +251,7 @@ SimtCore::nextEventCycle(uint64_t now) const
     // state at the next stop cycle (which snapshots and hash points
     // observe) would differ from the reference interpreter's.
     if (!wb_.empty())
-        next = wb_.top().cycle;
+        next = wb_.front().cycle;
     const int kernelSize = gpu_->runningKernel()->size();
     const DecodedInst *dec = gpu_->decodedData();
     for (const WarpContext *w : warps_) {
@@ -431,7 +455,8 @@ SimtCore::scheduleWriteback(WarpContext &w, int reg, uint64_t cycle)
 {
     gpufi_assert(reg >= 0);
     ++w.pendingWrites[static_cast<size_t>(reg)];
-    wb_.push({cycle, &w, reg});
+    wb_.push_back({cycle, &w, reg});
+    std::push_heap(wb_.begin(), wb_.end(), std::greater<WbEvent>{});
 }
 
 void
@@ -800,8 +825,11 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
     }
 
     if (isa::isStore(inst.op)) {
-        // Functional writes, then per-line store timing.
-        std::vector<Addr> lines;
+        // Functional writes, then per-line store timing. The line
+        // list is reused scratch: a fresh vector here was one heap
+        // allocation per executed store instruction.
+        thread_local std::vector<Addr> lines;
+        lines.clear();
         for (uint32_t lane = 0; lane < 32; ++lane) {
             if (!(mask & (1u << lane)))
                 continue;
@@ -840,13 +868,26 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
         uint32_t latency;
         std::vector<uint8_t> bytes;
     };
-    std::vector<LineBuf> lineBufs;
+    // Reused scratch: the entries (and their line-sized byte
+    // buffers) persist across calls, so the steady state performs no
+    // heap allocation per load — this was the dominant per-run
+    // allocation site before the arena work.
+    thread_local std::vector<LineBuf> lineBufPool;
+    // <=32 lanes touching <=2 lines each: 64 entries bound the pool,
+    // and reserving them keeps references stable across lineFor()
+    // calls (the line-crossing path holds one while fetching the
+    // second line).
+    lineBufPool.reserve(64);
+    size_t nBufs = 0;
     auto lineFor = [&](Addr la) -> LineBuf & {
-        for (auto &lb : lineBufs)
-            if (lb.addr == la)
-                return lb;
-        lineBufs.push_back({la, 0, std::vector<uint8_t>(lineSize)});
-        LineBuf &lb = lineBufs.back();
+        for (size_t i = 0; i < nBufs; ++i)
+            if (lineBufPool[i].addr == la)
+                return lineBufPool[i];
+        if (nBufs == lineBufPool.size())
+            lineBufPool.emplace_back();
+        LineBuf &lb = lineBufPool[nBufs++];
+        lb.addr = la;
+        lb.bytes.resize(lineSize);
         lb.latency = loadLine(space, la, lb.bytes.data(), now);
         return lb;
     };
@@ -874,9 +915,8 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
         cta.regs(w.threadBase + lane)
             [static_cast<size_t>(inst.dst)] = v;
     }
-    uint32_t serial = lineBufs.size() > 1
-                          ? static_cast<uint32_t>(
-                                (lineBufs.size() - 1) * 2) : 0;
+    uint32_t serial =
+        nBufs > 1 ? static_cast<uint32_t>((nBufs - 1) * 2) : 0;
     scheduleWriteback(w, inst.dst, now + maxLat + serial);
     w.readyAt = now + 1;
 }

@@ -10,8 +10,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/cache.hh"
@@ -84,6 +83,18 @@ class SimtCore
     void addCta(CtaRuntime *cta);
 
     /**
+     * Reset-in-place for arena reuse (DESIGN.md §13): return the core
+     * to its just-constructed state while keeping every allocation
+     * (cache arrays, the SoA gate mirror, the writeback heap's
+     * storage). Resident-CTA lists, the scheduler cursors, in-flight
+     * writebacks and the SchedStats tallies are cleared; the L1
+     * caches are deliberately NOT touched — a reset core must next be
+     * populated through restore(), which overwrites them wholesale.
+     * The owning Gpu publishes the tallies to obs before calling.
+     */
+    void resetForRun();
+
+    /**
      * Advance one cycle: writebacks, then instruction issue.
      * @return the number of warp instructions issued this cycle.
      */
@@ -150,12 +161,13 @@ class SimtCore
 
     /**
      * Restore onto an empty core. @p byId maps CTA linear ids to the
-     * restored CtaRuntime instances (owned by the Gpu); the kernel
-     * must already be set on the Gpu so addCta sees its register
-     * footprint.
+     * restored CtaRuntime instances (owned by the Gpu), sorted by id
+     * for binary search; the kernel must already be set on the Gpu so
+     * addCta sees its register footprint.
      */
-    void restore(const CoreState &s,
-                 const std::unordered_map<uint64_t, CtaRuntime *> &byId);
+    void restore(
+        const CoreState &s,
+        const std::vector<std::pair<uint64_t, CtaRuntime *>> &byId);
 
     /**
      * Fold behavior-relevant core state into @p h at cycle @p now.
@@ -220,8 +232,16 @@ class SimtCore
     std::vector<uint64_t> warpGate_;
     bool schedDirty_ = true;
     std::vector<CtaRuntime *> retired_;    ///< done, swept after issue
-    std::priority_queue<WbEvent, std::vector<WbEvent>,
-                        std::greater<WbEvent>> wb_;
+    /**
+     * In-flight writebacks as an explicit binary min-heap on cycle
+     * (std::push_heap/pop_heap with std::greater). An open vector
+     * instead of std::priority_queue so snapshot capture and state
+     * hashing can walk the events without copy-and-drain, and so
+     * resetForRun() can clear it while keeping the storage. Drain
+     * order among equal cycles is unordered either way; the effects
+     * (scoreboard counter decrements) commute.
+     */
+    std::vector<WbEvent> wb_;
 
     uint32_t usedThreads_ = 0;
     uint32_t usedRegs_ = 0;

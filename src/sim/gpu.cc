@@ -100,6 +100,55 @@ Gpu::~Gpu()
 }
 
 void
+Gpu::resetForRun()
+{
+    // Flush the previous run's tallies exactly as its destructor
+    // would have (construct-per-run mode publishes once per Gpu),
+    // then re-arm publication for the run about to start.
+    publishObs();
+    obsPublished_ = false;
+
+    for (auto &core : cores_)
+        core->resetForRun();
+    for (auto &cta : liveCtas_)
+        ctaPool_.push_back(std::move(cta));
+    liveCtas_.clear();
+    restoreById_.clear();
+
+    kernel_ = nullptr;
+    decoded_ = nullptr;
+    grid_ = Dim3{};
+    block_ = Dim3{};
+    params_.clear();
+    paramBase_ = 0;
+    localArena_ = 0;
+    nextCta_ = 0;
+    completedCtas_ = 0;
+    ctaCursor_ = 0;
+    warpArrival_ = 0;
+    cycle_ = 0;
+    cycleLimit_ = ~0ULL;
+    warpInstructions_ = 0;
+    wallArmed_ = false;
+    injections_.clear();
+    launchStartCycle_ = 0;
+    launchStartInstr_ = 0;
+    occSum_ = threadSum_ = ctaSum_ = 0.0;
+    sampleCount_ = 0;
+    recordTrace_ = nullptr;
+    replayTrace_ = nullptr;
+    resumeSnap_ = nullptr;
+    verifySnapshot_ = true;
+    replayHostCursor_ = 0;
+    hostOpCount_ = 0;
+    launchesStarted_ = 0;
+    convTrace_ = nullptr;
+    convNextCycle_ = ~0ULL;
+    convStride_ = 1;
+    runHash_ = StateHasher{};
+}
+
+void
 Gpu::publishObs()
 {
     if (obsPublished_)
@@ -187,6 +236,10 @@ std::vector<Gpu::ThreadRef>
 Gpu::activeThreads()
 {
     std::vector<ThreadRef> out;
+    size_t cap = 0;
+    for (const auto &cta : liveCtas_)
+        cap += cta->threads.size();
+    out.reserve(cap);
     for (const auto &cta : liveCtas_) {
         for (uint32_t t = 0; t < cta->threads.size(); ++t)
             if (!cta->threads[t].exited)
@@ -199,6 +252,10 @@ std::vector<Gpu::WarpRef>
 Gpu::activeWarps()
 {
     std::vector<WarpRef> out;
+    size_t cap = 0;
+    for (const auto &cta : liveCtas_)
+        cap += cta->warps.size();
+    out.reserve(cap);
     for (const auto &cta : liveCtas_) {
         for (uint32_t wi = 0; wi < cta->warps.size(); ++wi)
             if (!cta->warps[wi].done)
@@ -228,14 +285,38 @@ Gpu::activeCoreIds()
 }
 
 std::unique_ptr<CtaRuntime>
+Gpu::acquireCta(uint32_t sharedBytes)
+{
+    if (ctaPool_.empty())
+        return std::make_unique<CtaRuntime>(sharedBytes);
+    auto cta = std::move(ctaPool_.back());
+    ctaPool_.pop_back();
+    cta->shared.reset(sharedBytes);
+    return cta;
+}
+
+const std::vector<DecodedInst> &
+Gpu::decodedFor(const isa::Kernel &kernel)
+{
+    auto [it, inserted] = decodeCache_.try_emplace(&kernel);
+    if (inserted)
+        it->second = decodeKernel(kernel, config_.lat);
+    return it->second;
+}
+
+std::unique_ptr<CtaRuntime>
 Gpu::createCta(uint64_t linearId)
 {
     const isa::Kernel &k = *kernel_;
-    auto cta = std::make_unique<CtaRuntime>(k.sharedBytes);
+    // A pooled instance carries the previous run's values in every
+    // retained element, so each field below is (re)assigned, never
+    // assumed zero.
+    auto cta = acquireCta(k.sharedBytes);
     cta->linearId = linearId;
     cta->ctaX = static_cast<uint32_t>(linearId % grid_.x);
     cta->ctaY = static_cast<uint32_t>(linearId / grid_.x);
     cta->firstThreadLinear = linearId * block_.count();
+    cta->barrierArrived = 0;
 
     const uint32_t blockThreads =
         static_cast<uint32_t>(block_.count());
@@ -247,6 +328,7 @@ Gpu::createCta(uint64_t linearId)
         ThreadContext &tc = cta->threads[t];
         tc.tidX = t % block_.x;
         tc.tidY = t / block_.x;
+        tc.exited = false;
     }
 
     const uint32_t warpSize = config_.warpSize;
@@ -262,6 +344,12 @@ Gpu::createCta(uint64_t linearId)
         uint32_t lanes = std::min(warpSize,
                                   blockThreads - wi * warpSize);
         w.validMask = lanes == 32 ? ~0u : ((1u << lanes) - 1);
+        w.exitedMask = 0;
+        w.atBarrier = false;
+        w.done = false;
+        w.readyAt = 0;
+        w.schedSlot = 0;
+        w.stack.clear();
         w.stack.push_back({0, -1, w.validMask});
     }
     cta->liveWarps = numWarps;
@@ -301,9 +389,15 @@ void
 Gpu::onCtaRetired(CtaRuntime *cta)
 {
     ++completedCtas_;
-    std::erase_if(liveCtas_, [cta](const auto &p) {
-        return p.get() == cta;
-    });
+    for (auto it = liveCtas_.begin(); it != liveCtas_.end(); ++it) {
+        if (it->get() == cta) {
+            // Into the arena pool, not destroyed: the next createCta
+            // or snapshot restore reuses the allocations.
+            ctaPool_.push_back(std::move(*it));
+            liveCtas_.erase(it);
+            return;
+        }
+    }
 }
 
 void
@@ -384,7 +478,7 @@ Gpu::launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
     }
 
     kernel_ = &kernel;
-    decoded_ = decodeKernel(kernel, config_.lat);
+    decoded_ = &decodedFor(kernel);
     grid_ = grid;
     block_ = block;
     params_ = std::move(params);

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "isa/kernel.hh"
@@ -30,18 +31,24 @@ namespace gpufi {
 namespace sim {
 
 /**
- * One simulated GPU chip. A Gpu instance is single-use per campaign
- * run: construct, launch kernels (the "application"), read results
- * from DeviceMemory, destroy. The global cycle counter accumulates
- * across launches, so the injector can aim a fault at any cycle of
- * the whole application, as the paper's cycle-file mechanism does.
+ * One simulated GPU chip. A Gpu instance serves one campaign run at
+ * a time: construct (or resetForRun() an existing instance), launch
+ * kernels (the "application"), read results from DeviceMemory. The
+ * global cycle counter accumulates across launches, so the injector
+ * can aim a fault at any cycle of the whole application, as the
+ * paper's cycle-file mechanism does.
  *
- * For campaign fast-forward a fresh Gpu can instead resume mid-run
- * from a GpuSnapshot (see snapshot.hh): record() captures a
+ * For campaign fast-forward a run-ready Gpu can instead resume
+ * mid-run from a GpuSnapshot (see snapshot.hh): record() captures a
  * GoldenTrace on the pioneer run, beginReplay() skips the launches
  * before the snapshot and restores the machine state inside the
  * matching launch, after which simulation proceeds bit-identically
  * to a from-scratch run.
+ *
+ * Arena reuse (DESIGN.md §13): campaign workers keep one long-lived
+ * Gpu and call resetForRun() between runs instead of reconstructing,
+ * so the caches, cores, CTA instances and decode tables keep their
+ * allocations across thousands of runs.
  */
 class Gpu
 {
@@ -75,6 +82,26 @@ class Gpu
      */
     LaunchStats launch(const isa::Kernel &kernel, Dim3 grid, Dim3 block,
                        std::vector<uint32_t> params);
+
+    /**
+     * Reset-in-place for arena reuse: return this Gpu to the
+     * observable state of a freshly constructed one while keeping
+     * every allocation — the cores' caches and scheduler arrays, the
+     * retired-CTA pool (register files, SIMT stacks, shared-memory
+     * instances), the per-kernel decode cache and the L2/DRAM
+     * subsystem. Leaves NO residue: scheduled injections, replay and
+     * convergence wiring, the watchdog deadline, the run digest and
+     * all per-launch counters are cleared, and the previous run's obs
+     * tallies are published first (exactly what its destructor would
+     * have flushed), so metric totals match construct-per-run mode.
+     *
+     * The memory hierarchy's *contents* (cache lines, L2, DRAM
+     * timing, DeviceMemory) are deliberately not scrubbed: a reset
+     * Gpu must next resume via beginReplay(), whose snapshot restore
+     * overwrites all of it. The campaign fast path always does; the
+     * arena-residue tests pin the contract.
+     */
+    void resetForRun();
 
     /** Abort with TimeoutError when the global cycle reaches this. */
     void setCycleLimit(uint64_t limit) { cycleLimit_ = limit; }
@@ -219,11 +246,11 @@ class Gpu
     const isa::Kernel *runningKernel() const { return kernel_; }
 
     /**
-     * Decode table of the running kernel, indexed by pc (rebuilt at
-     * every launch and snapshot restore; see sim/exec.hh). Valid
-     * exactly while runningKernel() is non-null.
+     * Decode table of the running kernel, indexed by pc (memoized
+     * per kernel across launches and snapshot restores; see
+     * sim/exec.hh). Valid exactly while runningKernel() is non-null.
      */
-    const DecodedInst *decodedData() const { return decoded_.data(); }
+    const DecodedInst *decodedData() const { return decoded_->data(); }
 
     /** Kernel parameter by index (constant path). */
     uint32_t param(uint32_t idx) const;
@@ -270,6 +297,11 @@ class Gpu
   private:
     void scheduleCtas();
     std::unique_ptr<CtaRuntime> createCta(uint64_t linearId);
+    /** Pop a pooled CTA instance (shared memory re-zeroed to
+     *  @p sharedBytes) or allocate a fresh one. */
+    std::unique_ptr<CtaRuntime> acquireCta(uint32_t sharedBytes);
+    /** Memoized decode table for @p kernel (see decodeCache_). */
+    const std::vector<DecodedInst> &decodedFor(const isa::Kernel &k);
     void fireInjections();
     void sampleStats();
     LaunchStats runLaunchLoop();
@@ -298,7 +330,17 @@ class Gpu
 
     // Launch state
     const isa::Kernel *kernel_ = nullptr;
-    std::vector<DecodedInst> decoded_;  ///< per-pc decode table
+    /** Per-pc decode table of the running kernel (owned by
+     *  decodeCache_; null between runs). */
+    const std::vector<DecodedInst> *decoded_ = nullptr;
+    /**
+     * Decode tables memoized per kernel identity. Kernel objects are
+     * owned by the campaign's shared Workload and outlive every run
+     * that executes them, so the pointer key cannot be recycled
+     * within one Gpu's lifetime.
+     */
+    std::unordered_map<const isa::Kernel *,
+                       std::vector<DecodedInst>> decodeCache_;
     Dim3 grid_;
     Dim3 block_;
     std::vector<uint32_t> params_;
@@ -307,6 +349,19 @@ class Gpu
     uint64_t nextCta_ = 0;
     uint64_t completedCtas_ = 0;
     std::vector<std::unique_ptr<CtaRuntime>> liveCtas_;
+    /**
+     * Retired CTA instances kept for reuse: createCta() and snapshot
+     * restores re-initialize a pooled instance in place (register
+     * file, thread contexts, warps, shared memory all keep their
+     * vectors' capacity) instead of allocating. Survives
+     * resetForRun() — the pool IS the arena.
+     */
+    std::vector<std::unique_ptr<CtaRuntime>> ctaPool_;
+    /** Scratch (linearId, CTA) pairs for snapshot restores, sorted by
+     *  id for binary search; a member (not an unordered_map, whose
+     *  nodes reallocate every restore) so fast-forwarded runs reuse
+     *  its capacity and allocate nothing here. */
+    std::vector<std::pair<uint64_t, CtaRuntime *>> restoreById_;
     size_t ctaCursor_ = 0;      ///< round-robin core placement
     uint64_t warpArrival_ = 0;  ///< GTO age counter
 

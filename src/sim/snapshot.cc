@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <tuple>
 
 #include "common/logging.hh"
@@ -23,6 +24,22 @@ namespace {
 /** Distinguish host reads/writes and launches in the run digest. */
 constexpr uint64_t kTagHostRead = 0x486f73745244ULL;   // "HostRD"
 constexpr uint64_t kTagHostWrite = 0x486f73745752ULL;  // "HostWR"
+
+/** Append little-endian fixed-width words to a serialization buffer
+ *  (the bulk-digest scratch streams below). */
+inline void
+put32(std::vector<uint8_t> &buf, uint32_t v)
+{
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(&v);
+    buf.insert(buf.end(), p, p + 4);
+}
+
+inline void
+put64(std::vector<uint8_t> &buf, uint64_t v)
+{
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(&v);
+    buf.insert(buf.end(), p, p + 8);
+}
 
 /**
  * Fold one CTA's architectural state into @p h, going through the
@@ -43,26 +60,55 @@ hashCta(StateHasher &h, const CtaRuntime &cta, uint64_t now)
              cta.barrierArrived);
     hashShared(h, cta.shared);
     hashCtaRegs(h, cta);
+    // All warps' stacks, control words, relative readiness, GTO age
+    // and scoreboard counters serialized into one buffer and digested
+    // with a single bulk mixBytes (the per-warp mixU64 chains here
+    // were the last hot per-element digest path). Fixed-width fields
+    // with explicit counts keep the stream injective; the field
+    // layout is the same one hashStack/hashWarpCtrl walk for the
+    // fault-site capture accessors.
+    thread_local std::vector<uint8_t> scratch;
+    scratch.clear();
     for (const auto &w : cta.warps) {
-        hashStack(h, w);
-        hashWarpCtrl(h, w);
-        h.mixU64(w.readyAt > now ? w.readyAt - now : 0);
-        h.mixU64(w.arrivalOrder);
-        h.mixBytes(w.pendingWrites.data(), w.pendingWrites.size());
+        put32(scratch, static_cast<uint32_t>(w.stack.size()));
+        for (const StackEntry &e : w.stack) {
+            put32(scratch, static_cast<uint32_t>(e.pc));
+            put32(scratch, static_cast<uint32_t>(e.rpc));
+            put32(scratch, e.mask);
+        }
+        put32(scratch, w.validMask);
+        put32(scratch, w.exitedMask);
+        put32(scratch, (w.atBarrier ? 1u : 0u) | (w.done ? 2u : 0u));
+        put64(scratch, w.readyAt > now ? w.readyAt - now : 0);
+        put64(scratch, w.arrivalOrder);
+        put32(scratch,
+              static_cast<uint32_t>(w.pendingWrites.size()));
+        scratch.insert(scratch.end(), w.pendingWrites.begin(),
+                       w.pendingWrites.end());
     }
+    h.mixU64(cta.warps.size());
+    h.mixBytes(scratch.data(), scratch.size());
 }
 
 /** Fold one captured cache state into @p h (hooks in key order). */
 void
 digestCache(StateHasher &h, const mem::Cache::State &s)
 {
-    h.mixU64(s.lines.size());
-    for (const auto &l : s.lines) {
-        h.mixU64((l.valid ? 1u : 0u) | (l.dirty ? 2u : 0u));
-        h.mixU64(l.tag);
-        h.mixU64(l.trueAddr);
-        h.mixU64(l.lru);
+    // The capture is already valid-lines-only (see Cache::State);
+    // digest it index-tagged in one bulk pass.
+    thread_local std::vector<uint8_t> scratch;
+    scratch.clear();
+    for (const auto &kv : s.valid) {
+        const auto &l = kv.second;
+        put32(scratch, kv.first);
+        put32(scratch, l.dirty ? 1u : 0u);
+        put64(scratch, l.tag);
+        put64(scratch, l.trueAddr);
+        put64(scratch, l.lru);
     }
+    h.mixU64(s.numLines);
+    h.mixU64(s.valid.size());
+    h.mixBytes(scratch.data(), scratch.size());
     // The hook map is unordered; digest in sorted key order so the
     // digest is a function of content, not of hash-table history.
     std::vector<uint32_t> keys;
@@ -214,13 +260,20 @@ SimtCore::snapshot(CoreState &out) const
     out.liveThreads = liveThreads_;
 
     out.wb.clear();
-    auto q = wb_;
-    while (!q.empty()) {
-        const WbEvent &e = q.top();
+    out.wb.reserve(wb_.size());
+    for (const WbEvent &e : wb_)
         out.wb.push_back({e.cycle, e.warp->cta->linearId,
                           e.warp->warpIdInCta, e.reg});
-        q.pop();
-    }
+    // Canonical order: the heap's internal layout is an
+    // implementation detail, so sort the captured stream to make it
+    // (and the sealed digest over it) a function of content only.
+    std::sort(out.wb.begin(), out.wb.end(),
+              [](const CoreState::Wb &a, const CoreState::Wb &b) {
+                  return std::tie(a.cycle, a.ctaLinear, a.warpIdx,
+                                  a.reg) <
+                         std::tie(b.cycle, b.ctaLinear, b.warpIdx,
+                                  b.reg);
+              });
 
     out.hasL1d = l1d_ != nullptr;
     if (l1d_)
@@ -230,14 +283,17 @@ SimtCore::snapshot(CoreState &out) const
 }
 
 void
-SimtCore::restore(const CoreState &s,
-                  const std::unordered_map<uint64_t, CtaRuntime *> &byId)
+SimtCore::restore(
+    const CoreState &s,
+    const std::vector<std::pair<uint64_t, CtaRuntime *>> &byId)
 {
     gpufi_assert(ctas_.empty() && warps_.empty() && wb_.empty() &&
                  retired_.empty());
     auto ctaOf = [&](uint64_t linearId) -> CtaRuntime * {
-        auto it = byId.find(linearId);
-        gpufi_assert(it != byId.end());
+        auto it = std::lower_bound(
+            byId.begin(), byId.end(), linearId,
+            [](const auto &kv, uint64_t id) { return kv.first < id; });
+        gpufi_assert(it != byId.end() && it->first == linearId);
         return it->second;
     };
 
@@ -256,11 +312,13 @@ SimtCore::restore(const CoreState &s,
     }
     // Rebuild in-flight writebacks; the warps' pendingWrites counters
     // came with the CTA copies, so push events without re-counting.
+    wb_.reserve(s.wb.size());
     for (const CoreState::Wb &e : s.wb) {
         CtaRuntime *cta = ctaOf(e.ctaLinear);
         gpufi_assert(e.warpIdx < cta->warps.size());
-        wb_.push({e.cycle, &cta->warps[e.warpIdx], e.reg});
+        wb_.push_back({e.cycle, &cta->warps[e.warpIdx], e.reg});
     }
+    std::make_heap(wb_.begin(), wb_.end(), std::greater<WbEvent>{});
 
     gpufi_assert(s.hasL1d == (l1d_ != nullptr));
     if (l1d_)
@@ -285,15 +343,14 @@ SimtCore::hashInto(StateHasher &h, uint64_t now) const
 
     // Pending writebacks, normalized: relative completion time and a
     // canonical order (drain order among equal cycles is irrelevant).
-    auto q = wb_;
-    std::vector<std::tuple<uint64_t, uint64_t, uint32_t, int>> evs;
-    while (!q.empty()) {
-        const WbEvent &e = q.top();
+    thread_local std::vector<std::tuple<uint64_t, uint64_t, uint32_t,
+                                        int>> evs;
+    evs.clear();
+    evs.reserve(wb_.size());
+    for (const WbEvent &e : wb_)
         evs.emplace_back(e.cycle > now ? e.cycle - now : 0,
                          e.warp->cta->linearId, e.warp->warpIdInCta,
                          e.reg);
-        q.pop();
-    }
     std::sort(evs.begin(), evs.end());
     h.mixU64(evs.size());
     for (const auto &[c, cta, warp, reg] : evs) {
@@ -438,7 +495,7 @@ Gpu::restoreFromSnapshot(const isa::Kernel &kernel)
     gpufi_assert(replayHostCursor_ == snap.hostOpCursor);
 
     kernel_ = &kernel;
-    decoded_ = decodeKernel(kernel, config_.lat);
+    decoded_ = &decodedFor(kernel);
     grid_ = snap.grid;
     block_ = snap.block;
     params_ = snap.params;
@@ -464,19 +521,32 @@ Gpu::restoreFromSnapshot(const isa::Kernel &kernel)
 
     // Rebuild the resident CTAs in the captured liveCtas_ order (the
     // injector's entity enumeration depends on it), re-targeting the
-    // copied warps' back-pointers at the new instances.
+    // copied warps' back-pointers at the new instances. Instances
+    // come from the arena pool when available: copy-assignment
+    // overwrites every field while reusing the register-file, thread,
+    // warp and shared-memory allocations of the previous run.
+    for (auto &cta : liveCtas_)
+        ctaPool_.push_back(std::move(cta));
     liveCtas_.clear();
-    std::unordered_map<uint64_t, CtaRuntime *> byId;
+    restoreById_.clear();
     for (const CtaRuntime &src : snap.ctas) {
-        auto cta = std::make_unique<CtaRuntime>(src);
+        std::unique_ptr<CtaRuntime> cta;
+        if (!ctaPool_.empty()) {
+            cta = std::move(ctaPool_.back());
+            ctaPool_.pop_back();
+            *cta = src;
+        } else {
+            cta = std::make_unique<CtaRuntime>(src);
+        }
         for (auto &w : cta->warps)
             w.cta = cta.get();
-        byId.emplace(cta->linearId, cta.get());
+        restoreById_.emplace_back(cta->linearId, cta.get());
         liveCtas_.push_back(std::move(cta));
     }
+    std::sort(restoreById_.begin(), restoreById_.end());
     gpufi_assert(snap.cores.size() == cores_.size());
     for (size_t i = 0; i < cores_.size(); ++i)
-        cores_[i]->restore(snap.cores[i], byId);
+        cores_[i]->restore(snap.cores[i], restoreById_);
 
     // Leave replay mode: the rest of the run simulates for real.
     replayTrace_ = nullptr;

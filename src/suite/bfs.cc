@@ -134,7 +134,7 @@ class Bfs : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &k1 = prog.kernel("bfs_expand");
         const isa::Kernel &k2 = prog.kernel("bfs_commit");
         std::vector<sim::LaunchStats> stats;

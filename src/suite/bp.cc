@@ -116,7 +116,7 @@ class Backprop : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         std::vector<sim::LaunchStats> stats;
         stats.push_back(gpu.launch(
             prog.kernel("bp_layerforward"), {kHid, 1}, {kIn, 1},

@@ -117,7 +117,7 @@ class Gaussian : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &fan1 = prog.kernel("ge_fan1");
         const isa::Kernel &fan2 = prog.kernel("ge_fan2");
         std::vector<sim::LaunchStats> stats;

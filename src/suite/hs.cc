@@ -109,7 +109,7 @@ class Hotspot : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &k = prog.kernel("hotspot");
         const float kc = 0.1f, cc = 0.05f;
         uint32_t kBits, cBits;

@@ -108,7 +108,7 @@ class Kmeans : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &k = prog.kernel("km_assign");
         std::vector<sim::LaunchStats> stats;
         for (uint32_t iter = 0; iter < kIters; ++iter) {

@@ -321,7 +321,7 @@ class Lud : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &diag = prog.kernel("lud_diagonal");
         const isa::Kernel &perim = prog.kernel("lud_perimeter");
         const isa::Kernel &inter = prog.kernel("lud_internal");

@@ -179,7 +179,7 @@ class NeedlemanWunsch : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &k = prog.kernel("nw_step");
         constexpr uint32_t tiles = kN / kB;
         std::vector<sim::LaunchStats> stats;

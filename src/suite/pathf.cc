@@ -99,7 +99,7 @@ class Pathfinder : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &k = prog.kernel("pathf_step");
         std::vector<sim::LaunchStats> stats;
         mem::Addr src = r0_, dst = r1_;

@@ -90,7 +90,7 @@ class ScalarProduct : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         std::vector<sim::LaunchStats> stats;
         stats.push_back(gpu.launch(prog.kernel("scalarprod"),
                                    {kVectors, 1}, {kBlock, 1},

@@ -206,7 +206,7 @@ class Srad1 : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &k1 = prog.kernel("srad1");
         const isa::Kernel &k2 = prog.kernel("srad2");
         const float lambda4 = 0.5f * 0.25f;

@@ -251,7 +251,7 @@ class Srad2 : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         const isa::Kernel &k1 = prog.kernel("srad2_grad");
         const isa::Kernel &k2 = prog.kernel("srad2_update");
         const float lambda4 = 0.5f * 0.25f;

@@ -57,7 +57,7 @@ class VectorAdd : public SuiteWorkload
     std::vector<sim::LaunchStats>
     run(sim::Gpu &gpu) override
     {
-        isa::Program prog = isa::assemble(kSource);
+        const isa::Program &prog = program(kSource);
         std::vector<sim::LaunchStats> stats;
         stats.push_back(gpu.launch(prog.kernel("vecadd"),
                                    {kN / 256, 1}, {256, 1},

@@ -63,5 +63,12 @@ SuiteWorkload::p(mem::Addr a)
     return static_cast<uint32_t>(a);
 }
 
+const isa::Program &
+SuiteWorkload::program(const char *source)
+{
+    std::call_once(progOnce_, [&] { prog_ = isa::assemble(source); });
+    return prog_;
+}
+
 } // namespace suite
 } // namespace gpufi

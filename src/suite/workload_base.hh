@@ -10,6 +10,7 @@
 #define GPUFI_SUITE_WORKLOAD_BASE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,17 @@ namespace suite {
 class SuiteWorkload : public fi::Workload
 {
   protected:
+    /**
+     * Assemble `source` once and cache the Program for the lifetime
+     * of this workload instance. run() is re-entered once per
+     * campaign run — and, for the shared fast-forward workload,
+     * concurrently from several workers — so the assembly (and the
+     * decode cache keyed on the resulting Kernel addresses) must not
+     * be redone per run. call_once makes the first concurrent use
+     * safe; afterwards the hit path is a bare load.
+     */
+    const isa::Program &program(const char *source);
+
     /** Deterministic floats in [lo, hi) from a fixed seed. */
     static std::vector<float> randomFloats(size_t n, uint64_t seed,
                                            float lo, float hi);
@@ -50,6 +62,10 @@ class SuiteWorkload : public fi::Workload
 
     /** Device address narrowed to a 32-bit kernel parameter. */
     static uint32_t p(mem::Addr a);
+
+  private:
+    isa::Program prog_;
+    std::once_flag progOnce_;
 };
 
 } // namespace suite

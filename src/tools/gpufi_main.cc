@@ -76,6 +76,7 @@ struct CliOptions
     double watchdogSec = 0.0;
     bool noRetry = false;
     bool noFastpath = false;    ///< reference interpreter + dense snaps
+    bool noReuse = false;       ///< construct-per-run Gpu reference path
     uint32_t runs = 100;
     uint32_t bits = 1;
     uint64_t seed = 1;
@@ -160,6 +161,10 @@ usage()
         "                         scheduler state or delta\n"
         "                         snapshots); bit-identical to the\n"
         "                         default, for twin-run audits\n"
+        "  --no-reuse             construct a fresh Gpu per run\n"
+        "                         instead of resetting the worker's\n"
+        "                         arena in place; bit-identical to\n"
+        "                         the default, for twin-run audits\n"
         "  --metrics-out FILE     write the versioned JSON metrics\n"
         "                         report (counters, gauges,\n"
         "                         histograms) on exit\n"
@@ -248,6 +253,8 @@ parseArgs(int argc, char **argv)
             opts.noRetry = true;
         } else if (a == "--no-fastpath") {
             opts.noFastpath = true;
+        } else if (a == "--no-reuse") {
+            opts.noReuse = true;
         } else if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
@@ -479,6 +486,7 @@ runCli(const CliOptions &opts)
             spec.wallClockLimitSec = opts.watchdogSec;
             spec.retrySlowPath = !opts.noRetry;
             spec.deltaSnapshots = !opts.noFastpath;
+            spec.reuseGpus = !opts.noReuse;
             spec.cancel = &g_interrupted;
 
             const std::vector<fi::RunRecord> *resumed = nullptr;

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Differential twin-run gates for the per-worker Gpu arenas
+ * (DESIGN.md §13). A campaign whose workers reset one long-lived
+ * sim::Gpu in place before every run (the default) is admissible
+ * only if it produces bit-identical records to the
+ * construct-per-run reference that `gpufi --no-reuse` selects —
+ * alone, under every fast-path stage, across every registered fault
+ * site, and with multiple workers. The residue tests then stress
+ * the reset contract where it is most likely to break: an arena
+ * that has just absorbed a device crash, a watchdog trip and a
+ * corrupt-snapshot slow-path fallback must still execute its next
+ * fast-forwarded run bit-identically to a fresh Gpu.
+ */
+
+#include <cstddef>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fi/site.hh"
+#include "sim_test_util.hh"
+
+using namespace gpufi;
+using gpufi_test::TwinArm;
+
+namespace {
+
+/** The construct-per-run arm: what `gpufi --no-reuse` runs. */
+TwinArm
+freshArm()
+{
+    TwinArm arm;
+    arm.spec.reuseGpus = false;
+    arm.spec.kernelName = "vecadd";
+    arm.spec.runs = 12;
+    arm.spec.seed = 11;
+    return arm;
+}
+
+/** Same campaign, but each worker reuses one arena Gpu (default). */
+TwinArm
+arenaArm()
+{
+    TwinArm arm = freshArm();
+    arm.spec.reuseGpus = true;
+    return arm;
+}
+
+struct Stage
+{
+    const char *name;
+    void (*enable)(TwinArm &);
+};
+
+constexpr Stage kStages[] = {
+    {"allOff",
+     [](TwinArm &a) {
+         a.card.setFastPath(false);
+         a.spec.deltaSnapshots = false;
+     }},
+    {"fastDecode",
+     [](TwinArm &a) {
+         a.card.setFastPath(false);
+         a.spec.deltaSnapshots = false;
+         a.card.fastDecode = true;
+     }},
+    {"fastIdleSkip",
+     [](TwinArm &a) {
+         a.card.setFastPath(false);
+         a.spec.deltaSnapshots = false;
+         a.card.fastIdleSkip = true;
+     }},
+    {"fastSched",
+     [](TwinArm &a) {
+         a.card.setFastPath(false);
+         a.spec.deltaSnapshots = false;
+         a.card.fastSched = true;
+     }},
+    {"deltaSnapshots",
+     [](TwinArm &a) {
+         a.card.setFastPath(false);
+         a.spec.deltaSnapshots = true;
+     }},
+    {"allOn", [](TwinArm &) {}},
+};
+
+/** Structure-exercising workload, as in injector_smoke. */
+const char *
+benchFor(fi::FaultTarget t)
+{
+    switch (t) {
+      case fi::FaultTarget::SharedMemory:
+      case fi::FaultTarget::L1Texture:
+        return "SRAD2";
+      default:
+        return "KM";
+    }
+}
+
+const char *
+kernelFor(const char *bench)
+{
+    return bench[0] == 'S' ? "srad2_grad" : "km_assign";
+}
+
+} // namespace
+
+TEST(Arena, ReuseIsAdmissible)
+{
+    gpufi_test::expectTwinEquivalence(freshArm(), arenaArm(), "reuse");
+}
+
+class ArenaStage : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(ArenaStage, ReuseComposesWithStage)
+{
+    // The arena must be behavior-neutral no matter which fast-path
+    // stage combination it composes with: both arms get the same
+    // stage knobs, and only reuseGpus differs between them.
+    const Stage &stage = kStages[GetParam()];
+    TwinArm fresh = freshArm();
+    TwinArm arena = arenaArm();
+    stage.enable(fresh);
+    stage.enable(arena);
+    gpufi_test::expectTwinEquivalence(fresh, arena, stage.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStages, ArenaStage,
+    ::testing::Range<size_t>(0, std::size(kStages)),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return kStages[info.param].name;
+    });
+
+TEST(Arena, AdmissibleAcrossAllFaultSites)
+{
+    // One twin comparison per registered fault site, on a workload
+    // that actually exercises the struck structure, so residue in
+    // any reused structure (caches, register files, SIMT stacks,
+    // scheduler state) would surface as a record divergence.
+    for (const fi::FaultSite *site : fi::allSites()) {
+        TwinArm fresh = freshArm();
+        if (!site->available(fresh.card))
+            continue;
+        const char *bench = benchFor(site->target());
+        fresh.app = bench;
+        fresh.spec.kernelName = kernelFor(bench);
+        fresh.spec.target = site->target();
+        fresh.spec.runs = 8;
+        TwinArm arena = fresh;
+        arena.spec.reuseGpus = true;
+        gpufi_test::expectTwinEquivalence(fresh, arena, site->name());
+    }
+}
+
+TEST(Arena, MultiWorkerIsAdmissible)
+{
+    // Each worker owns a private arena; partitioning the runs over
+    // three of them must not show in the records.
+    TwinArm fresh = freshArm();
+    TwinArm arena = arenaArm();
+    arena.threads = 3;
+    gpufi_test::expectTwinEquivalence(fresh, arena, "three-arenas");
+}
+
+TEST(Arena, NoResidueAfterCrashHangAndSlowPathFallback)
+{
+    // The worst-case arena history, all within one worker's single
+    // Gpu: runs that crash the simulated device, a run whose every
+    // attempt trips the watchdog mid-execution (ToolHang), and runs
+    // whose snapshot restore fails the integrity check and falls
+    // back to the from-scratch slow path — back to back, with
+    // ordinary fast-forwarded runs in between. Every following run
+    // must still be bit-identical to the construct-per-run arm.
+    TwinArm fresh = freshArm();
+    fresh.app = "KM";
+    fresh.spec.kernelName = "km_assign";
+    // SIMT-stack corruption reliably produces device crashes.
+    fresh.spec.target = fi::FaultTarget::SimtStack;
+    fresh.spec.runs = 14;
+    fresh.spec.nBits = 4;
+    fresh.spec.mode = fi::MultiBitMode::SameEntry;
+    fresh.spec.test.hangOnRuns = {5};
+    // Clobber part of the ladder: runs whose injection cycle lands
+    // on a corrupted snapshot retry via the slow path, while the
+    // same arena keeps serving fast-forwarded runs from the rest.
+    fresh.spec.test.corruptSnapshotIndices = {0};
+    TwinArm arena = fresh;
+    arena.spec.reuseGpus = true;
+
+    gpufi_test::TwinOutcome a = gpufi_test::runTwinArm(fresh);
+    gpufi_test::TwinOutcome b = gpufi_test::runTwinArm(arena);
+
+    EXPECT_EQ(a.result.counts, b.result.counts) << "residue";
+    EXPECT_EQ(a.stream, b.stream) << "residue";
+
+    // The scenario must actually exercise the mixture it claims to:
+    // at least one device crash absorbed by the arena, the injected
+    // hang classified ToolHang, and nothing else tool-level (the
+    // corrupt-snapshot runs healed through the slow-path retry).
+    EXPECT_GE(b.result.count(fi::Outcome::Crash), 1u);
+    EXPECT_EQ(b.result.count(fi::Outcome::ToolHang), 1u);
+    EXPECT_EQ(b.result.count(fi::Outcome::ToolError), 0u);
+}

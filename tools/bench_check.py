@@ -1,28 +1,41 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_campaign.json point against the committed
+"""Validate fresh BENCH_campaign.json records against the committed
 perf trajectory.
 
-Usage: bench_check.py FRESH.json TRAJECTORY.json [--tolerance F]
+Usage: bench_check.py FRESH.json TRAJECTORY.json
+           [--ff-tolerance F] [--wall-tolerance F]
        bench_check.py --schema-only FRESH.json
 
-The fresh point (written by bench/bench_campaign) must match the
-gpufi-bench-campaign-v1 schema, agree with the trajectory on workload
-and run count, and must not regress: its ff_ratio — the full
-from-scratch reference campaign's wall seconds divided by the
-fast-path campaign's, both measured back-to-back in one process on
-one host — must stay above (1 - tolerance) of the last committed
-trajectory point's ff_ratio (default tolerance 0.10, i.e. a >10%
-campaign-time regression relative to the in-process reference fails).
-The ratio is the gated figure because CI hosts differ in absolute
-speed; wall_sec is still recorded so same-machine history stays
-inspectable in the trajectory file.
+FRESH.json is what bench/bench_campaign writes: a JSON array of
+gpufi-bench-campaign-v1 records, one per swept workload (a single
+record object is also accepted). TRAJECTORY.json is the committed
+gpufi-bench-campaign-trajectory-v2 file: one series per
+(workload, runs) pair, each holding the ordered history of committed
+points.
+
+Fresh records and trajectory series are matched on the
+(workload, runs) key. For every matched pair the fresh record must
+not regress against the series' last committed point:
+
+  * ff_ratio — the full from-scratch reference campaign's wall
+    seconds divided by the fast path's, measured back-to-back in one
+    process on one host, so the figure is machine-neutral — must stay
+    above (1 - ff_tolerance) of the committed value (default 0.10,
+    i.e. a >10% regression fails, naming the workload).
+  * wall_sec — the fast arm's absolute seconds — must stay below
+    (1 + wall_tolerance) of the committed value (default 0.15, i.e. a
+    >15% regression fails, naming the workload). Absolute time only
+    compares within one machine class, hence the looser bound.
+
+The gate is non-vacuous: if no fresh record matches any trajectory
+series, the check fails rather than passing silently.
 """
 
 import json
 import sys
 
 POINT_SCHEMA = "gpufi-bench-campaign-v1"
-TRAJECTORY_SCHEMA = "gpufi-bench-campaign-trajectory-v1"
+TRAJECTORY_SCHEMA = "gpufi-bench-campaign-trajectory-v2"
 REQUIRED_FRESH = {
     "schema": str,
     "workload": str,
@@ -46,6 +59,15 @@ def load(path):
         fail(f"cannot read {path}: {e}")
 
 
+def as_records(doc, where):
+    if isinstance(doc, dict):
+        return [doc]
+    if isinstance(doc, list) and doc:
+        return doc
+    fail(f"{where}: expected a record object or a non-empty array "
+         f"of records")
+
+
 def validate_fresh(point, where):
     for key, types in REQUIRED_FRESH.items():
         if key not in point:
@@ -66,28 +88,43 @@ def validate_fresh(point, where):
 def validate_trajectory(traj, where):
     if traj.get("schema") != TRAJECTORY_SCHEMA:
         fail(f"{where}: schema is not '{TRAJECTORY_SCHEMA}'")
-    points = traj.get("points")
-    if not isinstance(points, list) or not points:
-        fail(f"{where}: 'points' must be a non-empty list")
-    for i, p in enumerate(points):
-        for key in ("label", "wall_sec", "ff_ratio"):
-            if key not in p:
-                fail(f"{where}: points[{i}] missing '{key}'")
-        if not isinstance(p["ff_ratio"], (int, float)) \
-                or isinstance(p["ff_ratio"], bool) \
-                or p["ff_ratio"] <= 0:
-            fail(f"{where}: points[{i}].ff_ratio must be a positive "
-                 f"number")
+    series = traj.get("series")
+    if not isinstance(series, list) or not series:
+        fail(f"{where}: 'series' must be a non-empty list")
+    for i, s in enumerate(series):
+        for key in ("workload", "runs", "points"):
+            if key not in s:
+                fail(f"{where}: series[{i}] missing '{key}'")
+        points = s["points"]
+        if not isinstance(points, list) or not points:
+            fail(f"{where}: series[{i}].points must be a non-empty "
+                 f"list")
+        for j, p in enumerate(points):
+            for key in ("label", "wall_sec", "ff_ratio"):
+                if key not in p:
+                    fail(f"{where}: series[{i}].points[{j}] missing "
+                         f"'{key}'")
+            for key in ("wall_sec", "ff_ratio"):
+                if isinstance(p[key], bool) \
+                        or not isinstance(p[key], (int, float)) \
+                        or p[key] <= 0:
+                    fail(f"{where}: series[{i}].points[{j}].{key} "
+                         f"must be a positive number")
 
 
 def main(argv):
-    tolerance = 0.10
+    ff_tolerance = 0.10
+    wall_tolerance = 0.15
     schema_only = False
     args = []
     i = 1
     while i < len(argv):
-        if argv[i] == "--tolerance" and i + 1 < len(argv):
-            tolerance = float(argv[i + 1])
+        if argv[i] in ("--tolerance", "--ff-tolerance") \
+                and i + 1 < len(argv):
+            ff_tolerance = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--wall-tolerance" and i + 1 < len(argv):
+            wall_tolerance = float(argv[i + 1])
             i += 2
         elif argv[i] == "--schema-only":
             schema_only = True
@@ -97,42 +134,63 @@ def main(argv):
             i += 1
 
     if schema_only:
-        # Smoke mode: validate one fresh point's schema without a
+        # Smoke mode: validate fresh record schemas without a
         # trajectory compare (run counts too small to gate on).
         if len(args) != 1:
             print(__doc__)
             return 2
-        fresh = load(args[0])
-        validate_fresh(fresh, args[0])
-        print(f"bench_check: OK: {args[0]} matches {POINT_SCHEMA}")
+        records = as_records(load(args[0]), args[0])
+        for idx, rec in enumerate(records):
+            validate_fresh(rec, f"{args[0]}[{idx}]")
+        print(f"bench_check: OK: {args[0]} holds {len(records)} "
+              f"{POINT_SCHEMA} record(s)")
         return 0
 
     if len(args) != 2:
         print(__doc__)
         return 2
 
-    fresh = load(args[0])
+    records = as_records(load(args[0]), args[0])
     traj = load(args[1])
-    validate_fresh(fresh, args[0])
+    for idx, rec in enumerate(records):
+        validate_fresh(rec, f"{args[0]}[{idx}]")
     validate_trajectory(traj, args[1])
 
-    for key in ("workload", "runs"):
-        if key in traj and fresh[key] != traj[key]:
-            fail(f"{key} mismatch: fresh={fresh[key]} "
-                 f"trajectory={traj[key]}")
+    by_key = {(s["workload"], s["runs"]): s for s in traj["series"]}
+    matched = 0
+    for rec in records:
+        series = by_key.get((rec["workload"], rec["runs"]))
+        if series is None:
+            continue
+        matched += 1
+        last = series["points"][-1]
+        ff_floor = last["ff_ratio"] * (1.0 - ff_tolerance)
+        if rec["ff_ratio"] < ff_floor:
+            fail(f"workload {rec['workload']} ({rec['runs']} runs): "
+                 f"ff_ratio regressed: {rec['ff_ratio']:.3f} < "
+                 f"{ff_floor:.3f} (last committed point "
+                 f"'{last['label']}' had {last['ff_ratio']:.3f}, "
+                 f"tolerance {ff_tolerance:.0%})")
+        wall_ceil = last["wall_sec"] * (1.0 + wall_tolerance)
+        if rec["wall_sec"] > wall_ceil:
+            fail(f"workload {rec['workload']} ({rec['runs']} runs): "
+                 f"wall_sec regressed: {rec['wall_sec']:.3f}s > "
+                 f"{wall_ceil:.3f}s (last committed point "
+                 f"'{last['label']}' had {last['wall_sec']:.3f}s, "
+                 f"tolerance {wall_tolerance:.0%})")
+        print(f"bench_check: {rec['workload']:<6} ff_ratio "
+              f"{rec['ff_ratio']:.3f} (floor {ff_floor:.3f}), "
+              f"wall {rec['wall_sec']:.3f}s (ceil {wall_ceil:.3f}s) "
+              f"vs '{last['label']}'")
 
-    last = traj["points"][-1]
-    floor = last["ff_ratio"] * (1.0 - tolerance)
-    if fresh["ff_ratio"] < floor:
-        fail(f"campaign time regressed: ff_ratio {fresh['ff_ratio']:.3f}"
-             f" < {floor:.3f} (last committed point "
-             f"'{last['label']}' had {last['ff_ratio']:.3f}, "
-             f"tolerance {tolerance:.0%})")
+    if matched == 0:
+        fail(f"no fresh record matches any trajectory series on "
+             f"(workload, runs) — the gate would be vacuous; "
+             f"fresh keys: "
+             f"{[(r['workload'], r['runs']) for r in records]}")
 
-    print(f"bench_check: OK: ff_ratio {fresh['ff_ratio']:.3f} vs "
-          f"'{last['label']}' {last['ff_ratio']:.3f} "
-          f"(floor {floor:.3f}); fast arm {fresh['wall_sec']:.3f}s "
-          f"for {fresh['runs']} runs")
+    print(f"bench_check: OK: {matched}/{len(records)} record(s) "
+          f"checked against the trajectory")
     return 0
 
 
