@@ -6,8 +6,12 @@
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <mutex>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/fsio.hh"
 #include "common/logging.hh"
@@ -931,6 +935,34 @@ monotonicSeconds()
     static const clock::time_point epoch = clock::now();
     return std::chrono::duration<double>(clock::now() - epoch)
         .count();
+}
+
+// ---- Liveness files ----------------------------------------------------
+
+void
+touchLivenessFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return; // liveness only: a missed touch just delays the signal
+    std::fprintf(f, "%.3f %ld\n", monotonicSeconds(),
+                 static_cast<long>(::getpid()));
+    std::fclose(f);
+}
+
+double
+livenessAgeSeconds(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1.0;
+    struct timespec now;
+    if (::clock_gettime(CLOCK_REALTIME, &now) != 0)
+        return -1.0;
+    double age =
+        static_cast<double>(now.tv_sec - st.st_mtim.tv_sec) +
+        static_cast<double>(now.tv_nsec - st.st_mtim.tv_nsec) * 1e-9;
+    return age < 0.0 ? 0.0 : age;
 }
 
 Heartbeat::Heartbeat(double intervalSec, uint64_t total,

@@ -330,6 +330,23 @@ class Heartbeat
 /** Monotonic seconds since an arbitrary process-local epoch. */
 double monotonicSeconds();
 
+// ---- Liveness files ----------------------------------------------------
+
+/**
+ * Overwrite @p path with one line of liveness evidence (monotonic
+ * seconds + pid). Best-effort and never fatal: a supervisor watches
+ * the file's mtime, so an occasional failed write only delays the
+ * signal. Used by `gpufi --heartbeat-file` shard children.
+ */
+void touchLivenessFile(const std::string &path);
+
+/**
+ * Seconds since @p path was last modified (wall clock), or a
+ * negative value when the file does not exist. The shard
+ * supervisor's stall detector compares this against its threshold.
+ */
+double livenessAgeSeconds(const std::string &path);
+
 /**
  * Scoped phase timer: adds elapsed wall-clock microseconds to the
  * counter `campaign.phase_us.<phase>` on destruction.

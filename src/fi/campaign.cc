@@ -11,6 +11,7 @@
 #include "common/thread_pool.hh"
 #include "fi/injector.hh"
 #include "fi/journal.hh"
+#include "fi/shard.hh"
 #include "fi/site.hh"
 #include "mem/addr.hh"
 
@@ -560,6 +561,10 @@ CampaignRunner::run(const CampaignSpec &spec,
 {
     if (spec.runs == 0)
         fatal("campaign with zero runs");
+    if (spec.shardCount == 0 || spec.shardIndex >= spec.shardCount)
+        fatal("invalid shard %u/%u (index must be < count, count"
+              " >= 1)", spec.shardIndex, spec.shardCount);
+    const ShardCoord shard{spec.shardIndex, spec.shardCount};
     auto checkTarget = [&](FaultTarget t) {
         const FaultSite &site = siteFor(t);
         if (!site.available(gpu_))
@@ -585,6 +590,15 @@ CampaignRunner::run(const CampaignSpec &spec,
     for (uint32_t i = 0; i < spec.runs; ++i)
         plans[i] = makePlan(spec, prof, i);
 
+    // A sharded journal is stamped with its coordinates and the plan
+    // digest before any run executes, so even a shard killed on its
+    // first run leaves enough on disk for `gpufi merge` to validate
+    // disjointness and campaign identity (DESIGN.md §14).
+    if (journal && shard.sharded())
+        journal->annotateShard(
+            fingerprint,
+            ShardAnnotation{shard, spec.runs, planVectorDigest(plans)});
+
     // Resume: a journaled record claims its run index, provided it
     // matches the deterministic plan for that index. A mismatch means
     // the journal belongs to a different setup (config, workload or
@@ -597,6 +611,13 @@ CampaignRunner::run(const CampaignSpec &spec,
         for (const RunRecord &r : *resumed) {
             if (r.runIdx >= spec.runs)
                 continue; // journal written with a larger --runs
+            if (!shard.owns(r.runIdx)) {
+                // A foreign shard's record: counting it here would
+                // double it when the shard journals merge.
+                warn("journal record for run %u ignored: not owned "
+                     "by shard %s", r.runIdx, shard.str().c_str());
+                continue;
+            }
             if (done[r.runIdx]) {
                 warn("journal has a duplicate record for run %u; "
                      "keeping the first", r.runIdx);
@@ -620,7 +641,7 @@ CampaignRunner::run(const CampaignSpec &spec,
     std::vector<uint32_t> pending;
     pending.reserve(spec.runs);
     for (uint32_t i = 0; i < spec.runs; ++i)
-        if (!done[i])
+        if (!done[i] && shard.owns(i))
             pending.push_back(i);
 
     const bool wantRecords = records && spec.keepRecords;
@@ -659,7 +680,8 @@ CampaignRunner::run(const CampaignSpec &spec,
              i < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++i)
             classNames.push_back(outcomeNames[i]);
         heartbeat = std::make_unique<obs::Heartbeat>(
-            spec.progressSec, spec.runs, std::move(classNames));
+            spec.progressSec, shard.ownedRuns(spec.runs),
+            std::move(classNames));
         for (uint32_t i = 0; i < spec.runs; ++i)
             if (fromJournal[i])
                 heartbeat->onEvent(
@@ -752,6 +774,8 @@ CampaignRunner::run(const CampaignSpec &spec,
                 local[i] = r;
             if (heartbeat)
                 heartbeat->onEvent(static_cast<size_t>(r.outcome));
+            if (spec.onRunComplete)
+                spec.onRunComplete();
         }
     };
 
@@ -778,7 +802,19 @@ CampaignRunner::run(const CampaignSpec &spec,
         for (uint32_t i = 0; i < spec.runs; ++i)
             if (fromJournal[i])
                 local[i] = *fromJournal[i];
-        *records = std::move(local);
+        if (shard.sharded()) {
+            // Only owned indices ever materialize; hand back a
+            // dense vector in run-index order instead of one with
+            // empty placeholders at the other shards' slots.
+            std::vector<RunRecord> owned;
+            owned.reserve(shard.ownedRuns(spec.runs));
+            for (uint32_t i = 0; i < spec.runs; ++i)
+                if (shard.owns(i))
+                    owned.push_back(std::move(local[i]));
+            *records = std::move(owned);
+        } else {
+            *records = std::move(local);
+        }
     }
     return result;
 }

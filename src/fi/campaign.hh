@@ -13,6 +13,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -199,6 +200,20 @@ struct CampaignSpec
      */
     std::vector<FaultTarget> alsoTargets;
 
+    // ---- Sharding (DESIGN.md §14) ----------------------------------
+
+    /**
+     * Deterministic run-index sharding: this process executes only
+     * the run indices with `index % shardCount == shardIndex`,
+     * against the same full plan vector every shard draws. The
+     * default (0/1) executes everything. MUST stay out of
+     * campaignFingerprint(): sharding relocates runs, it never
+     * changes their plans, so N shard journals merge into a result
+     * bit-identical to the unsharded campaign.
+     */
+    uint32_t shardIndex = 0;
+    uint32_t shardCount = 1;
+
     // ---- Durability / self-healing knobs ---------------------------
 
     /**
@@ -246,6 +261,15 @@ struct CampaignSpec
      * journal the campaign is resumable from that point.
      */
     const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * Called (from worker threads; must be thread-safe) after each
+     * completed run has been journaled and counted. Purely
+     * observational — the CLI uses it to touch the liveness
+     * heartbeat file a shard supervisor watches. MUST NOT read
+     * campaign state or affect plans, outcomes or the journal.
+     */
+    std::function<void()> onRunComplete;
 
     /** Failure-injection hooks for the durability tests only. */
     struct TestHooks
@@ -309,7 +333,8 @@ class CampaignRunner
      * Execute one campaign. fatal() if the spec names an unknown
      * kernel or targets the L1D on an architecture without one.
      * @param records when non-null and spec.keepRecords, receives one
-     *        RunRecord per injected run.
+     *        RunRecord per injected run (sharded specs fill only the
+     *        indices the shard owns; the rest stay default).
      * @param journal when non-null, every completed run is appended
      *        durably (fsync'd) before it is counted, so a kill at any
      *        point loses at most the in-flight runs.

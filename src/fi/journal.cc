@@ -43,6 +43,73 @@ parseHex16(const std::string &s, uint64_t &out)
     return true;
 }
 
+/** Decimal uint32 field; false on anything else. */
+bool
+parseDec32(const std::string &s, uint32_t &out)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size() || v > 0xffffffffUL)
+        return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+}
+
+/** The checksummed prefix of a `@shard` annotation line. */
+std::string
+shardAnnotationPrefix(uint64_t fingerprint, const ShardAnnotation &a)
+{
+    return "@shard c=" + hex16(fingerprint) +
+           " i=" + std::to_string(a.shard.index) +
+           " n=" + std::to_string(a.shard.count) +
+           " runs=" + std::to_string(a.runs) +
+           " plan=" + hex16(a.planDigest);
+}
+
+/**
+ * Parse a checksum-verified `@shard` prefix. Field order is fixed
+ * (we write these lines ourselves; the checksum already vouches for
+ * integrity). @return false on any deviation.
+ */
+bool
+parseShardAnnotation(const std::string &prefix, uint64_t &fingerprint,
+                     ShardAnnotation &out)
+{
+    std::istringstream in(prefix);
+    std::string tag, c, i, n, runs, plan;
+    if (!(in >> tag >> c >> i >> n >> runs >> plan) ||
+        (in >> std::ws, !in.eof()))
+        return false;
+    auto val = [](const std::string &field, const char *key,
+                  std::string &v) {
+        std::string k = std::string(key) + "=";
+        if (field.rfind(k, 0) != 0)
+            return false;
+        v = field.substr(k.size());
+        return true;
+    };
+    std::string vc, vi, vn, vruns, vplan;
+    if (tag != "@shard" || !val(c, "c", vc) || !val(i, "i", vi) ||
+        !val(n, "n", vn) || !val(runs, "runs", vruns) ||
+        !val(plan, "plan", vplan))
+        return false;
+    ShardAnnotation a;
+    if (!parseHex16(vc, fingerprint) ||
+        !parseDec32(vi, a.shard.index) ||
+        !parseDec32(vn, a.shard.count) ||
+        !parseDec32(vruns, a.runs) ||
+        !parseHex16(vplan, a.planDigest))
+        return false;
+    if (a.shard.count == 0 || a.shard.index >= a.shard.count)
+        return false;
+    out = a;
+    return true;
+}
+
 } // namespace
 
 uint64_t
@@ -118,6 +185,21 @@ RunJournal::append(uint64_t fingerprint, const RunRecord &record)
     bytes.add(line.size());
 }
 
+void
+RunJournal::annotateShard(uint64_t fingerprint,
+                          const ShardAnnotation &annotation)
+{
+    gpufi_assert(fd_ >= 0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!annotated_.insert(fingerprint).second)
+        return;
+    std::string prefix = shardAnnotationPrefix(fingerprint, annotation);
+    std::string line =
+        prefix + " ck=" + hex16(journalLineChecksum(prefix)) + "\n";
+    writeFully(fd_, line.data(), line.size());
+    syncFd(fd_, path_);
+}
+
 JournalContents
 loadJournal(const std::string &path)
 {
@@ -158,6 +240,26 @@ loadJournal(const std::string &path)
         if (!parseHex16(line.substr(ckPos + 4), ck) ||
             ck != journalLineChecksum(prefix)) {
             damaged("corrupt");
+            continue;
+        }
+
+        if (prefix.rfind("@shard", 0) == 0) {
+            uint64_t fingerprint = 0;
+            ShardAnnotation annotation;
+            if (!parseShardAnnotation(prefix, fingerprint,
+                                      annotation)) {
+                damaged("malformed");
+                continue;
+            }
+            auto [it, inserted] = contents.shardByCampaign.try_emplace(
+                fingerprint, annotation);
+            if (!inserted && it->second != annotation) {
+                warn("journal '%s': conflicting @shard annotations "
+                     "for campaign %016llx",
+                     path.c_str(),
+                     static_cast<unsigned long long>(fingerprint));
+                ++contents.annotationConflicts;
+            }
             continue;
         }
 

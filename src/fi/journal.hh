@@ -15,6 +15,17 @@
  * sweep; `ck=` is a checksum over everything before it, so a
  * truncated half-written tail is detected and skipped instead of
  * parsed as a (wrong) record. '#' lines are comments.
+ *
+ * A *sharded* campaign (`gpufi --shard i/N`, DESIGN.md §14)
+ * additionally stamps its journal, per campaign fingerprint, with a
+ * checksummed annotation line before executing any run:
+ *
+ *     @shard c=<fp-hex16> i=<u> n=<u> runs=<u> plan=<hex16> ck=<hex16>
+ *
+ * declaring the shard coordinates, the campaign's total run count and
+ * a digest of the full deterministic plan vector. `gpufi merge` uses
+ * these to prove a set of shard journals are disjoint slices of one
+ * identical campaign before aggregating them.
  */
 
 #ifndef GPUFI_FI_JOURNAL_HH
@@ -23,10 +34,12 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "fi/campaign.hh"
+#include "fi/shard.hh"
 
 namespace gpufi {
 namespace fi {
@@ -58,6 +71,16 @@ class RunJournal
     /** Durably append one completed run under @p fingerprint. */
     void append(uint64_t fingerprint, const RunRecord &record);
 
+    /**
+     * Durably append the checksummed `@shard` annotation for
+     * @p fingerprint (once per open; a resumed shard re-appends an
+     * identical line, which loadJournal de-duplicates). Written
+     * before any of the campaign's runs so even a shard killed on
+     * its first run leaves its coordinates on disk for the merge.
+     */
+    void annotateShard(uint64_t fingerprint,
+                       const ShardAnnotation &annotation);
+
     /** Records appended through this handle (not the on-disk total). */
     uint64_t appended() const { return appended_; }
 
@@ -69,6 +92,7 @@ class RunJournal
     std::string path_;
     std::mutex mutex_;
     uint64_t appended_ = 0;
+    std::set<uint64_t> annotated_;  ///< fingerprints stamped this open
 };
 
 /** What loading a journal recovered. */
@@ -76,8 +100,16 @@ struct JournalContents
 {
     /** Completed records grouped by campaign fingerprint. */
     std::map<uint64_t, std::vector<RunRecord>> byCampaign;
+    /** `@shard` annotations by campaign fingerprint. */
+    std::map<uint64_t, ShardAnnotation> shardByCampaign;
     uint32_t lines = 0;         ///< records recovered
     uint32_t malformed = 0;     ///< damaged/truncated lines skipped
+    /**
+     * Annotations that re-declared a fingerprint with *different*
+     * contents — two shards wrote into one file. Resume ignores
+     * annotations entirely; the merge rejects such a journal.
+     */
+    uint32_t annotationConflicts = 0;
 };
 
 /**

@@ -1,0 +1,280 @@
+#include "fi/shard.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "fi/journal.hh"
+#include "fi/report_log.hh"
+
+namespace gpufi {
+namespace fi {
+
+namespace {
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+parseU32(const std::string &s, uint32_t &out)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size() || v > 0xffffffffUL)
+        return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+}
+
+} // namespace
+
+uint32_t
+ShardCoord::ownedRuns(uint32_t runs) const
+{
+    if (index >= runs)
+        return 0;
+    return (runs - index - 1) / count + 1;
+}
+
+std::string
+ShardCoord::str() const
+{
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+bool
+tryParseShardCoord(const std::string &text, ShardCoord &out,
+                   std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = "bad shard '" + text + "': " + why;
+        return false;
+    };
+    size_t slash = text.find('/');
+    if (slash == std::string::npos)
+        return fail("expected i/N");
+    ShardCoord c;
+    if (!parseU32(text.substr(0, slash), c.index) ||
+        !parseU32(text.substr(slash + 1), c.count))
+        return fail("expected two decimal integers");
+    if (c.count == 0)
+        return fail("shard count must be >= 1");
+    if (c.index >= c.count)
+        return fail("shard index must be < count");
+    out = c;
+    return true;
+}
+
+ShardCoord
+parseShardCoord(const std::string &text)
+{
+    ShardCoord c;
+    std::string err;
+    if (!tryParseShardCoord(text, c, &err))
+        fatal("%s", err.c_str());
+    return c;
+}
+
+uint64_t
+planVectorDigest(const std::vector<FaultPlan> &plans)
+{
+    StateHasher h;
+    h.mixU64(plans.size());
+    for (const FaultPlan &p : plans) {
+        h.mixU64(p.cycle);
+        h.mixU64(p.seed);
+        h.mixU64(static_cast<uint64_t>(p.target));
+        h.mixU64(p.nBits);
+    }
+    return h.a ^ (h.b * 0x9e3779b97f4a7c15ULL);
+}
+
+bool
+mergeShardJournals(const std::vector<std::string> &paths,
+                   MergeReport &out, std::string *err,
+                   bool allowPartial)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (paths.empty())
+        return fail("no journals to merge");
+
+    out = MergeReport{};
+    out.journals = static_cast<uint32_t>(paths.size());
+
+    std::vector<JournalContents> inputs;
+    inputs.reserve(paths.size());
+    for (const std::string &path : paths) {
+        JournalContents c = loadJournal(path);
+        if (c.annotationConflicts > 0)
+            return fail("journal '" + path + "' carries conflicting "
+                        "@shard annotations (mixed shard writers?)");
+        if (c.byCampaign.empty() && c.shardByCampaign.empty())
+            return fail("journal '" + path + "' holds no campaign "
+                        "records or shard annotation (missing, empty "
+                        "or fully damaged)");
+        out.healedLines += c.malformed;
+        inputs.push_back(std::move(c));
+    }
+
+    // Every record must be covered by an annotation, and every input
+    // must describe the same campaign set: a journal missing a
+    // fingerprint the others carry was written by a different spec
+    // (seed, target, kernel ... drifted) and must not be aggregated.
+    std::set<uint64_t> fingerprints;
+    for (const JournalContents &c : inputs)
+        for (const auto &[fp, ann] : c.shardByCampaign) {
+            (void)ann;
+            fingerprints.insert(fp);
+        }
+    for (size_t j = 0; j < inputs.size(); ++j) {
+        for (const auto &[fp, records] : inputs[j].byCampaign) {
+            (void)records;
+            if (!inputs[j].shardByCampaign.count(fp))
+                return fail("journal '" + paths[j] + "' holds records"
+                            " for campaign c=" + hex16(fp) +
+                            " without a @shard annotation (unsharded"
+                            " journal in a merge set)");
+        }
+        for (uint64_t fp : fingerprints)
+            if (!inputs[j].shardByCampaign.count(fp))
+                return fail("mismatched campaign fingerprints: "
+                            "journal '" + paths[j] + "' lacks "
+                            "campaign c=" + hex16(fp) +
+                            " present in other inputs");
+    }
+
+    for (uint64_t fp : fingerprints) {
+        MergedCampaign merged;
+        merged.fingerprint = fp;
+
+        // Cross-validate the annotations: one campaign, one sharding
+        // scheme, disjoint coordinates.
+        const ShardAnnotation *first = nullptr;
+        const std::string *firstPath = nullptr;
+        std::map<uint32_t, const std::string *> claimedIndex;
+        for (size_t j = 0; j < inputs.size(); ++j) {
+            const ShardAnnotation &ann =
+                inputs[j].shardByCampaign.at(fp);
+            if (!first) {
+                first = &ann;
+                firstPath = &paths[j];
+            } else {
+                if (ann.shard.count != first->shard.count)
+                    return fail("campaign c=" + hex16(fp) +
+                                ": shard counts differ ('" +
+                                *firstPath + "' declares " +
+                                first->shard.str() + ", '" + paths[j] +
+                                "' declares " + ann.shard.str() + ")");
+                if (ann.runs != first->runs)
+                    return fail("campaign c=" + hex16(fp) +
+                                ": declared run counts differ (" +
+                                std::to_string(first->runs) + " vs " +
+                                std::to_string(ann.runs) + ")");
+                if (ann.planDigest != first->planDigest)
+                    return fail("campaign c=" + hex16(fp) +
+                                ": plan digests differ — '" +
+                                paths[j] + "' was written by a "
+                                "drifted seed or GPU configuration "
+                                "and is not the same campaign");
+            }
+            auto [it, inserted] =
+                claimedIndex.try_emplace(ann.shard.index, &paths[j]);
+            if (!inserted)
+                return fail("overlapping shard coordinates: '" +
+                            *it->second + "' and '" + paths[j] +
+                            "' both claim shard " + ann.shard.str() +
+                            " of campaign c=" + hex16(fp));
+        }
+        merged.expectedRuns = first->runs;
+
+        // Collect the records: each must lie inside its journal's
+        // declared shard; a within-journal duplicate (a writer retry
+        // after a crash) keeps the first copy, like --resume does.
+        std::vector<const RunRecord *> byIdx(merged.expectedRuns,
+                                             nullptr);
+        for (size_t j = 0; j < inputs.size(); ++j) {
+            auto it = inputs[j].byCampaign.find(fp);
+            if (it == inputs[j].byCampaign.end())
+                continue;
+            const ShardCoord shard =
+                inputs[j].shardByCampaign.at(fp).shard;
+            for (const RunRecord &r : it->second) {
+                if (r.runIdx >= merged.expectedRuns)
+                    return fail("journal '" + paths[j] + "': run " +
+                                std::to_string(r.runIdx) +
+                                " is beyond the declared " +
+                                std::to_string(merged.expectedRuns) +
+                                " runs of campaign c=" + hex16(fp));
+                if (!shard.owns(r.runIdx))
+                    return fail("journal '" + paths[j] + "': run " +
+                                std::to_string(r.runIdx) +
+                                " lies outside its declared shard " +
+                                shard.str() + " (overlapping or "
+                                "mislabeled journal)");
+                if (byIdx[r.runIdx]) {
+                    ++out.duplicates;
+                    continue;
+                }
+                byIdx[r.runIdx] = &r;
+            }
+        }
+
+        for (uint32_t i = 0; i < merged.expectedRuns; ++i) {
+            if (!byIdx[i]) {
+                merged.missing.push_back(i);
+                continue;
+            }
+            merged.records.push_back(*byIdx[i]);
+            merged.result.add(byIdx[i]->outcome);
+        }
+        if (!merged.missing.empty() && !allowPartial) {
+            std::string firstFew;
+            for (size_t k = 0; k < merged.missing.size() && k < 5; ++k)
+                firstFew += (k ? ", " : "") +
+                            std::to_string(merged.missing[k]);
+            return fail("campaign c=" + hex16(fp) + ": " +
+                        std::to_string(merged.missing.size()) +
+                        " of " + std::to_string(merged.expectedRuns) +
+                        " runs missing (first: " + firstFew +
+                        ") — shard journals incomplete; finish the "
+                        "shards with --resume or merge with "
+                        "--allow-partial");
+        }
+        out.campaigns.push_back(std::move(merged));
+    }
+    return true;
+}
+
+std::string
+formatMergedRunLog(const MergeReport &report)
+{
+    // Byte-compatible with the gpufi --log header + body, so a diff
+    // against the single-process log is the equivalence check.
+    std::string text = "# gpuFI-4 run log\n";
+    for (const MergedCampaign &c : report.campaigns)
+        for (const RunRecord &r : c.records)
+            text += formatRunRecord(r) + "\n";
+    return text;
+}
+
+} // namespace fi
+} // namespace gpufi

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic run-index sharding and the crash-safe journal merge —
+ * the first layer of the distributed campaign fabric (ROADMAP open
+ * item 1, DESIGN.md §14).
+ *
+ * A campaign's per-run plans are pure functions of (seed, run index),
+ * so runs are location-independent: shard i of N simply executes the
+ * run indices with `index % N == i` against the *same* plan vector,
+ * journaling into its own per-shard journal. Each shard journal is
+ * stamped (per campaign fingerprint) with a checksummed annotation —
+ * shard coordinates, the declared run count and a digest of the full
+ * plan vector — so an offline merge can prove the inputs describe
+ * disjoint slices of one identical campaign before aggregating them
+ * into a CampaignResult bit-identical to a single-process run.
+ */
+
+#ifndef GPUFI_FI_SHARD_HH
+#define GPUFI_FI_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hh"
+
+namespace gpufi {
+namespace fi {
+
+/**
+ * One shard's coordinates in a campaign split N ways. The default
+ * (0/1) is the unsharded whole-campaign identity.
+ */
+struct ShardCoord
+{
+    uint32_t index = 0;     ///< this shard, in [0, count)
+    uint32_t count = 1;     ///< total shards (>= 1)
+
+    bool sharded() const { return count > 1; }
+
+    /** Deterministic ownership: shard i of N owns idx % N == i. */
+    bool
+    owns(uint32_t runIdx) const
+    {
+        return runIdx % count == index;
+    }
+
+    /** Run indices in [0, runs) this shard owns. */
+    uint32_t ownedRuns(uint32_t runs) const;
+
+    /** "i/N", the --shard argument syntax. */
+    std::string str() const;
+
+    bool
+    operator==(const ShardCoord &o) const
+    {
+        return index == o.index && count == o.count;
+    }
+    bool operator!=(const ShardCoord &o) const { return !(*this == o); }
+};
+
+/**
+ * Parse "i/N" into @p out; requires N >= 1 and i < N.
+ * @return false (with a description in @p err) on malformed input.
+ */
+bool tryParseShardCoord(const std::string &text, ShardCoord &out,
+                        std::string *err = nullptr);
+
+/** tryParseShardCoord or fatal() (the CLI entry point). */
+ShardCoord parseShardCoord(const std::string &text);
+
+/**
+ * The checksummed `@shard` journal annotation one shard writes per
+ * campaign fingerprint before executing any run. The merge validates
+ * that all inputs declare the same run count and plan digest (same
+ * campaign, no seed/config drift) and pairwise-disjoint coordinates.
+ */
+struct ShardAnnotation
+{
+    ShardCoord shard;
+    uint32_t runs = 0;          ///< the campaign's declared --runs
+    uint64_t planDigest = 0;    ///< planVectorDigest of all runs
+
+    bool
+    operator==(const ShardAnnotation &o) const
+    {
+        return shard == o.shard && runs == o.runs &&
+               planDigest == o.planDigest;
+    }
+    bool
+    operator!=(const ShardAnnotation &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Order-sensitive digest over a campaign's full plan vector (every
+ * run index, not just this shard's). Two processes that agree on the
+ * digest drew identical plans — a seed or GPU-config drift that kept
+ * the campaign fingerprint would still change the injection cycles,
+ * and therefore the digest, so the merge can reject it offline.
+ */
+uint64_t planVectorDigest(const std::vector<FaultPlan> &plans);
+
+/** One campaign's merged aggregate across shard journals. */
+struct MergedCampaign
+{
+    uint64_t fingerprint = 0;
+    uint32_t expectedRuns = 0;  ///< declared by the annotations
+    CampaignResult result;      ///< aggregate over recovered records
+    std::vector<RunRecord> records; ///< sorted by run index
+    std::vector<uint32_t> missing;  ///< run indices with no record
+
+    bool complete() const { return missing.empty(); }
+};
+
+/** What a journal merge recovered, campaign by campaign. */
+struct MergeReport
+{
+    /** Merged campaigns, ordered by fingerprint. */
+    std::vector<MergedCampaign> campaigns;
+    uint32_t journals = 0;      ///< input files merged
+    uint32_t healedLines = 0;   ///< torn/corrupt lines skipped
+    uint32_t duplicates = 0;    ///< within-journal retry dups dropped
+};
+
+/**
+ * Merge per-shard journals into per-campaign aggregates. Every input
+ * must carry a `@shard` annotation for every campaign fingerprint it
+ * holds records for, all inputs must declare the same fingerprint
+ * set, and per fingerprint the annotations must agree on shard count,
+ * run count and plan digest while claiming pairwise-distinct shard
+ * indices; every record must lie inside its journal's declared shard.
+ * Torn tails and corrupt lines are healed (skipped and counted) per
+ * input, exactly as --resume does. A record set that does not cover
+ * every run index is rejected unless @p allowPartial, in which case
+ * the gaps are reported in MergedCampaign::missing and the aggregate
+ * is labeled partial by the caller.
+ *
+ * @return true and fill @p out on success; false with a one-line
+ *         reason in @p err on any validation failure.
+ */
+bool mergeShardJournals(const std::vector<std::string> &paths,
+                        MergeReport &out, std::string *err,
+                        bool allowPartial = false);
+
+/**
+ * The merged run log, byte-compatible with the `gpufi --log` output
+ * of a single-process run of the same campaign (header plus one
+ * formatRunRecord line per run, in run-index order; campaigns in
+ * fingerprint order).
+ */
+std::string formatMergedRunLog(const MergeReport &report);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_SHARD_HH

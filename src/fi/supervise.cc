@@ -1,0 +1,381 @@
+#include "fi/supervise.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/fsio.hh"
+#include "common/logging.hh"
+#include "common/obs.hh"
+#include "fi/journal.hh"
+#include "fi/shard.hh"
+
+namespace gpufi {
+namespace fi {
+
+namespace {
+
+/** Supervisor-side view of one shard child. */
+struct ShardState
+{
+    pid_t pid = -1;             ///< running child, or -1
+    uint32_t crashes = 0;       ///< consecutive crashes so far
+    uint32_t spawns = 0;        ///< total processes started
+    bool done = false;          ///< exited Completed or Degenerate
+    bool quarantined = false;   ///< gave up after too many crashes
+    double nextSpawnAt = 0.0;   ///< monotonic backoff gate
+};
+
+void
+sleepSeconds(double sec)
+{
+    if (sec <= 0)
+        return;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(sec);
+    ts.tv_nsec = static_cast<long>((sec - std::floor(sec)) * 1e9);
+    ::nanosleep(&ts, nullptr);
+}
+
+/** Records currently recoverable from a shard's journal (test hook). */
+uint64_t
+journalRecordCount(const std::string &path)
+{
+    JournalContents contents = loadJournal(path);
+    uint64_t n = 0;
+    for (const auto &entry : contents.byCampaign)
+        n += entry.second.size();
+    return n;
+}
+
+void
+spawnShard(const SuperviseOptions &opts, uint32_t i, ShardState &state)
+{
+    ShardCoord coord{i, opts.shards};
+    std::vector<std::string> argStrings;
+    argStrings.push_back(opts.selfExe);
+    for (const std::string &a : opts.campaignArgs)
+        argStrings.push_back(a);
+    argStrings.push_back("--shard");
+    argStrings.push_back(coord.str());
+    argStrings.push_back("--journal");
+    argStrings.push_back(shardJournalPath(opts.dir, i));
+    argStrings.push_back("--resume");
+    argStrings.push_back("--heartbeat-file");
+    argStrings.push_back(shardHeartbeatPath(opts.dir, i));
+
+    std::vector<char *> argv;
+    for (std::string &a : argStrings)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("supervise: fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        // Child: capture output per shard, then become gpufi.
+        std::string outPath = shardOutputPath(opts.dir, i);
+        int fd = ::open(outPath.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                        0644);
+        if (fd >= 0) {
+            ::dup2(fd, STDOUT_FILENO);
+            ::dup2(fd, STDERR_FILENO);
+            if (fd > STDERR_FILENO)
+                ::close(fd);
+        }
+        ::execv(opts.selfExe.c_str(), argv.data());
+        std::fprintf(stderr, "supervise: execv %s failed: %s\n",
+                     opts.selfExe.c_str(), std::strerror(errno));
+        ::_exit(127);
+    }
+
+    state.pid = pid;
+    ++state.spawns;
+    obs::counter("supervise.spawns").add();
+    if (state.spawns > 1)
+        obs::counter("supervise.restarts").add();
+    inform("supervise: shard %s pid %ld%s", coord.str().c_str(),
+           static_cast<long>(pid),
+           state.spawns > 1 ? " (restarted)" : "");
+}
+
+std::string
+describeWaitStatus(int status)
+{
+    char buf[64];
+    if (WIFEXITED(status))
+        std::snprintf(buf, sizeof(buf), "exit %d", WEXITSTATUS(status));
+    else if (WIFSIGNALED(status))
+        std::snprintf(buf, sizeof(buf), "signal %d", WTERMSIG(status));
+    else
+        std::snprintf(buf, sizeof(buf), "status 0x%x", status);
+    return buf;
+}
+
+/** SIGTERM every running child and wait for all of them to exit. */
+void
+drainChildren(std::vector<ShardState> &shards)
+{
+    for (ShardState &s : shards) {
+        if (s.pid > 0)
+            ::kill(s.pid, SIGTERM);
+    }
+    for (ShardState &s : shards) {
+        if (s.pid <= 0)
+            continue;
+        int status = 0;
+        while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        s.pid = -1;
+    }
+}
+
+} // namespace
+
+double
+backoffDelaySec(const SuperviseOptions &opts, uint32_t consecutiveCrashes)
+{
+    if (consecutiveCrashes <= 1)
+        return std::min(opts.backoffBaseSec, opts.backoffCapSec);
+    // Clamp the exponent so absurd crash counts can't overflow the
+    // double before the cap is applied.
+    int exponent = consecutiveCrashes - 1 > 40
+        ? 40 : static_cast<int>(consecutiveCrashes - 1);
+    double delay = opts.backoffBaseSec * std::ldexp(1.0, exponent);
+    return std::min(delay, opts.backoffCapSec);
+}
+
+ChildExit
+classifyChildExit(int waitStatus)
+{
+    if (WIFEXITED(waitStatus)) {
+        int code = WEXITSTATUS(waitStatus);
+        if (code == kExitOk)
+            return ChildExit::Completed;
+        if (code == kExitDegenerate)
+            return ChildExit::Degenerate;
+        if (code == kExitInterrupted)
+            return ChildExit::Interrupted;
+    }
+    return ChildExit::Crashed;
+}
+
+std::string
+shardJournalPath(const std::string &dir, uint32_t i)
+{
+    return dir + "/shard" + std::to_string(i) + ".jnl";
+}
+
+std::string
+shardHeartbeatPath(const std::string &dir, uint32_t i)
+{
+    return dir + "/shard" + std::to_string(i) + ".hb";
+}
+
+std::string
+shardOutputPath(const std::string &dir, uint32_t i)
+{
+    return dir + "/shard" + std::to_string(i) + ".out";
+}
+
+void
+registerSuperviseMetrics()
+{
+    obs::counter("supervise.spawns");
+    obs::counter("supervise.restarts");
+    obs::counter("supervise.quarantined");
+    obs::counter("supervise.stall_kills");
+    obs::counter("supervise.backoff_us");
+    obs::gauge("supervise.shards");
+}
+
+int
+runSupervisor(const SuperviseOptions &opts)
+{
+    if (opts.shards < 1)
+        fatal("supervise: --shards must be >= 1");
+    if (opts.dir.empty())
+        fatal("supervise: --dir is required");
+    if (::mkdir(opts.dir.c_str(), 0755) != 0 && errno != EEXIST)
+        fatal("supervise: cannot create %s: %s", opts.dir.c_str(),
+              std::strerror(errno));
+
+    registerSuperviseMetrics();
+    obs::gauge("supervise.shards").set(opts.shards);
+
+    std::vector<ShardState> shards(opts.shards);
+    bool testKillPending =
+        opts.testKillShard >= 0 &&
+        static_cast<uint32_t>(opts.testKillShard) < opts.shards;
+    bool interrupted = false;
+
+    auto allSettled = [&shards]() {
+        for (const ShardState &s : shards) {
+            if (!s.done && !s.quarantined)
+                return false;
+        }
+        return true;
+    };
+
+    while (!allSettled()) {
+        if (opts.interrupted &&
+            opts.interrupted->load(std::memory_order_relaxed)) {
+            interrupted = true;
+            break;
+        }
+
+        double now = obs::monotonicSeconds();
+        for (uint32_t i = 0; i < opts.shards; ++i) {
+            ShardState &s = shards[i];
+            if (s.pid > 0 || s.done || s.quarantined ||
+                now < s.nextSpawnAt) {
+                continue;
+            }
+            spawnShard(opts, i, s);
+        }
+
+        // Test hook: kill the chosen shard once it has made durable
+        // progress, proving restart + --resume recovers it exactly.
+        if (testKillPending) {
+            ShardState &victim = shards[opts.testKillShard];
+            if (victim.pid > 0 &&
+                journalRecordCount(shardJournalPath(
+                    opts.dir, opts.testKillShard)) > 0) {
+                ::kill(victim.pid, SIGKILL);
+                testKillPending = false;
+            }
+        }
+
+        // Stall detector: a live pid whose heartbeat went silent is
+        // stuck inside a run; SIGKILL it and let the reap path below
+        // treat it as a crash (restart with backoff, then --resume).
+        if (opts.stallSec > 0) {
+            for (uint32_t i = 0; i < opts.shards; ++i) {
+                ShardState &s = shards[i];
+                if (s.pid <= 0)
+                    continue;
+                double age = obs::livenessAgeSeconds(
+                    shardHeartbeatPath(opts.dir, i));
+                if (age > opts.stallSec) {
+                    warn("supervise: shard %u heartbeat stale "
+                         "(%.1fs), killing pid %ld",
+                         i, age, static_cast<long>(s.pid));
+                    ::kill(s.pid, SIGKILL);
+                    obs::counter("supervise.stall_kills").add();
+                }
+            }
+        }
+
+        // Reap everything that exited since the last poll.
+        for (;;) {
+            int status = 0;
+            pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                break;
+            ShardState *s = nullptr;
+            uint32_t idx = 0;
+            for (uint32_t i = 0; i < opts.shards; ++i) {
+                if (shards[i].pid == pid) {
+                    s = &shards[i];
+                    idx = i;
+                    break;
+                }
+            }
+            if (!s)
+                continue;
+            s->pid = -1;
+            switch (classifyChildExit(status)) {
+              case ChildExit::Completed:
+              case ChildExit::Degenerate:
+                s->done = true;
+                s->crashes = 0;
+                break;
+              case ChildExit::Interrupted:
+              case ChildExit::Crashed:
+                ++s->crashes;
+                if (s->crashes >= opts.quarantineCrashes) {
+                    warn("supervise: shard %u quarantined after %u "
+                         "consecutive crashes (last: %s); see %s",
+                         idx, s->crashes,
+                         describeWaitStatus(status).c_str(),
+                         shardOutputPath(opts.dir, idx).c_str());
+                    s->quarantined = true;
+                    obs::counter("supervise.quarantined").add();
+                } else {
+                    double delay = backoffDelaySec(opts, s->crashes);
+                    warn("supervise: shard %u died (%s), restart in "
+                         "%.2fs (crash %u/%u)",
+                         idx, describeWaitStatus(status).c_str(),
+                         delay, s->crashes, opts.quarantineCrashes);
+                    s->nextSpawnAt = obs::monotonicSeconds() + delay;
+                    obs::counter("supervise.backoff_us")
+                        .add(static_cast<uint64_t>(delay * 1e6));
+                }
+                break;
+            }
+        }
+
+        if (!allSettled())
+            sleepSeconds(opts.pollSec);
+    }
+
+    if (interrupted) {
+        inform("supervise: interrupted, draining shards "
+               "(journals in %s are resumable)", opts.dir.c_str());
+        drainChildren(shards);
+        return kExitInterrupted;
+    }
+
+    bool anyQuarantined = false;
+    for (const ShardState &s : shards)
+        anyQuarantined = anyQuarantined || s.quarantined;
+
+    std::vector<std::string> journalPaths;
+    for (uint32_t i = 0; i < opts.shards; ++i)
+        journalPaths.push_back(shardJournalPath(opts.dir, i));
+
+    MergeReport report;
+    std::string err;
+    if (!mergeShardJournals(journalPaths, report, &err, anyQuarantined)) {
+        warn("supervise: merge failed: %s", err.c_str());
+        return 1;
+    }
+
+    if (!opts.mergedLogPath.empty())
+        writeFileAtomic(opts.mergedLogPath, formatMergedRunLog(report));
+
+    uint32_t totalRuns = 0;
+    uint32_t totalValid = 0;
+    for (const MergedCampaign &mc : report.campaigns) {
+        totalRuns += mc.result.runs();
+        totalValid += mc.result.validRuns();
+        inform("supervise: campaign %016llx: %u/%u runs, %u valid, "
+               "FR %.4f%s",
+               static_cast<unsigned long long>(mc.fingerprint),
+               mc.result.runs(), mc.expectedRuns,
+               mc.result.validRuns(), mc.result.failureRatio(),
+               mc.complete() ? "" : " [PARTIAL]");
+    }
+
+    if (anyQuarantined) {
+        warn("supervise: aggregate is PARTIAL: quarantined shard(s) "
+             "left runs unexecuted");
+        return kExitPartial;
+    }
+    if (totalRuns > 0 && totalValid == 0)
+        return kExitDegenerate;
+    return kExitOk;
+}
+
+} // namespace fi
+} // namespace gpufi

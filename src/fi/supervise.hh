@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The self-healing shard supervisor (`gpufi supervise`, DESIGN.md
+ * §14): a parent process that splits one campaign across N `gpufi
+ * --shard i/N` children, watches them via exit codes and heartbeat
+ * files, restarts dead shards with exponential backoff (their
+ * `--resume` journals guarantee no completed run is redone),
+ * quarantines a shard after K consecutive crashes instead of hanging
+ * forever, drains everything gracefully on SIGINT/SIGTERM, and
+ * finally merges the shard journals into one aggregate bit-identical
+ * to a single-process run — or a partial-but-labeled aggregate when
+ * a shard had to be abandoned.
+ */
+
+#ifndef GPUFI_FI_SUPERVISE_HH
+#define GPUFI_FI_SUPERVISE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpufi {
+namespace fi {
+
+// Process exit codes shared by the gpufi CLI, its shard children and
+// the supervisor. Distinct codes let scripts and supervisors tell a
+// healthy campaign from a degenerate or partial one without parsing
+// any output.
+constexpr int kExitOk = 0;
+/** The campaign finished but every run was ToolError/ToolHang
+ * (validRuns == 0): the statistics say nothing about the device. */
+constexpr int kExitDegenerate = 4;
+/** A supervised aggregate is partial: a quarantined shard's runs are
+ * missing and the printed ratios are labeled accordingly. */
+constexpr int kExitPartial = 6;
+/** Graceful drain after SIGINT/SIGTERM (resumable via the journal). */
+constexpr int kExitInterrupted = 130;
+
+/** Everything `gpufi supervise` needs to run one sharded campaign. */
+struct SuperviseOptions
+{
+    uint32_t shards = 3;            ///< child processes to spawn
+    /** Consecutive crashes before a shard is quarantined. */
+    uint32_t quarantineCrashes = 3;
+    double backoffBaseSec = 0.5;    ///< first restart delay
+    double backoffCapSec = 8.0;     ///< restart delay ceiling
+    /**
+     * Heartbeat staleness limit: a running shard whose heartbeat
+     * file is older than this is presumed stuck and SIGKILLed (the
+     * reap path then restarts it like any crash). 0 disables.
+     */
+    double stallSec = 0.0;
+    double pollSec = 0.02;          ///< supervision loop period
+    std::string dir;                ///< journals/heartbeats/child logs
+    std::string mergedLogPath;      ///< --out merged run log (opt.)
+    std::string selfExe;            ///< the gpufi binary to re-exec
+    /** Campaign arguments passed through to every child verbatim. */
+    std::vector<std::string> campaignArgs;
+    /** Graceful-drain flag (set by the CLI signal handler). */
+    const std::atomic<bool> *interrupted = nullptr;
+    /**
+     * Test hook: SIGKILL this shard once, as soon as its journal
+     * holds at least one record — a deterministic "shard dies
+     * mid-campaign" for the crash-recovery equivalence tests.
+     */
+    int testKillShard = -1;
+};
+
+/**
+ * Restart delay after @p consecutiveCrashes (>= 1) crashes:
+ * base * 2^(crashes-1), capped (overflow-safe for silly counts).
+ */
+double backoffDelaySec(const SuperviseOptions &opts,
+                       uint32_t consecutiveCrashes);
+
+/** How a shard child's waitpid() status is classified. */
+enum class ChildExit : uint8_t
+{
+    Completed,      ///< exit 0: every owned run journaled
+    Degenerate,     ///< kExitDegenerate: done, but all tool outcomes
+    Interrupted,    ///< kExitInterrupted: drained (expected mid-drain)
+    Crashed         ///< any other exit, or killed by a signal
+};
+
+ChildExit classifyChildExit(int waitStatus);
+
+/** `<dir>/shard<i>.jnl` — one write-ahead journal per shard. */
+std::string shardJournalPath(const std::string &dir, uint32_t i);
+/** `<dir>/shard<i>.hb` — the shard's liveness heartbeat file. */
+std::string shardHeartbeatPath(const std::string &dir, uint32_t i);
+/** `<dir>/shard<i>.out` — the shard's captured stdout/stderr. */
+std::string shardOutputPath(const std::string &dir, uint32_t i);
+
+/**
+ * Register the supervisor metrics (spawns, restarts, backoff time,
+ * stall kills, quarantined shards) at value 0 so a metrics report
+ * written by `gpufi supervise --metrics-out` always carries them.
+ */
+void registerSuperviseMetrics();
+
+/**
+ * Run the supervision loop to completion and merge the shard
+ * journals. @return the process exit code: kExitOk, kExitPartial
+ * (quarantined shard, labeled partial aggregate), kExitDegenerate
+ * (merged but validRuns == 0), kExitInterrupted (drained), or 1 on
+ * a merge validation failure.
+ */
+int runSupervisor(const SuperviseOptions &opts);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_SUPERVISE_HH

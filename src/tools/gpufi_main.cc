@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "common/config.hh"
@@ -32,7 +33,9 @@
 #include "fi/campaign.hh"
 #include "fi/journal.hh"
 #include "fi/report_log.hh"
+#include "fi/shard.hh"
 #include "fi/site.hh"
+#include "fi/supervise.hh"
 #include "isa/assembler.hh"
 #include "isa/disassembler.hh"
 #include "sim/gpu_config.hh"
@@ -71,6 +74,8 @@ struct CliOptions
     std::string configPath;
     std::string journalPath;
     std::string metricsOut;     ///< JSON metrics report destination
+    std::string shard;          ///< "i/N" run-index shard (DESIGN §14)
+    std::string heartbeatFile;  ///< liveness file for a supervisor
     double progressSec = 0.0;   ///< stderr heartbeat interval
     bool resume = false;
     double watchdogSec = 0.0;
@@ -170,7 +175,25 @@ usage()
         "                         histograms) on exit\n"
         "  --progress-sec N       stderr heartbeat at most every N\n"
         "                         seconds: runs/s, outcome tallies,\n"
-        "                         ETA (0: off)\n");
+        "                         ETA (0: off)\n"
+        "  --shard i/N            execute only the run indices with\n"
+        "                         index %% N == i of the same plan\n"
+        "                         vector (requires --journal; merge\n"
+        "                         the shard journals with 'gpufi\n"
+        "                         merge')\n"
+        "  --heartbeat-file FILE  touch FILE as runs complete so a\n"
+        "                         supervisor can detect a stalled\n"
+        "                         shard\n"
+        "subcommands:\n"
+        "  gpufi merge [--out FILE] [--allow-partial] JNL...\n"
+        "                         validate + aggregate shard journals\n"
+        "  gpufi supervise --dir DIR [--shards N] [--out FILE]\n"
+        "                         [campaign options]\n"
+        "                         run a campaign as N supervised,\n"
+        "                         crash-restarted shard processes and\n"
+        "                         merge the result\n"
+        "exit codes: 0 ok | 1 error | 4 no valid runs | 6 partial\n"
+        "            aggregate | 130 interrupted (resumable)\n");
 }
 
 CliOptions
@@ -240,6 +263,12 @@ parseArgs(int argc, char **argv)
             ++i;
         } else if (a == "--metrics-out") {
             opts.metricsOut = need(i);
+            ++i;
+        } else if (a == "--shard") {
+            opts.shard = need(i);
+            ++i;
+        } else if (a == "--heartbeat-file") {
+            opts.heartbeatFile = need(i);
             ++i;
         } else if (a == "--progress-sec") {
             opts.progressSec = std::strtod(need(i), nullptr);
@@ -430,6 +459,18 @@ runCli(const CliOptions &opts)
     if (!opts.logPath.empty())
         logText = "# gpuFI-4 run log\n";
 
+    fi::ShardCoord shard;
+    if (!opts.shard.empty()) {
+        shard = fi::parseShardCoord(opts.shard);
+        if (shard.sharded() && opts.journalPath.empty())
+            fatal("--shard requires --journal (the merge aggregates "
+                  "the per-shard journals)");
+        if (shard.sharded())
+            std::printf("shard %s: %u of %u run indices owned\n",
+                        shard.str().c_str(),
+                        shard.ownedRuns(opts.runs), opts.runs);
+    }
+
     fi::RunJournal journal;
     fi::JournalContents prior;
     if (!opts.journalPath.empty()) {
@@ -443,6 +484,12 @@ runCli(const CliOptions &opts)
     } else if (opts.resume) {
         fatal("--resume requires --journal");
     }
+
+    // First liveness proof before the campaigns start (the golden
+    // profile above can already take a while on big workloads).
+    std::atomic<uint64_t> nextHeartbeatMicros{0};
+    if (!opts.heartbeatFile.empty())
+        obs::touchLivenessFile(opts.heartbeatFile);
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -459,6 +506,7 @@ runCli(const CliOptions &opts)
     }
 
     std::vector<fi::KernelCampaignSet> sets;
+    fi::CampaignResult overall;
     bool drained = false;
     for (const auto &kernelName : kernels) {
         fi::KernelCampaignSet set;
@@ -488,11 +536,42 @@ runCli(const CliOptions &opts)
             spec.deltaSnapshots = !opts.noFastpath;
             spec.reuseGpus = !opts.noReuse;
             spec.cancel = &g_interrupted;
+            spec.shardIndex = shard.index;
+            spec.shardCount = shard.count;
+            if (!opts.heartbeatFile.empty()) {
+                // Rate-limited (~100 ms) touch from whichever worker
+                // finishes a run; the atomic gate keeps the file I/O
+                // off most completions.
+                spec.onRunComplete = [&opts, &nextHeartbeatMicros]() {
+                    uint64_t now = static_cast<uint64_t>(
+                        obs::monotonicSeconds() * 1e6);
+                    uint64_t gate = nextHeartbeatMicros.load(
+                        std::memory_order_relaxed);
+                    if (now < gate ||
+                        !nextHeartbeatMicros.compare_exchange_strong(
+                            gate, now + 100000)) {
+                        return;
+                    }
+                    obs::touchLivenessFile(opts.heartbeatFile);
+                };
+            }
 
             const std::vector<fi::RunRecord> *resumed = nullptr;
             if (opts.resume) {
-                auto it = prior.byCampaign.find(
-                    fi::campaignFingerprint(spec));
+                uint64_t fp = fi::campaignFingerprint(spec);
+                auto an = prior.shardByCampaign.find(fp);
+                if (an != prior.shardByCampaign.end() &&
+                    (an->second.shard != shard ||
+                     an->second.runs != spec.runs)) {
+                    fatal("journal %s was written by shard %s of a "
+                          "%u-run campaign; this invocation is shard "
+                          "%s with %u runs",
+                          opts.journalPath.c_str(),
+                          an->second.shard.str().c_str(),
+                          an->second.runs, shard.str().c_str(),
+                          spec.runs);
+                }
+                auto it = prior.byCampaign.find(fp);
                 if (it != prior.byCampaign.end()) {
                     resumed = &it->second;
                     uint32_t have = 0;
@@ -512,9 +591,10 @@ runCli(const CliOptions &opts)
                 runner.run(spec, &records,
                            journal.isOpen() ? &journal : nullptr,
                            resumed);
+            overall.merge(r);
             drained =
                 g_interrupted.load(std::memory_order_relaxed) &&
-                r.runs() < spec.runs;
+                r.runs() < shard.ownedRuns(spec.runs);
             printResult(kernelName, fi::targetName(target), r,
                         drained);
             if (drained)
@@ -535,7 +615,7 @@ runCli(const CliOptions &opts)
                         "continue", journal.path().c_str());
         std::printf("\n");
         writeMetrics(opts);
-        return 130;
+        return fi::kExitInterrupted;
     }
 
     if (!opts.logPath.empty())
@@ -552,7 +632,195 @@ runCli(const CliOptions &opts)
                         report.structAvf.at(target) * 100.0, fit);
     }
     writeMetrics(opts);
+    if (overall.runs() > 0 && overall.validRuns() == 0) {
+        // Every run died on the tool itself: the campaign says
+        // nothing about the device. A distinct exit code lets
+        // scripts and the shard supervisor tell this degenerate
+        // "success" from a real one.
+        std::fprintf(stderr,
+                     "gpufi: all %u runs were tool failures; no "
+                     "device verdicts were produced\n",
+                     overall.runs());
+        return fi::kExitDegenerate;
+    }
     return 0;
+}
+
+/**
+ * `gpufi merge`: validate a set of shard journals (same campaign,
+ * disjoint shards, no seed/config drift) and aggregate them into the
+ * single-process result — see mergeShardJournals for the rules.
+ */
+int
+runMergeCli(int argc, char **argv)
+{
+    std::string outPath;
+    bool allowPartial = false;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--out") {
+            if (i + 1 >= argc)
+                fatal("option '--out' requires a value");
+            outPath = argv[++i];
+        } else if (a == "--allow-partial") {
+            allowPartial = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("usage: gpufi merge [--out FILE] "
+                        "[--allow-partial] JOURNAL...\n");
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            fatal("unknown merge option '%s'", a.c_str());
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.empty())
+        fatal("merge: no journal files given");
+
+    fi::MergeReport report;
+    std::string err;
+    if (!fi::mergeShardJournals(paths, report, &err, allowPartial))
+        fatal("merge: %s", err.c_str());
+
+    bool partial = false;
+    for (const fi::MergedCampaign &mc : report.campaigns) {
+        std::printf("campaign %016llx: %u/%u runs, %u valid, "
+                    "FR=%.4f%s\n",
+                    static_cast<unsigned long long>(mc.fingerprint),
+                    mc.result.runs(), mc.expectedRuns,
+                    mc.result.validRuns(), mc.result.failureRatio(),
+                    mc.complete() ? "" : " [PARTIAL]");
+        partial = partial || !mc.complete();
+    }
+    std::printf("merged %u journal(s): %u healed line(s), %u "
+                "duplicate(s) dropped\n",
+                report.journals, report.healedLines,
+                report.duplicates);
+    if (!outPath.empty())
+        writeFileAtomic(outPath, fi::formatMergedRunLog(report));
+    return partial ? fi::kExitPartial : 0;
+}
+
+/** True when @p a equals any entry of the null-terminated list. */
+bool
+oneOf(const std::string &a, const char *const *names)
+{
+    for (; *names; ++names)
+        if (a == *names)
+            return true;
+    return false;
+}
+
+/**
+ * `gpufi supervise`: parse the supervisor's own options, vet the
+ * remaining arguments as shard-safe campaign passthrough, and hand
+ * off to runSupervisor.
+ */
+int
+runSuperviseCli(int argc, char **argv)
+{
+    // Campaign options a child may receive. Everything the
+    // supervisor itself manages per shard (journal, resume, shard
+    // coordinates, heartbeat, logs, metrics) is rejected instead of
+    // silently clobbered.
+    static const char *const kValuePassthrough[] = {
+        "--card", "--benchmark", "--kernel", "--target", "--also",
+        "--scope", "--bits", "--runs", "--seed", "--threads",
+        "--config", "--watchdog-sec", nullptr,
+    };
+    static const char *const kFlagPassthrough[] = {
+        "--spread", "--no-retry", "--no-fastpath", "--no-reuse",
+        "--full", nullptr,
+    };
+    static const char *const kManaged[] = {
+        "--journal", "--resume", "--shard", "--heartbeat-file",
+        "--log", "--progress-sec", nullptr,
+    };
+
+    fi::SuperviseOptions sopts;
+    std::string metricsOut;
+    auto need = [&](int i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("option '%s' requires a value", argv[i]);
+        return argv[i + 1];
+    };
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--dir") {
+            sopts.dir = need(i);
+            ++i;
+        } else if (a == "--shards") {
+            sopts.shards = static_cast<uint32_t>(
+                std::strtoul(need(i), nullptr, 10));
+            ++i;
+        } else if (a == "--out") {
+            sopts.mergedLogPath = need(i);
+            ++i;
+        } else if (a == "--max-crashes") {
+            sopts.quarantineCrashes = static_cast<uint32_t>(
+                std::strtoul(need(i), nullptr, 10));
+            ++i;
+        } else if (a == "--backoff-sec") {
+            sopts.backoffBaseSec = std::strtod(need(i), nullptr);
+            ++i;
+        } else if (a == "--backoff-cap-sec") {
+            sopts.backoffCapSec = std::strtod(need(i), nullptr);
+            ++i;
+        } else if (a == "--stall-sec") {
+            sopts.stallSec = std::strtod(need(i), nullptr);
+            ++i;
+        } else if (a == "--poll-sec") {
+            sopts.pollSec = std::strtod(need(i), nullptr);
+            ++i;
+        } else if (a == "--test-kill-shard") {
+            sopts.testKillShard = static_cast<int>(
+                std::strtol(need(i), nullptr, 10));
+            ++i;
+        } else if (a == "--metrics-out") {
+            metricsOut = need(i);
+            ++i;
+        } else if (a == "--help" || a == "-h") {
+            std::printf(
+                "usage: gpufi supervise --dir DIR [--shards N]\n"
+                "       [--out FILE] [--max-crashes K]\n"
+                "       [--backoff-sec X] [--backoff-cap-sec X]\n"
+                "       [--stall-sec X] [--metrics-out FILE]\n"
+                "       [campaign options: --benchmark, --runs, "
+                "...]\n");
+            return 0;
+        } else if (oneOf(a, kValuePassthrough)) {
+            sopts.campaignArgs.push_back(a);
+            sopts.campaignArgs.push_back(need(i));
+            ++i;
+        } else if (oneOf(a, kFlagPassthrough)) {
+            sopts.campaignArgs.push_back(a);
+        } else if (oneOf(a, kManaged)) {
+            fatal("supervise: '%s' is managed per shard by the "
+                  "supervisor and cannot be passed through",
+                  a.c_str());
+        } else {
+            fatal("unknown supervise option '%s'", a.c_str());
+        }
+    }
+    if (sopts.dir.empty())
+        fatal("supervise: --dir is required");
+
+    char exeBuf[4096];
+    ssize_t n =
+        ::readlink("/proc/self/exe", exeBuf, sizeof(exeBuf) - 1);
+    sopts.selfExe = n > 0 ? std::string(exeBuf, n)
+                          : std::string(argv[0]);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    sopts.interrupted = &g_interrupted;
+
+    int rc = fi::runSupervisor(sopts);
+    if (!metricsOut.empty())
+        obs::writeMetricsFile(metricsOut,
+                              {{"tool", "gpufi-supervise"}});
+    return rc;
 }
 
 } // namespace
@@ -560,7 +828,15 @@ runCli(const CliOptions &opts)
 int
 main(int argc, char **argv)
 {
+    // A supervisor (or a pipe into head) closing our stdout must not
+    // kill a campaign mid-run; writes fail with EPIPE instead and
+    // the journal stays authoritative.
+    std::signal(SIGPIPE, SIG_IGN);
     try {
+        if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
+            return runMergeCli(argc, argv);
+        if (argc > 1 && std::strcmp(argv[1], "supervise") == 0)
+            return runSuperviseCli(argc, argv);
         return runCli(parseArgs(argc, argv));
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());

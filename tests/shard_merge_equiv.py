@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Shard/merge/supervise equivalence test for the gpufi CLI.
+
+Drives the distributed campaign fabric (DESIGN.md section 14) end to
+end through the real binary:
+
+  1. One single-process campaign writes the reference run log.
+  2. `gpufi supervise` runs the same campaign as 3 shard processes,
+     SIGKILLs shard 1 mid-campaign via the --test-kill-shard hook,
+     restarts it from its journal, and merges. The merged log must be
+     byte-identical to the reference and the supervisor metrics must
+     record at least one restart.
+  3. `gpufi merge` over the same shard journals reproduces the same
+     bytes offline.
+  4. Merging a journal with itself (overlapping coordinates) and
+     merging journals from drifted seeds must both be rejected.
+  5. A campaign whose runs all die on the tool watchdog must exit
+     with the distinct degenerate code 4.
+
+Usage: shard_merge_equiv.py /path/to/gpufi
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+RUNS = 30
+SEED = 7
+CAMPAIGN = [
+    "--benchmark", "VA", "--runs", str(RUNS), "--seed", str(SEED),
+    "--threads", "1",
+]
+EXIT_DEGENERATE = 4
+
+failures = []
+
+
+def check(ok, what, detail=""):
+    tag = "ok" if ok else "FAIL"
+    print(f"[{tag}] {what}" + (f": {detail}" if detail and not ok
+                               else ""))
+    if not ok:
+        failures.append(what)
+
+
+def run(args, expect_rc=0):
+    p = subprocess.run(args, capture_output=True, text=True)
+    check(p.returncode == expect_rc,
+          f"rc={expect_rc} for: {' '.join(map(str, args[1:]))}",
+          f"rc={p.returncode}\nstdout:{p.stdout}\nstderr:{p.stderr}")
+    return p
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    gpufi = sys.argv[1]
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="gpufi_shard_"))
+
+    # 1. Single-process reference.
+    single_log = tmp / "single.log"
+    run([gpufi, *CAMPAIGN, "--log", str(single_log)])
+    reference = single_log.read_bytes()
+    check(reference.startswith(b"# gpuFI-4 run log\n"),
+          "reference log has the run-log header")
+
+    # 2. Supervised 3-shard run with shard 1 SIGKILLed mid-campaign.
+    sup_dir = tmp / "sup"
+    sup_log = tmp / "sup_merged.log"
+    sup_metrics = tmp / "sup_metrics.json"
+    run([gpufi, "supervise", "--dir", str(sup_dir), "--shards", "3",
+         "--out", str(sup_log), "--test-kill-shard", "1",
+         "--backoff-sec", "0.05", "--metrics-out", str(sup_metrics),
+         *CAMPAIGN])
+    check(sup_log.read_bytes() == reference,
+          "supervised merged log is byte-identical to the "
+          "single-process log")
+    counters = json.loads(sup_metrics.read_text())["counters"]
+    check(counters.get("supervise.restarts", 0) >= 1,
+          "supervisor restarted the killed shard",
+          f"counters={counters}")
+    check(counters.get("supervise.quarantined", 1) == 0,
+          "no shard was quarantined")
+
+    # 3. Offline merge of the same shard journals.
+    journals = [str(sup_dir / f"shard{i}.jnl") for i in range(3)]
+    merged2 = tmp / "merged2.log"
+    run([gpufi, "merge", "--out", str(merged2), *journals])
+    check(merged2.read_bytes() == reference,
+          "offline gpufi merge reproduces the same bytes")
+
+    # 4. Validation failures: overlap and seed drift.
+    p = subprocess.run([gpufi, "merge", journals[0], journals[0]],
+                       capture_output=True, text=True)
+    check(p.returncode != 0 and "overlapping shard" in p.stderr,
+          "merging a journal with itself is rejected",
+          f"rc={p.returncode} stderr={p.stderr}")
+
+    drift = tmp / "drift.jnl"
+    run([gpufi, "--benchmark", "VA", "--runs", str(RUNS), "--seed",
+         str(SEED + 1), "--threads", "1", "--shard", "1/3",
+         "--journal", str(drift)])
+    p = subprocess.run([gpufi, "merge", journals[0], str(drift)],
+                       capture_output=True, text=True)
+    check(p.returncode != 0 and
+          "mismatched campaign fingerprints" in p.stderr,
+          "merging journals from drifted seeds is rejected",
+          f"rc={p.returncode} stderr={p.stderr}")
+
+    # 5. Degenerate campaign: every run dies on the watchdog.
+    run([gpufi, "--benchmark", "VA", "--runs", "2", "--threads", "1",
+         "--watchdog-sec", "1e-9", "--no-retry"],
+        expect_rc=EXIT_DEGENERATE)
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("\nall shard/merge/supervise equivalence checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Distributed campaign fabric tests (DESIGN.md §14): deterministic
+ * run-index sharding, the CampaignResult merge algebra, the `@shard`
+ * journal annotation, and the crash-safe journal merge — including
+ * every class of input the merge must reject (overlapping shards,
+ * seed/config drift, mislabeled records, unannotated journals).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "fi/campaign.hh"
+#include "fi/journal.hh"
+#include "fi/report_log.hh"
+#include "fi/shard.hh"
+#include "sim/gpu_config.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+sim::GpuConfig
+fastCard()
+{
+    sim::GpuConfig c = sim::makeRtx2060();
+    c.numSms = 4;
+    c.validate();
+    return c;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+CampaignSpec
+vaSpec(uint32_t runs, uint64_t seed)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.runs = runs;
+    spec.seed = seed;
+    spec.keepRecords = true;
+    return spec;
+}
+
+/** Run the spec (sharded or not) with a journal at @p path. */
+CampaignResult
+runWithJournal(const CampaignSpec &spec, const std::string &path,
+               std::vector<RunRecord> *records = nullptr,
+               const sim::GpuConfig *card = nullptr)
+{
+    sim::GpuConfig c = card ? *card : fastCard();
+    CampaignRunner runner(c, suite::factoryFor("VA"), 1);
+    RunJournal journal;
+    std::remove(path.c_str());
+    journal.open(path);
+    return runner.run(spec, records, &journal);
+}
+
+CampaignResult
+randomResult(Rng &rng)
+{
+    CampaignResult r;
+    for (auto &c : r.counts)
+        c = static_cast<uint32_t>(rng.range(0, 40));
+    return r;
+}
+
+} // namespace
+
+// ---- ShardCoord ----------------------------------------------------
+
+TEST(Shard, ParsesAndFormatsCoordinates)
+{
+    ShardCoord c;
+    std::string err;
+    ASSERT_TRUE(tryParseShardCoord("2/5", c, &err));
+    EXPECT_EQ(c.index, 2u);
+    EXPECT_EQ(c.count, 5u);
+    EXPECT_EQ(c.str(), "2/5");
+    EXPECT_TRUE(c.sharded());
+
+    ASSERT_TRUE(tryParseShardCoord("0/1", c, &err));
+    EXPECT_FALSE(c.sharded());
+
+    for (const char *bad :
+         {"", "3", "/", "1/", "/4", "a/b", "3/3", "4/3", "-1/3",
+          "1/0", "1/2x"}) {
+        EXPECT_FALSE(tryParseShardCoord(bad, c, &err))
+            << "accepted '" << bad << "'";
+    }
+}
+
+TEST(Shard, OwnershipPartitionsEveryRunExactlyOnce)
+{
+    const uint32_t runs = 97;   // prime: exercises ragged tails
+    for (uint32_t n : {1u, 2u, 3u, 4u, 7u, 97u, 100u}) {
+        uint32_t total = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+            ShardCoord c{i, n};
+            uint32_t owned = 0;
+            for (uint32_t idx = 0; idx < runs; ++idx)
+                owned += c.owns(idx) ? 1 : 0;
+            EXPECT_EQ(owned, c.ownedRuns(runs))
+                << "shard " << c.str();
+            total += owned;
+        }
+        EXPECT_EQ(total, runs) << "count " << n;
+    }
+}
+
+// ---- CampaignResult merge algebra (satellite: property tests) ------
+
+TEST(CampaignResultMerge, CommutativeAssociativeWithIdentity)
+{
+    Rng rng(0xfab5);
+    for (int trial = 0; trial < 200; ++trial) {
+        CampaignResult a = randomResult(rng);
+        CampaignResult b = randomResult(rng);
+        CampaignResult c = randomResult(rng);
+
+        CampaignResult ab = a;
+        ab.merge(b);
+        CampaignResult ba = b;
+        ba.merge(a);
+        EXPECT_EQ(ab.counts, ba.counts);
+
+        CampaignResult abc1 = ab;      // (a+b)+c
+        abc1.merge(c);
+        CampaignResult bc = b;
+        bc.merge(c);
+        CampaignResult abc2 = a;       // a+(b+c)
+        abc2.merge(bc);
+        EXPECT_EQ(abc1.counts, abc2.counts);
+
+        CampaignResult withZero = a;   // a + 0 == a
+        withZero.merge(CampaignResult{});
+        EXPECT_EQ(withZero.counts, a.counts);
+
+        // The derived statistics are pure functions of the counts.
+        EXPECT_DOUBLE_EQ(abc1.failureRatio(), abc2.failureRatio());
+        EXPECT_EQ(abc1.validRuns(), abc2.validRuns());
+    }
+}
+
+TEST(CampaignResultMerge, DisjointShardResultsEqualUnsharded)
+{
+    CampaignSpec spec = vaSpec(9, 5);
+    sim::GpuConfig card = fastCard();
+    CampaignRunner whole(card, suite::factoryFor("VA"), 1);
+    std::vector<RunRecord> wantRecords;
+    CampaignResult want = whole.run(spec, &wantRecords);
+    ASSERT_EQ(want.runs(), spec.runs);
+
+    const uint32_t n = 3;
+    CampaignResult merged;
+    std::vector<RunRecord> all;
+    for (uint32_t i = 0; i < n; ++i) {
+        CampaignSpec sub = spec;
+        sub.shardIndex = i;
+        sub.shardCount = n;
+        CampaignRunner part(card, suite::factoryFor("VA"), 1);
+        std::vector<RunRecord> records;
+        CampaignResult r = part.run(sub, &records);
+        ShardCoord coord{i, n};
+        EXPECT_EQ(r.runs(), coord.ownedRuns(spec.runs));
+        merged.merge(r);
+        all.insert(all.end(), records.begin(), records.end());
+    }
+
+    EXPECT_EQ(merged.counts, want.counts);
+    std::sort(all.begin(), all.end(),
+              [](const RunRecord &a, const RunRecord &b) {
+                  return a.runIdx < b.runIdx;
+              });
+    ASSERT_EQ(all.size(), wantRecords.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(formatRunRecord(all[i]),
+                  formatRunRecord(wantRecords[i]));
+}
+
+TEST(Shard, FingerprintIgnoresShardCoordinates)
+{
+    CampaignSpec a = vaSpec(30, 7);
+    CampaignSpec b = a;
+    b.shardIndex = 2;
+    b.shardCount = 3;
+    b.runs = 30;
+    EXPECT_EQ(campaignFingerprint(a), campaignFingerprint(b));
+}
+
+// ---- Journal merge -------------------------------------------------
+
+namespace {
+
+/** Run spec split 3 ways; returns the shard journal paths. */
+std::vector<std::string>
+runShardedTriple(const CampaignSpec &spec, const std::string &stem)
+{
+    std::vector<std::string> paths;
+    for (uint32_t i = 0; i < 3; ++i) {
+        CampaignSpec sub = spec;
+        sub.shardIndex = i;
+        sub.shardCount = 3;
+        std::string path =
+            tmpPath(stem + std::to_string(i) + ".jnl");
+        runWithJournal(sub, path);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+} // namespace
+
+TEST(MergeJournals, ShardedJournalsMergeBitIdentical)
+{
+    CampaignSpec spec = vaSpec(9, 11);
+    std::vector<RunRecord> wantRecords;
+    sim::GpuConfig card = fastCard();
+    CampaignRunner whole(card, suite::factoryFor("VA"), 1);
+    CampaignResult want = whole.run(spec, &wantRecords);
+
+    std::vector<std::string> paths =
+        runShardedTriple(spec, "merge_ok_");
+
+    MergeReport report;
+    std::string err;
+    ASSERT_TRUE(mergeShardJournals(paths, report, &err)) << err;
+    ASSERT_EQ(report.campaigns.size(), 1u);
+    const MergedCampaign &mc = report.campaigns[0];
+    EXPECT_TRUE(mc.complete());
+    EXPECT_EQ(mc.fingerprint, campaignFingerprint(spec));
+    EXPECT_EQ(mc.result.counts, want.counts);
+
+    // The merged log is byte-identical to the single-process log.
+    std::string wantLog = "# gpuFI-4 run log\n";
+    for (const RunRecord &r : wantRecords)
+        wantLog += formatRunRecord(r) + "\n";
+    EXPECT_EQ(formatMergedRunLog(report), wantLog);
+}
+
+TEST(MergeJournals, HealsTornTailPerInput)
+{
+    CampaignSpec spec = vaSpec(9, 13);
+    std::vector<std::string> paths =
+        runShardedTriple(spec, "merge_torn_");
+
+    // Tear the final record of shard 1 mid-line, as a power cut
+    // would: that run is lost, everything before it must survive.
+    std::string bytes = slurp(paths[1]);
+    size_t cut = bytes.rfind('\n', bytes.size() - 2);
+    std::ofstream(paths[1], std::ios::trunc)
+        << bytes.substr(0, cut + 1 + 10);
+
+    MergeReport strict;
+    std::string err;
+    EXPECT_FALSE(mergeShardJournals(paths, strict, &err));
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+
+    MergeReport report;
+    ASSERT_TRUE(mergeShardJournals(paths, report, &err, true)) << err;
+    EXPECT_EQ(report.healedLines, 1u);
+    ASSERT_EQ(report.campaigns.size(), 1u);
+    const MergedCampaign &mc = report.campaigns[0];
+    EXPECT_FALSE(mc.complete());
+    ASSERT_EQ(mc.missing.size(), 1u);
+    // Shard 1 of 3 over 9 runs owns {1, 4, 7}; the torn line was
+    // its last record.
+    EXPECT_EQ(mc.missing[0], 7u);
+    EXPECT_EQ(mc.result.runs(), spec.runs - 1);
+}
+
+TEST(MergeJournals, RejectsOverlappingShardCoordinates)
+{
+    CampaignSpec spec = vaSpec(9, 17);
+    std::vector<std::string> paths =
+        runShardedTriple(spec, "merge_dup_");
+
+    MergeReport report;
+    std::string err;
+    EXPECT_FALSE(mergeShardJournals({paths[0], paths[0]}, report,
+                                    &err));
+    EXPECT_NE(err.find("overlapping shard"), std::string::npos)
+        << err;
+}
+
+TEST(MergeJournals, RejectsSeedDriftViaFingerprint)
+{
+    CampaignSpec specA = vaSpec(9, 19);
+    CampaignSpec specB = vaSpec(9, 23);   // drifted seed
+    specA.shardIndex = 0;
+    specA.shardCount = 3;
+    specB.shardIndex = 1;
+    specB.shardCount = 3;
+    std::string pathA = tmpPath("merge_seed_a.jnl");
+    std::string pathB = tmpPath("merge_seed_b.jnl");
+    runWithJournal(specA, pathA);
+    runWithJournal(specB, pathB);
+
+    MergeReport report;
+    std::string err;
+    EXPECT_FALSE(mergeShardJournals({pathA, pathB}, report, &err));
+    EXPECT_NE(err.find("mismatched campaign fingerprints"),
+              std::string::npos)
+        << err;
+}
+
+TEST(MergeJournals, RejectsConfigDriftViaPlanDigest)
+{
+    // Same spec (same fingerprint!) but a different GPU config: the
+    // golden profile shifts, so the drawn plans shift, and the plan
+    // digest must catch what the fingerprint cannot.
+    CampaignSpec spec = vaSpec(9, 29);
+    CampaignSpec sub0 = spec;
+    sub0.shardIndex = 0;
+    sub0.shardCount = 3;
+    CampaignSpec sub1 = spec;
+    sub1.shardIndex = 1;
+    sub1.shardCount = 3;
+
+    std::string path0 = tmpPath("merge_cfg_0.jnl");
+    std::string path1 = tmpPath("merge_cfg_1.jnl");
+    sim::GpuConfig small = fastCard();
+    sim::GpuConfig big = sim::makeRtx2060();   // 30 SMs, not 4
+    runWithJournal(sub0, path0, nullptr, &small);
+    runWithJournal(sub1, path1, nullptr, &big);
+
+    MergeReport report;
+    std::string err;
+    EXPECT_FALSE(mergeShardJournals({path0, path1}, report, &err));
+    EXPECT_NE(err.find("plan digests differ"), std::string::npos)
+        << err;
+}
+
+TEST(MergeJournals, RejectsRecordOutsideItsShard)
+{
+    CampaignSpec spec = vaSpec(9, 31);
+    std::vector<std::string> paths =
+        runShardedTriple(spec, "merge_stray_");
+
+    // Graft one of shard 1's (perfectly checksummed) record lines
+    // into shard 0's journal: the merge must notice the run index
+    // cannot belong to shard 0/3.
+    std::istringstream in(slurp(paths[1]));
+    std::string line, stray;
+    while (std::getline(in, line))
+        if (!line.empty() && line[0] == 'c')
+            stray = line;   // last record line of shard 1
+    ASSERT_FALSE(stray.empty());
+    std::ofstream(paths[0], std::ios::app) << stray << "\n";
+
+    MergeReport report;
+    std::string err;
+    EXPECT_FALSE(mergeShardJournals(paths, report, &err));
+    EXPECT_NE(err.find("outside its declared shard"),
+              std::string::npos)
+        << err;
+}
+
+TEST(MergeJournals, RejectsUnannotatedJournal)
+{
+    // An unsharded campaign journal (no @shard line) must not slip
+    // into a merge set: nothing proves it is a disjoint slice.
+    CampaignSpec spec = vaSpec(9, 37);
+    std::string path = tmpPath("merge_plain.jnl");
+    runWithJournal(spec, path);
+
+    MergeReport report;
+    std::string err;
+    EXPECT_FALSE(mergeShardJournals({path}, report, &err));
+    EXPECT_NE(err.find("without a @shard annotation"),
+              std::string::npos)
+        << err;
+}
+
+TEST(MergeJournals, PartialMergeOfOneShardReportsTheGaps)
+{
+    CampaignSpec spec = vaSpec(9, 41);
+    std::vector<std::string> paths =
+        runShardedTriple(spec, "merge_gap_");
+
+    MergeReport report;
+    std::string err;
+    ASSERT_TRUE(mergeShardJournals({paths[2]}, report, &err, true))
+        << err;
+    ASSERT_EQ(report.campaigns.size(), 1u);
+    const MergedCampaign &mc = report.campaigns[0];
+    // Shard 2 of 3 over 9 runs owns {2, 5, 8}; the rest are gaps.
+    EXPECT_EQ(mc.result.runs(), 3u);
+    EXPECT_EQ(mc.missing,
+              (std::vector<uint32_t>{0, 1, 3, 4, 6, 7}));
+}
+
+TEST(Shard, AnnotationSurvivesResume)
+{
+    // A sharded shard journal re-opened for --resume re-appends an
+    // identical annotation; loadJournal must keep exactly one and
+    // report no conflict.
+    CampaignSpec spec = vaSpec(9, 43);
+    spec.shardIndex = 1;
+    spec.shardCount = 3;
+    std::string path = tmpPath("shard_reopen.jnl");
+    runWithJournal(spec, path);
+
+    JournalContents prior = loadJournal(path);
+    uint64_t fp = campaignFingerprint(spec);
+    {
+        sim::GpuConfig card = fastCard();
+        CampaignRunner runner(card, suite::factoryFor("VA"), 1);
+        RunJournal journal;
+        journal.open(path);
+        runner.run(spec, nullptr, &journal, &prior.byCampaign[fp]);
+    }
+
+    JournalContents c = loadJournal(path);
+    EXPECT_EQ(c.annotationConflicts, 0u);
+    ASSERT_EQ(c.shardByCampaign.size(), 1u);
+    const ShardAnnotation &ann =
+        c.shardByCampaign.begin()->second;
+    EXPECT_EQ(ann.shard, (ShardCoord{1, 3}));
+    EXPECT_EQ(ann.runs, spec.runs);
+}

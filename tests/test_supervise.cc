@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shard supervisor unit tests: the exponential restart backoff (with
+ * its cap and overflow clamp), the waitpid-status classifier behind
+ * the restart/quarantine decisions, the per-shard path scheme, and
+ * the liveness-file helpers behind the stall detector. The full
+ * fork/restart/merge loop is covered end to end by the
+ * shard_merge_equiv CLI test.
+ */
+
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/obs.hh"
+#include "fi/supervise.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+SuperviseOptions
+backoffOpts(double base, double cap)
+{
+    SuperviseOptions o;
+    o.backoffBaseSec = base;
+    o.backoffCapSec = cap;
+    return o;
+}
+
+/** The wait status waitpid() reports for exit(code). */
+int
+exitStatus(int code)
+{
+    return (code & 0xff) << 8;
+}
+
+} // namespace
+
+TEST(Supervise, BackoffDoublesThenCaps)
+{
+    SuperviseOptions o = backoffOpts(0.5, 8.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 1), 0.5);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 2), 1.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 3), 2.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 4), 4.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 5), 8.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 6), 8.0);   // capped
+}
+
+TEST(Supervise, BackoffSurvivesAbsurdCrashCounts)
+{
+    SuperviseOptions o = backoffOpts(0.5, 8.0);
+    // 2^(crashes-1) would overflow any float range long before
+    // 4 billion crashes; the clamp must keep the cap, not inf/nan.
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 100), 8.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 0xffffffffu), 8.0);
+}
+
+TEST(Supervise, BackoffHonorsCapBelowBase)
+{
+    SuperviseOptions o = backoffOpts(2.0, 0.25);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 1), 0.25);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(o, 10), 0.25);
+}
+
+TEST(Supervise, ClassifiesChildExits)
+{
+    EXPECT_EQ(classifyChildExit(exitStatus(0)),
+              ChildExit::Completed);
+    EXPECT_EQ(classifyChildExit(exitStatus(kExitDegenerate)),
+              ChildExit::Degenerate);
+    EXPECT_EQ(classifyChildExit(exitStatus(kExitInterrupted)),
+              ChildExit::Interrupted);
+    EXPECT_EQ(classifyChildExit(exitStatus(1)), ChildExit::Crashed);
+    EXPECT_EQ(classifyChildExit(exitStatus(127)),
+              ChildExit::Crashed);
+    // Killed by a signal (SIGKILL, SIGSEGV): raw status == signo.
+    EXPECT_EQ(classifyChildExit(SIGKILL), ChildExit::Crashed);
+    EXPECT_EQ(classifyChildExit(SIGSEGV), ChildExit::Crashed);
+}
+
+TEST(Supervise, ShardPathsAreDistinctAndStable)
+{
+    EXPECT_EQ(shardJournalPath("/tmp/d", 0), "/tmp/d/shard0.jnl");
+    EXPECT_EQ(shardJournalPath("/tmp/d", 12), "/tmp/d/shard12.jnl");
+    EXPECT_EQ(shardHeartbeatPath("/tmp/d", 3), "/tmp/d/shard3.hb");
+    EXPECT_EQ(shardOutputPath("/tmp/d", 3), "/tmp/d/shard3.out");
+}
+
+TEST(Supervise, LivenessFileAgesAndRefreshes)
+{
+    std::string path = testing::TempDir() + "/liveness_test.hb";
+    std::remove(path.c_str());
+    EXPECT_LT(obs::livenessAgeSeconds(path), 0.0);  // missing
+
+    obs::touchLivenessFile(path);
+    double age = obs::livenessAgeSeconds(path);
+    EXPECT_GE(age, 0.0);
+    EXPECT_LT(age, 30.0);   // just written (generous for slow CI)
+    std::remove(path.c_str());
+}
