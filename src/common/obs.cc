@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
@@ -743,6 +744,40 @@ Json::parse(const std::string &text, std::string *err)
 
 // ---- Metrics report ----------------------------------------------------
 
+namespace {
+
+std::mutex &
+sectionsMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Registered report sections, in name order (leaked singleton like
+ * the registry, so atexit report writers can still read it). */
+std::map<std::string, Json> &
+reportSections()
+{
+    static auto *sections = new std::map<std::string, Json>();
+    return *sections;
+}
+
+} // namespace
+
+void
+setReportSection(const std::string &name, Json section)
+{
+    std::lock_guard<std::mutex> lock(sectionsMutex());
+    reportSections()[name] = std::move(section);
+}
+
+void
+clearReportSections()
+{
+    std::lock_guard<std::mutex> lock(sectionsMutex());
+    reportSections().clear();
+}
+
 Json
 buildMetricsReport(
     const std::vector<std::pair<std::string, std::string>> &extraMeta)
@@ -786,6 +821,12 @@ buildMetricsReport(
         histograms.set(name, std::move(hj));
     }
     report.set("histograms", std::move(histograms));
+
+    {
+        std::lock_guard<std::mutex> lock(sectionsMutex());
+        for (const auto &[name, section] : reportSections())
+            report.set(name, section);
+    }
     return report;
 }
 
@@ -833,11 +874,14 @@ validateMetricsReport(const Json &report, std::string *err)
         if (!schema || schema->asString() != kMetricsSchema)
             finding("meta.schema != '" +
                     std::string(kMetricsSchema) + "'");
+        // v1 reports (pre report-section layouts) stay valid; only
+        // versions this build has never seen are rejected.
         const Json *version = meta->find("version");
         if (!version || !version->isNumber() ||
-            version->asU64() != kMetricsVersion)
-            finding("meta.version != " +
-                    std::to_string(kMetricsVersion));
+            version->asU64() < 1 ||
+            version->asU64() > kMetricsVersion)
+            finding("meta.version not in [1, " +
+                    std::to_string(kMetricsVersion) + "]");
     }
 
     const Json *counters = report.find("counters");
@@ -891,6 +935,58 @@ validateMetricsReport(const Json &report, std::string *err)
         finding("no 'campaign.phase_us.*' timings");
     if (!hasCounterWithPrefix(*counters, "campaign.outcome."))
         finding("no 'campaign.outcome.*' tallies");
+
+    // The sdc-anatomy section (fi/anatomy.hh) is optional; when
+    // present it must be internally well-formed: its own version 1,
+    // finite non-negative magnitudes, and an instruction table whose
+    // rows all carry pc/opcode/reads.
+    if (const Json *an = report.find("sdc-anatomy")) {
+        auto anFinding = [&](const std::string &what) {
+            finding("sdc-anatomy: " + what);
+        };
+        if (!an->isObject()) {
+            anFinding("not a JSON object");
+            return false;
+        }
+        const Json *v = an->find("version");
+        if (!v || !v->isNumber() || v->asU64() != 1)
+            anFinding("version != 1");
+        for (const char *key : {"max_magnitude", "mean_magnitude"}) {
+            const Json *m = an->find(key);
+            if (!m || !m->isNumber())
+                anFinding(std::string("missing magnitude '") + key +
+                          "'");
+            else if (!std::isfinite(m->asDouble()) ||
+                     m->asDouble() < 0.0)
+                anFinding(std::string("magnitude '") + key +
+                          "' is NaN, infinite or negative");
+        }
+        for (const char *key : {"sdc_runs", "corrupted_elems_total",
+                                "traced_runs", "traced_reads",
+                                "reached_memory", "reached_output"}) {
+            const Json *c = an->find(key);
+            if (!c || c->kind() != Json::Kind::U64)
+                anFinding(std::string("counter '") + key +
+                          "' missing or not an unsigned integer");
+        }
+        const Json *patterns = an->find("patterns");
+        if (!patterns || !patterns->isObject())
+            anFinding("missing 'patterns' object");
+        const Json *instrs = an->find("instructions");
+        if (!instrs || !instrs->isArray()) {
+            anFinding("missing 'instructions' array");
+        } else {
+            for (size_t i = 0; i < instrs->items().size(); ++i) {
+                const Json &row = instrs->items()[i];
+                if (!row.isObject() || !row.find("pc") ||
+                    !row.find("opcode") || !row.find("reads")) {
+                    anFinding("instructions[" + std::to_string(i) +
+                              "] lacks pc/opcode/reads");
+                    break;
+                }
+            }
+        }
+    }
     return ok;
 }
 

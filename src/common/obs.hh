@@ -43,8 +43,13 @@ namespace obs {
 /** Schema identifier of the JSON metrics report. */
 constexpr const char *kMetricsSchema = "gpufi-metrics";
 
-/** Version of the metrics report layout and naming scheme. */
-constexpr uint32_t kMetricsVersion = 1;
+/**
+ * Version of the metrics report layout and naming scheme.
+ * v2 added optional named top-level report sections (see
+ * setReportSection; the `sdc-anatomy` section is the first user).
+ * The validator accepts v1 reports unchanged.
+ */
+constexpr uint32_t kMetricsVersion = 2;
 
 /**
  * A monotonically increasing event/total counter. Increment is one
@@ -235,6 +240,19 @@ class Json
  */
 Json buildMetricsReport(
     const std::vector<std::pair<std::string, std::string>> &extraMeta);
+
+/**
+ * Attach a named top-level section to every subsequent metrics
+ * report (v2): the JSON value lands in the report verbatim under
+ * @p name, next to counters/gauges/histograms. Sections carry
+ * structured analysis results that do not fit the flat metric model
+ * (the campaign's `sdc-anatomy` section is the first user). Setting
+ * the same name again replaces the section. Thread-safe.
+ */
+void setReportSection(const std::string &name, Json section);
+
+/** Test-only: drop every registered report section. */
+void clearReportSections();
 
 /**
  * Validate a parsed metrics report: schema/version match, the three

@@ -1,0 +1,318 @@
+#include "fi/anatomy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/obs.hh"
+
+namespace gpufi {
+namespace fi {
+
+namespace {
+
+const char *const outcomeNames[] = {
+    "Masked", "Performance", "SDC", "Crash", "Timeout",
+    "ToolError", "ToolHang",
+};
+
+static_assert(sizeof(outcomeNames) / sizeof(outcomeNames[0]) ==
+                  kNumOutcomes,
+              "outcomeNames must cover every Outcome");
+
+const char *const patternNames[] = {
+    "single", "row", "block", "scattered",
+};
+
+static_assert(sizeof(patternNames) / sizeof(patternNames[0]) ==
+                  kNumPatterns,
+              "patternNames must cover every SpatialPattern");
+
+uint32_t
+hamming32(uint32_t a, uint32_t b)
+{
+    return static_cast<uint32_t>(__builtin_popcount(a ^ b));
+}
+
+} // namespace
+
+bool
+isToolOutcome(Outcome o)
+{
+    return o == Outcome::ToolError || o == Outcome::ToolHang;
+}
+
+const char *
+outcomeName(Outcome o)
+{
+    auto idx = static_cast<size_t>(o);
+    gpufi_assert(idx < kNumOutcomes);
+    return outcomeNames[idx];
+}
+
+Outcome
+outcomeFromName(const std::string &name)
+{
+    for (size_t i = 0; i < kNumOutcomes; ++i)
+        if (name == outcomeNames[i])
+            return static_cast<Outcome>(i);
+    fatal("unknown outcome '%s'", name.c_str());
+}
+
+const char *
+patternName(SpatialPattern p)
+{
+    auto idx = static_cast<size_t>(p);
+    gpufi_assert(idx < kNumPatterns);
+    return patternNames[idx];
+}
+
+SpatialPattern
+patternFromName(const std::string &name)
+{
+    for (size_t i = 0; i < kNumPatterns; ++i)
+        if (name == patternNames[i])
+            return static_cast<SpatialPattern>(i);
+    fatal("unknown spatial pattern '%s'", name.c_str());
+}
+
+void
+AnatomyStats::add(const RunVerdict &v)
+{
+    if (v.outcome == Outcome::SDC && v.anatomy.present()) {
+        ++sdcWithAnatomy;
+        ++patternCounts[static_cast<size_t>(v.anatomy.pattern)];
+        corruptedElemsTotal += v.anatomy.corruptedElems;
+        maxMagnitude = std::max(maxMagnitude, v.anatomy.maxMagnitude);
+        magnitudeSum += v.anatomy.meanMagnitude;
+    }
+    if (v.trace.armed) {
+        ++tracedRuns;
+        if (v.trace.read) {
+            ++tracedReads;
+            auto &tally = byInstruction[{v.trace.firstReadPc,
+                                         v.trace.opcode}];
+            ++tally[static_cast<size_t>(v.outcome)];
+        }
+        if (v.trace.reachedMemory)
+            ++reachedMemory;
+        if (v.trace.reachedOutput)
+            ++reachedOutput;
+    }
+}
+
+void
+AnatomyStats::merge(const AnatomyStats &o)
+{
+    sdcWithAnatomy += o.sdcWithAnatomy;
+    for (size_t i = 0; i < kNumPatterns; ++i)
+        patternCounts[i] += o.patternCounts[i];
+    corruptedElemsTotal += o.corruptedElemsTotal;
+    maxMagnitude = std::max(maxMagnitude, o.maxMagnitude);
+    magnitudeSum += o.magnitudeSum;
+    tracedRuns += o.tracedRuns;
+    tracedReads += o.tracedReads;
+    reachedMemory += o.reachedMemory;
+    reachedOutput += o.reachedOutput;
+    for (const auto &[key, tally] : o.byInstruction) {
+        auto &mine = byInstruction[key];
+        for (size_t i = 0; i < kNumOutcomes; ++i)
+            mine[i] += tally[i];
+    }
+}
+
+bool
+AnatomyStats::empty() const
+{
+    return sdcWithAnatomy == 0 && tracedRuns == 0;
+}
+
+SdcAnatomy
+classifyAnatomy(const std::vector<uint8_t> &golden,
+                const std::vector<uint8_t> &faulty,
+                OutputKind kind, uint32_t rowElems)
+{
+    gpufi_assert(golden.size() == faulty.size());
+    SdcAnatomy a;
+    const size_t n = golden.size() / 4;
+    a.totalElems = static_cast<uint32_t>(n);
+
+    uint32_t minIdx = 0, maxIdx = 0;
+    uint32_t minRow = 0, maxRow = 0, minCol = 0, maxCol = 0;
+    double magSum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t gw, fw;
+        std::memcpy(&gw, golden.data() + i * 4, 4);
+        std::memcpy(&fw, faulty.data() + i * 4, 4);
+        if (gw == fw)
+            continue;
+
+        double mag;
+        if (kind == OutputKind::F32) {
+            float gf, ff;
+            std::memcpy(&gf, &gw, 4);
+            std::memcpy(&ff, &fw, 4);
+            double delta = std::fabs(static_cast<double>(gf) -
+                                     static_cast<double>(ff));
+            // A flipped exponent/sign bit can make the delta NaN or
+            // infinite; magnitude must stay finite and non-negative,
+            // so fall back to the bit-level distance.
+            mag = std::isfinite(delta) ? delta
+                                       : static_cast<double>(
+                                             hamming32(gw, fw));
+        } else {
+            mag = static_cast<double>(hamming32(gw, fw));
+        }
+
+        const uint32_t idx = static_cast<uint32_t>(i);
+        const uint32_t row = rowElems ? idx / rowElems : 0;
+        const uint32_t col = rowElems ? idx % rowElems : idx;
+        if (a.corruptedElems == 0) {
+            minIdx = maxIdx = idx;
+            minRow = maxRow = row;
+            minCol = maxCol = col;
+        } else {
+            minIdx = std::min(minIdx, idx);
+            maxIdx = std::max(maxIdx, idx);
+            minRow = std::min(minRow, row);
+            maxRow = std::max(maxRow, row);
+            minCol = std::min(minCol, col);
+            maxCol = std::max(maxCol, col);
+        }
+        ++a.corruptedElems;
+        magSum += mag;
+        a.maxMagnitude = std::max(a.maxMagnitude, mag);
+    }
+
+    if (a.corruptedElems == 0)
+        return a;
+    a.meanMagnitude = magSum / a.corruptedElems;
+
+    if (a.corruptedElems == 1) {
+        a.pattern = SpatialPattern::Single;
+    } else if (rowElems ? minRow == maxRow
+                        : maxIdx - minIdx + 1 == a.corruptedElems) {
+        // 2D: all hits share one row. 1D: a contiguous span (the 1D
+        // analogue of a row segment).
+        a.pattern = SpatialPattern::Row;
+    } else {
+        // Dense bounding box => block; sparse => scattered.
+        const uint64_t box =
+            rowElems ? static_cast<uint64_t>(maxRow - minRow + 1) *
+                           (maxCol - minCol + 1)
+                     : static_cast<uint64_t>(maxIdx - minIdx + 1);
+        a.pattern = 2 * static_cast<uint64_t>(a.corruptedElems) >= box
+                        ? SpatialPattern::Block
+                        : SpatialPattern::Scattered;
+    }
+    return a;
+}
+
+obs::Json
+anatomyReportSection(const AnatomyStats &stats)
+{
+    obs::Json section = obs::Json::object();
+    section.set("version", obs::Json::u64(kAnatomySectionVersion));
+    section.set("sdc_runs", obs::Json::u64(stats.sdcWithAnatomy));
+    obs::Json patterns = obs::Json::object();
+    for (size_t i = 0; i < kNumPatterns; ++i)
+        patterns.set(patternNames[i],
+                     obs::Json::u64(stats.patternCounts[i]));
+    section.set("patterns", std::move(patterns));
+    section.set("corrupted_elems_total",
+                obs::Json::u64(stats.corruptedElemsTotal));
+    section.set("max_magnitude", obs::Json::number(stats.maxMagnitude));
+    section.set("mean_magnitude",
+                obs::Json::number(stats.sdcWithAnatomy
+                                      ? stats.magnitudeSum /
+                                            stats.sdcWithAnatomy
+                                      : 0.0));
+    section.set("traced_runs", obs::Json::u64(stats.tracedRuns));
+    section.set("traced_reads", obs::Json::u64(stats.tracedReads));
+    section.set("reached_memory", obs::Json::u64(stats.reachedMemory));
+    section.set("reached_output", obs::Json::u64(stats.reachedOutput));
+
+    obs::Json instrs = obs::Json::array();
+    for (const auto &[key, tally] : stats.byInstruction) {
+        obs::Json row = obs::Json::object();
+        row.set("pc", obs::Json::i64(key.first));
+        row.set("opcode", obs::Json::str(key.second));
+        uint32_t reads = 0;
+        for (uint32_t c : tally)
+            reads += c;
+        auto at = [&](Outcome o) {
+            return tally[static_cast<size_t>(o)];
+        };
+        row.set("reads", obs::Json::u64(reads));
+        row.set("sdc", obs::Json::u64(at(Outcome::SDC)));
+        row.set("crash", obs::Json::u64(at(Outcome::Crash)));
+        row.set("timeout", obs::Json::u64(at(Outcome::Timeout)));
+        row.set("masked", obs::Json::u64(at(Outcome::Masked) +
+                                         at(Outcome::Performance)));
+        instrs.push(std::move(row));
+    }
+    section.set("instructions", std::move(instrs));
+    return section;
+}
+
+std::string
+formatInstructionTable(const AnatomyStats &stats)
+{
+    if (stats.byInstruction.empty())
+        return "";
+
+    struct Row
+    {
+        int32_t pc;
+        std::string opcode;
+        uint32_t reads, sdc, crash, timeout, masked;
+        uint32_t failed() const { return sdc + crash + timeout; }
+    };
+    std::vector<Row> rows;
+    for (const auto &[key, tally] : stats.byInstruction) {
+        Row r;
+        r.pc = key.first;
+        r.opcode = key.second;
+        auto at = [&](Outcome o) {
+            return tally[static_cast<size_t>(o)];
+        };
+        r.sdc = at(Outcome::SDC);
+        r.crash = at(Outcome::Crash);
+        r.timeout = at(Outcome::Timeout);
+        r.masked = at(Outcome::Masked) + at(Outcome::Performance);
+        r.reads = r.sdc + r.crash + r.timeout + r.masked +
+                  at(Outcome::ToolError) + at(Outcome::ToolHang);
+        rows.push_back(std::move(r));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         if (a.failed() != b.failed())
+                             return a.failed() > b.failed();
+                         if (a.reads != b.reads)
+                             return a.reads > b.reads;
+                         return a.pc < b.pc;
+                     });
+
+    std::ostringstream out;
+    char line[160];
+    snprintf(line, sizeof(line), "%6s %-12s %7s %6s %6s %8s %7s %7s\n",
+             "pc", "opcode", "reads", "sdc", "crash", "timeout",
+             "masked", "fail%");
+    out << line;
+    for (const Row &r : rows) {
+        double failPct =
+            r.reads ? 100.0 * r.failed() / r.reads : 0.0;
+        snprintf(line, sizeof(line),
+                 "%6d %-12s %7u %6u %6u %8u %7u %6.1f%%\n", r.pc,
+                 r.opcode.c_str(), r.reads, r.sdc, r.crash, r.timeout,
+                 r.masked, failPct);
+        out << line;
+    }
+    return out.str();
+}
+
+} // namespace fi
+} // namespace gpufi

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * SDC anatomy + root-cause propagation analysis (DESIGN.md §15).
+ *
+ * The paper stops at scalar failure ratios; this layer answers *how*
+ * an output was corrupted and *where* the fault first mattered:
+ *
+ *  - Outcome: the paper's §V.B fault-effect classes (moved here from
+ *    campaign.hh so every verdict consumer can see them without
+ *    pulling in the campaign controller).
+ *  - SdcAnatomy: element-wise corruption shape of an SDC run —
+ *    corrupted-element count, spatial pattern (single / row / block /
+ *    scattered, per the "Anatomy of Silent Data Corruption" error
+ *    taxonomy) and max/mean magnitude (|delta| for FP outputs,
+ *    Hamming distance for integer outputs).
+ *  - PropagationTrace: the first instruction that *read* the flipped
+ *    bits (cycle, PC, opcode, warp/CTA), whether the corruption
+ *    reached memory or the declared output buffer, and
+ *    cycles-to-first-read — the CFA framework's root-cause signal.
+ *  - RunVerdict: Outcome plus the two optional records; replaces the
+ *    scalar Outcome in RunRecord and everything downstream.
+ *  - AnatomyStats: commutative aggregation of verdicts (pattern
+ *    histogram, magnitude stats, per-instruction vulnerability
+ *    tallies) carried by CampaignResult and merged across shards.
+ */
+
+#ifndef GPUFI_FI_ANATOMY_HH
+#define GPUFI_FI_ANATOMY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpufi {
+namespace obs {
+class Json;
+}
+namespace fi {
+
+/**
+ * Fault-effect classes (paper §V.B), plus two *tool-level* classes
+ * that record infrastructure failures (a host-side exception or a
+ * wall-clock watchdog trip that survived the from-scratch retry).
+ * Tool outcomes keep the campaign running but are excluded from the
+ * paper's failure-ratio denominator: they say nothing about the
+ * simulated device, only about the injector.
+ */
+enum class Outcome : uint8_t
+{
+    Masked,         ///< identical output, identical cycles
+    Performance,    ///< identical output, different cycle count
+    SDC,            ///< wrong output, no error indication
+    Crash,          ///< device exception, unrecoverable
+    Timeout,        ///< exceeded 2x the fault-free execution time
+    ToolError,      ///< injector-side exception (not a device fault)
+    ToolHang,       ///< wall-clock watchdog fired (simulator stuck)
+    NUM_OUTCOMES
+};
+
+constexpr size_t kNumOutcomes =
+    static_cast<size_t>(Outcome::NUM_OUTCOMES);
+
+/** true for the tool-level classes (ToolError, ToolHang). */
+bool isToolOutcome(Outcome o);
+
+/** Stable name, e.g. "SDC". */
+const char *outcomeName(Outcome o);
+
+/** Inverse of outcomeName(); fatal() on unknown names. */
+Outcome outcomeFromName(const std::string &name);
+
+/**
+ * Spatial corruption pattern of an SDC output diff ("Anatomy of
+ * Silent Data Corruption" error taxonomy).
+ */
+enum class SpatialPattern : uint8_t
+{
+    Single,     ///< exactly one corrupted element
+    Row,        ///< all corrupted elements in one row / contiguous span
+    Block,      ///< dense bounding box (>= half the box corrupted)
+    Scattered,  ///< anything else
+    NUM_PATTERNS
+};
+
+constexpr size_t kNumPatterns =
+    static_cast<size_t>(SpatialPattern::NUM_PATTERNS);
+
+/** Stable lowercase name, e.g. "scattered". */
+const char *patternName(SpatialPattern p);
+
+/** Inverse of patternName(); fatal() on unknown names. */
+SpatialPattern patternFromName(const std::string &name);
+
+/**
+ * Element type of a workload's declared output buffer, which decides
+ * how corruption magnitude is measured: F32 uses |golden - faulty|
+ * (falling back to bit-wise Hamming distance when either side is not
+ * finite), U32 uses popcount(golden ^ faulty).
+ */
+enum class OutputKind : uint8_t
+{
+    F32,    ///< 32-bit IEEE float elements
+    U32     ///< 32-bit integer elements (BFS costs, KM labels, ...)
+};
+
+/** How an SDC run's output differs from the golden output. */
+struct SdcAnatomy
+{
+    uint32_t corruptedElems = 0;    ///< elements that differ
+    uint32_t totalElems = 0;        ///< elements compared
+    SpatialPattern pattern = SpatialPattern::Single;
+    double maxMagnitude = 0.0;      ///< worst per-element magnitude
+    double meanMagnitude = 0.0;     ///< mean over corrupted elements
+
+    /** Anatomy was actually computed for this run. */
+    bool present() const { return totalElems > 0; }
+};
+
+/**
+ * Where the injected bits first mattered. Armed whenever the
+ * campaign requested tracing and the fault site supports it
+ * (register file, local memory, shared memory — structures whose
+ * flipped coordinates map to architectural reads). `read` stays
+ * false when no instruction ever consumed the corrupted bits before
+ * the run ended (including early-convergence exits, where the run is
+ * provably golden from the match point on).
+ */
+struct PropagationTrace
+{
+    bool armed = false;     ///< tracing was active for this run
+    bool read = false;      ///< some instruction read the flipped bits
+    uint64_t firstReadCycle = 0;
+    int32_t firstReadPc = -1;
+    std::string opcode;     ///< opcode of the first reader
+    uint64_t cta = 0;       ///< linear CTA id of the first reader
+    uint32_t warp = 0;      ///< warp-in-CTA of the first reader
+    bool reachedMemory = false; ///< tainted value stored to memory
+    bool reachedOutput = false; ///< ... inside a declared output range
+    uint64_t cyclesToFirstRead = 0; ///< firstReadCycle - injection cycle
+
+    /** Trace was actually recorded for this run. */
+    bool present() const { return armed; }
+};
+
+/**
+ * The structured replacement for the scalar Outcome: every layer
+ * that used to carry an Outcome (RunRecord, journal lines, shard
+ * merge, CampaignResult) now carries one of these. With anatomy and
+ * tracing off (the default) it serializes exactly like the old
+ * scalar, so v1 journals and logs stay byte-identical.
+ */
+struct RunVerdict
+{
+    Outcome outcome = Outcome::Masked;
+    SdcAnatomy anatomy;
+    PropagationTrace trace;
+};
+
+/**
+ * Commutative aggregation of RunVerdicts: merge(a, b) == merge(b, a)
+ * for every field, so shard journals combine into the same stats in
+ * any order. meanMagnitude is aggregated as the sum of per-run means
+ * (magnitudeSum / sdcWithAnatomy reconstructs the campaign mean).
+ */
+struct AnatomyStats
+{
+    uint32_t sdcWithAnatomy = 0;    ///< SDC runs carrying anatomy
+    std::array<uint32_t, kNumPatterns> patternCounts{};
+    uint64_t corruptedElemsTotal = 0;
+    double maxMagnitude = 0.0;      ///< max over runs (commutative)
+    double magnitudeSum = 0.0;      ///< sum of per-run mean magnitudes
+    uint32_t tracedRuns = 0;        ///< runs with an armed trace
+    uint32_t tracedReads = 0;       ///< ... whose bits were read
+    uint32_t reachedMemory = 0;
+    uint32_t reachedOutput = 0;
+    /**
+     * (pc, opcode) -> outcome tallies of traced runs whose fault was
+     * first read by that static instruction — the per-instruction
+     * vulnerability table.
+     */
+    std::map<std::pair<int32_t, std::string>,
+             std::array<uint32_t, kNumOutcomes>> byInstruction;
+
+    void add(const RunVerdict &v);
+    void merge(const AnatomyStats &o);
+    bool empty() const;
+};
+
+/**
+ * Element-wise diff of @p faulty against @p golden (equal sizes,
+ * whole 4-byte elements). @p kind selects the magnitude metric;
+ * @p rowElems is the output's row width in elements for 2D
+ * workloads (0 treats the buffer as 1D, where "row" means a
+ * contiguous span). Never produces NaN or negative magnitudes:
+ * non-finite FP deltas fall back to Hamming distance.
+ */
+SdcAnatomy classifyAnatomy(const std::vector<uint8_t> &golden,
+                           const std::vector<uint8_t> &faulty,
+                           OutputKind kind, uint32_t rowElems);
+
+/**
+ * The versioned "sdc-anatomy" metrics-report section (self-versioned
+ * at kAnatomySectionVersion, validated by validateMetricsReport and
+ * gpufi-metrics-check):
+ *
+ *   { "version": 1, "sdc_runs": n, "patterns": {...},
+ *     "corrupted_elems_total": n, "max_magnitude": x,
+ *     "mean_magnitude": x, "traced_runs": n, "traced_reads": n,
+ *     "reached_memory": n, "reached_output": n,
+ *     "instructions": [ { "pc", "opcode", "reads", "sdc", "crash",
+ *                         "timeout", "masked" }, ... ] }
+ */
+obs::Json anatomyReportSection(const AnatomyStats &stats);
+
+/** Version of the sdc-anatomy section layout. */
+constexpr uint32_t kAnatomySectionVersion = 1;
+
+/**
+ * Render the per-instruction vulnerability table as aligned text
+ * (one row per (pc, opcode), ranked by runs-that-failed), e.g. for
+ * `gpufi --instr-table`. Empty string when no traces were recorded.
+ */
+std::string formatInstructionTable(const AnatomyStats &stats);
+
+} // namespace fi
+} // namespace gpufi
+
+#endif // GPUFI_FI_ANATOMY_HH

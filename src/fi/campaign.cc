@@ -14,20 +14,12 @@
 #include "fi/shard.hh"
 #include "fi/site.hh"
 #include "mem/addr.hh"
+#include "sim/taint.hh"
 
 namespace gpufi {
 namespace fi {
 
 namespace {
-
-const char *const outcomeNames[] = {
-    "Masked", "Performance", "SDC", "Crash", "Timeout",
-    "ToolError", "ToolHang",
-};
-
-static_assert(sizeof(outcomeNames) / sizeof(outcomeNames[0]) ==
-                  static_cast<size_t>(Outcome::NUM_OUTCOMES),
-              "outcomeNames must cover every Outcome");
 
 /**
  * Pre-resolved obs handles for the campaign layer. Constructing the
@@ -87,36 +79,46 @@ struct CampaignObs
     }
 };
 
+/**
+ * Copy the tracker's observations into a verdict's trace record.
+ * Called on every exit path of an armed run (normal completion,
+ * early convergence, crash, timeout): whatever the tracker saw up to
+ * termination is the trace.
+ */
+void
+fillTrace(PropagationTrace &t, const sim::TaintTracker &tt)
+{
+    t.armed = true;
+    t.read = tt.read();
+    if (tt.read()) {
+        t.firstReadCycle = tt.firstReadCycle();
+        t.firstReadPc = tt.firstReadPc();
+        t.opcode = tt.opcode();
+        t.cta = tt.cta();
+        t.warp = tt.warp();
+        t.cyclesToFirstRead = tt.cyclesToFirstRead();
+    }
+    t.reachedMemory = tt.reachedMemory();
+    t.reachedOutput = tt.reachedOutput();
+}
+
+/**
+ * Detach the taint tracker from the Gpu on every exit path — the
+ * tracker lives on the run's stack frame, and an arena Gpu outlives
+ * it (SnapshotCorrupt and the test hooks unwind past the run).
+ */
+struct TaintGuard
+{
+    sim::Gpu &gpu;
+    ~TaintGuard() { gpu.setTaint(nullptr); }
+};
+
 } // namespace
 
 void
 registerCampaignMetrics()
 {
     CampaignObs::get();
-}
-
-bool
-isToolOutcome(Outcome o)
-{
-    return o == Outcome::ToolError || o == Outcome::ToolHang;
-}
-
-const char *
-outcomeName(Outcome o)
-{
-    auto idx = static_cast<size_t>(o);
-    gpufi_assert(idx < static_cast<size_t>(Outcome::NUM_OUTCOMES));
-    return outcomeNames[idx];
-}
-
-Outcome
-outcomeFromName(const std::string &name)
-{
-    for (size_t i = 0;
-         i < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++i)
-        if (name == outcomeNames[i])
-            return static_cast<Outcome>(i);
-    fatal("unknown outcome '%s'", name.c_str());
 }
 
 const KernelProfile &
@@ -151,6 +153,13 @@ void
 CampaignResult::add(Outcome o)
 {
     ++counts[static_cast<size_t>(o)];
+}
+
+void
+CampaignResult::add(const RunVerdict &v)
+{
+    add(v.outcome);
+    anatomy.add(v);
 }
 
 uint32_t
@@ -204,6 +213,7 @@ CampaignResult::merge(const CampaignResult &o)
 {
     for (size_t i = 0; i < counts.size(); ++i)
         counts[i] += o.counts[i];
+    anatomy.merge(o.anatomy);
 }
 
 uint64_t
@@ -405,7 +415,30 @@ CampaignRunner::buildFastForward(const CampaignSpec &spec,
             corruptOne(*ff.snaps[idx]);
 }
 
-Outcome
+RunVerdict
+CampaignRunner::classifyRun(Workload &wl, sim::Gpu &gpu,
+                            mem::DeviceMemory &dmem,
+                            const CampaignSpec &spec)
+{
+    RunVerdict v;
+    std::vector<uint8_t> out = wl.readOutput(dmem);
+    if (out != golden_.output) {
+        // The outcome test stays the exact byte comparison; the
+        // element-wise diff is analysis on top, never the verdict.
+        v.outcome = Outcome::SDC;
+        if (spec.anatomy)
+            v.anatomy = classifyAnatomy(golden_.output, out,
+                                        wl.outputKind(),
+                                        wl.outputRowElems());
+    } else if (gpu.cycle() != golden_.totalCycles) {
+        v.outcome = Outcome::Performance;
+    } else {
+        v.outcome = Outcome::Masked;
+    }
+    return v;
+}
+
+RunVerdict
 CampaignRunner::executeFast(const FaultPlan &plan,
                             const CampaignSpec &spec,
                             const FastForward &ff, WorkerArena &arena,
@@ -445,6 +478,19 @@ CampaignRunner::executeFast(const FaultPlan &plan,
         fresh = std::make_unique<sim::Gpu>(gpu_, dmem);
     }
     sim::Gpu &gpu = spec.reuseGpus ? *arena.gpu : *fresh;
+    // Propagation tracing: arm a per-run tracker on the (reset) Gpu;
+    // the site's inject() feeds it the flipped coordinates. The guard
+    // detaches it on every exit, including exceptions — the arena Gpu
+    // outlives this stack frame.
+    const bool traceThis =
+        spec.trace && siteFor(plan.target).supportsTracing();
+    sim::TaintTracker taint;
+    TaintGuard taintGuard{gpu};
+    if (traceThis) {
+        taint.setInjectionCycle(plan.cycle);
+        taint.setOutputRanges(ff.workload->outputs());
+        gpu.setTaint(&taint);
+    }
     const bool verifyThis =
         spec.verifySnapshots &&
         !ff.snapVerified[snapIdx].load(std::memory_order_relaxed);
@@ -475,16 +521,10 @@ CampaignRunner::executeFast(const FaultPlan &plan,
                 true, std::memory_order_relaxed);
     };
 
-    Outcome outcome;
+    RunVerdict verdict;
     try {
         ff.workload->run(gpu);
-        std::vector<uint8_t> out = ff.workload->readOutput(dmem);
-        if (out != golden_.output)
-            outcome = Outcome::SDC;
-        else if (gpu.cycle() != golden_.totalCycles)
-            outcome = Outcome::Performance;
-        else
-            outcome = Outcome::Masked;
+        verdict = classifyRun(*ff.workload, gpu, dmem, spec);
     } catch (const sim::ConvergedEarly &e) {
         // The state hash matched the golden stream: the rest of the
         // run follows the golden execution, so the output and the
@@ -495,19 +535,24 @@ CampaignRunner::executeFast(const FaultPlan &plan,
         markVerified();
         if (cyclesOut)
             *cyclesOut = golden_.totalCycles;
-        return Outcome::Masked;
+        verdict.outcome = Outcome::Masked;
+        if (traceThis)
+            fillTrace(verdict.trace, taint);
+        return verdict;
     } catch (const mem::DeviceFault &) {
-        outcome = Outcome::Crash;
+        verdict.outcome = Outcome::Crash;
     } catch (const sim::TimeoutError &) {
-        outcome = Outcome::Timeout;
+        verdict.outcome = Outcome::Timeout;
     }
     markVerified();
     if (cyclesOut)
         *cyclesOut = gpu.cycle();
-    return outcome;
+    if (traceThis)
+        fillTrace(verdict.trace, taint);
+    return verdict;
 }
 
-Outcome
+RunVerdict
 CampaignRunner::executeOne(const FaultPlan &plan,
                            const CampaignSpec &spec,
                            InjectionRecord *rec, uint64_t *cyclesOut)
@@ -516,6 +561,14 @@ CampaignRunner::executeOne(const FaultPlan &plan,
     mem::DeviceMemory dmem(wl->memBytes());
     wl->setup(dmem);
     sim::Gpu gpu(gpu_, dmem);
+    const bool traceThis =
+        spec.trace && siteFor(plan.target).supportsTracing();
+    sim::TaintTracker taint;
+    if (traceThis) {
+        taint.setInjectionCycle(plan.cycle);
+        taint.setOutputRanges(wl->outputs());
+        gpu.setTaint(&taint);
+    }
     // The paper's Timeout bound: twice the fault-free execution time.
     gpu.setCycleLimit(2 * golden_.totalCycles);
     gpu.setWallClockLimit(spec.wallClockLimitSec);
@@ -533,24 +586,20 @@ CampaignRunner::executeOne(const FaultPlan &plan,
         });
     }
 
-    Outcome outcome;
+    RunVerdict verdict;
     try {
         wl->run(gpu);
-        std::vector<uint8_t> out = wl->readOutput(dmem);
-        if (out != golden_.output)
-            outcome = Outcome::SDC;
-        else if (gpu.cycle() != golden_.totalCycles)
-            outcome = Outcome::Performance;
-        else
-            outcome = Outcome::Masked;
+        verdict = classifyRun(*wl, gpu, dmem, spec);
     } catch (const mem::DeviceFault &) {
-        outcome = Outcome::Crash;
+        verdict.outcome = Outcome::Crash;
     } catch (const sim::TimeoutError &) {
-        outcome = Outcome::Timeout;
+        verdict.outcome = Outcome::Timeout;
     }
     if (cyclesOut)
         *cyclesOut = gpu.cycle();
-    return outcome;
+    if (traceThis)
+        fillTrace(verdict.trace, taint);
+    return verdict;
 }
 
 CampaignResult
@@ -634,7 +683,7 @@ CampaignRunner::run(const CampaignSpec &spec,
                       static_cast<unsigned long long>(p.cycle));
             done[r.runIdx] = 1;
             fromJournal[r.runIdx] = &r;
-            resumedCounts.add(r.outcome);
+            resumedCounts.add(r.verdict);
         }
     }
 
@@ -678,14 +727,15 @@ CampaignRunner::run(const CampaignSpec &spec,
         std::vector<std::string> classNames;
         for (size_t i = 0;
              i < static_cast<size_t>(Outcome::NUM_OUTCOMES); ++i)
-            classNames.push_back(outcomeNames[i]);
+            classNames.push_back(
+                outcomeName(static_cast<Outcome>(i)));
         heartbeat = std::make_unique<obs::Heartbeat>(
             spec.progressSec, shard.ownedRuns(spec.runs),
             std::move(classNames));
         for (uint32_t i = 0; i < spec.runs; ++i)
             if (fromJournal[i])
-                heartbeat->onEvent(
-                    static_cast<size_t>(fromJournal[i]->outcome));
+                heartbeat->onEvent(static_cast<size_t>(
+                    fromJournal[i]->verdict.outcome));
     }
 
     // Per-run records only materialize when the caller asked for
@@ -740,7 +790,7 @@ CampaignRunner::run(const CampaignSpec &spec,
                     if (hookedOn(spec.test.throwOnRuns, i))
                         throw std::runtime_error(
                             "test hook: injected worker exception");
-                    r.outcome = (fast && a == 0)
+                    r.verdict = (fast && a == 0)
                         ? executeFast(plan, spec, ff, arena,
                                       &r.injection, &r.cycles)
                         : executeOne(plan, spec, &r.injection,
@@ -750,12 +800,16 @@ CampaignRunner::run(const CampaignSpec &spec,
                     warn("run %u: %s%s", i, e.what(),
                          a + 1 < attempts ? " (retrying from scratch)"
                                           : " (classified ToolHang)");
-                    r.outcome = Outcome::ToolHang;
+                    // Whole-verdict reset: a failed attempt must not
+                    // leak a partial anatomy/trace into the record.
+                    r.verdict = RunVerdict{};
+                    r.verdict.outcome = Outcome::ToolHang;
                 } catch (const std::exception &e) {
                     warn("run %u: %s%s", i, e.what(),
                          a + 1 < attempts ? " (retrying from scratch)"
                                           : " (classified ToolError)");
-                    r.outcome = Outcome::ToolError;
+                    r.verdict = RunVerdict{};
+                    r.verdict.outcome = Outcome::ToolError;
                 }
             }
 
@@ -763,17 +817,19 @@ CampaignRunner::run(const CampaignSpec &spec,
                 (obs::monotonicSeconds() - runStart) * 1e6;
             co.runUs.observe(
                 runUs > 0 ? static_cast<uint64_t>(runUs) : 0);
-            co.outcomes[static_cast<size_t>(r.outcome)]->add(1);
+            co.outcomes[
+                static_cast<size_t>(r.verdict.outcome)]->add(1);
 
             // Durable before counted: a kill after this line loses
             // nothing; a kill during it loses at most this run.
             if (journal)
                 journal->append(fingerprint, r);
-            partial[wi].add(r.outcome);
+            partial[wi].add(r.verdict);
             if (wantRecords)
                 local[i] = r;
             if (heartbeat)
-                heartbeat->onEvent(static_cast<size_t>(r.outcome));
+                heartbeat->onEvent(
+                    static_cast<size_t>(r.verdict.outcome));
             if (spec.onRunComplete)
                 spec.onRunComplete();
         }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fi/anatomy.hh"
 #include "fi/fault.hh"
 #include "fi/workload.hh"
 #include "sim/gpu_config.hh"
@@ -32,34 +33,9 @@ namespace fi {
 
 class RunJournal;
 
-/**
- * Fault-effect classes (paper §V.B), plus two *tool-level* classes
- * that record infrastructure failures (a host-side exception or a
- * wall-clock watchdog trip that survived the from-scratch retry).
- * Tool outcomes keep the campaign running but are excluded from the
- * paper's failure-ratio denominator: they say nothing about the
- * simulated device, only about the injector.
- */
-enum class Outcome : uint8_t
-{
-    Masked,         ///< identical output, identical cycles
-    Performance,    ///< identical output, different cycle count
-    SDC,            ///< wrong output, no error indication
-    Crash,          ///< device exception, unrecoverable
-    Timeout,        ///< exceeded 2x the fault-free execution time
-    ToolError,      ///< injector-side exception (not a device fault)
-    ToolHang,       ///< wall-clock watchdog fired (simulator stuck)
-    NUM_OUTCOMES
-};
-
-/** true for the tool-level classes (ToolError, ToolHang). */
-bool isToolOutcome(Outcome o);
-
-/** Stable name, e.g. "SDC". */
-const char *outcomeName(Outcome o);
-
-/** Inverse of outcomeName(); fatal() on unknown names. */
-Outcome outcomeFromName(const std::string &name);
+// Outcome (and its name helpers) moved to fi/anatomy.hh with the
+// RunVerdict refactor (DESIGN.md §15); campaign.hh re-exports them
+// through that include so existing consumers keep compiling.
 
 /**
  * Execution profile of one *static* kernel, aggregated over all of
@@ -102,19 +78,33 @@ struct RunRecord
     uint32_t runIdx = 0;
     FaultPlan plan;
     InjectionRecord injection;
-    Outcome outcome = Outcome::Masked;
+    /**
+     * The structured verdict: outcome plus optional SDC anatomy and
+     * propagation trace (both absent unless the campaign asked for
+     * them — see CampaignSpec::anatomy/trace).
+     */
+    RunVerdict verdict;
     uint64_t cycles = 0;    ///< total cycles of the faulty run
 };
 
-/** Aggregated campaign outcome counts. */
+/** Aggregated campaign outcome counts + anatomy statistics. */
 struct CampaignResult
 {
     std::array<uint32_t,
                static_cast<size_t>(Outcome::NUM_OUTCOMES)> counts{};
 
+    /**
+     * Anatomy / propagation aggregates of the added verdicts; stays
+     * empty() when no run carried anatomy or a trace, so campaigns
+     * with the feature off aggregate exactly as before.
+     */
+    AnatomyStats anatomy;
+
     uint32_t runs() const;
     uint32_t count(Outcome o) const;
     void add(Outcome o);
+    /** add(v.outcome) plus anatomy aggregation. */
+    void add(const RunVerdict &v);
     /** Runs that produced a device-level verdict (no tool outcomes). */
     uint32_t validRuns() const;
     /** ToolError + ToolHang runs (infrastructure failures). */
@@ -199,6 +189,28 @@ struct CampaignSpec
      * simultaneously").
      */
     std::vector<FaultTarget> alsoTargets;
+
+    // ---- SDC anatomy / propagation tracing (DESIGN.md §15) ---------
+
+    /**
+     * Diff SDC outputs element-wise against the golden output and
+     * attach an SdcAnatomy record (count, spatial pattern,
+     * magnitude) to each SDC verdict. Purely analytical: outcomes,
+     * plans and RNG streams are untouched, so it is excluded from
+     * campaignFingerprint() and default-off runs stay byte-identical
+     * to the pre-verdict behaviour.
+     */
+    bool anatomy = false;
+
+    /**
+     * Arm the taint tracker for each injected run: record the first
+     * instruction that reads the flipped bits and whether the
+     * corruption propagates to memory / the output buffer. Only
+     * sites with FaultSite::supportsTracing() arm it; others run
+     * with trace.armed == false. Observational only (no RNG draws,
+     * no outcome effect) and excluded from campaignFingerprint().
+     */
+    bool trace = false;
 
     // ---- Sharding (DESIGN.md §14) ----------------------------------
 
@@ -389,11 +401,22 @@ class CampaignRunner
         std::unique_ptr<sim::Gpu> gpu;
     };
 
-    Outcome executeOne(const FaultPlan &plan, const CampaignSpec &spec,
-                       InjectionRecord *rec, uint64_t *cyclesOut);
-    Outcome executeFast(const FaultPlan &plan, const CampaignSpec &spec,
-                        const FastForward &ff, WorkerArena &arena,
-                        InjectionRecord *rec, uint64_t *cyclesOut);
+    RunVerdict executeOne(const FaultPlan &plan,
+                          const CampaignSpec &spec,
+                          InjectionRecord *rec, uint64_t *cyclesOut);
+    RunVerdict executeFast(const FaultPlan &plan,
+                           const CampaignSpec &spec,
+                           const FastForward &ff, WorkerArena &arena,
+                           InjectionRecord *rec, uint64_t *cyclesOut);
+    /**
+     * Shared classification tail of executeOne/executeFast, called
+     * after the workload ran to completion: compare the output and
+     * cycle count against the golden run and (when spec.anatomy and
+     * the run is an SDC) attach the element-wise anatomy diff.
+     */
+    RunVerdict classifyRun(Workload &wl, sim::Gpu &gpu,
+                           mem::DeviceMemory &dmem,
+                           const CampaignSpec &spec);
     void buildFastForward(const CampaignSpec &spec,
                           const std::vector<FaultPlan> &plans,
                           FastForward &ff);

@@ -1,11 +1,25 @@
 #include "fi/report_log.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/logging.hh"
 
 namespace gpufi {
 namespace fi {
+
+namespace {
+
+/** Round-tripping double serialization for the anatomy magnitudes. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
 
 std::string
 formatRunRecord(const RunRecord &r)
@@ -22,7 +36,31 @@ formatRunRecord(const RunRecord &r)
         << " seed=" << r.plan.seed
         << " armed=" << (r.injection.armed ? 1 : 0)
         << " cycles=" << r.cycles
-        << " outcome=" << outcomeName(r.outcome);
+        << " outcome=" << outcomeName(r.verdict.outcome);
+    // v2 verdict keys (DESIGN.md §15). Emitted only when the campaign
+    // produced them, so feature-off records stay byte-identical to
+    // the v1 grammar; a resumed v2 record re-emits the same keys in
+    // the same order, keeping --resume journals bit-identical.
+    const SdcAnatomy &an = r.verdict.anatomy;
+    if (an.present()) {
+        out << " an.elems=" << an.corruptedElems
+            << " an.total=" << an.totalElems
+            << " an.pat=" << patternName(an.pattern)
+            << " an.max=" << fmtDouble(an.maxMagnitude)
+            << " an.mean=" << fmtDouble(an.meanMagnitude);
+    }
+    const PropagationTrace &tr = r.verdict.trace;
+    if (tr.armed) {
+        out << " tr.read=" << (tr.read ? 1 : 0);
+        if (tr.read)
+            out << " tr.cycle=" << tr.firstReadCycle
+                << " tr.pc=" << tr.firstReadPc
+                << " tr.op=" << tr.opcode
+                << " tr.cta=" << tr.cta
+                << " tr.warp=" << tr.warp;
+        out << " tr.mem=" << (tr.reachedMemory ? 1 : 0)
+            << " tr.out=" << (tr.reachedOutput ? 1 : 0);
+    }
     if (!r.injection.detail.empty()) {
         std::string d = r.injection.detail;
         for (auto &c : d)
@@ -78,8 +116,38 @@ parseRunRecord(const std::string &line)
         else if (key == "cycles")
             r.cycles = std::stoull(value);
         else if (key == "outcome") {
-            r.outcome = outcomeFromName(value);
+            r.verdict.outcome = outcomeFromName(value);
             sawOutcome = true;
+        } else if (key == "an.elems") {
+            r.verdict.anatomy.corruptedElems =
+                static_cast<uint32_t>(std::stoul(value));
+        } else if (key == "an.total") {
+            r.verdict.anatomy.totalElems =
+                static_cast<uint32_t>(std::stoul(value));
+        } else if (key == "an.pat") {
+            r.verdict.anatomy.pattern = patternFromName(value);
+        } else if (key == "an.max") {
+            r.verdict.anatomy.maxMagnitude = std::stod(value);
+        } else if (key == "an.mean") {
+            r.verdict.anatomy.meanMagnitude = std::stod(value);
+        } else if (key == "tr.read") {
+            r.verdict.trace.armed = true;
+            r.verdict.trace.read = value == "1";
+        } else if (key == "tr.cycle") {
+            r.verdict.trace.firstReadCycle = std::stoull(value);
+        } else if (key == "tr.pc") {
+            r.verdict.trace.firstReadPc = std::stoi(value);
+        } else if (key == "tr.op") {
+            r.verdict.trace.opcode = value;
+        } else if (key == "tr.cta") {
+            r.verdict.trace.cta = std::stoull(value);
+        } else if (key == "tr.warp") {
+            r.verdict.trace.warp =
+                static_cast<uint32_t>(std::stoul(value));
+        } else if (key == "tr.mem") {
+            r.verdict.trace.reachedMemory = value == "1";
+        } else if (key == "tr.out") {
+            r.verdict.trace.reachedOutput = value == "1";
         } else if (key == "detail") {
             r.injection.detail = value;
         } else {
@@ -88,6 +156,12 @@ parseRunRecord(const std::string &line)
     }
     if (!sawOutcome)
         fatal("run-log line missing outcome: '%s'", line.c_str());
+    // cyclesToFirstRead is derived, not serialized: the injection
+    // cycle is already on the line as cycle=.
+    if (r.verdict.trace.read &&
+        r.verdict.trace.firstReadCycle >= r.plan.cycle)
+        r.verdict.trace.cyclesToFirstRead =
+            r.verdict.trace.firstReadCycle - r.plan.cycle;
     return r;
 }
 
@@ -125,7 +199,7 @@ parseRunLogTolerant(std::istream &in, std::vector<RunRecord> *records)
             continue;
         }
         ++summary.parsed;
-        summary.result.add(r.outcome);
+        summary.result.add(r.verdict);
         if (records)
             records->push_back(std::move(r));
     }

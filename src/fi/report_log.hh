@@ -6,6 +6,14 @@
  * Each injected run produces one line; the parser re-aggregates a
  * CampaignResult from the log, so results can be post-processed
  * offline exactly as the paper's bash front-end does.
+ *
+ * Line grammar v2 (DESIGN.md §15): a record whose verdict carries an
+ * SDC anatomy appends `an.elems= an.total= an.pat= an.max= an.mean=`
+ * keys, and an armed propagation trace appends `tr.read=` (plus
+ * `tr.cycle= tr.pc= tr.op= tr.cta= tr.warp=` when the fault was read
+ * and `tr.mem= tr.out=` always). All of them are optional: records
+ * without anatomy/trace serialize to exactly the v1 grammar, and the
+ * parser reads v1 lines unchanged.
  */
 
 #ifndef GPUFI_FI_REPORT_LOG_HH

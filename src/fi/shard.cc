@@ -244,7 +244,7 @@ mergeShardJournals(const std::vector<std::string> &paths,
                 continue;
             }
             merged.records.push_back(*byIdx[i]);
-            merged.result.add(byIdx[i]->outcome);
+            merged.result.add(byIdx[i]->verdict);
         }
         if (!merged.missing.empty() && !allowPartial) {
             std::string firstFew;

@@ -5,6 +5,7 @@
 #include "fi/avf.hh"
 #include "mem/cache.hh"
 #include "sim/structures.hh"
+#include "sim/taint.hh"
 
 namespace gpufi {
 namespace fi {
@@ -81,6 +82,8 @@ class RegisterFileSite : public FaultSite
         return dfReg(cfg, prof);
     }
 
+    bool supportsTracing() const override { return true; }
+
     void
     inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
            InjectionRecord *rec) const override
@@ -91,11 +94,17 @@ class RegisterFileSite : public FaultSite
             return;
         }
         auto flips = entryFlips(plan, kernel->numRegs, 32, rng);
+        // Taint arming reuses the coordinates drawn above — no extra
+        // RNG draws, so the pinned selection stream is untouched.
         auto flipThread = [&](sim::CtaRuntime &cta, size_t idx) {
             uint32_t *regs = cta.regs(idx);
-            for (const auto &[reg, bit] : flips)
+            for (const auto &[reg, bit] : flips) {
                 regs[reg] =
                     flipBit32(regs[reg], static_cast<unsigned>(bit));
+                if (sim::TaintTracker *tt = gpu.taint())
+                    tt->armReg(cta.linearId,
+                               static_cast<uint32_t>(idx), reg);
+            }
         };
 
         if (plan.scope == FaultScope::Warp) {
@@ -169,6 +178,8 @@ class LocalMemorySite : public FaultSite
         return 8;
     }
 
+    bool supportsTracing() const override { return true; }
+
     void
     inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
            InjectionRecord *rec) const override
@@ -184,9 +195,12 @@ class LocalMemorySite : public FaultSite
         auto flipThreadLocal = [&](const sim::CtaRuntime &cta,
                                    uint32_t threadIdx) {
             mem::Addr base = gpu.localAddr(cta, threadIdx);
-            for (uint64_t b : bits)
+            for (uint64_t b : bits) {
                 gpu.mem().flipBit(base + b / 8,
                                   static_cast<unsigned>(b % 8));
+                if (sim::TaintTracker *tt = gpu.taint())
+                    tt->armMem(base + b / 8, 1);
+            }
         };
 
         if (plan.scope == FaultScope::Warp) {
@@ -277,6 +291,8 @@ class SharedMemorySite : public FaultSite
         return dfSmem(cfg, prof);
     }
 
+    bool supportsTracing() const override { return true; }
+
     void
     inject(sim::Gpu &gpu, const FaultPlan &plan, Rng &rng,
            InjectionRecord *rec) const override
@@ -293,8 +309,12 @@ class SharedMemorySite : public FaultSite
         std::vector<uint64_t> bits = rng.distinct(
             static_cast<uint64_t>(victim->shared.size()) * 8,
             plan.nBits);
-        for (uint64_t b : bits)
+        for (uint64_t b : bits) {
             victim->shared.flipBit(b);
+            if (sim::TaintTracker *tt = gpu.taint())
+                tt->armShared(victim->linearId,
+                              static_cast<uint32_t>(b >> 5));
+        }
         note(rec, true,
              detail::format("shared of cta%llu",
                             static_cast<unsigned long long>(

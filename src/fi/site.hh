@@ -80,6 +80,20 @@ class FaultSite
         return true;
     }
 
+    /**
+     * True when inject() arms the propagation taint tracker
+     * (sim/taint.hh) with the coordinates it flips, so campaigns can
+     * trace the fault to its first reader (DESIGN.md §15). True for
+     * the structures whose flipped bits map directly to
+     * architectural reads — register file, local memory, shared
+     * memory; cache/control-state sites flip tags, replacement or
+     * scheduler bits that have no single first-reader instruction.
+     * Arming MUST NOT add RNG draws: sites arm from the victim/bit
+     * coordinates they already computed, keeping the documented
+     * selection stream (and so every FaultPlan replay) intact.
+     */
+    virtual bool supportsTracing() const { return false; }
+
     /** Addressable entries (registers, lines, bytes, warps...). */
     virtual uint64_t entries(const sim::GpuConfig &cfg,
                              const SiteSizing &sizing) const = 0;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fi/anatomy.hh"
 #include "mem/backing.hh"
 #include "sim/gpu.hh"
 #include "sim/launch.hh"
@@ -58,6 +59,27 @@ class Workload
 
     /** Concatenated bytes of all declared output regions. */
     std::vector<uint8_t> readOutput(const mem::DeviceMemory &mem) const;
+
+    /**
+     * Element type of the declared output buffer(s), selecting the
+     * SDC-anatomy magnitude metric: F32 uses |golden - faulty|, U32
+     * (BFS costs, KM labels, path matrices, NW scores) the Hamming
+     * distance of the element bits.
+     */
+    virtual OutputKind outputKind() const { return OutputKind::F32; }
+
+    /**
+     * Row width in elements of a 2D output (SRAD/hotspot/LUD grids),
+     * or 0 for 1D outputs — feeds the spatial-pattern classifier.
+     */
+    virtual uint32_t outputRowElems() const { return 0; }
+
+    /** Declared output regions, for the propagation taint tracker. */
+    const std::vector<std::pair<mem::Addr, uint64_t>> &
+    outputs() const
+    {
+        return outputs_;
+    }
 
   protected:
     /** Declare an output region (call from setup()). */

@@ -8,6 +8,7 @@
 #include "isa/types.hh"
 #include "sim/exec.hh"
 #include "sim/gpu.hh"
+#include "sim/taint.hh"
 
 namespace gpufi {
 namespace sim {
@@ -479,6 +480,12 @@ SimtCore::executeWarp(WarpContext &w, uint64_t now)
     gpu_->countInstruction();
     w.readyAt = now + 1;
 
+    // Propagation tracing (DESIGN.md §15): a single pointer test when
+    // off. Memory/shared opcodes are handled inside their execute
+    // helpers, where the effective addresses are known.
+    if (TaintTracker *tt = gpu_->taint())
+        tt->onIssue(inst, mask, w, now);
+
     CtaRuntime &cta = *w.cta;
     const Latencies &lat = gpu_->config().lat;
 
@@ -685,6 +692,11 @@ SimtCore::executeShared(WarpContext &w, const isa::Instruction &inst,
     CtaRuntime &cta = *w.cta;
     const Latencies &lat = gpu_->config().lat;
 
+    // Pre-execution taint hook: sees the un-overwritten registers
+    // and shared words (null pointer test when tracing is off).
+    if (TaintTracker *tt = gpu_->taint())
+        tt->onSharedAccess(inst, mask, w, now);
+
     // Collect per-lane shared addresses and detect bank conflicts
     // (32 banks, 4-byte wide; same-word broadcast is conflict-free).
     uint32_t bankWords[32][2];  // up to 2 distinct words tracked/bank
@@ -823,6 +835,13 @@ SimtCore::executeMemory(WarpContext &w, const isa::Instruction &inst,
                 static_cast<unsigned long long>(addr)));
         laneAddr[lane] = addr;
     }
+
+    // Taint hook after address computation but before any functional
+    // read/write, so it sees the pre-access register and memory
+    // taint state (null pointer test when tracing is off).
+    if (TaintTracker *tt = gpu_->taint())
+        tt->onMemoryAccess(inst, mask, w, now, laneAddr,
+                           isa::isStore(inst.op));
 
     if (isa::isStore(inst.op)) {
         // Functional writes, then per-line store timing. The line

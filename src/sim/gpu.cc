@@ -146,6 +146,7 @@ Gpu::resetForRun()
     convNextCycle_ = ~0ULL;
     convStride_ = 1;
     runHash_ = StateHasher{};
+    taint_ = nullptr;
 }
 
 void

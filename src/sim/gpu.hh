@@ -30,6 +30,8 @@
 namespace gpufi {
 namespace sim {
 
+class TaintTracker;
+
 /**
  * One simulated GPU chip. A Gpu instance serves one campaign run at
  * a time: construct (or resetForRun() an existing instance), launch
@@ -282,6 +284,16 @@ class Gpu
     void countInstruction() { ++warpInstructions_; }
 
     /**
+     * Propagation taint tracker (sim/taint.hh), or nullptr when the
+     * run does not trace — the cores test this pointer once per hook
+     * site, so tracing-off runs stay bit-identical and essentially
+     * free. The tracker is owned by the campaign layer; it must
+     * outlive the run and is detached by resetForRun().
+     */
+    TaintTracker *taint() const { return taint_; }
+    void setTaint(TaintTracker *t) { taint_ = t; }
+
+    /**
      * Publish this Gpu's accumulated tallies (cycles, instructions,
      * scheduler stalls, cache hit/miss counters) into the obs
      * registry. Idempotent; the destructor calls it, so every Gpu —
@@ -375,6 +387,9 @@ class Gpu
     std::chrono::steady_clock::time_point wallDeadline_{};
 
     bool obsPublished_ = false; ///< publishObs() ran (see above)
+
+    /** Propagation taint tracker (null unless the run traces). */
+    TaintTracker *taint_ = nullptr;
 
     // Pending injections: cycle -> callbacks
     std::multimap<uint64_t, InjectionFn> injections_;

@@ -1,0 +1,237 @@
+#include "sim/taint.hh"
+
+#include "isa/types.hh"
+#include "sim/runtime.hh"
+
+namespace gpufi {
+namespace sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::OperandKind;
+using mem::Addr;
+
+void
+TaintTracker::reset()
+{
+    regs_.clear();
+    shared_.clear();
+    memWords_.clear();
+    outputs_.clear();
+    armedAny_ = false;
+    injectCycle_ = 0;
+    read_ = false;
+    firstReadCycle_ = 0;
+    firstReadPc_ = -1;
+    opcode_.clear();
+    cta_ = 0;
+    warp_ = 0;
+    reachedMemory_ = false;
+    reachedOutput_ = false;
+}
+
+void
+TaintTracker::armReg(uint64_t ctaLinear, uint32_t threadIdx,
+                     uint32_t reg)
+{
+    regs_.insert(regKey(ctaLinear, threadIdx, reg));
+    armedAny_ = true;
+}
+
+void
+TaintTracker::armMem(Addr addr, uint64_t len)
+{
+    if (len == 0)
+        return;
+    for (Addr a = addr & ~static_cast<Addr>(3); a < addr + len; a += 4)
+        memWords_.insert(a);
+    armedAny_ = true;
+}
+
+void
+TaintTracker::armShared(uint64_t ctaLinear, uint32_t wordIdx)
+{
+    shared_.insert(sharedKey(ctaLinear, wordIdx));
+    armedAny_ = true;
+}
+
+bool
+TaintTracker::taintedReg(const WarpContext &w, uint32_t lane,
+                         int reg) const
+{
+    if (reg < 0 || regs_.empty())
+        return false;
+    return regs_.count(regKey(w.cta->linearId, w.threadBase + lane,
+                              static_cast<uint32_t>(reg))) != 0;
+}
+
+bool
+TaintTracker::taintedMemWord(Addr addr) const
+{
+    if (memWords_.empty())
+        return false;
+    Addr lo = addr & ~static_cast<Addr>(3);
+    Addr hi = (addr + 3) & ~static_cast<Addr>(3);
+    return memWords_.count(lo) != 0 ||
+           (hi != lo && memWords_.count(hi) != 0);
+}
+
+void
+TaintTracker::recordRead(const Instruction &inst, const WarpContext &w,
+                         uint64_t now)
+{
+    if (read_)
+        return;
+    read_ = true;
+    firstReadCycle_ = now;
+    firstReadPc_ = w.stack.empty()
+                       ? -1
+                       : static_cast<int32_t>(w.stack.back().pc);
+    opcode_ = isa::opcodeName(inst.op);
+    cta_ = w.cta->linearId;
+    warp_ = w.warpIdInCta;
+}
+
+void
+TaintTracker::taintStore(Addr addr)
+{
+    Addr lo = addr & ~static_cast<Addr>(3);
+    Addr hi = (addr + 3) & ~static_cast<Addr>(3);
+    memWords_.insert(lo);
+    if (hi != lo)
+        memWords_.insert(hi);
+    for (const auto &[base, size] : outputs_) {
+        if (addr < base + size && addr + 4 > base) {
+            reachedOutput_ = true;
+            break;
+        }
+    }
+}
+
+void
+TaintTracker::onIssue(const Instruction &inst, uint32_t mask,
+                      const WarpContext &w, uint64_t now)
+{
+    if (!armedAny_ || isa::isMemory(inst.op))
+        return;
+    const uint64_t ctaLinear = w.cta->linearId;
+    const bool hasDst = inst.dst >= 0;
+    for (uint32_t lane = 0; lane < 32; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        bool srcTainted = false;
+        for (const auto &o : inst.src)
+            if (o.kind == OperandKind::Reg &&
+                taintedReg(w, lane, static_cast<int>(o.value)))
+                srcTainted = true;
+        if (srcTainted)
+            recordRead(inst, w, now);
+        if (hasDst) {
+            // The destination's new value derives only from this
+            // instruction's sources (PARAM reads constant memory):
+            // propagate taint, or clear it on an untainted overwrite.
+            uint64_t key =
+                regKey(ctaLinear, w.threadBase + lane,
+                       static_cast<uint32_t>(inst.dst));
+            if (srcTainted)
+                regs_.insert(key);
+            else
+                regs_.erase(key);
+        }
+    }
+}
+
+void
+TaintTracker::onSharedAccess(const Instruction &inst, uint32_t mask,
+                             const WarpContext &w, uint64_t now)
+{
+    if (!armedAny_)
+        return;
+    const CtaRuntime &cta = *w.cta;
+    const bool isStore = inst.op == Opcode::STS;
+    for (uint32_t lane = 0; lane < 32; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        const uint32_t *regs = cta.regs(w.threadBase + lane);
+        uint32_t addr =
+            regs[static_cast<size_t>(inst.memBase)] +
+            static_cast<uint32_t>(inst.memOffset);
+        uint32_t word = addr >> 2;
+        bool baseTainted = taintedReg(w, lane, inst.memBase);
+        if (isStore) {
+            bool valTainted =
+                baseTainted ||
+                (inst.src[0].kind == OperandKind::Reg &&
+                 taintedReg(w, lane,
+                            static_cast<int>(inst.src[0].value)));
+            uint64_t key = sharedKey(cta.linearId, word);
+            if (valTainted) {
+                recordRead(inst, w, now);
+                shared_.insert(key);
+            } else {
+                shared_.erase(key);
+            }
+        } else {
+            bool tainted =
+                baseTainted ||
+                shared_.count(sharedKey(cta.linearId, word)) != 0;
+            if (tainted)
+                recordRead(inst, w, now);
+            uint64_t key =
+                regKey(cta.linearId, w.threadBase + lane,
+                       static_cast<uint32_t>(inst.dst));
+            if (tainted)
+                regs_.insert(key);
+            else
+                regs_.erase(key);
+        }
+    }
+}
+
+void
+TaintTracker::onMemoryAccess(const Instruction &inst, uint32_t mask,
+                             const WarpContext &w, uint64_t now,
+                             const Addr *laneAddr, bool isStore)
+{
+    if (!armedAny_)
+        return;
+    const uint64_t ctaLinear = w.cta->linearId;
+    for (uint32_t lane = 0; lane < 32; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        const Addr addr = laneAddr[lane];
+        bool baseTainted = taintedReg(w, lane, inst.memBase);
+        if (isStore) {
+            // A store of a tainted value — or through a tainted
+            // address — writes corruption into device memory.
+            bool valTainted =
+                baseTainted ||
+                (inst.src[0].kind == OperandKind::Reg &&
+                 taintedReg(w, lane,
+                            static_cast<int>(inst.src[0].value)));
+            if (valTainted) {
+                recordRead(inst, w, now);
+                reachedMemory_ = true;
+                taintStore(addr);
+            } else if ((addr & 3) == 0) {
+                // A word-aligned untainted store fully overwrites
+                // the granule; misaligned ones only partially cover
+                // their words, so conservatively keep those tainted.
+                memWords_.erase(addr);
+            }
+        } else {
+            bool tainted = baseTainted || taintedMemWord(addr);
+            if (tainted)
+                recordRead(inst, w, now);
+            uint64_t key = regKey(ctaLinear, w.threadBase + lane,
+                                  static_cast<uint32_t>(inst.dst));
+            if (tainted)
+                regs_.insert(key);
+            else
+                regs_.erase(key);
+        }
+    }
+}
+
+} // namespace sim
+} // namespace gpufi

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Propagation taint tracking for root-cause analysis (DESIGN.md §15):
+ * watch the coordinates a fault site flipped and record the first
+ * instruction that *reads* them, plus whether the corruption
+ * propagates to device memory and into the workload's declared
+ * output buffer — the CFA framework's root-cause signal.
+ *
+ * Contract:
+ *
+ *  - *Off by default, invisible when off.* The Gpu holds a
+ *    TaintTracker pointer that is null unless the campaign armed
+ *    tracing; every SimtCore hook is a single pointer test on the
+ *    null path, and the tracker never mutates simulator state, draws
+ *    RNG numbers, or affects classification. Twin-run tests pin
+ *    tracing-off runs bit-identical to the pre-refactor behavior.
+ *  - *Armed by the fault site.* Sites whose flipped coordinates map
+ *    to architectural reads (register file, local memory, shared
+ *    memory — FaultSite::supportsTracing()) call armReg/armMem/
+ *    armShared from inject() with the coordinates they already
+ *    computed, so arming adds no RNG draws to the pinned selection
+ *    stream.
+ *  - *Forward propagation, conservative clearing.* A value computed
+ *    from a tainted register taints its destination; an untainted
+ *    overwrite clears it. Loads/stores propagate through memory at
+ *    4-byte-word granularity. The *first* detected read is recorded
+ *    (cycle, pc, opcode, warp/CTA) and kept.
+ */
+
+#ifndef GPUFI_SIM_TAINT_HH
+#define GPUFI_SIM_TAINT_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace gpufi {
+namespace isa {
+struct Instruction;
+}
+namespace sim {
+
+struct WarpContext;
+
+class TaintTracker
+{
+  public:
+    /** Clear all taint, arming and the recorded read (run reuse). */
+    void reset();
+
+    // ---- Arming (fault sites, at injection time) -------------------
+
+    /** Taint register @p reg of thread @p threadIdx (index within
+     *  the CTA) of the CTA with linear id @p ctaLinear. */
+    void armReg(uint64_t ctaLinear, uint32_t threadIdx, uint32_t reg);
+
+    /** Taint the device-memory bytes [addr, addr + len). */
+    void armMem(mem::Addr addr, uint64_t len);
+
+    /** Taint 32-bit word @p wordIdx of a CTA's shared memory. */
+    void armShared(uint64_t ctaLinear, uint32_t wordIdx);
+
+    /** Injection cycle, for cyclesToFirstRead. */
+    void setInjectionCycle(uint64_t cycle) { injectCycle_ = cycle; }
+
+    /** Output regions; a tainted store inside one sets
+     *  reachedOutput(). */
+    void
+    setOutputRanges(std::vector<std::pair<mem::Addr, uint64_t>> r)
+    {
+        outputs_ = std::move(r);
+    }
+
+    /** A site armed at least one coordinate. */
+    bool armedAny() const { return armedAny_; }
+
+    // ---- SimtCore hooks (null-checked via Gpu::taint()) ------------
+
+    /**
+     * Non-memory instruction at the top of executeWarp: detect reads
+     * of tainted source registers and propagate/clear the
+     * destination. Memory and shared opcodes are skipped — their
+     * dedicated hooks below see the effective addresses.
+     */
+    void onIssue(const isa::Instruction &inst, uint32_t mask,
+                 const WarpContext &w, uint64_t now);
+
+    /** LDS/STS, from the top of executeShared (pre-execution). */
+    void onSharedAccess(const isa::Instruction &inst, uint32_t mask,
+                        const WarpContext &w, uint64_t now);
+
+    /**
+     * Global/local/texture access from executeMemory, after the
+     * effective addresses were computed and validated but before the
+     * functional reads/writes. @p laneAddr is indexed by lane and
+     * valid where @p mask is set.
+     */
+    void onMemoryAccess(const isa::Instruction &inst, uint32_t mask,
+                        const WarpContext &w, uint64_t now,
+                        const mem::Addr *laneAddr, bool isStore);
+
+    // ---- Results ---------------------------------------------------
+
+    bool read() const { return read_; }
+    uint64_t firstReadCycle() const { return firstReadCycle_; }
+    int32_t firstReadPc() const { return firstReadPc_; }
+    const std::string &opcode() const { return opcode_; }
+    uint64_t cta() const { return cta_; }
+    uint32_t warp() const { return warp_; }
+    bool reachedMemory() const { return reachedMemory_; }
+    bool reachedOutput() const { return reachedOutput_; }
+    uint64_t
+    cyclesToFirstRead() const
+    {
+        return read_ && firstReadCycle_ >= injectCycle_
+                   ? firstReadCycle_ - injectCycle_
+                   : 0;
+    }
+
+  private:
+    /** (cta linear id, thread-in-CTA, reg) -> set key. */
+    static uint64_t
+    regKey(uint64_t ctaLinear, uint32_t threadIdx, uint32_t reg)
+    {
+        return (ctaLinear << 32) |
+               (static_cast<uint64_t>(threadIdx) << 8) | reg;
+    }
+
+    static uint64_t
+    sharedKey(uint64_t ctaLinear, uint32_t wordIdx)
+    {
+        return (ctaLinear << 32) | wordIdx;
+    }
+
+    bool taintedReg(const WarpContext &w, uint32_t lane,
+                    int reg) const;
+    bool taintedMemWord(mem::Addr addr) const;
+    void recordRead(const isa::Instruction &inst, const WarpContext &w,
+                    uint64_t now);
+    void taintStore(mem::Addr addr);
+
+    std::unordered_set<uint64_t> regs_;
+    std::unordered_set<uint64_t> shared_;
+    /** Word-aligned tainted device addresses (4-byte granules). */
+    std::unordered_set<uint64_t> memWords_;
+    std::vector<std::pair<mem::Addr, uint64_t>> outputs_;
+
+    bool armedAny_ = false;
+    uint64_t injectCycle_ = 0;
+    bool read_ = false;
+    uint64_t firstReadCycle_ = 0;
+    int32_t firstReadPc_ = -1;
+    std::string opcode_;
+    uint64_t cta_ = 0;
+    uint32_t warp_ = 0;
+    bool reachedMemory_ = false;
+    bool reachedOutput_ = false;
+};
+
+} // namespace sim
+} // namespace gpufi
+
+#endif // GPUFI_SIM_TAINT_HH

@@ -104,6 +104,12 @@ class Bfs : public SuiteWorkload
   public:
     std::string name() const override { return "bfs"; }
 
+    /** Per-node costs: integer elements, Hamming magnitude. */
+    fi::OutputKind outputKind() const override
+    {
+        return fi::OutputKind::U32;
+    }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

@@ -93,6 +93,9 @@ class Hotspot : public SuiteWorkload
   public:
     std::string name() const override { return "hotspot"; }
 
+    /** The temperature field is a kDim x kDim float grid. */
+    uint32_t outputRowElems() const override { return kDim; }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

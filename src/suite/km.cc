@@ -92,6 +92,12 @@ class Kmeans : public SuiteWorkload
   public:
     std::string name() const override { return "kmeans"; }
 
+    /** Cluster labels: integer elements, Hamming magnitude. */
+    fi::OutputKind outputKind() const override
+    {
+        return fi::OutputKind::U32;
+    }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

@@ -306,6 +306,9 @@ class Lud : public SuiteWorkload
   public:
     std::string name() const override { return "lud"; }
 
+    /** The decomposed matrix is kN x kN floats. */
+    uint32_t outputRowElems() const override { return kN; }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

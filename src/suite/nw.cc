@@ -155,6 +155,15 @@ class NeedlemanWunsch : public SuiteWorkload
   public:
     std::string name() const override { return "nw"; }
 
+    /** Alignment scores: integer elements, Hamming magnitude. */
+    fi::OutputKind outputKind() const override
+    {
+        return fi::OutputKind::U32;
+    }
+
+    /** The score matrix is (kN+1) x (kN+1). */
+    uint32_t outputRowElems() const override { return kN + 1; }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

@@ -79,6 +79,12 @@ class Pathfinder : public SuiteWorkload
   public:
     std::string name() const override { return "pathfinder"; }
 
+    /** Accumulated path costs: integer elements, Hamming magnitude. */
+    fi::OutputKind outputKind() const override
+    {
+        return fi::OutputKind::U32;
+    }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

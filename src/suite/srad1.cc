@@ -190,6 +190,9 @@ class Srad1 : public SuiteWorkload
   public:
     std::string name() const override { return "srad1"; }
 
+    /** The output image is a kDim x kDim float grid. */
+    uint32_t outputRowElems() const override { return kDim; }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

@@ -234,6 +234,9 @@ class Srad2 : public SuiteWorkload
   public:
     std::string name() const override { return "srad2"; }
 
+    /** The output image is a kDim x kDim float grid. */
+    uint32_t outputRowElems() const override { return kDim; }
+
     void
     setup(mem::DeviceMemory &mem) override
     {

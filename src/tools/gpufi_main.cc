@@ -78,6 +78,8 @@ struct CliOptions
     std::string heartbeatFile;  ///< liveness file for a supervisor
     double progressSec = 0.0;   ///< stderr heartbeat interval
     bool resume = false;
+    bool anatomy = false;       ///< SDC anatomy + propagation tracing
+    bool instrTable = false;    ///< print the instruction table too
     double watchdogSec = 0.0;
     bool noRetry = false;
     bool noFastpath = false;    ///< reference interpreter + dense snaps
@@ -154,6 +156,14 @@ usage()
         "  --resume               skip runs already in the journal;\n"
         "                         the final result is bit-identical\n"
         "                         to an uninterrupted campaign\n"
+        "  --anatomy              classify each SDC's shape (count,\n"
+        "                         spatial pattern, magnitude) and\n"
+        "                         trace each fault to its first\n"
+        "                         reader; adds an 'sdc-anatomy'\n"
+        "                         section to --metrics-out\n"
+        "  --instr-table          print the per-kernel instruction\n"
+        "                         vulnerability table (implies\n"
+        "                         --anatomy)\n"
         "  --watchdog-sec X       per-run wall-clock watchdog; a\n"
         "                         stuck run is retried from scratch,\n"
         "                         then classified ToolHang (0: off)\n"
@@ -275,6 +285,10 @@ parseArgs(int argc, char **argv)
             ++i;
         } else if (a == "--resume") {
             opts.resume = true;
+        } else if (a == "--anatomy") {
+            opts.anatomy = true;
+        } else if (a == "--instr-table") {
+            opts.instrTable = true;
         } else if (a == "--watchdog-sec") {
             opts.watchdogSec = std::strtod(need(i), nullptr);
             ++i;
@@ -311,6 +325,18 @@ printResult(const std::string &kernel, const std::string &target,
     if (partial)
         std::printf("  [partial: %u runs]", r.runs());
     std::printf("\n");
+    if (!r.anatomy.empty()) {
+        const fi::AnatomyStats &an = r.anatomy;
+        std::printf("  anatomy: %u SDC diffs (", an.sdcWithAnatomy);
+        for (size_t i = 0; i < fi::kNumPatterns; ++i)
+            std::printf("%s%s %u", i ? " " : "",
+                        fi::patternName(
+                            static_cast<fi::SpatialPattern>(i)),
+                        an.patternCounts[i]);
+        std::printf(") | traced %u, read %u, to-mem %u, to-out %u\n",
+                    an.tracedRuns, an.tracedReads, an.reachedMemory,
+                    an.reachedOutput);
+    }
 }
 
 /**
@@ -323,8 +349,8 @@ printTargetRegistry(const sim::GpuConfig &card)
 {
     std::printf("fault-site registry | card %s\n\n",
                 card.name.c_str());
-    std::printf("%-14s %10s %10s %14s  %s\n", "target", "entries",
-                "bits/entry", "total bits", "selection");
+    std::printf("%-14s %10s %10s %14s %7s  %s\n", "target", "entries",
+                "bits/entry", "total bits", "trace", "selection");
     fi::SiteSizing sizing; // local memory is sized per workload
     for (const fi::FaultSite *site : fi::allSites()) {
         char entriesBuf[24];
@@ -345,12 +371,13 @@ printTargetRegistry(const sim::GpuConfig &card)
             flags += " [extension]";
         if (!site->available(card))
             flags += " [not on this card]";
-        std::printf("%-14s %10s %10llu %14s  %s%s\n",
+        std::printf("%-14s %10s %10llu %14s %7s  %s%s\n",
                     site->name().c_str(), entriesBuf,
                     static_cast<unsigned long long>(
                         site->bitsPerEntry(card)),
-                    totalBuf, site->selectionSemantics(),
-                    flags.c_str());
+                    totalBuf,
+                    site->supportsTracing() ? "yes" : "no",
+                    site->selectionSemantics(), flags.c_str());
     }
 }
 
@@ -529,6 +556,10 @@ runCli(const CliOptions &opts)
             spec.runs = opts.runs;
             spec.seed = opts.seed +
                         static_cast<uint64_t>(target) * 7919;
+            // --instr-table needs the traces; both knobs stay out of
+            // the fingerprint, so journals resume either way.
+            spec.anatomy = opts.anatomy || opts.instrTable;
+            spec.trace = spec.anatomy;
             spec.keepRecords = !opts.logPath.empty();
             spec.progressSec = opts.progressSec;
             spec.wallClockLimitSec = opts.watchdogSec;
@@ -614,12 +645,34 @@ runCli(const CliOptions &opts)
             std::printf("; rerun with --journal %s --resume to "
                         "continue", journal.path().c_str());
         std::printf("\n");
+        if (opts.anatomy || opts.instrTable)
+            obs::setReportSection(
+                "sdc-anatomy",
+                fi::anatomyReportSection(overall.anatomy));
         writeMetrics(opts);
         return fi::kExitInterrupted;
     }
 
     if (!opts.logPath.empty())
         writeFileAtomic(opts.logPath, logText);
+
+    if (opts.anatomy || opts.instrTable) {
+        obs::setReportSection(
+            "sdc-anatomy", fi::anatomyReportSection(overall.anatomy));
+        if (opts.instrTable) {
+            for (const auto &set : sets) {
+                fi::AnatomyStats agg;
+                for (const auto &[target, res] : set.byStructure)
+                    agg.merge(res.anatomy);
+                std::string table = fi::formatInstructionTable(agg);
+                if (table.empty())
+                    continue;
+                std::printf("\ninstruction vulnerability | kernel "
+                            "%s\n%s",
+                            set.profile.name.c_str(), table.c_str());
+            }
+        }
+    }
 
     if (opts.full) {
         fi::AvfReport report = fi::computeReport(card, sets);
@@ -731,7 +784,7 @@ runSuperviseCli(int argc, char **argv)
     };
     static const char *const kFlagPassthrough[] = {
         "--spread", "--no-retry", "--no-fastpath", "--no-reuse",
-        "--full", nullptr,
+        "--full", "--anatomy", "--instr-table", nullptr,
     };
     static const char *const kManaged[] = {
         "--journal", "--resume", "--shard", "--heartbeat-file",

@@ -5,11 +5,15 @@
  * CI job gates on it: a report that drops a required counter or
  * bumps the schema version without review fails the pipeline.
  *
- * Usage: gpufi-metrics-check FILE...
+ * Usage: gpufi-metrics-check [--require-anatomy] FILE...
+ * --require-anatomy additionally fails any file whose report lacks an
+ * sdc-anatomy section (the section itself is schema-checked whenever
+ * present, flag or not).
  * Exit status: 0 when every file validates, 1 otherwise.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -21,7 +25,7 @@ using namespace gpufi;
 namespace {
 
 bool
-checkFile(const std::string &path)
+checkFile(const std::string &path, bool requireAnatomy)
 {
     std::ifstream in(path);
     if (!in) {
@@ -43,6 +47,12 @@ checkFile(const std::string &path)
                      path.c_str(), err.c_str());
         return false;
     }
+    if (requireAnatomy && !report.find("sdc-anatomy")) {
+        std::fprintf(stderr,
+                     "%s: missing required sdc-anatomy section\n",
+                     path.c_str());
+        return false;
+    }
     std::printf("%s: ok\n", path.c_str());
     return true;
 }
@@ -52,13 +62,22 @@ checkFile(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: gpufi-metrics-check FILE...\n");
+    bool requireAnatomy = false;
+    int first = 1;
+    if (first < argc &&
+        std::strcmp(argv[first], "--require-anatomy") == 0) {
+        requireAnatomy = true;
+        ++first;
+    }
+    if (first >= argc) {
+        std::fprintf(
+            stderr,
+            "usage: gpufi-metrics-check [--require-anatomy] "
+            "FILE...\n");
         return 1;
     }
     bool ok = true;
-    for (int i = 1; i < argc; ++i)
-        ok = checkFile(argv[i]) && ok;
+    for (int i = first; i < argc; ++i)
+        ok = checkFile(argv[i], requireAnatomy) && ok;
     return ok ? 0 : 1;
 }

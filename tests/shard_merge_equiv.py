@@ -28,9 +28,12 @@ import tempfile
 
 RUNS = 30
 SEED = 7
+# --anatomy makes every shard journal carry the v2 record grammar
+# (an.*/tr.* keys), so the byte-identity checks below also pin
+# shard/merge equivalence for structured verdicts.
 CAMPAIGN = [
     "--benchmark", "VA", "--runs", str(RUNS), "--seed", str(SEED),
-    "--threads", "1",
+    "--threads", "1", "--anatomy",
 ]
 EXIT_DEGENERATE = 4
 

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * SDC-anatomy subsystem tests: the element-wise output classifier
+ * (magnitude semantics per output kind, spatial patterns, NaN
+ * guards), aggregate-merge commutativity, the v2 run-record keys, the
+ * instruction-vulnerability table, and the twin-run guarantee that
+ * arming anatomy + tracing changes no campaign outcome.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/obs.hh"
+#include "fi/anatomy.hh"
+#include "fi/campaign.hh"
+#include "fi/report_log.hh"
+#include "fi/site.hh"
+#include "sim_test_util.hh"
+#include "suite/suite.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+
+namespace {
+
+std::vector<uint8_t>
+bytesOf(const std::vector<float> &v)
+{
+    std::vector<uint8_t> out(v.size() * 4);
+    std::memcpy(out.data(), v.data(), out.size());
+    return out;
+}
+
+std::vector<uint8_t>
+bytesOf(const std::vector<uint32_t> &v)
+{
+    std::vector<uint8_t> out(v.size() * 4);
+    std::memcpy(out.data(), v.data(), out.size());
+    return out;
+}
+
+} // namespace
+
+// ---- Element-wise classifier ---------------------------------------
+
+TEST(Anatomy, F32MagnitudeIsAbsoluteDelta)
+{
+    std::vector<float> golden(16, 1.0f);
+    std::vector<float> faulty = golden;
+    faulty[5] = 4.0f;
+    SdcAnatomy a = classifyAnatomy(bytesOf(golden), bytesOf(faulty),
+                                   OutputKind::F32, 0);
+    EXPECT_EQ(a.corruptedElems, 1u);
+    EXPECT_EQ(a.totalElems, 16u);
+    EXPECT_EQ(a.pattern, SpatialPattern::Single);
+    EXPECT_DOUBLE_EQ(a.maxMagnitude, 3.0);
+    EXPECT_DOUBLE_EQ(a.meanMagnitude, 3.0);
+}
+
+TEST(Anatomy, F32NanDeltaFallsBackToBitDistance)
+{
+    // A flipped exponent bit can turn a float into NaN or infinity;
+    // the magnitude must stay finite so downstream means and the
+    // metrics validator never see NaN.
+    std::vector<float> golden(8, 1.0f);
+    std::vector<uint8_t> gb = bytesOf(golden);
+    std::vector<uint8_t> fb = gb;
+    const uint32_t nanBits = 0x7FC00000u;
+    std::memcpy(fb.data() + 3 * 4, &nanBits, 4);
+
+    SdcAnatomy a = classifyAnatomy(gb, fb, OutputKind::F32, 0);
+    ASSERT_EQ(a.corruptedElems, 1u);
+    EXPECT_TRUE(std::isfinite(a.maxMagnitude));
+    EXPECT_TRUE(std::isfinite(a.meanMagnitude));
+    uint32_t oneBits = 0x3F800000u;
+    double hamming = __builtin_popcount(oneBits ^ nanBits);
+    EXPECT_DOUBLE_EQ(a.maxMagnitude, hamming);
+}
+
+TEST(Anatomy, U32MagnitudeIsHammingDistance)
+{
+    // Integer outputs (BFS levels, KM labels, NW scores, PATHF
+    // sums): an FP delta of reinterpreted bits would be meaningless,
+    // so magnitude is the bit-level Hamming distance.
+    std::vector<uint32_t> golden(8, 0u);
+    std::vector<uint32_t> faulty = golden;
+    faulty[2] = 0xFFu; // 8 flipped bits
+    faulty[6] = 0x1u;  // 1 flipped bit
+    SdcAnatomy a = classifyAnatomy(bytesOf(golden), bytesOf(faulty),
+                                   OutputKind::U32, 0);
+    EXPECT_EQ(a.corruptedElems, 2u);
+    EXPECT_DOUBLE_EQ(a.maxMagnitude, 8.0);
+    EXPECT_DOUBLE_EQ(a.meanMagnitude, 4.5);
+}
+
+TEST(Anatomy, EveryWorkloadDeclaresItsOutputKind)
+{
+    // Regression per workload kind: the integer-output benchmarks
+    // must report U32 (Hamming magnitudes) and the float ones F32 —
+    // a new workload defaulting wrongly would silently produce
+    // garbage magnitude statistics.
+    const std::set<std::string> integerCodes = {"KM", "BFS", "PATHF",
+                                                "NW"};
+    for (const auto &info : suite::benchmarks()) {
+        std::unique_ptr<Workload> wl = info.factory();
+        OutputKind want = integerCodes.count(info.code)
+                              ? OutputKind::U32
+                              : OutputKind::F32;
+        EXPECT_EQ(wl->outputKind(), want) << info.code;
+    }
+}
+
+TEST(Anatomy, SpatialPatternClassification)
+{
+    const uint32_t rowElems = 8;
+    std::vector<uint32_t> golden(64, 0u);
+    auto classify = [&](std::vector<uint32_t> faulty) {
+        return classifyAnatomy(bytesOf(golden), bytesOf(faulty),
+                               OutputKind::U32, rowElems)
+            .pattern;
+    };
+
+    std::vector<uint32_t> f = golden;
+    f[9] = 1;
+    EXPECT_EQ(classify(f), SpatialPattern::Single);
+
+    f = golden; // two hits in row 1
+    f[9] = f[14] = 1;
+    EXPECT_EQ(classify(f), SpatialPattern::Row);
+
+    f = golden; // dense 2x2 block spanning rows 2-3
+    f[17] = f[18] = f[25] = f[26] = 1;
+    EXPECT_EQ(classify(f), SpatialPattern::Block);
+
+    f = golden; // opposite corners: sparse bounding box
+    f[0] = f[63] = 1;
+    EXPECT_EQ(classify(f), SpatialPattern::Scattered);
+
+    // 1D (rowElems == 0): a contiguous span is the row analogue.
+    std::vector<uint32_t> g1(32, 0u), f1(32, 0u);
+    f1[4] = f1[5] = f1[6] = 1;
+    EXPECT_EQ(classifyAnatomy(bytesOf(g1), bytesOf(f1),
+                              OutputKind::U32, 0)
+                  .pattern,
+              SpatialPattern::Row);
+}
+
+// ---- Aggregation ----------------------------------------------------
+
+namespace {
+
+RunVerdict
+sdcVerdict(uint32_t elems, SpatialPattern p, double mag, int32_t pc,
+           const std::string &op)
+{
+    RunVerdict v;
+    v.outcome = Outcome::SDC;
+    v.anatomy.corruptedElems = elems;
+    v.anatomy.totalElems = 1024;
+    v.anatomy.pattern = p;
+    v.anatomy.maxMagnitude = mag;
+    v.anatomy.meanMagnitude = mag / 2;
+    v.trace.armed = true;
+    v.trace.read = true;
+    v.trace.firstReadPc = pc;
+    v.trace.opcode = op;
+    v.trace.reachedMemory = true;
+    return v;
+}
+
+} // namespace
+
+TEST(Anatomy, StatsMergeIsCommutative)
+{
+    // Shard merge order must not matter: sums, maxima and the
+    // per-instruction tallies all commute, so merged metrics are
+    // independent of which shard finishes first.
+    AnatomyStats a, b;
+    a.add(sdcVerdict(1, SpatialPattern::Single, 2.0, 4, "fma"));
+    a.add(sdcVerdict(6, SpatialPattern::Row, 9.0, 4, "fma"));
+    b.add(sdcVerdict(3, SpatialPattern::Scattered, 5.0, 11, "ldg"));
+    RunVerdict masked;
+    masked.outcome = Outcome::Masked;
+    masked.trace.armed = true;
+    b.add(masked);
+
+    AnatomyStats ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(anatomyReportSection(ab).dump(2),
+              anatomyReportSection(ba).dump(2));
+    EXPECT_EQ(formatInstructionTable(ab), formatInstructionTable(ba));
+    EXPECT_EQ(ab.sdcWithAnatomy, 3u);
+    EXPECT_EQ(ab.tracedRuns, 4u);
+    EXPECT_EQ(ab.tracedReads, 3u);
+    EXPECT_DOUBLE_EQ(ab.maxMagnitude, 9.0);
+}
+
+TEST(Anatomy, InstructionTableRanksByFailureCount)
+{
+    AnatomyStats s;
+    s.add(sdcVerdict(1, SpatialPattern::Single, 1.0, 20, "ldg"));
+    s.add(sdcVerdict(1, SpatialPattern::Single, 1.0, 20, "ldg"));
+    s.add(sdcVerdict(1, SpatialPattern::Single, 1.0, 8, "fadd"));
+    std::string table = formatInstructionTable(s);
+    EXPECT_NE(table.find("pc"), std::string::npos);
+    EXPECT_NE(table.find("fail%"), std::string::npos);
+    // Two SDCs at pc 20 outrank one at pc 8.
+    EXPECT_LT(table.find("ldg"), table.find("fadd"));
+    EXPECT_EQ(formatInstructionTable(AnatomyStats{}), "");
+}
+
+// ---- v2 run-record serialization -----------------------------------
+
+TEST(Anatomy, VerdictRoundTripsThroughRunLog)
+{
+    RunRecord r;
+    r.runIdx = 3;
+    r.plan.target = FaultTarget::RegisterFile;
+    r.plan.cycle = 1000;
+    r.plan.seed = 0xBEEF;
+    r.injection.armed = true;
+    r.verdict.outcome = Outcome::SDC;
+    r.verdict.anatomy.corruptedElems = 2;
+    r.verdict.anatomy.totalElems = 512;
+    r.verdict.anatomy.pattern = SpatialPattern::Block;
+    r.verdict.anatomy.maxMagnitude = 0.1;
+    r.verdict.anatomy.meanMagnitude = 0.05;
+    r.verdict.trace.armed = true;
+    r.verdict.trace.read = true;
+    r.verdict.trace.firstReadCycle = 1042;
+    r.verdict.trace.firstReadPc = 17;
+    r.verdict.trace.opcode = "fma";
+    r.verdict.trace.cta = 2;
+    r.verdict.trace.warp = 1;
+    r.verdict.trace.reachedMemory = true;
+    r.verdict.trace.reachedOutput = true;
+    r.verdict.trace.cyclesToFirstRead = 42;
+
+    std::string line = formatRunRecord(r);
+    EXPECT_NE(line.find("an.pat=block"), std::string::npos);
+    EXPECT_NE(line.find("tr.op=fma"), std::string::npos);
+    RunRecord back = parseRunRecord(line);
+    EXPECT_EQ(formatRunRecord(back), line);
+    // cyclesToFirstRead is derived, not serialized: first read minus
+    // injection cycle.
+    EXPECT_EQ(back.verdict.trace.cyclesToFirstRead, 42u);
+    EXPECT_DOUBLE_EQ(back.verdict.anatomy.maxMagnitude, 0.1);
+}
+
+TEST(Anatomy, ArmedUnreadTraceRoundTrips)
+{
+    RunRecord r;
+    r.plan.target = FaultTarget::SharedMemory;
+    r.verdict.outcome = Outcome::Masked;
+    r.verdict.trace.armed = true; // armed, never read
+    std::string line = formatRunRecord(r);
+    EXPECT_NE(line.find("tr.read=0"), std::string::npos);
+    EXPECT_EQ(line.find("tr.cycle="), std::string::npos);
+    RunRecord back = parseRunRecord(line);
+    EXPECT_TRUE(back.verdict.trace.armed);
+    EXPECT_FALSE(back.verdict.trace.read);
+    EXPECT_EQ(formatRunRecord(back), line);
+}
+
+TEST(Anatomy, FeaturelessRecordKeepsV1Grammar)
+{
+    // With anatomy and tracing off, the emitted line must be the v1
+    // grammar byte-for-byte — no an./tr. keys — so old parsers and
+    // resumed v1 journals keep working.
+    RunRecord r;
+    r.verdict.outcome = Outcome::SDC;
+    std::string line = formatRunRecord(r);
+    EXPECT_EQ(line.find("an."), std::string::npos);
+    EXPECT_EQ(line.find("tr."), std::string::npos);
+}
+
+// ---- Twin-run: anatomy + tracing are behavior-neutral --------------
+
+namespace {
+
+/** Drop the v2-only tokens (an.* / tr.*) from a record stream. */
+std::string
+stripV2Keys(const std::string &stream)
+{
+    std::istringstream in(stream);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        std::istringstream tokens(line);
+        std::string tok, rebuilt;
+        while (tokens >> tok) {
+            if (tok.rfind("an.", 0) == 0 || tok.rfind("tr.", 0) == 0)
+                continue;
+            rebuilt += (rebuilt.empty() ? "" : " ") + tok;
+        }
+        out += rebuilt + "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(AnatomyTwin, TracingChangesNoOutcome)
+{
+    // The taint hook and the element-wise diff are observational:
+    // plans, injections, outcomes and per-run cycle counts must be
+    // bit-identical with them armed. Only the extra an./tr. record
+    // keys may differ.
+    gpufi_test::TwinArm plain;
+    plain.app = "VA";
+    plain.spec.kernelName = "vecadd";
+    plain.spec.runs = 40;
+    plain.spec.seed = 77;
+
+    gpufi_test::TwinArm traced = plain;
+    traced.spec.anatomy = true;
+    traced.spec.trace = true;
+    EXPECT_EQ(campaignFingerprint(plain.spec),
+              campaignFingerprint(traced.spec));
+
+    gpufi_test::TwinOutcome off = gpufi_test::runTwinArm(plain);
+    gpufi_test::TwinOutcome on = gpufi_test::runTwinArm(traced);
+
+    EXPECT_EQ(off.result.counts, on.result.counts);
+    EXPECT_EQ(stripV2Keys(on.stream), off.stream);
+    // The plain arm carries no v2 keys at all...
+    EXPECT_EQ(stripV2Keys(off.stream), off.stream);
+    // ...and the traced arm armed a trace on every completed run
+    // (register file supports tracing) and attached anatomy to every
+    // SDC.
+    EXPECT_EQ(on.result.anatomy.tracedRuns, traced.spec.runs);
+    EXPECT_EQ(on.result.anatomy.sdcWithAnatomy,
+              on.result.count(Outcome::SDC));
+    EXPECT_TRUE(off.result.anatomy.empty());
+}
+
+TEST(AnatomyTwin, UntracedSiteStaysV1EvenWhenRequested)
+{
+    // Cache injections cannot attribute the first consumer to one
+    // instruction, so requesting --anatomy against them must arm
+    // nothing: supportsTracing() gates the hook per target.
+    EXPECT_FALSE(siteFor(FaultTarget::L2).supportsTracing());
+
+    gpufi_test::TwinArm plain;
+    plain.app = "VA";
+    plain.spec.kernelName = "vecadd";
+    plain.spec.runs = 10;
+    plain.spec.seed = 5;
+    plain.spec.target = FaultTarget::L2;
+
+    gpufi_test::TwinArm traced = plain;
+    traced.spec.anatomy = true;
+    traced.spec.trace = true;
+
+    gpufi_test::TwinOutcome off = gpufi_test::runTwinArm(plain);
+    gpufi_test::TwinOutcome on = gpufi_test::runTwinArm(traced);
+    EXPECT_EQ(off.result.counts, on.result.counts);
+    EXPECT_EQ(on.result.anatomy.tracedRuns, 0u);
+    // Anatomy still attaches to SDCs (the output diff needs no
+    // instruction attribution), but no tr. keys appear.
+    EXPECT_EQ(on.stream.find("tr."), std::string::npos);
+}

@@ -62,9 +62,39 @@ sampleRecord(uint32_t idx)
     r.plan.seed = 0x1234 + idx;
     r.injection.armed = true;
     r.injection.detail = "cta0.t1 reg r2";
-    r.outcome = Outcome::Masked;
+    r.verdict.outcome = Outcome::Masked;
     r.cycles = 5000;
     return r;
+}
+
+/** A v2 record: the v1 fields plus SDC anatomy and a trace. */
+RunRecord
+sampleRecordV2(uint32_t idx)
+{
+    RunRecord r = sampleRecord(idx);
+    r.verdict.outcome = Outcome::SDC;
+    r.verdict.anatomy.corruptedElems = 3 + idx;
+    r.verdict.anatomy.totalElems = 1024;
+    r.verdict.anatomy.pattern = SpatialPattern::Scattered;
+    r.verdict.anatomy.maxMagnitude = 1.5 + idx;
+    r.verdict.anatomy.meanMagnitude = 0.25;
+    r.verdict.trace.armed = true;
+    r.verdict.trace.read = true;
+    r.verdict.trace.firstReadCycle = r.plan.cycle + 7;
+    r.verdict.trace.firstReadPc = 12;
+    r.verdict.trace.opcode = "fma";
+    r.verdict.trace.cta = 1;
+    r.verdict.trace.warp = 2;
+    r.verdict.trace.reachedMemory = true;
+    r.verdict.trace.cyclesToFirstRead = 7;
+    return r;
+}
+
+/** Even run indices get v1 lines, odd ones v2 — a mixed journal. */
+RunRecord
+mixedRecord(uint32_t idx)
+{
+    return idx % 2 ? sampleRecordV2(idx) : sampleRecord(idx);
 }
 
 void
@@ -210,12 +240,14 @@ TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
     // into a wrong record); a run index appears at most once unless
     // the mutation itself cloned a healthy line; and a writer
     // reopening the damaged file can append a fresh record that the
-    // next load recovers exactly once.
+    // next load recovers exactly once. The journal mixes v1 and v2
+    // lines (odd runs carry anatomy + trace keys) so the torn-tail
+    // invariants are proven for both grammars in one file.
     const uint64_t kFp = 0x5eed;
     const uint32_t kRuns = 10;
     std::map<uint32_t, std::string> want;
     for (uint32_t i = 0; i < kRuns; ++i)
-        want[i] = formatRunRecord(sampleRecord(i));
+        want[i] = formatRunRecord(mixedRecord(i));
 
     Rng rng(0xFA57);
     for (uint32_t iter = 0; iter < 48; ++iter) {
@@ -226,7 +258,7 @@ TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
             RunJournal j;
             j.open(path);
             for (uint32_t i = 0; i < kRuns; ++i)
-                j.append(kFp, sampleRecord(i));
+                j.append(kFp, mixedRecord(i));
         }
         std::string bytes = slurp(path);
         bool mayDuplicate = false;
@@ -274,7 +306,7 @@ TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
         {
             RunJournal j;
             j.open(path);
-            j.append(kFp, sampleRecord(freshIdx));
+            j.append(kFp, mixedRecord(freshIdx));
         }
         JournalContents after = loadJournal(path);
         uint32_t fresh = 0;
@@ -282,7 +314,7 @@ TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
             if (r.runIdx == freshIdx) {
                 ++fresh;
                 EXPECT_EQ(formatRunRecord(r),
-                          formatRunRecord(sampleRecord(freshIdx)));
+                          formatRunRecord(mixedRecord(freshIdx)));
             }
         EXPECT_EQ(fresh, 1u);
     }
@@ -344,6 +376,8 @@ TEST(CampaignFingerprint, CoversPlanInputsIgnoresExecutionKnobs)
     b.snapshotBudget = 99;
     b.wallClockLimitSec = 1e9;
     b.retrySlowPath = !a.retrySlowPath;
+    b.anatomy = !a.anatomy;
+    b.trace = !a.trace;
     EXPECT_EQ(campaignFingerprint(a), campaignFingerprint(b));
 
     // Plan inputs must change it.
@@ -512,9 +546,9 @@ TEST(Durability, InjectedExceptionBecomesToolError)
     EXPECT_EQ(r.count(Outcome::ToolError), 2u);
     EXPECT_EQ(r.toolFailures(), 2u);
     EXPECT_EQ(r.validRuns(), 6u);
-    EXPECT_EQ(records[2].outcome, Outcome::ToolError);
-    EXPECT_EQ(records[5].outcome, Outcome::ToolError);
-    EXPECT_NE(records[3].outcome, Outcome::ToolError);
+    EXPECT_EQ(records[2].verdict.outcome, Outcome::ToolError);
+    EXPECT_EQ(records[5].verdict.outcome, Outcome::ToolError);
+    EXPECT_NE(records[3].verdict.outcome, Outcome::ToolError);
 
     CampaignResult device = r;
     device.counts[static_cast<size_t>(Outcome::ToolError)] = 0;
@@ -533,7 +567,7 @@ TEST(Durability, InjectedHangBecomesToolHang)
     CampaignResult r = runner.run(spec, &records);
     EXPECT_EQ(r.runs(), 6u);
     EXPECT_EQ(r.count(Outcome::ToolHang), 1u);
-    EXPECT_EQ(records[0].outcome, Outcome::ToolHang);
+    EXPECT_EQ(records[0].verdict.outcome, Outcome::ToolHang);
     EXPECT_EQ(r.validRuns(), 5u);
 }
 

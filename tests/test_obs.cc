@@ -211,6 +211,120 @@ TEST(ObsMetricsReport, ValidatorRejectsBadReports)
     EXPECT_NE(err.find("not an unsigned integer"), std::string::npos);
 }
 
+TEST(ObsMetricsReport, AnatomySectionRoundTripsAndValidates)
+{
+    // Build a populated sdc-anatomy section from real AnatomyStats,
+    // attach it via setReportSection, and require the full report to
+    // validate and survive dump -> parse -> dump byte-identically.
+    obs::counter("sim.cycles");
+    obs::counter("sim.warp_instructions");
+    obs::gauge("sim.ipc");
+    for (const char *cache : {"cache.l1t", "cache.l2"})
+        for (const char *leaf : {".reads", ".read_misses"})
+            obs::counter(std::string(cache) + leaf);
+    fi::registerCampaignMetrics();
+
+    fi::AnatomyStats stats;
+    fi::RunVerdict v;
+    v.outcome = fi::Outcome::SDC;
+    v.anatomy.corruptedElems = 4;
+    v.anatomy.totalElems = 4096;
+    v.anatomy.pattern = fi::SpatialPattern::Row;
+    v.anatomy.maxMagnitude = 3.5;
+    v.anatomy.meanMagnitude = 1.25;
+    v.trace.armed = true;
+    v.trace.read = true;
+    v.trace.firstReadPc = 7;
+    v.trace.opcode = "fma";
+    v.trace.reachedMemory = true;
+    stats.add(v);
+    v.outcome = fi::Outcome::Masked;
+    v.anatomy = fi::SdcAnatomy{};
+    v.trace.firstReadPc = 9;
+    v.trace.opcode = "ldg";
+    stats.add(v);
+
+    obs::clearReportSections();
+    obs::setReportSection("sdc-anatomy",
+                          fi::anatomyReportSection(stats));
+    Json report = obs::buildMetricsReport({{"tool", "test"}});
+    obs::clearReportSections();
+
+    std::string err;
+    EXPECT_TRUE(obs::validateMetricsReport(report, &err)) << err;
+    const Json *an = report.find("sdc-anatomy");
+    ASSERT_NE(an, nullptr);
+    EXPECT_EQ(an->find("version")->asU64(),
+              fi::kAnatomySectionVersion);
+    EXPECT_EQ(an->find("sdc_runs")->asU64(), 1u);
+    EXPECT_EQ(an->find("traced_runs")->asU64(), 2u);
+    EXPECT_EQ(an->find("patterns")->find("row")->asU64(), 1u);
+    ASSERT_EQ(an->find("instructions")->items().size(), 2u);
+    expectRoundTrip(report);
+}
+
+TEST(ObsMetricsReport, ValidatorRejectsBadAnatomySection)
+{
+    // A malformed sdc-anatomy section must fail validation even when
+    // the rest of the report is healthy: NaN or negative magnitudes
+    // are exactly the corruptions a buggy aggregator would produce.
+    obs::counter("sim.cycles");
+    obs::counter("sim.warp_instructions");
+    obs::gauge("sim.ipc");
+    for (const char *cache : {"cache.l1t", "cache.l2"})
+        for (const char *leaf : {".reads", ".read_misses"})
+            obs::counter(std::string(cache) + leaf);
+    fi::registerCampaignMetrics();
+
+    auto reportWith = [](Json section) {
+        obs::clearReportSections();
+        obs::setReportSection("sdc-anatomy", std::move(section));
+        Json r = obs::buildMetricsReport({});
+        obs::clearReportSections();
+        return r;
+    };
+
+    Json good = fi::anatomyReportSection(fi::AnatomyStats{});
+    std::string err;
+    EXPECT_TRUE(obs::validateMetricsReport(reportWith(good), &err))
+        << err;
+
+    // A negative magnitude (JSON can express it directly).
+    Json negSection = Json::parse(
+        R"({"version":1,"sdc_runs":0,
+            "patterns":{"single":0,"row":0,"block":0,"scattered":0},
+            "corrupted_elems_total":0,
+            "max_magnitude":-1.0,"mean_magnitude":0.0,
+            "traced_runs":0,"traced_reads":0,
+            "reached_memory":0,"reached_output":0,
+            "instructions":[]})",
+        nullptr);
+    err.clear();
+    EXPECT_FALSE(
+        obs::validateMetricsReport(reportWith(negSection), &err));
+    EXPECT_NE(err.find("max_magnitude"), std::string::npos);
+
+    // A NaN magnitude (constructed in memory, as a buggy aggregator
+    // would: 0 SDC runs but a magnitude sum divided by zero).
+    Json nanSection = fi::anatomyReportSection(fi::AnatomyStats{});
+    Json rebuilt = Json::object();
+    for (size_t i = 0; i < nanSection.keys().size(); ++i) {
+        const std::string &key = nanSection.keys()[i];
+        rebuilt.set(key, key == "mean_magnitude"
+                             ? Json::number(0.0 / 0.0)
+                             : nanSection.items()[i]);
+    }
+    err.clear();
+    EXPECT_FALSE(
+        obs::validateMetricsReport(reportWith(rebuilt), &err));
+    EXPECT_NE(err.find("mean_magnitude"), std::string::npos);
+
+    Json notObject = Json::array();
+    err.clear();
+    EXPECT_FALSE(
+        obs::validateMetricsReport(reportWith(notObject), &err));
+}
+
 TEST(ObsHeartbeat, RateLimiting)
 {
     obs::Heartbeat hb(1.0, 10, {"A", "B"});

@@ -165,7 +165,7 @@ TEST_P(TargetSweep, CampaignInvariants)
     fi::CampaignResult r2 = runner.run(spec, &again);
     EXPECT_EQ(r.counts, r2.counts);
     for (size_t i = 0; i < records.size(); ++i) {
-        EXPECT_EQ(records[i].outcome, again[i].outcome);
+        EXPECT_EQ(records[i].verdict.outcome, again[i].verdict.outcome);
         EXPECT_EQ(records[i].cycles, again[i].cycles);
     }
 }

@@ -28,7 +28,7 @@ sample()
     r.plan.seed = 0xdeadbeef;
     r.injection.armed = true;
     r.injection.detail = "core2 line 14";
-    r.outcome = Outcome::SDC;
+    r.verdict.outcome = Outcome::SDC;
     r.cycles = 98765;
     return r;
 }
@@ -61,7 +61,7 @@ TEST(ReportLog, RoundTrip)
     EXPECT_EQ(back.plan.nBits, orig.plan.nBits);
     EXPECT_EQ(back.plan.seed, orig.plan.seed);
     EXPECT_EQ(back.injection.armed, orig.injection.armed);
-    EXPECT_EQ(back.outcome, orig.outcome);
+    EXPECT_EQ(back.verdict.outcome, orig.verdict.outcome);
     EXPECT_EQ(back.cycles, orig.cycles);
 }
 
@@ -71,7 +71,7 @@ TEST(ReportLog, ParseAggregatesOutcomes)
     for (int i = 0; i < 5; ++i) {
         RunRecord r = sample();
         r.runIdx = static_cast<uint32_t>(i);
-        r.outcome = i < 3 ? Outcome::Masked : Outcome::Crash;
+        r.verdict.outcome = i < 3 ? Outcome::Masked : Outcome::Crash;
         records.push_back(r);
     }
     std::istringstream in(formatRunLog(records));
@@ -104,7 +104,7 @@ TEST(ReportLog, MalformedLinesAreFatal)
 TEST(ReportLog, MinimalLineParses)
 {
     RunRecord r = parseRunRecord("outcome=Masked");
-    EXPECT_EQ(r.outcome, Outcome::Masked);
+    EXPECT_EQ(r.verdict.outcome, Outcome::Masked);
     EXPECT_EQ(r.runIdx, 0u);
     EXPECT_FALSE(r.injection.armed);
 }
@@ -114,7 +114,7 @@ TEST(ReportLog, TryParseReportsInsteadOfThrowing)
     RunRecord r;
     EXPECT_TRUE(tryParseRunRecord("run=3 outcome=Crash", r));
     EXPECT_EQ(r.runIdx, 3u);
-    EXPECT_EQ(r.outcome, Outcome::Crash);
+    EXPECT_EQ(r.verdict.outcome, Outcome::Crash);
 
     std::string err;
     EXPECT_FALSE(tryParseRunRecord("not key-value", r, &err));
@@ -146,10 +146,10 @@ TEST(ReportLog, TolerantParserSkipsDamageAndCounts)
 TEST(ReportLog, ToolOutcomesRoundTrip)
 {
     RunRecord r = sample();
-    r.outcome = Outcome::ToolHang;
-    EXPECT_EQ(parseRunRecord(formatRunRecord(r)).outcome,
+    r.verdict.outcome = Outcome::ToolHang;
+    EXPECT_EQ(parseRunRecord(formatRunRecord(r)).verdict.outcome,
               Outcome::ToolHang);
-    r.outcome = Outcome::ToolError;
-    EXPECT_EQ(parseRunRecord(formatRunRecord(r)).outcome,
+    r.verdict.outcome = Outcome::ToolError;
+    EXPECT_EQ(parseRunRecord(formatRunRecord(r)).verdict.outcome,
               Outcome::ToolError);
 }

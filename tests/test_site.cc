@@ -104,6 +104,23 @@ TEST(Site, RegistryEnumeratesEveryTargetInOrder)
     EXPECT_EQ(fi::findSite("flux_capacitor"), nullptr);
 }
 
+TEST(Site, TracingSupportIsExactlyTheArchStateSites)
+{
+    // Propagation tracing arms taint at the flipped coordinates, which
+    // only the architectural-state sites expose (register file, local
+    // and shared memory). Cache sites flip lines whose first consumer
+    // is not attributable to one instruction, so they must say no —
+    // the --list-targets trace column and the executeOne/executeFast
+    // arming decision both key off this predicate.
+    using T = fi::FaultTarget;
+    std::set<T> want = {T::RegisterFile, T::LocalMemory,
+                        T::SharedMemory};
+    for (const fi::FaultSite *site : fi::allSites())
+        EXPECT_EQ(site->supportsTracing(),
+                  want.count(site->target()) == 1)
+            << site->name();
+}
+
 TEST(Site, CapacitiesMatchConfigBitHelpers)
 {
     for (const char *preset : sim::kPresetNames) {

@@ -239,7 +239,7 @@ expectRecordsEqual(const std::vector<RunRecord> &a,
         EXPECT_EQ(a[i].plan.seed, b[i].plan.seed);
         EXPECT_EQ(a[i].injection.armed, b[i].injection.armed);
         EXPECT_EQ(a[i].injection.detail, b[i].injection.detail);
-        EXPECT_EQ(a[i].outcome, b[i].outcome);
+        EXPECT_EQ(a[i].verdict.outcome, b[i].verdict.outcome);
         EXPECT_EQ(a[i].cycles, b[i].cycles);
     }
 }
