@@ -34,6 +34,31 @@ flipBitInBuffer(uint8_t *buf, uint64_t bit)
     buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
 }
 
+/** Force bit @p bit of @p value to @p set (idempotent). @pre bit < 32. */
+constexpr uint32_t
+assignBit32(uint32_t value, unsigned bit, bool set)
+{
+    return set ? value | (1u << bit) : value & ~(1u << bit);
+}
+
+/** Force bit @p bit of @p value to @p set (idempotent). @pre bit < 64. */
+constexpr uint64_t
+assignBit64(uint64_t value, unsigned bit, bool set)
+{
+    return set ? value | (1ULL << bit) : value & ~(1ULL << bit);
+}
+
+/** Force bit @p bit of a byte buffer to @p set (idempotent). */
+inline void
+assignBitInBuffer(uint8_t *buf, uint64_t bit, bool set)
+{
+    auto mask = static_cast<uint8_t>(1u << (bit % 8));
+    if (set)
+        buf[bit / 8] |= mask;
+    else
+        buf[bit / 8] &= static_cast<uint8_t>(~mask);
+}
+
 /** Read bit @p bit of an arbitrary byte buffer. */
 inline bool
 testBitInBuffer(const uint8_t *buf, uint64_t bit)

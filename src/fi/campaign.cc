@@ -162,6 +162,30 @@ CampaignResult::add(const RunVerdict &v)
     anatomy.add(v);
 }
 
+void
+CampaignResult::add(const RunVerdict &v, FaultModel model)
+{
+    add(v);
+    ++modelCounts[static_cast<size_t>(model)]
+                 [static_cast<size_t>(v.outcome)];
+}
+
+uint32_t
+CampaignResult::modelRuns(FaultModel model) const
+{
+    uint32_t n = 0;
+    for (uint32_t c : modelCounts[static_cast<size_t>(model)])
+        n += c;
+    return n;
+}
+
+uint32_t
+CampaignResult::modelCount(FaultModel model, Outcome o) const
+{
+    return modelCounts[static_cast<size_t>(model)]
+                      [static_cast<size_t>(o)];
+}
+
 uint32_t
 CampaignResult::toolFailures() const
 {
@@ -213,6 +237,9 @@ CampaignResult::merge(const CampaignResult &o)
 {
     for (size_t i = 0; i < counts.size(); ++i)
         counts[i] += o.counts[i];
+    for (size_t m = 0; m < modelCounts.size(); ++m)
+        for (size_t i = 0; i < modelCounts[m].size(); ++i)
+            modelCounts[m][i] += o.modelCounts[m][i];
     anatomy.merge(o.anatomy);
 }
 
@@ -229,6 +256,23 @@ campaignFingerprint(const CampaignSpec &spec)
     h.mixU64(spec.alsoTargets.size());
     for (FaultTarget t : spec.alsoTargets)
         h.mixU64(static_cast<uint64_t>(t));
+    // Model and attack coordinates are mixed ONLY when non-default:
+    // every fingerprint computed before fault models existed — and
+    // thus every journal stamped with one — stays bit-identical for
+    // transient, non-attack campaigns.
+    if (spec.model != FaultModel::Transient) {
+        h.mixU64(0x6d6f64656cULL); // "model" domain tag
+        h.mixU64(static_cast<uint64_t>(spec.model));
+        h.mixU64(spec.period);
+        h.mixU64(spec.duty);
+    }
+    if (spec.attack) {
+        h.mixU64(0x6174746bULL); // "attk" domain tag
+        h.mixU64(spec.atCycle);
+        h.mixU64(spec.atEntry);
+        h.mixU64(spec.atBit);
+        h.mixU64(spec.atVictim);
+    }
     return h.a ^ (h.b * 0x9e3779b97f4a7c15ULL);
 }
 
@@ -322,19 +366,45 @@ CampaignRunner::makePlan(const CampaignSpec &spec,
     plan.mode = spec.mode;
     plan.nBits = spec.nBits;
     plan.seed = rng();
+    plan.model = spec.model;
+    plan.period = spec.period;
+    plan.duty = spec.duty;
 
     // Pick a uniformly random cycle within the union of the target
     // kernel's invocation windows (the paper's cycle-file mechanism).
+    // The draw happens for every model — even those that override the
+    // cycle below — so the per-run RNG stream stays aligned with the
+    // transient stream and the golden-log fixtures pin one stream.
     uint64_t offset = rng.below(prof.cycles);
+    plan.cycle = 0;
     for (const auto &[start, end] : prof.windows) {
         uint64_t len = end - start;
         if (offset < len) {
             plan.cycle = start + offset;
-            return plan;
+            offset = 0;
+            break;
         }
         offset -= len;
     }
-    panic("cycle offset beyond kernel windows");
+    if (offset != 0)
+        panic("cycle offset beyond kernel windows");
+
+    if (spec.attack) {
+        // Attack mode (InjectV): exact strike coordinates replace the
+        // sampled ones; selection draws are skipped by the site.
+        plan.cycle = spec.atCycle;
+        plan.exact = true;
+        plan.exactEntry = spec.atEntry;
+        plan.exactBit = spec.atBit;
+        plan.exactVictim = spec.atVictim;
+    } else if (spec.model == FaultModel::StuckAt0 ||
+               spec.model == FaultModel::StuckAt1) {
+        // A manufacturing defect is present from power-on: assert it
+        // from cycle 0 regardless of the sampled onset. The sampled
+        // cycle still consumed its draw above.
+        plan.cycle = 0;
+    }
+    return plan;
 }
 
 void
@@ -495,7 +565,11 @@ CampaignRunner::executeFast(const FaultPlan &plan,
         spec.verifySnapshots &&
         !ff.snapVerified[snapIdx].load(std::memory_order_relaxed);
     gpu.beginReplay(ff.trace, snap, verifyThis);
-    if (spec.earlyTermination)
+    // A re-asserting fault keeps perturbing state after the strike,
+    // so a hash match against the golden stream proves nothing about
+    // the rest of the run: convergence-based early termination is
+    // only sound for single-shot models.
+    if (spec.earlyTermination && !modelReasserts(plan.model))
         gpu.enableConvergenceCheck(ff.trace, plan.cycle + 1);
     gpu.setCycleLimit(2 * golden_.totalCycles);
     gpu.setWallClockLimit(spec.wallClockLimitSec);
@@ -683,7 +757,7 @@ CampaignRunner::run(const CampaignSpec &spec,
                       static_cast<unsigned long long>(p.cycle));
             done[r.runIdx] = 1;
             fromJournal[r.runIdx] = &r;
-            resumedCounts.add(r.verdict);
+            resumedCounts.add(r.verdict, r.plan.model);
         }
     }
 
@@ -694,7 +768,12 @@ CampaignRunner::run(const CampaignSpec &spec,
             pending.push_back(i);
 
     const bool wantRecords = records && spec.keepRecords;
+    // A stuck-at fault is asserted from cycle 0, so no fault-free
+    // prefix exists to share with a pioneer: the snapshot ladder
+    // would capture already-faulty state. Those models always take
+    // the from-scratch slow path (twin-run-gated in the tests).
     const bool fast = spec.fastForward &&
+                      !modelNeedsSlowPath(spec.model) &&
                       pending.size() >= CampaignSpec::kFastForwardMinRuns;
 
     // Under fast-forward, issue runs in injection-cycle order so
@@ -824,7 +903,7 @@ CampaignRunner::run(const CampaignSpec &spec,
             // nothing; a kill during it loses at most this run.
             if (journal)
                 journal->append(fingerprint, r);
-            partial[wi].add(r.verdict);
+            partial[wi].add(r.verdict, r.plan.model);
             if (wantRecords)
                 local[i] = r;
             if (heartbeat)

@@ -94,6 +94,18 @@ struct CampaignResult
                static_cast<size_t>(Outcome::NUM_OUTCOMES)> counts{};
 
     /**
+     * Per-fault-model outcome tallies (model-major). Filled only by
+     * the model-aware add() overload; legacy Outcome/RunVerdict adds
+     * leave it untouched, so pre-model aggregation behaves exactly
+     * as before. merge() sums it element-wise (commutative, shard
+     * order independent).
+     */
+    std::array<std::array<uint32_t,
+                          static_cast<size_t>(Outcome::NUM_OUTCOMES)>,
+               static_cast<size_t>(FaultModel::NUM_MODELS)>
+        modelCounts{};
+
+    /**
      * Anatomy / propagation aggregates of the added verdicts; stays
      * empty() when no run carried anatomy or a trace, so campaigns
      * with the feature off aggregate exactly as before.
@@ -105,6 +117,12 @@ struct CampaignResult
     void add(Outcome o);
     /** add(v.outcome) plus anatomy aggregation. */
     void add(const RunVerdict &v);
+    /** add(v) plus the per-model tally. */
+    void add(const RunVerdict &v, FaultModel model);
+    /** Runs tallied under @p model (all outcomes). */
+    uint32_t modelRuns(FaultModel model) const;
+    /** Tally of @p o under @p model. */
+    uint32_t modelCount(FaultModel model, Outcome o) const;
     /** Runs that produced a device-level verdict (no tool outcomes). */
     uint32_t validRuns() const;
     /** ToolError + ToolHang runs (infrastructure failures). */
@@ -140,6 +158,29 @@ struct CampaignSpec
     uint32_t runs = 3000;       ///< paper default (99% conf, <2% margin)
     uint64_t seed = 1;
     bool keepRecords = false;   ///< retain per-run RunRecords
+
+    /**
+     * Fault model for every run of the campaign (DESIGN.md §16).
+     * Non-transient models (and the attack coordinates below) are
+     * mixed into campaignFingerprint() ONLY when set, so every
+     * pre-model fingerprint — and thus every existing journal —
+     * stays valid.
+     */
+    FaultModel model = FaultModel::Transient;
+    uint32_t period = 0;        ///< intermittent window length
+    uint32_t duty = 0;          ///< intermittent active cycles
+
+    /**
+     * Attack mode (InjectV): every run uses these exact coordinates
+     * instead of uniform sampling. atCycle is the absolute strike
+     * cycle; entry/bit/victim address the structure as documented on
+     * FaultPlan's exact fields.
+     */
+    bool attack = false;
+    uint64_t atCycle = 0;
+    uint32_t atEntry = 0;
+    uint64_t atBit = 0;
+    uint32_t atVictim = 0;
 
     /**
      * Start injected runs from a pioneer snapshot at the nearest

@@ -1,5 +1,8 @@
 #include "fi/fault.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace gpufi {
@@ -16,6 +19,44 @@ const char *const names[] = {
 static_assert(sizeof(names) / sizeof(names[0]) ==
                   static_cast<size_t>(FaultTarget::NUM_TARGETS),
               "names must cover every FaultTarget");
+
+const char *const modelNames[] = {
+    "transient", "stuck_at_0", "stuck_at_1", "intermittent",
+    "adjacent_bits", "adjacent_rows", "same_way",
+};
+
+static_assert(sizeof(modelNames) / sizeof(modelNames[0]) ==
+                  static_cast<size_t>(FaultModel::NUM_MODELS),
+              "modelNames must cover every FaultModel");
+
+const char *const modelDescs[] = {
+    "single-shot transient bit flip (SEU; the paper's model)",
+    "permanent fault: bit forced to 0 from cycle 0, every cycle",
+    "permanent fault: bit forced to 1 from cycle 0, every cycle",
+    "bit forced to a drawn polarity for DUTY cycles of every "
+    "PERIOD-cycle window from a sampled onset (default 64/8)",
+    "single-shot flip of nBits adjacent bit positions in one entry",
+    "single-shot flip of the same bit in nBits adjacent entries",
+    "single-shot flip of the same bit in nBits entries one "
+    "way-stride apart (same way across sets for caches)",
+};
+
+static_assert(sizeof(modelDescs) / sizeof(modelDescs[0]) ==
+                  static_cast<size_t>(FaultModel::NUM_MODELS),
+              "modelDescs must cover every FaultModel");
+
+/** Comma-joined vocabulary for error messages. */
+std::string
+joinNames(const char *const *list, size_t n)
+{
+    std::string out;
+    for (size_t i = 0; i < n; ++i) {
+        if (i)
+            out += ", ";
+        out += list[i];
+    }
+    return out;
+}
 
 } // namespace
 
@@ -34,13 +75,110 @@ targetFromName(const std::string &name)
          i < static_cast<size_t>(FaultTarget::NUM_TARGETS); ++i)
         if (name == names[i])
             return static_cast<FaultTarget>(i);
-    fatal("unknown fault target '%s'", name.c_str());
+    fatal("unknown fault target '%s' (valid: %s)", name.c_str(),
+          joinNames(names,
+                    static_cast<size_t>(FaultTarget::NUM_TARGETS))
+              .c_str());
 }
 
 const char *
 scopeName(FaultScope s)
 {
     return s == FaultScope::Thread ? "thread" : "warp";
+}
+
+bool
+modelReasserts(FaultModel m)
+{
+    return m == FaultModel::StuckAt0 || m == FaultModel::StuckAt1 ||
+           m == FaultModel::Intermittent;
+}
+
+bool
+modelNeedsSlowPath(FaultModel m)
+{
+    return m == FaultModel::StuckAt0 || m == FaultModel::StuckAt1;
+}
+
+const char *
+modelName(FaultModel m)
+{
+    auto idx = static_cast<size_t>(m);
+    gpufi_assert(idx < static_cast<size_t>(FaultModel::NUM_MODELS));
+    return modelNames[idx];
+}
+
+const char *
+modelDescription(FaultModel m)
+{
+    auto idx = static_cast<size_t>(m);
+    gpufi_assert(idx < static_cast<size_t>(FaultModel::NUM_MODELS));
+    return modelDescs[idx];
+}
+
+bool
+tryModelFromName(const std::string &name, FaultModel &out)
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(FaultModel::NUM_MODELS); ++i)
+        if (name == modelNames[i]) {
+            out = static_cast<FaultModel>(i);
+            return true;
+        }
+    return false;
+}
+
+void
+parseFaultModelSpec(const std::string &spec, FaultModel &model,
+                    uint32_t &period, uint32_t &duty)
+{
+    std::string name = spec;
+    std::string timing;
+    auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+        name = spec.substr(0, colon);
+        timing = spec.substr(colon + 1);
+    }
+    if (!tryModelFromName(name, model))
+        fatal("unknown fault model '%s' (valid: %s)", name.c_str(),
+              joinNames(modelNames,
+                        static_cast<size_t>(FaultModel::NUM_MODELS))
+                  .c_str());
+    period = 0;
+    duty = 0;
+    if (model == FaultModel::Intermittent) {
+        period = 64;
+        duty = 8;
+    }
+    if (timing.empty())
+        return;
+    if (model != FaultModel::Intermittent)
+        fatal("fault model '%s' takes no ':PERIOD/DUTY' suffix",
+              name.c_str());
+    unsigned long p = 0, d = 0;
+    char trail = 0;
+    if (std::sscanf(timing.c_str(), "%lu/%lu%c", &p, &d, &trail) != 2)
+        fatal("bad intermittent timing '%s' (want PERIOD/DUTY, "
+              "e.g. intermittent:64/8)",
+              timing.c_str());
+    if (p == 0 || d == 0 || d > p || p > 0xffffffffUL)
+        fatal("bad intermittent timing '%s': need 1 <= DUTY <= "
+              "PERIOD",
+              timing.c_str());
+    period = static_cast<uint32_t>(p);
+    duty = static_cast<uint32_t>(d);
+}
+
+std::string
+formatFaultModelSpec(FaultModel model, uint32_t period, uint32_t duty)
+{
+    std::string out = modelName(model);
+    if (model == FaultModel::Intermittent) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), ":%u/%u", period, duty);
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace fi

@@ -60,7 +60,57 @@ enum class FaultScope : uint8_t
     Warp    ///< every thread of one random active warp, same bits
 };
 
-/** One planned transient fault. */
+/**
+ * Temporal/spatial semantics of the fault. Transient is the paper's
+ * single-shot SEU flip; the rest extend the framework per ROADMAP
+ * item 4 ("Permanent Faults in GPU's Parallelism Management and
+ * Control Units" and InjectV, PAPERS.md):
+ *
+ *  - StuckAt0/StuckAt1: a permanent defect. The victim bit is forced
+ *    to the stuck value from application cycle 0 and re-asserted
+ *    every cycle thereafter (idempotent force, not a flip).
+ *  - Intermittent: an aging/marginal cell. From the sampled onset
+ *    cycle, the bit is forced to a drawn polarity for the first
+ *    `duty` cycles of every `period`-cycle window; the value persists
+ *    (is not restored) while the fault is inactive.
+ *  - AdjacentBits: one entry, nBits physically adjacent bit
+ *    positions (single-shot flip, models charge sharing).
+ *  - AdjacentRows: nBits adjacent entries, same bit position in each
+ *    (single-shot flip, models a row-neighbour multi-cell upset).
+ *  - SameWay: nBits entries a way-stride apart (same way across
+ *    adjacent sets for caches; adjacent entries elsewhere), same bit
+ *    (single-shot flip, models a column/way defect strike).
+ *
+ * The Transient selection RNG stream is pinned by golden-log
+ * fixtures; new models may only *add* draws after all transient
+ * draws, never reorder them.
+ */
+enum class FaultModel : uint8_t
+{
+    Transient,
+    StuckAt0,
+    StuckAt1,
+    Intermittent,
+    AdjacentBits,
+    AdjacentRows,
+    SameWay,
+    NUM_MODELS
+};
+
+/** True for models that keep forcing their value after the strike
+ *  cycle (stuck-at, intermittent) and therefore need the per-cycle
+ *  re-assertion hook in the GPU cycle loop. */
+bool modelReasserts(FaultModel m);
+
+/** True for models whose fault is live from cycle 0 (stuck-at): the
+ *  shared pioneer prefix of the snapshot fast-forward ladder is
+ *  invalid for them and the campaign planner must run the slow
+ *  path. */
+bool modelNeedsSlowPath(FaultModel m);
+
+/** One planned fault. Defaults describe the classic single transient
+ *  flip; everything past `seed` extends the plan with the fault-model
+ *  and attack-mode coordinates introduced with grammar v3. */
 struct FaultPlan
 {
     FaultTarget target = FaultTarget::RegisterFile;
@@ -69,6 +119,19 @@ struct FaultPlan
     uint64_t cycle = 0;     ///< absolute application cycle to strike
     uint32_t nBits = 1;     ///< bits flipped (placement per mode)
     uint64_t seed = 0;      ///< drives entity/bit selection at strike
+
+    FaultModel model = FaultModel::Transient;
+    uint32_t period = 0;    ///< intermittent: window length in cycles
+    uint32_t duty = 0;      ///< intermittent: active cycles per window
+
+    /** Attack mode (InjectV): exact coordinates instead of uniform
+     *  sampling. When set, the site uses exactEntry/exactBit (reduced
+     *  modulo the structure's size) and picks the victim entity as
+     *  activeList[exactVictim % size] with no RNG draws. */
+    bool exact = false;
+    uint32_t exactEntry = 0;
+    uint64_t exactBit = 0;
+    uint32_t exactVictim = 0;
 };
 
 /** What an injection actually touched (for the run log). */
@@ -81,11 +144,35 @@ struct InjectionRecord
 /** Stable lowercase name, e.g. "register_file". */
 const char *targetName(FaultTarget t);
 
-/** Inverse of targetName(); fatal() on unknown names. */
+/** Inverse of targetName(); fatal() on unknown names, listing the
+ *  valid vocabulary. */
 FaultTarget targetFromName(const std::string &name);
 
 /** Scope name: "thread" or "warp". */
 const char *scopeName(FaultScope s);
+
+/** Stable lowercase name, e.g. "stuck_at_1". */
+const char *modelName(FaultModel m);
+
+/** One-line human description for --list-models / docs. */
+const char *modelDescription(FaultModel m);
+
+/** Inverse of modelName(); false if `name` is not a model name. */
+bool tryModelFromName(const std::string &name, FaultModel &out);
+
+/**
+ * Parse a CLI/log fault-model spec: a model name, optionally (for
+ * intermittent) suffixed `:PERIOD/DUTY`, e.g. "intermittent:64/8".
+ * Bare "intermittent" gets the documented defaults (period 64,
+ * duty 8). fatal() on unknown names (listing the vocabulary) or
+ * malformed/degenerate period/duty (duty must be in [1, period]).
+ */
+void parseFaultModelSpec(const std::string &spec, FaultModel &model,
+                         uint32_t &period, uint32_t &duty);
+
+/** Inverse of parseFaultModelSpec: "stuck_at_0", "intermittent:64/8". */
+std::string formatFaultModelSpec(FaultModel model, uint32_t period,
+                                 uint32_t duty);
 
 } // namespace fi
 } // namespace gpufi

@@ -17,6 +17,11 @@ namespace fi {
 
 namespace {
 
+// The journal's framing has never changed; record *content* evolves
+// through the run-log grammar (v2 anatomy/trace keys, v3 fault-model
+// model=/at= keys), which formatRunRecord/tryParseRunRecord own —
+// new keys flow through this file untouched, so v1/v2/v3 lines mix
+// freely in one journal and old journals stay resumable.
 constexpr const char *kHeader = "# gpufi-journal v1\n";
 
 std::string

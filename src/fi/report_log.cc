@@ -37,6 +37,17 @@ formatRunRecord(const RunRecord &r)
         << " armed=" << (r.injection.armed ? 1 : 0)
         << " cycles=" << r.cycles
         << " outcome=" << outcomeName(r.verdict.outcome);
+    // v3 fault-model keys (DESIGN.md §16). Emitted only for
+    // non-default values, so transient non-attack records — i.e.
+    // every record any pre-model build can produce — stay
+    // byte-identical to the v1/v2 grammar.
+    if (r.plan.model != FaultModel::Transient)
+        out << " model="
+            << formatFaultModelSpec(r.plan.model, r.plan.period,
+                                    r.plan.duty);
+    if (r.plan.exact)
+        out << " at=" << r.plan.exactEntry << ':' << r.plan.exactBit
+            << ':' << r.plan.exactVictim;
     // v2 verdict keys (DESIGN.md §15). Emitted only when the campaign
     // produced them, so feature-off records stay byte-identical to
     // the v1 grammar; a resumed v2 record re-emits the same keys in
@@ -148,6 +159,20 @@ parseRunRecord(const std::string &line)
             r.verdict.trace.reachedMemory = value == "1";
         } else if (key == "tr.out") {
             r.verdict.trace.reachedOutput = value == "1";
+        } else if (key == "model") {
+            parseFaultModelSpec(value, r.plan.model, r.plan.period,
+                                r.plan.duty);
+        } else if (key == "at") {
+            unsigned long long e = 0, b = 0, v = 0;
+            char junk;
+            if (std::sscanf(value.c_str(), "%llu:%llu:%llu%c", &e, &b,
+                            &v, &junk) != 3)
+                fatal("malformed at= coordinates '%s' (want "
+                      "ENTRY:BIT:VICTIM)", value.c_str());
+            r.plan.exact = true;
+            r.plan.exactEntry = static_cast<uint32_t>(e);
+            r.plan.exactBit = b;
+            r.plan.exactVictim = static_cast<uint32_t>(v);
         } else if (key == "detail") {
             r.injection.detail = value;
         } else {
@@ -199,7 +224,7 @@ parseRunLogTolerant(std::istream &in, std::vector<RunRecord> *records)
             continue;
         }
         ++summary.parsed;
-        summary.result.add(r.verdict);
+        summary.result.add(r.verdict, r.plan.model);
         if (records)
             records->push_back(std::move(r));
     }

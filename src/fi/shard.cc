@@ -100,6 +100,21 @@ planVectorDigest(const std::vector<FaultPlan> &plans)
         h.mixU64(p.seed);
         h.mixU64(static_cast<uint64_t>(p.target));
         h.mixU64(p.nBits);
+        // Non-default only: digests of transient non-attack plan
+        // vectors — everything a pre-model build could journal —
+        // stay bit-identical, so old shard sets still merge.
+        if (p.model != FaultModel::Transient) {
+            h.mixU64(0x6d6f64656cULL); // "model" domain tag
+            h.mixU64(static_cast<uint64_t>(p.model));
+            h.mixU64(p.period);
+            h.mixU64(p.duty);
+        }
+        if (p.exact) {
+            h.mixU64(0x6174746bULL); // "attk" domain tag
+            h.mixU64(p.exactEntry);
+            h.mixU64(p.exactBit);
+            h.mixU64(p.exactVictim);
+        }
     }
     return h.a ^ (h.b * 0x9e3779b97f4a7c15ULL);
 }
@@ -244,7 +259,8 @@ mergeShardJournals(const std::vector<std::string> &paths,
                 continue;
             }
             merged.records.push_back(*byIdx[i]);
-            merged.result.add(byIdx[i]->verdict);
+            merged.result.add(byIdx[i]->verdict,
+                              byIdx[i]->plan.model);
         }
         if (!merged.missing.empty() && !allowPartial) {
             std::string firstFew;

@@ -47,6 +47,139 @@ entryFlips(const FaultPlan &plan, uint64_t numEntries,
     return flips;
 }
 
+/** true when the plan forces a value (and re-asserts) instead of
+ *  flipping once. */
+bool
+forcing(const FaultPlan &plan)
+{
+    return modelReasserts(plan.model);
+}
+
+/** Re-assertion window length for a standing fault (stuck-at is the
+ *  degenerate always-on 1/1 case). */
+uint32_t
+standingPeriod(const FaultPlan &plan)
+{
+    if (plan.model == FaultModel::Intermittent && plan.period >= 1)
+        return plan.period;
+    return 1;
+}
+
+uint32_t
+standingDuty(const FaultPlan &plan)
+{
+    if (plan.model == FaultModel::Intermittent && plan.duty >= 1)
+        return plan.duty;
+    return 1;
+}
+
+/**
+ * Polarity word for a forcing model: bit (j % 64) is the value flip j
+ * forces. Stuck-at polarities are fixed; intermittent draws ONE word
+ * — strictly after every selection draw, so the pinned transient
+ * selection stream gains no draws and stays byte-identical.
+ */
+uint64_t
+polarityWord(const FaultPlan &plan, Rng &rng)
+{
+    switch (plan.model) {
+    case FaultModel::StuckAt0:
+        return 0;
+    case FaultModel::StuckAt1:
+        return ~0ULL;
+    case FaultModel::Intermittent:
+        return rng();
+    default:
+        return 0;
+    }
+}
+
+/** Polarity of flip @p j under @p word. */
+bool
+polarity(uint64_t word, size_t j)
+{
+    return (word >> (j & 63)) & 1;
+}
+
+/**
+ * Model-aware victim-bit selector. Transient, stuck-at and
+ * intermittent draw through entryFlips() byte-for-byte (the pinned
+ * legacy stream); the spatial multi-bit patterns place nBits
+ * correlated coordinates from two draws (entry, bit); attack-mode
+ * plans use their exact coordinates with NO draws. @p wayStride is
+ * the entry distance between consecutive sets' same way (assoc for
+ * set-major caches, 1 for linear structures).
+ */
+std::vector<std::pair<uint32_t, uint64_t>>
+planFlips(const FaultPlan &plan, uint64_t numEntries,
+          uint64_t bitsPerEntry, uint64_t wayStride, Rng &rng)
+{
+    std::vector<std::pair<uint32_t, uint64_t>> flips;
+    if (plan.exact) {
+        flips.emplace_back(
+            static_cast<uint32_t>(plan.exactEntry % numEntries),
+            plan.exactBit % bitsPerEntry);
+        return flips;
+    }
+    switch (plan.model) {
+    case FaultModel::AdjacentBits: {
+        auto entry = static_cast<uint32_t>(rng.below(numEntries));
+        const uint64_t start = rng.below(bitsPerEntry);
+        const uint64_t n =
+            plan.nBits < bitsPerEntry ? plan.nBits : bitsPerEntry;
+        for (uint64_t i = 0; i < n; ++i)
+            flips.emplace_back(entry, (start + i) % bitsPerEntry);
+        return flips;
+    }
+    case FaultModel::AdjacentRows:
+    case FaultModel::SameWay: {
+        const uint64_t stride =
+            plan.model == FaultModel::SameWay ? wayStride : 1;
+        const uint64_t entry0 = rng.below(numEntries);
+        const uint64_t bit = rng.below(bitsPerEntry);
+        const uint64_t n =
+            plan.nBits < numEntries ? plan.nBits : numEntries;
+        for (uint64_t i = 0; i < n; ++i)
+            flips.emplace_back(
+                static_cast<uint32_t>((entry0 + i * stride) %
+                                      numEntries),
+                bit);
+        return flips;
+    }
+    default:
+        return entryFlips(plan, numEntries, bitsPerEntry, rng);
+    }
+}
+
+/** Victim pick honoring attack-mode exact coordinates (no draw). */
+template <typename T>
+T &
+pickVictim(std::vector<T> &list, const FaultPlan &plan, Rng &rng)
+{
+    if (plan.exact)
+        return list[plan.exactVictim % list.size()];
+    return list[rng.below(list.size())];
+}
+
+/**
+ * Flat bit offsets into a byte-addressed buffer (local/shared
+ * memory). The transient-stream models keep the legacy flat
+ * rng.distinct draw byte-for-byte; spatial and exact plans go
+ * through planFlips() over byte entries.
+ */
+std::vector<uint64_t>
+flatBits(const FaultPlan &plan, uint64_t numBytes, Rng &rng)
+{
+    if (!plan.exact &&
+        (plan.model == FaultModel::Transient || forcing(plan)))
+        return rng.distinct(numBytes * 8, plan.nBits);
+    std::vector<uint64_t> bits;
+    for (const auto &[entry, bit] :
+         planFlips(plan, numBytes, 8, 1, rng))
+        bits.push_back(entry * 8ULL + bit);
+    return bits;
+}
+
 // ---- Register file --------------------------------------------------
 
 class RegisterFileSite : public FaultSite
@@ -93,52 +226,90 @@ class RegisterFileSite : public FaultSite
             note(rec, false, "no kernel running");
             return;
         }
-        auto flips = entryFlips(plan, kernel->numRegs, 32, rng);
-        // Taint arming reuses the coordinates drawn above — no extra
-        // RNG draws, so the pinned selection stream is untouched.
-        auto flipThread = [&](sim::CtaRuntime &cta, size_t idx) {
-            uint32_t *regs = cta.regs(idx);
-            for (const auto &[reg, bit] : flips) {
-                regs[reg] =
-                    flipBit32(regs[reg], static_cast<unsigned>(bit));
-                if (sim::TaintTracker *tt = gpu.taint())
-                    tt->armReg(cta.linearId,
-                               static_cast<uint32_t>(idx), reg);
-            }
-        };
+        auto flips = planFlips(plan, kernel->numRegs, 32, 1, rng);
 
+        // Resolve the victim thread set (stable coordinates: CTA
+        // linear id + thread indices) before the polarity draw so
+        // every selection draw matches the pinned transient stream.
+        uint64_t ctaId = 0;
+        std::vector<uint32_t> victims;
+        std::string where;
         if (plan.scope == FaultScope::Warp) {
             auto warps = gpu.activeWarps();
             if (warps.empty()) {
                 note(rec, false, "no active warp");
                 return;
             }
-            auto &victim = warps[rng.below(warps.size())];
+            auto &victim = pickVictim(warps, plan, rng);
             sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
             uint32_t live = w.validMask & ~w.exitedMask;
             for (uint32_t lane = 0; lane < 32; ++lane)
                 if (live & (1u << lane))
-                    flipThread(*victim.cta, w.threadBase + lane);
-            note(rec, true,
-                 detail::format("warp cta%llu.w%u reg r%u",
-                                static_cast<unsigned long long>(
-                                    victim.cta->linearId),
-                                victim.warpIdx, flips.front().first));
-            return;
+                    victims.push_back(w.threadBase + lane);
+            ctaId = victim.cta->linearId;
+            where = detail::format("warp cta%llu.w%u reg r%u",
+                                   static_cast<unsigned long long>(
+                                       ctaId),
+                                   victim.warpIdx,
+                                   flips.front().first);
+        } else {
+            auto threads = gpu.activeThreads();
+            if (threads.empty()) {
+                note(rec, false, "no active thread");
+                return;
+            }
+            auto &victim = pickVictim(threads, plan, rng);
+            victims.push_back(victim.threadIdx);
+            ctaId = victim.cta->linearId;
+            where = detail::format("thread cta%llu.t%u reg r%u",
+                                   static_cast<unsigned long long>(
+                                       ctaId),
+                                   victim.threadIdx,
+                                   flips.front().first);
         }
+        const bool force = forcing(plan);
+        const uint64_t pol = polarityWord(plan, rng);
 
-        auto threads = gpu.activeThreads();
-        if (threads.empty()) {
-            note(rec, false, "no active thread");
-            return;
+        auto apply = [flips, pol, force](sim::CtaRuntime &cta,
+                                         uint32_t idx) {
+            uint32_t *regs = cta.regs(idx);
+            for (size_t j = 0; j < flips.size(); ++j) {
+                const auto &[reg, bit] = flips[j];
+                if (force)
+                    regs[reg] = assignBit32(
+                        regs[reg], static_cast<unsigned>(bit),
+                        polarity(pol, j));
+                else
+                    regs[reg] = flipBit32(
+                        regs[reg], static_cast<unsigned>(bit));
+            }
+        };
+        sim::CtaRuntime *cta = gpu.findCta(ctaId);
+        gpufi_assert(cta);
+        for (uint32_t t : victims) {
+            apply(*cta, t);
+            // Taint arming reuses the coordinates drawn above — no
+            // extra RNG draws, so the pinned selection stream is
+            // untouched.
+            if (sim::TaintTracker *tt = gpu.taint())
+                for (const auto &[reg, bit] : flips)
+                    tt->armReg(ctaId, t, reg);
         }
-        auto &victim = threads[rng.below(threads.size())];
-        flipThread(*victim.cta, victim.threadIdx);
-        note(rec, true,
-             detail::format("thread cta%llu.t%u reg r%u",
-                            static_cast<unsigned long long>(
-                                victim.cta->linearId),
-                            victim.threadIdx, flips.front().first));
+        if (force) {
+            gpu.addStandingFault(
+                {plan.cycle, standingPeriod(plan), standingDuty(plan),
+                 false, plan.cycle,
+                 [ctaId, victims, apply](sim::Gpu &g) {
+                     sim::CtaRuntime *c = g.findCta(ctaId);
+                     if (!c)
+                         return; // victim CTA retired
+                     for (uint32_t t : victims)
+                         if (t < c->threads.size() &&
+                             !c->threads[t].exited)
+                             apply(*c, t);
+                 }});
+        }
+        note(rec, true, where);
     }
 
     void
@@ -189,52 +360,87 @@ class LocalMemorySite : public FaultSite
             note(rec, false, "kernel uses no local memory");
             return;
         }
-        std::vector<uint64_t> bits = rng.distinct(
-            static_cast<uint64_t>(localBytes) * 8, plan.nBits);
+        std::vector<uint64_t> bits = flatBits(plan, localBytes, rng);
 
-        auto flipThreadLocal = [&](const sim::CtaRuntime &cta,
-                                   uint32_t threadIdx) {
-            mem::Addr base = gpu.localAddr(cta, threadIdx);
-            for (uint64_t b : bits) {
-                gpu.mem().flipBit(base + b / 8,
-                                  static_cast<unsigned>(b % 8));
-                if (sim::TaintTracker *tt = gpu.taint())
-                    tt->armMem(base + b / 8, 1);
-            }
-        };
-
+        uint64_t ctaId = 0;
+        std::vector<uint32_t> victims;
+        std::string where;
         if (plan.scope == FaultScope::Warp) {
             auto warps = gpu.activeWarps();
             if (warps.empty()) {
                 note(rec, false, "no active warp");
                 return;
             }
-            auto &victim = warps[rng.below(warps.size())];
+            auto &victim = pickVictim(warps, plan, rng);
             sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
             uint32_t live = w.validMask & ~w.exitedMask;
             for (uint32_t lane = 0; lane < 32; ++lane)
                 if (live & (1u << lane))
-                    flipThreadLocal(*victim.cta, w.threadBase + lane);
-            note(rec, true,
-                 detail::format("local of warp cta%llu.w%u",
-                                static_cast<unsigned long long>(
-                                    victim.cta->linearId),
-                                victim.warpIdx));
-            return;
+                    victims.push_back(w.threadBase + lane);
+            ctaId = victim.cta->linearId;
+            where = detail::format("local of warp cta%llu.w%u",
+                                   static_cast<unsigned long long>(
+                                       ctaId),
+                                   victim.warpIdx);
+        } else {
+            auto threads = gpu.activeThreads();
+            if (threads.empty()) {
+                note(rec, false, "no active thread");
+                return;
+            }
+            auto &victim = pickVictim(threads, plan, rng);
+            victims.push_back(victim.threadIdx);
+            ctaId = victim.cta->linearId;
+            where = detail::format("local of thread cta%llu.t%u",
+                                   static_cast<unsigned long long>(
+                                       ctaId),
+                                   victim.threadIdx);
         }
+        const bool force = forcing(plan);
+        const uint64_t pol = polarityWord(plan, rng);
 
-        auto threads = gpu.activeThreads();
-        if (threads.empty()) {
-            note(rec, false, "no active thread");
-            return;
+        auto apply = [bits, pol, force](sim::Gpu &g,
+                                        const sim::CtaRuntime &cta,
+                                        uint32_t threadIdx) {
+            mem::Addr base = g.localAddr(cta, threadIdx);
+            for (size_t j = 0; j < bits.size(); ++j) {
+                const uint64_t b = bits[j];
+                if (force)
+                    g.mem().forceBit(base + b / 8,
+                                     static_cast<unsigned>(b % 8),
+                                     polarity(pol, j));
+                else
+                    g.mem().flipBit(base + b / 8,
+                                    static_cast<unsigned>(b % 8));
+            }
+        };
+        sim::CtaRuntime *cta = gpu.findCta(ctaId);
+        gpufi_assert(cta);
+        for (uint32_t t : victims) {
+            apply(gpu, *cta, t);
+            if (sim::TaintTracker *tt = gpu.taint()) {
+                mem::Addr base = gpu.localAddr(*cta, t);
+                for (uint64_t b : bits)
+                    tt->armMem(base + b / 8, 1);
+            }
         }
-        auto &victim = threads[rng.below(threads.size())];
-        flipThreadLocal(*victim.cta, victim.threadIdx);
-        note(rec, true,
-             detail::format("local of thread cta%llu.t%u",
-                            static_cast<unsigned long long>(
-                                victim.cta->linearId),
-                            victim.threadIdx));
+        if (force) {
+            gpu.addStandingFault(
+                {plan.cycle, standingPeriod(plan), standingDuty(plan),
+                 false, plan.cycle,
+                 [ctaId, victims, apply](sim::Gpu &g) {
+                     if (!g.runningKernel() || g.localBytes() == 0)
+                         return; // local arena not live
+                     sim::CtaRuntime *c = g.findCta(ctaId);
+                     if (!c)
+                         return;
+                     for (uint32_t t : victims)
+                         if (t < c->threads.size() &&
+                             !c->threads[t].exited)
+                             apply(g, *c, t);
+                 }});
+        }
+        note(rec, true, where);
     }
 
     void
@@ -305,15 +511,37 @@ class SharedMemorySite : public FaultSite
             note(rec, false, "no active CTA with shared memory");
             return;
         }
-        sim::CtaRuntime *victim = ctas[rng.below(ctas.size())];
-        std::vector<uint64_t> bits = rng.distinct(
-            static_cast<uint64_t>(victim->shared.size()) * 8,
-            plan.nBits);
-        for (uint64_t b : bits) {
-            victim->shared.flipBit(b);
-            if (sim::TaintTracker *tt = gpu.taint())
+        sim::CtaRuntime *victim = pickVictim(ctas, plan, rng);
+        std::vector<uint64_t> bits =
+            flatBits(plan, victim->shared.size(), rng);
+        const bool force = forcing(plan);
+        const uint64_t pol = polarityWord(plan, rng);
+
+        auto apply = [bits, pol, force](sim::CtaRuntime &cta) {
+            for (size_t j = 0; j < bits.size(); ++j) {
+                if (bits[j] >=
+                    static_cast<uint64_t>(cta.shared.size()) * 8)
+                    continue; // pooled instance resized smaller
+                if (force)
+                    cta.shared.forceBit(bits[j], polarity(pol, j));
+                else
+                    cta.shared.flipBit(bits[j]);
+            }
+        };
+        apply(*victim);
+        if (sim::TaintTracker *tt = gpu.taint())
+            for (uint64_t b : bits)
                 tt->armShared(victim->linearId,
                               static_cast<uint32_t>(b >> 5));
+        if (force) {
+            const uint64_t ctaId = victim->linearId;
+            gpu.addStandingFault(
+                {plan.cycle, standingPeriod(plan), standingDuty(plan),
+                 false, plan.cycle,
+                 [ctaId, apply](sim::Gpu &g) {
+                     if (sim::CtaRuntime *c = g.findCta(ctaId))
+                         apply(*c);
+                 }});
         }
         note(rec, true,
              detail::format("shared of cta%llu",
@@ -357,17 +585,42 @@ class L1CacheSite : public FaultSite
             note(rec, false, "no active core");
             return;
         }
-        uint32_t coreId = coreIds[rng.below(coreIds.size())];
+        uint32_t coreId = pickVictim(coreIds, plan, rng);
         mem::Cache *cache = cacheOf(gpu.core(coreId));
         if (!cache) {
             note(rec, false, "cache not present on this architecture");
             return;
         }
-        auto flips = entryFlips(plan, cache->numLines(),
-                                cache->config().bitsPerLine(), rng);
+        auto flips = planFlips(plan, cache->numLines(),
+                               cache->config().bitsPerLine(),
+                               cache->config().assoc, rng);
+        const bool force = forcing(plan);
+        const uint64_t pol = polarityWord(plan, rng);
         bool armed = false;
-        for (const auto &[line, bit] : flips)
-            armed |= cache->injectBit(line, bit);
+        for (size_t j = 0; j < flips.size(); ++j) {
+            const auto &[line, bit] = flips[j];
+            if (force)
+                armed |= cache->forceBit(line, bit, polarity(pol, j));
+            else
+                armed |= cache->injectBit(line, bit);
+        }
+        if (force) {
+            // A permanent/intermittent cell defect stays armed for
+            // every future occupant of the line, whatever is valid
+            // right now.
+            armed = true;
+            gpu.addStandingFault(
+                {plan.cycle, standingPeriod(plan), standingDuty(plan),
+                 false, plan.cycle, [this, coreId, flips, pol](
+                                        sim::Gpu &g) {
+                     mem::Cache *c = cacheOf(g.core(coreId));
+                     if (!c)
+                         return;
+                     for (size_t j = 0; j < flips.size(); ++j)
+                         c->forceBit(flips[j].first, flips[j].second,
+                                     polarity(pol, j));
+                 }});
+        }
         uint32_t line = flips.front().first;
         uint32_t assoc = cache->config().assoc;
         note(rec, armed,
@@ -536,11 +789,29 @@ class L2Site : public FaultSite
            InjectionRecord *rec) const override
     {
         mem::L2Subsystem &l2 = gpu.l2();
-        auto flips =
-            entryFlips(plan, l2.numLines(), l2.bitsPerLine(), rng);
+        auto flips = planFlips(plan, l2.numLines(), l2.bitsPerLine(),
+                               l2.params().assoc, rng);
+        const bool force = forcing(plan);
+        const uint64_t pol = polarityWord(plan, rng);
         bool armed = false;
-        for (const auto &[line, bit] : flips)
-            armed |= l2.injectBit(line, bit);
+        for (size_t j = 0; j < flips.size(); ++j) {
+            const auto &[line, bit] = flips[j];
+            if (force)
+                armed |= l2.forceBit(line, bit, polarity(pol, j));
+            else
+                armed |= l2.injectBit(line, bit);
+        }
+        if (force) {
+            armed = true; // permanent defect: armed for any occupant
+            gpu.addStandingFault(
+                {plan.cycle, standingPeriod(plan), standingDuty(plan),
+                 false, plan.cycle, [flips, pol](sim::Gpu &g) {
+                     for (size_t j = 0; j < flips.size(); ++j)
+                         g.l2().forceBit(flips[j].first,
+                                         flips[j].second,
+                                         polarity(pol, j));
+                 }});
+        }
         uint32_t flat = flips.front().first;
         note(rec, armed,
              detail::format("L2 bank%u line %u (flat %u)%s",
@@ -596,17 +867,45 @@ class SimtStackSite : public FaultSite
             note(rec, false, "no active warp");
             return;
         }
-        auto &victim = warps[rng.below(warps.size())];
+        auto &victim = pickVictim(warps, plan, rng);
         sim::WarpContext &w = victim.cta->warps[victim.warpIdx];
         if (w.stack.empty()) {
             note(rec, false, "empty SIMT stack");
             return;
         }
-        auto flips =
-            entryFlips(plan, w.stack.size(), sim::kStackEntryBits, rng);
-        for (const auto &[entry, bit] : flips)
-            sim::flipStackBit(w.stack[entry],
-                              static_cast<uint32_t>(bit));
+        auto flips = planFlips(plan, w.stack.size(),
+                               sim::kStackEntryBits, 1, rng);
+        const bool force = forcing(plan);
+        const uint64_t pol = polarityWord(plan, rng);
+
+        auto apply = [flips, pol, force](sim::WarpContext &warp) {
+            for (size_t j = 0; j < flips.size(); ++j) {
+                const auto &[entry, bit] = flips[j];
+                if (entry >= warp.stack.size())
+                    continue; // stack popped below the stuck entry
+                if (force)
+                    sim::forceStackBit(warp.stack[entry],
+                                       static_cast<uint32_t>(bit),
+                                       polarity(pol, j));
+                else
+                    sim::flipStackBit(warp.stack[entry],
+                                      static_cast<uint32_t>(bit));
+            }
+        };
+        apply(w);
+        if (force) {
+            const uint64_t ctaId = victim.cta->linearId;
+            const uint32_t warpIdx = victim.warpIdx;
+            gpu.addStandingFault(
+                {plan.cycle, standingPeriod(plan), standingDuty(plan),
+                 false, plan.cycle,
+                 [ctaId, warpIdx, apply](sim::Gpu &g) {
+                     sim::CtaRuntime *c = g.findCta(ctaId);
+                     if (!c || warpIdx >= c->warps.size())
+                         return;
+                     apply(c->warps[warpIdx]);
+                 }});
+        }
         note(rec, true,
              detail::format("simt stack of cta%llu.w%u entry %u",
                             static_cast<unsigned long long>(
@@ -664,12 +963,45 @@ class WarpCtrlSite : public FaultSite
         }
         // One control word per live warp: SameEntry concentrates the
         // bits in one warp, SpreadEntries hits distinct warps.
-        auto flips =
-            entryFlips(plan, warps.size(), sim::kWarpCtrlBits, rng);
-        for (const auto &[warpIdx, bit] : flips) {
-            auto &v = warps[warpIdx];
-            sim::flipWarpCtrlBit(v.cta->warps[v.warpIdx],
-                                 static_cast<uint32_t>(bit));
+        auto flips = planFlips(plan, warps.size(),
+                               sim::kWarpCtrlBits, 1, rng);
+        const bool force = forcing(plan);
+        const uint64_t pol = polarityWord(plan, rng);
+        // Resolve the active-warps list indices to stable (CTA linear
+        // id, warp index) coordinates: the list ordering shifts as
+        // CTAs retire, and re-assertions must keep hitting the same
+        // physical control words.
+        struct Coord
+        {
+            uint64_t ctaId;
+            uint32_t warpIdx;
+            uint32_t bit;
+        };
+        std::vector<Coord> coords;
+        coords.reserve(flips.size());
+        for (const auto &[entry, bit] : flips) {
+            auto &v = warps[entry];
+            coords.push_back({v.cta->linearId, v.warpIdx,
+                              static_cast<uint32_t>(bit)});
+        }
+        auto apply = [coords, pol, force](sim::Gpu &g) {
+            for (size_t j = 0; j < coords.size(); ++j) {
+                sim::CtaRuntime *c = g.findCta(coords[j].ctaId);
+                if (!c || coords[j].warpIdx >= c->warps.size())
+                    continue;
+                sim::WarpContext &warp = c->warps[coords[j].warpIdx];
+                if (force)
+                    sim::forceWarpCtrlBit(warp, coords[j].bit,
+                                          polarity(pol, j));
+                else
+                    sim::flipWarpCtrlBit(warp, coords[j].bit);
+            }
+        };
+        apply(gpu);
+        if (force) {
+            gpu.addStandingFault(
+                {plan.cycle, standingPeriod(plan), standingDuty(plan),
+                 /*warpState=*/true, plan.cycle, apply});
         }
         auto &first = warps[flips.front().first];
         note(rec, true,

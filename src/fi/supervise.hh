@@ -28,6 +28,11 @@ namespace fi {
 // healthy campaign from a degenerate or partial one without parsing
 // any output.
 constexpr int kExitOk = 0;
+/** A fatal tool-level error: bad CLI vocabulary, an unreadable
+ * journal, a merge validation failure — anything raising FatalError.
+ * The conventional catch-all 1, named so every exit path shares one
+ * constant instead of scattering literals. */
+constexpr int kExitError = 1;
 /** The campaign finished but every run was ToolError/ToolHang
  * (validRuns == 0): the statistics say nothing about the device. */
 constexpr int kExitDegenerate = 4;

@@ -291,6 +291,20 @@ DeviceMemory::flipBit(Addr addr, unsigned bit)
     noteWrite(addr, 1);
 }
 
+void
+DeviceMemory::forceBit(Addr addr, unsigned bit, bool set)
+{
+    gpufi_assert(bit < 8);
+    if (!valid(addr, 1))
+        return; // fault targets outside live data are masked
+    auto mask = static_cast<uint8_t>(1u << bit);
+    if (set)
+        store_[addr] |= mask;
+    else
+        store_[addr] &= static_cast<uint8_t>(~mask);
+    noteWrite(addr, 1);
+}
+
 const uint8_t *
 DeviceMemory::data(Addr addr, uint64_t size) const
 {

@@ -115,6 +115,11 @@ class DeviceMemory
     /** Flip one bit (local-memory fault injection). */
     void flipBit(Addr addr, unsigned bit);
 
+    /** Force one bit to @p set (stuck-at/intermittent re-assertion;
+     *  idempotent). Invalid addresses are silently masked like
+     *  flipBit(). */
+    void forceBit(Addr addr, unsigned bit, bool set);
+
     /** Direct pointer for golden-output comparison (validated). */
     const uint8_t *data(Addr addr, uint64_t size) const;
 

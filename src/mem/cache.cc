@@ -232,6 +232,30 @@ Cache::injectBit(uint32_t lineIdx, uint64_t bit)
 }
 
 bool
+Cache::forceBit(uint32_t lineIdx, uint64_t bit, bool set)
+{
+    gpufi_assert(lineIdx < lines_.size());
+    gpufi_assert(bit < cfg_.bitsPerLine());
+    Line &l = lines_[lineIdx];
+    if (!l.valid)
+        return false;
+    if (bit < cfg_.tagBits) {
+        l.tag = assignBit64(l.tag, static_cast<unsigned>(bit), set);
+        return true;
+    }
+    // Stuck data cell: whatever line currently occupies the slot has
+    // that bit of its *stored contents* pinned. Data lives in the
+    // backing store (tag-array model), so force it there; reads and
+    // dirty writebacks both observe the stuck value.
+    if (!mem_)
+        return false;
+    const uint64_t off = bit - cfg_.tagBits;
+    mem_->forceBit(l.trueAddr + off / 8, static_cast<unsigned>(off % 8),
+                   set);
+    return true;
+}
+
+bool
 Cache::lineValid(uint32_t lineIdx) const
 {
     gpufi_assert(lineIdx < lines_.size());

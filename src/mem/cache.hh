@@ -145,6 +145,16 @@ class Cache
      */
     bool injectBit(uint32_t lineIdx, uint64_t bit);
 
+    /**
+     * Force bit @p bit of line @p lineIdx to @p set (stuck-at /
+     * intermittent re-assertion; idempotent). Tag bits force the
+     * stored tag; data bits force the stored contents in the backing
+     * store at the line's trueAddr. Invalid lines (and data bits of
+     * caches with no backing store) report false.
+     * @return true if the force touched live state.
+     */
+    bool forceBit(uint32_t lineIdx, uint64_t bit, bool set);
+
     /** true if the line currently holds valid contents. */
     bool lineValid(uint32_t lineIdx) const;
 

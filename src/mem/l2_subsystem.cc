@@ -86,6 +86,15 @@ L2Subsystem::injectBit(uint32_t lineIdx, uint64_t bit)
     return banks_[bankIdx]->injectBit(local, bit);
 }
 
+bool
+L2Subsystem::forceBit(uint32_t lineIdx, uint64_t bit, bool set)
+{
+    gpufi_assert(lineIdx < numLines());
+    uint32_t bankIdx = lineIdx / linesPerBank_;
+    uint32_t local = lineIdx % linesPerBank_;
+    return banks_[bankIdx]->forceBit(local, bit, set);
+}
+
 void
 L2Subsystem::snapshot(State &out) const
 {

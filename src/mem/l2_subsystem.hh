@@ -77,6 +77,11 @@ class L2Subsystem
      */
     bool injectBit(uint32_t lineIdx, uint64_t bit);
 
+    /** Force a bit to @p set (stuck-at/intermittent re-assertion;
+     *  same flat addressing as injectBit). @return true if it
+     *  touched live state. */
+    bool forceBit(uint32_t lineIdx, uint64_t bit, bool set);
+
     /** Bank that services @p addr. */
     uint32_t partitionOf(Addr addr) const;
 

@@ -61,6 +61,15 @@ class SharedMemory
         flipBitInBuffer(data_.data(), bit);
     }
 
+    /** Force one bit to @p set (stuck-at/intermittent re-assertion;
+     *  idempotent). @pre bit < size()*8. */
+    void
+    forceBit(uint64_t bit, bool set)
+    {
+        gpufi_assert(bit < static_cast<uint64_t>(data_.size()) * 8);
+        assignBitInBuffer(data_.data(), bit, set);
+    }
+
     /** Raw contents (snapshot hashing). */
     const uint8_t *bytes() const { return data_.data(); }
 

@@ -131,6 +131,7 @@ Gpu::resetForRun()
     warpInstructions_ = 0;
     wallArmed_ = false;
     injections_.clear();
+    standingFaults_.clear();
     launchStartCycle_ = 0;
     launchStartInstr_ = 0;
     occSum_ = threadSum_ = ctaSum_ = 0.0;
@@ -233,6 +234,14 @@ Gpu::scheduleInjection(uint64_t cycle, InjectionFn fn)
     injections_.emplace(cycle, std::move(fn));
 }
 
+void
+Gpu::addStandingFault(StandingFault f)
+{
+    gpufi_assert(f.period >= 1 && f.duty >= 1 && f.duty <= f.period);
+    gpufi_assert(f.apply);
+    standingFaults_.push_back(std::move(f));
+}
+
 std::vector<Gpu::ThreadRef>
 Gpu::activeThreads()
 {
@@ -273,6 +282,15 @@ Gpu::activeCtas()
     for (const auto &cta : liveCtas_)
         out.push_back(cta.get());
     return out;
+}
+
+CtaRuntime *
+Gpu::findCta(uint64_t linearId)
+{
+    for (const auto &cta : liveCtas_)
+        if (cta->linearId == linearId)
+            return cta.get();
+    return nullptr;
 }
 
 std::vector<uint32_t>
@@ -420,6 +438,45 @@ Gpu::fireInjections()
 }
 
 void
+Gpu::reassertStanding()
+{
+    bool mutatedWarps = false;
+    for (auto &f : standingFaults_) {
+        if (cycle_ < f.start)
+            continue;
+        // Catch-up semantics: apply once if ANY cycle in
+        // (lastApplied, cycle_] had an active phase. Forces are
+        // idempotent with fixed values and no other state mutates in
+        // skipped cycles, so one catch-up force ordered before this
+        // cycle's core steps is bit-identical to having asserted
+        // every active cycle individually.
+        const uint64_t lo =
+            f.lastApplied >= f.start ? f.lastApplied + 1 : f.start;
+        if (lo > cycle_)
+            continue;
+        bool active;
+        if (f.duty >= f.period || cycle_ - lo + 1 >= f.period) {
+            active = true; // window covers a full period (or always-on)
+        } else {
+            const uint64_t phase0 = (lo - f.start) % f.period;
+            // Active iff lo itself is in the duty span, or the span
+            // wraps into [lo, cycle_].
+            active = phase0 < f.duty ||
+                     f.period - phase0 <= cycle_ - lo;
+        }
+        if (!active)
+            continue;
+        f.apply(*this);
+        f.lastApplied = cycle_;
+        mutatedWarps |= f.warpState;
+    }
+    if (mutatedWarps) {
+        for (auto &core : cores_)
+            core->noteWarpsMutated();
+    }
+}
+
+void
 Gpu::sampleStats()
 {
     const double maxWarps = config_.maxWarpsPerSm();
@@ -535,6 +592,22 @@ Gpu::nextEventCycle() const
     auto it = injections_.lower_bound(cycle_);
     if (it != injections_.end())
         consider(it->first);
+    // A standing fault's next active-phase cycle is an event: the
+    // force may change scheduler-visible state mid-stall (e.g. an
+    // intermittent window onset clearing a done bit), which must
+    // wake the machine exactly when the reference interpreter's
+    // per-cycle assertion would.
+    for (const auto &f : standingFaults_) {
+        if (cycle_ < f.start) {
+            consider(f.start);
+        } else if (f.duty >= f.period) {
+            consider(cycle_);
+        } else {
+            const uint64_t phase = (cycle_ - f.start) % f.period;
+            consider(phase < f.duty ? cycle_
+                                    : cycle_ + (f.period - phase));
+        }
+    }
     if (recordTrace_) {
         const uint64_t rec = recordTrace_->hashes.size() *
                              recordTrace_->hashInterval;
@@ -623,6 +696,8 @@ Gpu::runLaunchLoop()
             }
         }
         fireInjections();
+        if (!standingFaults_.empty())
+            reassertStanding();
         maybeRecordHash();
         maybeCheckConvergence();
         uint32_t issued = 0;

@@ -138,6 +138,42 @@ class Gpu
     /** Register a fault to fire at the start of the given cycle. */
     void scheduleInjection(uint64_t cycle, InjectionFn fn);
 
+    /**
+     * A re-asserting fault (stuck-at or intermittent, DESIGN.md §16).
+     * From cycle `start` the cycle loop keeps the fault's value
+     * forced: every stepped cycle whose phase within the
+     * `period`-cycle window falls in [0, duty) re-applies `apply`.
+     * `apply` must be an idempotent *force* (not a flip) and must
+     * re-resolve its victim by stable IDs — CTA linear id, warp/
+     * thread index, core/line coordinates — never by pointer (CTA
+     * instances are pooled and recycled), skipping silently when the
+     * victim has retired. A stuck-at is the degenerate period=1,
+     * duty=1 case.
+     *
+     * Composition with the idle-skip fast path: while the machine is
+     * fully stalled no other state mutates, so force-assertions in
+     * skipped cycles are unobservable until the next stepped cycle —
+     * the loop applies a single catch-up force whenever any cycle in
+     * the skipped window was active, which is bit-identical to
+     * asserting every cycle one by one.
+     */
+    struct StandingFault
+    {
+        uint64_t start = 0;
+        uint32_t period = 1;
+        uint32_t duty = 1;
+        /** Mutates warp control/scheduler-visible state: the loop
+         *  must invalidate the SoA scheduler mirror after applying. */
+        bool warpState = false;
+        uint64_t lastApplied = 0;   ///< last cycle apply() ran
+        InjectionFn apply;
+    };
+
+    /** Register a standing fault (call from an injection callback at
+     *  its start cycle, after applying the initial force). Cleared by
+     *  resetForRun(). */
+    void addStandingFault(StandingFault f);
+
     // ---- Host-side device-memory access -----------------------------
     //
     // Host logic between launches (convergence flags, host-side
@@ -219,6 +255,10 @@ class Gpu
 
     /** All resident CTAs, right now. */
     std::vector<CtaRuntime *> activeCtas();
+
+    /** Resident CTA with linear id @p linearId, or nullptr if it has
+     *  retired (standing-fault victim re-resolution). */
+    CtaRuntime *findCta(uint64_t linearId);
 
     /** Ids of cores with at least one resident CTA. */
     std::vector<uint32_t> activeCoreIds();
@@ -315,6 +355,8 @@ class Gpu
     /** Memoized decode table for @p kernel (see decodeCache_). */
     const std::vector<DecodedInst> &decodedFor(const isa::Kernel &k);
     void fireInjections();
+    /** Catch-up force pass for standing faults (see StandingFault). */
+    void reassertStanding();
     void sampleStats();
     LaunchStats runLaunchLoop();
     /**
@@ -393,6 +435,10 @@ class Gpu
 
     // Pending injections: cycle -> callbacks
     std::multimap<uint64_t, InjectionFn> injections_;
+
+    // Re-asserting faults (stuck-at/intermittent); empty for
+    // transient runs, so the cycle loop's guard is one branch.
+    std::vector<StandingFault> standingFaults_;
 
     // Per-launch statistics accumulation
     uint64_t launchStartCycle_ = 0;

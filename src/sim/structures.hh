@@ -25,6 +25,7 @@
 
 #include <cstdint>
 
+#include "common/bitops.hh"
 #include "common/hash.hh"
 #include "mem/shared_memory.hh"
 #include "sim/runtime.hh"
@@ -62,6 +63,33 @@ flipWarpCtrlBit(WarpContext &w, uint32_t bit)
         w.atBarrier = !w.atBarrier;
     else
         w.done = !w.done;
+}
+
+/** Force one bit of a SIMT stack entry to @p set (stuck-at /
+ *  intermittent re-assertion; idempotent). */
+inline void
+forceStackBit(StackEntry &e, uint32_t bit, bool set)
+{
+    if (bit < 32)
+        e.pc = static_cast<int>(
+            assignBit32(static_cast<uint32_t>(e.pc), bit, set));
+    else if (bit < 64)
+        e.rpc = static_cast<int>(
+            assignBit32(static_cast<uint32_t>(e.rpc), bit - 32, set));
+    else
+        e.mask = assignBit32(e.mask, bit - 64, set);
+}
+
+/** Force one bit of a warp's control word to @p set (idempotent). */
+inline void
+forceWarpCtrlBit(WarpContext &w, uint32_t bit, bool set)
+{
+    if (bit < 32)
+        w.exitedMask = assignBit32(w.exitedMask, bit, set);
+    else if (bit == 32)
+        w.atBarrier = set;
+    else
+        w.done = set;
 }
 
 /**

@@ -68,6 +68,8 @@ struct CliOptions
     std::string kernel;         ///< empty: every static kernel
     std::string target = "register_file";
     std::string scope = "thread";
+    std::string faultModel = "transient"; ///< --fault-model spec
+    std::string at;             ///< attack coordinates (--at), or empty
     std::vector<std::string> alsoTargets;
     bool spread = false;
     std::string logPath;
@@ -91,6 +93,7 @@ struct CliOptions
     bool full = false;          ///< all structures + AVF/FIT report
     bool list = false;
     bool listTargets = false;   ///< print the fault-site registry
+    bool listModels = false;    ///< print the fault-model vocabulary
     bool stats = false;         ///< golden run + performance report
     bool dumpKernels = false;   ///< print the benchmark's assembly
 };
@@ -135,6 +138,18 @@ usage()
         "  --also NAME            strike a further structure\n"
         "                         simultaneously (repeatable)\n"
         "  --scope thread|warp    register/local fault granularity\n"
+        "  --fault-model M        temporal/spatial fault semantics:\n"
+        "                         transient (default) | stuck_at_0 |\n"
+        "                         stuck_at_1 | intermittent[:P/D] |\n"
+        "                         adjacent_bits | adjacent_rows |\n"
+        "                         same_way (--list-models describes\n"
+        "                         each)\n"
+        "  --list-models          print the fault-model vocabulary,\n"
+        "                         then exit\n"
+        "  --at cycle=C,entry=E,bit=B[,victim=V]\n"
+        "                         attack mode: every run strikes\n"
+        "                         these exact coordinates instead of\n"
+        "                         sampling them\n"
         "  --bits N               bits per injection (default 1)\n"
         "  --spread               place multi-bit faults in distinct\n"
         "                         entries instead of one entry\n"
@@ -221,6 +236,8 @@ parseArgs(int argc, char **argv)
             opts.list = true;
         } else if (a == "--list-targets") {
             opts.listTargets = true;
+        } else if (a == "--list-models") {
+            opts.listModels = true;
         } else if (a == "--full") {
             opts.full = true;
         } else if (a == "--stats") {
@@ -246,6 +263,12 @@ parseArgs(int argc, char **argv)
             opts.spread = true;
         } else if (a == "--scope") {
             opts.scope = need(i);
+            ++i;
+        } else if (a == "--fault-model") {
+            opts.faultModel = need(i);
+            ++i;
+        } else if (a == "--at") {
+            opts.at = need(i);
             ++i;
         } else if (a == "--bits") {
             opts.bits = static_cast<uint32_t>(
@@ -308,6 +331,153 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
+/**
+ * `--at cycle=C,entry=E,bit=B[,victim=V]`: the InjectV-style exact
+ * strike coordinates, parsed once and applied to every campaign spec.
+ */
+struct AttackSpec
+{
+    bool set = false;
+    uint64_t cycle = 0;
+    uint32_t entry = 0;
+    uint64_t bit = 0;
+    uint32_t victim = 0;
+};
+
+AttackSpec
+parseAttackSpec(const std::string &text)
+{
+    AttackSpec atk;
+    atk.set = true;
+    bool sawCycle = false, sawEntry = false, sawBit = false;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        std::string kv =
+            text.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= kv.size())
+            fatal("malformed --at field '%s' (want "
+                  "cycle=C,entry=E,bit=B[,victim=V])", kv.c_str());
+        std::string key = kv.substr(0, eq);
+        const char *value = kv.c_str() + eq + 1;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(value, &end, 10);
+        if (end == value || *end != '\0')
+            fatal("--at %s= wants a decimal integer, got '%s'",
+                  key.c_str(), value);
+        if (key == "cycle") {
+            atk.cycle = v;
+            sawCycle = true;
+        } else if (key == "entry") {
+            atk.entry = static_cast<uint32_t>(v);
+            sawEntry = true;
+        } else if (key == "bit") {
+            atk.bit = v;
+            sawBit = true;
+        } else if (key == "victim") {
+            atk.victim = static_cast<uint32_t>(v);
+        } else {
+            fatal("unknown --at field '%s' (valid: cycle, entry, "
+                  "bit, victim)", key.c_str());
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (!sawCycle || !sawEntry || !sawBit)
+        fatal("--at requires cycle=, entry= and bit= (victim= is "
+              "optional)");
+    return atk;
+}
+
+/**
+ * The --fault-model vocabulary, one model per line. The README's
+ * fault-model table is regenerated from this output.
+ */
+void
+printModelRegistry()
+{
+    std::printf("fault models (--fault-model)\n\n");
+    std::printf("%-20s %s\n", "model", "semantics");
+    for (size_t i = 0;
+         i < static_cast<size_t>(fi::FaultModel::NUM_MODELS); ++i) {
+        auto m = static_cast<fi::FaultModel>(i);
+        std::string name = fi::modelName(m);
+        if (m == fi::FaultModel::Intermittent)
+            name += "[:P/D]";
+        std::printf("%-20s %s\n", name.c_str(),
+                    fi::modelDescription(m));
+    }
+}
+
+/** Per-model outcome rows of @p r (non-transient models only: a
+ *  transient-only result would just repeat the aggregate line). */
+void
+printModelBreakdown(const fi::CampaignResult &r)
+{
+    for (size_t m = 0;
+         m < static_cast<size_t>(fi::FaultModel::NUM_MODELS); ++m) {
+        auto model = static_cast<fi::FaultModel>(m);
+        if (model == fi::FaultModel::Transient ||
+            r.modelRuns(model) == 0)
+            continue;
+        std::printf("  model %-14s masked %4u  perf %4u  sdc %4u  "
+                    "crash %4u  timeout %4u\n",
+                    fi::modelName(model),
+                    r.modelCount(model, fi::Outcome::Masked),
+                    r.modelCount(model, fi::Outcome::Performance),
+                    r.modelCount(model, fi::Outcome::SDC),
+                    r.modelCount(model, fi::Outcome::Crash),
+                    r.modelCount(model, fi::Outcome::Timeout));
+    }
+}
+
+/**
+ * The `fault-models` metrics-report section: per-model outcome
+ * tallies plus each model's failure ratio, mirroring the paper's
+ * per-structure AVF statistics at per-model granularity.
+ */
+obs::Json
+faultModelSection(const fi::CampaignResult &r)
+{
+    obs::Json section = obs::Json::object();
+    section.set("version", obs::Json::u64(1));
+    obs::Json models = obs::Json::object();
+    for (size_t m = 0;
+         m < static_cast<size_t>(fi::FaultModel::NUM_MODELS); ++m) {
+        auto model = static_cast<fi::FaultModel>(m);
+        if (r.modelRuns(model) == 0)
+            continue;
+        obs::Json row = obs::Json::object();
+        uint32_t valid = 0, failed = 0;
+        for (size_t o = 0;
+             o < static_cast<size_t>(fi::Outcome::NUM_OUTCOMES);
+             ++o) {
+            auto outcome = static_cast<fi::Outcome>(o);
+            uint32_t n = r.modelCount(model, outcome);
+            row.set(fi::outcomeName(outcome), obs::Json::u64(n));
+            if (!fi::isToolOutcome(outcome))
+                valid += n;
+            if (outcome == fi::Outcome::SDC ||
+                outcome == fi::Outcome::Crash ||
+                outcome == fi::Outcome::Timeout)
+                failed += n;
+        }
+        row.set("runs", obs::Json::u64(r.modelRuns(model)));
+        row.set("failure_ratio",
+                obs::Json::number(
+                    valid ? static_cast<double>(failed) / valid
+                          : 0.0));
+        models.set(fi::modelName(model), std::move(row));
+    }
+    section.set("models", std::move(models));
+    return section;
+}
+
 void
 printResult(const std::string &kernel, const std::string &target,
             const fi::CampaignResult &r, bool partial)
@@ -337,6 +507,7 @@ printResult(const std::string &kernel, const std::string &target,
                     an.tracedRuns, an.tracedReads, an.reachedMemory,
                     an.reachedOutput);
     }
+    printModelBreakdown(r);
 }
 
 /**
@@ -413,9 +584,13 @@ runCli(const CliOptions &opts)
         printTargetRegistry(card);
         return 0;
     }
+    if (opts.listModels) {
+        printModelRegistry();
+        return 0;
+    }
     if (opts.benchmark.empty()) {
         usage();
-        return 1;
+        return fi::kExitError;
     }
 
     sim::GpuConfig card = sim::makePreset(opts.card);
@@ -455,6 +630,15 @@ runCli(const CliOptions &opts)
         writeMetrics(opts);
         return 0;
     }
+
+    // Vet the fault-model / attack vocabulary before the golden run:
+    // a typo should fail in milliseconds, not after a full profile.
+    fi::FaultModel model = fi::FaultModel::Transient;
+    uint32_t period = 0, duty = 0;
+    fi::parseFaultModelSpec(opts.faultModel, model, period, duty);
+    AttackSpec atk;
+    if (!opts.at.empty())
+        atk = parseAttackSpec(opts.at);
 
     fi::CampaignRunner runner(card, suite::factoryFor(opts.benchmark),
                               opts.threads);
@@ -556,6 +740,16 @@ runCli(const CliOptions &opts)
             spec.runs = opts.runs;
             spec.seed = opts.seed +
                         static_cast<uint64_t>(target) * 7919;
+            spec.model = model;
+            spec.period = period;
+            spec.duty = duty;
+            if (atk.set) {
+                spec.attack = true;
+                spec.atCycle = atk.cycle;
+                spec.atEntry = atk.entry;
+                spec.atBit = atk.bit;
+                spec.atVictim = atk.victim;
+            }
             // --instr-table needs the traces; both knobs stay out of
             // the fingerprint, so journals resume either way.
             spec.anatomy = opts.anatomy || opts.instrTable;
@@ -649,6 +843,9 @@ runCli(const CliOptions &opts)
             obs::setReportSection(
                 "sdc-anatomy",
                 fi::anatomyReportSection(overall.anatomy));
+        if (overall.runs() > 0)
+            obs::setReportSection("fault-models",
+                                  faultModelSection(overall));
         writeMetrics(opts);
         return fi::kExitInterrupted;
     }
@@ -684,6 +881,9 @@ runCli(const CliOptions &opts)
                         fi::targetName(target),
                         report.structAvf.at(target) * 100.0, fit);
     }
+    if (overall.runs() > 0)
+        obs::setReportSection("fault-models",
+                              faultModelSection(overall));
     writeMetrics(opts);
     if (overall.runs() > 0 && overall.validRuns() == 0) {
         // Every run died on the tool itself: the campaign says
@@ -744,6 +944,7 @@ runMergeCli(int argc, char **argv)
                     mc.result.runs(), mc.expectedRuns,
                     mc.result.validRuns(), mc.result.failureRatio(),
                     mc.complete() ? "" : " [PARTIAL]");
+        printModelBreakdown(mc.result);
         partial = partial || !mc.complete();
     }
     std::printf("merged %u journal(s): %u healed line(s), %u "
@@ -780,7 +981,8 @@ runSuperviseCli(int argc, char **argv)
     static const char *const kValuePassthrough[] = {
         "--card", "--benchmark", "--kernel", "--target", "--also",
         "--scope", "--bits", "--runs", "--seed", "--threads",
-        "--config", "--watchdog-sec", nullptr,
+        "--config", "--watchdog-sec", "--fault-model", "--at",
+        nullptr,
     };
     static const char *const kFlagPassthrough[] = {
         "--spread", "--no-retry", "--no-fastpath", "--no-reuse",
@@ -893,6 +1095,6 @@ main(int argc, char **argv)
         return runCli(parseArgs(argc, argv));
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
-        return 1;
+        return fi::kExitError;
     }
 }

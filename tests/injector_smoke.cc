@@ -7,11 +7,19 @@
  * selection, bit flips, classification — on every structure, so a
  * memory error anywhere in a site's inject() or capture() surfaces
  * in CI even for targets the unit tests arm only indirectly.
+ *
+ * `--model NAME[:P/D]` reruns the same sweep under one fault model
+ * (DESIGN.md §16), turning the binary into one cell of the CI
+ * fault-model matrix: every (site, model) pair gets its sanitized
+ * micro-campaign via the per-model `injector_smoke_<model>` ctest
+ * entries.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
@@ -51,10 +59,32 @@ kernelFor(const char *bench)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    fi::FaultModel model = fi::FaultModel::Transient;
+    uint32_t period = 0, duty = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+            try {
+                fi::parseFaultModelSpec(argv[++i], model, period,
+                                        duty);
+            } catch (const FatalError &e) {
+                std::fprintf(stderr, "injector_smoke: %s\n",
+                             e.what());
+                return 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: injector_smoke [--model NAME[:P/D]]\n");
+            return 1;
+        }
+    }
+
     sim::GpuConfig card = sim::makeRtx2060();
     card.numSms = 4; // small chip: smoke in seconds, not minutes
+
+    std::printf("fault model: %s\n",
+                fi::formatFaultModelSpec(model, period, duty).c_str());
 
     std::map<std::string, std::unique_ptr<fi::CampaignRunner>> runners;
     int failures = 0;
@@ -77,6 +107,9 @@ main()
         spec.runs = 10;
         spec.seed = 0xDECAF;
         spec.keepRecords = true;
+        spec.model = model;
+        spec.period = period;
+        spec.duty = duty;
 
         std::vector<fi::RunRecord> records;
         fi::CampaignResult r;

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Fault-model diversity tests (DESIGN.md §16): the --fault-model
+ * vocabulary and spec grammar, the v3 model=/at= run-log keys, the
+ * fingerprint/digest backward-compatibility rule (non-default-only
+ * mixing), twin-run equivalence gates for the re-assertion hook's
+ * composition with the execution fast paths, and the end-to-end
+ * journal -> resume -> shard-merge pipeline for permanent and
+ * intermittent campaigns.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fi/campaign.hh"
+#include "fi/fault.hh"
+#include "fi/journal.hh"
+#include "fi/report_log.hh"
+#include "fi/shard.hh"
+#include "sim_test_util.hh"
+
+using namespace gpufi;
+using namespace gpufi::fi;
+using namespace gpufi_test;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+TwinArm
+modelArm(FaultTarget target, FaultModel model, uint32_t runs,
+         uint32_t period = 0, uint32_t duty = 0)
+{
+    TwinArm arm;
+    arm.spec.kernelName = "vecadd";
+    arm.spec.target = target;
+    arm.spec.runs = runs;
+    arm.spec.seed = 99;
+    arm.spec.model = model;
+    arm.spec.period = period;
+    arm.spec.duty = duty;
+    return arm;
+}
+
+} // namespace
+
+// ---- Vocabulary and spec grammar -----------------------------------
+
+TEST(FaultModel, NamesRoundTrip)
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(FaultModel::NUM_MODELS); ++i) {
+        auto m = static_cast<FaultModel>(i);
+        FaultModel back;
+        ASSERT_TRUE(tryModelFromName(modelName(m), back))
+            << modelName(m);
+        EXPECT_EQ(back, m);
+        EXPECT_STRNE(modelDescription(m), "");
+    }
+    FaultModel out;
+    EXPECT_FALSE(tryModelFromName("bogus", out));
+    EXPECT_FALSE(tryModelFromName("", out));
+}
+
+TEST(FaultModel, SpecParsesAndFormats)
+{
+    FaultModel m;
+    uint32_t p = 0, d = 0;
+    parseFaultModelSpec("transient", m, p, d);
+    EXPECT_EQ(m, FaultModel::Transient);
+    EXPECT_EQ(p, 0u);
+    EXPECT_EQ(d, 0u);
+
+    parseFaultModelSpec("stuck_at_1", m, p, d);
+    EXPECT_EQ(m, FaultModel::StuckAt1);
+    EXPECT_EQ(formatFaultModelSpec(m, p, d), "stuck_at_1");
+
+    // Bare intermittent gets the documented 64/8 defaults.
+    parseFaultModelSpec("intermittent", m, p, d);
+    EXPECT_EQ(m, FaultModel::Intermittent);
+    EXPECT_EQ(p, 64u);
+    EXPECT_EQ(d, 8u);
+
+    parseFaultModelSpec("intermittent:32/4", m, p, d);
+    EXPECT_EQ(p, 32u);
+    EXPECT_EQ(d, 4u);
+    EXPECT_EQ(formatFaultModelSpec(m, p, d), "intermittent:32/4");
+
+    // Unknown names, degenerate windows, and a :P/D suffix on a
+    // non-intermittent model are all vocabulary errors.
+    EXPECT_THROW(parseFaultModelSpec("bogus", m, p, d), FatalError);
+    EXPECT_THROW(parseFaultModelSpec("intermittent:0/0", m, p, d),
+                 FatalError);
+    EXPECT_THROW(parseFaultModelSpec("intermittent:4/9", m, p, d),
+                 FatalError);
+    EXPECT_THROW(parseFaultModelSpec("stuck_at_0:4/2", m, p, d),
+                 FatalError);
+}
+
+TEST(FaultModel, ReassertAndSlowPathPredicates)
+{
+    EXPECT_FALSE(modelReasserts(FaultModel::Transient));
+    EXPECT_TRUE(modelReasserts(FaultModel::StuckAt0));
+    EXPECT_TRUE(modelReasserts(FaultModel::StuckAt1));
+    EXPECT_TRUE(modelReasserts(FaultModel::Intermittent));
+    EXPECT_FALSE(modelReasserts(FaultModel::AdjacentBits));
+    EXPECT_FALSE(modelReasserts(FaultModel::AdjacentRows));
+    EXPECT_FALSE(modelReasserts(FaultModel::SameWay));
+
+    // Only from-power-on faults invalidate the pioneer prefix; an
+    // intermittent fault has a fault-free prefix and may fast-forward.
+    EXPECT_FALSE(modelNeedsSlowPath(FaultModel::Transient));
+    EXPECT_TRUE(modelNeedsSlowPath(FaultModel::StuckAt0));
+    EXPECT_TRUE(modelNeedsSlowPath(FaultModel::StuckAt1));
+    EXPECT_FALSE(modelNeedsSlowPath(FaultModel::Intermittent));
+    EXPECT_FALSE(modelNeedsSlowPath(FaultModel::AdjacentBits));
+}
+
+// ---- Run-log grammar v3 --------------------------------------------
+
+TEST(FaultModel, RunRecordV3RoundTrip)
+{
+    RunRecord r;
+    r.runIdx = 7;
+    r.plan.cycle = 123;
+    r.plan.seed = 456;
+    r.plan.model = FaultModel::Intermittent;
+    r.plan.period = 32;
+    r.plan.duty = 4;
+    r.plan.exact = true;
+    r.plan.exactEntry = 9;
+    r.plan.exactBit = 17;
+    r.plan.exactVictim = 2;
+    r.injection.armed = true;
+    r.cycles = 999;
+    r.verdict.outcome = Outcome::SDC;
+
+    std::string line = formatRunRecord(r);
+    EXPECT_NE(line.find("model=intermittent:32/4"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("at=9:17:2"), std::string::npos) << line;
+
+    RunRecord back = parseRunRecord(line);
+    EXPECT_EQ(back.plan.model, FaultModel::Intermittent);
+    EXPECT_EQ(back.plan.period, 32u);
+    EXPECT_EQ(back.plan.duty, 4u);
+    EXPECT_TRUE(back.plan.exact);
+    EXPECT_EQ(back.plan.exactEntry, 9u);
+    EXPECT_EQ(back.plan.exactBit, 17u);
+    EXPECT_EQ(back.plan.exactVictim, 2u);
+    // Full-line round trip: re-formatting the parse is byte-stable.
+    EXPECT_EQ(formatRunRecord(back), line);
+}
+
+TEST(FaultModel, TransientRecordsKeepV1Grammar)
+{
+    // A default-model, non-attack record must not emit model=/at= —
+    // its bytes are exactly what a pre-model build wrote (the
+    // golden-log fixtures pin this against the real injector; this
+    // pins the formatter in isolation).
+    RunRecord r;
+    r.plan.cycle = 5;
+    r.verdict.outcome = Outcome::Masked;
+    std::string line = formatRunRecord(r);
+    EXPECT_EQ(line.find("model="), std::string::npos) << line;
+    EXPECT_EQ(line.find("at="), std::string::npos) << line;
+
+    // And a v1 line parses to transient defaults.
+    RunRecord back = parseRunRecord(
+        "run=3 target=l2 scope=thread mode=same cycle=11 bits=2 "
+        "seed=17 armed=1 cycles=400 outcome=Crash");
+    EXPECT_EQ(back.plan.model, FaultModel::Transient);
+    EXPECT_FALSE(back.plan.exact);
+}
+
+TEST(FaultModel, MalformedAtCoordinatesRejected)
+{
+    RunRecord out;
+    std::string err;
+    EXPECT_FALSE(tryParseRunRecord(
+        "run=0 target=l2 scope=thread mode=same cycle=1 bits=1 "
+        "seed=1 armed=1 cycles=4 outcome=Masked at=3:4", out, &err));
+    EXPECT_FALSE(tryParseRunRecord(
+        "run=0 target=l2 scope=thread mode=same cycle=1 bits=1 "
+        "seed=1 armed=1 cycles=4 outcome=Masked model=bogus", out,
+        &err));
+}
+
+// ---- Fingerprint / digest backward compatibility -------------------
+
+TEST(FaultModel, FingerprintMixesOnlyNonDefaultModels)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.seed = 4;
+    const uint64_t base = campaignFingerprint(spec);
+
+    // Explicit transient is the default: same fingerprint, so every
+    // pre-model journal still resumes.
+    CampaignSpec t = spec;
+    t.model = FaultModel::Transient;
+    EXPECT_EQ(campaignFingerprint(t), base);
+
+    CampaignSpec s = spec;
+    s.model = FaultModel::StuckAt1;
+    EXPECT_NE(campaignFingerprint(s), base);
+
+    CampaignSpec i1 = spec, i2 = spec;
+    i1.model = i2.model = FaultModel::Intermittent;
+    i1.period = 64;
+    i1.duty = 8;
+    i2.period = 32;
+    i2.duty = 8;
+    EXPECT_NE(campaignFingerprint(i1), campaignFingerprint(i2));
+
+    CampaignSpec a = spec;
+    a.attack = true;
+    a.atCycle = 100;
+    EXPECT_NE(campaignFingerprint(a), base);
+}
+
+TEST(FaultModel, PlanDigestMixesOnlyNonDefaultModels)
+{
+    std::vector<FaultPlan> plans(3);
+    for (size_t i = 0; i < plans.size(); ++i) {
+        plans[i].cycle = 10 * i;
+        plans[i].seed = i + 1;
+    }
+    const uint64_t base = planVectorDigest(plans);
+
+    std::vector<FaultPlan> expl = plans;
+    for (auto &p : expl)
+        p.model = FaultModel::Transient;
+    EXPECT_EQ(planVectorDigest(expl), base);
+
+    std::vector<FaultPlan> stuck = plans;
+    for (auto &p : stuck)
+        p.model = FaultModel::StuckAt0;
+    EXPECT_NE(planVectorDigest(stuck), base);
+
+    std::vector<FaultPlan> atk = plans;
+    atk[1].exact = true;
+    atk[1].exactBit = 3;
+    EXPECT_NE(planVectorDigest(atk), base);
+}
+
+// ---- CampaignResult per-model algebra ------------------------------
+
+TEST(FaultModel, ResultTracksPerModelTallies)
+{
+    CampaignResult a;
+    RunVerdict sdc;
+    sdc.outcome = Outcome::SDC;
+    RunVerdict masked;
+    masked.outcome = Outcome::Masked;
+
+    a.add(sdc, FaultModel::StuckAt1);
+    a.add(masked, FaultModel::StuckAt1);
+    a.add(masked, FaultModel::Transient);
+
+    EXPECT_EQ(a.modelRuns(FaultModel::StuckAt1), 2u);
+    EXPECT_EQ(a.modelCount(FaultModel::StuckAt1, Outcome::SDC), 1u);
+    EXPECT_EQ(a.modelRuns(FaultModel::Transient), 1u);
+    EXPECT_EQ(a.modelRuns(FaultModel::Intermittent), 0u);
+    EXPECT_EQ(a.runs(), 3u);
+
+    CampaignResult b;
+    b.add(sdc, FaultModel::Intermittent);
+    a.merge(b);
+    EXPECT_EQ(a.modelRuns(FaultModel::Intermittent), 1u);
+    EXPECT_EQ(a.modelCount(FaultModel::Intermittent, Outcome::SDC),
+              1u);
+    EXPECT_EQ(a.runs(), 4u);
+
+    // The legacy adds leave the per-model surface untouched.
+    CampaignResult c;
+    c.add(Outcome::Crash);
+    c.add(sdc);
+    for (size_t m = 0;
+         m < static_cast<size_t>(FaultModel::NUM_MODELS); ++m)
+        EXPECT_EQ(c.modelRuns(static_cast<FaultModel>(m)), 0u);
+}
+
+// ---- Twin-run gates: re-assertion vs the execution fast paths ------
+
+TEST(FaultModel, ExplicitTransientIsByteIdenticalToDefault)
+{
+    TwinArm ref;
+    ref.spec.kernelName = "vecadd";
+    ref.spec.runs = 12;
+    ref.spec.seed = 21;
+    TwinArm var = ref;
+    var.spec.model = FaultModel::Transient;
+    expectTwinEquivalence(ref, var, "explicit transient == default");
+}
+
+TEST(FaultModel, StuckAtIgnoresFastForwardAndEarlyTermination)
+{
+    // The planner must force the slow path for stuck-at, so leaving
+    // fastForward on is byte-identical to disabling it; likewise the
+    // convergence check must never arm for a re-asserting model.
+    TwinArm ref =
+        modelArm(FaultTarget::RegisterFile, FaultModel::StuckAt1, 8);
+    TwinArm var = ref;
+    var.spec.fastForward = false;
+    var.spec.earlyTermination = false;
+    expectTwinEquivalence(ref, var,
+                          "stuck_at_1 ff/earlyTerm neutrality");
+}
+
+TEST(FaultModel, StuckAtFastpathEquivalence)
+{
+    // The per-cycle re-assertion (reference interpreter) vs the
+    // catch-up force + standing-fault wake events (idle-skip fast
+    // path) must be bit-identical.
+    TwinArm ref =
+        modelArm(FaultTarget::WarpCtrl, FaultModel::StuckAt1, 8);
+    TwinArm var = ref;
+    var.card.setFastPath(false);
+    var.spec.deltaSnapshots = false;
+    expectTwinEquivalence(ref, var, "stuck_at_1 fastpath twin");
+}
+
+TEST(FaultModel, IntermittentFastForwardEquivalence)
+{
+    // An intermittent fault has a fault-free prefix, so snapshot
+    // fast-forward stays legal; restored-state runs must match
+    // from-scratch runs bit for bit.
+    TwinArm ref = modelArm(FaultTarget::RegisterFile,
+                           FaultModel::Intermittent, 8, 16, 4);
+    TwinArm var = ref;
+    var.spec.fastForward = false;
+    expectTwinEquivalence(ref, var, "intermittent ff twin");
+}
+
+TEST(FaultModel, IntermittentFastpathEquivalence)
+{
+    TwinArm ref = modelArm(FaultTarget::RegisterFile,
+                           FaultModel::Intermittent, 8, 16, 4);
+    TwinArm var = ref;
+    var.card.setFastPath(false);
+    var.spec.deltaSnapshots = false;
+    expectTwinEquivalence(ref, var, "intermittent fastpath twin");
+}
+
+TEST(FaultModel, AttackPlansAreThreadCountInvariant)
+{
+    TwinArm ref;
+    ref.spec.kernelName = "vecadd";
+    ref.spec.runs = 6;
+    ref.spec.seed = 5;
+    ref.spec.attack = true;
+    ref.spec.atCycle = 200;
+    ref.spec.atEntry = 3;
+    ref.spec.atBit = 7;
+    ref.spec.atVictim = 1;
+    TwinArm var = ref;
+    var.threads = 3;
+    TwinOutcome a = runTwinArm(ref);
+    TwinOutcome b = runTwinArm(var);
+    expectTwinsIdentical(a, b, "attack thread-count twin");
+    // Exact coordinates: every run strikes the same victim/bit, so
+    // every record carries identical at= coordinates and outcome.
+    ASSERT_FALSE(a.records.empty());
+    for (const auto &r : a.records) {
+        EXPECT_TRUE(r.plan.exact);
+        EXPECT_EQ(r.plan.cycle, 200u);
+        EXPECT_EQ(r.verdict.outcome, a.records[0].verdict.outcome);
+    }
+}
+
+// ---- End-to-end: journal -> resume -> shard merge -> tallies -------
+
+namespace {
+
+/** Run @p spec sharded 2-ways with journals, then merge. */
+void
+shardedPipeline(const CampaignSpec &base, const std::string &tag,
+                FaultModel model)
+{
+    sim::GpuConfig card = campaignCard();
+    CampaignRunner runner(card, suite::factoryFor("VA"), 1);
+
+    // The unsharded reference result.
+    CampaignSpec ref = base;
+    std::vector<RunRecord> refRecords;
+    CampaignResult whole = runner.run(ref, &refRecords);
+
+    // Two shard journals...
+    std::vector<std::string> paths;
+    for (uint32_t s = 0; s < 2; ++s) {
+        CampaignSpec shard = base;
+        shard.shardIndex = s;
+        shard.shardCount = 2;
+        std::string path = tmpPath("fm_" + tag + "_s" +
+                                   std::to_string(s) + ".jnl");
+        std::remove(path.c_str());
+        RunJournal journal;
+        journal.open(path);
+        runner.run(shard, nullptr, &journal);
+        paths.push_back(path);
+    }
+
+    // ... a resume of shard 0 from its complete journal must redo
+    // nothing and reproduce the shard's aggregate (with tallies).
+    {
+        CampaignSpec shard = base;
+        shard.shardIndex = 0;
+        shard.shardCount = 2;
+        JournalContents prior = loadJournal(paths[0]);
+        uint64_t fp = campaignFingerprint(shard);
+        ASSERT_TRUE(prior.byCampaign.count(fp));
+        RunJournal journal;
+        journal.open(paths[0]);
+        CampaignResult resumed = runner.run(
+            shard, nullptr, &journal, &prior.byCampaign.at(fp));
+        const ShardCoord coord{0, 2};
+        EXPECT_EQ(resumed.modelRuns(model),
+                  coord.ownedRuns(base.runs))
+            << tag;
+    }
+
+    // ... and the merge equals the single-process campaign, with the
+    // per-model tallies carried through the merged records.
+    MergeReport report;
+    std::string err;
+    ASSERT_TRUE(mergeShardJournals(paths, report, &err)) << err;
+    ASSERT_EQ(report.campaigns.size(), 1u);
+    const MergedCampaign &mc = report.campaigns[0];
+    EXPECT_EQ(mc.result.counts, whole.counts) << tag;
+    EXPECT_EQ(mc.result.modelCounts, whole.modelCounts) << tag;
+    EXPECT_EQ(mc.result.modelRuns(model), base.runs) << tag;
+
+    std::string mergedLines;
+    for (const auto &r : mc.records)
+        mergedLines += formatRunRecord(r) + "\n";
+    std::string refLines;
+    for (const auto &r : refRecords)
+        refLines += formatRunRecord(r) + "\n";
+    EXPECT_EQ(mergedLines, refLines) << tag;
+}
+
+} // namespace
+
+TEST(FaultModel, StuckAtEndToEndPipeline)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = FaultTarget::WarpCtrl;
+    spec.runs = 6;
+    spec.seed = 31;
+    spec.keepRecords = true;
+    spec.model = FaultModel::StuckAt1;
+    shardedPipeline(spec, "sa1", FaultModel::StuckAt1);
+}
+
+TEST(FaultModel, IntermittentEndToEndPipeline)
+{
+    CampaignSpec spec;
+    spec.kernelName = "vecadd";
+    spec.target = FaultTarget::RegisterFile;
+    spec.runs = 6;
+    spec.seed = 32;
+    spec.keepRecords = true;
+    spec.model = FaultModel::Intermittent;
+    spec.period = 16;
+    spec.duty = 4;
+    shardedPipeline(spec, "int", FaultModel::Intermittent);
+}

@@ -7,6 +7,7 @@
  */
 
 #include <atomic>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
@@ -90,11 +91,51 @@ sampleRecordV2(uint32_t idx)
     return r;
 }
 
-/** Even run indices get v1 lines, odd ones v2 — a mixed journal. */
+/** A v3 record: v1 fields plus fault-model and attack keys. */
+RunRecord
+sampleRecordV3(uint32_t idx)
+{
+    RunRecord r = sampleRecord(idx);
+    r.plan.model = idx % 2 ? FaultModel::Intermittent
+                           : FaultModel::StuckAt1;
+    if (r.plan.model == FaultModel::Intermittent) {
+        r.plan.period = 64;
+        r.plan.duty = 8;
+    }
+    r.plan.exact = idx % 4 == 0;
+    r.plan.exactEntry = idx;
+    r.plan.exactBit = 2 * idx + 1;
+    r.plan.exactVictim = idx % 3;
+    return r;
+}
+
+/** Grammar versions interleave (v1/v2/v3) — a mixed journal. */
 RunRecord
 mixedRecord(uint32_t idx)
 {
-    return idx % 2 ? sampleRecordV2(idx) : sampleRecord(idx);
+    switch (idx % 3) {
+      case 1:
+        return sampleRecordV2(idx);
+      case 2:
+        return sampleRecordV3(idx);
+      default:
+        return sampleRecord(idx);
+    }
+}
+
+/**
+ * Torn-tail fuzz iterations (CI satellite knob): the sanitize job
+ * runs a longer pass via GPUFI_FUZZ_ITERS; the default keeps local
+ * ctest fast.
+ */
+uint32_t
+fuzzIters()
+{
+    const char *env = std::getenv("GPUFI_FUZZ_ITERS");
+    if (!env || !*env)
+        return 48;
+    unsigned long v = std::strtoul(env, nullptr, 10);
+    return v > 0 ? static_cast<uint32_t>(v) : 48;
 }
 
 void
@@ -240,9 +281,10 @@ TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
     // into a wrong record); a run index appears at most once unless
     // the mutation itself cloned a healthy line; and a writer
     // reopening the damaged file can append a fresh record that the
-    // next load recovers exactly once. The journal mixes v1 and v2
-    // lines (odd runs carry anatomy + trace keys) so the torn-tail
-    // invariants are proven for both grammars in one file.
+    // next load recovers exactly once. The journal rotates v1, v2
+    // and v3 lines (anatomy/trace keys, fault-model model=/at= keys)
+    // so the torn-tail invariants are proven for all three grammars
+    // in one file.
     const uint64_t kFp = 0x5eed;
     const uint32_t kRuns = 10;
     std::map<uint32_t, std::string> want;
@@ -250,7 +292,8 @@ TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
         want[i] = formatRunRecord(mixedRecord(i));
 
     Rng rng(0xFA57);
-    for (uint32_t iter = 0; iter < 48; ++iter) {
+    const uint32_t kIters = fuzzIters();
+    for (uint32_t iter = 0; iter < kIters; ++iter) {
         SCOPED_TRACE("iteration " + std::to_string(iter));
         const std::string path = tmpPath("journal_fuzz.jnl");
         std::remove(path.c_str());
@@ -294,9 +337,10 @@ TEST(Journal, TornTailFuzzNeverPanicsNeverMisparses)
                 ASSERT_NE(it, want.end())
                     << "recovered a record that was never written";
                 EXPECT_EQ(formatRunRecord(r), it->second);
-                if (!seen.insert(r.runIdx).second)
+                if (!seen.insert(r.runIdx).second) {
                     EXPECT_TRUE(mayDuplicate)
                         << "duplicate run " << r.runIdx;
+                }
             }
         }
 
